@@ -1,0 +1,123 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//   1. lazy vs eager rule-constraint formulation (solve time, nodes, rows);
+//   2. region pruning (netBBoxMargin / netLayerMargin) vs full-clip
+//      formulation -- verifies the pruned optimum matches the full optimum
+//      on sampled clips while shrinking the model;
+//   3. warm start on/off;
+//   4. two-pin e/f merge on/off.
+//
+// Usage: bench_ablation_lazy [timeLimitSec]
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/opt_router.h"
+#include "report/table.h"
+#include "test_support.h"
+
+using namespace optr;
+
+int main(int argc, char** argv) {
+  double timeLimit = argc > 1 ? std::atof(argv[1]) : 15.0;
+  auto techn = tech::Technology::n28_12t();
+
+  std::printf("=== Ablations (DESIGN.md section 6) ===\n\n");
+
+  // --- 1. lazy vs eager, on SADP and via-restriction configs ---
+  {
+    report::Table t({"Config", "mode", "status", "cost", "sec", "nodes",
+                     "rows", "lazy rows"});
+    for (const char* rn : {"RULE6", "RULE9", "RULE2", "RULE3"}) {
+      auto rule = tech::ruleByName(rn).value();
+      clip::Clip c = bench::syntheticSwitchbox(6, 6, 3, 4, 77);
+      for (int mode = 0; mode < 2; ++mode) {
+        core::OptRouterOptions o;
+        o.mip.timeLimitSec = timeLimit;
+        o.formulation.eagerViaRules = (mode == 1);
+        o.formulation.eagerSadp = (mode == 1);
+        core::OptRouter router(techn, rule, o);
+        auto r = router.route(c);
+        t.addRow({rn, mode ? "eager" : "lazy", core::toString(r.status),
+                  strFormat("%.0f", r.cost), strFormat("%.2f", r.seconds),
+                  std::to_string(r.nodes),
+                  std::to_string(r.formulationStats.numRows),
+                  std::to_string(r.lazyRows)});
+      }
+    }
+    std::printf("1. Lazy vs eager rule rows (costs must agree per config):\n%s\n",
+                t.render().c_str());
+  }
+
+  // --- 2. region pruning validity ---
+  {
+    report::Table t({"Seed", "full cost", "pruned cost", "full vars",
+                     "pruned vars", "agree"});
+    int agree = 0, total = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      clip::Clip c = bench::syntheticSwitchbox(6, 6, 3, 4, seed);
+      auto rule = tech::ruleByName("RULE1").value();
+      core::OptRouterOptions full, pruned;
+      full.mip.timeLimitSec = pruned.mip.timeLimitSec = timeLimit;
+      pruned.formulation.netBBoxMargin = 3;
+      pruned.formulation.netLayerMargin = 1;
+      auto rf = core::OptRouter(techn, rule, full).route(c);
+      auto rp = core::OptRouter(techn, rule, pruned).route(c);
+      bool ok = rf.status == rp.status &&
+                (!rf.hasSolution() || std::abs(rf.cost - rp.cost) < 1e-6);
+      ++total;
+      agree += ok ? 1 : 0;
+      t.addRow({std::to_string(seed),
+                rf.hasSolution() ? strFormat("%.0f", rf.cost) : "-",
+                rp.hasSolution() ? strFormat("%.0f", rp.cost) : "-",
+                std::to_string(rf.formulationStats.numVariables),
+                std::to_string(rp.formulationStats.numVariables),
+                ok ? "yes" : "NO"});
+    }
+    std::printf("2. Region pruning (margin 3 tracks / 1 layer): %d/%d agree\n%s\n",
+                agree, total, t.render().c_str());
+  }
+
+  // --- 3. warm start ---
+  {
+    report::Table t({"Seed", "warm sec", "warm nodes", "cold sec",
+                     "cold nodes"});
+    for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+      clip::Clip c = bench::syntheticSwitchbox(6, 6, 3, 4, seed);
+      auto rule = tech::ruleByName("RULE6").value();
+      core::OptRouterOptions warm, cold;
+      warm.mip.timeLimitSec = cold.mip.timeLimitSec = timeLimit;
+      cold.warmStart = false;
+      auto rw = core::OptRouter(techn, rule, warm).route(c);
+      auto rc = core::OptRouter(techn, rule, cold).route(c);
+      t.addRow({std::to_string(seed), strFormat("%.2f", rw.seconds),
+                std::to_string(rw.nodes), strFormat("%.2f", rc.seconds),
+                std::to_string(rc.nodes)});
+    }
+    std::printf("3. Baseline-router warm start:\n%s\n", t.render().c_str());
+  }
+
+  // --- 4. two-pin merge ---
+  {
+    report::Table t({"Seed", "merged vars", "unmerged vars", "merged sec",
+                     "unmerged sec", "cost agree"});
+    for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+      clip::Clip c = bench::syntheticSwitchbox(6, 6, 3, 4, seed);
+      auto rule = tech::ruleByName("RULE1").value();
+      core::OptRouterOptions merged, unmerged;
+      merged.mip.timeLimitSec = unmerged.mip.timeLimitSec = timeLimit;
+      unmerged.formulation.mergeTwoPinNets = false;
+      auto rm = core::OptRouter(techn, rule, merged).route(c);
+      auto ru = core::OptRouter(techn, rule, unmerged).route(c);
+      bool ok = rm.hasSolution() == ru.hasSolution() &&
+                (!rm.hasSolution() || std::abs(rm.cost - ru.cost) < 1e-6);
+      t.addRow({std::to_string(seed),
+                std::to_string(rm.formulationStats.numVariables),
+                std::to_string(ru.formulationStats.numVariables),
+                strFormat("%.2f", rm.seconds), strFormat("%.2f", ru.seconds),
+                ok ? "yes" : "NO"});
+    }
+    std::printf("4. Two-pin e/f merge:\n%s\n", t.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces the paper's Section 4.2 "Analysis of the number of variables
+// and constraints": how |V|, |A|, |N| and the rule configuration drive ILP
+// size, including the SADP p-variable blow-up and via-shape growth.
+//
+// Paper formulas (per Section 4.2):
+//   base:            vars O(|A| |N|),                rows O((|V| + 3|A|)|N|)
+//   via restriction: vars unchanged,                 rows +O(alpha |V|)
+//   SADP:            vars O((10|V| + |A>|)|N|),      rows O((34|V| + 3|A|)|N|)
+//   via shapes:      vars O((beta |V| + |A|)|N|),    rows +O(beta^2 |V| |N|)
+// Our eager encodings are leaner (DESIGN.md notes the exact-EOL encoding
+// uses 3 extra vars per vertex-net instead of 10) but must scale the same
+// way; this bench prints measured counts for each configuration.
+#include <cstdio>
+
+#include "core/formulation.h"
+#include "report/table.h"
+#include "testbed.h"
+
+using namespace optr;
+
+namespace {
+
+clip::Clip syntheticClip(int tx, int ty, int nz, int nets) {
+  clip::Clip c;
+  c.id = "complexity";
+  c.techName = "N28-12T";
+  c.tracksX = tx;
+  c.tracksY = ty;
+  c.numLayers = nz;
+  for (int n = 0; n < nets; ++n) {
+    clip::ClipNet net;
+    net.name = "n" + std::to_string(n);
+    for (int p = 0; p < 2; ++p) {
+      clip::ClipPin pin;
+      pin.net = n;
+      pin.accessPoints = {{p * (tx - 1), (n * 2 + p) % ty, 0}};
+      pin.shapeNm = Rect(0, 0, 50, 50);
+      net.pins.push_back(static_cast<int>(c.pins.size()));
+      c.pins.push_back(pin);
+    }
+    c.nets.push_back(net);
+  }
+  return c;
+}
+
+struct Config {
+  const char* name;
+  tech::RuleConfig rule;
+  core::FormulationOptions fo;
+};
+
+}  // namespace
+
+int main() {
+  auto techn = tech::Technology::n28_12t();
+  clip::Clip c = syntheticClip(7, 10, 4, 4);
+
+  std::vector<Config> configs;
+  {
+    Config base{"base (no rules, lazy)", tech::ruleByName("RULE1").value(), {}};
+    base.fo.eagerViaRules = false;
+    configs.push_back(base);
+  }
+  {
+    Config via4{"+via restriction 4 (eager)", tech::ruleByName("RULE6").value(), {}};
+    configs.push_back(via4);
+  }
+  {
+    Config via8{"+via restriction 8 (eager)", tech::ruleByName("RULE9").value(), {}};
+    configs.push_back(via8);
+  }
+  {
+    Config sadp{"+SADP >= M2 (eager p-vars)", tech::ruleByName("RULE2").value(), {}};
+    sadp.fo.eagerSadp = true;
+    configs.push_back(sadp);
+  }
+  {
+    Config sadp3{"+SADP >= M3 (eager p-vars)", tech::ruleByName("RULE3").value(), {}};
+    sadp3.fo.eagerSadp = true;
+    configs.push_back(sadp3);
+  }
+  {
+    Config shapes{"+via shapes 2x1,2x2 (eager)", tech::ruleByName("RULE1").value(), {}};
+    shapes.rule.viaShapes = {tech::unitVia(), tech::barViaX(), tech::barViaY(),
+                             tech::squareVia()};
+    configs.push_back(shapes);
+  }
+  {
+    Config unmerged{"base without 2-pin merge", tech::ruleByName("RULE1").value(), {}};
+    unmerged.fo.eagerViaRules = false;
+    unmerged.fo.mergeTwoPinNets = false;
+    unmerged.fo.emitUpperCoupling = true;  // paper constraint (3) included
+    configs.push_back(unmerged);
+  }
+
+  std::printf(
+      "=== Section 4.2: ILP size vs rule configuration (7x10 tracks, 4 "
+      "layers, 4 two-pin nets) ===\n\n");
+  report::Table table({"Configuration", "|V|", "|A|", "vars", "int vars",
+                       "rows"});
+  for (const Config& cfg : configs) {
+    grid::RoutingGraph g(c, techn, cfg.rule);
+    core::Formulation f(c, g, cfg.fo);
+    const auto& st = f.stats();
+    table.addRow({cfg.name, std::to_string(st.numVertices),
+                  std::to_string(st.numArcs), std::to_string(st.numVariables),
+                  std::to_string(st.numIntegerVars),
+                  std::to_string(st.numRows)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Shape checks vs the paper's O() analysis:\n"
+      " * via restrictions add rows, not variables;\n"
+      " * 8-neighbor blocking adds ~2x the rows of 4-neighbor;\n"
+      " * SADP adds O(|V| |N|) variables and rows; SADP >= M2 costs more\n"
+      "   than SADP >= M3 (one more constrained layer);\n"
+      " * via shapes multiply candidate-via vertices/arcs (beta growth);\n"
+      " * disabling the 2-pin merge roughly doubles variable count (the\n"
+      "   paper's unreduced formulation).\n");
+  return 0;
+}

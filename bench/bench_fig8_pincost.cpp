@@ -1,0 +1,55 @@
+// Reproduces Figure 8: top-100 pin-cost distributions (PEC + PAC + PRC,
+// theta = 500) for AES and M0 at three utilizations in N7-9T.
+//
+// Paper observations to reproduce in shape:
+//   * distributions barely move with utilization;
+//   * distributions are not design-specific (AES and M0 ranges overlap;
+//     paper: AES 33-42, M0 30-41 for the top-100).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "report/table.h"
+#include "testbed.h"
+
+int main(int argc, char** argv) {
+  using namespace optr;
+  bench::TestbedOptions opt;
+  // Pin-cost ranking needs no ILP, so dense windows stay in (the paper
+  // ranks all ~10K windows per testcase).
+  opt.maxNetsPerClip = 40;
+  int topK = argc > 1 ? std::atoi(argv[1]) : 100;
+
+  auto techn = tech::Technology::n7_9t();
+  std::printf("=== Figure 8: top-%d pin-cost distributions (N7-9T) ===\n\n",
+              topK);
+
+  report::Series series("sorted pin cost of top clips", "rank",
+                        "PEC+PAC+PRC");
+  report::Table table({"Design", "Util", "#clips", "top-K min", "top-K max",
+                       "median"});
+  for (const layout::DesignSpec& spec : bench::table2Specs(techn, opt)) {
+    bench::DesignVersion v = bench::buildVersion(techn, spec, opt);
+    std::vector<double> costs;
+    for (const clip::Clip& c : v.clips)
+      costs.push_back(clip::pinCost(c).total());
+    std::sort(costs.rbegin(), costs.rend());
+    std::vector<double> top(costs.begin(),
+                            costs.begin() +
+                                std::min<std::size_t>(costs.size(), topK));
+    if (top.empty()) continue;
+    series.add(spec.name + strFormat("(u=%.0f%%)", spec.utilization * 100),
+               top);
+    table.addRow({spec.name, strFormat("%.0f%%", spec.utilization * 100),
+                  std::to_string(costs.size()),
+                  strFormat("%.1f", top.back()), strFormat("%.1f", top.front()),
+                  strFormat("%.1f", top[top.size() / 2])});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", series.render().c_str());
+  std::printf(
+      "Shape check vs paper: top-K ranges should overlap across designs and\n"
+      "move little with utilization.\n");
+  return 0;
+}

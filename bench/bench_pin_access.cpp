@@ -1,0 +1,58 @@
+// Pin-access study (paper Section 4.1 / Figure 9): for each technology,
+// can a standard cell's pins all be escaped to the routing layers under
+// each via-restriction level? The paper argues N7-9T's compact two-point
+// pins make the 8-blocked-neighbor rules unusable; this bench verifies the
+// claim with exact (ILP) feasibility verdicts and cross-checks
+// tech::ruleApplicable.
+//
+// Usage: bench_pin_access [timeLimitSec]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "layout/pin_access.h"
+#include "report/table.h"
+#include "tech/rules.h"
+
+using namespace optr;
+
+int main(int argc, char** argv) {
+  double timeLimit = argc > 1 ? std::atof(argv[1]) : 20.0;
+
+  std::printf("=== Pin access vs via restrictions (Section 4.1) ===\n\n");
+  const char* cells[] = {"NAND2X1", "AOI21X1", "DFFX1"};
+  const char* rules[] = {"RULE1", "RULE6", "RULE9"};
+
+  report::Table table({"Tech", "Cell", "Rule", "verdict", "escape cost"});
+  bool mismatch = false;
+  for (const tech::Technology& techn : tech::Technology::all()) {
+    auto lib = layout::CellLibrary::forTechnology(techn);
+    for (const char* cellName : cells) {
+      const layout::CellMaster* m = lib.byName(cellName);
+      if (m == nullptr) continue;
+      for (const char* ruleName : rules) {
+        auto rule = tech::ruleByName(ruleName).value();
+        auto res = layout::checkPinAccess(lib, *m, rule, timeLimit);
+        const char* verdict = res.feasible
+                                  ? (res.proven ? "accessible" : "accessible*")
+                                  : (res.proven ? "INACCESSIBLE" : "unknown");
+        table.addRow({techn.name, cellName, ruleName, verdict,
+                      res.feasible ? strFormat("%.0f", res.cost) : "-"});
+        // Cross-check: a rule the paper skips on this technology should not
+        // be provably accessible on the compact cells.
+        if (!tech::ruleApplicable(rule, techn) && res.feasible &&
+            res.proven && std::string(cellName) == "NAND2X1") {
+          mismatch = true;
+        }
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape check vs paper Section 4.1: 28nm wide pins stay accessible at\n"
+      "every restriction level; the compact N7-9T pins lose accessibility\n"
+      "(or pay sharply) once 8 neighbor sites are blocked -- the reason\n"
+      "RULE9/10/11 are untestable there. ruleApplicable cross-check: %s\n",
+      mismatch ? "MISMATCH -- investigate" : "consistent");
+  return 0;
+}

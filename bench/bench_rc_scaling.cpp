@@ -1,0 +1,66 @@
+// RC-scaling study (paper Section 4 methodology): the prototype 7nm library
+// is evaluated inside the 28nm BEOL stack with R_N7 = 6 x R_N28 and
+// C_N7 = C_N28 / 2.5. This bench routes the same switchboxes, then compares
+// Elmore delays under the two RC models -- quantifying how the resistivity
+// explosion at 7nm turns modest wirelength into large delay.
+//
+// Usage: bench_rc_scaling [numClips]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "core/opt_router.h"
+#include "report/table.h"
+#include "route/delay.h"
+#include "test_support.h"
+
+using namespace optr;
+
+int main(int argc, char** argv) {
+  int numClips = argc > 1 ? std::atoi(argv[1]) : 4;
+  auto techn = tech::Technology::n28_12t();
+  auto rule = tech::ruleByName("RULE1").value();
+  tech::RcModel rc28 = tech::RcModel::n28();
+  tech::RcModel rc7 = tech::RcModel::n7FromN28();
+
+  std::printf("=== RC scaling: N28 vs scaled-N7 Elmore delays ===\n");
+  std::printf("R_N7 = 6 x R_N28, C_N7 = C_N28 / 2.5 (paper Section 4)\n\n");
+
+  report::Table table({"Clip", "net", "WL+vias cost", "delay N28",
+                       "delay N7", "ratio"});
+  double sum28 = 0, sum7 = 0;
+  int counted = 0;
+  for (int s = 0; s < numClips; ++s) {
+    clip::Clip c = bench::syntheticSwitchbox(6, 7, 3, 4, 900 + s);
+    core::OptRouterOptions o;
+    o.mip.timeLimitSec = 15;
+    core::OptRouter router(techn, rule, o);
+    auto r = router.route(c);
+    if (!r.hasSolution()) continue;
+    grid::RoutingGraph g(c, techn, rule);
+    auto d28 = route::estimateNetDelays(c, g, r.solution, rc28);
+    auto d7 = route::estimateNetDelays(c, g, r.solution, rc7);
+    for (std::size_t n = 0; n < d28.size(); ++n) {
+      if (d28[n].worstSinkDelay <= 0) continue;
+      double ratio = d7[n].worstSinkDelay / d28[n].worstSinkDelay;
+      sum28 += d28[n].worstSinkDelay;
+      sum7 += d7[n].worstSinkDelay;
+      ++counted;
+      table.addRow({c.id, c.nets[n].name, strFormat("%.0f", r.cost),
+                    strFormat("%.2f", d28[n].worstSinkDelay),
+                    strFormat("%.2f", d7[n].worstSinkDelay),
+                    strFormat("%.2fx", ratio)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (counted) {
+    std::printf("mean delay ratio N7/N28 over %d nets: %.2fx\n", counted,
+                sum7 / sum28);
+  }
+  std::printf(
+      "\nShape check: wire-dominated nets scale toward 6/2.5 = 2.4x (R up\n"
+      "6x, C down 2.5x); driver/sink-dominated nets scale less -- the\n"
+      "spread shows why the paper re-derives RC rather than reusing 28nm\n"
+      "timing.\n");
+  return 0;
+}

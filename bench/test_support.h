@@ -1,0 +1,64 @@
+// Deterministic synthetic switchbox clips shared by the bench binaries.
+#pragma once
+
+#include "clip/clip.h"
+#include "common/rng.h"
+
+namespace optr::bench {
+
+/// A switchbox shaped like the paper's extracted clips: a few internal M2
+/// pins plus boundary terminals on mid layers; one in three nets is 3-pin.
+inline clip::Clip syntheticSwitchbox(int tracksX, int tracksY, int layers,
+                                     int nets, std::uint64_t seed) {
+  Rng rng(seed);
+  clip::Clip c;
+  c.id = "sbox" + std::to_string(seed);
+  c.techName = "N28-12T";
+  c.tracksX = tracksX;
+  c.tracksY = tracksY;
+  c.numLayers = layers;
+  std::vector<clip::TrackPoint> taken;
+  auto fresh = [&](int x, int y, int z) {
+    clip::TrackPoint p{x, y, z};
+    for (const auto& q : taken) {
+      if (q == p) return false;
+    }
+    taken.push_back(p);
+    return true;
+  };
+  for (int n = 0; n < nets; ++n) {
+    clip::ClipNet net;
+    net.name = "n" + std::to_string(n);
+    int pins = (n % 3 == 0) ? 3 : 2;
+    for (int p = 0; p < pins; ++p) {
+      for (int tries = 0; tries < 100; ++tries) {
+        int x, y, z;
+        if (p == 0) {  // internal pin on M2
+          x = static_cast<int>(rng.uniformInt(1, tracksX - 2));
+          y = static_cast<int>(rng.uniformInt(1, tracksY - 2));
+          z = 0;
+        } else {  // boundary terminal on a mid layer
+          bool vert = rng.chance(0.5);
+          x = vert ? (rng.chance(0.5) ? 0 : tracksX - 1)
+                   : static_cast<int>(rng.uniformInt(0, tracksX - 1));
+          y = vert ? static_cast<int>(rng.uniformInt(0, tracksY - 1))
+                   : (rng.chance(0.5) ? 0 : tracksY - 1);
+          z = 1 + static_cast<int>(rng.uniformInt(0, layers - 2));
+        }
+        if (!fresh(x, y, z)) continue;
+        clip::ClipPin pin;
+        pin.net = n;
+        pin.isBoundary = (p != 0);
+        pin.accessPoints = {{x, y, z}};
+        pin.shapeNm = Rect(x * 136, y * 100, x * 136 + 40, y * 100 + 40);
+        net.pins.push_back(static_cast<int>(c.pins.size()));
+        c.pins.push_back(std::move(pin));
+        break;
+      }
+    }
+    if (net.pins.size() >= 2) c.nets.push_back(std::move(net));
+  }
+  return c;
+}
+
+}  // namespace optr::bench

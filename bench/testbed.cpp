@@ -1,0 +1,73 @@
+#include "testbed.h"
+
+#include <algorithm>
+
+namespace optr::bench {
+
+std::vector<layout::DesignSpec> table2Specs(const tech::Technology& techn,
+                                            const TestbedOptions& opt) {
+  // Utilization sweeps per Table 2 / Figure 8 of the paper.
+  struct Row {
+    const char* design;
+    double utils[3];
+  };
+  std::vector<Row> rows;
+  if (techn.name == "N28-12T") {
+    rows = {{"AES", {0.89, 0.92, 0.94}}, {"M0", {0.90, 0.93, 0.96}}};
+  } else if (techn.name == "N28-8T") {
+    rows = {{"AES", {0.89, 0.92, 0.95}}, {"M0", {0.90, 0.93, 0.95}}};
+  } else {  // N7-9T
+    rows = {{"AES", {0.93, 0.95, 0.97}}, {"M0", {0.92, 0.94, 0.95}}};
+  }
+  std::vector<layout::DesignSpec> specs;
+  std::uint64_t seed = 1;
+  for (const Row& r : rows) {
+    for (int v = 0; v < 3; ++v) {
+      layout::DesignSpec s;
+      s.name = std::string(r.design) + "_v" + std::to_string(v + 1);
+      s.targetInstances =
+          (std::string(r.design) == "AES") ? opt.aesInstances : opt.m0Instances;
+      s.utilization = r.utils[v];
+      s.seed = seed++ * 7919 + (techn.name == "N28-8T"   ? 100
+                                : techn.name == "N7-9T" ? 200
+                                                        : 0);
+      specs.push_back(std::move(s));
+    }
+  }
+  return specs;
+}
+
+DesignVersion buildVersion(const tech::Technology& techn,
+                           const layout::DesignSpec& spec,
+                           const TestbedOptions& opt) {
+  DesignVersion v;
+  v.spec = spec;
+  auto lib = layout::CellLibrary::forTechnology(techn);
+  v.design = layout::generateDesign(lib, spec);
+  layout::GlobalRoute gr = layout::globalRoute(v.design, lib);
+  layout::ClipExtractOptions eo;
+  eo.maxNets = opt.maxNetsPerClip;
+  eo.maxLayers = opt.clipLayers;
+  v.clips = layout::extractClips(v.design, lib, gr, eo);
+  return v;
+}
+
+std::vector<clip::Clip> topClips(const tech::Technology& techn, int k,
+                                 const TestbedOptions& opt) {
+  std::vector<std::pair<double, clip::Clip>> ranked;
+  for (const layout::DesignSpec& spec : table2Specs(techn, opt)) {
+    DesignVersion v = buildVersion(techn, spec, opt);
+    for (clip::Clip& c : v.clips) {
+      double cost = clip::pinCost(c).total();
+      ranked.emplace_back(cost, std::move(c));
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<clip::Clip> out;
+  for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i)
+    out.push_back(std::move(ranked[i].second));
+  return out;
+}
+
+}  // namespace optr::bench

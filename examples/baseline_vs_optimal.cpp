@@ -1,0 +1,105 @@
+// Baseline vs optimal: routes the same clips with the heuristic
+// rip-up-and-reroute maze router and with OptRouter, printing the cost gap
+// (the paper's footnote-6 experiment, as a runnable example).
+//
+//   $ ./examples/baseline_vs_optimal [seedCount]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/opt_router.h"
+#include "report/table.h"
+#include "route/maze_router.h"
+
+using namespace optr;
+
+namespace {
+
+clip::Clip randomSwitchbox(std::uint64_t seed) {
+  Rng rng(seed);
+  clip::Clip c;
+  c.id = "sw" + std::to_string(seed);
+  c.techName = "N28-12T";
+  c.tracksX = 6;
+  c.tracksY = 6;
+  c.numLayers = 3;
+  std::vector<clip::TrackPoint> taken;
+  for (int n = 0; n < 4; ++n) {
+    clip::ClipNet net;
+    net.name = "n" + std::to_string(n);
+    int pins = 2 + (rng.chance(0.25) ? 1 : 0);
+    for (int p = 0; p < pins; ++p) {
+      for (int tries = 0; tries < 50; ++tries) {
+        clip::TrackPoint tp{static_cast<int>(rng.uniformInt(0, 5)),
+                            static_cast<int>(rng.uniformInt(0, 5)), 0};
+        bool clash = false;
+        for (const auto& q : taken) {
+          if (q == tp) clash = true;
+        }
+        if (clash) continue;
+        taken.push_back(tp);
+        clip::ClipPin pin;
+        pin.net = n;
+        pin.accessPoints = {tp};
+        pin.shapeNm = Rect(0, 0, 40, 40);
+        net.pins.push_back(static_cast<int>(c.pins.size()));
+        c.pins.push_back(std::move(pin));
+        break;
+      }
+    }
+    if (net.pins.size() < 2) {
+      // Could not place this net; drop its pins again.
+      for (int pi : net.pins) {
+        c.pins.erase(c.pins.begin() + pi);
+      }
+      continue;
+    }
+    c.nets.push_back(std::move(net));
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int count = argc > 1 ? std::atoi(argv[1]) : 8;
+  auto techn = tech::Technology::n28_12t();
+  auto rule = tech::ruleByName("RULE6").value();
+
+  report::Table table({"clip", "baseline", "optimal", "gap", "opt status"});
+  double gapSum = 0;
+  int compared = 0;
+  for (int seed = 1; seed <= count; ++seed) {
+    clip::Clip c = randomSwitchbox(seed);
+    if (c.nets.size() < 2) continue;
+    grid::RoutingGraph g(c, techn, rule);
+    route::MazeRouter maze(c, g);
+    auto mr = maze.route();
+
+    core::OptRouterOptions o;
+    o.mip.timeLimitSec = 20;
+    core::OptRouter router(techn, rule, o);
+    auto r = router.route(c);
+
+    std::string baseStr = mr.success
+                              ? strFormat("%.0f", mr.solution.totalCost(g))
+                              : "failed";
+    std::string optStr = r.hasSolution() ? strFormat("%.0f", r.cost) : "-";
+    std::string gapStr = "-";
+    if (mr.success && r.hasSolution()) {
+      double gap = r.cost - mr.solution.totalCost(g);
+      gapStr = strFormat("%+.0f", gap);
+      gapSum += gap;
+      ++compared;
+    }
+    table.addRow({c.id, baseStr, optStr, gapStr, core::toString(r.status)});
+  }
+  std::printf("%s", table.render().c_str());
+  if (compared) {
+    std::printf("\nmean gap (optimal - baseline) over %d clips: %.2f "
+                "(never positive)\n",
+                compared, gapSum / compared);
+  }
+  return 0;
+}

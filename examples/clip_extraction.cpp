@@ -1,0 +1,85 @@
+// End-to-end clip extraction (the front half of the paper's Figure 6 flow):
+// synthesize a placed design, route it globally, cut 1um x 1um clips, rank
+// them by the Taghavi pin-cost metric, render the hardest one (Figure 7
+// style) and save the top clips to a file for later evaluation.
+//
+//   $ ./examples/clip_extraction [tech] [outFile]
+#include <algorithm>
+#include <cstdio>
+
+#include "clip/clip_io.h"
+#include "grid/routing_graph.h"
+#include "layout/clip_extract.h"
+#include "layout/global_route.h"
+#include "route/render.h"
+
+using namespace optr;
+
+int main(int argc, char** argv) {
+  const char* techName = argc > 1 ? argv[1] : "N28-12T";
+  const char* outFile = argc > 2 ? argv[2] : "top_clips.txt";
+
+  auto techOr = tech::Technology::byName(techName);
+  if (!techOr) {
+    std::fprintf(stderr, "%s\n", techOr.status().message().c_str());
+    return 1;
+  }
+  const tech::Technology techn = techOr.value();
+  auto lib = layout::CellLibrary::forTechnology(techn);
+
+  layout::DesignSpec spec;
+  spec.name = "AES";
+  spec.targetInstances = 420;
+  spec.utilization = 0.93;
+  spec.seed = 2024;
+  layout::Design design = layout::generateDesign(lib, spec);
+  std::printf("design %s: %zu instances, %zu nets, %d rows x %d sites "
+              "(util %.1f%%)\n",
+              design.name.c_str(), design.instances.size(),
+              design.nets.size(), design.rows, design.sitesPerRow,
+              design.utilization(lib) * 100);
+
+  layout::GlobalRoute gr = layout::globalRoute(design, lib);
+  std::printf("global route: %d x %d gcells, %zu boundary crossings\n",
+              gr.grid.nx, gr.grid.ny, gr.crossings.size());
+
+  layout::ClipExtractOptions eo;
+  eo.maxNets = 6;
+  eo.maxLayers = 4;
+  auto clips = layout::extractClips(design, lib, gr, eo);
+  std::printf("extracted %zu clips\n\n", clips.size());
+
+  // Rank by pin cost (PEC + PAC + PRC, theta = 500).
+  std::sort(clips.begin(), clips.end(),
+            [](const clip::Clip& a, const clip::Clip& b) {
+              return clip::pinCost(a).total() > clip::pinCost(b).total();
+            });
+
+  std::printf("top-5 difficult clips by pin cost:\n");
+  for (std::size_t i = 0; i < clips.size() && i < 5; ++i) {
+    auto pc = clip::pinCost(clips[i]);
+    std::printf("  %-14s nets=%zu pins=%zu  PEC=%.0f PAC=%.1f PRC=%.1f "
+                "total=%.1f\n",
+                clips[i].id.c_str(), clips[i].nets.size(),
+                clips[i].pins.size(), pc.pec, pc.pac, pc.prc, pc.total());
+  }
+
+  if (!clips.empty()) {
+    std::printf("\nhardest clip, M2 view (Figure 7 style):\n");
+    tech::RuleConfig rule;
+    grid::RoutingGraph g(clips[0], techn, rule);
+    std::printf("%s\n",
+                route::renderLayer(clips[0], g, nullptr, 0).c_str());
+  }
+
+  std::vector<clip::Clip> top(clips.begin(),
+                              clips.begin() + std::min<std::size_t>(
+                                                  clips.size(), 20));
+  Status s = clip::saveClips(outFile, top);
+  if (!s) {
+    std::fprintf(stderr, "save failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("saved top %zu clips to %s\n", top.size(), outFile);
+  return 0;
+}

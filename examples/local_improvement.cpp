@@ -1,0 +1,50 @@
+// Local improvement of detailed routing (paper Section 5 future work):
+// re-optimize a batch of heuristically routed switchboxes with OptRouter,
+// in parallel, and report the recovered cost.
+//
+//   $ ./examples/local_improvement [numClips] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "core/improver.h"
+#include "report/table.h"
+
+#include "../bench/test_support.h"
+
+using namespace optr;
+
+int main(int argc, char** argv) {
+  int numClips = argc > 1 ? std::atoi(argv[1]) : 6;
+  int threads = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  std::vector<clip::Clip> clips;
+  for (int s = 0; s < numClips; ++s)
+    clips.push_back(bench::syntheticSwitchbox(6, 7, 3, 4, 500 + s));
+
+  core::ImproverOptions opt;
+  opt.threads = threads;
+  opt.router.mip.timeLimitSec = 15;
+  core::LocalImprover improver(tech::Technology::n28_12t(),
+                               tech::ruleByName("RULE6").value(), opt);
+  core::ImprovementReport report = improver.improve(clips);
+
+  report::Table table({"clip", "baseline", "after", "saved", "status"});
+  for (const core::ClipImprovement& ci : report.clips) {
+    table.addRow({ci.clipId,
+                  ci.baselineRouted ? strFormat("%.0f", ci.baselineCost)
+                                    : "unrouted",
+                  strFormat("%.0f", ci.optimalCost),
+                  ci.baselineRouted
+                      ? strFormat("%.0f", ci.baselineCost - ci.optimalCost)
+                      : "-",
+                  core::toString(ci.status)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "clips with baseline routing: %d, improved: %d, total cost %g -> %g "
+      "(saved %g)\n",
+      report.attempted, report.improved, report.costBefore, report.costAfter,
+      report.totalSaving());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9 reproduction: NAND2X1 pin shapes and access points in N28-12T,
+// N28-8T and the scaled N7-9T, rendered as ASCII.
+//
+// The point of the figure: 7nm pins expose only two access points and sit
+// close together, which is why the paper cannot evaluate diagonal-via rules
+// (RULE2/7/9/10/11) on N7-9T -- with eight via sites blocked there is no way
+// to connect the two input pins without violations.
+#include <cstdio>
+
+#include "layout/cell_library.h"
+#include "tech/rules.h"
+
+using namespace optr;
+
+int main() {
+  for (const tech::Technology& techn : tech::Technology::all()) {
+    auto lib = layout::CellLibrary::forTechnology(techn);
+    const layout::CellMaster* nand2 = lib.byName("NAND2X1");
+    std::printf("%s\n", lib.renderAscii(*nand2).c_str());
+    int totalAps = 0;
+    for (const layout::PinTemplate& p : nand2->pins)
+      totalAps += static_cast<int>(p.accessPointsNm.size());
+    std::printf("  pins: %zu, total access points: %d\n\n",
+                nand2->pins.size(), totalAps);
+  }
+
+  std::printf("Rule applicability that follows from the pin shapes:\n");
+  for (const tech::Technology& techn : tech::Technology::all()) {
+    std::printf("  %s skips:", techn.name.c_str());
+    bool any = false;
+    for (const tech::RuleConfig& rule : tech::table3Rules()) {
+      if (!tech::ruleApplicable(rule, techn)) {
+        std::printf(" %s", rule.name.c_str());
+        any = true;
+      }
+    }
+    std::printf(any ? "\n" : " (none)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Rule sweep: the full Figure 6 evaluation loop on one clip.
+//
+// Loads clips from a file produced by clip_extraction (or builds a synthetic
+// switchbox when no file is given), then evaluates every applicable Table 3
+// rule configuration with OptRouter and prints the delta-cost table.
+//
+//   $ ./examples/clip_extraction N28-12T clips.txt
+//   $ ./examples/rule_sweep clips.txt 0          # evaluate clip index 0
+#include <cstdio>
+#include <cstdlib>
+
+#include "clip/clip_io.h"
+#include "common/strings.h"
+#include "core/opt_router.h"
+#include "report/table.h"
+
+using namespace optr;
+
+namespace {
+
+clip::Clip fallbackClip() {
+  clip::Clip c;
+  c.id = "synthetic";
+  c.techName = "N28-12T";
+  c.tracksX = 6;
+  c.tracksY = 6;
+  c.numLayers = 3;
+  auto addNet = [&](std::vector<clip::TrackPoint> aps) {
+    clip::ClipNet net;
+    net.name = "n" + std::to_string(c.nets.size());
+    for (const auto& ap : aps) {
+      clip::ClipPin pin;
+      pin.net = static_cast<int>(c.nets.size());
+      pin.accessPoints = {ap};
+      pin.shapeNm = Rect(0, 0, 40, 40);
+      net.pins.push_back(static_cast<int>(c.pins.size()));
+      c.pins.push_back(std::move(pin));
+    }
+    c.nets.push_back(std::move(net));
+  };
+  addNet({{0, 1, 0}, {5, 1, 0}});
+  addNet({{1, 4, 0}, {4, 0, 0}});
+  addNet({{0, 5, 0}, {5, 5, 0}, {3, 2, 0}});
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  clip::Clip c;
+  if (argc > 1) {
+    auto clipsOr = clip::loadClips(argv[1]);
+    if (!clipsOr) {
+      std::fprintf(stderr, "%s\n", clipsOr.status().message().c_str());
+      return 1;
+    }
+    std::size_t idx = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
+    if (idx >= clipsOr.value().size()) {
+      std::fprintf(stderr, "clip index out of range (%zu clips)\n",
+                   clipsOr.value().size());
+      return 1;
+    }
+    c = clipsOr.value()[idx];
+  } else {
+    c = fallbackClip();
+  }
+
+  auto techn = tech::Technology::byName(c.techName).value();
+  std::printf("evaluating clip %s (%s): %zu nets, %zu pins\n\n", c.id.c_str(),
+              c.techName.c_str(), c.nets.size(), c.pins.size());
+
+  report::Table table({"Rule", "status", "cost", "dCost", "WL", "vias",
+                       "sec"});
+  double base = -1;
+  for (const tech::RuleConfig& rule : tech::table3Rules()) {
+    if (!tech::ruleApplicable(rule, techn)) {
+      table.addRow({rule.name, "skipped (pin shapes)", "-", "-", "-", "-",
+                    "-"});
+      continue;
+    }
+    core::OptRouterOptions o;
+    o.mip.timeLimitSec = 30;
+    o.formulation.netBBoxMargin = 3;
+    o.formulation.netLayerMargin = 1;
+    core::OptRouter router(techn, rule, o);
+    core::RouteResult r = router.route(c);
+    if (r.hasSolution() && rule.name == "RULE1") base = r.cost;
+    table.addRow(
+        {rule.name, core::toString(r.status),
+         r.hasSolution() ? strFormat("%.0f", r.cost) : "-",
+         (r.hasSolution() && base >= 0) ? strFormat("%+.0f", r.cost - base)
+                                        : "-",
+         r.hasSolution() ? std::to_string(r.wirelength) : "-",
+         r.hasSolution() ? std::to_string(r.vias) : "-",
+         strFormat("%.1f", r.seconds)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "clip/clip.h"
+
+#include <cmath>
+
+namespace optr::clip {
+
+Status Clip::validate() const {
+  if (tracksX <= 0 || tracksY <= 0 || numLayers <= 0)
+    return Status::error("clip " + id + ": empty track grid");
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    if (nets[n].pins.size() < 2)
+      return Status::error("clip " + id + ": net " + nets[n].name +
+                           " has fewer than 2 pins");
+    for (int p : nets[n].pins) {
+      if (p < 0 || p >= static_cast<int>(pins.size()))
+        return Status::error("clip " + id + ": net " + nets[n].name +
+                             " references unknown pin");
+      if (pins[p].net != static_cast<int>(n))
+        return Status::error("clip " + id + ": pin/net cross-reference broken");
+    }
+  }
+  for (const ClipPin& pin : pins) {
+    if (pin.net < 0 || pin.net >= static_cast<int>(nets.size()))
+      return Status::error("clip " + id + ": pin references unknown net");
+    if (pin.accessPoints.empty())
+      return Status::error("clip " + id + ": pin without access points");
+    for (const TrackPoint& ap : pin.accessPoints) {
+      if (!inBounds(ap))
+        return Status::error("clip " + id + ": access point out of bounds");
+    }
+  }
+  for (const TrackPoint& o : obstacles) {
+    if (!inBounds(o))
+      return Status::error("clip " + id + ": obstacle out of bounds");
+  }
+  return Status::ok();
+}
+
+PinCostBreakdown pinCost(const Clip& clip, double theta) {
+  PinCostBreakdown out;
+  // Boundary terminals are global-route artifacts, not physical pins: the
+  // metric counts real pin geometry only, matching the paper's use of the
+  // metric on placed-cell pins.
+  std::vector<const ClipPin*> real;
+  for (const ClipPin& p : clip.pins) {
+    if (!p.isBoundary) real.push_back(&p);
+  }
+  out.pec = static_cast<double>(real.size());
+  for (const ClipPin* p : real) {
+    double area = static_cast<double>(p->shapeNm.area());
+    out.pac += std::exp2(2.0 - area / theta);
+  }
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    for (std::size_t j = i + 1; j < real.size(); ++j) {
+      double spacing = static_cast<double>(
+          rectDistance(real[i]->shapeNm, real[j]->shapeNm));
+      out.prc += std::exp2(2.0 - spacing / (3.0 * theta));
+    }
+  }
+  return out;
+}
+
+}  // namespace optr::clip

@@ -1,0 +1,86 @@
+// Routing clips: the switchbox instances OptRouter operates on.
+//
+// A clip is a 1um x 1um window cut from a placed-and-globally-routed design:
+// a small multi-layer track grid, the nets that have pins inside or cross
+// the window, pin geometry with access points, and blocked resources
+// (power/ground rails, neighboring-cell pin shapes). Clips are produced by
+// the layout substrate (layout/clip_extract) or synthesized directly for
+// tests, and consumed by the routers (core/opt_router, route/maze_router).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace optr::clip {
+
+/// A routable location, in clip track coordinates: x indexes vertical
+/// tracks, y indexes horizontal tracks, z indexes routing layers (0 = M2).
+struct TrackPoint {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  friend bool operator==(const TrackPoint&, const TrackPoint&) = default;
+  friend auto operator<=>(const TrackPoint&, const TrackPoint&) = default;
+};
+
+/// A pin of a net inside the clip (or a boundary terminal where the net
+/// leaves the window, fixed by the global route).
+struct ClipPin {
+  int net = -1;
+  /// Locations through which the router may connect this pin. Every access
+  /// point is equivalent; the router picks any one (paper: supersource /
+  /// supersink construction).
+  std::vector<TrackPoint> accessPoints;
+  /// Original pin geometry in nanometers relative to the clip origin; used
+  /// by the pin-cost metric. Boundary terminals carry a degenerate rect.
+  Rect shapeNm;
+  bool isBoundary = false;
+  /// Virtual pins (e.g. escape regions in pin-access analysis) offer many
+  /// alternative access points without reserving any of them: the routing
+  /// graph does not mark their vertices as owned, so other nets may still
+  /// route through unused candidates.
+  bool isVirtual = false;
+};
+
+struct ClipNet {
+  std::string name;
+  std::vector<int> pins;  // indices into Clip::pins, pins[0] acts as source
+};
+
+struct Clip {
+  std::string id;
+  std::string techName;
+  int tracksX = 7;   // vertical tracks
+  int tracksY = 10;  // horizontal tracks
+  int numLayers = 7; // routing layers, 0 = M2
+  std::vector<ClipPin> pins;
+  std::vector<ClipNet> nets;
+  /// Grid vertices unusable by any net (rails, blockages, off-window pins).
+  std::vector<TrackPoint> obstacles;
+
+  bool inBounds(const TrackPoint& p) const {
+    return p.x >= 0 && p.x < tracksX && p.y >= 0 && p.y < tracksY &&
+           p.z >= 0 && p.z < numLayers;
+  }
+
+  /// Structural sanity: every pin references a valid net, every access point
+  /// and obstacle is inside the grid, every net has >= 2 pins.
+  Status validate() const;
+};
+
+/// Pin-cost metric of Taghavi et al. (ICCAD'10) as used by the paper to pick
+/// "difficult-to-route" clips: PEC + PAC + PRC with theta = 500.
+///   PEC: number of pins;
+///   PAC = sum_i 2^(2 - area(p_i)/theta);
+///   PRC = sum_{i<j} 2^(2 - spacing(p_i,p_j)/(3*theta)).
+struct PinCostBreakdown {
+  double pec = 0, pac = 0, prc = 0;
+  double total() const { return pec + pac + prc; }
+};
+
+PinCostBreakdown pinCost(const Clip& clip, double theta = 500.0);
+
+}  // namespace optr::clip

@@ -1,0 +1,169 @@
+#include "clip/clip_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace optr::clip {
+
+std::string toText(const Clip& clip) {
+  std::ostringstream out;
+  out << "CLIP " << clip.id << " TECH " << clip.techName << " TRACKS "
+      << clip.tracksX << " " << clip.tracksY << " LAYERS " << clip.numLayers
+      << "\n";
+  for (const ClipNet& net : clip.nets) out << "NET " << net.name << "\n";
+  for (const ClipPin& pin : clip.pins) {
+    out << "PIN " << pin.net
+        << (pin.isVirtual ? " VIRTUAL" : (pin.isBoundary ? " BOUNDARY" : " CELL"))
+        << " SHAPE " << pin.shapeNm.lo.x << " " << pin.shapeNm.lo.y << " "
+        << pin.shapeNm.hi.x << " " << pin.shapeNm.hi.y << " APS "
+        << pin.accessPoints.size();
+    for (const TrackPoint& ap : pin.accessPoints)
+      out << " " << ap.x << " " << ap.y << " " << ap.z;
+    out << "\n";
+  }
+  for (const TrackPoint& o : clip.obstacles)
+    out << "OBS " << o.x << " " << o.y << " " << o.z << "\n";
+  out << "END\n";
+  return out.str();
+}
+
+std::string toTextMulti(const std::vector<Clip>& clips) {
+  std::string out;
+  for (const Clip& c : clips) out += toText(c);
+  return out;
+}
+
+namespace {
+
+StatusOr<Clip> parseOne(const std::vector<std::string>& lines,
+                        std::size_t& i) {
+  Clip clip;
+  bool sawHeader = false;
+  for (; i < lines.size(); ++i) {
+    auto tokens = splitWhitespace(lines[i]);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "END") {
+      ++i;
+      if (!sawHeader) return Status::error("clip text: END before CLIP");
+      Status s = clip.validate();
+      if (!s) return s;
+      return clip;
+    }
+    if (tokens[0] == "CLIP") {
+      if (tokens.size() != 9 || tokens[2] != "TECH" || tokens[4] != "TRACKS" ||
+          tokens[7] != "LAYERS")
+        return Status::error("clip text: malformed CLIP line");
+      clip.id = std::string(tokens[1]);
+      clip.techName = std::string(tokens[3]);
+      auto tx = parseInt(tokens[5]), ty = parseInt(tokens[6]),
+           nl = parseInt(tokens[8]);
+      if (!tx || !ty || !nl)
+        return Status::error("clip text: bad CLIP numbers");
+      clip.tracksX = static_cast<int>(*tx);
+      clip.tracksY = static_cast<int>(*ty);
+      clip.numLayers = static_cast<int>(*nl);
+      sawHeader = true;
+    } else if (tokens[0] == "NET") {
+      if (tokens.size() != 2) return Status::error("clip text: bad NET");
+      ClipNet net;
+      net.name = std::string(tokens[1]);
+      clip.nets.push_back(std::move(net));
+    } else if (tokens[0] == "PIN") {
+      if (tokens.size() < 10) return Status::error("clip text: short PIN");
+      ClipPin pin;
+      auto netIdx = parseInt(tokens[1]);
+      if (!netIdx || *netIdx < 0 ||
+          *netIdx >= static_cast<std::int64_t>(clip.nets.size()))
+        return Status::error("clip text: PIN net out of range");
+      pin.net = static_cast<int>(*netIdx);
+      pin.isBoundary = (tokens[2] == "BOUNDARY" || tokens[2] == "VIRTUAL");
+      pin.isVirtual = (tokens[2] == "VIRTUAL");
+      if (tokens[3] != "SHAPE") return Status::error("clip text: PIN SHAPE");
+      auto lx = parseInt(tokens[4]), ly = parseInt(tokens[5]),
+           hx = parseInt(tokens[6]), hy = parseInt(tokens[7]);
+      if (!lx || !ly || !hx || !hy)
+        return Status::error("clip text: PIN shape numbers");
+      pin.shapeNm = Rect(*lx, *ly, *hx, *hy);
+      if (tokens[8] != "APS") return Status::error("clip text: PIN APS");
+      auto n = parseInt(tokens[9]);
+      if (!n || tokens.size() != 10 + 3 * static_cast<std::size_t>(*n))
+        return Status::error("clip text: PIN AP count mismatch");
+      for (std::int64_t k = 0; k < *n; ++k) {
+        auto x = parseInt(tokens[10 + 3 * k]);
+        auto y = parseInt(tokens[11 + 3 * k]);
+        auto z = parseInt(tokens[12 + 3 * k]);
+        if (!x || !y || !z) return Status::error("clip text: PIN AP numbers");
+        pin.accessPoints.push_back({static_cast<int>(*x),
+                                    static_cast<int>(*y),
+                                    static_cast<int>(*z)});
+      }
+      clip.nets[pin.net].pins.push_back(static_cast<int>(clip.pins.size()));
+      clip.pins.push_back(std::move(pin));
+    } else if (tokens[0] == "OBS") {
+      if (tokens.size() != 4) return Status::error("clip text: bad OBS");
+      auto x = parseInt(tokens[1]), y = parseInt(tokens[2]),
+           z = parseInt(tokens[3]);
+      if (!x || !y || !z) return Status::error("clip text: OBS numbers");
+      clip.obstacles.push_back({static_cast<int>(*x), static_cast<int>(*y),
+                                static_cast<int>(*z)});
+    } else {
+      return Status::error("clip text: unknown statement '" +
+                           std::string(tokens[0]) + "'");
+    }
+  }
+  return Status::error("clip text: missing END");
+}
+
+std::vector<std::string> toLines(const std::string& text) {
+  std::vector<std::string> lines;
+  for (auto part : split(text, '\n')) lines.emplace_back(part);
+  return lines;
+}
+
+}  // namespace
+
+StatusOr<Clip> fromText(const std::string& text) {
+  auto lines = toLines(text);
+  std::size_t i = 0;
+  return parseOne(lines, i);
+}
+
+StatusOr<std::vector<Clip>> fromTextMulti(const std::string& text) {
+  auto lines = toLines(text);
+  std::vector<Clip> clips;
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    // Skip blank tails.
+    bool remaining = false;
+    for (std::size_t j = i; j < lines.size(); ++j) {
+      if (!splitWhitespace(lines[j]).empty()) {
+        remaining = true;
+        break;
+      }
+    }
+    if (!remaining) break;
+    auto one = parseOne(lines, i);
+    if (!one) return one.status();
+    clips.push_back(std::move(one).value());
+  }
+  return clips;
+}
+
+Status saveClips(const std::string& path, const std::vector<Clip>& clips) {
+  std::ofstream out(path);
+  if (!out) return Status::error("cannot open for write: " + path);
+  out << toTextMulti(clips);
+  return out.good() ? Status::ok() : Status::error("write failed: " + path);
+}
+
+StatusOr<std::vector<Clip>> loadClips(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::error("cannot open: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return fromTextMulti(buf.str());
+}
+
+}  // namespace optr::clip

@@ -1,0 +1,38 @@
+// Clip serialization.
+//
+// The paper's testbed moves layout data through LEF/DEF + OpenAccess; this
+// reproduction uses a compact line-oriented text format for clips (the only
+// data that crosses the extraction/evaluation boundary) so that clip sets
+// can be saved, versioned, and re-evaluated without regenerating layouts.
+//
+// Format (whitespace separated, one statement per line):
+//   CLIP <id> TECH <name> TRACKS <x> <y> LAYERS <n>
+//   NET <name>
+//   PIN <netIndex> <BOUNDARY|CELL> SHAPE <lx> <ly> <hx> <hy> APS <n> {x y z}
+//   OBS <x> <y> <z>
+//   END
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clip/clip.h"
+#include "common/status.h"
+
+namespace optr::clip {
+
+/// Serializes one clip.
+std::string toText(const Clip& clip);
+
+/// Parses one clip (the exact output of toText).
+StatusOr<Clip> fromText(const std::string& text);
+
+/// Serializes many clips back to back; fromTextMulti splits on END.
+std::string toTextMulti(const std::vector<Clip>& clips);
+StatusOr<std::vector<Clip>> fromTextMulti(const std::string& text);
+
+/// File helpers.
+Status saveClips(const std::string& path, const std::vector<Clip>& clips);
+StatusOr<std::vector<Clip>> loadClips(const std::string& path);
+
+}  // namespace optr::clip

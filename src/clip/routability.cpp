@@ -1,0 +1,101 @@
+#include "clip/routability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace optr::clip {
+
+RoutabilityEstimate estimateRoutability(const Clip& clip) {
+  RoutabilityEstimate est;
+
+  // Demand: per net, half-perimeter of the access-point bounding box (the
+  // classic wirelength lower-bound proxy) plus 2 track-equivalents per pin
+  // for via/landing overhead.
+  for (const ClipNet& net : clip.nets) {
+    int loX = clip.tracksX, hiX = 0, loY = clip.tracksY, hiY = 0;
+    for (int p : net.pins) {
+      for (const TrackPoint& ap : clip.pins[p].accessPoints) {
+        loX = std::min(loX, ap.x);
+        hiX = std::max(hiX, ap.x);
+        loY = std::min(loY, ap.y);
+        hiY = std::max(hiY, ap.y);
+      }
+    }
+    est.demand += (hiX - loX) + (hiY - loY) +
+                  2.0 * static_cast<double>(net.pins.size());
+  }
+
+  // Capacity: track segments across all layers, minus blocked vertices
+  // (each blocked vertex disables roughly one segment on its layer).
+  double segsPerLayer =
+      static_cast<double>(clip.tracksX - 1) * clip.tracksY;  // horizontal
+  double segsVertical =
+      static_cast<double>(clip.tracksY - 1) * clip.tracksX;
+  est.capacity = 0;
+  for (int z = 0; z < clip.numLayers; ++z)
+    est.capacity += (z % 2 == 0) ? segsPerLayer : segsVertical;
+  est.capacity -= static_cast<double>(clip.obstacles.size());
+  est.capacity = std::max(est.capacity, 1.0);
+  est.congestion = est.demand / est.capacity;
+
+  // Boundary pressure: boundary terminals per available edge slot.
+  int boundaryTerms = 0;
+  for (const ClipPin& p : clip.pins) boundaryTerms += p.isBoundary ? 1 : 0;
+  double edgeSlots = 2.0 * (clip.tracksX + clip.tracksY) *
+                     std::max(1, clip.numLayers - 1);
+  est.boundaryPressure = boundaryTerms / edgeSlots;
+
+  // Pin density on M2.
+  double m2Vertices = static_cast<double>(clip.tracksX) * clip.tracksY;
+  int m2Blocked = 0;
+  for (const TrackPoint& o : clip.obstacles) m2Blocked += (o.z == 0) ? 1 : 0;
+  int cellPins = 0;
+  for (const ClipPin& p : clip.pins) cellPins += p.isBoundary ? 0 : 1;
+  est.pinDensity = cellPins / std::max(1.0, m2Vertices - m2Blocked);
+
+  est.score = 4.0 * est.congestion + 6.0 * est.boundaryPressure +
+              10.0 * est.pinDensity;
+  return est;
+}
+
+double spearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (n != b.size() || n < 2) return 0.0;
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t i, std::size_t j) { return v[i] < v[j]; });
+    std::vector<double> rank(v.size());
+    // Average ranks for ties so the statistic stays unbiased.
+    std::size_t i = 0;
+    while (i < idx.size()) {
+      std::size_t j = i;
+      while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]]) ++j;
+      double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+      for (std::size_t k = i; k <= j; ++k) rank[idx[k]] = avg;
+      i = j + 1;
+    }
+    return rank;
+  };
+  std::vector<double> ra = ranks(a), rb = ranks(b);
+  double meanA = 0, meanB = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    meanA += ra[i];
+    meanB += rb[i];
+  }
+  meanA /= n;
+  meanB /= n;
+  double cov = 0, varA = 0, varB = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - meanA) * (rb[i] - meanB);
+    varA += (ra[i] - meanA) * (ra[i] - meanA);
+    varB += (rb[i] - meanB) * (rb[i] - meanB);
+  }
+  if (varA <= 0 || varB <= 0) return 0.0;
+  return cov / std::sqrt(varA * varB);
+}
+
+}  // namespace optr::clip

@@ -1,0 +1,41 @@
+// Switchbox-centric routability estimation (paper Section 5 future work).
+//
+// The paper observes a gap between pin-accessibility metrics (Taghavi PEC/
+// PAC/PRC) and actual switchbox routability: for upper-layer rules, half the
+// top-pin-cost clips show zero delta-cost. This module implements the
+// "metric beyond [15]" the authors call for: a congestion-style estimate
+// that looks at the whole switchbox -- net demand against track supply,
+// boundary-crossing pressure, and blockage -- rather than pin geometry only.
+// bench_metric_gap measures how both metrics correlate with OptRouter's
+// ground-truth delta-cost and infeasibility.
+#pragma once
+
+#include "clip/clip.h"
+
+namespace optr::clip {
+
+struct RoutabilityEstimate {
+  /// Estimated wiring demand in track segments: per net, the half-perimeter
+  /// of its access-point bounding box plus a per-pin via allowance.
+  double demand = 0;
+  /// Usable track segments in the clip (obstacles subtracted).
+  double capacity = 0;
+  /// demand / capacity.
+  double congestion = 0;
+  /// Fraction of boundary-edge slots consumed by boundary terminals.
+  double boundaryPressure = 0;
+  /// Pin crowding: pins per usable M2 vertex.
+  double pinDensity = 0;
+  /// Combined difficulty score (higher = harder); dimensionless weights
+  /// chosen so each component contributes O(1) on typical clips.
+  double score = 0;
+};
+
+RoutabilityEstimate estimateRoutability(const Clip& clip);
+
+/// Spearman rank correlation between two equally-sized samples; used by the
+/// metric-gap bench (exposed here so it is unit-testable).
+double spearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace optr::clip

@@ -1,0 +1,92 @@
+// Basic integer geometry primitives used throughout the router.
+//
+// All coordinates in this library are integers. Two coordinate systems are
+// used and must not be confused:
+//   * database units (DBU): nanometers, used by the layout substrate
+//     (cell placement, pin shapes, clip windows);
+//   * track coordinates: indices of routing tracks inside a clip's routing
+//     graph (x = vertical-track index, y = horizontal-track index, z = layer).
+// Conversion between the two happens exactly once, in clip extraction
+// (layout/clip_extract) and routing-graph construction (grid/routing_graph).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace optr {
+
+/// A 2D point. Unit depends on context (DBU or track index).
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// An axis-aligned rectangle, half-open is *not* used: [lo.x, hi.x] x
+/// [lo.y, hi.y] inclusive bounds, matching LEF/DEF rectangle semantics.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  Rect() = default;
+  Rect(std::int64_t lx, std::int64_t ly, std::int64_t hx, std::int64_t hy)
+      : lo{lx, ly}, hi{hx, hy} {}
+
+  std::int64_t width() const { return hi.x - lo.x; }
+  std::int64_t height() const { return hi.y - lo.y; }
+  /// Area in squared units. Zero-width/height rects have zero area.
+  std::int64_t area() const { return width() * height(); }
+
+  bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  bool contains(const Rect& r) const {
+    return contains(r.lo) && contains(r.hi);
+  }
+  bool overlaps(const Rect& r) const {
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y && r.lo.y <= hi.y;
+  }
+  /// Intersection; only meaningful when overlaps(r).
+  Rect intersect(const Rect& r) const {
+    return Rect{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y),
+                std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)};
+  }
+  /// Smallest rectangle covering both.
+  Rect unite(const Rect& r) const {
+    return Rect{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y),
+                std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)};
+  }
+  Rect shifted(std::int64_t dx, std::int64_t dy) const {
+    return Rect{lo.x + dx, lo.y + dy, hi.x + dx, hi.y + dy};
+  }
+  Point center() const { return Point{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Manhattan distance between two points.
+inline std::int64_t manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Minimum Manhattan distance between two rectangles (0 if they overlap).
+inline std::int64_t rectDistance(const Rect& a, const Rect& b) {
+  std::int64_t dx = std::max<std::int64_t>(
+      0, std::max(b.lo.x - a.hi.x, a.lo.x - b.hi.x));
+  std::int64_t dy = std::max<std::int64_t>(
+      0, std::max(b.lo.y - a.hi.y, a.lo.y - b.hi.y));
+  return dx + dy;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.lo << " " << r.hi << "]";
+}
+
+}  // namespace optr

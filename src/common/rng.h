@@ -1,0 +1,77 @@
+// Deterministic random number generation.
+//
+// All stochastic parts of the testbed (netlist synthesis, placement jitter,
+// workload generation) draw from this RNG so that every table and figure in
+// the bench suite regenerates bit-identically from a seed. We deliberately do
+// not use std::mt19937 + std::uniform_int_distribution because distribution
+// results are not specified to be identical across standard library
+// implementations; xoshiro256** plus hand-rolled bounded draws are.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace optr {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference implementation
+/// re-expressed). High quality, tiny state, fully reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 initialization to avoid all-zero / low-entropy states.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Debiased modulo (Lemire-style rejection kept simple and portable).
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniformReal() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return uniformReal() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace optr

@@ -1,0 +1,67 @@
+// Lightweight error propagation for the IO and solver layers.
+//
+// The library does not throw across public API boundaries except for
+// programming errors (OPTR_ASSERT). Recoverable conditions (parse errors,
+// solver limits) are reported through Status / StatusOr.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace optr {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status ok() { return Status(); }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool isOk() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Value-or-error return. Minimal and move-friendly; no exceptions.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool isOk() const { return value_.has_value(); }
+  explicit operator bool() const { return isOk(); }
+  const Status& status() const { return status_; }
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::error("value not set");
+};
+
+}  // namespace optr
+
+/// Invariant check for programming errors. Active in all build types: the
+/// solver's correctness argument leans on these, and the cost is negligible
+/// relative to LP pivoting.
+#define OPTR_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "OPTR_ASSERT failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, msg);                                          \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,70 @@
+// Small string helpers shared by IO and reporting code.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optr {
+
+/// Split on any run of whitespace; no empty tokens.
+inline std::vector<std::string_view> splitWhitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t' && s[j] != '\r') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+inline std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+inline std::optional<std::int64_t> parseInt(std::string_view s) {
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+inline std::optional<double> parseDouble(std::string_view s) {
+  // std::from_chars<double> availability varies; stringstream is fine here
+  // (IO layer only, never on the solver hot path).
+  std::istringstream in{std::string(s)};
+  double v = 0;
+  in >> v;
+  if (in.fail() || !in.eof()) return std::nullopt;
+  return v;
+}
+
+inline bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// printf-style formatting into std::string, for report generation.
+template <typename... Args>
+std::string strFormat(const char* fmt, Args... args) {
+  int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+}  // namespace optr

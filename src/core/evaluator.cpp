@@ -1,0 +1,102 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace optr::core {
+
+std::vector<ClipOutcome> RuleEvaluator::solveAll(
+    const std::vector<clip::Clip>& clips, const tech::RuleConfig& rule,
+    double timeFactor) const {
+  OptRouterOptions ro = options_.router;
+  ro.mip.timeLimitSec *= timeFactor;
+  OptRouter router(tech_, rule, ro);
+  std::vector<ClipOutcome> out;
+  out.reserve(clips.size());
+  for (const clip::Clip& c : clips) {
+    RouteResult r = router.route(c);
+    ClipOutcome o;
+    o.status = r.status;
+    o.bestBound = r.bestBound;
+    o.seconds = r.seconds;
+    if (r.hasSolution()) {
+      o.cost = r.cost;
+      o.wirelength = r.wirelength;
+      o.vias = r.vias;
+    }
+    out.push_back(o);
+  }
+  return out;
+}
+
+EvaluationResult RuleEvaluator::evaluate(
+    const std::vector<clip::Clip>& clips) const {
+  EvaluationResult result;
+
+  // Reference first (longer budget: every delta keys off it).
+  tech::RuleConfig reference;
+  bool haveReference = false;
+  for (const tech::RuleConfig& rc : options_.rules) {
+    if (rc.name == options_.referenceRule) {
+      reference = rc;
+      haveReference = true;
+    }
+  }
+  OPTR_ASSERT(haveReference, "reference rule missing from the rule list");
+  result.reference =
+      solveAll(clips, reference, options_.referenceTimeFactor);
+
+  for (const tech::RuleConfig& rc : options_.rules) {
+    RuleOutcome ro;
+    ro.rule = rc;
+    ro.applicable = tech::ruleApplicable(rc, tech_);
+    if (!ro.applicable) {
+      result.rules.push_back(std::move(ro));
+      continue;
+    }
+    ro.clips = (rc.name == options_.referenceRule)
+                   ? result.reference
+                   : solveAll(clips, rc, 1.0);
+
+    double sum = 0;
+    for (std::size_t i = 0; i < clips.size(); ++i) {
+      const ClipOutcome& ref = result.reference[i];
+      const ClipOutcome& cur = ro.clips[i];
+      switch (cur.status) {
+        case RouteStatus::kOptimal:
+        case RouteStatus::kFeasible:
+          ++ro.feasible;
+          break;
+        case RouteStatus::kInfeasible:
+          ++ro.infeasible;
+          break;
+        default:
+          ++ro.unresolved;
+          break;
+      }
+      bool refOk = ref.status == RouteStatus::kOptimal ||
+                   ref.status == RouteStatus::kFeasible;
+      if (!refOk) continue;  // no reference: clip excluded from the figure
+      if (cur.status == RouteStatus::kOptimal ||
+          cur.status == RouteStatus::kFeasible) {
+        // Clamp at zero: a limit-hit reference is only an upper bound, so a
+        // tiny negative delta means "no measurable impact", not a speedup.
+        double d = std::max(0.0, cur.cost - ref.cost);
+        ro.sortedDelta.push_back(d);
+        sum += d;
+        ro.maxDelta = std::max(ro.maxDelta, d);
+      } else if (cur.status == RouteStatus::kInfeasible) {
+        ro.sortedDelta.push_back(std::numeric_limits<double>::infinity());
+      }
+    }
+    std::sort(ro.sortedDelta.begin(), ro.sortedDelta.end());
+    int finite = 0;
+    for (double d : ro.sortedDelta) finite += std::isfinite(d) ? 1 : 0;
+    ro.meanDelta = finite ? sum / finite : 0.0;
+    result.rules.push_back(std::move(ro));
+  }
+  return result;
+}
+
+}  // namespace optr::core

@@ -1,0 +1,82 @@
+// The BEOL rule-evaluation framework (paper Figure 6) as a library API.
+//
+// RuleEvaluator drives the paper's methodology over a clip set:
+//   for every applicable rule configuration
+//     for every clip
+//       solve with OptRouter -> cost / infeasible / unresolved
+//   delta-cost everything against the reference rule (RULE1).
+// The benches and the CLI are thin wrappers over this class; downstream
+// users evaluating their own prospective rules subclass nothing -- they
+// pass their own RuleConfig list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clip/clip.h"
+#include "core/opt_router.h"
+#include "tech/rules.h"
+
+namespace optr::core {
+
+struct EvaluationOptions {
+  OptRouterOptions router;
+  /// Rules to evaluate; inapplicable ones (tech::ruleApplicable) are
+  /// skipped and reported as such. Defaults to all of Table 3.
+  std::vector<tech::RuleConfig> rules = tech::table3Rules();
+  /// Name of the reference configuration for delta-cost (paper: RULE1).
+  std::string referenceRule = "RULE1";
+  /// Give the reference solve extra time: every delta keys off it.
+  double referenceTimeFactor = 2.0;
+};
+
+struct ClipOutcome {
+  RouteStatus status = RouteStatus::kUnknown;
+  double cost = 0;        // valid when status is optimal/feasible
+  double bestBound = 0;
+  int wirelength = 0;
+  int vias = 0;
+  double seconds = 0;
+};
+
+struct RuleOutcome {
+  tech::RuleConfig rule;
+  bool applicable = true;
+  std::vector<ClipOutcome> clips;   // parallel to the input clip list
+  /// Sorted delta-costs vs the reference (infinity for infeasible clips
+  /// with a finite reference; clips without reference are omitted),
+  /// the paper's Figure 10 series.
+  std::vector<double> sortedDelta;
+  int feasible = 0, infeasible = 0, unresolved = 0;
+  double meanDelta = 0, maxDelta = 0;  // over finite deltas
+};
+
+struct EvaluationResult {
+  std::vector<RuleOutcome> rules;
+  std::vector<ClipOutcome> reference;  // outcomes under the reference rule
+
+  const RuleOutcome* byName(const std::string& name) const {
+    for (const RuleOutcome& r : rules)
+      if (r.rule.name == name) return &r;
+    return nullptr;
+  }
+};
+
+class RuleEvaluator {
+ public:
+  RuleEvaluator(const tech::Technology& techn, EvaluationOptions options = {})
+      : tech_(techn), options_(std::move(options)) {}
+
+  /// Runs the full evaluation over the clip set.
+  EvaluationResult evaluate(const std::vector<clip::Clip>& clips) const;
+
+ private:
+  std::vector<ClipOutcome> solveAll(const std::vector<clip::Clip>& clips,
+                                    const tech::RuleConfig& rule,
+                                    double timeFactor) const;
+
+  tech::Technology tech_;
+  EvaluationOptions options_;
+};
+
+}  // namespace optr::core

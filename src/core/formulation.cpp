@@ -1,0 +1,706 @@
+#include "core/formulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optr::core {
+
+namespace {
+
+/// Axis helpers for SADP geometry: u = along preferred direction, t = track.
+struct AxisView {
+  bool horizontal;
+  int u(const clip::TrackPoint& p) const { return horizontal ? p.x : p.y; }
+  int t(const clip::TrackPoint& p) const { return horizontal ? p.y : p.x; }
+  clip::TrackPoint at(int u, int t, int z) const {
+    clip::TrackPoint p;
+    p.x = horizontal ? u : t;
+    p.y = horizontal ? t : u;
+    p.z = z;
+    return p;
+  }
+};
+
+}  // namespace
+
+Formulation::Formulation(const clip::Clip& clip,
+                         const grid::RoutingGraph& graph,
+                         FormulationOptions options)
+    : clip_(&clip), graph_(&graph), options_(options), drc_(clip, graph) {
+  stats_.numNets = static_cast<int>(clip.nets.size());
+  stats_.numArcs = graph.numArcs();
+  stats_.numVertices = graph.numVertices();
+
+  computeAvailability();
+  buildVariables();
+  buildFlowConservation();
+  buildArcExclusivity();
+  buildCoupling();
+  if (options_.eagerViaRules) buildEagerViaRules();
+  if (options_.eagerSadp) buildEagerSadp();
+
+  stats_.numVariables = model_.numCols();
+  stats_.numRows = model_.numRows();
+  for (bool b : isInteger_) stats_.numIntegerVars += b ? 1 : 0;
+}
+
+void Formulation::computeAvailability() {
+  const grid::RoutingGraph& g = *graph_;
+  const int numNets = stats_.numNets;
+  nets_.resize(numNets);
+
+  for (int k = 0; k < numNets; ++k) {
+    NetInfo& ni = nets_[k];
+    const clip::ClipNet& net = clip_->nets[k];
+    ni.numSinks = static_cast<int>(net.pins.size()) - 1;
+    ni.merged = options_.mergeTwoPinNets && ni.numSinks == 1;
+    for (const clip::TrackPoint& ap : clip_->pins[net.pins[0]].accessPoints) {
+      int v = g.vertexId(ap);
+      if (g.usableBy(v, k)) ni.sourceAps.push_back(v);
+    }
+    ni.sinkAps.resize(ni.numSinks);
+    for (int s = 0; s < ni.numSinks; ++s) {
+      for (const clip::TrackPoint& ap :
+           clip_->pins[net.pins[s + 1]].accessPoints) {
+        int v = g.vertexId(ap);
+        if (g.usableBy(v, k)) ni.sinkAps[s].push_back(v);
+      }
+    }
+
+    // Bounding box for optional region pruning.
+    int loX = g.nx(), hiX = -1, loY = g.ny(), hiY = -1;
+    if (options_.netBBoxMargin >= 0) {
+      auto extend = [&](int v) {
+        auto p = g.coords(v);
+        loX = std::min(loX, p.x);
+        hiX = std::max(hiX, p.x);
+        loY = std::min(loY, p.y);
+        hiY = std::max(hiY, p.y);
+      };
+      for (int v : ni.sourceAps) extend(v);
+      for (const auto& aps : ni.sinkAps)
+        for (int v : aps) extend(v);
+      loX -= options_.netBBoxMargin;
+      hiX += options_.netBBoxMargin;
+      loY -= options_.netBBoxMargin;
+      hiY += options_.netBBoxMargin;
+    }
+    int maxLayer = g.nz() - 1;
+    if (options_.netLayerMargin >= 0) {
+      int highestPin = 0;
+      auto raise = [&](int v) {
+        highestPin = std::max(highestPin, g.coords(v).z);
+      };
+      for (int v : ni.sourceAps) raise(v);
+      for (const auto& aps : ni.sinkAps)
+        for (int v : aps) raise(v);
+      maxLayer = std::min(maxLayer, highestPin + options_.netLayerMargin);
+    }
+    auto inBox = [&](int v) {
+      auto p = g.coords(v);
+      if (p.z > maxLayer) return false;
+      if (options_.netBBoxMargin < 0) return true;
+      return p.x >= loX && p.x <= hiX && p.y >= loY && p.y <= hiY;
+    };
+
+    ni.arcAvailable.assign(g.numArcs(), 0);
+    for (int a = 0; a < g.numArcs(); ++a) {
+      const grid::Arc& arc = g.arc(a);
+      bool ok = true;
+      if (arc.viaInstance >= 0) {
+        const grid::ViaInstance& inst = g.viaInstance(arc.viaInstance);
+        for (int cv : inst.coveredLower) {
+          if (!g.usableBy(cv, k) || !inBox(cv)) { ok = false; break; }
+        }
+        if (ok) {
+          for (int cv : inst.coveredUpper) {
+            if (!g.usableBy(cv, k) || !inBox(cv)) { ok = false; break; }
+          }
+        }
+      } else {
+        ok = g.usableBy(arc.from, k) && g.usableBy(arc.to, k) &&
+             inBox(arc.from) && inBox(arc.to);
+      }
+      ni.arcAvailable[a] = ok ? 1 : 0;
+    }
+  }
+}
+
+void Formulation::buildVariables() {
+  const grid::RoutingGraph& g = *graph_;
+  const int numNets = stats_.numNets;
+  eVar_.assign(numNets, std::vector<int>(g.numArcs(), -1));
+  fVar_.assign(numNets, std::vector<int>(g.numArcs(), -1));
+
+  auto addBinary = [&](double cost) {
+    int c = model_.addColumn(cost, 0.0, 1.0);
+    isInteger_.push_back(true);
+    return c;
+  };
+  auto addFlow = [&](double ub) {
+    int c = model_.addColumn(0.0, 0.0, ub);
+    isInteger_.push_back(false);
+    return c;
+  };
+
+  for (int k = 0; k < numNets; ++k) {
+    NetInfo& ni = nets_[k];
+    for (int a = 0; a < g.numArcs(); ++a) {
+      if (!ni.arcAvailable[a]) continue;
+      if (ni.merged) {
+        int c = addBinary(g.arc(a).cost);
+        eVar_[k][a] = c;
+        fVar_[k][a] = c;
+      } else {
+        eVar_[k][a] = addBinary(g.arc(a).cost);
+        fVar_[k][a] = addFlow(static_cast<double>(ni.numSinks));
+      }
+    }
+    // Private supersource / supersink flow columns (zero cost, never shared).
+    double srcUb = ni.merged ? 1.0 : static_cast<double>(ni.numSinks);
+    for (std::size_t i = 0; i < ni.sourceAps.size(); ++i)
+      ni.privateSourceF.push_back(addFlow(srcUb));
+    ni.privateSinkF.resize(ni.sinkAps.size());
+    for (std::size_t s = 0; s < ni.sinkAps.size(); ++s) {
+      for (std::size_t i = 0; i < ni.sinkAps[s].size(); ++i)
+        ni.privateSinkF[s].push_back(addFlow(1.0));
+    }
+  }
+}
+
+void Formulation::buildFlowConservation() {
+  const grid::RoutingGraph& g = *graph_;
+  for (int k = 0; k < stats_.numNets; ++k) {
+    NetInfo& ni = nets_[k];
+
+    // Supersource: total outflow equals the number of sinks.
+    {
+      lp::RowBuilder rb;
+      for (int c : ni.privateSourceF) rb.add(c, 1.0);
+      rb.sense = lp::RowSense::kEq;
+      rb.rhs = static_cast<double>(ni.numSinks);
+      model_.addRow(rb);
+    }
+    // Supersinks: one unit into each sink.
+    for (const auto& cols : ni.privateSinkF) {
+      lp::RowBuilder rb;
+      for (int c : cols) rb.add(c, 1.0);
+      rb.sense = lp::RowSense::kEq;
+      rb.rhs = 1.0;
+      model_.addRow(rb);
+    }
+
+    // Conservation at every vertex the net can touch. Private arcs feed
+    // source access points (inflow) and drain sink access points (outflow).
+    for (int v = 0; v < g.numVertices(); ++v) {
+      lp::RowBuilder rb;
+      for (int a : g.outArcs(v)) {
+        if (fVar_[k][a] >= 0) rb.add(fVar_[k][a], 1.0);
+      }
+      for (int a : g.inArcs(v)) {
+        if (fVar_[k][a] >= 0) rb.add(fVar_[k][a], -1.0);
+      }
+      for (std::size_t i = 0; i < ni.sourceAps.size(); ++i) {
+        if (ni.sourceAps[i] == v) rb.add(ni.privateSourceF[i], -1.0);
+      }
+      for (std::size_t s = 0; s < ni.sinkAps.size(); ++s) {
+        for (std::size_t i = 0; i < ni.sinkAps[s].size(); ++i) {
+          if (ni.sinkAps[s][i] == v) rb.add(ni.privateSinkF[s][i], 1.0);
+        }
+      }
+      if (rb.cols.empty()) continue;
+      rb.sense = lp::RowSense::kEq;
+      rb.rhs = 0.0;
+      model_.addRow(rb);
+    }
+  }
+}
+
+void Formulation::buildArcExclusivity() {
+  const grid::RoutingGraph& g = *graph_;
+  for (int a = 0; a < g.numArcs(); ++a) {
+    int rev = g.reverseArc(a);
+    if (rev >= 0 && rev < a) continue;  // handled from the lower id
+    lp::RowBuilder rb;
+    for (int k = 0; k < stats_.numNets; ++k) {
+      if (eVar_[k][a] >= 0) rb.add(eVar_[k][a], 1.0);
+      if (rev >= 0 && eVar_[k][rev] >= 0) rb.add(eVar_[k][rev], 1.0);
+    }
+    if (rb.cols.size() < 2) continue;  // a variable bound already says <= 1
+    rb.sense = lp::RowSense::kLe;
+    rb.rhs = 1.0;
+    model_.addRow(rb);
+  }
+}
+
+void Formulation::buildCoupling() {
+  const grid::RoutingGraph& g = *graph_;
+  for (int k = 0; k < stats_.numNets; ++k) {
+    const NetInfo& ni = nets_[k];
+    if (ni.merged) continue;
+    for (int a = 0; a < g.numArcs(); ++a) {
+      if (eVar_[k][a] < 0) continue;
+      {
+        // (2): e >= f / |Tk|   <=>   f - |Tk| e <= 0.
+        lp::RowBuilder rb;
+        rb.add(fVar_[k][a], 1.0);
+        rb.add(eVar_[k][a], -static_cast<double>(ni.numSinks));
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = 0.0;
+        model_.addRow(rb);
+      }
+      if (options_.emitUpperCoupling) {
+        // (3): e <= f.
+        lp::RowBuilder rb;
+        rb.add(eVar_[k][a], 1.0);
+        rb.add(fVar_[k][a], -1.0);
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = 0.0;
+        model_.addRow(rb);
+      }
+    }
+  }
+}
+
+void Formulation::addEnterTerms(lp::RowBuilder& rb, int net, int viaInst,
+                                int excludeNet) const {
+  const grid::RoutingGraph& g = *graph_;
+  const grid::ViaInstance& inst = g.viaInstance(viaInst);
+  for (int a : inst.arcs) {
+    grid::ArcKind kind = g.arc(a).kind;
+    if (kind != grid::ArcKind::kVia && kind != grid::ArcKind::kViaEnter)
+      continue;
+    if (net >= 0) {
+      if (eVar_[net][a] >= 0) rb.add(eVar_[net][a], 1.0);
+    } else {
+      for (int k = 0; k < stats_.numNets; ++k) {
+        if (k == excludeNet) continue;
+        if (eVar_[k][a] >= 0) rb.add(eVar_[k][a], 1.0);
+      }
+    }
+  }
+}
+
+bool Formulation::addRowDeduped(lp::LpModel& m, const lp::RowBuilder& rb) {
+  // Signature: sorted (col, coef*1024) pairs + sense + rhs.
+  std::vector<std::int64_t> sig;
+  std::vector<std::pair<int, double>> terms;
+  for (std::size_t i = 0; i < rb.cols.size(); ++i)
+    terms.emplace_back(rb.cols[i], rb.coefs[i]);
+  std::sort(terms.begin(), terms.end());
+  for (auto& [c, v] : terms) {
+    sig.push_back(c);
+    sig.push_back(static_cast<std::int64_t>(std::llround(v * 1024)));
+  }
+  sig.push_back(static_cast<std::int64_t>(rb.sense));
+  sig.push_back(static_cast<std::int64_t>(std::llround(rb.rhs * 1024)));
+  if (!emittedRows_.insert(std::move(sig)).second) return false;
+  m.addRow(rb);
+  return true;
+}
+
+void Formulation::buildEagerViaRules() {
+  const grid::RoutingGraph& g = *graph_;
+  const tech::ViaRestriction restriction = g.rule().viaRestriction;
+  const auto& vias = g.viaInstances();
+
+  auto conflictPair = [&](const grid::ViaInstance& a,
+                          const grid::ViaInstance& b) {
+    if (a.z != b.z) return false;
+    const auto& sa = g.rule().viaShapes[a.shape];
+    const auto& sb = g.rule().viaShapes[b.shape];
+    int gx = std::max({0, b.x - (a.x + sa.spanX - 1), a.x - (b.x + sb.spanX - 1)});
+    int gy = std::max({0, b.y - (a.y + sa.spanY - 1), a.y - (b.y + sb.spanY - 1)});
+    if (gx == 0 && gy == 0) return true;  // overlap: always illegal
+    switch (restriction) {
+      case tech::ViaRestriction::kNone: return false;
+      case tech::ViaRestriction::kOrthogonal: return gx + gy == 1;
+      case tech::ViaRestriction::kFull: return gx <= 1 && gy <= 1;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < vias.size(); ++i) {
+    for (std::size_t j = i + 1; j < vias.size(); ++j) {
+      if (!conflictPair(vias[i], vias[j])) continue;
+      lp::RowBuilder rb;
+      addEnterTerms(rb, -1, static_cast<int>(i), -1);
+      addEnterTerms(rb, -1, static_cast<int>(j), -1);
+      if (rb.cols.size() < 2) continue;
+      rb.sense = lp::RowSense::kLe;
+      rb.rhs = 1.0;
+      addRowDeduped(model_, rb);
+    }
+  }
+
+  // Footprint blocking (paper Constraint (5)) for shaped vias: per used
+  // instance and covered vertex, every other net is excluded.
+  for (std::size_t i = 0; i < vias.size(); ++i) {
+    const grid::ViaInstance& inst = vias[i];
+    if (g.rule().viaShapes[inst.shape].isUnit()) continue;
+    std::vector<int> covered = inst.coveredLower;
+    covered.insert(covered.end(), inst.coveredUpper.begin(),
+                   inst.coveredUpper.end());
+    for (int cv : covered) {
+      for (int kPrime = 0; kPrime < stats_.numNets; ++kPrime) {
+        lp::RowBuilder rb;
+        addEnterTerms(rb, -1, static_cast<int>(i), kPrime);
+        std::size_t enterTerms = rb.cols.size();
+        auto addIncident = [&](int a) {
+          if (g.arc(a).viaInstance == static_cast<int>(i)) return;
+          if (eVar_[kPrime][a] >= 0) rb.add(eVar_[kPrime][a], 1.0);
+        };
+        for (int a : g.outArcs(cv)) addIncident(a);
+        for (int a : g.inArcs(cv)) addIncident(a);
+        if (enterTerms == 0 || rb.cols.size() == enterTerms) continue;
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = 1.0;
+        addRowDeduped(model_, rb);
+      }
+    }
+  }
+}
+
+void Formulation::buildEagerSadp() {
+  const grid::RoutingGraph& g = *graph_;
+  if (!g.rule().hasSadp()) return;
+
+  // Per net and SADP-layer vertex: w = OR(via arcs at v),
+  // pr = eR AND w AND NOT eL, pl = eL AND w AND NOT eR,
+  // where eR/eL are the undirected usages of the +u / -u track edges.
+  // All three are continuous in [0,1]; integrality of e implies theirs.
+  struct Pvars {
+    int pr = -1, pl = -1;
+  };
+  // indexed [net][gridVertex]
+  std::vector<std::vector<Pvars>> pvars(
+      stats_.numNets, std::vector<Pvars>(g.numGridVertices()));
+
+  auto edgeUsageTerms = [&](int v, int du, std::vector<int>& cols) {
+    // Directed arcs of the track edge from v toward du (+1/-1 along u).
+    cols.clear();
+    auto p = g.coords(v);
+    AxisView ax{g.layerInfo(p.z).horizontal};
+    int u = ax.u(p) + du;
+    if (u < 0) return;
+    clip::TrackPoint q = ax.at(u, ax.t(p), p.z);
+    if (!clip_->inBounds(q)) return;
+    int w = g.vertexId(q);
+    for (int a : g.outArcs(v)) {
+      if (g.arc(a).to == w && g.arc(a).kind == grid::ArcKind::kPlanar) {
+        cols.push_back(a);
+        int rev = g.reverseArc(a);
+        if (rev >= 0) cols.push_back(rev);
+        break;
+      }
+    }
+  };
+
+  for (int k = 0; k < stats_.numNets; ++k) {
+    for (int v = 0; v < g.numGridVertices(); ++v) {
+      auto p = g.coords(v);
+      if (!g.rule().sadpOnMetal(g.metalOf(p.z))) continue;
+
+      // Via arcs at v available to this net.
+      std::vector<int> viaCols;
+      auto collect = [&](int a) {
+        if (g.arc(a).viaInstance < 0) return;
+        if (eVar_[k][a] >= 0) viaCols.push_back(eVar_[k][a]);
+      };
+      for (int a : g.outArcs(v)) collect(a);
+      for (int a : g.inArcs(v)) collect(a);
+      if (viaCols.empty()) continue;  // no via possible: never an EOL
+
+      std::vector<int> eRArcs, eLArcs;
+      edgeUsageTerms(v, +1, eRArcs);
+      edgeUsageTerms(v, -1, eLArcs);
+
+      auto usageCols = [&](const std::vector<int>& arcs) {
+        std::vector<int> cols;
+        for (int a : arcs)
+          if (eVar_[k][a] >= 0) cols.push_back(eVar_[k][a]);
+        return cols;
+      };
+      std::vector<int> eR = usageCols(eRArcs), eL = usageCols(eLArcs);
+      if (eR.empty() && eL.empty()) continue;
+
+      // w: OR of via arcs.
+      int w = model_.addColumn(0.0, 0.0, 1.0);
+      isInteger_.push_back(false);
+      for (int c : viaCols) {
+        lp::RowBuilder rb;  // w >= c
+        rb.add(w, 1.0).add(c, -1.0);
+        rb.sense = lp::RowSense::kGe;
+        rb.rhs = 0.0;
+        model_.addRow(rb);
+      }
+      {
+        lp::RowBuilder rb;  // w <= sum(viaCols)
+        rb.add(w, 1.0);
+        for (int c : viaCols) rb.add(c, -1.0);
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = 0.0;
+        model_.addRow(rb);
+      }
+
+      auto makeP = [&](const std::vector<int>& use,
+                       const std::vector<int>& avoid) {
+        if (use.empty()) return -1;
+        int pv = model_.addColumn(0.0, 0.0, 1.0);
+        isInteger_.push_back(false);
+        // p <= sum(use); p <= w; p <= 1 - sum(avoid);
+        // p >= sum(use) + w - sum(avoid) - 1.
+        {
+          lp::RowBuilder rb;
+          rb.add(pv, 1.0);
+          for (int c : use) rb.add(c, -1.0);
+          rb.sense = lp::RowSense::kLe;
+          rb.rhs = 0.0;
+          model_.addRow(rb);
+        }
+        {
+          lp::RowBuilder rb;
+          rb.add(pv, 1.0).add(w, -1.0);
+          rb.sense = lp::RowSense::kLe;
+          rb.rhs = 0.0;
+          model_.addRow(rb);
+        }
+        if (!avoid.empty()) {
+          lp::RowBuilder rb;
+          rb.add(pv, 1.0);
+          for (int c : avoid) rb.add(c, 1.0);
+          rb.sense = lp::RowSense::kLe;
+          rb.rhs = 1.0;
+          model_.addRow(rb);
+        }
+        {
+          lp::RowBuilder rb;
+          rb.add(pv, 1.0);
+          for (int c : use) rb.add(c, -1.0);
+          rb.add(w, -1.0);
+          for (int c : avoid) rb.add(c, 1.0);
+          rb.sense = lp::RowSense::kGe;
+          rb.rhs = -1.0;
+          model_.addRow(rb);
+        }
+        return pv;
+      };
+      pvars[k][v].pr = makeP(eR, eL);
+      pvars[k][v].pl = makeP(eL, eR);
+    }
+  }
+
+  // Conflict rows over net-summed p variables (paper (10)-(12)).
+  auto sumTerms = [&](lp::RowBuilder& rb, int v, bool right) {
+    bool any = false;
+    for (int k = 0; k < stats_.numNets; ++k) {
+      int c = right ? pvars[k][v].pr : pvars[k][v].pl;
+      if (c >= 0) {
+        rb.add(c, 1.0);
+        any = true;
+      }
+    }
+    return any;
+  };
+
+  for (int v = 0; v < g.numGridVertices(); ++v) {
+    auto p = g.coords(v);
+    if (!g.rule().sadpOnMetal(g.metalOf(p.z))) continue;
+    AxisView ax{g.layerInfo(p.z).horizontal};
+    int u = ax.u(p), t = ax.t(p);
+
+    auto emit = [&](bool iRight, int ju, int jt, bool jRight) {
+      clip::TrackPoint q = ax.at(ju, jt, p.z);
+      if (!clip_->inBounds(q)) return;
+      int jv = g.vertexId(q);
+      lp::RowBuilder rb;
+      bool a = sumTerms(rb, v, iRight);
+      std::size_t firstLen = rb.cols.size();
+      bool b = sumTerms(rb, jv, jRight);
+      if (!a || !b || rb.cols.size() == firstLen) return;
+      rb.sense = lp::RowSense::kLe;
+      rb.rhs = 1.0;
+      addRowDeduped(model_, rb);
+    };
+
+    // pr at (u,t): opposite-direction partners (pl) and same-direction (pr).
+    for (int dt : {-1, 1}) {
+      emit(true, u, t + dt, false);
+      emit(true, u - 1, t + dt, false);
+      emit(true, u, t + dt, true);
+      emit(true, u + 1, t + dt, true);
+      // pl-perspective mirrors:
+      emit(false, u, t + dt, true);
+      emit(false, u + 1, t + dt, true);
+      emit(false, u, t + dt, false);
+      emit(false, u - 1, t + dt, false);
+    }
+    emit(true, u - 1, t, false);
+    emit(true, u - 1, t, true);
+    emit(false, u + 1, t, true);
+    emit(false, u + 1, t, false);
+  }
+}
+
+route::RouteSolution Formulation::extractSolution(
+    const std::vector<double>& x) const {
+  route::RouteSolution sol;
+  sol.usedArcs.resize(stats_.numNets);
+  for (int k = 0; k < stats_.numNets; ++k) {
+    for (int a = 0; a < graph_->numArcs(); ++a) {
+      int c = eVar_[k][a];
+      if (c >= 0 && x[c] > 0.5) sol.usedArcs[k].push_back(a);
+    }
+  }
+  sol.normalize();
+  return sol;
+}
+
+std::vector<double> Formulation::encode(
+    const route::RouteSolution& sol) const {
+  const grid::RoutingGraph& g = *graph_;
+  std::vector<double> x(model_.numCols(), 0.0);
+
+  for (int k = 0; k < stats_.numNets; ++k) {
+    const NetInfo& ni = nets_[k];
+    if (static_cast<int>(sol.usedArcs.size()) <= k) return {};
+
+    // e variables; fail if the solution uses an arc this net cannot. Merged
+    // nets share one column for e and f, so only the flow walk writes it.
+    std::vector<int> inArcAt(g.numVertices(), -1);
+    for (int a : sol.usedArcs[k]) {
+      if (eVar_[k][a] < 0) return {};
+      if (!ni.merged) x[eVar_[k][a]] = 1.0;
+      int to = g.arc(a).to;
+      if (inArcAt[to] != -1) return {};  // not a tree
+      inArcAt[to] = a;
+    }
+
+    // Flows: walk each sink back to a source access point.
+    std::vector<char> isSourceAp(g.numVertices(), 0);
+    for (int v : ni.sourceAps) isSourceAp[v] = 1;
+    std::vector<int> sourceUse(ni.sourceAps.size(), 0);
+
+    for (std::size_t s = 0; s < ni.sinkAps.size(); ++s) {
+      int startAp = -1;
+      std::size_t apIndex = 0;
+      for (std::size_t i = 0; i < ni.sinkAps[s].size(); ++i) {
+        int v = ni.sinkAps[s][i];
+        if (inArcAt[v] >= 0 || isSourceAp[v]) {
+          startAp = v;
+          apIndex = i;
+          break;
+        }
+      }
+      if (startAp < 0) return {};
+      x[ni.privateSinkF[s][apIndex]] = 1.0;
+      int cur = startAp;
+      int guard = 0;
+      while (!isSourceAp[cur]) {
+        int a = inArcAt[cur];
+        if (a < 0 || ++guard > g.numArcs()) return {};
+        x[fVar_[k][a]] += 1.0;
+        cur = g.arc(a).from;
+      }
+      for (std::size_t i = 0; i < ni.sourceAps.size(); ++i) {
+        if (ni.sourceAps[i] == cur) {
+          ++sourceUse[i];
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < ni.sourceAps.size(); ++i)
+      x[ni.privateSourceF[i]] = static_cast<double>(sourceUse[i]);
+
+    // Flow upper bounds respected? (merged nets have ub 1.)
+    for (int a : sol.usedArcs[k]) {
+      int c = fVar_[k][a];
+      if (x[c] > model_.upper(c) + 1e-9) return {};
+      if (x[c] < 0.5) return {};  // used arc carrying no flow: stub
+    }
+  }
+  return x;
+}
+
+int Formulation::separate(const std::vector<double>& x, lp::LpModel& model) {
+  route::RouteSolution sol = extractSolution(x);
+  std::vector<route::Violation> violations = drc_.check(sol);
+  int added = 0;
+
+  for (const route::Violation& v : violations) {
+    lp::RowBuilder rb;
+    switch (v.kind) {
+      case route::ViolationKind::kArcConflict:
+      case route::ViolationKind::kOpenNet:
+        // Impossible by construction (rows (1) and (4)); if DRC flags one,
+        // the extraction threshold glitched -- nothing valid to separate.
+        continue;
+
+      case route::ViolationKind::kVertexConflict: {
+        if (v.netA < 0) continue;  // blocked vertex: unreachable, arcs absent
+        // No-good cut on the observed incident patterns.
+        for (int a : v.arcsA)
+          if (eVar_[v.netA][a] >= 0) rb.add(eVar_[v.netA][a], 1.0);
+        for (int a : v.arcsB)
+          if (eVar_[v.netB][a] >= 0) rb.add(eVar_[v.netB][a], 1.0);
+        if (rb.cols.size() < 2) continue;
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = static_cast<double>(rb.cols.size()) - 1.0;
+        break;
+      }
+
+      case route::ViolationKind::kViaAdjacency: {
+        addEnterTerms(rb, -1, v.viaA, -1);
+        if (v.viaB >= 0 && v.viaB != v.viaA) addEnterTerms(rb, -1, v.viaB, -1);
+        if (rb.cols.size() < 2) continue;
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = 1.0;
+        break;
+      }
+
+      case route::ViolationKind::kViaFootprint: {
+        if (v.netB < 0) continue;  // owner conflict: availability bug, not cut
+        addEnterTerms(rb, -1, v.viaA, v.netB);
+        std::size_t enterLen = rb.cols.size();
+        const grid::RoutingGraph& g = *graph_;
+        auto addIncident = [&](int a) {
+          if (g.arc(a).viaInstance == v.viaA) return;
+          if (eVar_[v.netB][a] >= 0) rb.add(eVar_[v.netB][a], 1.0);
+        };
+        for (int a : g.outArcs(v.vertex)) addIncident(a);
+        for (int a : g.inArcs(v.vertex)) addIncident(a);
+        if (enterLen == 0 || rb.cols.size() == enterLen) continue;
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = 1.0;
+        break;
+      }
+
+      case route::ViolationKind::kSadpEol: {
+        // Pattern cut: each bracket (E1 - E0 + via) reaches 2 only when the
+        // EOL is present with that via arc; forbid both brackets at 2.
+        auto bracket = [&](const route::EolInfo& e) {
+          int net = e.net;
+          auto add = [&](int arc, double coef) {
+            if (arc >= 0 && eVar_[net][arc] >= 0)
+              rb.add(eVar_[net][arc], coef);
+          };
+          add(e.e1Fwd, 1.0);
+          add(e.e1Rev, 1.0);
+          add(e.e0Fwd, -1.0);
+          add(e.e0Rev, -1.0);
+          add(e.viaArc, 1.0);
+        };
+        bracket(v.eolA);
+        bracket(v.eolB);
+        rb.sense = lp::RowSense::kLe;
+        rb.rhs = 3.0;
+        break;
+      }
+    }
+    if (addRowDeduped(model, rb)) ++added;
+  }
+  stats_.lazyRows += added;
+  return added;
+}
+
+}  // namespace optr::core

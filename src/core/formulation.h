@@ -1,0 +1,153 @@
+// The multi-commodity-flow ILP formulation of the paper's Section 3.
+//
+// Variables, per net k and physical arc a available to k:
+//   e[k][a] in {0,1}  -- arc usage (pays the arc cost in the objective);
+//   f[k][a] in [0,|Tk|] -- flow (continuous; integral automatically once e
+//                          is fixed, by network-flow integrality).
+// Private arcs (supersource -> access point, access point -> supersink)
+// carry only flow variables: they never conflict with other nets and have
+// zero cost. Two-pin nets get a single merged binary variable (e == f),
+// which removes roughly half the columns on typical clips (presolve step 3
+// in DESIGN.md).
+//
+// Rows:
+//   (1)  arc exclusivity across nets, per undirected arc pair;
+//   (2)  e >= f / |Tk|  (multi-pin nets only; rewritten f - |Tk| e <= 0);
+//   (3)  e <= f is omitted by default: with strictly positive arc costs the
+//        optimizer never pays for an unused arc, so the row is redundant at
+//        the optimum (kept available for the eager-exactness tests);
+//   (4)  flow conservation at every vertex, plus |Tk| out of the
+//        supersource and 1 into each supersink.
+// Design-rule rows (via adjacency, via-shape footprints, SADP end-of-line)
+// are emitted either eagerly (paper-faithful, used for complexity analysis
+// and small-instance cross-checks) or lazily through separate(), which turns
+// DrcChecker violations into valid cutting planes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "clip/clip.h"
+#include "grid/routing_graph.h"
+#include "ilp/mip.h"
+#include "lp/lp_model.h"
+#include "route/drc.h"
+#include "route/route_solution.h"
+
+namespace optr::core {
+
+struct FormulationOptions {
+  /// Emit all via-adjacency / footprint rows up front instead of lazily.
+  /// Eager is the default: the rows are few and the LP bound then prices via
+  /// restrictions, which prunes the search far better than lazy cuts (see
+  /// bench_ablation_lazy). SADP stays lazy by default because its eager
+  /// linearization multiplies the variable count (the paper's Section 4.2
+  /// complexity analysis).
+  bool eagerViaRules = true;
+  /// Emit the full SADP end-of-line linearization up front (p variables).
+  bool eagerSadp = false;
+  /// Emit the redundant e <= f coupling rows (paper Constraint (3)).
+  bool emitUpperCoupling = false;
+  /// Merge e and f for two-pin nets (always sound; disable only to measure
+  /// the unreduced model size).
+  bool mergeTwoPinNets = true;
+  /// When >= 0, restrict each net to the bounding box of its access points
+  /// expanded by this many tracks (a standard detailed-routing reduction;
+  /// < 0 routes on the full clip). Optimality is then relative to the
+  /// restricted region -- benches that enable this say so.
+  int netBBoxMargin = -1;
+  /// When >= 0, restrict each net to layers <= (highest pin layer + margin).
+  /// Same caveat as netBBoxMargin; ablated in bench_ablation_lazy.
+  int netLayerMargin = -1;
+};
+
+struct FormulationStats {
+  int numNets = 0;
+  int numArcs = 0;        // physical arcs in the graph
+  int numVertices = 0;
+  int numVariables = 0;
+  int numRows = 0;        // rows at build time (before lazy additions)
+  int numIntegerVars = 0;
+  int lazyRows = 0;       // rows added by separate() so far
+};
+
+class Formulation {
+ public:
+  Formulation(const clip::Clip& clip, const grid::RoutingGraph& graph,
+              FormulationOptions options = {});
+
+  lp::LpModel& model() { return model_; }
+  const lp::LpModel& model() const { return model_; }
+  const std::vector<bool>& integrality() const { return isInteger_; }
+  const FormulationStats& stats() const { return stats_; }
+
+  /// Column of e[k][a] (or the merged variable), -1 if the arc is not
+  /// available to the net.
+  int eVar(int net, int arc) const { return eVar_[net][arc]; }
+  /// True when the arc survives availability / region pruning for the net.
+  bool arcAvailableTo(int net, int arc) const { return eVar_[net][arc] >= 0; }
+  /// Column of f[k][a]; equals eVar for merged two-pin nets.
+  int fVar(int net, int arc) const { return fVar_[net][arc]; }
+
+  /// Reads arc usages out of a solver point.
+  route::RouteSolution extractSolution(const std::vector<double>& x) const;
+
+  /// Encodes a routed solution (e.g. the baseline router's) as a full
+  /// variable assignment for warm-starting the MIP; empty on failure (the
+  /// solution must be a family of source-rooted trees).
+  std::vector<double> encode(const route::RouteSolution& sol) const;
+
+  /// Lazy separation: extracts the candidate solution, runs DRC, appends
+  /// one cutting plane per violation (deduplicated); returns #rows added.
+  int separate(const std::vector<double>& x, lp::LpModel& model);
+
+  /// Convenience: a MipSolver lazy callback bound to this formulation.
+  ilp::LazySeparator separator() {
+    return [this](const std::vector<double>& x, lp::LpModel& m) {
+      return separate(x, m);
+    };
+  }
+
+  const grid::RoutingGraph& graph() const { return *graph_; }
+  const clip::Clip& clip() const { return *clip_; }
+
+ private:
+  struct NetInfo {
+    int numSinks = 0;
+    bool merged = false;          // two-pin merged e == f
+    std::vector<int> sourceAps;   // graph vertex ids
+    std::vector<std::vector<int>> sinkAps;  // per sink
+    std::vector<int> privateSourceF;        // f columns, parallel to sourceAps
+    std::vector<std::vector<int>> privateSinkF;
+    std::vector<char> arcAvailable;
+  };
+
+  void computeAvailability();
+  void buildVariables();
+  void buildFlowConservation();
+  void buildArcExclusivity();
+  void buildCoupling();
+  void buildEagerViaRules();
+  void buildEagerSadp();
+
+  bool arcAvailable(int net, int arc) const;
+  /// Sum of e over a via instance's "enter" arcs for one net, as row terms.
+  void addEnterTerms(lp::RowBuilder& rb, int net, int viaInst,
+                     int excludeNet) const;
+  bool addRowDeduped(lp::LpModel& m, const lp::RowBuilder& rb);
+
+  const clip::Clip* clip_;
+  const grid::RoutingGraph* graph_;
+  FormulationOptions options_;
+  lp::LpModel model_;
+  std::vector<bool> isInteger_;
+  FormulationStats stats_;
+
+  std::vector<NetInfo> nets_;
+  std::vector<std::vector<int>> eVar_, fVar_;
+  route::DrcChecker drc_;
+  std::set<std::vector<std::int64_t>> emittedRows_;  // dedup signatures
+};
+
+}  // namespace optr::core

@@ -1,0 +1,77 @@
+#include "core/improver.h"
+
+#include <atomic>
+#include <thread>
+
+#include "route/maze_router.h"
+
+namespace optr::core {
+
+LocalImprover::LocalImprover(const tech::Technology& techn,
+                             const tech::RuleConfig& rule,
+                             ImproverOptions options)
+    : tech_(techn), rule_(rule), options_(options) {}
+
+ClipImprovement LocalImprover::improveOne(const clip::Clip& clip) const {
+  ClipImprovement out;
+  out.clipId = clip.id;
+
+  grid::RoutingGraph graph(clip, tech_, rule_);
+  route::MazeRouter maze(clip, graph);
+  route::MazeResult mr = maze.route();
+  out.baselineRouted = mr.success;
+  if (mr.success) {
+    out.baselineCost = mr.solution.totalCost(graph);
+    out.solution = mr.solution;
+    out.optimalCost = out.baselineCost;
+  }
+
+  OptRouter router(tech_, rule_, options_.router);
+  RouteResult rr = router.route(clip);
+  out.status = rr.status;
+  if (rr.hasSolution() &&
+      (!mr.success || rr.cost < out.baselineCost - 1e-9)) {
+    out.solution = rr.solution;
+    out.optimalCost = rr.cost;
+    out.improved = mr.success;  // "improved" only when there was a baseline
+  }
+  return out;
+}
+
+ImprovementReport LocalImprover::improve(
+    const std::vector<clip::Clip>& clips) const {
+  ImprovementReport report;
+  report.clips.resize(clips.size());
+
+  const int threads =
+      std::max(1, std::min<int>(options_.threads,
+                                static_cast<int>(clips.size())));
+  if (threads == 1) {
+    for (std::size_t i = 0; i < clips.size(); ++i)
+      report.clips[i] = improveOne(clips[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= clips.size()) return;
+        report.clips[i] = improveOne(clips[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const ClipImprovement& ci : report.clips) {
+    if (!ci.baselineRouted) continue;
+    ++report.attempted;
+    report.costBefore += ci.baselineCost;
+    report.costAfter += ci.optimalCost;
+    report.improved += ci.improved ? 1 : 0;
+  }
+  return report;
+}
+
+}  // namespace optr::core

@@ -1,0 +1,62 @@
+// Local improvement of detailed-routing solutions (paper Section 5 future
+// work: "our results ... open up the possibility of (massively distributed)
+// local improvement of detailed routing solutions").
+//
+// The improver takes a set of clips, obtains a heuristic routing for each
+// (the baseline maze router -- standing in for a production router's
+// as-routed state), then re-solves each clip with OptRouter and keeps the
+// better result. Clips are independent switchboxes, so the loop is
+// embarrassingly parallel; `threads > 1` distributes clips across worker
+// threads while keeping the output deterministic (results are indexed, not
+// streamed).
+#pragma once
+
+#include <vector>
+
+#include "core/opt_router.h"
+
+namespace optr::core {
+
+struct ImproverOptions {
+  OptRouterOptions router;
+  int threads = 1;  // worker threads across clips
+};
+
+struct ClipImprovement {
+  std::string clipId;
+  bool baselineRouted = false;  // heuristic found a DRC-clean routing
+  bool improved = false;        // OptRouter beat the heuristic cost
+  double baselineCost = 0;
+  double optimalCost = 0;       // best OptRouter cost (== baseline if worse)
+  RouteStatus status = RouteStatus::kUnknown;
+  route::RouteSolution solution;  // the better of the two routings
+};
+
+struct ImprovementReport {
+  std::vector<ClipImprovement> clips;
+  int attempted = 0;   // clips where the baseline routed
+  int improved = 0;    // clips where OptRouter strictly reduced cost
+  double costBefore = 0;
+  double costAfter = 0;
+
+  double totalSaving() const { return costBefore - costAfter; }
+};
+
+class LocalImprover {
+ public:
+  LocalImprover(const tech::Technology& techn, const tech::RuleConfig& rule,
+                ImproverOptions options = {});
+
+  /// Routes every clip heuristically, re-optimizes with OptRouter, returns
+  /// the per-clip outcomes and aggregate statistics.
+  ImprovementReport improve(const std::vector<clip::Clip>& clips) const;
+
+ private:
+  ClipImprovement improveOne(const clip::Clip& clip) const;
+
+  tech::Technology tech_;
+  tech::RuleConfig rule_;
+  ImproverOptions options_;
+};
+
+}  // namespace optr::core

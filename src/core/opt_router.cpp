@@ -1,0 +1,105 @@
+#include "core/opt_router.h"
+
+namespace optr::core {
+
+const char* toString(RouteStatus s) {
+  switch (s) {
+    case RouteStatus::kOptimal: return "optimal";
+    case RouteStatus::kFeasible: return "feasible";
+    case RouteStatus::kInfeasible: return "infeasible";
+    case RouteStatus::kUnknown: return "unknown";
+    case RouteStatus::kError: return "error";
+  }
+  return "?";
+}
+
+OptRouter::OptRouter(const tech::Technology& techn,
+                     const tech::RuleConfig& rule, OptRouterOptions options)
+    : tech_(techn), rule_(rule), options_(options) {}
+
+RouteResult OptRouter::route(const clip::Clip& clip) const {
+  RouteResult result;
+  Status valid = clip.validate();
+  if (!valid) return result;  // kError
+
+  grid::RoutingGraph graph(clip, tech_, rule_);
+  Formulation formulation(clip, graph, options_.formulation);
+
+  ilp::MipSolver mip(formulation.model(), formulation.integrality(),
+                     options_.mip);
+  mip.setLazySeparator(formulation.separator());
+
+  // Warm start: route heuristically within the same per-net arc regions;
+  // only a DRC-clean solution may seed the exact search (the MIP trusts the
+  // incumbent's rule feasibility).
+  route::MazeResult heuristic;
+  if (options_.warmStart) {
+    route::MazeOptions mo = options_.mazeOptions;
+    mo.arcFilter = [&formulation](int net, int arc) {
+      return formulation.arcAvailableTo(net, arc);
+    };
+    route::MazeRouter maze(clip, graph, mo);
+    heuristic = maze.route();
+    if (heuristic.success) {
+      std::vector<double> seed = formulation.encode(heuristic.solution);
+      if (!seed.empty() && mip.setInitialIncumbent(seed)) {
+        result.warmStartUsed = true;
+      }
+    }
+  }
+
+  ilp::MipResult mr = mip.solve();
+  result.seconds = mr.seconds;
+  result.nodes = mr.nodes;
+  result.lpIterations = mr.lpIterations;
+  result.lazyRows = mr.lazyRowsAdded;
+  result.bestBound = mr.bestBound;
+  result.formulationStats = formulation.stats();
+
+  switch (mr.status) {
+    case ilp::MipStatus::kOptimal:
+      result.status = RouteStatus::kOptimal;
+      break;
+    case ilp::MipStatus::kFeasibleLimit:
+      result.status = RouteStatus::kFeasible;
+      break;
+    case ilp::MipStatus::kInfeasible:
+      result.status = RouteStatus::kInfeasible;
+      break;
+    case ilp::MipStatus::kNoSolutionLimit:
+      result.status = RouteStatus::kUnknown;
+      break;
+    case ilp::MipStatus::kError:
+      result.status = RouteStatus::kError;
+      break;
+  }
+  if (!mr.hasSolution()) {
+    // Last resort: if the exact search timed out without a conclusion but
+    // the heuristic produced a DRC-clean routing, a rule-correct solution
+    // does exist -- report it as feasible (not proven optimal).
+    if (result.status == RouteStatus::kUnknown && heuristic.success) {
+      result.status = RouteStatus::kFeasible;
+      result.solution = heuristic.solution;
+      result.cost = result.solution.totalCost(graph);
+      result.wirelength = result.solution.wirelength(graph);
+      result.vias = result.solution.viaCount(graph);
+    }
+    return result;
+  }
+
+  result.solution = formulation.extractSolution(mr.x);
+  result.cost = result.solution.totalCost(graph);
+  result.wirelength = result.solution.wirelength(graph);
+  result.vias = result.solution.viaCount(graph);
+
+  // Paranoia: an "optimal" answer must be rule-clean. A violation here means
+  // a separation gap -- downgrade to error loudly rather than report a wrong
+  // optimum.
+  route::DrcChecker drc(clip, graph);
+  if (!drc.check(result.solution).empty()) {
+    result.status = RouteStatus::kError;
+  }
+  return result;
+}
+
+}  // namespace optr::core

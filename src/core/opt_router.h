@@ -1,0 +1,82 @@
+// OptRouter: the paper's ILP-based optimal detailed router.
+//
+// Given a clip, a technology, and a design-rule configuration, OptRouter
+// builds the routing graph and multi-commodity-flow ILP (core/formulation),
+// optionally warm-starts the branch-and-bound with the heuristic baseline
+// router's DRC-clean solution, and solves to proven optimality (or proven
+// infeasibility -- the signal the paper uses for "unroutable clips").
+//
+// Typical use:
+//   auto techn = tech::Technology::n28_12t();
+//   auto rule  = tech::ruleByName("RULE3").value();
+//   core::OptRouter router(techn, rule);
+//   core::RouteResult res = router.route(myClip);
+//   if (res.status == core::RouteStatus::kOptimal)
+//     std::cout << res.cost << " = " << res.wirelength << " + 4*" << res.vias;
+#pragma once
+
+#include <cstdint>
+
+#include "clip/clip.h"
+#include "core/formulation.h"
+#include "ilp/mip.h"
+#include "route/maze_router.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+
+namespace optr::core {
+
+enum class RouteStatus : std::uint8_t {
+  kOptimal,     // proven minimum-cost rule-correct routing
+  kFeasible,    // limit hit; a rule-correct routing exists (not proven best)
+  kInfeasible,  // proven: no rule-correct routing exists (unroutable clip)
+  kUnknown,     // limit hit before any conclusion
+  kError,       // numerical failure in the solver stack
+};
+
+const char* toString(RouteStatus s);
+
+struct OptRouterOptions {
+  FormulationOptions formulation;
+  ilp::MipOptions mip{.timeLimitSec = 120.0};
+  /// Seed branch-and-bound with the baseline maze router's solution.
+  bool warmStart = true;
+  route::MazeOptions mazeOptions;
+};
+
+struct RouteResult {
+  RouteStatus status = RouteStatus::kError;
+  route::RouteSolution solution;  // valid for kOptimal / kFeasible
+  double cost = 0.0;              // wirelength + viaWeight * vias
+  int wirelength = 0;
+  int vias = 0;
+  double bestBound = 0.0;  // proven lower bound (== cost when optimal)
+  double seconds = 0.0;
+  std::int64_t nodes = 0;
+  std::int64_t lpIterations = 0;
+  int lazyRows = 0;
+  bool warmStartUsed = false;
+  FormulationStats formulationStats;
+
+  bool hasSolution() const {
+    return status == RouteStatus::kOptimal || status == RouteStatus::kFeasible;
+  }
+};
+
+class OptRouter {
+ public:
+  OptRouter(const tech::Technology& techn, const tech::RuleConfig& rule,
+            OptRouterOptions options = {});
+
+  /// Solves one clip. Stateless across calls (safe to reuse).
+  RouteResult route(const clip::Clip& clip) const;
+
+  const OptRouterOptions& options() const { return options_; }
+
+ private:
+  tech::Technology tech_;
+  tech::RuleConfig rule_;
+  OptRouterOptions options_;
+};
+
+}  // namespace optr::core

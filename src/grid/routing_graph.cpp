@@ -1,0 +1,148 @@
+#include "grid/routing_graph.h"
+
+namespace optr::grid {
+
+RoutingGraph::RoutingGraph(const clip::Clip& clip,
+                           const tech::Technology& techn,
+                           const tech::RuleConfig& rule)
+    : nx_(clip.tracksX), ny_(clip.tracksY), nz_(clip.numLayers),
+      tech_(techn), rule_(rule) {
+  OPTR_ASSERT(nz_ <= techn.numLayers(),
+              "clip uses more layers than the technology provides");
+  numVertices_ = numGridVertices();
+  owner_.assign(numGridVertices(), kVertexFree);
+
+  // Pin geometry is reserved for the owning net; obstacles block everyone.
+  // Virtual pins (escape regions) reserve nothing.
+  for (const clip::ClipPin& pin : clip.pins) {
+    if (pin.isVirtual) continue;
+    for (const clip::TrackPoint& ap : pin.accessPoints) {
+      int v = vertexId(ap);
+      if (owner_[v] == kVertexFree) {
+        owner_[v] = pin.net;
+      } else if (owner_[v] != pin.net) {
+        // Two different nets claim the same vertex (abutting pins); nobody
+        // may route *through* it, though both pins keep it as an access
+        // point. Routers treat access points specially.
+        owner_[v] = kVertexBlocked;
+      }
+    }
+  }
+  for (const clip::TrackPoint& o : clip.obstacles) {
+    owner_[vertexId(o)] = kVertexBlocked;
+  }
+
+  buildPlanarArcs();
+  buildVias();
+
+  // Adjacency (built once arcs are final).
+  outArcs_.assign(numVertices_, {});
+  inArcs_.assign(numVertices_, {});
+  for (int a = 0; a < numArcs(); ++a) {
+    outArcs_[arcs_[a].from].push_back(a);
+    inArcs_[arcs_[a].to].push_back(a);
+  }
+
+  // Reverse-arc index: planar and unit-via arcs come in (from,to)/(to,from)
+  // pairs created back to back.
+  reverse_.assign(numArcs(), -1);
+  for (int a = 0; a + 1 < numArcs(); ++a) {
+    if (arcs_[a].from == arcs_[a + 1].to && arcs_[a].to == arcs_[a + 1].from &&
+        arcs_[a].kind == arcs_[a + 1].kind &&
+        arcs_[a].kind != ArcKind::kViaEnter &&
+        arcs_[a].kind != ArcKind::kViaExit) {
+      reverse_[a] = a + 1;
+      reverse_[a + 1] = a;
+      ++a;
+    }
+  }
+}
+
+int RoutingGraph::addArc(int from, int to, double cost, ArcKind kind,
+                         int viaInst, int layer) {
+  Arc arc;
+  arc.from = from;
+  arc.to = to;
+  arc.cost = cost;
+  arc.kind = kind;
+  arc.viaInstance = viaInst;
+  arc.layer = layer;
+  arcs_.push_back(arc);
+  return numArcs() - 1;
+}
+
+void RoutingGraph::buildPlanarArcs() {
+  for (int z = 0; z < nz_; ++z) {
+    const tech::LayerInfo& li = tech_.layers[z];
+    const bool allowHorizontal = li.horizontal || !rule_.unidirectional;
+    const bool allowVertical = !li.horizontal || !rule_.unidirectional;
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        if (allowHorizontal && x + 1 < nx_) {
+          int a = vertexId(x, y, z), b = vertexId(x + 1, y, z);
+          addArc(a, b, 1.0, ArcKind::kPlanar, -1, z);
+          addArc(b, a, 1.0, ArcKind::kPlanar, -1, z);
+        }
+        if (allowVertical && y + 1 < ny_) {
+          int a = vertexId(x, y, z), b = vertexId(x, y + 1, z);
+          addArc(a, b, 1.0, ArcKind::kPlanar, -1, z);
+          addArc(b, a, 1.0, ArcKind::kPlanar, -1, z);
+        }
+      }
+    }
+  }
+}
+
+void RoutingGraph::buildVias() {
+  const auto& shapes = rule_.viaShapes;
+  OPTR_ASSERT(!shapes.empty(), "rule config must allow at least one via shape");
+  for (int z = 0; z + 1 < nz_; ++z) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      const tech::ViaShape& shape = shapes[s];
+      const double viaCost = rule_.viaCostWeight * shape.costFactor;
+      for (int y = 0; y + shape.spanY <= ny_; ++y) {
+        for (int x = 0; x + shape.spanX <= nx_; ++x) {
+          ViaInstance inst;
+          inst.shape = static_cast<int>(s);
+          inst.x = x;
+          inst.y = y;
+          inst.z = z;
+          for (int dy = 0; dy < shape.spanY; ++dy) {
+            for (int dx = 0; dx < shape.spanX; ++dx) {
+              inst.coveredLower.push_back(vertexId(x + dx, y + dy, z));
+              inst.coveredUpper.push_back(vertexId(x + dx, y + dy, z + 1));
+            }
+          }
+          int id = static_cast<int>(vias_.size());
+          if (shape.isUnit()) {
+            int lo = inst.coveredLower[0], hi = inst.coveredUpper[0];
+            inst.arcs.push_back(
+                addArc(lo, hi, viaCost, ArcKind::kVia, id, z));
+            inst.arcs.push_back(
+                addArc(hi, lo, viaCost, ArcKind::kVia, id, z));
+          } else {
+            // Representative vertices; the full via cost sits on the enter
+            // arc so one traversal pays exactly once.
+            inst.upVertex = numVertices_++;
+            inst.dnVertex = numVertices_++;
+            for (int lo : inst.coveredLower) {
+              inst.arcs.push_back(addArc(lo, inst.upVertex, viaCost,
+                                         ArcKind::kViaEnter, id, z));
+              inst.arcs.push_back(addArc(inst.dnVertex, lo, 0.0,
+                                         ArcKind::kViaExit, id, z));
+            }
+            for (int hi : inst.coveredUpper) {
+              inst.arcs.push_back(addArc(inst.upVertex, hi, 0.0,
+                                         ArcKind::kViaExit, id, z));
+              inst.arcs.push_back(addArc(hi, inst.dnVertex, viaCost,
+                                         ArcKind::kViaEnter, id, z));
+            }
+          }
+          vias_.push_back(std::move(inst));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace optr::grid

@@ -1,0 +1,141 @@
+// The 3D routing graph G(V, A) of the paper's Section 3.
+//
+// Vertices are track intersections (x, y, z) plus representative vertices
+// for non-unit via shapes (Figure 2). Directed arcs are:
+//   * planar arcs along a layer's track (off-preferred-direction arcs are
+//     removed on unidirectional layers),
+//   * unit-via arcs between vertically adjacent grid vertices,
+//   * via-shape arcs routing flow through a representative vertex: an upward
+//     traversal enters `upVertex` from any covered lower-layer vertex and
+//     exits to any covered upper-layer vertex (and symmetrically down
+//     through `dnVertex`). Splitting up/down prevents a net from abusing a
+//     via footprint as a free planar bridge.
+//
+// Costs implement the paper's objective (wirelength + 4 x #vias): planar
+// arcs cost 1 per track step, via traversals cost viaCostWeight scaled by
+// the shape's costFactor (larger shapes are discounted so the optimizer
+// prefers the more manufacturable via).
+//
+// The graph is shared by OptRouter's ILP formulation, the DRC checker, and
+// the heuristic baseline router. Net-specific elements (supersources,
+// supersinks) are NOT part of this graph; each router layers them on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clip/clip.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+
+namespace optr::grid {
+
+enum class ArcKind : std::uint8_t {
+  kPlanar,     // along-track step
+  kVia,        // unit via between grid vertices
+  kViaEnter,   // grid vertex -> via-shape representative vertex
+  kViaExit,    // via-shape representative vertex -> grid vertex
+};
+
+struct Arc {
+  int from = -1;
+  int to = -1;
+  double cost = 0.0;
+  ArcKind kind = ArcKind::kPlanar;
+  int viaInstance = -1;  // instance id for kVia/kViaEnter/kViaExit, else -1
+  int layer = -1;        // layer of a planar arc; lower layer of a via
+};
+
+/// One candidate via placement (including unit vias): the footprint spans
+/// [x, x+spanX) x [y, y+spanY) on layers z (lower) and z+1 (upper).
+struct ViaInstance {
+  int shape = 0;  // index into RuleConfig::viaShapes
+  int x = 0, y = 0, z = 0;
+  std::vector<int> coveredLower;  // grid vertex ids on layer z
+  std::vector<int> coveredUpper;  // grid vertex ids on layer z+1
+  int upVertex = -1;  // representative vertices (-1 for unit vias)
+  int dnVertex = -1;
+  std::vector<int> arcs;  // all arc ids belonging to this instance
+};
+
+/// Vertex ownership: who may route through a grid vertex.
+constexpr int kVertexFree = -1;     // any net
+constexpr int kVertexBlocked = -2;  // no net (obstacle / rail)
+// values >= 0: reserved for that net id (pin geometry)
+
+class RoutingGraph {
+ public:
+  RoutingGraph(const clip::Clip& clip, const tech::Technology& techn,
+               const tech::RuleConfig& rule);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int numGridVertices() const { return nx_ * ny_ * nz_; }
+  int numVertices() const { return numVertices_; }
+
+  int vertexId(int x, int y, int z) const {
+    return (z * ny_ + y) * nx_ + x;
+  }
+  int vertexId(const clip::TrackPoint& p) const {
+    return vertexId(p.x, p.y, p.z);
+  }
+  bool isGridVertex(int v) const { return v < numGridVertices(); }
+  clip::TrackPoint coords(int v) const {
+    clip::TrackPoint p;
+    p.x = v % nx_;
+    p.y = (v / nx_) % ny_;
+    p.z = v / (nx_ * ny_);
+    return p;
+  }
+
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  const Arc& arc(int a) const { return arcs_[a]; }
+  int numArcs() const { return static_cast<int>(arcs_.size()); }
+  const std::vector<int>& outArcs(int v) const { return outArcs_[v]; }
+  const std::vector<int>& inArcs(int v) const { return inArcs_[v]; }
+  /// Reverse arc id for planar/unit-via arcs (to <-> from), or -1 when the
+  /// reverse direction does not exist (unidirectional pruning, shape arcs).
+  int reverseArc(int a) const { return reverse_[a]; }
+
+  const std::vector<ViaInstance>& viaInstances() const { return vias_; }
+  const ViaInstance& viaInstance(int i) const { return vias_[i]; }
+
+  /// Ownership of a grid vertex (kVertexFree / kVertexBlocked / net id).
+  int vertexOwner(int v) const { return owner_[v]; }
+  /// True when net `net` may route through vertex v. Representative via
+  /// vertices defer to their instance footprint (checked separately).
+  bool usableBy(int v, int net) const {
+    if (!isGridVertex(v)) return true;
+    int o = owner_[v];
+    return o == kVertexFree || o == net;
+  }
+
+  const tech::Technology& technology() const { return tech_; }
+  const tech::RuleConfig& rule() const { return rule_; }
+  const tech::LayerInfo& layerInfo(int z) const { return tech_.layers[z]; }
+
+  /// Metal number of a routing layer (z = 0 -> M2).
+  int metalOf(int z) const { return tech_.layers[z].metal; }
+
+ private:
+  void buildPlanarArcs();
+  void buildVias();
+  int addArc(int from, int to, double cost, ArcKind kind, int viaInst,
+             int layer);
+
+  int nx_, ny_, nz_;
+  int numVertices_ = 0;
+  // Stored by value: callers may pass temporaries (e.g. a preset factory
+  // call), and the graph outlives most call sites.
+  tech::Technology tech_;
+  tech::RuleConfig rule_;
+
+  std::vector<Arc> arcs_;
+  std::vector<int> reverse_;
+  std::vector<std::vector<int>> outArcs_, inArcs_;
+  std::vector<ViaInstance> vias_;
+  std::vector<int> owner_;
+};
+
+}  // namespace optr::grid

@@ -1,0 +1,273 @@
+#include "ilp/mip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace optr::ilp {
+
+const char* toString(MipStatus s) {
+  switch (s) {
+    case MipStatus::kOptimal: return "optimal";
+    case MipStatus::kInfeasible: return "infeasible";
+    case MipStatus::kFeasibleLimit: return "feasible-limit";
+    case MipStatus::kNoSolutionLimit: return "no-solution-limit";
+    case MipStatus::kError: return "error";
+  }
+  return "?";
+}
+
+MipSolver::MipSolver(lp::LpModel& model, std::vector<bool> isInteger,
+                     MipOptions options)
+    : model_(model),
+      isInteger_(std::move(isInteger)),
+      options_(options),
+      lpSolver_(options.lpOptions) {
+  OPTR_ASSERT(static_cast<int>(isInteger_.size()) == model_.numCols(),
+              "integrality mask size mismatch");
+}
+
+bool MipSolver::setInitialIncumbent(const std::vector<double>& x) {
+  if (static_cast<int>(x.size()) != model_.numCols()) return false;
+  if (!model_.isFeasible(x, 1e-6)) return false;
+  for (int c = 0; c < model_.numCols(); ++c) {
+    if (isInteger_[c] &&
+        std::abs(x[c] - std::round(x[c])) > options_.intTol) {
+      return false;
+    }
+  }
+  incumbent_ = x;
+  incumbentObj_ = model_.objectiveValue(x);
+  hasIncumbent_ = true;
+  return true;
+}
+
+bool MipSolver::timeUp() const {
+  return std::chrono::steady_clock::now() >= deadline_;
+}
+
+int MipSolver::pickBranchVariable(const std::vector<double>& x) const {
+  int best = -1;
+  double bestScore = 0.0;
+  for (int c = 0; c < model_.numCols(); ++c) {
+    if (!isInteger_[c]) continue;
+    double frac = std::abs(x[c] - std::round(x[c]));
+    if (frac <= options_.intTol) continue;
+    // Most-fractional, weighted by objective impact: branching on expensive
+    // variables (vias) moves the bound fastest.
+    double score = frac * (1.0 + std::abs(model_.objective(c)));
+    if (score > bestScore) {
+      bestScore = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+MipResult MipSolver::solve() {
+  MipResult result;
+  auto t0 = std::chrono::steady_clock::now();
+  deadline_ = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(options_.timeLimitSec));
+
+  // When every integer column has an integral objective coefficient and all
+  // continuous columns are costless, the optimum is integral: nodes whose
+  // bound is within 1 of the incumbent can be pruned.
+  double gapTol = options_.objectiveGapTol;
+  {
+    bool integralObjective = true;
+    for (int c = 0; c < model_.numCols(); ++c) {
+      double o = model_.objective(c);
+      if (!isInteger_[c] && o != 0.0) integralObjective = false;
+      if (std::abs(o - std::round(o)) > 1e-12) integralObjective = false;
+    }
+    if (integralObjective) gapTol = std::max(gapTol, 1.0 - 1e-6);
+  }
+
+  // Snapshot root bounds so we can apply/undo node fixes and restore at exit.
+  const int n = model_.numCols();
+  std::vector<double> rootLower(n), rootUpper(n);
+  for (int c = 0; c < n; ++c) {
+    rootLower[c] = model_.lower(c);
+    rootUpper[c] = model_.upper(c);
+  }
+  auto applyFixes = [&](const Node& node) {
+    for (auto& [c, lb, ub] : node.fixes) model_.setBounds(c, lb, ub);
+  };
+  auto undoFixes = [&](const Node& node) {
+    for (auto& [c, lb, ub] : node.fixes) {
+      (void)lb;
+      (void)ub;
+      model_.setBounds(c, rootLower[c], rootUpper[c]);
+    }
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+
+  double bestBound = -lp::kInfinity;
+  bool limitHit = false;
+
+  // Hybrid search: after branching, dive into the child suggested by the LP
+  // rounding (fast incumbents, cheap node re-use); fall back to best-first
+  // from the heap when the dive bottoms out.
+  bool haveCurrent = true;
+  bool currentFromHeap = true;
+  Node current{{}, -lp::kInfinity};
+
+  while (haveCurrent || !open.empty()) {
+    if (timeUp() || result.nodes >= options_.maxNodes) {
+      limitHit = true;
+      break;
+    }
+    Node node;
+    if (haveCurrent) {
+      node = std::move(current);
+      haveCurrent = false;
+    } else {
+      node = open.top();
+      open.pop();
+      currentFromHeap = true;
+    }
+
+    if (hasIncumbent_ && node.bound >= incumbentObj_ - gapTol) {
+      if (currentFromHeap) {
+        // Heap pops in bound order: everything remaining is dominated too.
+        bestBound = incumbentObj_;
+        break;
+      }
+      continue;  // prune the dive child only
+    }
+
+    ++result.nodes;
+    applyFixes(node);
+
+    // Lazy-constraint loop: re-solve this node while the separator keeps
+    // cutting off its integer optimum. Whenever the solver's internal state
+    // still matches the model (same columns, rows only appended), continue
+    // in place -- the composite phase 1 repairs the handful of basics the
+    // new bounds/rows perturbed, pivoting a few times instead of
+    // refactorizing an O(m^3) basis. Fall back to a warm/cold solve
+    // otherwise (first node, or after a numerical failure).
+    const lp::BasisSnapshot* warm = node.warm.get();
+    lp::BasisSnapshot ownBasis;
+    bool abortedOnTime = false;
+    for (;;) {
+      // Give each LP the remaining wall-clock budget so a single hard LP
+      // cannot blow through the MIP time limit.
+      double remaining =
+          std::chrono::duration<double>(deadline_ -
+                                        std::chrono::steady_clock::now())
+              .count();
+      lpSolver_.options().deadlineSeconds = std::max(0.05, remaining);
+      lp::LpResult lpRes = lpSolver_.canContinue(model_)
+                               ? lpSolver_.solveContinue(model_)
+                               : lpSolver_.solve(model_, warm);
+      result.lpIterations += lpRes.iterations;
+      if (lpRes.status == lp::LpStatus::kOptimal) {
+        ownBasis = lpSolver_.snapshot();
+        warm = &ownBasis;
+      }
+
+      if (lpRes.status == lp::LpStatus::kInfeasible) break;
+      if (lpRes.status != lp::LpStatus::kOptimal) {
+        if (timeUp()) {
+          // The LP ran out of wall clock, not numerics: stop the search
+          // cleanly and report limit status below.
+          abortedOnTime = true;
+          break;
+        }
+        // Iteration limit / numerics: cannot trust this node's bound. Abort
+        // the whole solve rather than risk a wrong "optimal" answer.
+        undoFixes(node);
+        for (int c = 0; c < n; ++c)
+          model_.setBounds(c, rootLower[c], rootUpper[c]);
+        result.status = MipStatus::kError;
+        result.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        return result;
+      }
+
+      if (hasIncumbent_ && lpRes.objective >= incumbentObj_ - gapTol) {
+        break;  // bound-dominated
+      }
+
+      int branchCol = pickBranchVariable(lpRes.x);
+      if (branchCol < 0) {
+        // Integer feasible. Ask the separator for violated lazy rows.
+        int added = separator_ ? separator_(lpRes.x, model_) : 0;
+        if (added > 0) {
+          result.lazyRowsAdded += added;
+          continue;  // re-solve the same node against the new rows
+        }
+        // Genuine incumbent.
+        if (!hasIncumbent_ || lpRes.objective < incumbentObj_) {
+          incumbent_ = lpRes.x;
+          incumbentObj_ = lpRes.objective;
+          hasIncumbent_ = true;
+        }
+        break;
+      }
+
+      // Branch. Children inherit this node's fixes plus one more; dive into
+      // the rounding-preferred child immediately.
+      Node down = node, up = node;
+      double v = lpRes.x[branchCol];
+      down.fixes.emplace_back(branchCol, rootLower[branchCol], std::floor(v));
+      up.fixes.emplace_back(branchCol, std::ceil(v), rootUpper[branchCol]);
+      down.bound = up.bound = lpRes.objective;
+      auto shared = std::make_shared<lp::BasisSnapshot>(std::move(ownBasis));
+      down.warm = shared;
+      up.warm = shared;
+      bool preferUp = (v - std::floor(v)) >= 0.5;
+      open.push(preferUp ? std::move(down) : std::move(up));
+      current = preferUp ? std::move(up) : std::move(down);
+      haveCurrent = true;
+      currentFromHeap = false;
+      break;
+    }
+    undoFixes(node);
+    if (abortedOnTime) {
+      // The interrupted node stays conceptually open: push it back so the
+      // frontier bound stays valid for reporting.
+      open.push(std::move(node));
+      limitHit = true;
+      break;
+    }
+  }
+
+  // Restore root bounds (paranoia: undoFixes already did per-node).
+  for (int c = 0; c < n; ++c) model_.setBounds(c, rootLower[c], rootUpper[c]);
+
+  const bool unexplored = limitHit && (haveCurrent || !open.empty());
+  if (unexplored) {
+    double frontier = lp::kInfinity;
+    if (haveCurrent) frontier = std::min(frontier, current.bound);
+    if (!open.empty()) frontier = std::min(frontier, open.top().bound);
+    bestBound = std::min(frontier, hasIncumbent_ ? incumbentObj_ : frontier);
+  } else if (hasIncumbent_) {
+    bestBound = incumbentObj_;
+  }
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (hasIncumbent_) {
+    result.objective = incumbentObj_;
+    result.x = incumbent_;
+    // Round integer columns exactly: downstream consumers index arcs by == 1.
+    for (int c = 0; c < n; ++c) {
+      if (isInteger_[c]) result.x[c] = std::round(result.x[c]);
+    }
+    result.bestBound = bestBound;
+    result.status =
+        unexplored ? MipStatus::kFeasibleLimit : MipStatus::kOptimal;
+  } else {
+    result.bestBound = bestBound;
+    result.status =
+        unexplored ? MipStatus::kNoSolutionLimit : MipStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace optr::ilp

@@ -1,0 +1,121 @@
+// Branch-and-bound 0-1 MIP solver with lazy-constraint separation.
+//
+// This replaces CPLEX in the OptRouter reproduction. The routing formulation
+// has two properties this solver exploits:
+//   * only arc-usage variables need integrality (flows are integral
+//     automatically once usages are fixed, by network-flow integrality);
+//   * design-rule constraints (via adjacency, SADP end-of-line) are numerous
+//     but rarely binding, so they are added lazily: whenever the search finds
+//     an integer-feasible point, a separation callback inspects it and
+//     appends the violated rule rows to the model. The node is then re-solved.
+//     At convergence, the answer is identical to the eager formulation
+//     (tested against it on small instances).
+//
+// Search is best-first on the LP relaxation bound, with most-fractional
+// branching and optional warm-start incumbents (OptRouter seeds the search
+// with the heuristic baseline router's solution).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace optr::ilp {
+
+enum class MipStatus : std::uint8_t {
+  kOptimal,           // incumbent proven optimal
+  kInfeasible,        // no integer-feasible point exists
+  kFeasibleLimit,     // limit hit; incumbent available but not proven optimal
+  kNoSolutionLimit,   // limit hit before any incumbent was found
+  kError,             // LP engine failure
+};
+
+const char* toString(MipStatus s);
+
+struct MipOptions {
+  double timeLimitSec = 300.0;
+  std::int64_t maxNodes = 1000000;
+  double intTol = 1e-6;
+  /// Prune when nodeBound >= incumbent - objectiveGapTol. Routing objectives
+  /// are integral multiples of the cost unit, so callers may raise this to
+  /// (unit - epsilon) for stronger pruning.
+  double objectiveGapTol = 1e-9;
+  lp::SimplexOptions lpOptions{.maxIterations = 400000};
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::kError;
+  double objective = 0.0;   // incumbent objective (valid unless kNoSolution*)
+  double bestBound = 0.0;   // proven lower bound on the optimum
+  std::vector<double> x;    // incumbent point
+  std::int64_t nodes = 0;
+  std::int64_t lpIterations = 0;
+  int lazyRowsAdded = 0;
+  double seconds = 0.0;
+
+  bool hasSolution() const {
+    return status == MipStatus::kOptimal || status == MipStatus::kFeasibleLimit;
+  }
+};
+
+/// Separation callback. Inspects an integer-feasible candidate `x` and
+/// appends every violated lazy row to `model`; returns the number of rows
+/// added (0 means the candidate is fully feasible).
+using LazySeparator =
+    std::function<int(const std::vector<double>& x, lp::LpModel& model)>;
+
+class MipSolver {
+ public:
+  /// `isInteger[c]` marks columns that must take integral values. The model
+  /// is mutated during solve (bound fixing, lazy rows) and restored to its
+  /// root bounds afterwards; lazy rows remain appended.
+  MipSolver(lp::LpModel& model, std::vector<bool> isInteger,
+            MipOptions options = {});
+
+  void setLazySeparator(LazySeparator sep) { separator_ = std::move(sep); }
+
+  /// Seeds the search with a known feasible point (e.g. from the heuristic
+  /// baseline router). The point must satisfy all current rows, integrality,
+  /// and the lazy constraints; callers are expected to have validated it with
+  /// the same rule checker that backs the separator. Invalid seeds are
+  /// rejected (returns false) rather than silently corrupting the search.
+  bool setInitialIncumbent(const std::vector<double>& x);
+
+  MipResult solve();
+
+ private:
+  struct Node {
+    // Bound overrides relative to the root model: (column, lb, ub).
+    std::vector<std::tuple<int, double, double>> fixes;
+    double bound;  // parent LP bound (lower bound on this subtree)
+    // Parent's final simplex basis; children re-solve in a few pivots.
+    std::shared_ptr<const lp::BasisSnapshot> warm;
+  };
+  struct NodeOrder {
+    bool operator()(const Node& a, const Node& b) const {
+      return a.bound > b.bound;  // min-heap on bound
+    }
+  };
+
+  bool timeUp() const;
+  /// Returns index of the most fractional integer column, or -1 if integral.
+  int pickBranchVariable(const std::vector<double>& x) const;
+
+  lp::LpModel& model_;
+  std::vector<bool> isInteger_;
+  MipOptions options_;
+  LazySeparator separator_;
+  lp::SimplexSolver lpSolver_;
+
+  std::vector<double> incumbent_;
+  double incumbentObj_ = 0.0;
+  bool hasIncumbent_ = false;
+
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace optr::ilp

@@ -1,0 +1,111 @@
+#include "layout/cell_library.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace optr::layout {
+
+namespace {
+
+/// Builds one pin. `siteX` is the site column the pin sits on; `style`
+/// decides the vertical extent and access-point count:
+///   kWide:    pin spans ~4 horizontal tracks -> 3-4 access points;
+///   kCompact: pin spans 2 tracks -> exactly 2 access points (Figure 9(c)).
+PinTemplate makePin(const tech::Technology& techn, const std::string& name,
+                    bool isOutput, int siteX, int trackLo) {
+  PinTemplate p;
+  p.name = name;
+  p.isOutput = isOutput;
+  const int pitch = techn.horizontalPitchNm;
+  const int site = techn.placementGridNm;
+  const int x = siteX * site;
+  const int spanTracks = (techn.pinStyle == tech::PinStyle::kWide) ? 4 : 2;
+  const int width = (techn.pinStyle == tech::PinStyle::kWide) ? 64 : 32;
+  p.shapeNm = Rect(x - width / 2, trackLo * pitch - 25, x + width / 2,
+                   (trackLo + spanTracks - 1) * pitch + 25);
+  const int points = (techn.pinStyle == tech::PinStyle::kWide) ? 3 : 2;
+  for (int i = 0; i < points; ++i) {
+    int track = trackLo + i * (spanTracks - 1) / std::max(1, points - 1);
+    p.accessPointsNm.push_back(Point{x, track * pitch});
+  }
+  return p;
+}
+
+CellMaster makeMaster(const tech::Technology& techn, const std::string& name,
+                      int widthSites,
+                      const std::vector<std::pair<std::string, bool>>& pins) {
+  CellMaster m;
+  m.name = name;
+  m.widthSites = widthSites;
+  // Spread pins across interior site columns; inputs low in the cell,
+  // outputs higher (mimics real cell pin placement enough for the metric).
+  const int h = techn.cellHeightTracks;
+  int idx = 0;
+  for (const auto& [pinName, isOutput] : pins) {
+    int siteX = 1 + (idx % std::max(1, widthSites - 1));
+    int trackLo;
+    if (techn.pinStyle == tech::PinStyle::kWide) {
+      trackLo = isOutput ? (h / 2) : (2 + (idx % 2) * 2);
+    } else {
+      // Compact 7nm-like (Figure 9(c)): input pins share the same two
+      // middle tracks on adjacent columns -- every access-point pair of two
+      // neighbouring pins is within one site/track, so 8-neighbor via
+      // blocking leaves no simultaneous access.
+      trackLo = isOutput ? (h / 2 + 1) : (h / 2 - 1);
+    }
+    trackLo = std::clamp(trackLo, 1, h - 3);
+    m.pins.push_back(makePin(techn, pinName, isOutput, siteX, trackLo));
+    ++idx;
+  }
+  return m;
+}
+
+}  // namespace
+
+CellLibrary CellLibrary::forTechnology(const tech::Technology& techn) {
+  CellLibrary lib(techn);
+  auto add = [&](const std::string& name, int width,
+                 const std::vector<std::pair<std::string, bool>>& pins) {
+    lib.masters_.push_back(makeMaster(techn, name, width, pins));
+  };
+  // A representative mix; widths in sites roughly follow commercial ratios.
+  add("INVX1", 2, {{"A", false}, {"Y", true}});
+  add("INVX2", 2, {{"A", false}, {"Y", true}});
+  add("BUFX2", 3, {{"A", false}, {"Y", true}});
+  add("NAND2X1", 3, {{"A", false}, {"B", false}, {"Y", true}});
+  add("NOR2X1", 3, {{"A", false}, {"B", false}, {"Y", true}});
+  add("XOR2X1", 5, {{"A", false}, {"B", false}, {"Y", true}});
+  add("AOI21X1", 4, {{"A", false}, {"B", false}, {"C", false}, {"Y", true}});
+  add("OAI21X1", 4, {{"A", false}, {"B", false}, {"C", false}, {"Y", true}});
+  add("MUX2X1", 5,
+      {{"A", false}, {"B", false}, {"S", false}, {"Y", true}});
+  add("DFFX1", 8, {{"D", false}, {"CK", false}, {"Q", true}});
+  return lib;
+}
+
+std::string CellLibrary::renderAscii(const CellMaster& master) const {
+  // Track rows from top (highest track) to bottom; site columns across.
+  const int h = tech_.cellHeightTracks;
+  const int w = master.widthSites + 1;
+  std::vector<std::string> canvas(h, std::string(w * 4, '.'));
+  for (const PinTemplate& pin : master.pins) {
+    for (const Point& ap : pin.accessPointsNm) {
+      int col = static_cast<int>(ap.x / tech_.placementGridNm) * 4;
+      int row = h - 1 - static_cast<int>(ap.y / tech_.horizontalPitchNm);
+      if (row < 0 || row >= h) continue;
+      if (col < 0 || col + 1 >= static_cast<int>(canvas[row].size())) continue;
+      canvas[row][col] = pin.name[0];
+      canvas[row][col + 1] = '*';
+    }
+  }
+  std::string out = master.name + " (" + tech_.name + ", " +
+                    std::to_string(master.widthSites) + " sites x " +
+                    std::to_string(h) + " tracks; '*' = access point)\n";
+  out += "  VDD " + std::string(w * 4 - 4, '=') + "\n";
+  for (const std::string& line : canvas) out += "      " + line + "\n";
+  out += "  VSS " + std::string(w * 4 - 4, '=') + "\n";
+  return out;
+}
+
+}  // namespace optr::layout

@@ -1,0 +1,85 @@
+// Synthetic standard-cell libraries.
+//
+// The real 28nm foundry and prototype 7nm libraries are proprietary; these
+// reconstructions carry exactly what the experiments consume:
+//   * cell widths (in placement sites) for the placer / utilization math,
+//   * pin geometry (rects in nm, cell-relative) for the pin-cost metric,
+//   * pin access points (track-aligned candidate connection locations),
+//     following the Figure 9 styles: wide multi-point pins for N28-12T /
+//     N28-8T, compact two-point pins for N7-9T.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "tech/technology.h"
+
+namespace optr::layout {
+
+struct PinTemplate {
+  std::string name;
+  bool isOutput = false;
+  /// Pin shape in nm, relative to the cell origin (lower-left).
+  Rect shapeNm;
+  /// Candidate access points in nm, relative to the cell origin. Each will
+  /// be snapped to the clip track grid at extraction time.
+  std::vector<Point> accessPointsNm;
+};
+
+struct CellMaster {
+  std::string name;
+  int widthSites = 2;  // width in placement sites (site = vertical pitch)
+  std::vector<PinTemplate> pins;
+
+  const PinTemplate* pin(const std::string& pinName) const {
+    for (const PinTemplate& p : pins)
+      if (p.name == pinName) return &p;
+    return nullptr;
+  }
+  std::vector<int> inputPins() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      if (!pins[i].isOutput) out.push_back(static_cast<int>(i));
+    return out;
+  }
+  std::vector<int> outputPins() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      if (pins[i].isOutput) out.push_back(static_cast<int>(i));
+    return out;
+  }
+};
+
+class CellLibrary {
+ public:
+  /// Builds the synthetic library for a technology (pin style, cell height
+  /// and pitches come from the preset).
+  static CellLibrary forTechnology(const tech::Technology& techn);
+
+  const std::vector<CellMaster>& masters() const { return masters_; }
+  const CellMaster& master(int i) const { return masters_[i]; }
+  int numMasters() const { return static_cast<int>(masters_.size()); }
+  const CellMaster* byName(const std::string& name) const {
+    for (const CellMaster& m : masters_)
+      if (m.name == name) return &m;
+    return nullptr;
+  }
+  const tech::Technology& technology() const { return tech_; }
+
+  /// Cell height in nm (cellHeightTracks x horizontal pitch).
+  int cellHeightNm() const {
+    return tech_.cellHeightTracks * tech_.horizontalPitchNm;
+  }
+  int siteWidthNm() const { return tech_.placementGridNm; }
+
+  /// ASCII rendering of a cell's pin shapes (Figure 9 reproduction).
+  std::string renderAscii(const CellMaster& master) const;
+
+ private:
+  explicit CellLibrary(tech::Technology techn) : tech_(std::move(techn)) {}
+  tech::Technology tech_;
+  std::vector<CellMaster> masters_;
+};
+
+}  // namespace optr::layout

@@ -1,0 +1,182 @@
+#include "layout/clip_extract.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace optr::layout {
+
+namespace {
+
+struct WindowCtx {
+  std::int64_t x0, y0;  // window origin in nm
+  int tracksX, tracksY, numLayers;
+  std::int64_t sitePitch, trackPitch;
+
+  bool snap(const Point& nm, int& tx, int& ty) const {
+    std::int64_t rx = nm.x - x0, ry = nm.y - y0;
+    if (rx < 0 || ry < 0) return false;
+    tx = static_cast<int>((rx + sitePitch / 2) / sitePitch);
+    ty = static_cast<int>((ry + trackPitch / 2) / trackPitch);
+    if (tx >= tracksX) tx = tracksX - 1;
+    if (ty >= tracksY) ty = tracksY - 1;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<clip::Clip> extractClips(const Design& design,
+                                     const CellLibrary& lib,
+                                     const GlobalRoute& gr,
+                                     ClipExtractOptions options) {
+  std::vector<clip::Clip> clips;
+  const tech::Technology& techn = lib.technology();
+  const GcellGrid& grid = gr.grid;
+
+  // Index crossings by gcell for fast lookup.
+  std::map<std::pair<int, int>, std::vector<Crossing>> crossingsByCell;
+  for (const Crossing& c : gr.crossings) {
+    crossingsByCell[{c.gx, c.gy}].push_back(c);
+    if (c.towardX)
+      crossingsByCell[{c.gx + 1, c.gy}].push_back(c);
+    else
+      crossingsByCell[{c.gx, c.gy + 1}].push_back(c);
+  }
+
+  for (int gy = 0; gy < grid.ny; ++gy) {
+    for (int gx = 0; gx < grid.nx; ++gx) {
+      WindowCtx w;
+      w.x0 = static_cast<std::int64_t>(gx) * grid.windowNm;
+      w.y0 = static_cast<std::int64_t>(gy) * grid.windowNm;
+      w.tracksX = techn.clipTracksX;
+      w.tracksY = techn.clipTracksY;
+      w.numLayers = (options.maxLayers > 0)
+                        ? std::min(options.maxLayers, techn.numLayers())
+                        : techn.numLayers();
+      w.sitePitch = techn.placementGridNm;
+      w.trackPitch = techn.horizontalPitchNm;
+
+      clip::Clip c;
+      c.id = design.name + "_" + std::to_string(gx) + "_" + std::to_string(gy);
+      c.techName = techn.name;
+      c.tracksX = w.tracksX;
+      c.tracksY = w.tracksY;
+      c.numLayers = w.numLayers;
+
+      // Gather candidate terminals per design net.
+      struct PendingPin {
+        std::vector<clip::TrackPoint> aps;
+        Rect shapeNm;
+        bool boundary;
+      };
+      std::map<int, std::vector<PendingPin>> byNet;
+      std::set<clip::TrackPoint> takenVertices;
+
+      // Cell pins inside the window.
+      std::map<std::pair<int, int>, int> termNet;  // (inst, pin) -> net
+      for (std::size_t n = 0; n < design.nets.size(); ++n) {
+        for (const Terminal& t : design.nets[n].terminals)
+          termNet[{t.instance, t.pin}] = static_cast<int>(n);
+      }
+      for (std::size_t i = 0; i < design.instances.size(); ++i) {
+        const Instance& inst = design.instances[i];
+        const CellMaster& m = lib.master(inst.master);
+        Point origin = inst.originNm(lib);
+        for (std::size_t p = 0; p < m.pins.size(); ++p) {
+          auto it = termNet.find({static_cast<int>(i), static_cast<int>(p)});
+          if (it == termNet.end()) continue;  // unconnected pin
+          PendingPin pp;
+          pp.boundary = false;
+          const PinTemplate& pin = m.pins[p];
+          for (const Point& ap : pin.accessPointsNm) {
+            Point abs{origin.x + ap.x, origin.y + ap.y};
+            if (abs.x < w.x0 || abs.x >= w.x0 + grid.windowNm) continue;
+            if (abs.y < w.y0 || abs.y >= w.y0 + grid.windowNm) continue;
+            int tx, ty;
+            if (!w.snap(abs, tx, ty)) continue;
+            clip::TrackPoint tp{tx, ty, 0};
+            if (takenVertices.count(tp)) continue;  // collision: drop AP
+            pp.aps.push_back(tp);
+          }
+          if (pp.aps.empty()) continue;
+          for (const auto& tp : pp.aps) takenVertices.insert(tp);
+          pp.shapeNm = pin.shapeNm.shifted(origin.x - w.x0, origin.y - w.y0);
+          byNet[it->second].push_back(std::move(pp));
+        }
+      }
+
+      // Boundary crossings.
+      auto itc = crossingsByCell.find({gx, gy});
+      if (itc != crossingsByCell.end()) {
+        for (const Crossing& cr : itc->second) {
+          PendingPin pp;
+          pp.boundary = true;
+          clip::TrackPoint tp;
+          if (cr.towardX) {
+            // Vertical boundary between (gx,gy) and (gx+1,gy).
+            tp.x = (cr.gx == gx) ? w.tracksX - 1 : 0;
+            tp.y = std::min(cr.track, w.tracksY - 1);
+          } else {
+            tp.y = (cr.gy == gy) ? w.tracksY - 1 : 0;
+            tp.x = std::min(cr.track, w.tracksX - 1);
+          }
+          tp.z = std::min(cr.layer, w.numLayers - 1);
+          if (takenVertices.count(tp)) continue;  // slot collision: drop
+          takenVertices.insert(tp);
+          pp.aps.push_back(tp);
+          pp.shapeNm = Rect(tp.x * w.sitePitch, tp.y * w.trackPitch,
+                            tp.x * w.sitePitch, tp.y * w.trackPitch);
+          byNet[cr.net].push_back(std::move(pp));
+        }
+      }
+
+      // Assemble nets with >= 2 terminals; everything else becomes blockage.
+      for (auto& [netId, pins] : byNet) {
+        if (static_cast<int>(pins.size()) >= 2) {
+          clip::ClipNet cn;
+          cn.name = design.nets[netId].name;
+          int clipNetId = static_cast<int>(c.nets.size());
+          for (PendingPin& pp : pins) {
+            clip::ClipPin cp;
+            cp.net = clipNetId;
+            cp.accessPoints = pp.aps;
+            cp.shapeNm = pp.shapeNm;
+            cp.isBoundary = pp.boundary;
+            cn.pins.push_back(static_cast<int>(c.pins.size()));
+            c.pins.push_back(std::move(cp));
+          }
+          c.nets.push_back(std::move(cn));
+        } else {
+          for (const PendingPin& pp : pins)
+            for (const auto& ap : pp.aps) c.obstacles.push_back(ap);
+        }
+      }
+
+      // Power/ground rails: M2 tracks at row boundaries.
+      const std::int64_t rowPitch = lib.cellHeightNm();
+      for (std::int64_t railY = (w.y0 / rowPitch) * rowPitch;
+           railY < w.y0 + grid.windowNm; railY += rowPitch) {
+        if (railY < w.y0) continue;
+        int ty = static_cast<int>((railY - w.y0 + w.trackPitch / 2) /
+                                  w.trackPitch);
+        if (ty >= w.tracksY) continue;
+        for (int tx = 0; tx < w.tracksX; ++tx) {
+          clip::TrackPoint tp{tx, ty, 0};
+          if (takenVertices.count(tp)) continue;  // don't bury pins
+          c.obstacles.push_back(tp);
+        }
+      }
+
+      int numNets = static_cast<int>(c.nets.size());
+      if (numNets < options.minNets || numNets > options.maxNets) continue;
+      if (!c.validate()) continue;
+      clips.push_back(std::move(c));
+    }
+  }
+  return clips;
+}
+
+}  // namespace optr::layout

@@ -1,0 +1,39 @@
+// Clip extraction: turns a placed design + global route into the 1um x 1um
+// routing clips the paper evaluates (Section 4, Figure 7).
+//
+// For every gcell window:
+//   * cell pins whose access points fall inside become clip pins (snapped to
+//     the clip track grid, layer M2);
+//   * global-route boundary crossings become fixed boundary terminals at
+//     their assigned (track, layer) on the window edge;
+//   * power/ground rails at row boundaries block their M2 track;
+//   * pins of nets not routable in this window (fewer than two terminals)
+//     become obstacles -- their metal is present even though the net is not
+//     routed here.
+// Clips with fewer than `minNets` nets are dropped (nothing to evaluate).
+#pragma once
+
+#include <vector>
+
+#include "clip/clip.h"
+#include "layout/global_route.h"
+
+namespace optr::layout {
+
+struct ClipExtractOptions {
+  int minNets = 2;
+  /// Windows with more nets than this are skipped (the ILP would be
+  /// intractable; the paper's clips carry a handful of nets).
+  int maxNets = 12;
+  /// Cap on routing layers per clip (0 = the technology's full stack).
+  /// Boundary crossings assigned above the cap are folded down before the
+  /// collision check, so clips stay consistent.
+  int maxLayers = 0;
+};
+
+std::vector<clip::Clip> extractClips(const Design& design,
+                                     const CellLibrary& lib,
+                                     const GlobalRoute& gr,
+                                     ClipExtractOptions options = {});
+
+}  // namespace optr::layout

@@ -1,0 +1,164 @@
+#include "layout/def_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace optr::layout {
+
+std::string writeLef(const CellLibrary& lib) {
+  std::ostringstream out;
+  out << "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n\n";
+  out << "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\n";
+  const double heightUm = lib.cellHeightNm() / 1000.0;
+  const double siteUm = lib.siteWidthNm() / 1000.0;
+  out << strFormat("SITE core\n  CLASS CORE ;\n  SIZE %.3f BY %.3f ;\nEND core\n\n",
+                   siteUm, heightUm);
+  for (const CellMaster& m : lib.masters()) {
+    out << "MACRO " << m.name << "\n";
+    out << "  CLASS CORE ;\n";
+    out << strFormat("  SIZE %.3f BY %.3f ;\n", m.widthSites * siteUm,
+                     heightUm);
+    out << "  SITE core ;\n";
+    for (const PinTemplate& p : m.pins) {
+      out << "  PIN " << p.name << "\n";
+      out << "    DIRECTION " << (p.isOutput ? "OUTPUT" : "INPUT") << " ;\n";
+      out << "    PORT\n      LAYER M1 ;\n";
+      out << strFormat("        RECT %.3f %.3f %.3f %.3f ;\n",
+                       p.shapeNm.lo.x / 1000.0, p.shapeNm.lo.y / 1000.0,
+                       p.shapeNm.hi.x / 1000.0, p.shapeNm.hi.y / 1000.0);
+      out << "    END\n  END " << p.name << "\n";
+    }
+    out << "END " << m.name << "\n\n";
+  }
+  out << "END LIBRARY\n";
+  return out.str();
+}
+
+std::string writeDef(const Design& design, const CellLibrary& lib) {
+  std::ostringstream out;
+  out << "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n";
+  out << "DESIGN " << design.name << " ;\n";
+  out << "UNITS DISTANCE MICRONS 1000 ;\n";
+  out << strFormat("DIEAREA ( 0 0 ) ( %lld %lld ) ;\n",
+                   static_cast<long long>(design.widthNm(lib)),
+                   static_cast<long long>(design.heightNm(lib)));
+
+  out << "COMPONENTS " << design.instances.size() << " ;\n";
+  for (const Instance& inst : design.instances) {
+    Point o = inst.originNm(lib);
+    out << strFormat("- %s %s + PLACED ( %lld %lld ) N ;\n",
+                     inst.name.c_str(), lib.master(inst.master).name.c_str(),
+                     static_cast<long long>(o.x),
+                     static_cast<long long>(o.y));
+  }
+  out << "END COMPONENTS\n";
+
+  out << "NETS " << design.nets.size() << " ;\n";
+  for (const DesignNet& net : design.nets) {
+    out << "- " << net.name;
+    for (const Terminal& t : net.terminals) {
+      const Instance& inst = design.instances[t.instance];
+      out << " ( " << inst.name << " "
+          << lib.master(inst.master).pins[t.pin].name << " )";
+    }
+    out << " ;\n";
+  }
+  out << "END NETS\nEND DESIGN\n";
+  return out.str();
+}
+
+StatusOr<Design> readDef(const std::string& defText, const CellLibrary& lib) {
+  Design d;
+  d.techName = lib.technology().name;
+  std::map<std::string, int> instByName;
+
+  enum class Section { kTop, kComponents, kNets };
+  Section section = Section::kTop;
+
+  std::istringstream in(defText);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto tokens = splitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "DESIGN" && tokens.size() >= 2) {
+      d.name = std::string(tokens[1]);
+    } else if (tokens[0] == "DIEAREA" && tokens.size() >= 10) {
+      auto w = parseInt(tokens[6]);
+      auto h = parseInt(tokens[7]);
+      if (!w || !h) return Status::error("DEF: bad DIEAREA");
+      d.sitesPerRow = static_cast<int>(*w / lib.siteWidthNm());
+      d.rows = static_cast<int>(*h / lib.cellHeightNm());
+    } else if (tokens[0] == "COMPONENTS") {
+      section = Section::kComponents;
+    } else if (tokens[0] == "NETS") {
+      section = Section::kNets;
+    } else if (tokens[0] == "END") {
+      if (tokens.size() >= 2 &&
+          (tokens[1] == "COMPONENTS" || tokens[1] == "NETS")) {
+        section = Section::kTop;
+      }
+    } else if (tokens[0] == "-" && section == Section::kComponents) {
+      // - <name> <master> + PLACED ( x y ) N ;
+      if (tokens.size() < 10) return Status::error("DEF: short component");
+      Instance inst;
+      inst.name = std::string(tokens[1]);
+      const CellMaster* master = lib.byName(std::string(tokens[2]));
+      if (master == nullptr)
+        return Status::error("DEF: unknown master " + std::string(tokens[2]));
+      for (int mi = 0; mi < lib.numMasters(); ++mi) {
+        if (&lib.master(mi) == master) inst.master = mi;
+      }
+      auto x = parseInt(tokens[6]);
+      auto y = parseInt(tokens[7]);
+      if (!x || !y) return Status::error("DEF: bad placement");
+      inst.siteX = static_cast<int>(*x / lib.siteWidthNm());
+      inst.row = static_cast<int>(*y / lib.cellHeightNm());
+      instByName[inst.name] = static_cast<int>(d.instances.size());
+      d.instances.push_back(std::move(inst));
+    } else if (tokens[0] == "-" && section == Section::kNets) {
+      // - <name> ( inst pin ) ( inst pin ) ... ;
+      if (tokens.size() < 2) return Status::error("DEF: short net");
+      DesignNet net;
+      net.name = std::string(tokens[1]);
+      std::size_t i = 2;
+      while (i + 3 < tokens.size() && tokens[i] == "(") {
+        auto it = instByName.find(std::string(tokens[i + 1]));
+        if (it == instByName.end())
+          return Status::error("DEF: net references unknown component");
+        const CellMaster& m = lib.master(d.instances[it->second].master);
+        int pinIdx = -1;
+        for (std::size_t p = 0; p < m.pins.size(); ++p) {
+          if (m.pins[p].name == tokens[i + 2]) pinIdx = static_cast<int>(p);
+        }
+        if (pinIdx < 0) return Status::error("DEF: unknown pin");
+        net.terminals.push_back({it->second, pinIdx});
+        i += 4;
+      }
+      if (net.terminals.size() >= 2) d.nets.push_back(std::move(net));
+    }
+  }
+  if (d.name.empty()) return Status::error("DEF: missing DESIGN");
+  return d;
+}
+
+Status saveDesign(const std::string& lefPath, const std::string& defPath,
+                  const Design& design, const CellLibrary& lib) {
+  {
+    std::ofstream out(lefPath);
+    if (!out) return Status::error("cannot open " + lefPath);
+    out << writeLef(lib);
+    if (!out.good()) return Status::error("write failed: " + lefPath);
+  }
+  {
+    std::ofstream out(defPath);
+    if (!out) return Status::error("cannot open " + defPath);
+    out << writeDef(design, lib);
+    if (!out.good()) return Status::error("write failed: " + defPath);
+  }
+  return Status::ok();
+}
+
+}  // namespace optr::layout

@@ -1,0 +1,33 @@
+// LEF/DEF-subset interchange for synthetic designs.
+//
+// The paper's testbed moves layouts through LEF/DEF (via OpenAccess); this
+// module writes the synthetic designs in a conforming subset of those
+// formats -- enough for external inspection with standard tooling -- and
+// reads the same subset back (round-trip tested). Supported subset:
+//   LEF:  MACRO / SIZE / PIN / DIRECTION / PORT RECT
+//   DEF:  DESIGN / UNITS / DIEAREA / COMPONENTS (+ PLACED) / NETS
+// Coordinates are written in DEF database units of 1000/micron (= nm).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "layout/design.h"
+
+namespace optr::layout {
+
+/// LEF for the cell library (macros with pin ports).
+std::string writeLef(const CellLibrary& lib);
+
+/// DEF for a placed design (components placed, nets listed by terminal).
+std::string writeDef(const Design& design, const CellLibrary& lib);
+
+/// Parses a DEF produced by writeDef back into a Design. The cell library
+/// must match (master names are resolved against it).
+StatusOr<Design> readDef(const std::string& defText, const CellLibrary& lib);
+
+/// File helpers.
+Status saveDesign(const std::string& lefPath, const std::string& defPath,
+                  const Design& design, const CellLibrary& lib);
+
+}  // namespace optr::layout

@@ -1,0 +1,89 @@
+// A synthetic placed design: the substrate standing in for the paper's
+// AES / Cortex-M0 implementations (Table 2).
+//
+// Instances sit on a row/site grid (row height = cellHeightTracks x
+// horizontal pitch; site width = placement grid). The netlist is generated
+// with Rent-style locality by design_gen; the coarse global router
+// (global_route.h) then decides which 1um x 1um windows each net crosses,
+// and clip_extract turns windows into routing clips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/cell_library.h"
+
+namespace optr::layout {
+
+struct Instance {
+  int master = 0;  // index into CellLibrary
+  int row = 0;     // placement row (0 at the bottom)
+  int siteX = 0;   // leftmost occupied site
+  std::string name;
+
+  Point originNm(const CellLibrary& lib) const {
+    return Point{static_cast<std::int64_t>(siteX) * lib.siteWidthNm(),
+                 static_cast<std::int64_t>(row) * lib.cellHeightNm()};
+  }
+};
+
+struct Terminal {
+  int instance = -1;
+  int pin = -1;  // index into the master's pins; terminal 0 drives the net
+};
+
+struct DesignNet {
+  std::string name;
+  std::vector<Terminal> terminals;
+};
+
+struct Design {
+  std::string name;       // e.g. "AES" / "M0"
+  std::string techName;   // technology preset
+  int rows = 0;
+  int sitesPerRow = 0;
+  std::vector<Instance> instances;
+  std::vector<DesignNet> nets;
+
+  /// Placement-area utilization: occupied sites / total sites.
+  double utilization(const CellLibrary& lib) const {
+    std::int64_t occupied = 0;
+    for (const Instance& inst : instances)
+      occupied += lib.master(inst.master).widthSites;
+    std::int64_t total =
+        static_cast<std::int64_t>(rows) * sitesPerRow;
+    return total == 0 ? 0.0 : static_cast<double>(occupied) / total;
+  }
+
+  /// Die dimensions in nm.
+  std::int64_t widthNm(const CellLibrary& lib) const {
+    return static_cast<std::int64_t>(sitesPerRow) * lib.siteWidthNm();
+  }
+  std::int64_t heightNm(const CellLibrary& lib) const {
+    return static_cast<std::int64_t>(rows) * lib.cellHeightNm();
+  }
+
+  /// Absolute nm location of a terminal's first access point.
+  Point terminalNm(const CellLibrary& lib, const Terminal& t) const {
+    const Instance& inst = instances[t.instance];
+    const PinTemplate& pin = lib.master(inst.master).pins[t.pin];
+    Point o = inst.originNm(lib);
+    Point ap = pin.accessPointsNm.front();
+    return Point{o.x + ap.x, o.y + ap.y};
+  }
+};
+
+/// Knobs for the synthetic design generator (design_gen.cpp).
+struct DesignSpec {
+  std::string name = "AES";
+  int targetInstances = 600;   // scaled from the paper's 9-15K (DESIGN.md)
+  double utilization = 0.90;   // paper sweeps 89-97%
+  double avgFanout = 2.2;      // sinks per driven net
+  double localityWindow = 8.0; // sink search radius in sites (Rent locality)
+  std::uint64_t seed = 1;
+};
+
+Design generateDesign(const CellLibrary& lib, const DesignSpec& spec);
+
+}  // namespace optr::layout

@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "layout/design.h"
+
+namespace optr::layout {
+
+namespace {
+
+/// Master mix: inverters/buffers dominate, flops are common, complex gates
+/// rarer -- rough shape of a mapped netlist.
+int pickMaster(const CellLibrary& lib, Rng& rng) {
+  static const struct {
+    const char* name;
+    int weight;
+  } kMix[] = {
+      {"INVX1", 18}, {"INVX2", 10}, {"BUFX2", 10}, {"NAND2X1", 16},
+      {"NOR2X1", 12}, {"XOR2X1", 5}, {"AOI21X1", 7}, {"OAI21X1", 6},
+      {"MUX2X1", 6}, {"DFFX1", 10},
+  };
+  int total = 0;
+  for (const auto& m : kMix) total += m.weight;
+  int pick = static_cast<int>(rng.uniform(total));
+  for (const auto& m : kMix) {
+    pick -= m.weight;
+    if (pick < 0) {
+      for (int i = 0; i < lib.numMasters(); ++i)
+        if (lib.master(i).name == m.name) return i;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Design generateDesign(const CellLibrary& lib, const DesignSpec& spec) {
+  Rng rng(spec.seed);
+  Design d;
+  d.name = spec.name;
+  d.techName = lib.technology().name;
+
+  // Pick masters first so the total area is known, then size the die to hit
+  // the target utilization with a roughly square aspect ratio.
+  std::vector<int> masters;
+  std::int64_t areaSites = 0;
+  for (int i = 0; i < spec.targetInstances; ++i) {
+    int m = pickMaster(lib, rng);
+    masters.push_back(m);
+    areaSites += lib.master(m).widthSites;
+  }
+  double totalSites = static_cast<double>(areaSites) / spec.utilization;
+  // Square die: rows * sitesPerRow = totalSites with row height ~
+  // cellHeight and site width ~ placementGrid.
+  double dieAreaNm2 = totalSites * lib.siteWidthNm() * lib.cellHeightNm();
+  double sideNm = std::sqrt(dieAreaNm2);
+  d.rows = std::max(2, static_cast<int>(std::lround(sideNm / lib.cellHeightNm())));
+  d.sitesPerRow = std::max(
+      4, static_cast<int>(std::lround(totalSites / d.rows)));
+
+  // Greedy row fill with random whitespace so rows end up evenly used.
+  std::vector<int> rowFill(d.rows, 0);
+  int row = 0;
+  for (std::size_t i = 0; i < masters.size(); ++i) {
+    const CellMaster& m = lib.master(masters[i]);
+    // Find a row with space, round robin from the current one.
+    int tries = 0;
+    while (rowFill[row] + m.widthSites > d.sitesPerRow &&
+           tries < d.rows) {
+      row = (row + 1) % d.rows;
+      ++tries;
+    }
+    if (rowFill[row] + m.widthSites > d.sitesPerRow) break;  // die is full
+    // Whitespace: leave a gap with probability tied to (1 - utilization).
+    int gap = 0;
+    double wsChance = std::max(0.0, 1.0 - spec.utilization);
+    if (rng.chance(wsChance * 2.0))
+      gap = static_cast<int>(rng.uniformInt(1, 2));
+    if (rowFill[row] + gap + m.widthSites <= d.sitesPerRow)
+      rowFill[row] += gap;
+    Instance inst;
+    inst.master = masters[i];
+    inst.row = row;
+    inst.siteX = rowFill[row];
+    inst.name = "u" + std::to_string(i);
+    rowFill[row] += m.widthSites;
+    d.instances.push_back(inst);
+    row = (row + 1) % d.rows;
+  }
+
+  // Netlist: each output pin drives a net whose sinks are unused input pins
+  // of nearby cells (locality window), occasionally a far cell.
+  struct FreeInput {
+    int instance, pin;
+  };
+  std::vector<std::vector<FreeInput>> inputsByRow(d.rows);
+  for (std::size_t i = 0; i < d.instances.size(); ++i) {
+    const CellMaster& m = lib.master(d.instances[i].master);
+    for (int p : m.inputPins())
+      inputsByRow[d.instances[i].row].push_back(
+          {static_cast<int>(i), p});
+  }
+
+  for (std::size_t i = 0; i < d.instances.size(); ++i) {
+    const Instance& inst = d.instances[i];
+    const CellMaster& m = lib.master(inst.master);
+    for (int outPin : m.outputPins()) {
+      int fanout = 1;
+      double f = spec.avgFanout - 1.0;
+      while (f > 0 && rng.chance(std::min(0.9, f))) {
+        ++fanout;
+        f -= 1.0;
+      }
+      DesignNet net;
+      net.name = inst.name + "_" + m.pins[outPin].name;
+      net.terminals.push_back({static_cast<int>(i), outPin});
+      for (int s = 0; s < fanout; ++s) {
+        // Local window: same or neighbour rows, near site columns.
+        bool farNet = rng.chance(0.08);
+        for (int attempt = 0; attempt < 30; ++attempt) {
+          int r = farNet ? static_cast<int>(rng.uniform(d.rows))
+                         : std::clamp<int>(
+                               inst.row + static_cast<int>(rng.uniformInt(-1, 1)),
+                               0, d.rows - 1);
+          auto& pool = inputsByRow[r];
+          if (pool.empty()) continue;
+          int j = static_cast<int>(rng.uniform(pool.size()));
+          const FreeInput fi = pool[j];
+          if (fi.instance == static_cast<int>(i)) continue;
+          const Instance& cand = d.instances[fi.instance];
+          if (!farNet &&
+              std::abs(cand.siteX - inst.siteX) >
+                  static_cast<int>(spec.localityWindow)) {
+            continue;
+          }
+          net.terminals.push_back({fi.instance, fi.pin});
+          pool.erase(pool.begin() + j);  // each input driven once
+          break;
+        }
+      }
+      if (net.terminals.size() >= 2) d.nets.push_back(std::move(net));
+    }
+  }
+  return d;
+}
+
+}  // namespace optr::layout

@@ -1,0 +1,142 @@
+#include "layout/global_route.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace optr::layout {
+
+namespace {
+
+/// Boundary-edge usage counters for crossing-slot assignment.
+struct EdgeUsage {
+  std::vector<int> xEdges;  // edge (gx,gy)->(gx+1,gy): index gy*(nx-1)+gx
+  std::vector<int> yEdges;  // edge (gx,gy)->(gx,gy+1): index gy*nx+gx
+
+  void init(const GcellGrid& g) {
+    xEdges.assign(std::max(0, (g.nx - 1) * g.ny), 0);
+    yEdges.assign(std::max(0, g.nx * (g.ny - 1)), 0);
+  }
+  int& x(const GcellGrid& g, int gx, int gy) {
+    return xEdges[gy * (g.nx - 1) + gx];
+  }
+  int& y(const GcellGrid& g, int gx, int gy) {
+    return yEdges[gy * g.nx + gx];
+  }
+};
+
+}  // namespace
+
+GlobalRoute globalRoute(const Design& design, const CellLibrary& lib,
+                        GlobalRouteOptions options) {
+  GlobalRoute gr;
+  GcellGrid& grid = gr.grid;
+  grid.nx = static_cast<int>(
+      (design.widthNm(lib) + grid.windowNm - 1) / grid.windowNm);
+  grid.ny = static_cast<int>(
+      (design.heightNm(lib) + grid.windowNm - 1) / grid.windowNm);
+  grid.nx = std::max(grid.nx, 1);
+  grid.ny = std::max(grid.ny, 1);
+
+  EdgeUsage usage;
+  usage.init(grid);
+
+  gr.netCells.resize(design.nets.size());
+
+  auto gcellOf = [&](const Point& p) {
+    int gx = static_cast<int>(p.x / grid.windowNm);
+    int gy = static_cast<int>(p.y / grid.windowNm);
+    return std::pair<int, int>(std::clamp(gx, 0, grid.nx - 1),
+                               std::clamp(gy, 0, grid.ny - 1));
+  };
+
+  for (std::size_t n = 0; n < design.nets.size(); ++n) {
+    const DesignNet& net = design.nets[n];
+    // Terminal gcells (deduplicated).
+    std::set<int> targets;
+    for (const Terminal& t : net.terminals) {
+      auto [gx, gy] = gcellOf(design.terminalNm(lib, t));
+      targets.insert(grid.id(gx, gy));
+    }
+    std::set<int> tree = {*targets.begin()};
+    targets.erase(targets.begin());
+
+    // Sequentially attach each remaining terminal gcell with a
+    // congestion-aware BFS/Dijkstra over gcells.
+    while (!targets.empty()) {
+      std::vector<double> dist(grid.numCells(),
+                               std::numeric_limits<double>::infinity());
+      std::vector<int> pred(grid.numCells(), -1);
+      using E = std::pair<double, int>;
+      std::priority_queue<E, std::vector<E>, std::greater<>> pq;
+      for (int c : tree) {
+        dist[c] = 0;
+        pq.emplace(0.0, c);
+      }
+      int hit = -1;
+      while (!pq.empty()) {
+        auto [d, c] = pq.top();
+        pq.pop();
+        if (d > dist[c]) continue;
+        if (targets.count(c)) {
+          hit = c;
+          break;
+        }
+        int gx = c % grid.nx, gy = c / grid.nx;
+        auto relax = [&](int nx2, int ny2, int used) {
+          int nc = grid.id(nx2, ny2);
+          double w = 1.0 + options.congestionWeight * used;
+          if (d + w < dist[nc]) {
+            dist[nc] = d + w;
+            pred[nc] = c;
+            pq.emplace(dist[nc], nc);
+          }
+        };
+        if (gx + 1 < grid.nx) relax(gx + 1, gy, usage.x(grid, gx, gy));
+        if (gx > 0) relax(gx - 1, gy, usage.x(grid, gx - 1, gy));
+        if (gy + 1 < grid.ny) relax(gx, gy + 1, usage.y(grid, gx, gy));
+        if (gy > 0) relax(gx, gy - 1, usage.y(grid, gx, gy - 1));
+      }
+      if (hit < 0) break;  // disconnected grid cannot happen; safety
+      targets.erase(hit);
+      for (int c = hit; c >= 0 && !tree.count(c); c = pred[c]) {
+        tree.insert(c);
+        int p = pred[c];
+        if (p < 0) break;
+        // Record the crossing on the edge (p -> c) with a fresh slot.
+        int pgx = p % grid.nx, pgy = p / grid.nx;
+        int cgx = c % grid.nx, cgy = c / grid.nx;
+        Crossing cr;
+        cr.net = static_cast<int>(n);
+        if (pgy == cgy) {
+          cr.towardX = true;
+          cr.gx = std::min(pgx, cgx);
+          cr.gy = pgy;
+          int& slot = usage.x(grid, cr.gx, cr.gy);
+          // Crossing a vertical boundary: pick a y-track on horizontal
+          // layers M4/M6 (z = 2, 4) round-robin; M2 is left for cell pins.
+          const int tracksY = lib.technology().clipTracksY;
+          cr.track = slot % tracksY;
+          cr.layer = 2 + 2 * ((slot / tracksY) % 2);
+          ++slot;
+        } else {
+          cr.towardX = false;
+          cr.gx = pgx;
+          cr.gy = std::min(pgy, cgy);
+          int& slot = usage.y(grid, cr.gx, cr.gy);
+          // Horizontal boundary: x-track on vertical layers M3/M5 (1, 3).
+          const int tracksX = lib.technology().clipTracksX;
+          cr.track = slot % tracksX;
+          cr.layer = 1 + 2 * ((slot / tracksX) % 2);
+          ++slot;
+        }
+        gr.crossings.push_back(cr);
+      }
+    }
+    gr.netCells[n].assign(tree.begin(), tree.end());
+  }
+  return gr;
+}
+
+}  // namespace optr::layout

@@ -1,0 +1,63 @@
+// Coarse global router over 1um x 1um gcells.
+//
+// The paper extracts clips from fully detail-routed designs; for clip
+// construction, what matters is (a) which nets pass through each window and
+// (b) where they cross window boundaries (track + layer). A congestion-aware
+// gcell-grid router provides exactly that: each net is routed as a Steiner
+// tree over gcells, and every boundary crossing is assigned a distinct
+// (track, layer) slot on that boundary edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/design.h"
+
+namespace optr::layout {
+
+struct GcellGrid {
+  int nx = 0, ny = 0;
+  std::int64_t windowNm = 1000;  // 1um x 1um clips, as in the paper
+
+  int id(int gx, int gy) const { return gy * nx + gx; }
+  int numCells() const { return nx * ny; }
+};
+
+/// A net crossing between gcell (gx, gy) and its +x or +y neighbor.
+struct Crossing {
+  int net = -1;
+  int gx = 0, gy = 0;
+  bool towardX = true;  // crossing the boundary to (gx+1, gy) vs (gx, gy+1)
+  int track = 0;        // track index on the boundary (y-track for towardX)
+  int layer = 0;        // routing layer index (0 = M2)
+};
+
+struct GlobalRoute {
+  GcellGrid grid;
+  /// Per net, the sorted gcell ids its tree occupies.
+  std::vector<std::vector<int>> netCells;
+  std::vector<Crossing> crossings;
+
+  /// Crossings incident to one gcell (on any of its four boundaries).
+  std::vector<Crossing> crossingsAt(int gx, int gy) const {
+    std::vector<Crossing> out;
+    for (const Crossing& c : crossings) {
+      bool low = (c.gx == gx && c.gy == gy);
+      bool high = c.towardX ? (c.gx + 1 == gx && c.gy == gy)
+                            : (c.gx == gx && c.gy + 1 == gy);
+      if (low || high) out.push_back(c);
+    }
+    return out;
+  }
+};
+
+struct GlobalRouteOptions {
+  /// Crossing capacity per boundary edge = tracks x layers used below; the
+  /// congestion cost steers nets away once usage approaches it.
+  double congestionWeight = 2.0;
+};
+
+GlobalRoute globalRoute(const Design& design, const CellLibrary& lib,
+                        GlobalRouteOptions options = {});
+
+}  // namespace optr::layout

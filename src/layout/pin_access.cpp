@@ -1,0 +1,108 @@
+#include "layout/pin_access.h"
+
+#include <algorithm>
+
+#include "core/opt_router.h"
+
+namespace optr::layout {
+
+clip::Clip buildAccessClip(const CellLibrary& lib, const CellMaster& master,
+                           int escapeLayer) {
+  const tech::Technology& techn = lib.technology();
+  clip::Clip c;
+  c.id = master.name + "_access";
+  c.techName = techn.name;
+  c.tracksX = master.widthSites + 3;  // one site margin each side
+  c.tracksY = techn.cellHeightTracks;
+  c.numLayers = std::max(escapeLayer + 1, 3);
+
+  // Layer 0 stands in for the pin layer (M1): it is not a routing resource
+  // -- every vertex that is not a pin access point is blocked, so accessing
+  // a pin means placing a via at one of its access points. That is exactly
+  // the geometry the via-adjacency restrictions constrain (Section 4.1).
+  std::vector<char> isAp(
+      static_cast<std::size_t>(c.tracksX) * c.tracksY, 0);
+
+  for (const PinTemplate& pin : master.pins) {
+    clip::ClipNet net;
+    net.name = master.name + "/" + pin.name;
+    int netId = static_cast<int>(c.nets.size());
+
+    // Source: the pin's access points, snapped to tracks (+1 site margin).
+    clip::ClipPin src;
+    src.net = netId;
+    for (const Point& ap : pin.accessPointsNm) {
+      clip::TrackPoint tp;
+      tp.x = static_cast<int>(ap.x / techn.placementGridNm) + 1;
+      tp.y = static_cast<int>(ap.y / techn.horizontalPitchNm);
+      tp.z = 0;
+      tp.x = std::clamp(tp.x, 0, c.tracksX - 1);
+      tp.y = std::clamp(tp.y, 0, c.tracksY - 1);
+      if (std::find(src.accessPoints.begin(), src.accessPoints.end(), tp) ==
+          src.accessPoints.end()) {
+        src.accessPoints.push_back(tp);
+        isAp[static_cast<std::size_t>(tp.y) * c.tracksX + tp.x] = 1;
+      }
+    }
+    src.shapeNm = pin.shapeNm;
+    net.pins.push_back(static_cast<int>(c.pins.size()));
+    c.pins.push_back(std::move(src));
+
+    // Sink: an escape anywhere on the escape layer (supersink fan-in).
+    clip::ClipPin escape;
+    escape.net = netId;
+    escape.isBoundary = true;
+    escape.isVirtual = true;
+    for (int y = 0; y < c.tracksY; ++y) {
+      for (int x = 0; x < c.tracksX; ++x) {
+        escape.accessPoints.push_back({x, y, escapeLayer});
+      }
+    }
+    escape.shapeNm = Rect(0, 0, 0, 0);
+    net.pins.push_back(static_cast<int>(c.pins.size()));
+    c.pins.push_back(std::move(escape));
+
+    c.nets.push_back(std::move(net));
+  }
+
+  // Block the remainder of the pin layer.
+  for (int y = 0; y < c.tracksY; ++y) {
+    for (int x = 0; x < c.tracksX; ++x) {
+      if (!isAp[static_cast<std::size_t>(y) * c.tracksX + x])
+        c.obstacles.push_back({x, y, 0});
+    }
+  }
+  return c;
+}
+
+PinAccessResult checkPinAccess(const CellLibrary& lib,
+                               const CellMaster& master,
+                               const tech::RuleConfig& rule,
+                               double timeLimitSec) {
+  PinAccessResult out;
+  clip::Clip c = buildAccessClip(lib, master);
+  auto techn = lib.technology();
+  core::OptRouterOptions o;
+  o.mip.timeLimitSec = timeLimitSec;
+  core::OptRouter router(techn, rule, o);
+  core::RouteResult r = router.route(c);
+  switch (r.status) {
+    case core::RouteStatus::kOptimal:
+      out.feasible = true;
+      out.proven = true;
+      out.cost = r.cost;
+      break;
+    case core::RouteStatus::kFeasible:
+      out.feasible = true;
+      out.cost = r.cost;
+      break;
+    case core::RouteStatus::kInfeasible:
+      out.proven = true;
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace optr::layout

@@ -1,0 +1,39 @@
+// Automated pin-access analysis (paper Section 4.1 / Figure 9).
+//
+// The paper excludes five rule configurations on N7-9T because "with eight
+// via sites blocked, there is no way to connect two input pins without
+// violations". This module turns that argument into an executable check:
+// a cell master is placed alone in a clip, every pin becomes a net whose
+// sink is an escape to the clip boundary on an upper layer, and OptRouter
+// decides -- exactly, not heuristically -- whether all pins can be accessed
+// simultaneously under a rule configuration.
+//
+// bench_pin_access tabulates the verdicts per (cell, technology, rule) and
+// cross-checks tech::ruleApplicable against them.
+#pragma once
+
+#include "clip/clip.h"
+#include "layout/cell_library.h"
+#include "tech/rules.h"
+
+namespace optr::layout {
+
+/// Builds the single-cell access clip: the master's pins (snapped to clip
+/// tracks, Figure 9 geometry) each drive a net whose sink may land anywhere
+/// on the clip's top horizontal-layer boundary (an "escape").
+clip::Clip buildAccessClip(const CellLibrary& lib, const CellMaster& master,
+                           int escapeLayer = 2);
+
+struct PinAccessResult {
+  bool feasible = false;  // all pins simultaneously accessible
+  bool proven = false;    // OptRouter reached optimal/infeasible (no limit)
+  double cost = 0;        // total escape cost when feasible
+};
+
+/// Exact accessibility verdict for one (cell, rule) pair.
+PinAccessResult checkPinAccess(const CellLibrary& lib,
+                               const CellMaster& master,
+                               const tech::RuleConfig& rule,
+                               double timeLimitSec = 30.0);
+
+}  // namespace optr::layout

@@ -1,0 +1,209 @@
+// Linear-program container shared by the simplex solver and the MIP layer.
+//
+// The model is column-oriented for the solver (pricing walks columns) but is
+// built row-by-row, which matches how the routing formulation is generated.
+// Columns carry bounds; every variable must have a finite lower bound (the
+// routing formulation only produces variables in [0, u]), which lets the
+// solver start all nonbasic variables at their lower bound.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optr::lp {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class RowSense : std::uint8_t { kLe, kGe, kEq };
+
+/// One sparse row under construction. Duplicate column entries are allowed
+/// at build time and are coalesced by LpModel::addRow.
+struct RowBuilder {
+  std::vector<int> cols;
+  std::vector<double> coefs;
+  RowSense sense = RowSense::kLe;
+  double rhs = 0.0;
+
+  RowBuilder& add(int col, double coef) {
+    cols.push_back(col);
+    coefs.push_back(coef);
+    return *this;
+  }
+};
+
+class LpModel {
+ public:
+  /// Adds a column; returns its index. Lower bound must be finite.
+  int addColumn(double objective, double lower, double upper) {
+    OPTR_ASSERT(lower > -kInfinity, "columns must have finite lower bounds");
+    OPTR_ASSERT(lower <= upper, "empty column domain");
+    objective_.push_back(objective);
+    lower_.push_back(lower);
+    upper_.push_back(upper);
+    columnIndexDirty_ = true;
+    return numCols() - 1;
+  }
+
+  /// Adds a row; returns its index. Coalesces duplicate columns and drops
+  /// zero coefficients.
+  int addRow(const RowBuilder& rb) {
+    rowStarts_.push_back(static_cast<int>(rowCols_.size()));
+    // Coalesce: rows in the routing formulation are short (<= tens of
+    // entries), so quadratic coalescing is fine and avoids a scratch map.
+    std::vector<int> cols;
+    std::vector<double> coefs;
+    cols.reserve(rb.cols.size());
+    for (std::size_t i = 0; i < rb.cols.size(); ++i) {
+      int c = rb.cols[i];
+      OPTR_ASSERT(c >= 0 && c < numCols(), "row references unknown column");
+      bool merged = false;
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        if (cols[j] == c) {
+          coefs[j] += rb.coefs[i];
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        cols.push_back(c);
+        coefs.push_back(rb.coefs[i]);
+      }
+    }
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      if (coefs[j] == 0.0) continue;
+      rowCols_.push_back(cols[j]);
+      rowCoefs_.push_back(coefs[j]);
+    }
+    sense_.push_back(rb.sense);
+    rhs_.push_back(rb.rhs);
+    columnIndexDirty_ = true;
+    return numRows() - 1;
+  }
+
+  int numCols() const { return static_cast<int>(objective_.size()); }
+  int numRows() const { return static_cast<int>(rhs_.size()); }
+  std::int64_t numNonzeros() const {
+    return static_cast<std::int64_t>(rowCols_.size());
+  }
+
+  double objective(int c) const { return objective_[c]; }
+  double lower(int c) const { return lower_[c]; }
+  double upper(int c) const { return upper_[c]; }
+  RowSense sense(int r) const { return sense_[r]; }
+  double rhs(int r) const { return rhs_[r]; }
+
+  void setBounds(int c, double lower, double upper) {
+    OPTR_ASSERT(lower <= upper, "empty column domain");
+    lower_[c] = lower;
+    upper_[c] = upper;
+  }
+  void setObjective(int c, double v) { objective_[c] = v; }
+
+  /// Row access (sparse).
+  std::span<const int> rowCols(int r) const {
+    auto [b, e] = rowRange(r);
+    return {rowCols_.data() + b, static_cast<std::size_t>(e - b)};
+  }
+  std::span<const double> rowCoefs(int r) const {
+    auto [b, e] = rowRange(r);
+    return {rowCoefs_.data() + b, static_cast<std::size_t>(e - b)};
+  }
+
+  /// Column access (sparse). Rebuilds the transposed index lazily; callers
+  /// (the solver) must call buildColumnIndex() after the last addRow.
+  void buildColumnIndex() const {
+    if (!columnIndexDirty_) return;
+    colStarts2_.assign(numCols() + 1, 0);
+    for (int c : rowCols_) ++colStarts2_[c + 1];
+    for (int c = 0; c < numCols(); ++c) colStarts2_[c + 1] += colStarts2_[c];
+    colRows2_.resize(rowCols_.size());
+    colCoefs2_.resize(rowCols_.size());
+    std::vector<int> fill(colStarts2_.begin(), colStarts2_.end() - 1);
+    for (int r = 0; r < numRows(); ++r) {
+      auto [b, e] = rowRange(r);
+      for (int k = b; k < e; ++k) {
+        int pos = fill[rowCols_[k]]++;
+        colRows2_[pos] = r;
+        colCoefs2_[pos] = rowCoefs_[k];
+      }
+    }
+    columnIndexDirty_ = false;
+  }
+  std::span<const int> colRows(int c) const {
+    return {colRows2_.data() + colStarts2_[c],
+            static_cast<std::size_t>(colStarts2_[c + 1] - colStarts2_[c])};
+  }
+  std::span<const double> colCoefs(int c) const {
+    return {colCoefs2_.data() + colStarts2_[c],
+            static_cast<std::size_t>(colStarts2_[c + 1] - colStarts2_[c])};
+  }
+  bool columnIndexDirty() const { return columnIndexDirty_; }
+
+  /// Evaluates row activity for a full primal point.
+  double rowActivity(int r, std::span<const double> x) const {
+    double a = 0;
+    auto cols = rowCols(r);
+    auto coefs = rowCoefs(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) a += coefs[k] * x[cols[k]];
+    return a;
+  }
+
+  /// True when x satisfies every row and bound within tol.
+  bool isFeasible(std::span<const double> x, double tol) const {
+    for (int c = 0; c < numCols(); ++c) {
+      if (x[c] < lower_[c] - tol || x[c] > upper_[c] + tol) return false;
+    }
+    for (int r = 0; r < numRows(); ++r) {
+      double a = rowActivity(r, x);
+      switch (sense_[r]) {
+        case RowSense::kLe:
+          if (a > rhs_[r] + tol) return false;
+          break;
+        case RowSense::kGe:
+          if (a < rhs_[r] - tol) return false;
+          break;
+        case RowSense::kEq:
+          if (std::abs(a - rhs_[r]) > tol) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  double objectiveValue(std::span<const double> x) const {
+    double v = 0;
+    for (int c = 0; c < numCols(); ++c) v += objective_[c] * x[c];
+    return v;
+  }
+
+ private:
+  std::pair<int, int> rowRange(int r) const {
+    int b = rowStarts_[r];
+    int e = (r + 1 < numRows()) ? rowStarts_[r + 1]
+                                : static_cast<int>(rowCols_.size());
+    return {b, e};
+  }
+
+  // Columns.
+  std::vector<double> objective_, lower_, upper_;
+
+  // Rows (CSR).
+  std::vector<int> rowStarts_;
+  std::vector<int> rowCols_;
+  std::vector<double> rowCoefs_;
+  std::vector<RowSense> sense_;
+  std::vector<double> rhs_;
+
+  // Transposed index (CSC), built lazily for the solver.
+  mutable bool columnIndexDirty_ = true;
+  mutable std::vector<int> colStarts2_;
+  mutable std::vector<int> colRows2_;
+  mutable std::vector<double> colCoefs2_;
+};
+
+}  // namespace optr::lp

@@ -1,0 +1,777 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace optr::lp {
+
+const char* toString(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterLimit: return "iteration-limit";
+    case LpStatus::kNumericalError: return "numerical-error";
+  }
+  return "?";
+}
+
+double SimplexSolver::columnDot(int j, const std::vector<double>& y) const {
+  if (j < numStruct_) {
+    auto rows = model_->colRows(j);
+    auto coefs = model_->colCoefs(j);
+    double d = 0;
+    for (std::size_t k = 0; k < rows.size(); ++k) d += y[rows[k]] * coefs[k];
+    return d;
+  }
+  if (j < numStruct_ + numSlack_) {
+    int r = slackRowOf_[j - numStruct_];
+    return y[r] * slackSign_[r];
+  }
+  return y[artRowOf_[j - numStruct_ - numSlack_]];
+}
+
+void SimplexSolver::setup(const LpModel& model, const BasisSnapshot* warm) {
+  model_ = &model;
+  model.buildColumnIndex();
+  numStruct_ = model.numCols();
+  numRows_ = model.numRows();
+
+  // Slacks for inequality rows, artificials for equality rows.
+  slackCol_.assign(numRows_, -1);
+  slackSign_.assign(numRows_, 0.0);
+  slackRowOf_.clear();
+  artCol_.assign(numRows_, -1);
+  artRowOf_.clear();
+  numSlack_ = 0;
+  for (int r = 0; r < numRows_; ++r) {
+    if (model.sense(r) == RowSense::kEq) continue;
+    slackSign_[r] = (model.sense(r) == RowSense::kLe) ? 1.0 : -1.0;
+    slackCol_[r] = numStruct_ + numSlack_;
+    slackRowOf_.push_back(r);
+    ++numSlack_;
+  }
+  numArt_ = 0;
+  for (int r = 0; r < numRows_; ++r) {
+    if (model.sense(r) != RowSense::kEq) continue;
+    artCol_[r] = numStruct_ + numSlack_ + numArt_;
+    artRowOf_.push_back(r);
+    ++numArt_;
+  }
+
+  int total = totalCols();
+  cost_.assign(total, 0.0);
+  lowerB_.resize(total);
+  upperB_.resize(total);
+  value_.resize(total);
+  state_.assign(total, VarState::kAtLower);
+
+  for (int c = 0; c < numStruct_; ++c) {
+    lowerB_[c] = model.lower(c);
+    upperB_[c] = model.upper(c);
+  }
+  for (int s = 0; s < numSlack_; ++s) {
+    lowerB_[numStruct_ + s] = 0.0;
+    upperB_[numStruct_ + s] = kInfinity;
+  }
+  for (int a = 0; a < numArt_; ++a) {
+    // Artificials are permanently pinned; a basic artificial away from zero
+    // is a bound violation that phase 1 repairs.
+    lowerB_[numStruct_ + numSlack_ + a] = 0.0;
+    upperB_[numStruct_ + numSlack_ + a] = 0.0;
+  }
+
+  for (int j = 0; j < total; ++j) value_[j] = lowerB_[j];
+
+  // Basis: restore from snapshot when possible, else slack/artificial.
+  basis_.assign(numRows_, -1);
+  basisSlot_.assign(total, -1);
+  xb_.assign(numRows_, 0.0);
+
+  bool warmOk = false;
+  if (warm != nullptr && !warm->empty() &&
+      static_cast<int>(warm->basis.size()) <= numRows_ &&
+      static_cast<int>(warm->atUpper.size()) == numStruct_) {
+    warmOk = true;
+    std::vector<char> rowHasBasic(numRows_, 0);
+    int slot = 0;
+    for (const BasisSnapshot::Token& tok : warm->basis) {
+      int col = -1;
+      switch (tok.kind) {
+        case BasisSnapshot::Kind::kStruct:
+          if (tok.id >= 0 && tok.id < numStruct_) col = tok.id;
+          break;
+        case BasisSnapshot::Kind::kSlack:
+          if (tok.id >= 0 && tok.id < numRows_) col = slackCol_[tok.id];
+          break;
+        case BasisSnapshot::Kind::kArtificial:
+          if (tok.id >= 0 && tok.id < numRows_) col = artCol_[tok.id];
+          break;
+      }
+      if (col < 0 || basisSlot_[col] >= 0) {
+        warmOk = false;
+        break;
+      }
+      basis_[slot] = col;
+      basisSlot_[col] = slot;
+      ++slot;
+    }
+    if (warmOk) {
+      // Rows appended after the snapshot get their own slack as basic.
+      for (int r = 0; r < numRows_ && slot < numRows_; ++r) {
+        int col = slackCol_[r] >= 0 ? slackCol_[r] : artCol_[r];
+        if (basisSlot_[col] < 0) {
+          basis_[slot] = col;
+          basisSlot_[col] = slot;
+          ++slot;
+        }
+      }
+      warmOk = (slot == numRows_);
+    }
+    if (warmOk) {
+      for (int c = 0; c < numStruct_; ++c) {
+        if (basisSlot_[c] >= 0) {
+          state_[c] = VarState::kBasic;
+        } else if (warm->atUpper[c] && upperB_[c] < kInfinity) {
+          state_[c] = VarState::kAtUpper;
+          value_[c] = upperB_[c];
+        }
+      }
+      for (int j = numStruct_; j < total; ++j) {
+        if (basisSlot_[j] >= 0) state_[j] = VarState::kBasic;
+      }
+    } else {
+      // Reset whatever the partial restore touched.
+      basis_.assign(numRows_, -1);
+      basisSlot_.assign(total, -1);
+      state_.assign(total, VarState::kAtLower);
+      for (int j = 0; j < total; ++j) value_[j] = lowerB_[j];
+    }
+  }
+
+  if (!warmOk) {
+    for (int r = 0; r < numRows_; ++r) {
+      int col = slackCol_[r] >= 0 ? slackCol_[r] : artCol_[r];
+      basis_[r] = col;
+      basisSlot_[col] = r;
+      state_[col] = VarState::kBasic;
+    }
+  }
+
+  y_.assign(numRows_, 0.0);
+  w_.assign(numRows_, 0.0);
+  rhsWork_.assign(numRows_, 0.0);
+  iterations_ = 0;
+  stallCount_ = 0;
+  blandMode_ = false;
+  stateValid_ = false;
+}
+
+bool SimplexSolver::refactorize() {
+  // Rebuild Binv by Gauss-Jordan elimination of the basis matrix B, stored
+  // row-major with rows = constraint rows and columns = basis slots. The
+  // row-major inverse then has rows = basis slots and columns = constraint
+  // rows, i.e. binv_[slot * m + row], the layout iterate() uses.
+  const int m = numRows_;
+  std::vector<double> mat(static_cast<std::size_t>(m) * m, 0.0);
+  for (int slot = 0; slot < m; ++slot) {
+    int j = basis_[slot];
+    if (j < numStruct_) {
+      auto rows = model_->colRows(j);
+      auto coefs = model_->colCoefs(j);
+      for (std::size_t k = 0; k < rows.size(); ++k)
+        mat[static_cast<std::size_t>(rows[k]) * m + slot] = coefs[k];
+    } else if (j < numStruct_ + numSlack_) {
+      int r = slackRowOf_[j - numStruct_];
+      mat[static_cast<std::size_t>(r) * m + slot] = slackSign_[r];
+    } else {
+      int r = artRowOf_[j - numStruct_ - numSlack_];
+      mat[static_cast<std::size_t>(r) * m + slot] = 1.0;
+    }
+  }
+  std::vector<double>& inv = binv_;
+  inv.assign(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
+  for (int col = 0; col < m; ++col) {
+    int pivotRow = -1;
+    double best = options_.pivotTol;
+    for (int r = col; r < m; ++r) {
+      double v = std::abs(mat[static_cast<std::size_t>(r) * m + col]);
+      if (v > best) {
+        best = v;
+        pivotRow = r;
+      }
+    }
+    if (pivotRow < 0) return false;  // singular basis
+    if (pivotRow != col) {
+      for (int k = 0; k < m; ++k) {
+        std::swap(mat[static_cast<std::size_t>(pivotRow) * m + k],
+                  mat[static_cast<std::size_t>(col) * m + k]);
+        std::swap(inv[static_cast<std::size_t>(pivotRow) * m + k],
+                  inv[static_cast<std::size_t>(col) * m + k]);
+      }
+    }
+    double invPiv = 1.0 / mat[static_cast<std::size_t>(col) * m + col];
+    for (int k = 0; k < m; ++k) {
+      mat[static_cast<std::size_t>(col) * m + k] *= invPiv;
+      inv[static_cast<std::size_t>(col) * m + k] *= invPiv;
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == col) continue;
+      double f = mat[static_cast<std::size_t>(r) * m + col];
+      if (f == 0.0) continue;
+      for (int k = 0; k < m; ++k) {
+        mat[static_cast<std::size_t>(r) * m + k] -=
+            f * mat[static_cast<std::size_t>(col) * m + k];
+        inv[static_cast<std::size_t>(r) * m + k] -=
+            f * inv[static_cast<std::size_t>(col) * m + k];
+      }
+    }
+  }
+  yValid_ = false;
+  recomputeBasicValues();
+  return true;
+}
+
+void SimplexSolver::recomputeBasicValues() {
+  const int m = numRows_;
+  for (int r = 0; r < m; ++r) rhsWork_[r] = model_->rhs(r);
+  for (int j = 0; j < totalCols(); ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    double v = value_[j];
+    if (v == 0.0) continue;
+    if (j < numStruct_) {
+      auto rows = model_->colRows(j);
+      auto coefs = model_->colCoefs(j);
+      for (std::size_t k = 0; k < rows.size(); ++k)
+        rhsWork_[rows[k]] -= coefs[k] * v;
+    } else if (j < numStruct_ + numSlack_) {
+      int r = slackRowOf_[j - numStruct_];
+      rhsWork_[r] -= slackSign_[r] * v;
+    } else {
+      rhsWork_[artRowOf_[j - numStruct_ - numSlack_]] -= v;
+    }
+  }
+  for (int slot = 0; slot < m; ++slot) {
+    double v = 0;
+    const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+    for (int r = 0; r < m; ++r) v += row[r] * rhsWork_[r];
+    xb_[slot] = v;
+    value_[basis_[slot]] = v;
+  }
+}
+
+double SimplexSolver::totalInfeasibility() const {
+  double inf = 0;
+  for (int slot = 0; slot < numRows_; ++slot) {
+    int j = basis_[slot];
+    if (xb_[slot] < lowerB_[j] - options_.feasTol)
+      inf += lowerB_[j] - xb_[slot];
+    else if (xb_[slot] > upperB_[j] + options_.feasTol)
+      inf += xb_[slot] - upperB_[j];
+  }
+  return inf;
+}
+
+LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
+  const int m = numRows_;
+  const bool hasDeadline = options_.deadlineSeconds > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              hasDeadline ? options_.deadlineSeconds : 0.0));
+  constexpr double kTieTol = 1e-9;
+  int sinceRefactor = 0;
+  // Periodic refactorization costs O(m^3); at large m let the product-form
+  // updates run longer between rebuilds (the post-solve feasibility check
+  // catches accumulated drift and retries from a fresh factorization).
+  const int refactorInterval = std::max(options_.refactorInterval, m);
+  yValid_ = false;
+  for (;;) {
+    if (iterationBudget-- <= 0) return LpStatus::kIterLimit;
+    if (hasDeadline && (iterations_ & 63) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return LpStatus::kIterLimit;
+    }
+    ++iterations_;
+
+    // Phase-1 costs are the violation signature of the current basis; they
+    // change every pivot, so y is rebuilt. Phase-2 costs are static, so y
+    // is rebuilt once and then updated incrementally per pivot (O(m)).
+    if (phase1 || !yValid_) {
+      std::fill(y_.begin(), y_.end(), 0.0);
+      bool anyViolation = false;
+      for (int slot = 0; slot < m; ++slot) {
+        int bj = basis_[slot];
+        double cb;
+        if (phase1) {
+          if (xb_[slot] < lowerB_[bj] - options_.feasTol) {
+            cb = -1.0;  // too low: increasing it reduces infeasibility
+            anyViolation = true;
+          } else if (xb_[slot] > upperB_[bj] + options_.feasTol) {
+            cb = 1.0;
+            anyViolation = true;
+          } else {
+            continue;
+          }
+        } else {
+          cb = bj < numStruct_ ? model_->objective(bj) : 0.0;
+          if (cb == 0.0) continue;
+        }
+        const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+        for (int r = 0; r < m; ++r) y_[r] += cb * row[r];
+      }
+      if (phase1 && !anyViolation) return LpStatus::kOptimal;  // feasible
+      yValid_ = !phase1;
+    }
+
+    // Pricing (Dantzig; Bland when stalled). In phase 1 the nonbasic costs
+    // are zero, so the reduced cost is just -y . A_j.
+    int entering = -1;
+    double bestScore = options_.optTol;
+    double dEnter = 0;
+    int enterDir = 0;
+    for (int j = 0; j < totalCols(); ++j) {
+      VarState st = state_[j];
+      if (st == VarState::kBasic) continue;
+      if (lowerB_[j] == upperB_[j]) continue;  // fixed (incl. artificials)
+      double cj = phase1 ? 0.0 : (j < numStruct_ ? model_->objective(j) : 0.0);
+      double d = cj - columnDot(j, y_);
+      double score;
+      int dir;
+      if (st == VarState::kAtLower && d < -options_.optTol) {
+        score = -d;
+        dir = +1;
+      } else if (st == VarState::kAtUpper && d > options_.optTol) {
+        score = d;
+        dir = -1;
+      } else {
+        continue;
+      }
+      if (blandMode_) {
+        entering = j;
+        enterDir = dir;
+        dEnter = d;
+        break;
+      }
+      if (score > bestScore) {
+        bestScore = score;
+        entering = j;
+        enterDir = dir;
+        dEnter = d;
+      }
+    }
+    if (entering < 0) {
+      // No improving column. Phase 1: infeasibility is minimal and positive.
+      return phase1 ? LpStatus::kInfeasible : LpStatus::kOptimal;
+    }
+
+    // w = Binv * A_entering.
+    std::fill(w_.begin(), w_.end(), 0.0);
+    auto accumulate = [&](int r, double coef) {
+      for (int slot = 0; slot < m; ++slot)
+        w_[slot] += binv_[static_cast<std::size_t>(slot) * m + r] * coef;
+    };
+    if (entering < numStruct_) {
+      auto rows = model_->colRows(entering);
+      auto coefs = model_->colCoefs(entering);
+      for (std::size_t k = 0; k < rows.size(); ++k)
+        accumulate(rows[k], coefs[k]);
+    } else if (entering < numStruct_ + numSlack_) {
+      int r = slackRowOf_[entering - numStruct_];
+      accumulate(r, slackSign_[r]);
+    } else {
+      accumulate(artRowOf_[entering - numStruct_ - numSlack_], 1.0);
+    }
+
+    // Bounded ratio test; entering moves by t >= 0 in direction enterDir and
+    // basics respond as xb -= t * enterDir * w. Infeasible basics block when
+    // they reach the bound they violate (composite phase-1 rule); feasible
+    // basics block at either bound as usual.
+    double tBest = upperB_[entering] - lowerB_[entering];  // bound-flip cap
+    int leavingSlot = -1;
+    bool leavingToUpper = false;
+    double bestMag = 0;
+    for (int slot = 0; slot < m; ++slot) {
+      double g = enterDir * w_[slot];
+      if (g > -options_.pivotTol && g < options_.pivotTol) continue;
+      int bj = basis_[slot];
+      double xv = xb_[slot];
+      double t = kInfinity;
+      bool toUpper = false;
+      if (xv < lowerB_[bj] - options_.feasTol) {
+        // Below its lower bound: blocks only while rising to that bound.
+        if (g < 0) {
+          t = (xv - lowerB_[bj]) / g;
+          toUpper = false;
+        } else {
+          continue;
+        }
+      } else if (xv > upperB_[bj] + options_.feasTol) {
+        if (g > 0) {
+          t = (xv - upperB_[bj]) / g;
+          toUpper = true;
+        } else {
+          continue;
+        }
+      } else if (g > 0) {
+        t = (xv - lowerB_[bj]) / g;
+        toUpper = false;
+      } else {
+        if (upperB_[bj] == kInfinity) continue;
+        t = (xv - upperB_[bj]) / g;
+        toUpper = true;
+      }
+      if (t < 0) t = 0;  // drift clamp
+      bool take = false;
+      if (t < tBest - kTieTol) {
+        take = true;
+      } else if (t <= tBest + kTieTol && leavingSlot >= 0) {
+        take = blandMode_ ? (bj < basis_[leavingSlot])
+                          : (std::abs(w_[slot]) > bestMag);
+      }
+      if (take) {
+        tBest = std::min(tBest, t);
+        leavingSlot = slot;
+        leavingToUpper = toUpper;
+        bestMag = std::abs(w_[slot]);
+      }
+    }
+
+    if (leavingSlot < 0) {
+      if (upperB_[entering] == kInfinity) {
+        // Unbounded direction. In phase 1 the objective (total violation)
+        // is bounded below by zero, so this cannot persist: numerics.
+        return phase1 ? LpStatus::kNumericalError : LpStatus::kUnbounded;
+      }
+      double t = upperB_[entering] - lowerB_[entering];
+      for (int slot = 0; slot < m; ++slot) {
+        xb_[slot] -= t * enterDir * w_[slot];
+        value_[basis_[slot]] = xb_[slot];
+      }
+      value_[entering] = (enterDir > 0) ? upperB_[entering] : lowerB_[entering];
+      state_[entering] =
+          (enterDir > 0) ? VarState::kAtUpper : VarState::kAtLower;
+      continue;
+    }
+
+    if (tBest <= options_.feasTol) {
+      if (++stallCount_ >= options_.blandAfterStalls) blandMode_ = true;
+    } else {
+      stallCount_ = 0;
+      blandMode_ = false;
+    }
+
+    for (int slot = 0; slot < m; ++slot) {
+      xb_[slot] -= tBest * enterDir * w_[slot];
+      value_[basis_[slot]] = xb_[slot];
+    }
+    double enterValue = value_[entering] + tBest * enterDir;
+
+    int leaving = basis_[leavingSlot];
+    state_[leaving] = leavingToUpper ? VarState::kAtUpper : VarState::kAtLower;
+    value_[leaving] = leavingToUpper ? upperB_[leaving] : lowerB_[leaving];
+    basisSlot_[leaving] = -1;
+
+    basis_[leavingSlot] = entering;
+    basisSlot_[entering] = leavingSlot;
+    state_[entering] = VarState::kBasic;
+    xb_[leavingSlot] = enterValue;
+    value_[entering] = enterValue;
+
+    double piv = w_[leavingSlot];
+    if (std::abs(piv) < options_.pivotTol) {
+      if (!refactorize()) return LpStatus::kNumericalError;
+      continue;
+    }
+    double invPiv = 1.0 / piv;
+    double* pivotRow = binv_.data() + static_cast<std::size_t>(leavingSlot) * m;
+    for (int k = 0; k < m; ++k) pivotRow[k] *= invPiv;
+    for (int slot = 0; slot < m; ++slot) {
+      if (slot == leavingSlot) continue;
+      double f = w_[slot];
+      if (f == 0.0) continue;
+      double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+      for (int k = 0; k < m; ++k) row[k] -= f * pivotRow[k];
+    }
+    if (!phase1 && yValid_) {
+      // Dual update: the entering column's reduced cost must drop to zero;
+      // y' = y + d_e * (new pivot row of Binv).
+      for (int k = 0; k < m; ++k) y_[k] += dEnter * pivotRow[k];
+    }
+
+    if (++sinceRefactor >= refactorInterval) {
+      if (!refactorize()) return LpStatus::kNumericalError;
+      sinceRefactor = 0;
+    }
+  }
+}
+
+LpResult SimplexSolver::solve(const LpModel& model,
+                              const BasisSnapshot* warm) {
+  LpResult result;
+  bool warmRequested = warm != nullptr && !warm->empty();
+  setup(model, warm);
+  bool factorized = false;
+  if (warmRequested) {
+    factorized = refactorize();
+    if (!factorized) setup(model, nullptr);  // fall back to default basis
+  }
+  if (!factorized) {
+    // Default slack/artificial basis: the inverse is the identity (all
+    // slack/artificial coefficients are +1 except >= slacks at -1), so the
+    // O(m^3) refactorization is unnecessary.
+    const int m = numRows_;
+    binv_.assign(static_cast<std::size_t>(m) * m, 0.0);
+    for (int r = 0; r < m; ++r) {
+      double sign = (slackCol_[r] >= 0) ? slackSign_[r] : 1.0;
+      binv_[static_cast<std::size_t>(basisSlot_[slackCol_[r] >= 0
+                                                    ? slackCol_[r]
+                                                    : artCol_[r]]) *
+                m +
+            r] = sign;
+    }
+    recomputeBasicValues();
+  }
+  return runPhases(model);
+}
+
+bool SimplexSolver::canContinue(const LpModel& model) const {
+  return stateValid_ && model_ == &model && numStruct_ == model.numCols() &&
+         numRows_ <= model.numRows();
+}
+
+LpResult SimplexSolver::solveContinue(const LpModel& model) {
+  OPTR_ASSERT(canContinue(model), "solveContinue without valid state");
+  LpResult result;
+
+  // Refresh structural bounds; park nonbasic variables on their (possibly
+  // moved) bounds.
+  for (int c = 0; c < numStruct_; ++c) {
+    lowerB_[c] = model.lower(c);
+    upperB_[c] = model.upper(c);
+    if (state_[c] == VarState::kAtLower) {
+      value_[c] = lowerB_[c];
+    } else if (state_[c] == VarState::kAtUpper) {
+      if (upperB_[c] == kInfinity) {
+        state_[c] = VarState::kAtLower;
+        value_[c] = lowerB_[c];
+      } else {
+        value_[c] = upperB_[c];
+      }
+    }
+  }
+
+  // Absorb appended rows (all lazy cuts are inequalities). For basis
+  // B' = [[B, 0], [C, S]] with S the new slacks, the inverse is
+  // [[B^-1, 0], [-S^-1 C B^-1, S^-1]]; each new row costs O(nnz_basic x m).
+  const int newRows = model.numRows() - numRows_;
+  if (newRows > 0) {
+    const int mOld = numRows_;
+    const int m = model.numRows();
+    // Map old internal columns to new indices: slacks/artificials shift
+    // because numStruct_ stays but slack count grows.
+    int oldNumSlack = numSlack_;
+    std::vector<int> oldBasis = basis_;
+    std::vector<int> oldSlackRowOf = slackRowOf_;
+    std::vector<VarState> oldState = state_;
+    std::vector<double> oldValue = value_;
+    std::vector<double> oldBinv = std::move(binv_);
+
+    // Rebuild column bookkeeping for the grown model.
+    slackCol_.assign(m, -1);
+    slackSign_.assign(m, 0.0);
+    slackRowOf_.clear();
+    artCol_.assign(m, -1);
+    artRowOf_.clear();
+    numSlack_ = 0;
+    for (int r = 0; r < m; ++r) {
+      if (model.sense(r) == RowSense::kEq) continue;
+      slackSign_[r] = (model.sense(r) == RowSense::kLe) ? 1.0 : -1.0;
+      slackCol_[r] = numStruct_ + numSlack_;
+      slackRowOf_.push_back(r);
+      ++numSlack_;
+    }
+    numArt_ = 0;
+    for (int r = 0; r < m; ++r) {
+      if (model.sense(r) != RowSense::kEq) continue;
+      artCol_[r] = numStruct_ + numSlack_ + numArt_;
+      artRowOf_.push_back(r);
+      ++numArt_;
+    }
+    int total = totalCols();
+    auto remap = [&](int oldCol) {
+      if (oldCol < numStruct_) return oldCol;
+      if (oldCol < numStruct_ + oldNumSlack)
+        return slackCol_[oldSlackRowOf[oldCol - numStruct_]];
+      // Artificial of an equality row: row ids are stable.
+      int oldArtIdx = oldCol - numStruct_ - oldNumSlack;
+      // artRowOf_ was rebuilt; equality rows did not change, so the i-th
+      // artificial still belongs to the same row.
+      return artCol_[artRowOf_[oldArtIdx]];
+    };
+
+    cost_.assign(total, 0.0);
+    lowerB_.resize(total);
+    upperB_.resize(total);
+    value_.assign(total, 0.0);
+    state_.assign(total, VarState::kAtLower);
+    for (int c = 0; c < numStruct_; ++c) {
+      lowerB_[c] = model.lower(c);
+      upperB_[c] = model.upper(c);
+      state_[c] = oldState[c];
+      value_[c] = oldValue[c];
+    }
+    for (int s = 0; s < numSlack_; ++s) {
+      lowerB_[numStruct_ + s] = 0.0;
+      upperB_[numStruct_ + s] = kInfinity;
+    }
+    for (int a = 0; a < numArt_; ++a) {
+      lowerB_[numStruct_ + numSlack_ + a] = 0.0;
+      upperB_[numStruct_ + numSlack_ + a] = 0.0;
+    }
+    for (int oldCol = numStruct_; oldCol < numStruct_ + oldNumSlack + numArt_;
+         ++oldCol) {
+      int neu = remap(oldCol);
+      state_[neu] = oldState[oldCol];
+      value_[neu] = oldValue[oldCol];
+    }
+
+    // Basis: old slots keep their (remapped) columns; new rows get their
+    // slack as basic.
+    basis_.assign(m, -1);
+    basisSlot_.assign(total, -1);
+    for (int slot = 0; slot < mOld; ++slot) {
+      int col = remap(oldBasis[slot]);
+      basis_[slot] = col;
+      basisSlot_[col] = slot;
+      state_[col] = VarState::kBasic;
+    }
+    for (int r = mOld; r < m; ++r) {
+      int slot = r;
+      int col = slackCol_[r];
+      OPTR_ASSERT(col >= 0, "appended row must be an inequality");
+      basis_[slot] = col;
+      basisSlot_[col] = slot;
+      state_[col] = VarState::kBasic;
+    }
+
+    // Grow Binv. New-slot rows: -S^-1 C B^-1 over old row columns, S^-1 on
+    // their own column (slack coefficient is +1 for <=, -1 for >=).
+    binv_.assign(static_cast<std::size_t>(m) * m, 0.0);
+    for (int slot = 0; slot < mOld; ++slot) {
+      const double* src = oldBinv.data() + static_cast<std::size_t>(slot) * mOld;
+      double* dst = binv_.data() + static_cast<std::size_t>(slot) * m;
+      std::copy(src, src + mOld, dst);
+    }
+    for (int r = mOld; r < m; ++r) {
+      double* dst = binv_.data() + static_cast<std::size_t>(r) * m;
+      double sInv = 1.0 / slackSign_[r];
+      auto cols = model.rowCols(r);
+      auto coefs = model.rowCoefs(r);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        int slot = basisSlot_[cols[k]];
+        if (slot < 0 || slot >= mOld) continue;  // nonbasic or new column
+        double f = coefs[k] * sInv;
+        const double* brow =
+            binv_.data() + static_cast<std::size_t>(slot) * m;
+        for (int j = 0; j < mOld; ++j) dst[j] -= f * brow[j];
+      }
+      dst[r] = sInv;
+    }
+    numRows_ = m;
+    xb_.assign(m, 0.0);
+    y_.assign(m, 0.0);
+    w_.assign(m, 0.0);
+    rhsWork_.assign(m, 0.0);
+    model.buildColumnIndex();
+  }
+
+  recomputeBasicValues();
+  iterations_ = 0;
+  stallCount_ = 0;
+  blandMode_ = false;
+  return runPhases(model);
+}
+
+LpResult SimplexSolver::runPhases(const LpModel& model) {
+  LpResult result;
+  stateValid_ = false;
+  std::int64_t budget = options_.maxIterations;
+
+  LpStatus st = iterate(budget, /*phase1=*/true);
+  result.iterations = iterations_;
+  if (st != LpStatus::kOptimal) {
+    if (st == LpStatus::kInfeasible) {
+      result.phase1Infeasibility = totalInfeasibility();
+      stateValid_ = true;  // basis is consistent; continuation is fine
+    }
+    result.status = st;
+    return result;
+  }
+
+  blandMode_ = false;
+  stallCount_ = 0;
+  st = iterate(budget, /*phase1=*/false);
+  result.iterations = iterations_;
+  if (st != LpStatus::kOptimal) {
+    result.status = st;
+    return result;
+  }
+
+  recomputeBasicValues();
+  auto extract = [&] {
+    result.x.assign(value_.begin(), value_.begin() + numStruct_);
+    for (int c = 0; c < numStruct_; ++c)
+      result.x[c] = std::clamp(result.x[c], model.lower(c), model.upper(c));
+    result.objective = model.objectiveValue(result.x);
+  };
+  extract();
+  result.status = LpStatus::kOptimal;
+
+  // Safety net: verify primal feasibility; one refactor-and-retry on drift.
+  if (!model.isFeasible(result.x, 1e-5)) {
+    bool recovered = false;
+    if (refactorize()) {
+      std::int64_t retry = options_.maxIterations / 4;
+      if (iterate(retry, true) == LpStatus::kOptimal &&
+          iterate(retry, false) == LpStatus::kOptimal) {
+        recomputeBasicValues();
+        extract();
+        recovered = model.isFeasible(result.x, 1e-4);
+      }
+    }
+    if (!recovered && !model.isFeasible(result.x, 1e-4)) {
+      result.status = LpStatus::kNumericalError;
+    }
+  }
+  stateValid_ = (result.status == LpStatus::kOptimal);
+  return result;
+}
+
+BasisSnapshot SimplexSolver::snapshot() const {
+  BasisSnapshot snap;
+  snap.basis.reserve(basis_.size());
+  for (int j : basis_) {
+    BasisSnapshot::Token tok;
+    if (j < numStruct_) {
+      tok.kind = BasisSnapshot::Kind::kStruct;
+      tok.id = j;
+    } else if (j < numStruct_ + numSlack_) {
+      tok.kind = BasisSnapshot::Kind::kSlack;
+      tok.id = slackRowOf_[j - numStruct_];
+    } else {
+      tok.kind = BasisSnapshot::Kind::kArtificial;
+      tok.id = artRowOf_[j - numStruct_ - numSlack_];
+    }
+    snap.basis.push_back(tok);
+  }
+  snap.atUpper.assign(numStruct_, 0);
+  for (int c = 0; c < numStruct_; ++c)
+    snap.atUpper[c] = (state_[c] == VarState::kAtUpper) ? 1 : 0;
+  return snap;
+}
+
+}  // namespace optr::lp

@@ -1,0 +1,149 @@
+// Bounded-variable revised simplex with warm starts.
+//
+// This is the LP engine underneath the MIP branch-and-bound that replaces
+// CPLEX in the OptRouter reproduction. Design points:
+//   * All model variables must have finite lower bounds (true for every
+//     routing formulation variable); slacks (inequality rows) and
+//     artificials (equality rows, pinned to [0,0]) are added internally.
+//   * Feasibility is reached by a composite ("basis repair") phase 1 that
+//     minimizes the total bound violation of basic variables. This works
+//     from any starting basis, which enables warm starts: branch-and-bound
+//     re-solves differ from the parent node by one variable bound, so
+//     starting from the parent's final basis converges in a few pivots
+//     instead of hundreds.
+//   * The basis inverse is kept dense and updated by elementary row
+//     operations, with periodic refactorization (Gauss-Jordan with partial
+//     pivoting). Problem sizes here are a few thousand rows at most, where
+//     a dense inverse is simple and fast enough.
+//   * Dantzig pricing with an automatic switch to Bland's rule after a run
+//     of degenerate pivots guarantees termination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/lp_model.h"
+
+namespace optr::lp {
+
+enum class LpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+  kNumericalError,
+};
+
+const char* toString(LpStatus s);
+
+struct SimplexOptions {
+  std::int64_t maxIterations = 200000;
+  double feasTol = 1e-7;    // bound / row feasibility
+  double optTol = 1e-7;     // reduced-cost optimality
+  double pivotTol = 1e-9;   // minimum acceptable pivot magnitude
+  int refactorInterval = 256;
+  int blandAfterStalls = 512;  // degenerate pivots before Bland's rule
+  /// Wall-clock budget per solve; <= 0 disables. Checked every few dozen
+  /// pivots; an expired solve returns kIterLimit (callers treat it like an
+  /// exhausted iteration budget).
+  double deadlineSeconds = 0.0;
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kNumericalError;
+  double objective = 0.0;
+  std::vector<double> x;  // structural variables only (model columns)
+  std::int64_t iterations = 0;
+  double phase1Infeasibility = 0.0;
+};
+
+/// A restartable description of a basis, robust against rows being appended
+/// to the model between snapshot and restore (lazy constraints): entries
+/// reference structural columns or the slack of a specific row, never raw
+/// internal indices.
+struct BasisSnapshot {
+  enum class Kind : std::uint8_t { kStruct, kSlack, kArtificial };
+  struct Token {
+    Kind kind;
+    int id;  // structural column, or row index for slack/artificial
+  };
+  std::vector<Token> basis;            // one per row at snapshot time
+  std::vector<std::uint8_t> atUpper;   // nonbasic struct cols at upper bound
+  bool empty() const { return basis.empty(); }
+};
+
+/// Reusable solver: keeps workspace buffers alive across calls so that
+/// branch-and-bound can re-solve the same model with mutated bounds cheaply.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the model. When `warm` is non-null and restorable, the search
+  /// starts from that basis; otherwise from the slack/artificial basis.
+  /// The model may have had rows appended or bounds changed between calls.
+  LpResult solve(const LpModel& model, const BasisSnapshot* warm = nullptr);
+
+  /// True when solveContinue() can pick up from the previous solve of the
+  /// same model: only bound changes and appended <= rows since then.
+  bool canContinue(const LpModel& model) const;
+
+  /// Re-solves in place: refreshes bounds, absorbs appended inequality rows
+  /// into the factorized basis in O(rows x m) each, and re-runs the phases.
+  /// Orders of magnitude cheaper than a cold refactorization for the
+  /// branch-and-bound dive pattern (child differs by one variable bound).
+  LpResult solveContinue(const LpModel& model);
+
+  /// Basis of the most recent successful solve, for future warm starts.
+  BasisSnapshot snapshot() const;
+
+  const SimplexOptions& options() const { return options_; }
+  SimplexOptions& options() { return options_; }
+
+ private:
+  enum class VarState : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+  // Internal (structural + slack + artificial) column view.
+  int totalCols() const { return numStruct_ + numSlack_ + numArt_; }
+  double columnDot(int j, const std::vector<double>& y) const;
+
+  void setup(const LpModel& model, const BasisSnapshot* warm);
+  LpResult runPhases(const LpModel& model);
+  /// One simplex phase. In phase 1 the cost vector is the dynamic bound
+  /// violation signature of the basis; in phase 2 it is the model objective.
+  LpStatus iterate(std::int64_t& iterationBudget, bool phase1);
+  bool refactorize();
+  void recomputeBasicValues();
+  double totalInfeasibility() const;
+
+  SimplexOptions options_;
+
+  const LpModel* model_ = nullptr;
+  int numStruct_ = 0, numSlack_ = 0, numArt_ = 0;
+
+  // Per-internal-column data.
+  std::vector<double> cost_, lowerB_, upperB_, value_;
+  std::vector<VarState> state_;
+  // Slack bookkeeping: slackCol_[r] = internal column of row r's slack or -1;
+  // slackRowOf_[s] = row of the s-th slack column. Artificials exist only
+  // for equality rows: artCol_[r] / artRowOf_[a].
+  std::vector<int> slackCol_, slackRowOf_;
+  std::vector<double> slackSign_;  // +1 for <=, -1 for >=
+  std::vector<int> artCol_, artRowOf_;
+
+  // Basis.
+  std::vector<int> basis_;      // basis_[slot] = internal column
+  std::vector<int> basisSlot_;  // inverse map: column -> slot or -1
+  std::vector<double> binv_;    // dense numRows x numRows, [slot][row]
+  std::vector<double> xb_;      // basic values by slot
+  int numRows_ = 0;
+
+  // Workspace.
+  std::vector<double> y_, w_, rhsWork_;
+  std::int64_t iterations_ = 0;
+  int stallCount_ = 0;
+  bool blandMode_ = false;
+  bool stateValid_ = false;  // internal state matches model_ for continue
+  bool yValid_ = false;      // y_ matches the current basis (phase-2 only)
+};
+
+}  // namespace optr::lp

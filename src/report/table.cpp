@@ -1,0 +1,99 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace optr::report {
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      out += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = line(header_);
+  std::string sep = "|";
+  for (std::size_t i = 0; i < width.size(); ++i)
+    sep += std::string(width[i] + 2, '-') + "|";
+  out += sep + "\n";
+  for (const auto& r : rows_) out += line(r);
+  return out;
+}
+
+std::string Series::render(int maxPoints) const {
+  std::string out = "== " + title_ + " ==\n";
+  out += "   x: " + xLabel_ + ", y: " + yLabel_ + "\n";
+  if (series_.empty()) return out;
+
+  double lo = 0, hi = 1;
+  bool first = true;
+  for (const auto& s : series_) {
+    for (double v : s.ys) {
+      if (!std::isfinite(v)) continue;
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  if (hi <= lo) hi = lo + 1;
+
+  static const char* kGlyphs = " .:-=+*#%@";
+  std::size_t nameWidth = 0;
+  for (const auto& s : series_) nameWidth = std::max(nameWidth, s.name.size());
+
+  for (const auto& s : series_) {
+    // Downsample to maxPoints for the sparkline.
+    std::string spark;
+    int n = static_cast<int>(s.ys.size());
+    int points = std::min(maxPoints, n);
+    for (int i = 0; i < points; ++i) {
+      double v = s.ys[static_cast<std::size_t>(
+          static_cast<double>(i) * n / points)];
+      if (!std::isfinite(v)) {
+        spark += '!';
+        continue;
+      }
+      int level = static_cast<int>(std::lround((v - lo) / (hi - lo) * 9));
+      spark += kGlyphs[std::clamp(level, 0, 9)];
+    }
+    out += "   " + s.name + std::string(nameWidth - s.name.size(), ' ') +
+           " [" + spark + "]";
+    // Numeric summary: first / median / last finite values.
+    std::vector<double> finite;
+    int infinities = 0;
+    for (double v : s.ys) {
+      if (std::isfinite(v)) {
+        finite.push_back(v);
+      } else {
+        ++infinities;
+      }
+    }
+    if (!finite.empty()) {
+      double med = finite[finite.size() / 2];
+      out += strFormat("  first=%.1f med=%.1f last=%.1f", finite.front(), med,
+                       finite.back());
+    }
+    if (infinities > 0) out += strFormat("  infeasible=%d", infinities);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace optr::report

@@ -1,0 +1,54 @@
+// Plain-text table and figure-series rendering for the bench harness.
+//
+// Every reproduced table/figure prints through these helpers so the output
+// is uniform, aligned, and easy to diff across runs (EXPERIMENTS.md records
+// the emitted blocks verbatim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace optr::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A figure reproduced as text: named series of y-values over a shared
+/// x-axis (e.g. sorted delta-cost per clip index, Figure 10).
+class Series {
+ public:
+  Series(std::string title, std::string xLabel, std::string yLabel)
+      : title_(std::move(title)),
+        xLabel_(std::move(xLabel)),
+        yLabel_(std::move(yLabel)) {}
+
+  void add(const std::string& name, std::vector<double> ys) {
+    series_.push_back({name, std::move(ys)});
+  }
+
+  /// Renders each series as a row of values plus a coarse ASCII sparkline
+  /// (so the figure's shape is visible in a terminal).
+  std::string render(int maxPoints = 24) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<double> ys;
+  };
+  std::string title_, xLabel_, yLabel_;
+  std::vector<Entry> series_;
+};
+
+}  // namespace optr::report

@@ -1,0 +1,129 @@
+#include "route/delay.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace optr::route {
+
+namespace {
+
+struct ArcRc {
+  double r = 0, c = 0;
+};
+
+ArcRc arcRc(const grid::RoutingGraph& g, const grid::Arc& arc,
+            const tech::RcModel& rc) {
+  ArcRc out;
+  switch (arc.kind) {
+    case grid::ArcKind::kPlanar:
+      out.r = rc.layer(arc.layer).rPerTrack;
+      out.c = rc.layer(arc.layer).cPerTrack;
+      break;
+    case grid::ArcKind::kVia:
+    case grid::ArcKind::kViaEnter:
+      out.r = rc.viaR;
+      out.c = rc.viaC;
+      break;
+    case grid::ArcKind::kViaExit:
+      break;  // the matching enter arc carries the via parasitics
+  }
+  (void)g;
+  return out;
+}
+
+}  // namespace
+
+std::vector<NetDelay> estimateNetDelays(const clip::Clip& clip,
+                                        const grid::RoutingGraph& graph,
+                                        const RouteSolution& solution,
+                                        const tech::RcModel& rc,
+                                        DelayOptions options) {
+  std::vector<NetDelay> result;
+  const int numNets = static_cast<int>(clip.nets.size());
+  for (int k = 0; k < numNets && k < static_cast<int>(solution.usedArcs.size());
+       ++k) {
+    NetDelay nd;
+    nd.net = k;
+
+    // Children adjacency along flow direction; in-degree to find the root.
+    std::map<int, std::vector<int>> childArcs;  // vertex -> out arcs used
+    std::map<int, int> indeg;
+    for (int a : solution.usedArcs[k]) {
+      const grid::Arc& arc = graph.arc(a);
+      childArcs[arc.from].push_back(a);
+      ++indeg[arc.to];
+    }
+
+    // Sink capacitance loads by vertex.
+    std::map<int, double> loadAt;
+    const clip::ClipNet& net = clip.nets[k];
+    for (std::size_t s = 1; s < net.pins.size(); ++s) {
+      for (const clip::TrackPoint& ap : clip.pins[net.pins[s]].accessPoints)
+        loadAt[graph.vertexId(ap)] += options.sinkC;
+    }
+    std::map<int, bool> isSinkVertex;
+    for (std::size_t s = 1; s < net.pins.size(); ++s) {
+      for (const clip::TrackPoint& ap : clip.pins[net.pins[s]].accessPoints)
+        isSinkVertex[graph.vertexId(ap)] = true;
+    }
+
+    // Root: the source access point that drives flow (no used in-arc).
+    int root = -1;
+    for (const clip::TrackPoint& ap : clip.pins[net.pins[0]].accessPoints) {
+      int v = graph.vertexId(ap);
+      if (childArcs.count(v) && indeg.find(v) == indeg.end()) {
+        root = v;
+        break;
+      }
+    }
+    if (root < 0) {
+      result.push_back(nd);  // unrouted or zero-length net
+      continue;
+    }
+
+    // Pass 1: subtree capacitance below each vertex (post-order).
+    std::map<int, double> subtreeC;
+    std::function<double(int)> accumulate = [&](int v) -> double {
+      double c = 0;
+      auto it = loadAt.find(v);
+      if (it != loadAt.end()) c += it->second;
+      auto ch = childArcs.find(v);
+      if (ch != childArcs.end()) {
+        for (int a : ch->second) {
+          ArcRc arc = arcRc(graph, graph.arc(a), rc);
+          c += arc.c + accumulate(graph.arc(a).to);
+        }
+      }
+      subtreeC[v] = c;
+      return c;
+    };
+    nd.totalCapacitance = accumulate(root);
+
+    // Pass 2: Elmore delay, rootward resistance times downstream C.
+    double best = 0, bestR = 0;
+    std::function<void(int, double, double)> walk = [&](int v, double delay,
+                                                        double rPath) {
+      if (isSinkVertex.count(v) && delay > best) {
+        best = delay;
+        bestR = rPath;
+      }
+      auto ch = childArcs.find(v);
+      if (ch == childArcs.end()) return;
+      for (int a : ch->second) {
+        ArcRc arc = arcRc(graph, graph.arc(a), rc);
+        int w = graph.arc(a).to;
+        double down = arc.c / 2.0 + subtreeC[w];
+        walk(w, delay + arc.r * down, rPath + arc.r);
+      }
+    };
+    double rootDelay = options.driverR * nd.totalCapacitance;
+    walk(root, rootDelay, options.driverR);
+    nd.worstSinkDelay = best;
+    nd.worstPathResistance = bestR;
+    result.push_back(nd);
+  }
+  return result;
+}
+
+}  // namespace optr::route

@@ -1,0 +1,42 @@
+// Elmore delay estimation over routed clip solutions.
+//
+// Supports the paper's RC-scaling methodology (tech/rc_model.h): once a clip
+// is routed, per-net Elmore delays quantify what the BEOL choice costs
+// electrically -- the 7nm-in-28nm-stack scaling (R x6, C /2.5) shifts the
+// wire-delay balance that bench_rc_scaling reports.
+#pragma once
+
+#include <vector>
+
+#include "route/route_solution.h"
+#include "tech/rc_model.h"
+
+namespace optr::route {
+
+struct NetDelay {
+  int net = -1;
+  /// Elmore delay from the source to the slowest connected sink, in
+  /// normalized R*C units.
+  double worstSinkDelay = 0;
+  /// Total wire + via capacitance hanging on the net.
+  double totalCapacitance = 0;
+  /// Total path resistance to the slowest sink.
+  double worstPathResistance = 0;
+};
+
+struct DelayOptions {
+  /// Driver output resistance added in front of the wire tree.
+  double driverR = 1.0;
+  /// Sink input capacitance added at each sink access point.
+  double sinkC = 0.5;
+};
+
+/// Per-net Elmore delays for a routed solution. Nets whose routing is not a
+/// source-rooted tree (or is absent) report zeros.
+std::vector<NetDelay> estimateNetDelays(const clip::Clip& clip,
+                                        const grid::RoutingGraph& graph,
+                                        const RouteSolution& solution,
+                                        const tech::RcModel& rc,
+                                        DelayOptions options = {});
+
+}  // namespace optr::route

@@ -1,0 +1,449 @@
+#include "route/drc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace optr::route {
+
+const char* toString(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kArcConflict: return "arc-conflict";
+    case ViolationKind::kVertexConflict: return "vertex-conflict";
+    case ViolationKind::kViaAdjacency: return "via-adjacency";
+    case ViolationKind::kViaFootprint: return "via-footprint";
+    case ViolationKind::kSadpEol: return "sadp-eol";
+    case ViolationKind::kOpenNet: return "open-net";
+  }
+  return "?";
+}
+
+std::string Violation::describe(const grid::RoutingGraph& g) const {
+  std::string s = toString(kind);
+  s += strFormat(" nets(%d,%d)", netA, netB);
+  if (vertex >= 0 && g.isGridVertex(vertex)) {
+    auto p = g.coords(vertex);
+    s += strFormat(" at (%d,%d,M%d)", p.x, p.y, g.metalOf(p.z));
+  }
+  if (viaA >= 0) s += strFormat(" viaA=%d", viaA);
+  if (viaB >= 0) s += strFormat(" viaB=%d", viaB);
+  if (kind == ViolationKind::kSadpEol) {
+    auto pa = g.coords(eolA.vertex);
+    auto pb = g.coords(eolB.vertex);
+    s += strFormat(" eolA=(%d,%d,M%d) eolB=(%d,%d,M%d)", pa.x, pa.y,
+                   g.metalOf(pa.z), pb.x, pb.y, g.metalOf(pb.z));
+  }
+  return s;
+}
+
+DrcChecker::DrcChecker(const clip::Clip& clip, const grid::RoutingGraph& graph)
+    : clip_(&clip), graph_(&graph) {}
+
+std::vector<Violation> DrcChecker::check(const RouteSolution& sol) const {
+  std::vector<Violation> out;
+  checkArcAndVertexConflicts(sol, &out);
+  checkViaRules(sol, &out);
+  checkSadp(sol, &out);
+  checkConnectivity(sol, &out);
+  return out;
+}
+
+void DrcChecker::checkArcAndVertexConflicts(const RouteSolution& sol,
+                                            std::vector<Violation>* out) const {
+  const grid::RoutingGraph& g = *graph_;
+  const int numNets = static_cast<int>(sol.usedArcs.size());
+
+  // Arc exclusivity over undirected arc pairs (paper Constraint (1)).
+  std::vector<int> arcNet(g.numArcs(), -1);
+  for (int k = 0; k < numNets; ++k) {
+    for (int a : sol.usedArcs[k]) {
+      int conflictNet = -1;
+      if (arcNet[a] >= 0) conflictNet = arcNet[a];
+      int rev = g.reverseArc(a);
+      if (rev >= 0 && arcNet[rev] >= 0) conflictNet = arcNet[rev];
+      if (conflictNet >= 0) {
+        Violation v;
+        v.kind = ViolationKind::kArcConflict;
+        v.netA = conflictNet;
+        v.netB = k;
+        v.arcsA = {a};
+        v.vertex = g.isGridVertex(g.arc(a).from) ? g.arc(a).from : -1;
+        out->push_back(std::move(v));
+      }
+      arcNet[a] = k;
+    }
+  }
+
+  // Vertex exclusivity: the set of grid vertices a net's arcs touch must be
+  // disjoint from every other net's. Access points shared by abutting pins
+  // of the same net are fine (same k).
+  std::map<int, int> vertexNet;  // grid vertex -> first net touching it
+  for (int k = 0; k < numNets; ++k) {
+    std::set<int> touched;
+    for (int a : sol.usedArcs[k]) {
+      const grid::Arc& arc = g.arc(a);
+      if (g.isGridVertex(arc.from)) touched.insert(arc.from);
+      if (g.isGridVertex(arc.to)) touched.insert(arc.to);
+    }
+    for (int v : touched) {
+      auto [it, inserted] = vertexNet.emplace(v, k);
+      if (inserted || it->second == k) continue;
+      Violation viol;
+      viol.kind = ViolationKind::kVertexConflict;
+      viol.netA = it->second;
+      viol.netB = k;
+      viol.vertex = v;
+      for (int a : sol.usedArcs[viol.netA]) {
+        const grid::Arc& arc = g.arc(a);
+        if (arc.from == v || arc.to == v) viol.arcsA.push_back(a);
+      }
+      for (int a : sol.usedArcs[k]) {
+        const grid::Arc& arc = g.arc(a);
+        if (arc.from == v || arc.to == v) viol.arcsB.push_back(a);
+      }
+      out->push_back(std::move(viol));
+    }
+    // Routing through vertices owned by other nets or blocked.
+    for (int v : touched) {
+      int owner = g.vertexOwner(v);
+      if (owner == grid::kVertexFree || owner == k) continue;
+      Violation viol;
+      viol.kind = ViolationKind::kVertexConflict;
+      viol.netA = owner;  // kVertexBlocked (-2) marks obstacles
+      viol.netB = k;
+      viol.vertex = v;
+      for (int a : sol.usedArcs[k]) {
+        const grid::Arc& arc = g.arc(a);
+        if (arc.from == v || arc.to == v) viol.arcsB.push_back(a);
+      }
+      out->push_back(std::move(viol));
+    }
+  }
+}
+
+std::vector<std::pair<int, int>> DrcChecker::usedVias(const RouteSolution& sol,
+                                                      int net) const {
+  const grid::RoutingGraph& g = *graph_;
+  std::vector<std::pair<int, int>> result;  // (instance, enter arc)
+  std::set<int> seen;
+  for (int a : sol.usedArcs[net]) {
+    const grid::Arc& arc = g.arc(a);
+    if (arc.viaInstance < 0) continue;
+    if (arc.kind != grid::ArcKind::kVia && arc.kind != grid::ArcKind::kViaEnter)
+      continue;  // exits don't mark usage; the matching enter does
+    if (seen.insert(arc.viaInstance).second)
+      result.emplace_back(arc.viaInstance, a);
+  }
+  return result;
+}
+
+void DrcChecker::checkViaRules(const RouteSolution& sol,
+                               std::vector<Violation>* out) const {
+  const grid::RoutingGraph& g = *graph_;
+  const int numNets = static_cast<int>(sol.usedArcs.size());
+  const tech::ViaRestriction restriction = g.rule().viaRestriction;
+
+  struct UsedVia {
+    int inst, net, arc;
+  };
+  std::vector<UsedVia> used;
+  for (int k = 0; k < numNets; ++k) {
+    for (auto [inst, arc] : usedVias(sol, k)) used.push_back({inst, k, arc});
+  }
+
+  auto footprintGap = [&](const grid::ViaInstance& a,
+                          const grid::ViaInstance& b, int& gx, int& gy) {
+    const auto& sa = g.rule().viaShapes[a.shape];
+    const auto& sb = g.rule().viaShapes[b.shape];
+    int aLoX = a.x, aHiX = a.x + sa.spanX - 1;
+    int aLoY = a.y, aHiY = a.y + sa.spanY - 1;
+    int bLoX = b.x, bHiX = b.x + sb.spanX - 1;
+    int bLoY = b.y, bHiY = b.y + sb.spanY - 1;
+    gx = std::max({0, bLoX - aHiX, aLoX - bHiX});
+    gy = std::max({0, bLoY - aHiY, aLoY - bHiY});
+  };
+
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    for (std::size_t j = i + 1; j < used.size(); ++j) {
+      const grid::ViaInstance& a = g.viaInstance(used[i].inst);
+      const grid::ViaInstance& b = g.viaInstance(used[j].inst);
+      if (a.z != b.z) continue;  // different cut layers never interact
+      if (used[i].inst == used[j].inst) {
+        // Same via instance entered twice (necessarily by two nets or two
+        // traversals): always a conflict.
+        Violation v;
+        v.kind = ViolationKind::kViaAdjacency;
+        v.netA = used[i].net;
+        v.netB = used[j].net;
+        v.viaA = used[i].inst;
+        v.viaB = used[j].inst;
+        out->push_back(std::move(v));
+        continue;
+      }
+      int gx = 0, gy = 0;
+      footprintGap(a, b, gx, gy);
+      bool conflict = false;
+      if (gx == 0 && gy == 0) {
+        conflict = true;  // overlapping footprints: illegal at any setting
+      } else if (restriction == tech::ViaRestriction::kOrthogonal) {
+        conflict = (gx + gy == 1);
+      } else if (restriction == tech::ViaRestriction::kFull) {
+        conflict = (gx <= 1 && gy <= 1);
+      }
+      if (!conflict) continue;
+      Violation v;
+      v.kind = ViolationKind::kViaAdjacency;
+      v.netA = used[i].net;
+      v.netB = used[j].net;
+      v.viaA = used[i].inst;
+      v.viaB = used[j].inst;
+      out->push_back(std::move(v));
+    }
+  }
+
+  // Footprint blocking (paper Constraint (5)): no other net may touch a
+  // vertex covered by a used via shape; covered vertices must be usable by
+  // the via's owner as well.
+  for (const UsedVia& uv : used) {
+    const grid::ViaInstance& inst = g.viaInstance(uv.inst);
+    if (g.rule().viaShapes[inst.shape].isUnit()) continue;  // vertex rule covers it
+    std::vector<int> covered = inst.coveredLower;
+    covered.insert(covered.end(), inst.coveredUpper.begin(),
+                   inst.coveredUpper.end());
+    for (int cv : covered) {
+      int owner = g.vertexOwner(cv);
+      if (owner != grid::kVertexFree && owner != uv.net) {
+        Violation v;
+        v.kind = ViolationKind::kViaFootprint;
+        v.netA = uv.net;
+        v.netB = owner;
+        v.viaA = uv.inst;
+        v.vertex = cv;
+        out->push_back(std::move(v));
+      }
+      for (int k = 0; k < numNets; ++k) {
+        if (k == uv.net) continue;
+        std::vector<int> arcsAtCv;
+        for (int a : sol.usedArcs[k]) {
+          const grid::Arc& arc = g.arc(a);
+          if ((arc.from == cv || arc.to == cv) && arc.viaInstance != uv.inst)
+            arcsAtCv.push_back(a);
+        }
+        if (arcsAtCv.empty()) continue;
+        Violation v;
+        v.kind = ViolationKind::kViaFootprint;
+        v.netA = uv.net;
+        v.netB = k;
+        v.viaA = uv.inst;
+        v.vertex = cv;
+        v.arcsB = std::move(arcsAtCv);
+        out->push_back(std::move(v));
+      }
+    }
+  }
+}
+
+std::vector<EolInfo> DrcChecker::findEols(const RouteSolution& sol,
+                                          int net) const {
+  const grid::RoutingGraph& g = *graph_;
+  std::vector<EolInfo> eols;
+
+  // Per-layer along-track edge usage for this net. Identify an edge by its
+  // low-end vertex; the edge runs toward +axis on the layer's preferred
+  // direction (u axis). Off-direction edges cannot exist on unidirectional
+  // layers; if the rule allows them, SADP does not apply anyway (the paper's
+  // SADP study assumes unidirectional layers).
+  auto edgeArcs = [&](int x, int y, int z, int& fwd, int& rev) {
+    fwd = rev = -1;
+    if (x < 0 || y < 0) return;
+    const bool horiz = g.layerInfo(z).horizontal;
+    int x2 = horiz ? x + 1 : x;
+    int y2 = horiz ? y : y + 1;
+    if (x2 >= g.nx() || y2 >= g.ny()) return;
+    int vA = g.vertexId(x, y, z), vB = g.vertexId(x2, y2, z);
+    for (int a : g.outArcs(vA)) {
+      if (g.arc(a).to == vB && g.arc(a).kind == grid::ArcKind::kPlanar) {
+        fwd = a;
+        rev = g.reverseArc(a);
+        return;
+      }
+    }
+  };
+
+  std::set<int> arcSet(sol.usedArcs[net].begin(), sol.usedArcs[net].end());
+  auto uses = [&](int a) { return a >= 0 && arcSet.count(a) > 0; };
+
+  for (int z = 0; z < g.nz(); ++z) {
+    const bool horiz = g.layerInfo(z).horizontal;
+    for (int y = 0; y < g.ny(); ++y) {
+      for (int x = 0; x < g.nx(); ++x) {
+        int v = g.vertexId(x, y, z);
+        // Edge toward +axis starting here, and edge toward -axis (i.e. the
+        // +axis edge of the previous position).
+        int posFwd, posRev, negFwd, negRev;
+        edgeArcs(x, y, z, posFwd, posRev);
+        if (horiz) {
+          edgeArcs(x - 1, y, z, negFwd, negRev);
+          if (x == 0) negFwd = negRev = -1;
+        } else {
+          edgeArcs(x, y - 1, z, negFwd, negRev);
+          if (y == 0) negFwd = negRev = -1;
+        }
+        bool usesPos = uses(posFwd) || uses(posRev);
+        bool usesNeg = uses(negFwd) || uses(negRev);
+        if (usesPos == usesNeg) continue;  // through-wire or no wire
+
+        // Line end at v: require a via arc at v (the paper detects EOLs at
+        // via locations; a wire ending on a pin is not an SADP line end).
+        int viaArc = -1;
+        for (int a : sol.usedArcs[net]) {
+          const grid::Arc& arc = g.arc(a);
+          if (arc.viaInstance < 0) continue;
+          if (arc.from == v || arc.to == v) {
+            viaArc = a;
+            break;
+          }
+        }
+        if (viaArc < 0) continue;
+
+        EolInfo e;
+        e.net = net;
+        e.vertex = v;
+        e.towardPositive = usesPos;
+        if (usesPos) {
+          e.e1Fwd = posFwd; e.e1Rev = posRev;
+          e.e0Fwd = negFwd; e.e0Rev = negRev;
+        } else {
+          e.e1Fwd = negFwd; e.e1Rev = negRev;
+          e.e0Fwd = posFwd; e.e0Rev = posRev;
+        }
+        e.viaArc = viaArc;
+        eols.push_back(e);
+      }
+    }
+  }
+  return eols;
+}
+
+void DrcChecker::checkSadp(const RouteSolution& sol,
+                           std::vector<Violation>* out) const {
+  const grid::RoutingGraph& g = *graph_;
+  if (!g.rule().hasSadp()) return;
+  const int numNets = static_cast<int>(sol.usedArcs.size());
+
+  std::vector<EolInfo> all;
+  for (int k = 0; k < numNets; ++k) {
+    auto eols = findEols(sol, k);
+    all.insert(all.end(), eols.begin(), eols.end());
+  }
+
+  // Pairwise scan. Geometry reconstruction of the paper's Figure 5 (see
+  // DESIGN.md): work in layer track coordinates (u = along preferred
+  // direction, t = track index). For an EOL at (u, t) with the wire toward
+  // +u, conflicting positions are:
+  //   opposite-direction EOLs (wire toward -u) at
+  //       (u-1, t), (u, t+-1), (u-1, t+-1)          [Fig 5(b), j1..j5]
+  //   same-direction EOLs (wire toward +u) at
+  //       (u, t+-1), (u-1, t), (u+1, t+-1)          [Fig 5(c), j1,j2,j3,j6,j7]
+  // EOLs with wire toward -u mirror the u axis.
+  auto axisCoords = [&](const EolInfo& e, int& u, int& t, int& z) {
+    auto p = g.coords(e.vertex);
+    z = p.z;
+    if (g.layerInfo(p.z).horizontal) {
+      u = p.x;
+      t = p.y;
+    } else {
+      u = p.y;
+      t = p.x;
+    }
+  };
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const EolInfo& A = all[i];
+      const EolInfo& B = all[j];
+      int ua, ta, za, ub, tb, zb;
+      axisCoords(A, ua, ta, za);
+      axisCoords(B, ub, tb, zb);
+      if (za != zb) continue;
+      if (!g.rule().sadpOnMetal(g.metalOf(za))) continue;
+      if (A.vertex == B.vertex) continue;  // same point: vertex rules apply
+
+      // Evaluate in A's frame: mirror u when A points toward -u.
+      int sign = A.towardPositive ? 1 : -1;
+      int du = sign * (ub - ua);
+      int dt = tb - ta;
+      bool sameDir = (A.towardPositive == B.towardPositive);
+      bool conflict = false;
+      if (!sameDir) {
+        conflict = (du == -1 && dt == 0) || (du == 0 && std::abs(dt) == 1) ||
+                   (du == -1 && std::abs(dt) == 1);
+      } else {
+        conflict = (du == 0 && std::abs(dt) == 1) || (du == -1 && dt == 0) ||
+                   (du == 1 && std::abs(dt) == 1);
+      }
+      if (!conflict) continue;
+      Violation v;
+      v.kind = ViolationKind::kSadpEol;
+      v.netA = A.net;
+      v.netB = B.net;
+      v.eolA = A;
+      v.eolB = B;
+      out->push_back(std::move(v));
+    }
+  }
+}
+
+void DrcChecker::checkConnectivity(const RouteSolution& sol,
+                                   std::vector<Violation>* out) const {
+  const grid::RoutingGraph& g = *graph_;
+  const clip::Clip& c = *clip_;
+  for (std::size_t n = 0; n < c.nets.size(); ++n) {
+    const clip::ClipNet& net = c.nets[n];
+    // Directed reachability from the source pin's access points along the
+    // net's used arcs (matches the ILP's flow semantics).
+    std::vector<char> reached(g.numVertices(), 0);
+    std::vector<int> stack;
+    for (const clip::TrackPoint& ap : c.pins[net.pins[0]].accessPoints) {
+      int v = g.vertexId(ap);
+      if (!reached[v]) {
+        reached[v] = 1;
+        stack.push_back(v);
+      }
+    }
+    // Arc adjacency restricted to used arcs.
+    std::vector<std::vector<int>> outByVertex;  // lazy: scan arcs each pop
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int a : sol.usedArcs[n]) {
+        const grid::Arc& arc = g.arc(a);
+        if (arc.from != v || reached[arc.to]) continue;
+        reached[arc.to] = 1;
+        stack.push_back(arc.to);
+      }
+    }
+    (void)outByVertex;
+    for (std::size_t p = 1; p < net.pins.size(); ++p) {
+      bool ok = false;
+      for (const clip::TrackPoint& ap : c.pins[net.pins[p]].accessPoints) {
+        if (reached[g.vertexId(ap)]) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        Violation v;
+        v.kind = ViolationKind::kOpenNet;
+        v.netA = static_cast<int>(n);
+        v.netB = static_cast<int>(n);
+        v.vertex = g.vertexId(c.pins[net.pins[p]].accessPoints[0]);
+        out->push_back(std::move(v));
+      }
+    }
+  }
+}
+
+}  // namespace optr::route

@@ -1,0 +1,92 @@
+// Design-rule checker for routed solutions.
+//
+// Checks a RouteSolution against the active RuleConfig:
+//   * arc exclusivity (each undirected arc used by one net, no U-turns),
+//   * vertex exclusivity (no two nets touch the same grid vertex; this is
+//     the physical short-circuit rule that pure arc exclusivity misses when
+//     stacked vias pass through a vertex another net wires across),
+//   * via adjacency (blocked neighbor sites per ViaRestriction),
+//   * via-shape footprint blocking (paper Constraint (5)),
+//   * SADP end-of-line rules on SADP layers (paper Figures 3-5; see
+//     DESIGN.md for the geometric reconstruction),
+//   * connectivity of every net (all pins reached from the source).
+//
+// The checker is shared infrastructure: tests use it to validate both
+// routers, the baseline router uses it for legality, and OptRouter's lazy
+// separation callback converts its violations into ILP rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/route_solution.h"
+
+namespace optr::route {
+
+enum class ViolationKind {
+  kArcConflict,     // same undirected arc used twice
+  kVertexConflict,  // two nets touch the same grid vertex
+  kViaAdjacency,    // two vias on blocked neighbor sites
+  kViaFootprint,    // net crosses another net's via footprint
+  kSadpEol,         // forbidden end-of-line pair on an SADP layer
+  kOpenNet,         // net not fully connected
+};
+
+const char* toString(ViolationKind k);
+
+/// End-of-line description used by SADP violations; enough context for the
+/// separation layer to emit a pattern cut.
+struct EolInfo {
+  int net = -1;
+  int vertex = -1;   // grid vertex of the line end
+  int e1Fwd = -1, e1Rev = -1;  // directed arcs of the edge the wire occupies
+  int e0Fwd = -1, e0Rev = -1;  // arcs of the continuation edge (-1 at border)
+  int viaArc = -1;   // the via arc terminating the line at `vertex`
+  bool towardPositive = false;  // wire extends toward +axis from the EOL
+};
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kArcConflict;
+  int netA = -1, netB = -1;
+  int vertex = -1;          // conflict vertex (vertex/footprint violations)
+  int viaA = -1, viaB = -1; // via instance ids (adjacency/footprint)
+  std::vector<int> arcsA, arcsB;  // incident used arcs (vertex conflicts)
+  EolInfo eolA, eolB;             // SADP violations
+
+  std::string describe(const grid::RoutingGraph& g) const;
+};
+
+class DrcChecker {
+ public:
+  DrcChecker(const clip::Clip& clip, const grid::RoutingGraph& graph);
+
+  /// All violations in the solution. Deterministic order.
+  std::vector<Violation> check(const RouteSolution& sol) const;
+
+  /// Individual rule families (used by tests and by the maze router's
+  /// incremental legality checks).
+  void checkArcAndVertexConflicts(const RouteSolution& sol,
+                                  std::vector<Violation>* out) const;
+  void checkViaRules(const RouteSolution& sol,
+                     std::vector<Violation>* out) const;
+  void checkSadp(const RouteSolution& sol, std::vector<Violation>* out) const;
+  void checkConnectivity(const RouteSolution& sol,
+                         std::vector<Violation>* out) const;
+
+  /// End-of-line scan for one net (exposed for tests and the separator).
+  std::vector<EolInfo> findEols(const RouteSolution& sol, int net) const;
+
+  const grid::RoutingGraph& graph() const { return *graph_; }
+  const clip::Clip& clip() const { return *clip_; }
+
+ private:
+  /// Via instances used by a net: instance id -> one representative enter
+  /// arc that the net uses.
+  std::vector<std::pair<int, int>> usedVias(const RouteSolution& sol,
+                                            int net) const;
+
+  const clip::Clip* clip_;
+  const grid::RoutingGraph* graph_;
+};
+
+}  // namespace optr::route

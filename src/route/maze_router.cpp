@@ -1,0 +1,294 @@
+#include "route/maze_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace optr::route {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MazeRouter::MazeRouter(const clip::Clip& clip, const grid::RoutingGraph& graph,
+                       MazeOptions options)
+    : clip_(&clip), graph_(&graph), options_(options), drc_(clip, graph) {
+  history_.assign(graph.numArcs(), 0.0);
+
+  // Net order: smallest half-perimeter first (short nets lock in cheap
+  // resources; long nets negotiate around them).
+  const int numNets = static_cast<int>(clip.nets.size());
+  std::vector<std::pair<int, int>> order;
+  for (int k = 0; k < numNets; ++k) {
+    int loX = 1 << 20, hiX = -1, loY = 1 << 20, hiY = -1;
+    for (int p : clip.nets[k].pins) {
+      for (const clip::TrackPoint& ap : clip.pins[p].accessPoints) {
+        loX = std::min(loX, ap.x);
+        hiX = std::max(hiX, ap.x);
+        loY = std::min(loY, ap.y);
+        hiY = std::max(hiY, ap.y);
+      }
+    }
+    order.emplace_back((hiX - loX) + (hiY - loY), k);
+  }
+  std::sort(order.begin(), order.end());
+  for (auto& [hpwl, k] : order) netOrder_.push_back(k);
+}
+
+void MazeRouter::buildOccupancy(const RouteSolution& sol, int exceptNet) {
+  const grid::RoutingGraph& g = *graph_;
+  vertexOcc_.assign(g.numVertices(), 0);
+  viaSiteOcc_.assign(g.viaInstances().size(), 0);
+  for (std::size_t k = 0; k < sol.usedArcs.size(); ++k) {
+    if (static_cast<int>(k) == exceptNet) continue;
+    for (int a : sol.usedArcs[k]) {
+      const grid::Arc& arc = g.arc(a);
+      if (g.isGridVertex(arc.from)) ++vertexOcc_[arc.from];
+      if (g.isGridVertex(arc.to)) ++vertexOcc_[arc.to];
+      if (arc.viaInstance >= 0 &&
+          (arc.kind == grid::ArcKind::kVia ||
+           arc.kind == grid::ArcKind::kViaEnter)) {
+        viaSiteOcc_[arc.viaInstance] = 1;
+        // Shaped vias also occupy their full footprint.
+        const grid::ViaInstance& inst = g.viaInstance(arc.viaInstance);
+        for (int cv : inst.coveredLower) ++vertexOcc_[cv];
+        for (int cv : inst.coveredUpper) ++vertexOcc_[cv];
+      }
+    }
+  }
+}
+
+bool MazeRouter::routeNet(int net, double presentFactor,
+                          RouteSolution& sol) const {
+  const grid::RoutingGraph& g = *graph_;
+  const clip::ClipNet& cn = clip_->nets[net];
+  const tech::ViaRestriction restriction = g.rule().viaRestriction;
+
+  // Vias already committed by this net's own partial tree conflict too (the
+  // via-adjacency rule is net-blind).
+  std::vector<char> ownVias(g.viaInstances().size(), 0);
+  auto refreshOwnVias = [&] {
+    std::fill(ownVias.begin(), ownVias.end(), 0);
+    for (int a : sol.usedArcs[net]) {
+      const grid::Arc& arc = g.arc(a);
+      if (arc.viaInstance >= 0 &&
+          (arc.kind == grid::ArcKind::kVia ||
+           arc.kind == grid::ArcKind::kViaEnter)) {
+        ownVias[arc.viaInstance] = 1;
+      }
+    }
+  };
+
+  // Via placement against committed resources: conflicting sites are
+  // hard-blocked (soft penalties oscillate under negotiation -- both nets
+  // keep trading the same pair of sites).
+  auto viaBlocked = [&](int instId) {
+    const grid::ViaInstance& inst = g.viaInstance(instId);
+    const auto& shape = g.rule().viaShapes[inst.shape];
+    for (std::size_t j = 0; j < g.viaInstances().size(); ++j) {
+      if (!viaSiteOcc_[j] && !ownVias[j]) continue;
+      if (ownVias[j] && static_cast<std::size_t>(instId) == j) continue;
+      const grid::ViaInstance& other = g.viaInstance(j);
+      if (other.z != inst.z) continue;
+      const auto& os = g.rule().viaShapes[other.shape];
+      int gx = std::max({0, other.x - (inst.x + shape.spanX - 1),
+                         inst.x - (other.x + os.spanX - 1)});
+      int gy = std::max({0, other.y - (inst.y + shape.spanY - 1),
+                         inst.y - (other.y + os.spanY - 1)});
+      bool conflict = (gx == 0 && gy == 0);
+      if (restriction == tech::ViaRestriction::kOrthogonal)
+        conflict = conflict || (gx + gy == 1);
+      if (restriction == tech::ViaRestriction::kFull)
+        conflict = conflict || (gx <= 1 && gy <= 1);
+      if (conflict) return true;
+    }
+    return false;
+  };
+
+  // Tree vertices so far (multi-source Dijkstra seeds).
+  std::set<int> tree;
+  for (const clip::TrackPoint& ap : clip_->pins[cn.pins[0]].accessPoints) {
+    int v = g.vertexId(ap);
+    if (g.usableBy(v, net)) tree.insert(v);
+  }
+  if (tree.empty()) return false;
+  refreshOwnVias();
+
+  std::vector<int> remainingSinks(cn.pins.begin() + 1, cn.pins.end());
+
+  while (!remainingSinks.empty()) {
+    // Dijkstra from the whole tree to the nearest remaining sink.
+    std::vector<double> dist(g.numVertices(), kInf);
+    std::vector<int> predArc(g.numVertices(), -1);
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    for (int v : tree) {
+      dist[v] = 0;
+      pq.emplace(0.0, v);
+    }
+
+    // Sink targets: any usable access point of any remaining sink.
+    std::vector<int> targetPinOf(g.numVertices(), -1);
+    for (std::size_t s = 0; s < remainingSinks.size(); ++s) {
+      for (const clip::TrackPoint& ap :
+           clip_->pins[remainingSinks[s]].accessPoints) {
+        int v = g.vertexId(ap);
+        if (g.usableBy(v, net)) targetPinOf[v] = static_cast<int>(s);
+      }
+    }
+
+    int hitVertex = -1;
+    while (!pq.empty()) {
+      auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[v]) continue;
+      if (targetPinOf[v] >= 0) {
+        hitVertex = v;
+        break;
+      }
+      for (int a : g.outArcs(v)) {
+        const grid::Arc& arc = g.arc(a);
+        int w = arc.to;
+        if (!g.usableBy(w, net)) continue;
+        if (options_.arcFilter && !options_.arcFilter(net, a)) continue;
+        if (arc.viaInstance >= 0) {
+          const grid::ViaInstance& inst = g.viaInstance(arc.viaInstance);
+          bool blocked = false;
+          for (int cv : inst.coveredLower) {
+            if (!g.usableBy(cv, net)) { blocked = true; break; }
+          }
+          if (!blocked) {
+            for (int cv : inst.coveredUpper) {
+              if (!g.usableBy(cv, net)) { blocked = true; break; }
+            }
+          }
+          if (blocked) continue;
+        }
+        if (arc.viaInstance >= 0 &&
+            (arc.kind == grid::ArcKind::kVia ||
+             arc.kind == grid::ArcKind::kViaEnter) &&
+            viaBlocked(arc.viaInstance)) {
+          continue;
+        }
+        double step = arc.cost + history_[a];
+        if (g.isGridVertex(w) && vertexOcc_[w] > 0)
+          step += presentFactor * vertexOcc_[w];
+        double nd = d + step;
+        if (nd < dist[w] - 1e-12) {
+          dist[w] = nd;
+          predArc[w] = a;
+          pq.emplace(nd, w);
+        }
+      }
+    }
+    if (hitVertex < 0) return false;
+
+    // Commit the path and absorb the reached sink.
+    int sinkIdx = targetPinOf[hitVertex];
+    remainingSinks.erase(remainingSinks.begin() + sinkIdx);
+    int cur = hitVertex;
+    while (predArc[cur] >= 0) {
+      int a = predArc[cur];
+      sol.usedArcs[net].push_back(a);
+      const grid::Arc& arc = g.arc(a);
+      tree.insert(arc.to);
+      tree.insert(arc.from);
+      cur = arc.from;
+    }
+    tree.insert(hitVertex);
+    refreshOwnVias();
+  }
+  std::sort(sol.usedArcs[net].begin(), sol.usedArcs[net].end());
+  sol.usedArcs[net].erase(
+      std::unique(sol.usedArcs[net].begin(), sol.usedArcs[net].end()),
+      sol.usedArcs[net].end());
+  return true;
+}
+
+MazeResult MazeRouter::route() {
+  const int numNets = static_cast<int>(clip_->nets.size());
+  MazeResult result;
+  result.solution.usedArcs.assign(numNets, {});
+
+  double presentFactor = options_.presentPenaltyInit;
+  std::vector<char> dirty(numNets, 1);  // nets needing (re)routing
+
+  for (int iter = 0; iter < options_.maxRipupIterations; ++iter) {
+    result.iterations = iter + 1;
+    bool allRouted = true;
+    for (int k : netOrder_) {
+      if (!dirty[k]) continue;
+      result.solution.usedArcs[k].clear();
+      buildOccupancy(result.solution, k);
+      if (!routeNet(k, presentFactor, result.solution)) {
+        allRouted = false;
+        // Unreachable under current occupancy: penalize nothing specific,
+        // rip everything up and retry with higher pressure.
+        for (int j = 0; j < numNets; ++j) dirty[j] = 1;
+        for (int j = 0; j < numNets; ++j) result.solution.usedArcs[j].clear();
+        break;
+      }
+      dirty[k] = 0;
+    }
+    if (!allRouted) {
+      presentFactor *= options_.presentPenaltyGrowth;
+      continue;
+    }
+
+    std::vector<Violation> violations = drc_.check(result.solution);
+    if (violations.empty()) {
+      result.success = true;
+      result.violationsLeft = 0;
+      return result;
+    }
+    result.violationsLeft = static_cast<int>(violations.size());
+
+    // Rip up one party per violation (the second net keeps the resource --
+    // ripping both oscillates); charge history on the arcs involved so the
+    // next pass avoids the trouble spots.
+    for (const Violation& v : violations) {
+      if (v.netB >= 0) {
+        dirty[v.netB] = 1;
+      } else if (v.netA >= 0) {
+        dirty[v.netA] = 1;
+      }
+      for (int a : v.arcsA) history_[a] += options_.historyIncrement;
+      for (int a : v.arcsB) history_[a] += options_.historyIncrement;
+      if (v.kind == ViolationKind::kSadpEol) {
+        if (v.eolA.viaArc >= 0)
+          history_[v.eolA.viaArc] += options_.historyIncrement;
+        if (v.eolB.viaArc >= 0)
+          history_[v.eolB.viaArc] += options_.historyIncrement;
+      }
+      if (v.viaA >= 0) {
+        for (int a : graph_->viaInstance(v.viaA).arcs)
+          history_[a] += options_.historyIncrement * 0.5;
+      }
+      if (v.viaB >= 0) {
+        for (int a : graph_->viaInstance(v.viaB).arcs)
+          history_[a] += options_.historyIncrement * 0.5;
+      }
+    }
+    for (int k = 0; k < numNets; ++k) {
+      if (dirty[k]) result.solution.usedArcs[k].clear();
+    }
+    presentFactor *= options_.presentPenaltyGrowth;
+  }
+
+  // Out of iterations. Complete any nets the final rip-up left unrouted so
+  // the returned attempt is as connected as possible (callers still see
+  // success == false).
+  for (int k : netOrder_) {
+    if (result.solution.usedArcs[k].empty()) {
+      buildOccupancy(result.solution, k);
+      routeNet(k, presentFactor, result.solution);
+    }
+  }
+  result.violationsLeft =
+      static_cast<int>(drc_.check(result.solution).size());
+  return result;  // success == false; solution is the last attempt
+}
+
+}  // namespace optr::route

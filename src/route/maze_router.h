@@ -1,0 +1,67 @@
+// Heuristic baseline detailed router (the reproduction's stand-in for the
+// commercial router the paper validates against, footnote 6).
+//
+// PathFinder-style negotiated congestion:
+//   * nets are routed sequentially (shortest half-perimeter first) with
+//     multi-source Dijkstra growing a Steiner tree sink by sink;
+//   * resources held by other nets are soft-penalized (present cost), rule
+//     trouble spots accumulate persistent history cost;
+//   * after each full pass the DRC checker audits the solution; nets party
+//     to any violation are ripped up and rerouted with increased penalties.
+// The router only claims success for DRC-clean solutions, so its results are
+// directly comparable with OptRouter's (and seed OptRouter's MIP search).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "route/drc.h"
+#include "route/route_solution.h"
+
+namespace optr::route {
+
+struct MazeOptions {
+  int maxRipupIterations = 40;
+  double presentPenaltyInit = 5.0;
+  double presentPenaltyGrowth = 1.5;
+  double historyIncrement = 3.0;
+  /// Optional per-net arc filter (e.g. OptRouter's region pruning), so the
+  /// heuristic solution stays encodable as an ILP warm start. Null = allow.
+  std::function<bool(int net, int arc)> arcFilter;
+};
+
+struct MazeResult {
+  bool success = false;        // DRC-clean and fully connected
+  RouteSolution solution;      // best attempt even on failure
+  int iterations = 0;          // rip-up rounds executed
+  int violationsLeft = 0;      // DRC violations in the final attempt
+};
+
+class MazeRouter {
+ public:
+  MazeRouter(const clip::Clip& clip, const grid::RoutingGraph& graph,
+             MazeOptions options = {});
+
+  MazeResult route();
+
+ private:
+  /// Routes one net against the current occupancy; returns false when some
+  /// sink is unreachable. Appends arcs to sol.usedArcs[net].
+  bool routeNet(int net, double presentFactor, RouteSolution& sol) const;
+
+  /// Occupancy snapshots derived from a partial solution.
+  void buildOccupancy(const RouteSolution& sol, int exceptNet);
+
+  const clip::Clip* clip_;
+  const grid::RoutingGraph* graph_;
+  MazeOptions options_;
+  DrcChecker drc_;
+
+  std::vector<double> history_;     // per arc, persistent
+  std::vector<int> vertexOcc_;      // nets (other than current) on a vertex
+  std::vector<char> viaSiteOcc_;    // via instance ids placed by other nets
+  std::vector<int> netOrder_;
+};
+
+}  // namespace optr::route

@@ -1,0 +1,87 @@
+#include "route/render.h"
+
+#include "common/strings.h"
+
+namespace optr::route {
+
+std::string renderLayer(const clip::Clip& clip, const grid::RoutingGraph& g,
+                        const RouteSolution* solution, int z) {
+  const int w = clip.tracksX * 2 - 1;
+  const int h = clip.tracksY * 2 - 1;
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+  auto cell = [&](int x, int y) -> char& {
+    return canvas[h - 1 - 2 * y][2 * x];
+  };
+  auto between = [&](int x1, int y1, int x2, int y2) -> char& {
+    return canvas[h - 1 - (y1 + y2)][x1 + x2];
+  };
+
+  for (int y = 0; y < clip.tracksY; ++y)
+    for (int x = 0; x < clip.tracksX; ++x) cell(x, y) = '.';
+
+  if (solution != nullptr) {
+    for (std::size_t k = 0; k < solution->usedArcs.size(); ++k) {
+      char glyph = static_cast<char>('0' + (k % 10));
+      for (int a : solution->usedArcs[k]) {
+        const grid::Arc& arc = g.arc(a);
+        if (!g.isGridVertex(arc.from) || !g.isGridVertex(arc.to)) {
+          // Shaped-via arc: mark covered vertices of the instance.
+          if (arc.viaInstance >= 0) {
+            const grid::ViaInstance& vi = g.viaInstance(arc.viaInstance);
+            for (int cv : vi.coveredLower) {
+              auto p = g.coords(cv);
+              if (p.z == z) cell(p.x, p.y) = '+';
+            }
+            for (int cv : vi.coveredUpper) {
+              auto p = g.coords(cv);
+              if (p.z == z) cell(p.x, p.y) = '+';
+            }
+          }
+          continue;
+        }
+        auto pa = g.coords(arc.from);
+        auto pb = g.coords(arc.to);
+        if (arc.kind == grid::ArcKind::kPlanar && pa.z == z) {
+          cell(pa.x, pa.y) = glyph;
+          cell(pb.x, pb.y) = glyph;
+          between(pa.x, pa.y, pb.x, pb.y) = (pa.y == pb.y) ? '-' : '|';
+        } else if (arc.kind == grid::ArcKind::kVia &&
+                   (pa.z == z || pb.z == z)) {
+          auto p = (pa.z == z) ? pa : pb;
+          cell(p.x, p.y) = '+';
+        }
+      }
+    }
+  }
+
+  for (const clip::TrackPoint& o : clip.obstacles) {
+    if (o.z == z) cell(o.x, o.y) = '#';
+  }
+  for (const clip::ClipPin& pin : clip.pins) {
+    char glyph = pin.isBoundary ? static_cast<char>('a' + (pin.net % 26))
+                                : static_cast<char>('A' + (pin.net % 26));
+    for (const clip::TrackPoint& ap : pin.accessPoints) {
+      if (ap.z == z) cell(ap.x, ap.y) = glyph;
+    }
+  }
+
+  std::string out =
+      strFormat("M%d (%s)\n", g.metalOf(z),
+                g.layerInfo(z).horizontal ? "horizontal" : "vertical");
+  for (const std::string& line : canvas) out += "  " + line + "\n";
+  return out;
+}
+
+std::string renderClip(const clip::Clip& clip, const grid::RoutingGraph& g,
+                       const RouteSolution* solution) {
+  std::string out;
+  for (int z = 0; z < clip.numLayers; ++z) {
+    out += renderLayer(clip, g, solution, z);
+  }
+  out +=
+      "  legend: A-Z cell pins, a-z boundary terminals, digits = routed "
+      "net, + via, # blockage\n";
+  return out;
+}
+
+}  // namespace optr::route

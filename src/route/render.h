@@ -1,0 +1,25 @@
+// ASCII rendering of clips and routed solutions, layer by layer.
+//
+// Used by the examples (quickstart, clip_extraction) to visualize what the
+// routers produced -- a terminal-friendly stand-in for the paper's Figure 7
+// screenshots. Nets print as digits (net id mod 10), pins as letters,
+// obstacles as '#', vias as '+'.
+#pragma once
+
+#include <string>
+
+#include "route/route_solution.h"
+
+namespace optr::route {
+
+/// Renders one layer of the clip. `solution` may be null (pins/obstacles
+/// only). Rows print top-down (highest y first) so the output matches the
+/// usual layout orientation.
+std::string renderLayer(const clip::Clip& clip, const grid::RoutingGraph& g,
+                        const RouteSolution* solution, int z);
+
+/// All layers, separated by headers.
+std::string renderClip(const clip::Clip& clip, const grid::RoutingGraph& g,
+                       const RouteSolution* solution = nullptr);
+
+}  // namespace optr::route

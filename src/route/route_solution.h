@@ -1,0 +1,63 @@
+// A routed solution over a RoutingGraph: per net, the set of directed arcs
+// carrying its flow. Produced by both OptRouter (from ILP arc-usage
+// variables) and the heuristic baseline router; consumed by the DRC checker,
+// cost reporting, and the benches.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "clip/clip.h"
+#include "grid/routing_graph.h"
+
+namespace optr::route {
+
+struct RouteSolution {
+  /// usedArcs[net] = sorted, deduplicated arc ids used by that net.
+  std::vector<std::vector<int>> usedArcs;
+
+  void normalize() {
+    for (auto& arcs : usedArcs) {
+      std::sort(arcs.begin(), arcs.end());
+      arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+    }
+  }
+
+  bool netUsesArc(int net, int arc) const {
+    const auto& v = usedArcs[net];
+    return std::binary_search(v.begin(), v.end(), arc);
+  }
+
+  /// Total objective cost: wirelength + weighted vias, i.e. the sum of arc
+  /// costs (the graph already distributes via costs onto enter arcs).
+  double totalCost(const grid::RoutingGraph& g) const {
+    double c = 0;
+    for (const auto& arcs : usedArcs)
+      for (int a : arcs) c += g.arc(a).cost;
+    return c;
+  }
+
+  /// Wirelength in track steps (planar arcs only).
+  int wirelength(const grid::RoutingGraph& g) const {
+    int wl = 0;
+    for (const auto& arcs : usedArcs)
+      for (int a : arcs)
+        if (g.arc(a).kind == grid::ArcKind::kPlanar) ++wl;
+    return wl;
+  }
+
+  /// Number of via traversals. Unit vias contribute one directed arc per
+  /// traversal; shaped vias contribute exactly one enter arc per traversal.
+  int viaCount(const grid::RoutingGraph& g) const {
+    int n = 0;
+    for (const auto& arcs : usedArcs) {
+      for (int a : arcs) {
+        grid::ArcKind k = g.arc(a).kind;
+        if (k == grid::ArcKind::kVia || k == grid::ArcKind::kViaEnter) ++n;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace optr::route

@@ -1,0 +1,123 @@
+#include "route/sadp_decompose.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace optr::route {
+
+namespace {
+
+/// Along-track usage per (net, track) for one layer.
+struct TrackWire {
+  // Sorted along-track positions where the wire occupies the step
+  // [pos, pos+1].
+  std::vector<int> steps;
+};
+
+}  // namespace
+
+SadpDecomposition decomposeSadp(const clip::Clip& clip,
+                                const grid::RoutingGraph& graph,
+                                const RouteSolution& solution) {
+  SadpDecomposition out;
+  const grid::RoutingGraph& g = graph;
+  DrcChecker drc(clip, graph);
+
+  for (int z = 0; z < g.nz(); ++z) {
+    if (!g.rule().sadpOnMetal(g.metalOf(z))) continue;
+    SadpLayerMasks masks;
+    masks.layerZ = z;
+    masks.metal = g.metalOf(z);
+    const bool horiz = g.layerInfo(z).horizontal;
+
+    // Collect along-track steps per (net, track).
+    std::map<std::pair<int, int>, TrackWire> wires;
+    for (std::size_t k = 0; k < solution.usedArcs.size(); ++k) {
+      for (int a : solution.usedArcs[k]) {
+        const grid::Arc& arc = g.arc(a);
+        if (arc.kind != grid::ArcKind::kPlanar || arc.layer != z) continue;
+        auto pa = g.coords(arc.from);
+        auto pb = g.coords(arc.to);
+        int track = horiz ? pa.y : pa.x;
+        int lo = horiz ? std::min(pa.x, pb.x) : std::min(pa.y, pb.y);
+        wires[{static_cast<int>(k), track}].steps.push_back(lo);
+      }
+    }
+
+    // Merge steps into maximal segments.
+    for (auto& [key, tw] : wires) {
+      auto [net, track] = key;
+      std::sort(tw.steps.begin(), tw.steps.end());
+      tw.steps.erase(std::unique(tw.steps.begin(), tw.steps.end()),
+                     tw.steps.end());
+      std::size_t i = 0;
+      while (i < tw.steps.size()) {
+        std::size_t j = i;
+        while (j + 1 < tw.steps.size() &&
+               tw.steps[j + 1] == tw.steps[j] + 1) {
+          ++j;
+        }
+        SadpSegment seg;
+        seg.net = net;
+        seg.track = track;
+        seg.lo = tw.steps[i];
+        seg.hi = tw.steps[j] + 1;
+        seg.mandrel = (track % 2 == 0);
+        masks.segments.push_back(seg);
+        i = j + 1;
+      }
+    }
+
+    // Cut sites: the DRC checker's via-bearing line ends on this layer.
+    for (std::size_t k = 0; k < solution.usedArcs.size(); ++k) {
+      for (const EolInfo& e : drc.findEols(solution, static_cast<int>(k))) {
+        auto p = g.coords(e.vertex);
+        if (p.z != z) continue;
+        SadpCut cut;
+        cut.net = static_cast<int>(k);
+        cut.track = horiz ? p.y : p.x;
+        cut.position = horiz ? p.x : p.y;
+        cut.towardPositive = e.towardPositive;
+        masks.cuts.push_back(cut);
+      }
+    }
+
+    // Manufacturability: any SADP violation on this layer breaks it.
+    std::vector<Violation> violations;
+    drc.checkSadp(solution, &violations);
+    for (const Violation& v : violations) {
+      if (g.coords(v.eolA.vertex).z == z) masks.decomposable = false;
+    }
+    out.layers.push_back(std::move(masks));
+  }
+  return out;
+}
+
+std::string renderMasks(const clip::Clip& clip,
+                        const grid::RoutingGraph& graph,
+                        const SadpLayerMasks& masks) {
+  const bool horiz = graph.layerInfo(masks.layerZ).horizontal;
+  const int tracks = horiz ? clip.tracksY : clip.tracksX;
+  const int length = horiz ? clip.tracksX : clip.tracksY;
+  std::vector<std::string> canvas(tracks, std::string(length, '.'));
+  for (const SadpSegment& seg : masks.segments) {
+    for (int u = seg.lo; u <= seg.hi && u < length; ++u)
+      canvas[seg.track][u] = seg.mandrel ? 'M' : 's';
+  }
+  for (const SadpCut& cut : masks.cuts) {
+    if (cut.position >= 0 && cut.position < length)
+      canvas[cut.track][cut.position] = 'X';
+  }
+  std::string out = strFormat(
+      "M%d SADP masks (%s tracks; M mandrel, s spacer, X cut)%s\n",
+      masks.metal, horiz ? "horizontal" : "vertical",
+      masks.decomposable ? "" : "  ** NOT DECOMPOSABLE **");
+  for (int t = tracks - 1; t >= 0; --t) {
+    out += strFormat("  t%-2d %s\n", t, canvas[t].c_str());
+  }
+  return out;
+}
+
+}  // namespace optr::route

@@ -1,0 +1,77 @@
+// SADP mask decomposition of routed layers.
+//
+// Self-aligned double patterning prints a gridded unidirectional layer from
+// two masks: the mandrel mask (every other track; spacers form around it)
+// and a cut/block mask that terminates lines. The design rules the router
+// enforces (Xu et al. ISPD'14, paper Section 3.2) exist exactly so that
+// this decomposition is manufacturable: line-ends too close on the same or
+// adjacent tracks demand cuts the process cannot print.
+//
+// This module extracts the decomposition from a routed solution: per SADP
+// layer, the mandrel/spacer segment lists (by track parity), the cut sites
+// (at line-ends), and a manufacturability verdict that mirrors the DRC
+// checker's EOL analysis (the two are cross-checked in tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/drc.h"
+#include "route/route_solution.h"
+
+namespace optr::route {
+
+/// A maximal wire segment on one track: [lo, hi] in along-track coordinates.
+struct SadpSegment {
+  int net = -1;
+  int track = 0;   // cross-track index
+  int lo = 0, hi = 0;
+  bool mandrel = false;  // even tracks carry the mandrel mask
+};
+
+/// A cut-mask site terminating a line at a via-bearing end-of-line.
+struct SadpCut {
+  int net = -1;
+  int track = 0;
+  int position = 0;        // along-track coordinate of the line end
+  bool towardPositive = false;  // wire continues toward +u from the cut
+};
+
+struct SadpLayerMasks {
+  int layerZ = -1;
+  int metal = 0;
+  std::vector<SadpSegment> segments;
+  std::vector<SadpCut> cuts;
+  /// False when cut sites conflict under the SADP spacing rules (identical
+  /// geometry to DrcChecker::checkSadp on this layer).
+  bool decomposable = true;
+};
+
+struct SadpDecomposition {
+  std::vector<SadpLayerMasks> layers;  // SADP layers only
+
+  bool decomposable() const {
+    for (const auto& l : layers)
+      if (!l.decomposable) return false;
+    return true;
+  }
+  int totalCuts() const {
+    int n = 0;
+    for (const auto& l : layers) n += static_cast<int>(l.cuts.size());
+    return n;
+  }
+};
+
+/// Decomposes every SADP layer of the solution (per the graph's rule
+/// config). Layers without SADP rules are skipped.
+SadpDecomposition decomposeSadp(const clip::Clip& clip,
+                                const grid::RoutingGraph& graph,
+                                const RouteSolution& solution);
+
+/// ASCII view of one layer's masks: 'M' mandrel segments, 's' spacer-track
+/// segments, 'X' cut sites.
+std::string renderMasks(const clip::Clip& clip,
+                        const grid::RoutingGraph& graph,
+                        const SadpLayerMasks& masks);
+
+}  // namespace optr::route

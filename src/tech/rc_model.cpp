@@ -1,0 +1,48 @@
+#include "tech/rc_model.h"
+
+namespace optr::tech {
+
+RcModel RcModel::n28() {
+  RcModel m;
+  m.techName = "N28";
+  // M2..M8 (index 0 = M2). 1x-pitch layers share nominal parasitics; the
+  // 2x-pitch top layers (M7, M8) are wider and thicker: ~40% of the
+  // resistance at slightly higher capacitance.
+  for (int z = 0; z < 7; ++z) {
+    LayerRc rc;
+    bool fat = z >= 5;  // M7, M8
+    rc.rPerTrack = fat ? 0.4 : 1.0;
+    rc.cPerTrack = fat ? 1.2 : 1.0;
+    m.layers.push_back(rc);
+  }
+  m.viaR = 2.0;
+  m.viaC = 0.05;
+  return m;
+}
+
+RcModel RcModel::n7FromN28() {
+  // Paper Section 4: starting from 28nm values, scale R by 15x for 7nm
+  // resistivity, then divide by the 2.5x geometry scaling used to fit the
+  // 7nm cells into the 28nm BEOL: R_N7 = 6 x R_N28. Capacitance per unit
+  // length is kept and divided by the geometry scale: C_N7 = C_N28 / 2.5.
+  RcModel m = n28();
+  m.techName = "N7(scaled)";
+  for (LayerRc& rc : m.layers) {
+    rc.rPerTrack *= 6.0;
+    rc.cPerTrack /= 2.5;
+  }
+  // Via resistance rises even faster than wire R at 7nm; use the same wire
+  // factor as a conservative floor.
+  m.viaR *= 6.0;
+  m.viaC /= 2.5;
+  return m;
+}
+
+RcModel RcModel::forTechnology(const Technology& techn) {
+  if (techn.name == "N7-9T") return n7FromN28();
+  RcModel m = n28();
+  m.techName = techn.name;
+  return m;
+}
+
+}  // namespace optr::tech

@@ -1,0 +1,47 @@
+// Wire RC models and the paper's cross-technology scaling methodology.
+//
+// Section 4 of the paper derives missing 7nm BEOL electricals from 28nm
+// values: geometries are scaled up 2.5x to fit the 28nm stack, wire R per
+// unit length is scaled 15x for the resistivity increase at 7nm and then
+// divided by the 2.5x geometry scale inside the P&R tool, giving
+//   R_N7 = 6 x R_N28,   C_N7 = C_N28 / 2.5.
+// This module reproduces that derivation and provides per-layer RC values
+// plus Elmore delay estimation over routed clip solutions (consumed by
+// route::estimateNetDelays and bench_rc_scaling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/technology.h"
+
+namespace optr::tech {
+
+/// Per-unit-length wire parasitics (normalized units: ohm per track pitch,
+/// femtofarad per track pitch) and via resistance.
+struct LayerRc {
+  double rPerTrack = 1.0;
+  double cPerTrack = 1.0;
+};
+
+struct RcModel {
+  std::string techName;
+  std::vector<LayerRc> layers;  // index 0 = M2
+  double viaR = 2.0;            // per cut
+  double viaC = 0.05;
+
+  const LayerRc& layer(int z) const { return layers[z]; }
+
+  /// Baseline 28nm model: 1x-pitch layers at nominal R/C, 2x-pitch top
+  /// layers at ~40% R (wider, thicker wires) and slightly higher C.
+  static RcModel n28();
+
+  /// The paper's scaled 7nm model: R_N7 = 6 x R_N28, C_N7 = C_N28 / 2.5
+  /// per unit length (applied uniformly across the stack).
+  static RcModel n7FromN28();
+
+  /// Model for a technology preset by name (N28-* share n28()).
+  static RcModel forTechnology(const Technology& techn);
+};
+
+}  // namespace optr::tech

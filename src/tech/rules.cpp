@@ -1,0 +1,45 @@
+#include "tech/rules.h"
+
+namespace optr::tech {
+
+std::vector<RuleConfig> table3Rules() {
+  auto make = [](int number, ViaRestriction vr, int sadpFrom) {
+    RuleConfig rc;
+    rc.name = "RULE" + std::to_string(number);
+    rc.viaRestriction = vr;
+    rc.sadpFromMetal = sadpFrom;
+    return rc;
+  };
+  return {
+      make(1, ViaRestriction::kNone, 0),
+      make(2, ViaRestriction::kNone, 2),
+      make(3, ViaRestriction::kNone, 3),
+      make(4, ViaRestriction::kNone, 4),
+      make(5, ViaRestriction::kNone, 5),
+      make(6, ViaRestriction::kOrthogonal, 0),
+      make(7, ViaRestriction::kOrthogonal, 2),
+      make(8, ViaRestriction::kOrthogonal, 3),
+      make(9, ViaRestriction::kFull, 0),
+      make(10, ViaRestriction::kFull, 2),
+      make(11, ViaRestriction::kFull, 3),
+  };
+}
+
+StatusOr<RuleConfig> ruleByName(const std::string& name) {
+  for (const RuleConfig& rc : table3Rules()) {
+    if (rc.name == name) return rc;
+  }
+  return Status::error("unknown rule configuration: " + name);
+}
+
+bool ruleApplicable(const RuleConfig& rule, const Technology& techn) {
+  if (techn.supportsDiagonalViaRules) return true;
+  // Section 4.1: N7-9T compact pins cannot satisfy rules that depend on
+  // diagonal via adjacency -- the paper skips RULE2, 7, 9, 10 and 11 (i.e.
+  // every 8-neighbor restriction and every SADP >= M2 configuration).
+  if (rule.viaRestriction == ViaRestriction::kFull) return false;
+  if (rule.sadpFromMetal == 2) return false;
+  return true;
+}
+
+}  // namespace optr::tech

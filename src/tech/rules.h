@@ -1,0 +1,76 @@
+// BEOL design-rule configurations (paper Table 3) and via shapes.
+//
+// A RuleConfig is the unit of the paper's evaluation: OptRouter solves each
+// clip once per configuration and reports the cost delta relative to RULE1
+// (all-LELE, no via restrictions). Configurations combine:
+//   * a via-adjacency restriction (0 / 4 / 8 blocked neighbor sites), and
+//   * the lowest metal layer on which SADP end-of-line rules apply.
+// All routing layers are unidirectional in the paper's study; the router
+// also supports bidirectional layers for validation experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/technology.h"
+
+namespace optr::tech {
+
+/// Via-adjacency restriction (Section 3.2 "Via restrictions").
+enum class ViaRestriction : int {
+  kNone = 0,        // no neighbor sites blocked
+  kOrthogonal = 4,  // N/E/S/W neighbor sites blocked
+  kFull = 8,        // orthogonal + diagonal neighbors blocked
+};
+
+inline int blockedNeighbors(ViaRestriction v) { return static_cast<int>(v); }
+
+/// A via footprint expressed in routing tracks. 1x1 is the default single
+/// vertex via; larger shapes (bars, squares) are modeled with representative
+/// vertices per the paper's Figure 2. `costFactor` scales the via cost --
+/// the paper uses lower costs for larger vias so the optimizer prefers the
+/// more manufacturable shape.
+struct ViaShape {
+  std::string name;
+  int spanX = 1;  // tracks covered along x
+  int spanY = 1;  // tracks covered along y
+  double costFactor = 1.0;
+
+  bool isUnit() const { return spanX == 1 && spanY == 1; }
+};
+
+inline ViaShape unitVia() { return ViaShape{"V1x1", 1, 1, 1.0}; }
+inline ViaShape barViaX() { return ViaShape{"V2x1", 2, 1, 0.9}; }
+inline ViaShape barViaY() { return ViaShape{"V1x2", 1, 2, 0.9}; }
+inline ViaShape squareVia() { return ViaShape{"V2x2", 2, 2, 0.8}; }
+
+struct RuleConfig {
+  std::string name = "RULE1";
+  ViaRestriction viaRestriction = ViaRestriction::kNone;
+  /// Lowest metal number with SADP rules; 0 disables SADP entirely.
+  /// Example: sadpFromMetal = 3 means M3..M8 are SADP layers ("SADP >= M3").
+  int sadpFromMetal = 0;
+  /// When false, off-preferred-direction arcs are kept on every layer.
+  bool unidirectional = true;
+  /// Via shapes available to the router. Must contain at least one shape.
+  std::vector<ViaShape> viaShapes = {unitVia()};
+  /// Objective weight of one (unit) via relative to one track of wire.
+  double viaCostWeight = 4.0;
+
+  bool sadpOnMetal(int metal) const {
+    return sadpFromMetal > 0 && metal >= sadpFromMetal;
+  }
+  bool hasSadp() const { return sadpFromMetal > 0; }
+};
+
+/// The eleven configurations of Table 3.
+std::vector<RuleConfig> table3Rules();
+
+/// Looks up a Table 3 rule by name ("RULE1".."RULE11").
+StatusOr<RuleConfig> ruleByName(const std::string& name);
+
+/// Section 4.1: rules requiring diagonal via placement (8 blocked neighbors
+/// interacts with compact 7nm pins) are not testable on N7-9T.
+bool ruleApplicable(const RuleConfig& rule, const Technology& techn);
+
+}  // namespace optr::tech

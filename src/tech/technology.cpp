@@ -1,0 +1,68 @@
+#include "tech/technology.h"
+
+namespace optr::tech {
+namespace {
+
+std::vector<LayerInfo> standardStack(int numLayers) {
+  // M2 horizontal, alternating upward; 1x pitch M2..M6, 2x pitch M7..M8
+  // (paper: 7nm pitches 40nm M1-M6 / 80nm M7-M8; the scaled testbed uses the
+  // 28nm stack with 100nm horizontal pitch, which is what we mirror).
+  std::vector<LayerInfo> layers;
+  for (int i = 0; i < numLayers; ++i) {
+    LayerInfo li;
+    li.metal = i + 2;
+    li.name = "M" + std::to_string(li.metal);
+    li.horizontal = (i % 2 == 0);
+    li.pitchNm = (li.metal >= 7) ? 200 : 100;
+    layers.push_back(li);
+  }
+  return layers;
+}
+
+}  // namespace
+
+Technology Technology::n28_12t() {
+  Technology t;
+  t.name = "N28-12T";
+  t.layers = standardStack(7);  // M2..M8
+  t.clipTracksX = 7;
+  t.clipTracksY = 10;
+  t.cellHeightTracks = 12;
+  t.placementGridNm = 136;
+  t.horizontalPitchNm = 100;
+  t.pinStyle = PinStyle::kWide;
+  t.supportsDiagonalViaRules = true;
+  return t;
+}
+
+Technology Technology::n28_8t() {
+  Technology t = n28_12t();
+  t.name = "N28-8T";
+  t.cellHeightTracks = 8;
+  return t;
+}
+
+Technology Technology::n7_9t() {
+  // Prototype 7nm 9-track cells scaled 2.5x into the 28nm BEOL stack
+  // (Section 4 of the paper): same clip track counts, compact pins.
+  Technology t = n28_12t();
+  t.name = "N7-9T";
+  t.cellHeightTracks = 9;
+  t.pinStyle = PinStyle::kCompact;
+  t.supportsDiagonalViaRules = false;
+  return t;
+}
+
+const std::vector<Technology>& Technology::all() {
+  static const std::vector<Technology> kAll = {n28_12t(), n28_8t(), n7_9t()};
+  return kAll;
+}
+
+StatusOr<Technology> Technology::byName(const std::string& name) {
+  for (const Technology& t : all()) {
+    if (t.name == name) return t;
+  }
+  return Status::error("unknown technology: " + name);
+}
+
+}  // namespace optr::tech

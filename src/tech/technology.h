@@ -1,0 +1,62 @@
+// Technology descriptions: BEOL layer stacks, pitches and clip geometry.
+//
+// The paper evaluates three enablements -- 28nm FDSOI 12-track (N28-12T),
+// 28nm FDSOI 8-track (N28-8T) and a prototype 7nm 9-track (N7-9T, scaled
+// into the 28nm BEOL per the paper's Section 4 methodology). Since the real
+// PDKs are proprietary, these presets reconstruct exactly the properties the
+// experiments consume: track counts per 1um x 1um clip, layer directions,
+// pitches, cell height in tracks, and the pin-shape style of Figure 9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optr::tech {
+
+/// One routing layer (M2 and up; the paper does not use M1 as a routing
+/// resource, so layer index 0 corresponds to M2).
+struct LayerInfo {
+  std::string name;   // "M2", "M3", ...
+  int metal = 2;      // metal number (2..9)
+  bool horizontal = true;  // preferred direction: tracks run along x
+  int pitchNm = 100;
+};
+
+/// Pin-shape style, controls how many access points cell pins expose
+/// (Figure 9: wide multi-point pins at 28nm vs two-point pins at 7nm).
+enum class PinStyle {
+  kWide,     // 28nm-like: pins span several tracks, 3+ access points
+  kCompact,  // 7nm-like: two access points, pins close together
+};
+
+struct Technology {
+  std::string name;
+  std::vector<LayerInfo> layers;  // index 0 = M2
+  int clipTracksX = 7;    // vertical tracks crossing a 1um clip
+  int clipTracksY = 10;   // horizontal tracks crossing a 1um clip
+  int cellHeightTracks = 12;  // cell height in horizontal (M2) tracks
+  int placementGridNm = 136;  // vertical-layer pitch = site width
+  int horizontalPitchNm = 100;
+  PinStyle pinStyle = PinStyle::kWide;
+  /// Whether diagonal-adjacent via placement is achievable at all for pin
+  /// access (false for N7-9T: Section 4.1 excludes the 8-neighbor rules).
+  bool supportsDiagonalViaRules = true;
+
+  int numLayers() const { return static_cast<int>(layers.size()); }
+  /// Routing-layer index (0-based, M2 = 0) for a metal number, or -1.
+  int layerOfMetal(int metal) const {
+    for (int z = 0; z < numLayers(); ++z)
+      if (layers[z].metal == metal) return z;
+    return -1;
+  }
+
+  static Technology n28_12t();
+  static Technology n28_8t();
+  static Technology n7_9t();
+  static const std::vector<Technology>& all();
+  static StatusOr<Technology> byName(const std::string& name);
+};
+
+}  // namespace optr::tech

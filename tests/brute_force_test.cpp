@@ -1,0 +1,154 @@
+// Independent optimality validation: on tiny clips, enumerate every simple
+// routing (DFS path enumeration per two-pin net, cross product across nets,
+// DRC-filtered) and verify OptRouter returns exactly the brute-force
+// optimum -- or proves infeasibility exactly when no combination passes.
+//
+// This check shares no code with the LP/MIP stack except the DRC checker,
+// so it independently validates the formulation + solver end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "core/opt_router.h"
+#include "route/drc.h"
+#include "test_clips.h"
+
+namespace optr::core {
+namespace {
+
+using clip::TrackPoint;
+using testing::makeSimpleClip;
+
+/// All simple directed paths from any source AP to any sink AP with cost at
+/// most maxCost. Paths are arc-id sets.
+std::vector<std::vector<int>> enumeratePaths(const grid::RoutingGraph& g,
+                                             const clip::Clip& c, int net,
+                                             double maxCost) {
+  std::vector<std::vector<int>> out;
+  const clip::ClipNet& cn = c.nets[net];
+  std::vector<char> isSink(g.numVertices(), 0);
+  for (const TrackPoint& ap : c.pins[cn.pins[1]].accessPoints)
+    isSink[g.vertexId(ap)] = 1;
+
+  std::vector<int> path;
+  std::vector<char> visited(g.numVertices(), 0);
+  std::function<void(int, double)> dfs = [&](int v, double cost) {
+    if (isSink[v] && !path.empty()) {
+      out.push_back(path);
+      return;  // extending past a sink never helps a 2-pin net
+    }
+    if (cost >= maxCost) return;
+    for (int a : g.outArcs(v)) {
+      const grid::Arc& arc = g.arc(a);
+      if (visited[arc.to]) continue;
+      if (!g.usableBy(arc.to, net)) continue;
+      visited[arc.to] = 1;
+      path.push_back(a);
+      dfs(arc.to, cost + arc.cost);
+      path.pop_back();
+      visited[arc.to] = 0;
+    }
+  };
+  for (const TrackPoint& ap : c.pins[cn.pins[0]].accessPoints) {
+    int v = g.vertexId(ap);
+    if (!g.usableBy(v, net)) continue;
+    visited.assign(g.numVertices(), 0);
+    visited[v] = 1;
+    dfs(v, 0);
+  }
+  return out;
+}
+
+/// Brute-force optimum over all per-net path combinations; infinity when no
+/// combination is DRC-clean.
+double bruteForceOptimum(const clip::Clip& c, const grid::RoutingGraph& g,
+                         double maxPathCost) {
+  route::DrcChecker drc(c, g);
+  std::vector<std::vector<std::vector<int>>> perNet;
+  for (std::size_t n = 0; n < c.nets.size(); ++n)
+    perNet.push_back(enumeratePaths(g, c, static_cast<int>(n), maxPathCost));
+
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> choice(perNet.size(), 0);
+  std::function<void(std::size_t, double)> combine = [&](std::size_t n,
+                                                         double costSoFar) {
+    if (costSoFar >= best) return;
+    if (n == perNet.size()) {
+      route::RouteSolution sol;
+      sol.usedArcs.resize(perNet.size());
+      for (std::size_t k = 0; k < perNet.size(); ++k)
+        sol.usedArcs[k] = perNet[k][choice[k]];
+      sol.normalize();
+      if (drc.check(sol).empty()) best = std::min(best, costSoFar);
+      return;
+    }
+    for (std::size_t i = 0; i < perNet[n].size(); ++i) {
+      choice[n] = i;
+      double cost = 0;
+      for (int a : perNet[n][i]) cost += g.arc(a).cost;
+      combine(n + 1, costSoFar + cost);
+    }
+  };
+  bool anyEmpty = false;
+  for (const auto& paths : perNet) anyEmpty |= paths.empty();
+  if (!anyEmpty) combine(0, 0);
+  return best;
+}
+
+class BruteForce
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, const char*>> {
+};
+
+/// Tiny clip with exactly two 2-pin nets on distinct vertices.
+clip::Clip tinyClip(std::uint64_t seed) {
+  Rng rng(seed * 31 + 5);
+  std::vector<clip::TrackPoint> pts;
+  while (pts.size() < 4) {
+    clip::TrackPoint p{static_cast<int>(rng.uniformInt(0, 2)),
+                       static_cast<int>(rng.uniformInt(0, 2)), 0};
+    bool dup = false;
+    for (const auto& q : pts) dup |= (q == p);
+    if (!dup) pts.push_back(p);
+  }
+  return makeSimpleClip(3, 3, 2, {{pts[0], pts[1]}, {pts[2], pts[3]}});
+}
+
+TEST_P(BruteForce, OptRouterMatchesExhaustiveSearch) {
+  auto [seed, ruleName] = GetParam();
+  // Tiny instances keep enumeration tractable: 2 two-pin nets, 3x3x2.
+  auto c = tinyClip(seed);
+  auto techn = tech::Technology::byName(c.techName).value();
+  auto rule = tech::ruleByName(ruleName).value();
+  grid::RoutingGraph g(c, techn, rule);
+
+  double brute = bruteForceOptimum(c, g, /*maxPathCost=*/26.0);
+
+  OptRouterOptions o;
+  o.mip.timeLimitSec = 30;
+  auto r = OptRouter(techn, rule, o).route(c);
+
+  if (std::isinf(brute)) {
+    // No path combination under the cost cap is clean. OptRouter may still
+    // find a longer (cap-exceeding) routing, but must never be worse than
+    // any enumerated option -- and infeasible is consistent.
+    if (r.status == RouteStatus::kOptimal) {
+      EXPECT_GE(r.cost, 26.0 - 1e-6)
+          << "OptRouter found a cheap routing brute force should have seen";
+    }
+  } else {
+    ASSERT_EQ(r.status, RouteStatus::kOptimal)
+        << "seed " << seed << " " << ruleName << " brute=" << brute;
+    EXPECT_NEAR(r.cost, brute, 1e-6) << "seed " << seed << " " << ruleName;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, BruteForce,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 13),
+                       ::testing::Values("RULE1", "RULE6", "RULE9",
+                                         "RULE2")));
+
+}  // namespace
+}  // namespace optr::core

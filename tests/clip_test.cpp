@@ -1,0 +1,152 @@
+// Tests for the clip model, the pin-cost metric, and clip IO round trips.
+#include "clip/clip.h"
+#include "clip/clip_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_clips.h"
+
+namespace optr::clip {
+namespace {
+
+using testing::makeSimpleClip;
+using testing::randomClip;
+
+TEST(Clip, ValidateAcceptsWellFormed) {
+  auto c = makeSimpleClip(5, 5, 3, {{{0, 0, 0}, {4, 4, 2}}});
+  EXPECT_TRUE(c.validate().isOk());
+}
+
+TEST(Clip, ValidateRejectsOutOfBoundsAccessPoint) {
+  auto c = makeSimpleClip(5, 5, 3, {{{0, 0, 0}, {5, 4, 2}}});
+  EXPECT_FALSE(c.validate().isOk());
+}
+
+TEST(Clip, ValidateRejectsSinglePinNet) {
+  auto c = makeSimpleClip(5, 5, 3, {{{0, 0, 0}, {4, 4, 2}}});
+  c.nets[0].pins.pop_back();
+  EXPECT_FALSE(c.validate().isOk());
+}
+
+TEST(Clip, ValidateRejectsOutOfBoundsObstacle) {
+  auto c = makeSimpleClip(5, 5, 3, {{{0, 0, 0}, {4, 4, 2}}});
+  c.obstacles.push_back({0, 0, 7});
+  EXPECT_FALSE(c.validate().isOk());
+}
+
+TEST(Clip, ValidateRejectsBrokenCrossReference) {
+  auto c = makeSimpleClip(5, 5, 3,
+                          {{{0, 0, 0}, {4, 4, 2}}, {{1, 1, 0}, {2, 2, 0}}});
+  c.pins[0].net = 1;  // pin claims the wrong net
+  EXPECT_FALSE(c.validate().isOk());
+}
+
+TEST(PinCost, CountsOnlyCellPins) {
+  auto c = makeSimpleClip(5, 5, 3, {{{0, 0, 0}, {4, 4, 0}}});
+  c.pins[1].isBoundary = true;
+  auto pc = pinCost(c);
+  EXPECT_DOUBLE_EQ(pc.pec, 1.0);
+}
+
+TEST(PinCost, SmallerPinsCostMore) {
+  auto a = makeSimpleClip(5, 5, 3, {{{0, 0, 0}, {4, 4, 0}}});
+  auto b = a;
+  for (auto& p : a.pins) p.shapeNm = Rect(0, 0, 10, 10);     // tiny pins
+  for (auto& p : b.pins) p.shapeNm = Rect(0, 0, 100, 100);   // big pins
+  EXPECT_GT(pinCost(a).pac, pinCost(b).pac);
+}
+
+TEST(PinCost, CloserPinsCostMore) {
+  auto a = makeSimpleClip(7, 7, 3, {{{0, 0, 0}, {1, 0, 0}}});
+  auto b = makeSimpleClip(7, 7, 3, {{{0, 0, 0}, {6, 6, 0}}});
+  a.pins[0].shapeNm = Rect(0, 0, 40, 40);
+  a.pins[1].shapeNm = Rect(100, 0, 140, 40);
+  b.pins[0].shapeNm = Rect(0, 0, 40, 40);
+  b.pins[1].shapeNm = Rect(800, 800, 840, 840);
+  EXPECT_GT(pinCost(a).prc, pinCost(b).prc);
+}
+
+TEST(PinCost, MatchesClosedForm) {
+  // One pin of area A: PAC = 2^(2 - A/theta); two pins at spacing s:
+  // PRC = 2^(2 - s/(3 theta)).
+  auto c = makeSimpleClip(7, 7, 3, {{{0, 0, 0}, {6, 0, 0}}});
+  c.pins[0].shapeNm = Rect(0, 0, 50, 10);     // area 500
+  c.pins[1].shapeNm = Rect(100, 0, 150, 10);  // spacing 50
+  auto pc = pinCost(c, 500.0);
+  EXPECT_DOUBLE_EQ(pc.pec, 2.0);
+  double pacExpected = std::exp2(2.0 - 500.0 / 500.0) * 2;
+  EXPECT_NEAR(pc.pac, pacExpected, 1e-9);
+  double prcExpected = std::exp2(2.0 - 50.0 / 1500.0);
+  EXPECT_NEAR(pc.prc, prcExpected, 1e-9);
+}
+
+TEST(ClipIo, RoundTripSingle) {
+  auto c = randomClip(17, 6, 6, 4, 4);
+  c.obstacles.push_back({2, 2, 0});
+  c.pins[0].isBoundary = true;
+  std::string text = toText(c);
+  auto back = fromText(text);
+  ASSERT_TRUE(back.isOk()) << back.status().message();
+  const Clip& d = back.value();
+  EXPECT_EQ(d.id, c.id);
+  EXPECT_EQ(d.techName, c.techName);
+  EXPECT_EQ(d.tracksX, c.tracksX);
+  EXPECT_EQ(d.numLayers, c.numLayers);
+  ASSERT_EQ(d.pins.size(), c.pins.size());
+  for (std::size_t i = 0; i < c.pins.size(); ++i) {
+    EXPECT_EQ(d.pins[i].net, c.pins[i].net);
+    EXPECT_EQ(d.pins[i].isBoundary, c.pins[i].isBoundary);
+    EXPECT_EQ(d.pins[i].accessPoints, c.pins[i].accessPoints);
+    EXPECT_EQ(d.pins[i].shapeNm, c.pins[i].shapeNm);
+  }
+  EXPECT_EQ(d.obstacles, c.obstacles);
+  ASSERT_EQ(d.nets.size(), c.nets.size());
+  for (std::size_t i = 0; i < c.nets.size(); ++i) {
+    EXPECT_EQ(d.nets[i].name, c.nets[i].name);
+    EXPECT_EQ(d.nets[i].pins, c.nets[i].pins);
+  }
+}
+
+TEST(ClipIo, RoundTripMulti) {
+  std::vector<Clip> clips;
+  for (std::uint64_t s = 1; s <= 5; ++s) clips.push_back(randomClip(s));
+  std::string text = toTextMulti(clips);
+  auto back = fromTextMulti(text);
+  ASSERT_TRUE(back.isOk()) << back.status().message();
+  ASSERT_EQ(back.value().size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(back.value()[i].id, clips[i].id);
+    EXPECT_EQ(back.value()[i].pins.size(), clips[i].pins.size());
+  }
+}
+
+TEST(ClipIo, FileRoundTrip) {
+  std::vector<Clip> clips = {randomClip(42)};
+  std::string path = ::testing::TempDir() + "/clips_roundtrip.txt";
+  ASSERT_TRUE(saveClips(path, clips).isOk());
+  auto back = loadClips(path);
+  ASSERT_TRUE(back.isOk()) << back.status().message();
+  EXPECT_EQ(back.value().size(), 1u);
+  EXPECT_EQ(back.value()[0].id, clips[0].id);
+}
+
+TEST(ClipIo, RejectsMalformedInput) {
+  EXPECT_FALSE(fromText("garbage\nEND\n").isOk());
+  EXPECT_FALSE(fromText("CLIP x TECH t TRACKS 5 5 LAYERS 2\nPIN 0 CELL "
+                        "SHAPE 0 0 1 1 APS 1 0 0 0\nEND\n")
+                   .isOk());  // PIN references net before NET declared
+  EXPECT_FALSE(fromText("CLIP x TECH t TRACKS 5 5 LAYERS 2\n").isOk());
+  EXPECT_FALSE(
+      fromText("CLIP x TECH t TRACKS 5 5 LAYERS 2\nNET a\nPIN 0 CELL SHAPE "
+               "0 0 1 1 APS 2 0 0 0\nEND\n")
+          .isOk());  // AP count mismatch
+}
+
+TEST(ClipIo, LoadMissingFileFails) {
+  EXPECT_FALSE(loadClips("/nonexistent/path/clips.txt").isOk());
+}
+
+}  // namespace
+}  // namespace optr::clip

@@ -1,0 +1,111 @@
+// Tests for the common utilities: geometry, RNG determinism, strings.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace optr {
+namespace {
+
+TEST(Geometry, RectBasics) {
+  Rect r(0, 0, 10, 20);
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_TRUE(r.contains(Point{5, 5}));
+  EXPECT_TRUE(r.contains(Point{10, 20}));  // inclusive bounds
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+}
+
+TEST(Geometry, OverlapAndIntersection) {
+  Rect a(0, 0, 10, 10), b(5, 5, 15, 15), c(11, 11, 20, 20);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  Rect i = a.intersect(b);
+  EXPECT_EQ(i, Rect(5, 5, 10, 10));
+  Rect u = a.unite(c);
+  EXPECT_EQ(u, Rect(0, 0, 20, 20));
+}
+
+TEST(Geometry, RectDistance) {
+  Rect a(0, 0, 10, 10);
+  EXPECT_EQ(rectDistance(a, Rect(5, 5, 8, 8)), 0);    // overlap
+  EXPECT_EQ(rectDistance(a, Rect(15, 0, 20, 10)), 5); // pure x gap
+  EXPECT_EQ(rectDistance(a, Rect(15, 15, 20, 20)), 10);  // diagonal gap
+}
+
+TEST(Geometry, Manhattan) {
+  EXPECT_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7);
+  EXPECT_EQ(manhattan(Point{-2, 5}, Point{2, 1}), 8);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    double d = rng.uniformReal();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniformInt(4, 4), 4);
+}
+
+TEST(Rng, CoversTheRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Strings, SplitWhitespace) {
+  auto t = splitWhitespace("  a\tbb  ccc \r");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "ccc");
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, SplitOnSeparator) {
+  auto t = split("a,,b", ',');
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parseInt("42").value_or(-1), 42);
+  EXPECT_EQ(parseInt("-7").value_or(1), -7);
+  EXPECT_FALSE(parseInt("4x").has_value());
+  EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parseDouble("2.5").value_or(0), 2.5);
+  EXPECT_FALSE(parseDouble("abc").has_value());
+}
+
+TEST(Strings, StartsWithAndFormat) {
+  EXPECT_TRUE(startsWith("RULE10", "RULE"));
+  EXPECT_FALSE(startsWith("RU", "RULE"));
+  EXPECT_EQ(strFormat("%d-%s", 3, "x"), "3-x");
+}
+
+}  // namespace
+}  // namespace optr

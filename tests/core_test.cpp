@@ -1,0 +1,223 @@
+// Integration tests for OptRouter: formulation + MIP + lazy separation.
+//
+// These are the tests that back the "optimal" in OptRouter: known-answer
+// clips, infeasibility proofs, rule-impact direction checks, warm-start
+// round trips, and a randomized property suite comparing against the
+// heuristic baseline (optimal must never be worse).
+#include "core/opt_router.h"
+
+#include <gtest/gtest.h>
+
+#include "route/drc.h"
+#include "test_clips.h"
+
+namespace optr::core {
+namespace {
+
+using clip::TrackPoint;
+using testing::makeClip;
+using testing::makeSimpleClip;
+using testing::randomClip;
+
+tech::Technology techOf(const clip::Clip& c) {
+  return tech::Technology::byName(c.techName).value();
+}
+
+RouteResult routeWith(const clip::Clip& c, const tech::RuleConfig& rule,
+                      OptRouterOptions opts = {}) {
+  return OptRouter(techOf(c), rule, opts).route(c);
+}
+
+RouteResult routeDefault(const clip::Clip& c) {
+  return routeWith(c, tech::RuleConfig{});
+}
+
+TEST(OptRouter, StraightWireOnPreferredDirection) {
+  // M2 is horizontal: a 4-step straight connection costs exactly 4.
+  auto c = makeSimpleClip(5, 1, 1, {{{0, 0, 0}, {4, 0, 0}}});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+  EXPECT_EQ(r.wirelength, 4);
+  EXPECT_EQ(r.vias, 0);
+}
+
+TEST(OptRouter, LayerChangeCostsVias) {
+  // Moving in y from M2 requires the vertical M3: up, 3 tracks, down = 3+8.
+  auto c = makeSimpleClip(3, 4, 2, {{{1, 0, 0}, {1, 3, 0}}});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  EXPECT_EQ(r.wirelength, 3);
+  EXPECT_EQ(r.vias, 2);
+  EXPECT_DOUBLE_EQ(r.cost, 3 + 2 * 4.0);
+}
+
+TEST(OptRouter, LShapeUsesOneViaWhenSinkOnUpperLayer) {
+  // Sink directly on M3: only one via needed.
+  auto c = makeSimpleClip(4, 4, 2, {{{0, 0, 0}, {2, 3, 1}}});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  // Route: along M2 x:0->2 (2), via up (4), along M3 y:0->3 (3) = 9.
+  EXPECT_DOUBLE_EQ(r.cost, 2 + 4 + 3);
+}
+
+TEST(OptRouter, SteinerSharingBeatsTwoDisjointPaths) {
+  // Source at x=0; sinks at x=4 on neighbouring rows reachable via M3.
+  // A shared trunk must be cheaper than two independent connections.
+  auto c = makeSimpleClip(5, 3, 2,
+                          {{{0, 0, 0}, {4, 0, 0}, {4, 2, 0}}});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  // Independent: (4) + (4 wl + 2 vias => 4+2+8? path to (4,2,0): 4 x-steps,
+  // 2 y-steps, 2 vias = 4+2+8 = 14) = 18 total. Sharing the x-trunk:
+  // trunk 0->4 on row 0 (4), then up/over/down (2+8=10) => 14 total.
+  EXPECT_LE(r.cost, 14.0 + 1e-9);
+  EXPECT_GE(r.cost, 10.0);  // sanity: cannot beat the lower bound
+  // Every pin connected (DRC open-net check ran inside OptRouter).
+  EXPECT_EQ(r.status, RouteStatus::kOptimal);
+}
+
+TEST(OptRouter, TwoNetsShareCongestedRowInfeasible) {
+  // One horizontal layer only; two nets both need row 0 through the middle.
+  auto c = makeSimpleClip(5, 1, 1,
+                          {{{0, 0, 0}, {4, 0, 0}}, {{1, 0, 0}, {3, 0, 0}}});
+  auto r = routeDefault(c);
+  EXPECT_EQ(r.status, RouteStatus::kInfeasible);
+}
+
+TEST(OptRouter, TwoNetsResolveWithSecondLayer) {
+  // Same conflict, but a vertical layer lets one net hop over the other --
+  // except with tracksY == 1 there is nowhere to go: still infeasible.
+  // With 3 rows it becomes routable.
+  auto c = makeSimpleClip(5, 3, 2,
+                          {{{0, 0, 0}, {4, 0, 0}}, {{1, 0, 0}, {3, 0, 0}}});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  // Net 0 detours or net 1 hops: detour costs 2 extra wl + 2 vias min.
+  EXPECT_GT(r.cost, 4.0 + 2.0);
+  grid::RoutingGraph g(c, techOf(c), tech::RuleConfig{});
+  route::DrcChecker drc(c, g);
+  EXPECT_TRUE(drc.check(r.solution).empty());
+}
+
+TEST(OptRouter, MultipleAccessPointsPickTheCheapest) {
+  // Sink pin reachable through two access points; the nearer one wins.
+  auto c = makeClip(6, 1, 1,
+                    {{{{0, 0, 0}}, {{5, 0, 0}, {2, 0, 0}}}});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+}
+
+TEST(OptRouter, ObstacleForcesDetour) {
+  auto c = makeSimpleClip(5, 3, 2, {{{0, 0, 0}, {4, 0, 0}}});
+  c.obstacles.push_back({2, 0, 0});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  // Straight is blocked: must hop via M3 (2 vias) around the obstacle.
+  EXPECT_GT(r.cost, 4.0);
+  EXPECT_GE(r.vias, 2);
+}
+
+TEST(OptRouter, PinOwnershipBlocksForeignNets) {
+  // Net 1's pin sits on net 0's straight path.
+  auto c = makeSimpleClip(5, 3, 2,
+                          {{{0, 0, 0}, {4, 0, 0}}, {{2, 0, 0}, {2, 2, 0}}});
+  auto r = routeDefault(c);
+  ASSERT_EQ(r.status, RouteStatus::kOptimal);
+  grid::RoutingGraph g(c, techOf(c), tech::RuleConfig{});
+  route::DrcChecker drc(c, g);
+  EXPECT_TRUE(drc.check(r.solution).empty());
+  // Net 0 cannot go straight through (2,0,0).
+  EXPECT_GT(r.cost, 4.0 + (2.0 + 8.0) - 1e-9);
+}
+
+TEST(OptRouter, WarmStartDoesNotChangeTheOptimum) {
+  auto c = randomClip(/*seed=*/7, 5, 5, 3, 3);
+  OptRouterOptions with, without;
+  with.warmStart = true;
+  without.warmStart = false;
+  auto a = routeWith(c, tech::RuleConfig{}, with);
+  auto b = routeWith(c, tech::RuleConfig{}, without);
+  ASSERT_EQ(a.status, b.status);
+  if (a.status == RouteStatus::kOptimal) {
+    EXPECT_NEAR(a.cost, b.cost, 1e-6);
+  }
+}
+
+TEST(OptRouter, ViaRestrictionNeverImprovesCost) {
+  // Stacked rule severity: RULE1 (none) <= RULE6 (4-neighbor) <= RULE9 (8).
+  auto c = randomClip(/*seed=*/21, 5, 5, 3, 3);
+  OptRouterOptions opts;
+  opts.mip.timeLimitSec = 30.0;
+  auto r1 = routeWith(c, tech::ruleByName("RULE1").value(), opts);
+  auto r6 = routeWith(c, tech::ruleByName("RULE6").value(), opts);
+  auto r9 = routeWith(c, tech::ruleByName("RULE9").value(), opts);
+  ASSERT_EQ(r1.status, RouteStatus::kOptimal);
+  if (r6.status == RouteStatus::kOptimal) EXPECT_GE(r6.cost, r1.cost - 1e-6);
+  if (r9.status == RouteStatus::kOptimal) EXPECT_GE(r9.cost, r6.status == RouteStatus::kOptimal ? r6.cost - 1e-6 : r1.cost - 1e-6);
+}
+
+TEST(OptRouter, SadpNeverImprovesCost) {
+  auto c = randomClip(/*seed=*/33, 5, 5, 3, 3);
+  OptRouterOptions opts;
+  opts.mip.timeLimitSec = 30.0;
+  auto r1 = routeWith(c, tech::ruleByName("RULE1").value(), opts);
+  auto r2 = routeWith(c, tech::ruleByName("RULE2").value(), opts);
+  ASSERT_EQ(r1.status, RouteStatus::kOptimal);
+  if (r2.status == RouteStatus::kOptimal) {
+    EXPECT_GE(r2.cost, r1.cost - 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: on random clips, the proven optimum is never worse than
+// the heuristic baseline, and returned solutions are always DRC-clean.
+// ---------------------------------------------------------------------------
+
+struct RuleCase {
+  std::uint64_t seed;
+  const char* rule;
+};
+
+class OptVsBaseline
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, const char*>> {
+};
+
+TEST_P(OptVsBaseline, OptimalNeverWorseAndAlwaysClean) {
+  auto [seed, ruleName] = GetParam();
+  auto c = randomClip(seed, 5, 5, 3, 3);
+  auto rule = tech::ruleByName(ruleName).value();
+  auto techn = techOf(c);
+
+  grid::RoutingGraph g(c, techn, rule);
+  route::MazeRouter maze(c, g);
+  auto mr = maze.route();
+
+  OptRouterOptions opts;
+  opts.mip.timeLimitSec = 20.0;
+  auto r = routeWith(c, rule, opts);
+
+  if (r.status == RouteStatus::kOptimal) {
+    route::DrcChecker drc(c, g);
+    EXPECT_TRUE(drc.check(r.solution).empty())
+        << "optimal solution fails DRC";
+    if (mr.success) {
+      EXPECT_LE(r.cost, mr.solution.totalCost(g) + 1e-6)
+          << "optimal worse than heuristic baseline";
+    }
+  } else if (r.status == RouteStatus::kInfeasible) {
+    // The baseline must not have found a clean solution if the exact solver
+    // proved infeasibility.
+    EXPECT_FALSE(mr.success)
+        << "baseline found a DRC-clean route on a proven-infeasible clip";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, OptVsBaseline,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 11),
+                       ::testing::Values("RULE1", "RULE3", "RULE6")));
+
+}  // namespace
+}  // namespace optr::core

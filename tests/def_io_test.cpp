@@ -1,0 +1,99 @@
+// Tests for the LEF/DEF-subset writer and reader.
+#include "layout/def_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace optr::layout {
+namespace {
+
+struct Fixture {
+  CellLibrary lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  Design design;
+
+  Fixture() {
+    DesignSpec spec;
+    spec.targetInstances = 60;
+    spec.seed = 4;
+    design = generateDesign(lib, spec);
+  }
+};
+
+TEST(DefIo, LefContainsEveryMacroAndPin) {
+  Fixture f;
+  std::string lef = writeLef(f.lib);
+  EXPECT_NE(lef.find("VERSION 5.8"), std::string::npos);
+  for (const CellMaster& m : f.lib.masters()) {
+    EXPECT_NE(lef.find("MACRO " + m.name), std::string::npos) << m.name;
+    for (const PinTemplate& p : m.pins) {
+      EXPECT_NE(lef.find("PIN " + p.name), std::string::npos);
+    }
+  }
+  EXPECT_NE(lef.find("END LIBRARY"), std::string::npos);
+}
+
+TEST(DefIo, DefContainsComponentsAndNets) {
+  Fixture f;
+  std::string def = writeDef(f.design, f.lib);
+  EXPECT_NE(def.find("DESIGN " + f.design.name), std::string::npos);
+  EXPECT_NE(def.find("COMPONENTS " +
+                     std::to_string(f.design.instances.size())),
+            std::string::npos);
+  EXPECT_NE(def.find("NETS " + std::to_string(f.design.nets.size())),
+            std::string::npos);
+  EXPECT_NE(def.find("END DESIGN"), std::string::npos);
+}
+
+TEST(DefIo, RoundTripPreservesPlacementAndNetlist) {
+  Fixture f;
+  std::string def = writeDef(f.design, f.lib);
+  auto back = readDef(def, f.lib);
+  ASSERT_TRUE(back.isOk()) << back.status().message();
+  const Design& d = back.value();
+  EXPECT_EQ(d.name, f.design.name);
+  ASSERT_EQ(d.instances.size(), f.design.instances.size());
+  for (std::size_t i = 0; i < d.instances.size(); ++i) {
+    EXPECT_EQ(d.instances[i].name, f.design.instances[i].name);
+    EXPECT_EQ(d.instances[i].master, f.design.instances[i].master);
+    EXPECT_EQ(d.instances[i].row, f.design.instances[i].row);
+    EXPECT_EQ(d.instances[i].siteX, f.design.instances[i].siteX);
+  }
+  ASSERT_EQ(d.nets.size(), f.design.nets.size());
+  for (std::size_t n = 0; n < d.nets.size(); ++n) {
+    EXPECT_EQ(d.nets[n].name, f.design.nets[n].name);
+    ASSERT_EQ(d.nets[n].terminals.size(), f.design.nets[n].terminals.size());
+    for (std::size_t t = 0; t < d.nets[n].terminals.size(); ++t) {
+      EXPECT_EQ(d.nets[n].terminals[t].instance,
+                f.design.nets[n].terminals[t].instance);
+      EXPECT_EQ(d.nets[n].terminals[t].pin,
+                f.design.nets[n].terminals[t].pin);
+    }
+  }
+}
+
+TEST(DefIo, ReadRejectsUnknownMaster) {
+  Fixture f;
+  std::string def =
+      "DESIGN x ;\nCOMPONENTS 1 ;\n- u0 NOT_A_CELL + PLACED ( 0 0 ) N ;\n"
+      "END COMPONENTS\nEND DESIGN\n";
+  EXPECT_FALSE(readDef(def, f.lib).isOk());
+}
+
+TEST(DefIo, ReadRejectsMissingDesign) {
+  Fixture f;
+  EXPECT_FALSE(readDef("COMPONENTS 0 ;\nEND COMPONENTS\n", f.lib).isOk());
+}
+
+TEST(DefIo, SaveWritesBothFiles) {
+  Fixture f;
+  std::string lef = ::testing::TempDir() + "/lib.lef";
+  std::string def = ::testing::TempDir() + "/design.def";
+  ASSERT_TRUE(saveDesign(lef, def, f.design, f.lib).isOk());
+  std::ifstream a(lef), b(def);
+  EXPECT_TRUE(a.good());
+  EXPECT_TRUE(b.good());
+}
+
+}  // namespace
+}  // namespace optr::layout

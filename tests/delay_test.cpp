@@ -1,0 +1,124 @@
+// Tests for the RC models and the Elmore delay estimator.
+#include "route/delay.h"
+
+#include <gtest/gtest.h>
+
+#include "route/maze_router.h"
+#include "test_clips.h"
+
+namespace optr::route {
+namespace {
+
+using testing::makeSimpleClip;
+
+RouteSolution routeIt(const clip::Clip& c, const grid::RoutingGraph& g) {
+  MazeRouter maze(c, g);
+  auto r = maze.route();
+  EXPECT_TRUE(r.success);
+  return r.solution;
+}
+
+TEST(RcModel, PaperScalingFactors) {
+  auto n28 = tech::RcModel::n28();
+  auto n7 = tech::RcModel::n7FromN28();
+  ASSERT_EQ(n28.layers.size(), n7.layers.size());
+  for (std::size_t z = 0; z < n28.layers.size(); ++z) {
+    EXPECT_NEAR(n7.layers[z].rPerTrack, 6.0 * n28.layers[z].rPerTrack, 1e-12);
+    EXPECT_NEAR(n7.layers[z].cPerTrack, n28.layers[z].cPerTrack / 2.5, 1e-12);
+  }
+  EXPECT_NEAR(n7.viaR, 6.0 * n28.viaR, 1e-12);
+}
+
+TEST(RcModel, TopLayersAreLowResistance) {
+  auto m = tech::RcModel::n28();
+  EXPECT_LT(m.layers[6].rPerTrack, m.layers[0].rPerTrack);  // M8 vs M2
+}
+
+TEST(RcModel, TechnologyDispatch) {
+  EXPECT_EQ(tech::RcModel::forTechnology(tech::Technology::n7_9t()).techName,
+            "N7(scaled)");
+  EXPECT_EQ(tech::RcModel::forTechnology(tech::Technology::n28_8t()).techName,
+            "N28-8T");
+}
+
+TEST(Delay, StraightWireMatchesClosedForm) {
+  // A 3-segment straight wire on M2: r = c = 1 per segment, driver R = 1,
+  // sink C = 0.5. Elmore: Rd*(3c + Cs) + sum over segments of
+  // r_i * (c/2 + downstream).
+  auto c = makeSimpleClip(4, 1, 1, {{{0, 0, 0}, {3, 0, 0}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  RouteSolution sol = routeIt(c, g);
+  auto rc = tech::RcModel::n28();
+  DelayOptions opt;  // driverR = 1, sinkC = 0.5
+  auto delays = estimateNetDelays(c, g, sol, rc, opt);
+  ASSERT_EQ(delays.size(), 1u);
+  // Hand computation: total C = 3*1 + 0.5 = 3.5; segment delays:
+  //   seg1: 1 * (0.5 + 2 + 0.5) = 3.0
+  //   seg2: 1 * (0.5 + 1 + 0.5) = 2.0
+  //   seg3: 1 * (0.5 + 0.5)     = 1.0
+  // driver: 1 * 3.5 = 3.5; total = 9.5.
+  EXPECT_NEAR(delays[0].totalCapacitance, 3.5, 1e-9);
+  EXPECT_NEAR(delays[0].worstSinkDelay, 9.5, 1e-9);
+  EXPECT_NEAR(delays[0].worstPathResistance, 4.0, 1e-9);
+}
+
+TEST(Delay, LongerWireHasLargerDelay) {
+  auto shortClip = makeSimpleClip(3, 1, 1, {{{0, 0, 0}, {2, 0, 0}}});
+  auto longClip = makeSimpleClip(7, 1, 1, {{{0, 0, 0}, {6, 0, 0}}});
+  auto rc = tech::RcModel::n28();
+  grid::RoutingGraph g1(shortClip, tech::Technology::n28_12t(), {});
+  grid::RoutingGraph g2(longClip, tech::Technology::n28_12t(), {});
+  auto d1 = estimateNetDelays(shortClip, g1, routeIt(shortClip, g1), rc);
+  auto d2 = estimateNetDelays(longClip, g2, routeIt(longClip, g2), rc);
+  EXPECT_GT(d2[0].worstSinkDelay, d1[0].worstSinkDelay);
+}
+
+TEST(Delay, ViasAddResistance) {
+  // Same Manhattan distance, but one route must change layers.
+  auto planar = makeSimpleClip(4, 1, 1, {{{0, 0, 0}, {3, 0, 0}}});
+  auto layered = makeSimpleClip(2, 4, 2, {{{0, 0, 0}, {0, 3, 0}}});
+  auto rc = tech::RcModel::n28();
+  grid::RoutingGraph g1(planar, tech::Technology::n28_12t(), {});
+  grid::RoutingGraph g2(layered, tech::Technology::n28_12t(), {});
+  auto d1 = estimateNetDelays(planar, g1, routeIt(planar, g1), rc);
+  auto d2 = estimateNetDelays(layered, g2, routeIt(layered, g2), rc);
+  // 3 segments + 2 vias (R 2.0 each) beats 3 plain segments.
+  EXPECT_GT(d2[0].worstPathResistance, d1[0].worstPathResistance);
+}
+
+TEST(Delay, MultiSinkReportsWorstCase) {
+  auto c = makeSimpleClip(7, 3, 2,
+                          {{{0, 0, 0}, {2, 0, 0}, {6, 0, 0}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  RouteSolution sol = routeIt(c, g);
+  auto rc = tech::RcModel::n28();
+  auto delays = estimateNetDelays(c, g, sol, rc);
+  ASSERT_EQ(delays.size(), 1u);
+  // The far sink at x=6 dominates; its path resistance includes >= 6 units.
+  EXPECT_GE(delays[0].worstPathResistance, 6.0);
+}
+
+TEST(Delay, UnroutedNetReportsZeros) {
+  auto c = makeSimpleClip(4, 1, 1, {{{0, 0, 0}, {3, 0, 0}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  RouteSolution sol;
+  sol.usedArcs.assign(1, {});
+  auto delays =
+      estimateNetDelays(c, g, sol, tech::RcModel::n28());
+  ASSERT_EQ(delays.size(), 1u);
+  EXPECT_EQ(delays[0].worstSinkDelay, 0.0);
+}
+
+TEST(Delay, N7ScalingInflatesWireDelay) {
+  auto c = makeSimpleClip(7, 1, 1, {{{0, 0, 0}, {6, 0, 0}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  RouteSolution sol = routeIt(c, g);
+  auto d28 = estimateNetDelays(c, g, sol, tech::RcModel::n28());
+  auto d7 = estimateNetDelays(c, g, sol, tech::RcModel::n7FromN28());
+  double ratio = d7[0].worstSinkDelay / d28[0].worstSinkDelay;
+  EXPECT_GT(ratio, 1.5);   // resistivity dominates
+  EXPECT_LT(ratio, 6.0);   // capped by the pure-R scaling
+}
+
+}  // namespace
+}  // namespace optr::route

@@ -1,0 +1,188 @@
+// Unit tests for the routing graph: arc generation, unidirectional pruning,
+// via instances / shapes, vertex ownership, and reverse-arc indexing.
+#include "grid/routing_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_clips.h"
+
+namespace optr::grid {
+namespace {
+
+using clip::TrackPoint;
+using testing::makeSimpleClip;
+
+clip::Clip emptyClip(int x, int y, int z) {
+  // One dummy net far in the corner so the clip validates.
+  return makeSimpleClip(x, y, z, {{{0, 0, 0}, {1, 0, 0}}});
+}
+
+TEST(RoutingGraph, VertexIndexingRoundTrips) {
+  auto c = emptyClip(5, 7, 3);
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  EXPECT_EQ(g.numGridVertices(), 5 * 7 * 3);
+  for (int z = 0; z < 3; ++z)
+    for (int y = 0; y < 7; ++y)
+      for (int x = 0; x < 5; ++x) {
+        int v = g.vertexId(x, y, z);
+        auto p = g.coords(v);
+        EXPECT_EQ(p.x, x);
+        EXPECT_EQ(p.y, y);
+        EXPECT_EQ(p.z, z);
+      }
+}
+
+TEST(RoutingGraph, UnidirectionalLayersDropOffAxisArcs) {
+  auto c = emptyClip(4, 4, 2);
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  // Layer 0 (M2) is horizontal: no planar arc may change y on layer 0.
+  for (const Arc& a : g.arcs()) {
+    if (a.kind != ArcKind::kPlanar) continue;
+    auto pa = g.coords(a.from);
+    auto pb = g.coords(a.to);
+    if (pa.z == 0) EXPECT_EQ(pa.y, pb.y) << "vertical arc on horizontal M2";
+    if (pa.z == 1) EXPECT_EQ(pa.x, pb.x) << "horizontal arc on vertical M3";
+  }
+}
+
+TEST(RoutingGraph, BidirectionalModeKeepsBothAxes) {
+  auto c = emptyClip(4, 4, 1);
+  tech::RuleConfig rule;
+  rule.unidirectional = false;
+  RoutingGraph g(c, tech::Technology::n28_12t(), rule);
+  int alongX = 0, alongY = 0;
+  for (const Arc& a : g.arcs()) {
+    if (a.kind != ArcKind::kPlanar) continue;
+    auto pa = g.coords(a.from);
+    auto pb = g.coords(a.to);
+    if (pa.x != pb.x) ++alongX;
+    if (pa.y != pb.y) ++alongY;
+  }
+  EXPECT_GT(alongX, 0);
+  EXPECT_GT(alongY, 0);
+}
+
+TEST(RoutingGraph, PlanarArcCountMatchesFormula) {
+  auto c = emptyClip(4, 5, 2);
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  int planar = 0;
+  for (const Arc& a : g.arcs())
+    if (a.kind == ArcKind::kPlanar) ++planar;
+  // Layer 0 horizontal: 5 rows x 3 segments x 2 dirs = 30.
+  // Layer 1 vertical: 4 cols x 4 segments x 2 dirs = 32.
+  EXPECT_EQ(planar, 30 + 32);
+}
+
+TEST(RoutingGraph, UnitViaInstancesCoverEverySite) {
+  auto c = emptyClip(3, 4, 3);
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  // 3*4 sites per cut layer, 2 cut layers.
+  EXPECT_EQ(g.viaInstances().size(), 3u * 4 * 2);
+  for (const ViaInstance& vi : g.viaInstances()) {
+    EXPECT_EQ(vi.coveredLower.size(), 1u);
+    EXPECT_EQ(vi.coveredUpper.size(), 1u);
+    EXPECT_EQ(vi.arcs.size(), 2u);  // up + down
+    EXPECT_EQ(vi.upVertex, -1);     // unit vias need no representative
+  }
+}
+
+TEST(RoutingGraph, ViaArcCostMatchesWeight) {
+  auto c = emptyClip(3, 3, 2);
+  tech::RuleConfig rule;
+  rule.viaCostWeight = 4.0;
+  RoutingGraph g(c, tech::Technology::n28_12t(), rule);
+  for (const Arc& a : g.arcs()) {
+    if (a.kind == ArcKind::kVia) EXPECT_DOUBLE_EQ(a.cost, 4.0);
+    if (a.kind == ArcKind::kPlanar) EXPECT_DOUBLE_EQ(a.cost, 1.0);
+  }
+}
+
+TEST(RoutingGraph, ShapedViaCreatesRepresentativeVertices) {
+  auto c = emptyClip(4, 4, 2);
+  tech::RuleConfig rule;
+  rule.viaShapes = {tech::unitVia(), tech::squareVia()};
+  RoutingGraph g(c, tech::Technology::n28_12t(), rule);
+  int shaped = 0;
+  for (const ViaInstance& vi : g.viaInstances()) {
+    if (vi.upVertex < 0) continue;
+    ++shaped;
+    EXPECT_EQ(vi.coveredLower.size(), 4u);
+    EXPECT_EQ(vi.coveredUpper.size(), 4u);
+    EXPECT_GE(vi.upVertex, g.numGridVertices());
+    EXPECT_GE(vi.dnVertex, g.numGridVertices());
+    // 4 lower enter + 4 lower exit + 4 upper exit + 4 upper enter.
+    EXPECT_EQ(vi.arcs.size(), 16u);
+  }
+  // 2x2 placements on a 4x4 grid: 3x3 = 9 per cut layer, 1 cut layer.
+  EXPECT_EQ(shaped, 9);
+  // Paper Section 3.2 example: the via-shape cost is discounted.
+  for (const Arc& a : g.arcs()) {
+    if (a.kind == ArcKind::kViaEnter)
+      EXPECT_DOUBLE_EQ(a.cost, 4.0 * 0.8);
+    if (a.kind == ArcKind::kViaExit) EXPECT_DOUBLE_EQ(a.cost, 0.0);
+  }
+}
+
+TEST(RoutingGraph, PaperViaShapeVertexCountExample) {
+  // Paper Section 3.2: a 2x2 via on a 15x15x3 grid creates 392 = 14*14*2
+  // placement instances.
+  auto c = emptyClip(15, 15, 3);
+  tech::RuleConfig rule;
+  rule.viaShapes = {tech::squareVia()};
+  RoutingGraph g(c, tech::Technology::n28_12t(), rule);
+  EXPECT_EQ(g.viaInstances().size(), 392u);
+}
+
+TEST(RoutingGraph, ReverseArcIndexIsConsistent) {
+  auto c = emptyClip(4, 4, 3);
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  for (int a = 0; a < g.numArcs(); ++a) {
+    int r = g.reverseArc(a);
+    if (g.arc(a).kind == ArcKind::kPlanar || g.arc(a).kind == ArcKind::kVia) {
+      ASSERT_GE(r, 0);
+      EXPECT_EQ(g.arc(r).from, g.arc(a).to);
+      EXPECT_EQ(g.arc(r).to, g.arc(a).from);
+      EXPECT_EQ(g.reverseArc(r), a);
+    } else {
+      EXPECT_EQ(r, -1);
+    }
+  }
+}
+
+TEST(RoutingGraph, AdjacencyListsMatchArcs) {
+  auto c = emptyClip(3, 3, 2);
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  int sumOut = 0, sumIn = 0;
+  for (int v = 0; v < g.numVertices(); ++v) {
+    sumOut += static_cast<int>(g.outArcs(v).size());
+    sumIn += static_cast<int>(g.inArcs(v).size());
+    for (int a : g.outArcs(v)) EXPECT_EQ(g.arc(a).from, v);
+    for (int a : g.inArcs(v)) EXPECT_EQ(g.arc(a).to, v);
+  }
+  EXPECT_EQ(sumOut, g.numArcs());
+  EXPECT_EQ(sumIn, g.numArcs());
+}
+
+TEST(RoutingGraph, OwnershipFromPinsAndObstacles) {
+  auto c = makeSimpleClip(5, 3, 2,
+                          {{{0, 0, 0}, {4, 0, 0}}, {{2, 2, 0}, {2, 1, 0}}});
+  c.obstacles.push_back({1, 1, 0});
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  EXPECT_EQ(g.vertexOwner(g.vertexId(0, 0, 0)), 0);
+  EXPECT_EQ(g.vertexOwner(g.vertexId(2, 2, 0)), 1);
+  EXPECT_EQ(g.vertexOwner(g.vertexId(1, 1, 0)), kVertexBlocked);
+  EXPECT_EQ(g.vertexOwner(g.vertexId(3, 2, 0)), kVertexFree);
+  EXPECT_TRUE(g.usableBy(g.vertexId(0, 0, 0), 0));
+  EXPECT_FALSE(g.usableBy(g.vertexId(0, 0, 0), 1));
+  EXPECT_FALSE(g.usableBy(g.vertexId(1, 1, 0), 0));
+}
+
+TEST(RoutingGraph, MetalNumbersStartAtM2) {
+  auto c = emptyClip(3, 3, 3);
+  RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  EXPECT_EQ(g.metalOf(0), 2);
+  EXPECT_EQ(g.metalOf(2), 4);
+}
+
+}  // namespace
+}  // namespace optr::grid

@@ -1,0 +1,247 @@
+// Unit and property tests for the branch-and-bound MIP solver.
+//
+// Correctness here is what makes OptRouter "optimal": the suite checks
+// proven-optimal answers against brute-force enumeration, exercises lazy
+// separation, warm starts, infeasibility proofs, and limit behaviour.
+#include "ilp/mip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace optr::ilp {
+namespace {
+
+using lp::LpModel;
+using lp::RowBuilder;
+using lp::RowSense;
+
+int addRow(LpModel& m, RowSense sense, double rhs,
+           std::vector<std::pair<int, double>> terms) {
+  RowBuilder rb;
+  for (auto& [c, v] : terms) rb.add(c, v);
+  rb.sense = sense;
+  rb.rhs = rhs;
+  return m.addRow(rb);
+}
+
+TEST(Mip, KnapsackOptimal) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6  (min of negated).
+  // Best: b + c = 20 (weight 6). a + c = 17, b alone 13.
+  LpModel m;
+  int a = m.addColumn(-10, 0, 1);
+  int b = m.addColumn(-13, 0, 1);
+  int c = m.addColumn(-7, 0, 1);
+  addRow(m, RowSense::kLe, 6, {{a, 3}, {b, 4}, {c, 2}});
+  MipSolver solver(m, {true, true, true});
+  auto r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-6);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-9);
+}
+
+TEST(Mip, LpRelaxationIsFractionalButMipRounds) {
+  // min -x-y s.t. 2x + 2y <= 3, binary: LP gives 1.5 total, MIP only 1.
+  LpModel m;
+  int x = m.addColumn(-1, 0, 1);
+  int y = m.addColumn(-1, 0, 1);
+  addRow(m, RowSense::kLe, 3, {{x, 2}, {y, 2}});
+  MipSolver solver(m, {true, true});
+  auto r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+}
+
+TEST(Mip, InfeasibleIntegerProblem) {
+  // x + y = 1 with x = y forced by two inequalities and both binary with
+  // 2x + 2y = 1 impossible in integers.
+  LpModel m;
+  int x = m.addColumn(1, 0, 1);
+  int y = m.addColumn(1, 0, 1);
+  addRow(m, RowSense::kEq, 1, {{x, 2}, {y, 2}});  // LP-feasible (x=y=0.25)
+  MipSolver solver(m, {true, true});
+  auto r = solver.solve();
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+}
+
+TEST(Mip, MixedIntegerContinuousSplit) {
+  // Integer x, continuous f: min x s.t. f >= 2.5, f <= 10 x  => x = 1.
+  LpModel m;
+  int x = m.addColumn(1, 0, 1);
+  int f = m.addColumn(0, 0, 100);
+  addRow(m, RowSense::kGe, 2.5, {{f, 1}});
+  addRow(m, RowSense::kLe, 0, {{f, 1}, {x, -10}});
+  MipSolver solver(m, {true, false});
+  auto r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 1.0, 1e-9);
+  EXPECT_GE(r.x[f], 2.5 - 1e-6);
+}
+
+TEST(Mip, LazySeparatorCutsPairs) {
+  // max x0+x1+x2 subject to a lazy "at most one of each adjacent pair" rule
+  // enforced only through the separator, never in the initial model.
+  LpModel m;
+  std::vector<int> cols;
+  for (int i = 0; i < 3; ++i) cols.push_back(m.addColumn(-1, 0, 1));
+  MipSolver solver(m, {true, true, true});
+  int calls = 0;
+  solver.setLazySeparator([&](const std::vector<double>& x, LpModel& model) {
+    ++calls;
+    int added = 0;
+    for (int i = 0; i + 1 < 3; ++i) {
+      if (x[i] > 0.5 && x[i + 1] > 0.5) {
+        addRow(model, RowSense::kLe, 1, {{cols[i], 1}, {cols[i + 1], 1}});
+        ++added;
+      }
+    }
+    return added;
+  });
+  auto r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  // Optimum under the pair rule: x0 = x2 = 1, x1 = 0.
+  EXPECT_NEAR(r.objective, -2.0, 1e-6);
+  EXPECT_GT(calls, 0);
+  EXPECT_GT(r.lazyRowsAdded, 0);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-9);
+}
+
+TEST(Mip, WarmStartAcceptsValidIncumbent) {
+  LpModel m;
+  int x = m.addColumn(-5, 0, 1);
+  int y = m.addColumn(-4, 0, 1);
+  addRow(m, RowSense::kLe, 1, {{x, 1}, {y, 1}});
+  MipSolver solver(m, {true, true});
+  EXPECT_TRUE(solver.setInitialIncumbent({0, 1}));   // feasible, obj -4
+  auto r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-6);  // still finds the better point
+}
+
+TEST(Mip, WarmStartRejectsInfeasibleIncumbent) {
+  LpModel m;
+  int x = m.addColumn(-5, 0, 1);
+  int y = m.addColumn(-4, 0, 1);
+  addRow(m, RowSense::kLe, 1, {{x, 1}, {y, 1}});
+  MipSolver solver(m, {true, true});
+  EXPECT_FALSE(solver.setInitialIncumbent({1, 1}));    // violates the row
+  EXPECT_FALSE(solver.setInitialIncumbent({0.5, 0}));  // fractional
+  EXPECT_FALSE(solver.setInitialIncumbent({0}));       // wrong size
+}
+
+TEST(Mip, NodeLimitReportsFeasibleLimit) {
+  // A problem the solver cannot finish in 1 node but where the root LP is
+  // integral-infeasible; with maxNodes=1 we must get a limit status.
+  LpModel m;
+  std::vector<int> cols;
+  for (int i = 0; i < 10; ++i) cols.push_back(m.addColumn(-1 - 0.1 * i, 0, 1));
+  RowBuilder rb;
+  for (int c : cols) rb.add(c, 3.0);
+  rb.sense = RowSense::kLe;
+  rb.rhs = 7.0;  // at most 2 ones, LP fractional
+  m.addRow(rb);
+  MipOptions opt;
+  opt.maxNodes = 1;
+  MipSolver solver(m, std::vector<bool>(10, true), opt);
+  auto r = solver.solve();
+  EXPECT_TRUE(r.status == MipStatus::kFeasibleLimit ||
+              r.status == MipStatus::kNoSolutionLimit);
+  EXPECT_LE(r.bestBound, r.objective + 1e-9);
+}
+
+TEST(Mip, BoundsRestoredAfterSolve) {
+  LpModel m;
+  int x = m.addColumn(-1, 0, 1);
+  int y = m.addColumn(-1, 0, 1);
+  addRow(m, RowSense::kLe, 1, {{x, 2}, {y, 2}});
+  MipSolver solver(m, {true, true});
+  auto r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_EQ(m.lower(x), 0.0);
+  EXPECT_EQ(m.upper(x), 1.0);
+  EXPECT_EQ(m.lower(y), 0.0);
+  EXPECT_EQ(m.upper(y), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: random binary programs cross-checked by brute force.
+// ---------------------------------------------------------------------------
+
+class MipRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MipRandomized, MatchesBruteForce) {
+  Rng rng(GetParam() * 7919 + 13);
+  const int n = static_cast<int>(rng.uniformInt(3, 8));
+  LpModel m;
+  std::vector<double> obj(n);
+  for (int c = 0; c < n; ++c) {
+    obj[c] = static_cast<double>(rng.uniformInt(-9, 9));
+    m.addColumn(obj[c], 0, 1);
+  }
+  const int rows = static_cast<int>(rng.uniformInt(1, 5));
+  struct RowData {
+    std::vector<double> coef;
+    RowSense sense;
+    double rhs;
+  };
+  std::vector<RowData> rowData;
+  for (int r = 0; r < rows; ++r) {
+    RowData rd;
+    rd.coef.resize(n, 0.0);
+    RowBuilder rb;
+    for (int c = 0; c < n; ++c) {
+      if (!rng.chance(0.6)) continue;
+      rd.coef[c] = static_cast<double>(rng.uniformInt(-4, 4));
+      rb.add(c, rd.coef[c]);
+    }
+    rd.sense = rng.chance(0.5) ? RowSense::kLe : RowSense::kGe;
+    // rhs chosen so the all-zero point is feasible about half the time.
+    rd.rhs = static_cast<double>(rng.uniformInt(-3, 6)) *
+             (rd.sense == RowSense::kLe ? 1 : -1);
+    rb.sense = rd.sense;
+    rb.rhs = rd.rhs;
+    m.addRow(rb);
+    rowData.push_back(std::move(rd));
+  }
+
+  // Brute force over all 2^n assignments.
+  double bruteBest = lp::kInfinity;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double val = 0;
+    bool ok = true;
+    for (auto& rd : rowData) {
+      double act = 0;
+      for (int c = 0; c < n; ++c)
+        if (mask & (1 << c)) act += rd.coef[c];
+      if (rd.sense == RowSense::kLe ? act > rd.rhs + 1e-9
+                                    : act < rd.rhs - 1e-9) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (int c = 0; c < n; ++c)
+      if (mask & (1 << c)) val += obj[c];
+    bruteBest = std::min(bruteBest, val);
+  }
+
+  MipSolver solver(m, std::vector<bool>(n, true));
+  auto r = solver.solve();
+  if (bruteBest == lp::kInfinity) {
+    EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(r.status, MipStatus::kOptimal)
+        << "brute force found feasible point with objective " << bruteBest;
+    EXPECT_NEAR(r.objective, bruteBest, 1e-6);
+    EXPECT_TRUE(m.isFeasible(r.x, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipRandomized,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
+}  // namespace
+}  // namespace optr::ilp

@@ -1,0 +1,71 @@
+// Tests for the local-improvement subsystem (paper Section 5 future work).
+#include "core/improver.h"
+
+#include <gtest/gtest.h>
+
+#include "test_clips.h"
+
+namespace optr::core {
+namespace {
+
+using testing::randomClip;
+
+TEST(LocalImprover, NeverIncreasesCostAndCountsCorrectly) {
+  std::vector<clip::Clip> clips;
+  for (std::uint64_t s = 1; s <= 5; ++s) clips.push_back(randomClip(s));
+  ImproverOptions opt;
+  opt.router.mip.timeLimitSec = 20;
+  LocalImprover improver(tech::Technology::n28_12t(),
+                         tech::ruleByName("RULE1").value(), opt);
+  ImprovementReport report = improver.improve(clips);
+  ASSERT_EQ(report.clips.size(), clips.size());
+  for (const ClipImprovement& ci : report.clips) {
+    if (ci.baselineRouted) {
+      EXPECT_LE(ci.optimalCost, ci.baselineCost + 1e-9) << ci.clipId;
+    }
+  }
+  EXPECT_GE(report.costBefore, report.costAfter);
+  EXPECT_LE(report.improved, report.attempted);
+}
+
+TEST(LocalImprover, ParallelMatchesSerial) {
+  std::vector<clip::Clip> clips;
+  for (std::uint64_t s = 10; s <= 15; ++s) clips.push_back(randomClip(s));
+  ImproverOptions serial, parallel;
+  serial.router.mip.timeLimitSec = parallel.router.mip.timeLimitSec = 20;
+  serial.threads = 1;
+  parallel.threads = 4;
+  LocalImprover a(tech::Technology::n28_12t(),
+                  tech::ruleByName("RULE1").value(), serial);
+  LocalImprover b(tech::Technology::n28_12t(),
+                  tech::ruleByName("RULE1").value(), parallel);
+  auto ra = a.improve(clips);
+  auto rb = b.improve(clips);
+  ASSERT_EQ(ra.clips.size(), rb.clips.size());
+  for (std::size_t i = 0; i < ra.clips.size(); ++i) {
+    EXPECT_EQ(ra.clips[i].clipId, rb.clips[i].clipId);
+    // Proven-optimal costs must match exactly; time-limited ones may differ.
+    if (ra.clips[i].status == RouteStatus::kOptimal &&
+        rb.clips[i].status == RouteStatus::kOptimal) {
+      EXPECT_NEAR(ra.clips[i].optimalCost, rb.clips[i].optimalCost, 1e-9);
+    }
+  }
+}
+
+TEST(LocalImprover, ReportsUnroutedBaselines) {
+  // A provably unroutable clip: single row, one layer, overlapping spans.
+  clip::Clip c = testing::makeSimpleClip(
+      5, 1, 1, {{{0, 0, 0}, {4, 0, 0}}, {{1, 0, 0}, {3, 0, 0}}});
+  ImproverOptions opt;
+  opt.router.mip.timeLimitSec = 10;
+  LocalImprover improver(tech::Technology::n28_12t(),
+                         tech::ruleByName("RULE1").value(), opt);
+  auto report = improver.improve({c});
+  ASSERT_EQ(report.clips.size(), 1u);
+  EXPECT_FALSE(report.clips[0].baselineRouted);
+  EXPECT_EQ(report.clips[0].status, RouteStatus::kInfeasible);
+  EXPECT_EQ(report.attempted, 0);
+}
+
+}  // namespace
+}  // namespace optr::core

@@ -1,0 +1,212 @@
+// Tests for the layout substrate: cell library, design generation,
+// global routing, and clip extraction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clip/clip.h"
+#include "layout/cell_library.h"
+#include "layout/clip_extract.h"
+#include "layout/design.h"
+#include "layout/global_route.h"
+
+namespace optr::layout {
+namespace {
+
+TEST(CellLibrary, HasRepresentativeMasters) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  EXPECT_GE(lib.numMasters(), 8);
+  ASSERT_NE(lib.byName("NAND2X1"), nullptr);
+  ASSERT_NE(lib.byName("DFFX1"), nullptr);
+  EXPECT_EQ(lib.byName("NOPE"), nullptr);
+}
+
+TEST(CellLibrary, PinStyleControlsAccessPointCount) {
+  auto wide = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  auto compact = CellLibrary::forTechnology(tech::Technology::n7_9t());
+  const CellMaster* w = wide.byName("NAND2X1");
+  const CellMaster* c = compact.byName("NAND2X1");
+  ASSERT_NE(w, nullptr);
+  ASSERT_NE(c, nullptr);
+  // Figure 9: 28nm pins have 3+ access points, 7nm pins exactly 2.
+  for (const PinTemplate& p : w->pins) EXPECT_GE(p.accessPointsNm.size(), 3u);
+  for (const PinTemplate& p : c->pins) EXPECT_EQ(p.accessPointsNm.size(), 2u);
+}
+
+TEST(CellLibrary, CompactPinsAreCloserTogether) {
+  auto wide = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  auto compact = CellLibrary::forTechnology(tech::Technology::n7_9t());
+  auto inputSpread = [](const CellMaster& m) {
+    std::int64_t lo = 1 << 30, hi = -(1 << 30);
+    for (const PinTemplate& p : m.pins) {
+      if (p.isOutput) continue;
+      for (const Point& ap : p.accessPointsNm) {
+        lo = std::min(lo, ap.y);
+        hi = std::max(hi, ap.y);
+      }
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(inputSpread(*compact.byName("NAND2X1")),
+            inputSpread(*wide.byName("NAND2X1")));
+}
+
+TEST(CellLibrary, AsciiRenderingShowsAccessPoints) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  std::string art = lib.renderAscii(*lib.byName("NAND2X1"));
+  EXPECT_NE(art.find("NAND2X1"), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find("VDD"), std::string::npos);
+}
+
+TEST(DesignGen, HitsTargetInstanceCountAndUtilization) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  DesignSpec spec;
+  spec.targetInstances = 400;
+  spec.utilization = 0.92;
+  spec.seed = 5;
+  Design d = generateDesign(lib, spec);
+  EXPECT_GE(static_cast<int>(d.instances.size()), 380);
+  EXPECT_NEAR(d.utilization(lib), 0.92, 0.06);
+}
+
+TEST(DesignGen, DeterministicInSeed) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_8t());
+  DesignSpec spec;
+  spec.targetInstances = 200;
+  spec.seed = 9;
+  Design a = generateDesign(lib, spec);
+  Design b = generateDesign(lib, spec);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_EQ(a.instances[i].siteX, b.instances[i].siteX);
+    EXPECT_EQ(a.instances[i].row, b.instances[i].row);
+  }
+}
+
+TEST(DesignGen, NoPlacementOverlaps) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  DesignSpec spec;
+  spec.targetInstances = 300;
+  spec.seed = 3;
+  Design d = generateDesign(lib, spec);
+  std::vector<std::vector<std::pair<int, int>>> spansByRow(d.rows);
+  for (const Instance& inst : d.instances) {
+    int w = lib.master(inst.master).widthSites;
+    spansByRow[inst.row].push_back({inst.siteX, inst.siteX + w});
+    EXPECT_LE(inst.siteX + w, d.sitesPerRow);
+  }
+  for (auto& spans : spansByRow) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 0; i + 1 < spans.size(); ++i)
+      EXPECT_LE(spans[i].second, spans[i + 1].first) << "overlap in row";
+  }
+}
+
+TEST(DesignGen, NetsHaveOneDriverAndUniqueSinks) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  DesignSpec spec;
+  spec.targetInstances = 250;
+  spec.seed = 11;
+  Design d = generateDesign(lib, spec);
+  ASSERT_GT(d.nets.size(), 100u);
+  std::set<std::pair<int, int>> sinkSeen;
+  for (const DesignNet& net : d.nets) {
+    ASSERT_GE(net.terminals.size(), 2u);
+    EXPECT_TRUE(lib.master(d.instances[net.terminals[0].instance].master)
+                    .pins[net.terminals[0].pin]
+                    .isOutput);
+    for (std::size_t t = 1; t < net.terminals.size(); ++t) {
+      const Terminal& s = net.terminals[t];
+      EXPECT_FALSE(
+          lib.master(d.instances[s.instance].master).pins[s.pin].isOutput);
+      EXPECT_TRUE(sinkSeen.insert({s.instance, s.pin}).second)
+          << "input pin driven twice";
+    }
+  }
+}
+
+struct Flow {
+  CellLibrary lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  Design d;
+  GlobalRoute gr;
+
+  explicit Flow(std::uint64_t seed, int insts = 300) {
+    DesignSpec spec;
+    spec.targetInstances = insts;
+    spec.seed = seed;
+    d = generateDesign(lib, spec);
+    gr = globalRoute(d, lib);
+  }
+};
+
+TEST(GlobalRoute, EveryNetCoversItsTerminalGcells) {
+  Flow f(17);
+  for (std::size_t n = 0; n < f.d.nets.size(); ++n) {
+    for (const Terminal& t : f.d.nets[n].terminals) {
+      Point p = f.d.terminalNm(f.lib, t);
+      int gx = std::clamp(static_cast<int>(p.x / f.gr.grid.windowNm), 0,
+                          f.gr.grid.nx - 1);
+      int gy = std::clamp(static_cast<int>(p.y / f.gr.grid.windowNm), 0,
+                          f.gr.grid.ny - 1);
+      int id = f.gr.grid.id(gx, gy);
+      EXPECT_TRUE(std::binary_search(f.gr.netCells[n].begin(),
+                                     f.gr.netCells[n].end(), id))
+          << "net " << n << " misses its terminal gcell";
+    }
+  }
+}
+
+TEST(GlobalRoute, CrossingSlotsAreUniquePerEdge) {
+  Flow f(23);
+  std::set<std::tuple<int, int, bool, int, int>> seen;
+  for (const Crossing& c : f.gr.crossings) {
+    EXPECT_TRUE(
+        seen.insert({c.gx, c.gy, c.towardX, c.track, c.layer}).second)
+        << "duplicate crossing slot on an edge";
+  }
+}
+
+TEST(ClipExtract, ProducesValidClips) {
+  Flow f(29);
+  auto clips = extractClips(f.d, f.lib, f.gr);
+  ASSERT_GT(clips.size(), 5u);
+  for (const clip::Clip& c : clips) {
+    Status s = c.validate();
+    EXPECT_TRUE(s.isOk()) << c.id << ": " << s.message();
+    EXPECT_EQ(c.tracksX, 7);
+    EXPECT_EQ(c.tracksY, 10);
+  }
+}
+
+TEST(ClipExtract, PinCostsVaryAcrossClips) {
+  Flow f(31);
+  auto clips = extractClips(f.d, f.lib, f.gr);
+  ASSERT_GT(clips.size(), 3u);
+  double lo = 1e18, hi = -1e18;
+  for (const clip::Clip& c : clips) {
+    double pc = clip::pinCost(c).total();
+    lo = std::min(lo, pc);
+    hi = std::max(hi, pc);
+  }
+  EXPECT_GT(hi, lo);  // the metric actually discriminates
+}
+
+TEST(ClipExtract, BoundaryTerminalsSitOnClipEdges) {
+  Flow f(37);
+  auto clips = extractClips(f.d, f.lib, f.gr);
+  for (const clip::Clip& c : clips) {
+    for (const clip::ClipPin& p : c.pins) {
+      if (!p.isBoundary) continue;
+      for (const auto& ap : p.accessPoints) {
+        bool onEdge = ap.x == 0 || ap.x == c.tracksX - 1 || ap.y == 0 ||
+                      ap.y == c.tracksY - 1;
+        EXPECT_TRUE(onEdge) << c.id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optr::layout

@@ -1,0 +1,195 @@
+// Warm-start and continue-in-place tests for the simplex solver: these are
+// the mechanisms branch-and-bound leans on, so they get their own suite.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace optr::lp {
+namespace {
+
+int addRow(LpModel& m, RowSense sense, double rhs,
+           std::vector<std::pair<int, double>> terms) {
+  RowBuilder rb;
+  for (auto& [c, v] : terms) rb.add(c, v);
+  rb.sense = sense;
+  rb.rhs = rhs;
+  return m.addRow(rb);
+}
+
+/// Random LP with guaranteed-feasible origin; used across the suite.
+LpModel randomLp(Rng& rng, int n, int rows) {
+  LpModel m;
+  for (int c = 0; c < n; ++c)
+    m.addColumn(static_cast<double>(rng.uniformInt(-5, 5)), 0.0, 4.0);
+  for (int r = 0; r < rows; ++r) {
+    RowBuilder rb;
+    for (int c = 0; c < n; ++c) {
+      if (rng.chance(0.5))
+        rb.add(c, static_cast<double>(rng.uniformInt(-3, 3)));
+    }
+    rb.sense = RowSense::kLe;
+    rb.rhs = static_cast<double>(rng.uniformInt(0, 8));
+    m.addRow(rb);
+  }
+  return m;
+}
+
+TEST(SimplexWarm, SnapshotRestoreReproducesOptimum) {
+  Rng rng(7);
+  LpModel m = randomLp(rng, 8, 5);
+  SimplexSolver solver;
+  auto r1 = solver.solve(m);
+  ASSERT_EQ(r1.status, LpStatus::kOptimal);
+  BasisSnapshot snap = solver.snapshot();
+
+  SimplexSolver other;
+  auto r2 = other.solve(m, &snap);
+  ASSERT_EQ(r2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r2.objective, 1e-8);
+  // Warm start from the optimal basis should converge almost immediately.
+  EXPECT_LE(r2.iterations, 4);
+}
+
+TEST(SimplexWarm, ContinueAfterBoundTightening) {
+  Rng rng(11);
+  LpModel m = randomLp(rng, 10, 6);
+  SimplexSolver solver;
+  auto r1 = solver.solve(m);
+  ASSERT_EQ(r1.status, LpStatus::kOptimal);
+
+  // Fix a variable that was positive at the optimum to zero (the branching
+  // pattern) and continue.
+  int fixed = -1;
+  for (int c = 0; c < m.numCols(); ++c) {
+    if (r1.x[c] > 0.5) {
+      fixed = c;
+      break;
+    }
+  }
+  if (fixed < 0) GTEST_SKIP() << "optimum at origin; nothing to fix";
+  m.setBounds(fixed, 0.0, 0.0);
+  ASSERT_TRUE(solver.canContinue(m));
+  auto r2 = solver.solveContinue(m);
+  ASSERT_EQ(r2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r2.x[fixed], 0.0, 1e-9);
+  // Cross-check against a cold solve.
+  SimplexSolver cold;
+  auto r3 = cold.solve(m);
+  ASSERT_EQ(r3.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r2.objective, r3.objective, 1e-7);
+}
+
+TEST(SimplexWarm, ContinueAfterAppendedRows) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m = randomLp(rng, 9, 5);
+    SimplexSolver solver;
+    auto r1 = solver.solve(m);
+    ASSERT_EQ(r1.status, LpStatus::kOptimal);
+
+    // Append a cut violated by the current optimum about half the time.
+    RowBuilder rb;
+    for (int c = 0; c < m.numCols(); ++c) {
+      if (rng.chance(0.4))
+        rb.add(c, static_cast<double>(rng.uniformInt(-2, 2)));
+    }
+    rb.sense = RowSense::kLe;
+    rb.rhs = static_cast<double>(rng.uniformInt(0, 4));
+    m.addRow(rb);
+
+    ASSERT_TRUE(solver.canContinue(m));
+    auto r2 = solver.solveContinue(m);
+    SimplexSolver cold;
+    auto r3 = cold.solve(m);
+    ASSERT_EQ(r2.status, r3.status) << "trial " << trial;
+    if (r3.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(r2.objective, r3.objective, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(m.isFeasible(r2.x, 1e-6)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SimplexWarm, ContinueDetectsInfeasibilityFromNewRows) {
+  LpModel m;
+  int x = m.addColumn(-1, 0, 5);
+  addRow(m, RowSense::kLe, 4, {{x, 1}});
+  SimplexSolver solver;
+  auto r1 = solver.solve(m);
+  ASSERT_EQ(r1.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r1.x[x], 4.0, 1e-9);
+
+  addRow(m, RowSense::kGe, 10, {{x, 1}});  // x >= 10 contradicts x <= 5
+  ASSERT_TRUE(solver.canContinue(m));
+  auto r2 = solver.solveContinue(m);
+  EXPECT_EQ(r2.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexWarm, CanContinueRejectsDifferentModel) {
+  LpModel a, b;
+  a.addColumn(1, 0, 1);
+  b.addColumn(1, 0, 1);
+  SimplexSolver solver;
+  ASSERT_EQ(solver.solve(a).status, LpStatus::kOptimal);
+  EXPECT_TRUE(solver.canContinue(a));
+  EXPECT_FALSE(solver.canContinue(b));
+}
+
+TEST(SimplexWarm, ContinueWithEqualityRowsPreserved) {
+  // Equality rows use artificials; appended inequality rows must remap them
+  // correctly (the artificial block shifts when slacks are inserted).
+  LpModel m;
+  int x = m.addColumn(1, 0, 10);
+  int y = m.addColumn(2, 0, 10);
+  addRow(m, RowSense::kEq, 6, {{x, 1}, {y, 1}});
+  SimplexSolver solver;
+  auto r1 = solver.solve(m);
+  ASSERT_EQ(r1.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, 6.0, 1e-7);  // x = 6, y = 0
+
+  addRow(m, RowSense::kLe, 4, {{x, 1}});  // now x <= 4 forces y = 2
+  ASSERT_TRUE(solver.canContinue(m));
+  auto r2 = solver.solveContinue(m);
+  ASSERT_EQ(r2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r2.objective, 4.0 + 2.0 * 2.0, 1e-7);
+}
+
+TEST(SimplexWarm, RepeatedBranchLikeSequence) {
+  // Emulates a dive: solve, fix a fractional-ish variable, continue, undo,
+  // fix another -- objective must match cold solves at every step.
+  Rng rng(29);
+  LpModel m = randomLp(rng, 12, 8);
+  SimplexSolver warm;
+  auto base = warm.solve(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+
+  std::vector<double> origLower(m.numCols()), origUpper(m.numCols());
+  for (int c = 0; c < m.numCols(); ++c) {
+    origLower[c] = m.lower(c);
+    origUpper[c] = m.upper(c);
+  }
+  for (int step = 0; step < 10; ++step) {
+    int c = static_cast<int>(rng.uniform(m.numCols()));
+    if (rng.chance(0.5)) {
+      m.setBounds(c, origLower[c], 0.0);
+    } else {
+      m.setBounds(c, std::min(1.0, origUpper[c]), origUpper[c]);
+    }
+    ASSERT_TRUE(warm.canContinue(m));
+    auto rw = warm.solveContinue(m);
+    SimplexSolver cold;
+    auto rc = cold.solve(m);
+    ASSERT_EQ(rw.status, rc.status) << "step " << step;
+    if (rc.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(rw.objective, rc.objective, 1e-6) << "step " << step;
+    }
+    m.setBounds(c, origLower[c], origUpper[c]);  // undo for the next step
+    ASSERT_TRUE(warm.canContinue(m));
+    auto undo = warm.solveContinue(m);
+    ASSERT_EQ(undo.status, LpStatus::kOptimal);
+    EXPECT_NEAR(undo.objective, base.objective, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace optr::lp

@@ -1,0 +1,100 @@
+// Limit behaviour of the MIP solver: wall-clock deadlines (including a
+// single over-budget LP), node limits, and bound reporting under truncation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/rng.h"
+#include "ilp/mip.h"
+
+namespace optr::ilp {
+namespace {
+
+using lp::LpModel;
+using lp::RowBuilder;
+using lp::RowSense;
+
+/// A deliberately nasty binary program: random dense rows, many symmetric
+/// optima -- branch and bound churns.
+LpModel hardModel(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  LpModel m;
+  for (int c = 0; c < n; ++c)
+    m.addColumn(-1.0 - 0.001 * static_cast<double>(rng.uniform(10)), 0, 1);
+  for (int r = 0; r < n; ++r) {
+    RowBuilder rb;
+    for (int c = 0; c < n; ++c) {
+      if (rng.chance(0.5)) rb.add(c, 1.0 + static_cast<double>(rng.uniform(3)));
+    }
+    rb.sense = RowSense::kLe;
+    rb.rhs = static_cast<double>(2 + rng.uniform(4));
+    m.addRow(rb);
+  }
+  return m;
+}
+
+TEST(MipLimits, TimeLimitIsRespectedWallClock) {
+  LpModel m = hardModel(40, 3);
+  MipOptions opt;
+  opt.timeLimitSec = 1.0;
+  MipSolver solver(m, std::vector<bool>(40, true), opt);
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = solver.solve();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Generous envelope: a single LP iteration batch may overshoot slightly.
+  EXPECT_LT(elapsed, 6.0);
+  // A limit-terminated solve must say so (or have genuinely finished).
+  if (elapsed >= 1.0) {
+    EXPECT_TRUE(r.status == MipStatus::kFeasibleLimit ||
+                r.status == MipStatus::kNoSolutionLimit ||
+                r.status == MipStatus::kOptimal ||
+                r.status == MipStatus::kInfeasible);
+  }
+}
+
+TEST(MipLimits, NodeLimitTruncatesButBoundsStayValid) {
+  LpModel m = hardModel(24, 9);
+  MipOptions full, capped;
+  capped.maxNodes = 3;
+  full.timeLimitSec = capped.timeLimitSec = 60;
+  MipSolver a(m, std::vector<bool>(24, true), full);
+  auto rFull = a.solve();
+  MipSolver b(m, std::vector<bool>(24, true), capped);
+  auto rCapped = b.solve();
+  if (rFull.status == MipStatus::kOptimal && rCapped.hasSolution()) {
+    // Any truncated incumbent is an upper bound on the true optimum, and
+    // the reported lower bound must bracket it.
+    EXPECT_GE(rCapped.objective, rFull.objective - 1e-6);
+    EXPECT_LE(rCapped.bestBound, rCapped.objective + 1e-6);
+    EXPECT_LE(rFull.bestBound, rFull.objective + 1e-9);
+  }
+}
+
+TEST(MipLimits, OptimalRunsReportTightBound) {
+  LpModel m = hardModel(12, 21);
+  MipSolver solver(m, std::vector<bool>(12, true));
+  auto r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.bestBound, r.objective, 1e-9);
+}
+
+TEST(MipLimits, LpDeadlinePropagates) {
+  // The MIP hands each LP its remaining wall clock; a tiny budget must not
+  // hang even though the root LP alone would take longer.
+  LpModel m = hardModel(60, 5);
+  MipOptions opt;
+  opt.timeLimitSec = 0.2;
+  MipSolver solver(m, std::vector<bool>(60, true), opt);
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = solver.solve();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+  (void)r;
+}
+
+}  // namespace
+}  // namespace optr::ilp

@@ -1,0 +1,73 @@
+// Tests for the automated pin-access analysis (Section 4.1 reproduction).
+#include "layout/pin_access.h"
+
+#include <gtest/gtest.h>
+
+#include "grid/routing_graph.h"
+
+namespace optr::layout {
+namespace {
+
+TEST(PinAccess, AccessClipIsWellFormed) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  const CellMaster* nand2 = lib.byName("NAND2X1");
+  ASSERT_NE(nand2, nullptr);
+  clip::Clip c = buildAccessClip(lib, *nand2);
+  EXPECT_TRUE(c.validate().isOk());
+  EXPECT_EQ(c.nets.size(), nand2->pins.size());
+  // One escape pin per net, virtual and boundary-flagged.
+  int virtualPins = 0;
+  for (const clip::ClipPin& p : c.pins) {
+    if (p.isVirtual) {
+      ++virtualPins;
+      EXPECT_TRUE(p.isBoundary);
+      EXPECT_GT(p.accessPoints.size(), 10u);  // whole-layer escape
+    }
+  }
+  EXPECT_EQ(virtualPins, static_cast<int>(nand2->pins.size()));
+}
+
+TEST(PinAccess, VirtualPinsDoNotReserveVertices) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  clip::Clip c = buildAccessClip(lib, *lib.byName("INVX1"));
+  grid::RoutingGraph g(c, lib.technology(), tech::RuleConfig{});
+  // The escape layer must remain mostly free despite two whole-layer
+  // "pins" overlapping there.
+  int freeOnEscape = 0;
+  for (int y = 0; y < c.tracksY; ++y) {
+    for (int x = 0; x < c.tracksX; ++x) {
+      if (g.vertexOwner(g.vertexId(x, y, 2)) == grid::kVertexFree)
+        ++freeOnEscape;
+    }
+  }
+  EXPECT_EQ(freeOnEscape, c.tracksX * c.tracksY);
+}
+
+TEST(PinAccess, WidePinsAccessibleWithoutRestrictions) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  auto res = checkPinAccess(lib, *lib.byName("NAND2X1"),
+                            tech::ruleByName("RULE1").value(), 30.0);
+  EXPECT_TRUE(res.feasible);
+}
+
+TEST(PinAccess, CompactPinsAccessibleWithoutRestrictions) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n7_9t());
+  auto res = checkPinAccess(lib, *lib.byName("NAND2X1"),
+                            tech::ruleByName("RULE1").value(), 30.0);
+  EXPECT_TRUE(res.feasible);
+}
+
+TEST(PinAccess, RestrictionNeverImprovesEscapeCost) {
+  auto lib = CellLibrary::forTechnology(tech::Technology::n28_12t());
+  auto r1 = checkPinAccess(lib, *lib.byName("INVX1"),
+                           tech::ruleByName("RULE1").value(), 30.0);
+  auto r9 = checkPinAccess(lib, *lib.byName("INVX1"),
+                           tech::ruleByName("RULE9").value(), 30.0);
+  ASSERT_TRUE(r1.feasible);
+  if (r9.feasible && r1.proven && r9.proven) {
+    EXPECT_GE(r9.cost, r1.cost - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace optr::layout

@@ -1,0 +1,94 @@
+// End-to-end pipeline test: synthesize a design, place, globally route,
+// extract clips, rank by pin cost, and run OptRouter on the hardest clip --
+// the complete Figure 6 flow, asserted for internal consistency at each
+// stage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clip/clip_io.h"
+#include "core/opt_router.h"
+#include "layout/clip_extract.h"
+#include "layout/global_route.h"
+#include "route/drc.h"
+
+namespace optr {
+namespace {
+
+TEST(Pipeline, Figure6FlowEndToEnd) {
+  auto techn = tech::Technology::n28_12t();
+  auto lib = layout::CellLibrary::forTechnology(techn);
+
+  layout::DesignSpec spec;
+  spec.name = "PIPE";
+  spec.targetInstances = 250;
+  spec.utilization = 0.92;
+  spec.seed = 77;
+  layout::Design design = layout::generateDesign(lib, spec);
+  ASSERT_GT(design.instances.size(), 200u);
+  ASSERT_GT(design.nets.size(), 100u);
+
+  layout::GlobalRoute gr = layout::globalRoute(design, lib);
+  ASSERT_GT(gr.crossings.size(), 10u);
+
+  layout::ClipExtractOptions eo;
+  eo.maxNets = 5;
+  eo.maxLayers = 4;
+  auto clips = layout::extractClips(design, lib, gr, eo);
+  ASSERT_GT(clips.size(), 3u);
+  for (const clip::Clip& c : clips) ASSERT_TRUE(c.validate().isOk()) << c.id;
+
+  // IO round trip of the whole harvest.
+  auto back = clip::fromTextMulti(clip::toTextMulti(clips));
+  ASSERT_TRUE(back.isOk());
+  ASSERT_EQ(back.value().size(), clips.size());
+
+  // Route the hardest clip.
+  std::sort(clips.begin(), clips.end(),
+            [](const clip::Clip& a, const clip::Clip& b) {
+              return clip::pinCost(a).total() > clip::pinCost(b).total();
+            });
+  const clip::Clip& hard = clips.front();
+
+  core::OptRouterOptions o;
+  o.mip.timeLimitSec = 30;
+  o.formulation.netBBoxMargin = 3;
+  o.formulation.netLayerMargin = 1;
+  auto rule = tech::ruleByName("RULE1").value();
+  core::OptRouter router(techn, rule, o);
+  core::RouteResult r = router.route(hard);
+  EXPECT_NE(r.status, core::RouteStatus::kError);
+  if (r.hasSolution()) {
+    grid::RoutingGraph g(hard, techn, rule);
+    route::DrcChecker drc(hard, g);
+    auto violations = drc.check(r.solution);
+    EXPECT_TRUE(violations.empty())
+        << hard.id << ": " << violations[0].describe(g);
+    EXPECT_GT(r.cost, 0.0);
+    EXPECT_EQ(r.cost, r.wirelength + 4.0 * r.vias);
+  }
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  auto techn = tech::Technology::n28_8t();
+  auto lib = layout::CellLibrary::forTechnology(techn);
+  layout::DesignSpec spec;
+  spec.targetInstances = 150;
+  spec.seed = 5;
+  auto build = [&] {
+    layout::Design d = layout::generateDesign(lib, spec);
+    layout::GlobalRoute gr = layout::globalRoute(d, lib);
+    layout::ClipExtractOptions eo;
+    eo.maxLayers = 4;
+    return layout::extractClips(d, lib, gr, eo);
+  };
+  auto a = build();
+  auto b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(clip::toText(a[i]), clip::toText(b[i]));
+  }
+}
+
+}  // namespace
+}  // namespace optr

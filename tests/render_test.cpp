@@ -1,0 +1,47 @@
+// Tests for the ASCII layout renderer.
+#include "route/render.h"
+
+#include <gtest/gtest.h>
+
+#include "route/maze_router.h"
+#include "test_clips.h"
+
+namespace optr::route {
+namespace {
+
+using testing::makeSimpleClip;
+
+TEST(Render, ShowsPinsObstaclesAndLegend) {
+  auto c = makeSimpleClip(5, 4, 2, {{{0, 0, 0}, {4, 0, 0}}});
+  c.obstacles.push_back({2, 2, 0});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  std::string out = renderClip(c, g, nullptr);
+  EXPECT_NE(out.find('A'), std::string::npos);   // net 0 pins
+  EXPECT_NE(out.find('#'), std::string::npos);   // obstacle
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("M2 (horizontal)"), std::string::npos);
+  EXPECT_NE(out.find("M3 (vertical)"), std::string::npos);
+}
+
+TEST(Render, ShowsRoutedWiresAndVias) {
+  auto c = makeSimpleClip(3, 4, 2, {{{1, 0, 0}, {1, 3, 0}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  MazeRouter maze(c, g);
+  auto mr = maze.route();
+  ASSERT_TRUE(mr.success);
+  std::string out = renderClip(c, g, &mr.solution);
+  EXPECT_NE(out.find('+'), std::string::npos);  // vias for the layer hop
+  EXPECT_NE(out.find('|'), std::string::npos);  // vertical segment on M3
+}
+
+TEST(Render, BoundaryPinsUseLowercase) {
+  auto c = makeSimpleClip(4, 4, 2, {{{0, 0, 0}, {3, 3, 1}}});
+  c.pins[1].isBoundary = true;
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(), tech::RuleConfig{});
+  std::string out = renderClip(c, g, nullptr);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optr::route

@@ -1,0 +1,62 @@
+// Tests for the report renderers (tables and figure series).
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace optr::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "looooong", "c"});
+  t.addRow({"1", "2", "3"});
+  t.addRow({"wide-cell", "x", "y"});
+  std::string out = t.render();
+  // Each line has the same width.
+  std::size_t firstLen = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, firstLen);
+    pos = next + 1;
+  }
+  EXPECT_NE(out.find("looooong"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+}
+
+TEST(Table, HandlesShortRows) {
+  Table t({"a", "b"});
+  t.addRow({"only"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(Series, RendersSparklineAndStats) {
+  Series s("title", "x", "y");
+  s.add("rising", {0, 1, 2, 3, 4, 5});
+  s.add("flat", {2, 2, 2, 2});
+  std::string out = s.render(6);
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("rising"), std::string::npos);
+  EXPECT_NE(out.find("med="), std::string::npos);
+}
+
+TEST(Series, CountsInfeasiblePoints) {
+  Series s("t", "x", "y");
+  double inf = std::numeric_limits<double>::infinity();
+  s.add("mixed", {0, 1, inf, inf});
+  std::string out = s.render();
+  EXPECT_NE(out.find("infeasible=2"), std::string::npos);
+}
+
+TEST(Series, EmptySeriesDoesNotCrash) {
+  Series s("t", "x", "y");
+  EXPECT_FALSE(s.render().empty());
+  s.add("empty", {});
+  EXPECT_FALSE(s.render().empty());
+}
+
+}  // namespace
+}  // namespace optr::report

@@ -1,0 +1,89 @@
+// Tests for the switchbox routability estimate and the rank-correlation
+// helper backing bench_metric_gap.
+#include "clip/routability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_clips.h"
+
+namespace optr::clip {
+namespace {
+
+using testing::makeSimpleClip;
+
+TEST(Routability, MoreNetsMeansMoreDemand) {
+  auto sparse = makeSimpleClip(7, 7, 3, {{{0, 0, 0}, {6, 0, 0}}});
+  auto dense = makeSimpleClip(
+      7, 7, 3, {{{0, 0, 0}, {6, 0, 0}},
+                {{0, 2, 0}, {6, 2, 0}},
+                {{0, 4, 0}, {6, 4, 0}}});
+  EXPECT_GT(estimateRoutability(dense).demand,
+            estimateRoutability(sparse).demand);
+  EXPECT_GT(estimateRoutability(dense).score,
+            estimateRoutability(sparse).score);
+}
+
+TEST(Routability, ObstaclesReduceCapacity) {
+  auto open = makeSimpleClip(7, 7, 3, {{{0, 0, 0}, {6, 0, 0}}});
+  auto blocked = open;
+  for (int x = 0; x < 7; ++x) blocked.obstacles.push_back({x, 3, 1});
+  EXPECT_LT(estimateRoutability(blocked).capacity,
+            estimateRoutability(open).capacity);
+  EXPECT_GT(estimateRoutability(blocked).congestion,
+            estimateRoutability(open).congestion);
+}
+
+TEST(Routability, BoundaryTerminalsRaisePressure) {
+  auto internal = makeSimpleClip(7, 7, 3, {{{1, 1, 0}, {5, 5, 0}}});
+  auto boundary = internal;
+  for (auto& p : boundary.pins) p.isBoundary = true;
+  EXPECT_GT(estimateRoutability(boundary).boundaryPressure,
+            estimateRoutability(internal).boundaryPressure);
+}
+
+TEST(Routability, FewerLayersMeansLessCapacity) {
+  auto thin = makeSimpleClip(7, 7, 2, {{{0, 0, 0}, {6, 0, 0}}});
+  auto thick = makeSimpleClip(7, 7, 5, {{{0, 0, 0}, {6, 0, 0}}});
+  EXPECT_LT(estimateRoutability(thin).capacity,
+            estimateRoutability(thick).capacity);
+}
+
+TEST(Spearman, PerfectMonotoneGivesOne) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 20, 40, 80, 160};
+  EXPECT_NEAR(spearmanCorrelation(a, b), 1.0, 1e-9);
+}
+
+TEST(Spearman, ReversedGivesMinusOne) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {9, 7, 5, 3};
+  EXPECT_NEAR(spearmanCorrelation(a, b), -1.0, 1e-9);
+}
+
+TEST(Spearman, TiesAreAveraged) {
+  std::vector<double> a = {1, 1, 2, 3};
+  std::vector<double> b = {1, 1, 2, 3};
+  EXPECT_NEAR(spearmanCorrelation(a, b), 1.0, 1e-9);
+}
+
+TEST(Spearman, DegenerateInputsReturnZero) {
+  EXPECT_EQ(spearmanCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(spearmanCorrelation({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_EQ(spearmanCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);  // zero variance
+}
+
+TEST(Spearman, InvariantToMonotoneTransform) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    double v = rng.uniformReal();
+    a.push_back(v);
+    b.push_back(std::exp(3 * v));  // strictly increasing transform
+  }
+  EXPECT_NEAR(spearmanCorrelation(a, b), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace optr::clip

@@ -1,0 +1,152 @@
+// Tests for SADP mask decomposition, cross-checked against the DRC
+// checker's end-of-line analysis.
+#include "route/sadp_decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "core/opt_router.h"
+#include "route/maze_router.h"
+#include "test_clips.h"
+
+namespace optr::route {
+namespace {
+
+using clip::TrackPoint;
+using testing::makeSimpleClip;
+using testing::randomClip;
+
+int findArc(const grid::RoutingGraph& g, TrackPoint a, TrackPoint b) {
+  for (int arc : g.outArcs(g.vertexId(a))) {
+    if (g.arc(arc).to == g.vertexId(b)) return arc;
+  }
+  return -1;
+}
+
+TEST(SadpDecompose, SkipsNonSadpLayers) {
+  auto c = makeSimpleClip(5, 5, 3, {{{0, 0, 0}, {4, 0, 0}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(),
+                       tech::ruleByName("RULE1").value());
+  RouteSolution sol;
+  sol.usedArcs.assign(1, {});
+  auto d = decomposeSadp(c, g, sol);
+  EXPECT_TRUE(d.layers.empty());  // RULE1: no SADP layers at all
+}
+
+TEST(SadpDecompose, SegmentsAndParity) {
+  // RULE2: SADP on every layer. One wire on M2 track 0 (mandrel) and one on
+  // track 1 (spacer).
+  auto c = makeSimpleClip(6, 3, 2,
+                          {{{0, 0, 0}, {4, 0, 0}}, {{1, 1, 0}, {5, 1, 0}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(),
+                       tech::ruleByName("RULE2").value());
+  RouteSolution sol;
+  sol.usedArcs.assign(2, {});
+  for (int x = 0; x < 4; ++x)
+    sol.usedArcs[0].push_back(findArc(g, {x, 0, 0}, {x + 1, 0, 0}));
+  for (int x = 1; x < 5; ++x)
+    sol.usedArcs[1].push_back(findArc(g, {x, 1, 0}, {x + 1, 1, 0}));
+  sol.normalize();
+  auto d = decomposeSadp(c, g, sol);
+  ASSERT_FALSE(d.layers.empty());
+  const auto& m2 = d.layers[0];
+  ASSERT_EQ(m2.segments.size(), 2u);
+  for (const SadpSegment& seg : m2.segments) {
+    if (seg.track == 0) {
+      EXPECT_TRUE(seg.mandrel);
+      EXPECT_EQ(seg.lo, 0);
+      EXPECT_EQ(seg.hi, 4);
+    } else {
+      EXPECT_FALSE(seg.mandrel);
+      EXPECT_EQ(seg.lo, 1);
+      EXPECT_EQ(seg.hi, 5);
+    }
+  }
+  EXPECT_TRUE(m2.decomposable);  // no via-bearing line ends at all
+}
+
+TEST(SadpDecompose, CutsAppearAtViaLineEnds) {
+  auto c = makeSimpleClip(4, 4, 2, {{{0, 0, 0}, {2, 2, 1}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(),
+                       tech::ruleByName("RULE2").value());
+  // M2 wire 0->2 on track 0, via up at (2,0), M3 up to (2,2).
+  RouteSolution sol;
+  sol.usedArcs.assign(1, {});
+  sol.usedArcs[0] = {findArc(g, {0, 0, 0}, {1, 0, 0}),
+                     findArc(g, {1, 0, 0}, {2, 0, 0}),
+                     findArc(g, {2, 0, 0}, {2, 0, 1}),
+                     findArc(g, {2, 0, 1}, {2, 1, 1}),
+                     findArc(g, {2, 1, 1}, {2, 2, 1})};
+  sol.normalize();
+  auto d = decomposeSadp(c, g, sol);
+  ASSERT_EQ(d.layers.size(), 2u);
+  // M2: cut at the line end (2, track 0); M3: cut at (position 0, track 2).
+  EXPECT_EQ(d.layers[0].cuts.size(), 1u);
+  EXPECT_EQ(d.layers[0].cuts[0].position, 2);
+  EXPECT_EQ(d.layers[0].cuts[0].track, 0);
+  EXPECT_EQ(d.layers[1].cuts.size(), 1u);
+  EXPECT_GT(d.totalCuts(), 1);
+  EXPECT_TRUE(d.decomposable());
+}
+
+TEST(SadpDecompose, AgreesWithDrcOnRandomOptimalSolutions) {
+  int checked = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto c = randomClip(seed, 5, 5, 3, 3);
+    auto rule = tech::ruleByName("RULE2").value();
+    auto techn = tech::Technology::n28_12t();
+    core::OptRouterOptions o;
+    o.mip.timeLimitSec = 15;
+    auto r = core::OptRouter(techn, rule, o).route(c);
+    if (!r.hasSolution()) continue;
+    grid::RoutingGraph g(c, techn, rule);
+    auto d = decomposeSadp(c, g, r.solution);
+    // OptRouter's solutions are rule-clean, so every layer decomposes.
+    EXPECT_TRUE(d.decomposable()) << "seed " << seed;
+    ++checked;
+  }
+  EXPECT_GT(checked, 2);
+}
+
+TEST(SadpDecompose, FlagsViolatingGeometry) {
+  // Two same-direction via-terminated line ends on adjacent M3 tracks at
+  // the same position: illegal under SADP (same pattern as the DRC test).
+  auto c = makeSimpleClip(4, 4, 3,
+                          {{{1, 0, 0}, {1, 2, 2}}, {{2, 0, 0}, {2, 2, 2}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(),
+                       tech::ruleByName("RULE2").value());
+  RouteSolution sol;
+  sol.usedArcs.assign(2, {});
+  auto path = [&](int x) {
+    return std::vector<int>{findArc(g, {x, 0, 0}, {x, 0, 1}),
+                            findArc(g, {x, 0, 1}, {x, 1, 1}),
+                            findArc(g, {x, 1, 1}, {x, 2, 1}),
+                            findArc(g, {x, 2, 1}, {x, 2, 2})};
+  };
+  sol.usedArcs[0] = path(1);
+  sol.usedArcs[1] = path(2);
+  sol.normalize();
+  auto d = decomposeSadp(c, g, sol);
+  EXPECT_FALSE(d.decomposable());
+}
+
+TEST(SadpDecompose, RenderShowsMasksAndCuts) {
+  auto c = makeSimpleClip(4, 4, 2, {{{0, 0, 0}, {2, 2, 1}}});
+  grid::RoutingGraph g(c, tech::Technology::n28_12t(),
+                       tech::ruleByName("RULE2").value());
+  RouteSolution sol;
+  sol.usedArcs.assign(1, {});
+  sol.usedArcs[0] = {findArc(g, {0, 0, 0}, {1, 0, 0}),
+                     findArc(g, {1, 0, 0}, {2, 0, 0}),
+                     findArc(g, {2, 0, 0}, {2, 0, 1}),
+                     findArc(g, {2, 0, 1}, {2, 1, 1}),
+                     findArc(g, {2, 1, 1}, {2, 2, 1})};
+  sol.normalize();
+  auto d = decomposeSadp(c, g, sol);
+  std::string art = renderMasks(c, g, d.layers[0]);
+  EXPECT_NE(art.find('M'), std::string::npos);
+  EXPECT_NE(art.find('X'), std::string::npos);
+  EXPECT_NE(art.find("M2 SADP masks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optr::route

@@ -1,0 +1,114 @@
+// Unit tests for technology presets and Table 3 rule configurations.
+#include "tech/rules.h"
+#include "tech/technology.h"
+
+#include <gtest/gtest.h>
+
+namespace optr::tech {
+namespace {
+
+TEST(Technology, PresetsExist) {
+  EXPECT_EQ(Technology::n28_12t().name, "N28-12T");
+  EXPECT_EQ(Technology::n28_8t().name, "N28-8T");
+  EXPECT_EQ(Technology::n7_9t().name, "N7-9T");
+  EXPECT_EQ(Technology::all().size(), 3u);
+}
+
+TEST(Technology, LookupByName) {
+  auto t = Technology::byName("N28-8T");
+  ASSERT_TRUE(t.isOk());
+  EXPECT_EQ(t.value().cellHeightTracks, 8);
+  EXPECT_FALSE(Technology::byName("N5-6T").isOk());
+}
+
+TEST(Technology, StackIsM2ToM8Alternating) {
+  auto t = Technology::n28_12t();
+  ASSERT_EQ(t.numLayers(), 7);
+  EXPECT_EQ(t.layers[0].name, "M2");
+  EXPECT_TRUE(t.layers[0].horizontal);
+  EXPECT_FALSE(t.layers[1].horizontal);
+  EXPECT_EQ(t.layers[6].name, "M8");
+  EXPECT_EQ(t.layerOfMetal(2), 0);
+  EXPECT_EQ(t.layerOfMetal(8), 6);
+  EXPECT_EQ(t.layerOfMetal(1), -1);
+}
+
+TEST(Technology, ClipTrackCountsMatchThePaper) {
+  // 1um x 1um at 28nm: 7 vertical x 10 horizontal tracks (Section 4).
+  for (const auto& t : Technology::all()) {
+    EXPECT_EQ(t.clipTracksX, 7) << t.name;
+    EXPECT_EQ(t.clipTracksY, 10) << t.name;
+  }
+}
+
+TEST(Technology, PinStylesFollowFigure9) {
+  EXPECT_EQ(Technology::n28_12t().pinStyle, PinStyle::kWide);
+  EXPECT_EQ(Technology::n28_8t().pinStyle, PinStyle::kWide);
+  EXPECT_EQ(Technology::n7_9t().pinStyle, PinStyle::kCompact);
+  EXPECT_FALSE(Technology::n7_9t().supportsDiagonalViaRules);
+}
+
+TEST(Rules, TableThreeHasElevenConfigs) {
+  auto rules = table3Rules();
+  ASSERT_EQ(rules.size(), 11u);
+  EXPECT_EQ(rules[0].name, "RULE1");
+  EXPECT_EQ(rules[0].viaRestriction, ViaRestriction::kNone);
+  EXPECT_FALSE(rules[0].hasSadp());
+  EXPECT_EQ(rules[10].name, "RULE11");
+  EXPECT_EQ(rules[10].viaRestriction, ViaRestriction::kFull);
+  EXPECT_EQ(rules[10].sadpFromMetal, 3);
+}
+
+TEST(Rules, SadpLayerPredicates) {
+  auto r3 = ruleByName("RULE3").value();  // SADP >= M3
+  EXPECT_FALSE(r3.sadpOnMetal(2));
+  EXPECT_TRUE(r3.sadpOnMetal(3));
+  EXPECT_TRUE(r3.sadpOnMetal(8));
+  auto r1 = ruleByName("RULE1").value();
+  EXPECT_FALSE(r1.sadpOnMetal(2));
+}
+
+TEST(Rules, RuleLookupRejectsUnknown) {
+  EXPECT_FALSE(ruleByName("RULE12").isOk());
+  EXPECT_TRUE(ruleByName("RULE7").isOk());
+}
+
+TEST(Rules, N7ApplicabilityMatchesSection41) {
+  // The paper skips RULE2, 7, 9, 10, 11 on N7-9T.
+  auto n7 = Technology::n7_9t();
+  std::vector<std::string> expectedSkipped = {"RULE2", "RULE7", "RULE9",
+                                              "RULE10", "RULE11"};
+  for (const auto& rule : table3Rules()) {
+    bool applicable = ruleApplicable(rule, n7);
+    bool shouldSkip =
+        std::find(expectedSkipped.begin(), expectedSkipped.end(), rule.name) !=
+        expectedSkipped.end();
+    EXPECT_EQ(applicable, !shouldSkip) << rule.name;
+  }
+}
+
+TEST(Rules, AllRulesApplicableOn28nm) {
+  for (const auto& t : {Technology::n28_12t(), Technology::n28_8t()}) {
+    for (const auto& rule : table3Rules()) {
+      EXPECT_TRUE(ruleApplicable(rule, t)) << t.name << " " << rule.name;
+    }
+  }
+}
+
+TEST(Rules, ViaShapeHelpers) {
+  EXPECT_TRUE(unitVia().isUnit());
+  EXPECT_FALSE(barViaX().isUnit());
+  EXPECT_FALSE(squareVia().isUnit());
+  // Larger shapes are discounted (preferred for manufacturability).
+  EXPECT_LT(squareVia().costFactor, barViaX().costFactor);
+  EXPECT_LT(barViaX().costFactor, unitVia().costFactor);
+}
+
+TEST(Rules, BlockedNeighborCounts) {
+  EXPECT_EQ(blockedNeighbors(ViaRestriction::kNone), 0);
+  EXPECT_EQ(blockedNeighbors(ViaRestriction::kOrthogonal), 4);
+  EXPECT_EQ(blockedNeighbors(ViaRestriction::kFull), 8);
+}
+
+}  // namespace
+}  // namespace optr::tech

@@ -1,0 +1,94 @@
+// Shared helpers: hand-built and randomized clips for unit/integration tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clip/clip.h"
+#include "common/rng.h"
+
+namespace optr::testing {
+
+/// Builds a clip whose nets are given as lists of pins, each pin being a
+/// list of access points. The first pin of each net is the source.
+inline clip::Clip makeClip(
+    int tracksX, int tracksY, int numLayers,
+    const std::vector<std::vector<std::vector<clip::TrackPoint>>>& nets,
+    const std::string& techName = "N28-12T") {
+  clip::Clip c;
+  c.id = "test";
+  c.techName = techName;
+  c.tracksX = tracksX;
+  c.tracksY = tracksY;
+  c.numLayers = numLayers;
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    clip::ClipNet net;
+    net.name = "n" + std::to_string(n);
+    for (const auto& aps : nets[n]) {
+      clip::ClipPin pin;
+      pin.net = static_cast<int>(n);
+      pin.accessPoints = aps;
+      // Synthesize a small pin rect around the first access point (pin-cost
+      // metric input only).
+      pin.shapeNm = Rect(aps[0].x * 100, aps[0].y * 100, aps[0].x * 100 + 50,
+                         aps[0].y * 100 + 50);
+      net.pins.push_back(static_cast<int>(c.pins.size()));
+      c.pins.push_back(std::move(pin));
+    }
+    c.nets.push_back(std::move(net));
+  }
+  return c;
+}
+
+/// Single-access-point convenience overload.
+inline clip::Clip makeSimpleClip(
+    int tracksX, int tracksY, int numLayers,
+    const std::vector<std::vector<clip::TrackPoint>>& nets,
+    const std::string& techName = "N28-12T") {
+  std::vector<std::vector<std::vector<clip::TrackPoint>>> wrapped;
+  for (const auto& net : nets) {
+    std::vector<std::vector<clip::TrackPoint>> pins;
+    for (const auto& ap : net) pins.push_back({ap});
+    wrapped.push_back(std::move(pins));
+  }
+  return makeClip(tracksX, tracksY, numLayers, wrapped, techName);
+}
+
+/// Random clip: `numNets` two-to-three-pin nets with distinct pin vertices
+/// on the bottom layer. Deterministic in the seed.
+inline clip::Clip randomClip(std::uint64_t seed, int tracksX = 5,
+                             int tracksY = 5, int numLayers = 3,
+                             int numNets = 3) {
+  Rng rng(seed);
+  std::vector<std::vector<clip::TrackPoint>> nets;
+  std::vector<clip::TrackPoint> taken;
+  auto freshPoint = [&]() {
+    for (int tries = 0; tries < 200; ++tries) {
+      clip::TrackPoint p;
+      p.x = static_cast<int>(rng.uniformInt(0, tracksX - 1));
+      p.y = static_cast<int>(rng.uniformInt(0, tracksY - 1));
+      p.z = 0;
+      bool clash = false;
+      for (const auto& q : taken) {
+        if (q == p) { clash = true; break; }
+      }
+      if (!clash) {
+        taken.push_back(p);
+        return p;
+      }
+    }
+    return clip::TrackPoint{-1, -1, -1};  // exhausted; caller shrinks
+  };
+  for (int n = 0; n < numNets; ++n) {
+    int pins = rng.chance(0.3) ? 3 : 2;
+    std::vector<clip::TrackPoint> net;
+    for (int p = 0; p < pins; ++p) {
+      auto pt = freshPoint();
+      if (pt.x >= 0) net.push_back(pt);
+    }
+    if (net.size() >= 2) nets.push_back(std::move(net));
+  }
+  return makeSimpleClip(tracksX, tracksY, numLayers, nets);
+}
+
+}  // namespace optr::testing

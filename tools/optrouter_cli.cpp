@@ -1,0 +1,255 @@
+// optrouter — command-line driver for the BEOL rule-evaluation flow.
+//
+// Subcommands:
+//   info                                    list technologies and rules
+//   gen   <tech> <out.clips> [n] [seed]     synthesize a design, extract and
+//                                           rank clips, save the top n
+//   lefdef <tech> <out.lef> <out.def>       dump the synthetic enablement
+//   route <clips> <rule> [index]            route one clip, print the layout
+//   sweep <clips> <rule...>                 route all clips under each rule
+//   improve <clips> <rule> [threads]        local improvement report
+//
+// Example session:
+//   optrouter gen N28-12T top.clips 10
+//   optrouter route top.clips RULE3 0
+//   optrouter sweep top.clips RULE1 RULE3 RULE6
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "common/strings.h"
+#include "core/improver.h"
+#include "core/opt_router.h"
+#include "layout/clip_extract.h"
+#include "layout/def_io.h"
+#include "layout/global_route.h"
+#include "report/table.h"
+#include "route/render.h"
+#include "route/sadp_decompose.h"
+
+using namespace optr;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: optrouter <info|gen|lefdef|route|sweep|improve> ...\n"
+               "  info\n"
+               "  gen <tech> <out.clips> [numClips=10] [seed=1]\n"
+               "  lefdef <tech> <out.lef> <out.def>\n"
+               "  route <clips> <rule> [index=0]\n"
+               "  sweep <clips> <rule...>\n"
+               "  improve <clips> <rule> [threads=1]\n");
+  return 2;
+}
+
+int cmdInfo() {
+  report::Table techs({"Technology", "cell height", "clip tracks",
+                       "pin style", "diag-via rules"});
+  for (const tech::Technology& t : tech::Technology::all()) {
+    techs.addRow({t.name, std::to_string(t.cellHeightTracks) + "T",
+                  strFormat("%dx%d", t.clipTracksX, t.clipTracksY),
+                  t.pinStyle == tech::PinStyle::kWide ? "wide" : "compact",
+                  t.supportsDiagonalViaRules ? "yes" : "no"});
+  }
+  std::printf("%s\n", techs.render().c_str());
+  report::Table rules({"Rule", "SADP", "blocked via sites"});
+  for (const tech::RuleConfig& rc : tech::table3Rules()) {
+    rules.addRow({rc.name,
+                  rc.hasSadp() ? "M" + std::to_string(rc.sadpFromMetal) + "+"
+                               : "-",
+                  std::to_string(blockedNeighbors(rc.viaRestriction))});
+  }
+  std::printf("%s", rules.render().c_str());
+  return 0;
+}
+
+StatusOr<std::vector<clip::Clip>> loadOrFail(const char* path) {
+  auto clips = clip::loadClips(path);
+  if (!clips) std::fprintf(stderr, "%s\n", clips.status().message().c_str());
+  return clips;
+}
+
+int cmdGen(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto techOr = tech::Technology::byName(argv[2]);
+  if (!techOr) {
+    std::fprintf(stderr, "%s\n", techOr.status().message().c_str());
+    return 1;
+  }
+  int numClips = argc > 4 ? std::atoi(argv[4]) : 10;
+  std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+  auto lib = layout::CellLibrary::forTechnology(techOr.value());
+  layout::DesignSpec spec;
+  spec.name = "GEN";
+  spec.targetInstances = 420;
+  spec.utilization = 0.93;
+  spec.seed = seed;
+  layout::Design design = layout::generateDesign(lib, spec);
+  layout::GlobalRoute gr = layout::globalRoute(design, lib);
+  layout::ClipExtractOptions eo;
+  eo.maxNets = 6;
+  eo.maxLayers = 4;
+  auto clips = layout::extractClips(design, lib, gr, eo);
+  std::sort(clips.begin(), clips.end(),
+            [](const clip::Clip& a, const clip::Clip& b) {
+              return clip::pinCost(a).total() > clip::pinCost(b).total();
+            });
+  if (static_cast<int>(clips.size()) > numClips) clips.resize(numClips);
+  Status s = clip::saveClips(argv[3], clips);
+  if (!s) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("design: %zu instances, %zu nets; saved %zu clips to %s\n",
+              design.instances.size(), design.nets.size(), clips.size(),
+              argv[3]);
+  return 0;
+}
+
+int cmdLefDef(int argc, char** argv) {
+  if (argc < 5) return usage();
+  auto techOr = tech::Technology::byName(argv[2]);
+  if (!techOr) {
+    std::fprintf(stderr, "%s\n", techOr.status().message().c_str());
+    return 1;
+  }
+  auto lib = layout::CellLibrary::forTechnology(techOr.value());
+  layout::DesignSpec spec;
+  spec.name = "GEN";
+  spec.targetInstances = 420;
+  layout::Design design = layout::generateDesign(lib, spec);
+  Status s = layout::saveDesign(argv[3], argv[4], design, lib);
+  if (!s) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s and %s\n", argv[3], argv[4]);
+  return 0;
+}
+
+int cmdRoute(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto clips = loadOrFail(argv[2]);
+  if (!clips) return 1;
+  auto ruleOr = tech::ruleByName(argv[3]);
+  if (!ruleOr) {
+    std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
+    return 1;
+  }
+  std::size_t index = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 0;
+  if (index >= clips.value().size()) {
+    std::fprintf(stderr, "clip index out of range (%zu clips)\n",
+                 clips.value().size());
+    return 1;
+  }
+  const clip::Clip& c = clips.value()[index];
+  auto techn = tech::Technology::byName(c.techName).value();
+
+  core::OptRouterOptions o;
+  o.mip.timeLimitSec = 60;
+  o.formulation.netBBoxMargin = 3;
+  o.formulation.netLayerMargin = 1;
+  core::OptRouter router(techn, ruleOr.value(), o);
+  core::RouteResult r = router.route(c);
+  std::printf("clip %s under %s: %s", c.id.c_str(),
+              ruleOr.value().name.c_str(), core::toString(r.status));
+  if (r.hasSolution()) {
+    std::printf("  cost=%.0f (WL %d + %d vias)", r.cost, r.wirelength,
+                r.vias);
+  }
+  std::printf("\n\n");
+  if (r.hasSolution()) {
+    grid::RoutingGraph g(c, techn, ruleOr.value());
+    std::printf("%s", route::renderClip(c, g, &r.solution).c_str());
+    if (ruleOr.value().hasSadp()) {
+      auto masks = route::decomposeSadp(c, g, r.solution);
+      for (const auto& layer : masks.layers)
+        std::printf("\n%s", route::renderMasks(c, g, layer).c_str());
+    }
+  }
+  return r.status == core::RouteStatus::kError ? 1 : 0;
+}
+
+int cmdSweep(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto clips = loadOrFail(argv[2]);
+  if (!clips) return 1;
+  report::Table table({"Clip", "Rule", "status", "cost", "WL", "vias"});
+  for (const clip::Clip& c : clips.value()) {
+    auto techn = tech::Technology::byName(c.techName).value();
+    for (int a = 3; a < argc; ++a) {
+      auto ruleOr = tech::ruleByName(argv[a]);
+      if (!ruleOr) {
+        std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
+        return 1;
+      }
+      core::OptRouterOptions o;
+      o.mip.timeLimitSec = 20;
+      o.formulation.netBBoxMargin = 3;
+      o.formulation.netLayerMargin = 1;
+      core::OptRouter router(techn, ruleOr.value(), o);
+      core::RouteResult r = router.route(c);
+      table.addRow({c.id, argv[a], core::toString(r.status),
+                    r.hasSolution() ? strFormat("%.0f", r.cost) : "-",
+                    r.hasSolution() ? std::to_string(r.wirelength) : "-",
+                    r.hasSolution() ? std::to_string(r.vias) : "-"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmdImprove(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto clips = loadOrFail(argv[2]);
+  if (!clips) return 1;
+  auto ruleOr = tech::ruleByName(argv[3]);
+  if (!ruleOr) {
+    std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
+    return 1;
+  }
+  int threads = argc > 4 ? std::atoi(argv[4]) : 1;
+  if (clips.value().empty()) {
+    std::fprintf(stderr, "no clips in %s\n", argv[2]);
+    return 1;
+  }
+  auto techn =
+      tech::Technology::byName(clips.value()[0].techName).value();
+  core::ImproverOptions opt;
+  opt.threads = threads;
+  opt.router.mip.timeLimitSec = 30;
+  opt.router.formulation.netBBoxMargin = 3;
+  opt.router.formulation.netLayerMargin = 1;
+  core::LocalImprover improver(techn, ruleOr.value(), opt);
+  core::ImprovementReport report = improver.improve(clips.value());
+  report::Table table({"clip", "baseline", "after", "status"});
+  for (const auto& ci : report.clips) {
+    table.addRow({ci.clipId,
+                  ci.baselineRouted ? strFormat("%.0f", ci.baselineCost)
+                                    : "unrouted",
+                  strFormat("%.0f", ci.optimalCost),
+                  core::toString(ci.status)});
+  }
+  std::printf("%s\nimproved %d of %d routed clips; total cost %g -> %g\n",
+              table.render().c_str(), report.improved, report.attempted,
+              report.costBefore, report.costAfter);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (!std::strcmp(argv[1], "info")) return cmdInfo();
+  if (!std::strcmp(argv[1], "gen")) return cmdGen(argc, argv);
+  if (!std::strcmp(argv[1], "lefdef")) return cmdLefDef(argc, argv);
+  if (!std::strcmp(argv[1], "route")) return cmdRoute(argc, argv);
+  if (!std::strcmp(argv[1], "sweep")) return cmdSweep(argc, argv);
+  if (!std::strcmp(argv[1], "improve")) return cmdImprove(argc, argv);
+  return usage();
+}
