@@ -60,18 +60,25 @@ int main(int argc, char** argv) {
     report::Series fig("Figure 10 " + techn.name, "clip (sorted)",
                        "delta cost vs RULE1");
     report::Table summary({"Rule", "feasible", "infeasible", "unresolved",
-                           "mean dCost", "max dCost"});
+                           "mean dCost", "max dCost", "proven/incumb/maze"});
     for (const core::RuleOutcome& ro : res.rules) {
       if (!ro.applicable) {
-        summary.addRow({ro.rule.name, "-", "-", "-", "skipped (pins)", "-"});
+        summary.addRow(
+            {ro.rule.name, "-", "-", "-", "skipped (pins)", "-", "-"});
         continue;
       }
       fig.add(ro.rule.name, ro.sortedDelta);
-      summary.addRow({ro.rule.name, std::to_string(ro.feasible),
-                      std::to_string(ro.infeasible),
-                      std::to_string(ro.unresolved),
-                      strFormat("%.2f", ro.meanDelta),
-                      strFormat("%.1f", ro.maxDelta)});
+      summary.addRow(
+          {ro.rule.name, std::to_string(ro.feasible),
+           std::to_string(ro.infeasible), std::to_string(ro.unresolved),
+           strFormat("%.2f", ro.meanDelta), strFormat("%.1f", ro.maxDelta),
+           strFormat(
+               "%d/%d/%d",
+               ro.provenance[static_cast<int>(core::Provenance::kIlpProven)],
+               ro.provenance[static_cast<int>(
+                   core::Provenance::kIlpIncumbent)],
+               ro.provenance[static_cast<int>(
+                   core::Provenance::kMazeFallback)])});
     }
     std::printf("%s\n%s\n", summary.render().c_str(),
                 fig.render(32).c_str());

@@ -6,32 +6,32 @@ namespace optr::clip {
 
 Status Clip::validate() const {
   if (tracksX <= 0 || tracksY <= 0 || numLayers <= 0)
-    return Status::error("clip " + id + ": empty track grid");
+    return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": empty track grid");
   for (std::size_t n = 0; n < nets.size(); ++n) {
     if (nets[n].pins.size() < 2)
-      return Status::error("clip " + id + ": net " + nets[n].name +
+      return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": net " + nets[n].name +
                            " has fewer than 2 pins");
     for (int p : nets[n].pins) {
       if (p < 0 || p >= static_cast<int>(pins.size()))
-        return Status::error("clip " + id + ": net " + nets[n].name +
+        return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": net " + nets[n].name +
                              " references unknown pin");
       if (pins[p].net != static_cast<int>(n))
-        return Status::error("clip " + id + ": pin/net cross-reference broken");
+        return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": pin/net cross-reference broken");
     }
   }
   for (const ClipPin& pin : pins) {
     if (pin.net < 0 || pin.net >= static_cast<int>(nets.size()))
-      return Status::error("clip " + id + ": pin references unknown net");
+      return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": pin references unknown net");
     if (pin.accessPoints.empty())
-      return Status::error("clip " + id + ": pin without access points");
+      return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": pin without access points");
     for (const TrackPoint& ap : pin.accessPoints) {
       if (!inBounds(ap))
-        return Status::error("clip " + id + ": access point out of bounds");
+        return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": access point out of bounds");
     }
   }
   for (const TrackPoint& o : obstacles) {
     if (!inBounds(o))
-      return Status::error("clip " + id + ": obstacle out of bounds");
+      return Status::error(ErrorCode::kInvalidInput, "clip " + id + ": obstacle out of bounds");
   }
   return Status::ok();
 }

@@ -46,7 +46,7 @@ StatusOr<Clip> parseOne(const std::vector<std::string>& lines,
     if (tokens.empty()) continue;
     if (tokens[0] == "END") {
       ++i;
-      if (!sawHeader) return Status::error("clip text: END before CLIP");
+      if (!sawHeader) return Status::error(ErrorCode::kParse, "clip text: END before CLIP");
       Status s = clip.validate();
       if (!s) return s;
       return clip;
@@ -54,47 +54,47 @@ StatusOr<Clip> parseOne(const std::vector<std::string>& lines,
     if (tokens[0] == "CLIP") {
       if (tokens.size() != 9 || tokens[2] != "TECH" || tokens[4] != "TRACKS" ||
           tokens[7] != "LAYERS")
-        return Status::error("clip text: malformed CLIP line");
+        return Status::error(ErrorCode::kParse, "clip text: malformed CLIP line");
       clip.id = std::string(tokens[1]);
       clip.techName = std::string(tokens[3]);
       auto tx = parseInt(tokens[5]), ty = parseInt(tokens[6]),
            nl = parseInt(tokens[8]);
       if (!tx || !ty || !nl)
-        return Status::error("clip text: bad CLIP numbers");
+        return Status::error(ErrorCode::kParse, "clip text: bad CLIP numbers");
       clip.tracksX = static_cast<int>(*tx);
       clip.tracksY = static_cast<int>(*ty);
       clip.numLayers = static_cast<int>(*nl);
       sawHeader = true;
     } else if (tokens[0] == "NET") {
-      if (tokens.size() != 2) return Status::error("clip text: bad NET");
+      if (tokens.size() != 2) return Status::error(ErrorCode::kParse, "clip text: bad NET");
       ClipNet net;
       net.name = std::string(tokens[1]);
       clip.nets.push_back(std::move(net));
     } else if (tokens[0] == "PIN") {
-      if (tokens.size() < 10) return Status::error("clip text: short PIN");
+      if (tokens.size() < 10) return Status::error(ErrorCode::kParse, "clip text: short PIN");
       ClipPin pin;
       auto netIdx = parseInt(tokens[1]);
       if (!netIdx || *netIdx < 0 ||
           *netIdx >= static_cast<std::int64_t>(clip.nets.size()))
-        return Status::error("clip text: PIN net out of range");
+        return Status::error(ErrorCode::kParse, "clip text: PIN net out of range");
       pin.net = static_cast<int>(*netIdx);
       pin.isBoundary = (tokens[2] == "BOUNDARY" || tokens[2] == "VIRTUAL");
       pin.isVirtual = (tokens[2] == "VIRTUAL");
-      if (tokens[3] != "SHAPE") return Status::error("clip text: PIN SHAPE");
+      if (tokens[3] != "SHAPE") return Status::error(ErrorCode::kParse, "clip text: PIN SHAPE");
       auto lx = parseInt(tokens[4]), ly = parseInt(tokens[5]),
            hx = parseInt(tokens[6]), hy = parseInt(tokens[7]);
       if (!lx || !ly || !hx || !hy)
-        return Status::error("clip text: PIN shape numbers");
+        return Status::error(ErrorCode::kParse, "clip text: PIN shape numbers");
       pin.shapeNm = Rect(*lx, *ly, *hx, *hy);
-      if (tokens[8] != "APS") return Status::error("clip text: PIN APS");
+      if (tokens[8] != "APS") return Status::error(ErrorCode::kParse, "clip text: PIN APS");
       auto n = parseInt(tokens[9]);
       if (!n || tokens.size() != 10 + 3 * static_cast<std::size_t>(*n))
-        return Status::error("clip text: PIN AP count mismatch");
+        return Status::error(ErrorCode::kParse, "clip text: PIN AP count mismatch");
       for (std::int64_t k = 0; k < *n; ++k) {
         auto x = parseInt(tokens[10 + 3 * k]);
         auto y = parseInt(tokens[11 + 3 * k]);
         auto z = parseInt(tokens[12 + 3 * k]);
-        if (!x || !y || !z) return Status::error("clip text: PIN AP numbers");
+        if (!x || !y || !z) return Status::error(ErrorCode::kParse, "clip text: PIN AP numbers");
         pin.accessPoints.push_back({static_cast<int>(*x),
                                     static_cast<int>(*y),
                                     static_cast<int>(*z)});
@@ -102,18 +102,18 @@ StatusOr<Clip> parseOne(const std::vector<std::string>& lines,
       clip.nets[pin.net].pins.push_back(static_cast<int>(clip.pins.size()));
       clip.pins.push_back(std::move(pin));
     } else if (tokens[0] == "OBS") {
-      if (tokens.size() != 4) return Status::error("clip text: bad OBS");
+      if (tokens.size() != 4) return Status::error(ErrorCode::kParse, "clip text: bad OBS");
       auto x = parseInt(tokens[1]), y = parseInt(tokens[2]),
            z = parseInt(tokens[3]);
-      if (!x || !y || !z) return Status::error("clip text: OBS numbers");
+      if (!x || !y || !z) return Status::error(ErrorCode::kParse, "clip text: OBS numbers");
       clip.obstacles.push_back({static_cast<int>(*x), static_cast<int>(*y),
                                 static_cast<int>(*z)});
     } else {
-      return Status::error("clip text: unknown statement '" +
+      return Status::error(ErrorCode::kParse, "clip text: unknown statement '" +
                            std::string(tokens[0]) + "'");
     }
   }
-  return Status::error("clip text: missing END");
+  return Status::error(ErrorCode::kParse, "clip text: missing END");
 }
 
 std::vector<std::string> toLines(const std::string& text) {
@@ -153,14 +153,14 @@ StatusOr<std::vector<Clip>> fromTextMulti(const std::string& text) {
 
 Status saveClips(const std::string& path, const std::vector<Clip>& clips) {
   std::ofstream out(path);
-  if (!out) return Status::error("cannot open for write: " + path);
+  if (!out) return Status::error(ErrorCode::kIo, "cannot open for write: " + path);
   out << toTextMulti(clips);
-  return out.good() ? Status::ok() : Status::error("write failed: " + path);
+  return out.good() ? Status::ok() : Status::error(ErrorCode::kIo, "write failed: " + path);
 }
 
 StatusOr<std::vector<Clip>> loadClips(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::error("cannot open: " + path);
+  if (!in) return Status::error(ErrorCode::kIo, "cannot open: " + path);
   std::stringstream buf;
   buf << in.rdbuf();
   return fromTextMulti(buf.str());

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the solver stack.
+//
+// Compiled in unconditionally; a disarmed site costs one predictable branch
+// on a plain bool, so the hooks stay in release builds and the recovery
+// paths they exercise are the same code production runs. Tests arm a site
+// with a countdown ("fire on the k-th probe") and a repeat count; everything
+// is plain counters -- no clocks, no randomness -- so an injected failure
+// reproduces bit-identically run over run.
+//
+// Usage (test side):
+//   fault::ScopedFault f(fault::Site::kSingularBasis, /*countdown=*/0,
+//                        /*times=*/fault::kAlways);
+//   ... exercise the solver; every refactorization now fails ...
+//
+// Usage (probe side, e.g. inside SimplexSolver::refactorize):
+//   if (fault::fire(fault::Site::kSingularBasis)) return false;
+#pragma once
+
+namespace optr::fault {
+
+enum class Site : int {
+  kSingularBasis = 0,    // basis refactorization reports a singular matrix
+  kDualDrift,            // incremental dual update picks up an error term
+  kLpDeadline,           // LP wall-clock deadline expires at the k-th pivot
+  kSeparatorOverReport,  // lazy separator claims rows it never appended
+  kNumSites,
+};
+
+inline constexpr int kAlways = 1 << 30;
+
+namespace detail {
+struct SiteState {
+  bool armed = false;
+  int countdown = 0;  // probes to skip before firing
+  int remaining = 0;  // fires left once the countdown elapses
+  int fired = 0;      // total fires since arm/reset (test observability)
+};
+inline SiteState g_sites[static_cast<int>(Site::kNumSites)];
+inline bool g_anyArmed = false;
+
+inline SiteState& state(Site s) { return g_sites[static_cast<int>(s)]; }
+
+inline void refreshAnyArmed() {
+  g_anyArmed = false;
+  for (const SiteState& st : g_sites) g_anyArmed |= st.armed;
+}
+}  // namespace detail
+
+/// Arms `site`: the first `countdown` probes pass through, then the next
+/// `times` probes fire. Re-arming replaces the previous schedule.
+inline void arm(Site site, int countdown = 0, int times = 1) {
+  detail::SiteState& st = detail::state(site);
+  st.armed = true;
+  st.countdown = countdown;
+  st.remaining = times;
+  st.fired = 0;
+  detail::g_anyArmed = true;
+}
+
+inline void disarm(Site site) {
+  detail::state(site).armed = false;
+  detail::refreshAnyArmed();
+}
+
+/// Disarms every site and clears fire counters.
+inline void reset() {
+  for (detail::SiteState& st : detail::g_sites) st = detail::SiteState{};
+  detail::g_anyArmed = false;
+}
+
+/// The probe. False (and branch-predictable) unless the site is armed and
+/// its countdown has elapsed.
+inline bool fire(Site site) {
+  if (!detail::g_anyArmed) return false;
+  detail::SiteState& st = detail::state(site);
+  if (!st.armed) return false;
+  if (st.countdown > 0) {
+    --st.countdown;
+    return false;
+  }
+  if (st.remaining <= 0) return false;
+  --st.remaining;
+  ++st.fired;
+  return true;
+}
+
+/// Times `site` has fired since it was last armed (or reset).
+inline int fireCount(Site site) { return detail::state(site).fired; }
+
+inline bool anyArmed() { return detail::g_anyArmed; }
+
+/// RAII arming for tests: disarms the site (only this one) on scope exit.
+class ScopedFault {
+ public:
+  explicit ScopedFault(Site site, int countdown = 0, int times = 1)
+      : site_(site) {
+    arm(site, countdown, times);
+  }
+  ~ScopedFault() { disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  int fired() const { return fireCount(site_); }
+
+ private:
+  Site site_;
+};
+
+}  // namespace optr::fault

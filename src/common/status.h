@@ -2,7 +2,10 @@
 //
 // The library does not throw across public API boundaries except for
 // programming errors (OPTR_ASSERT). Recoverable conditions (parse errors,
-// solver limits) are reported through Status / StatusOr.
+// solver limits, numerical trouble) are reported through Status / StatusOr,
+// which carry a machine-readable ErrorCode alongside the human-readable
+// message so callers can branch on *why* an operation degraded (the
+// OptRouter recovery ladder and harness::BatchRunner both do).
 #pragma once
 
 #include <cstdio>
@@ -13,50 +16,125 @@
 
 namespace optr {
 
+/// The error taxonomy. Codes are stable identifiers: they are serialized by
+/// the batch harness and asserted on by tests, so renumbering is a breaking
+/// change (append only).
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidInput,     // structurally bad caller data (clip, bounds, sizes)
+  kParse,            // malformed text input (clip text, DEF)
+  kIo,               // file open / read / write failure
+  kUnavailable,      // named entity does not exist (rule, technology)
+  kNumerical,        // numerical failure in the solver stack
+  kSingularBasis,    // basis refactorization failed (a kNumerical refinement)
+  kDeadline,         // wall-clock budget expired
+  kIterationLimit,   // iteration / node budget exhausted
+  kSeparation,       // lazy-constraint separator misbehaved
+  kCrash,            // isolated worker died (signal / abort)
+  kInternal,         // invariant violated; default for untagged errors
+};
+
+const char* toString(ErrorCode c);
+
 class Status {
  public:
   Status() = default;  // OK
   static Status ok() { return Status(); }
   static Status error(std::string message) {
+    return error(ErrorCode::kInternal, std::move(message));
+  }
+  static Status error(ErrorCode code, std::string message) {
     Status s;
     s.message_ = std::move(message);
+    s.code_ = code == ErrorCode::kOk ? ErrorCode::kInternal : code;
     s.ok_ = false;
     return s;
   }
 
   bool isOk() const { return ok_; }
   explicit operator bool() const { return ok_; }
+  ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
  private:
   bool ok_ = true;
+  ErrorCode code_ = ErrorCode::kOk;
   std::string message_;
 };
+
+inline const char* toString(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidInput: return "invalid-input";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kNumerical: return "numerical";
+    case ErrorCode::kSingularBasis: return "singular-basis";
+    case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kIterationLimit: return "iteration-limit";
+    case ErrorCode::kSeparation: return "separation";
+    case ErrorCode::kCrash: return "crash";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Parses the serialized form produced by toString (harness checkpoints);
+/// unknown strings map to kInternal.
+inline ErrorCode errorCodeFromString(const std::string& s) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    auto c = static_cast<ErrorCode>(i);
+    if (s == toString(c)) return c;
+  }
+  return ErrorCode::kInternal;
+}
 
 /// Value-or-error return. Minimal and move-friendly; no exceptions.
 template <typename T>
 class StatusOr {
  public:
-  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+  StatusOr(T value)  // NOLINT
+      : value_(std::move(value)), status_(Status::ok()) {}
   StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
 
   bool isOk() const { return value_.has_value(); }
   explicit operator bool() const { return isOk(); }
   const Status& status() const { return status_; }
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  ErrorCode code() const { return status_.code(); }
+
+  const T& value() const& {
+    checkHasValue();
+    return *value_;
+  }
+  T& value() & {
+    checkHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    checkHasValue();
+    return std::move(*value_);
+  }
 
  private:
+  void checkHasValue() const {
+    if (value_.has_value()) return;
+    std::fprintf(stderr, "StatusOr::value() called on error state [%s]: %s\n",
+                 toString(status_.code()), status_.message().c_str());
+    std::abort();
+  }
+
   std::optional<T> value_;
-  Status status_ = Status::error("value not set");
+  Status status_ = Status::error(ErrorCode::kInternal, "value not set");
 };
 
 }  // namespace optr
 
 /// Invariant check for programming errors. Active in all build types: the
 /// solver's correctness argument leans on these, and the cost is negligible
-/// relative to LP pivoting.
+/// relative to LP pivoting. Data-dependent conditions (an unlucky pivot
+/// sequence, a malformed input file) must use Status instead -- a batch of a
+/// thousand clips must not abort because one of them went numerically sour.
 #define OPTR_ASSERT(cond, msg)                                              \
   do {                                                                      \
     if (!(cond)) {                                                          \
@@ -64,4 +142,14 @@ class StatusOr {
                    __LINE__, msg);                                          \
       std::abort();                                                         \
     }                                                                       \
+  } while (0)
+
+/// Early-returns the enclosing function with the error Status produced by
+/// `expr` when it is not OK. `expr` may be a Status or anything convertible.
+#define OPTR_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::optr::Status optrStatusTmp_ = (expr);       \
+    if (!optrStatusTmp_.isOk()) {                 \
+      return optrStatusTmp_;                      \
+    }                                             \
   } while (0)

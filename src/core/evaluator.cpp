@@ -18,6 +18,8 @@ std::vector<ClipOutcome> RuleEvaluator::solveAll(
     RouteResult r = router.route(c);
     ClipOutcome o;
     o.status = r.status;
+    o.provenance = r.provenance;
+    o.error = r.error.code();
     o.bestBound = r.bestBound;
     o.seconds = r.seconds;
     if (r.hasSolution()) {
@@ -63,6 +65,7 @@ EvaluationResult RuleEvaluator::evaluate(
     for (std::size_t i = 0; i < clips.size(); ++i) {
       const ClipOutcome& ref = result.reference[i];
       const ClipOutcome& cur = ro.clips[i];
+      ro.provenance[static_cast<int>(cur.provenance)]++;
       switch (cur.status) {
         case RouteStatus::kOptimal:
         case RouteStatus::kFeasible:

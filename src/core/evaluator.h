@@ -10,6 +10,7 @@
 // pass their own RuleConfig list.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,8 @@ struct EvaluationOptions {
 
 struct ClipOutcome {
   RouteStatus status = RouteStatus::kUnknown;
+  Provenance provenance = Provenance::kNone;  // which ladder rung held
+  ErrorCode error = ErrorCode::kOk;           // why the solve degraded
   double cost = 0;        // valid when status is optimal/feasible
   double bestBound = 0;
   int wirelength = 0;
@@ -49,6 +52,9 @@ struct RuleOutcome {
   std::vector<double> sortedDelta;
   int feasible = 0, infeasible = 0, unresolved = 0;
   double meanDelta = 0, maxDelta = 0;  // over finite deltas
+  /// Clip counts per degradation-ladder rung (indexed by Provenance): how
+  /// many of this rule's rows are proven optima vs degraded fallbacks.
+  std::array<int, 4> provenance{};
 };
 
 struct EvaluationResult {

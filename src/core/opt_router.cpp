@@ -1,5 +1,7 @@
 #include "core/opt_router.h"
 
+#include <utility>
+
 namespace optr::core {
 
 const char* toString(RouteStatus s) {
@@ -13,14 +15,47 @@ const char* toString(RouteStatus s) {
   return "?";
 }
 
+const char* toString(Provenance p) {
+  switch (p) {
+    case Provenance::kNone: return "none";
+    case Provenance::kIlpProven: return "ilp-proven";
+    case Provenance::kIlpIncumbent: return "ilp-incumbent";
+    case Provenance::kMazeFallback: return "maze-fallback";
+  }
+  return "?";
+}
+
+Provenance provenanceFromString(const std::string& s) {
+  for (Provenance p : {Provenance::kIlpProven, Provenance::kIlpIncumbent,
+                       Provenance::kMazeFallback}) {
+    if (s == toString(p)) return p;
+  }
+  return Provenance::kNone;
+}
+
 OptRouter::OptRouter(const tech::Technology& techn,
                      const tech::RuleConfig& rule, OptRouterOptions options)
     : tech_(techn), rule_(rule), options_(options) {}
 
+// The degradation ladder. Every rung yields an honest result: the status
+// says what is proven, `provenance` says where the solution came from, and
+// `error` says why anything below kIlpProven happened.
+//   rung 0  ILP proven optimal / proven infeasible          (kIlpProven)
+//   rung 1  MIP retries a numerically-failed node once from a fresh
+//           factorization with Bland's rule forced          (inside MipSolver)
+//   rung 2  limit or unrecovered failure: fall back to the best validated
+//           incumbent                                        (kIlpIncumbent)
+//   rung 3  no incumbent (or it fails DRC): fall back to the maze router's
+//           DRC-clean solution                               (kMazeFallback)
+//   rung 4  nothing DRC-clean exists: kUnknown / kError, never a dirty
+//           solution.
 RouteResult OptRouter::route(const clip::Clip& clip) const {
   RouteResult result;
   Status valid = clip.validate();
-  if (!valid) return result;  // kError
+  if (!valid) {
+    result.error = valid;
+    return result;  // kError
+  }
 
   grid::RoutingGraph graph(clip, tech_, rule_);
   Formulation formulation(clip, graph, options_.formulation);
@@ -29,17 +64,24 @@ RouteResult OptRouter::route(const clip::Clip& clip) const {
                      options_.mip);
   mip.setLazySeparator(formulation.separator());
 
-  // Warm start: route heuristically within the same per-net arc regions;
-  // only a DRC-clean solution may seed the exact search (the MIP trusts the
-  // incumbent's rule feasibility).
+  // Heuristic baseline: routed within the same per-net arc regions; only a
+  // DRC-clean solution may seed the exact search (the MIP trusts the
+  // incumbent's rule feasibility). Also computed on demand by the fallback
+  // rung when warm starts are disabled.
   route::MazeResult heuristic;
-  if (options_.warmStart) {
+  bool heuristicTried = false;
+  auto runHeuristic = [&]() {
+    if (heuristicTried) return;
+    heuristicTried = true;
     route::MazeOptions mo = options_.mazeOptions;
     mo.arcFilter = [&formulation](int net, int arc) {
       return formulation.arcAvailableTo(net, arc);
     };
     route::MazeRouter maze(clip, graph, mo);
     heuristic = maze.route();
+  };
+  if (options_.warmStart) {
+    runHeuristic();
     if (heuristic.success) {
       std::vector<double> seed = formulation.encode(heuristic.solution);
       if (!seed.empty() && mip.setInitialIncumbent(seed)) {
@@ -55,6 +97,9 @@ RouteResult OptRouter::route(const clip::Clip& clip) const {
   result.lazyRows = mr.lazyRowsAdded;
   result.bestBound = mr.bestBound;
   result.formulationStats = formulation.stats();
+  result.solverRetries = mr.numericRetries;
+  result.separatorMisreports = mr.separatorMisreports;
+  result.error = mr.error;
 
   switch (mr.status) {
     case ilp::MipStatus::kOptimal:
@@ -73,32 +118,56 @@ RouteResult OptRouter::route(const clip::Clip& clip) const {
       result.status = RouteStatus::kError;
       break;
   }
-  if (!mr.hasSolution()) {
-    // Last resort: if the exact search timed out without a conclusion but
-    // the heuristic produced a DRC-clean routing, a rule-correct solution
-    // does exist -- report it as feasible (not proven optimal).
-    if (result.status == RouteStatus::kUnknown && heuristic.success) {
-      result.status = RouteStatus::kFeasible;
-      result.solution = heuristic.solution;
-      result.cost = result.solution.totalCost(graph);
-      result.wirelength = result.solution.wirelength(graph);
-      result.vias = result.solution.viaCount(graph);
+
+  auto adopt = [&](const route::RouteSolution& sol, RouteStatus st,
+                   Provenance prov) {
+    result.solution = sol;
+    result.status = st;
+    result.provenance = prov;
+    result.cost = result.solution.totalCost(graph);
+    result.wirelength = result.solution.wirelength(graph);
+    result.vias = result.solution.viaCount(graph);
+  };
+  auto mazeFallback = [&]() {
+    runHeuristic();
+    if (!heuristic.success) return false;
+    adopt(heuristic.solution, RouteStatus::kFeasible,
+          Provenance::kMazeFallback);
+    return true;
+  };
+
+  route::DrcChecker drc(clip, graph);
+  const bool incumbentOnError =
+      mr.status == ilp::MipStatus::kError && mr.hasIncumbent();
+  if (mr.hasSolution() || incumbentOnError) {
+    route::RouteSolution sol = formulation.extractSolution(mr.x);
+    if (drc.check(sol).empty()) {
+      if (mr.status == ilp::MipStatus::kOptimal) {
+        adopt(sol, RouteStatus::kOptimal, Provenance::kIlpProven);
+      } else {
+        adopt(sol, RouteStatus::kFeasible, Provenance::kIlpIncumbent);
+      }
+      return result;
     }
+    // An "optimal"/incumbent answer must be rule-clean; a violation here
+    // means a separation gap. Never report the dirty solution -- record the
+    // failure loudly and drop to the heuristic rung.
+    result.error = Status::error(ErrorCode::kSeparation,
+                                 "solution violates design rules "
+                                 "(separation gap)");
+    if (mazeFallback()) return result;
+    result.status = RouteStatus::kError;
     return result;
   }
 
-  result.solution = formulation.extractSolution(mr.x);
-  result.cost = result.solution.totalCost(graph);
-  result.wirelength = result.solution.wirelength(graph);
-  result.vias = result.solution.viaCount(graph);
+  if (mr.status == ilp::MipStatus::kInfeasible) return result;  // proven
 
-  // Paranoia: an "optimal" answer must be rule-clean. A violation here means
-  // a separation gap -- downgrade to error loudly rather than report a wrong
-  // optimum.
-  route::DrcChecker drc(clip, graph);
-  if (!drc.check(result.solution).empty()) {
-    result.status = RouteStatus::kError;
-  }
+  // Limit hit before any conclusion, or an unrecovered solver failure with
+  // no incumbent: if the heuristic produced a DRC-clean routing, a
+  // rule-correct solution does exist -- report it as feasible (not proven
+  // best), tagged with its provenance. Otherwise the kUnknown / kError
+  // status stands, with `error` saying why.
+  mazeFallback();
   return result;
 }
 

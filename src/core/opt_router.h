@@ -36,6 +36,20 @@ enum class RouteStatus : std::uint8_t {
 
 const char* toString(RouteStatus s);
 
+/// Where a reported solution came from. Benchmarks must never silently mix
+/// proof qualities: a `kIlpProven` optimum and a `kMazeFallback` heuristic
+/// routing are not comparable rows, and the ladder records which rung held.
+enum class Provenance : std::uint8_t {
+  kNone,          // no solution reported (infeasible / error / unknown)
+  kIlpProven,     // the ILP's proven optimum
+  kIlpIncumbent,  // a MIP incumbent: feasible, validated, not proven best
+  kMazeFallback,  // the heuristic router's DRC-clean solution
+};
+
+const char* toString(Provenance p);
+
+Provenance provenanceFromString(const std::string& s);
+
 struct OptRouterOptions {
   FormulationOptions formulation;
   ilp::MipOptions mip{.timeLimitSec = 120.0};
@@ -57,6 +71,15 @@ struct RouteResult {
   int lazyRows = 0;
   bool warmStartUsed = false;
   FormulationStats formulationStats;
+  /// Which rung of the degradation ladder produced `solution`.
+  Provenance provenance = Provenance::kNone;
+  /// Why the solve degraded below kIlpProven (kOk on a clean optimal /
+  /// infeasible verdict). Carries the machine-readable taxonomy code.
+  Status error = Status::ok();
+  /// Numerical node failures the MIP recovered by its Bland-rule retry.
+  int solverRetries = 0;
+  /// Lazy-separator report/append mismatches survived (see MipResult).
+  int separatorMisreports = 0;
 
   bool hasSolution() const {
     return status == RouteStatus::kOptimal || status == RouteStatus::kFeasible;

@@ -1,0 +1,383 @@
+#include "harness/batch_runner.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#if !defined(_WIN32)
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "tech/technology.h"
+
+namespace optr::harness {
+
+namespace {
+
+// ---- JSON-lines (de)serialization ------------------------------------------
+// One flat object per row; hand-rolled because the container must not grow
+// dependencies and the schema is fixed. Fields are matched by key, so rows
+// written by older sweeps with fewer fields still load.
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Finds `"key":` in `line` and returns the offset just past the colon,
+/// or npos.
+std::size_t valueOffset(const std::string& line, const char* key) {
+  std::string pat = std::string("\"") + key + "\":";
+  std::size_t at = line.find(pat);
+  if (at == std::string::npos) return std::string::npos;
+  return at + pat.size();
+}
+
+bool jsonString(const std::string& line, const char* key, std::string& out) {
+  std::size_t at = valueOffset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"')
+    return false;
+  out.clear();
+  for (std::size_t i = at + 1; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"') return true;
+    if (c == '\\' && i + 1 < line.size()) {
+      char e = line[++i];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 4 >= line.size()) return false;
+          out += static_cast<char>(std::strtol(
+              line.substr(i + 1, 4).c_str(), nullptr, 16));
+          i += 4;
+          break;
+        default: out += e;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return false;  // unterminated (truncated line)
+}
+
+bool jsonNumber(const std::string& line, const char* key, double& out) {
+  std::size_t at = valueOffset(line, key);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtod(line.c_str() + at, &end);
+  return end != line.c_str() + at;
+}
+
+core::RouteStatus routeStatusFromString(const std::string& s, bool& ok) {
+  for (auto st : {core::RouteStatus::kOptimal, core::RouteStatus::kFeasible,
+                  core::RouteStatus::kInfeasible, core::RouteStatus::kUnknown,
+                  core::RouteStatus::kError}) {
+    if (s == core::toString(st)) {
+      ok = true;
+      return st;
+    }
+  }
+  ok = false;
+  return core::RouteStatus::kError;
+}
+
+}  // namespace
+
+std::string toJsonLine(const BatchRow& row) {
+  std::ostringstream os;
+  os << "{\"clip\":\"" << jsonEscape(row.clipId) << "\""
+     << ",\"rule\":\"" << jsonEscape(row.ruleName) << "\""
+     << ",\"status\":\"" << core::toString(row.status) << "\""
+     << ",\"provenance\":\"" << core::toString(row.provenance) << "\""
+     << ",\"error\":\"" << toString(row.errorCode) << "\""
+     << ",\"message\":\"" << jsonEscape(row.errorMessage) << "\""
+     << ",\"cost\":" << row.cost << ",\"wirelength\":" << row.wirelength
+     << ",\"vias\":" << row.vias << ",\"bestBound\":" << row.bestBound
+     << ",\"seconds\":" << row.seconds
+     << ",\"crashed\":" << (row.crashed ? 1 : 0) << "}";
+  return os.str();
+}
+
+bool fromJsonLine(const std::string& line, BatchRow& row) {
+  if (line.empty() || line.front() != '{' ||
+      line.find('}') == std::string::npos) {
+    return false;
+  }
+  std::string statusStr, errStr, provStr;
+  if (!jsonString(line, "clip", row.clipId)) return false;
+  if (!jsonString(line, "rule", row.ruleName)) return false;
+  if (!jsonString(line, "status", statusStr)) return false;
+  bool ok = false;
+  row.status = routeStatusFromString(statusStr, ok);
+  if (!ok) return false;
+  if (jsonString(line, "provenance", provStr)) {
+    row.provenance = core::provenanceFromString(provStr);
+  }
+  if (jsonString(line, "error", errStr)) {
+    row.errorCode = errorCodeFromString(errStr);
+  }
+  jsonString(line, "message", row.errorMessage);
+  double v = 0;
+  if (jsonNumber(line, "cost", v)) row.cost = v;
+  if (jsonNumber(line, "wirelength", v)) row.wirelength = static_cast<int>(v);
+  if (jsonNumber(line, "vias", v)) row.vias = static_cast<int>(v);
+  if (jsonNumber(line, "bestBound", v)) row.bestBound = v;
+  if (jsonNumber(line, "seconds", v)) row.seconds = v;
+  if (jsonNumber(line, "crashed", v)) row.crashed = v != 0;
+  return true;
+}
+
+std::array<int, 4> BatchReport::provenanceCounts() const {
+  std::array<int, 4> counts{};
+  for (const BatchRow& row : rows) {
+    counts[static_cast<int>(row.provenance)]++;
+  }
+  return counts;
+}
+
+BatchRunner::BatchRunner(BatchOptions options)
+    : options_(std::move(options)) {}
+
+BatchRow BatchRunner::runInline(const clip::Clip& clip,
+                                const tech::RuleConfig& rule) const {
+  BatchRow row;
+  row.clipId = clip.id;
+  row.ruleName = rule.name;
+  if (options_.preSolveHook) options_.preSolveHook(clip.id, rule.name);
+
+  auto techOr = tech::Technology::byName(clip.techName);
+  if (!techOr.isOk()) {
+    row.errorCode = techOr.status().code();
+    row.errorMessage = techOr.status().message();
+    return row;  // kError, no solution fields
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  core::OptRouter router(techOr.value(), rule, options_.router);
+  core::RouteResult res = router.route(clip);
+  row.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  row.status = res.status;
+  row.provenance = res.provenance;
+  row.errorCode = res.error.code();
+  row.errorMessage = res.error.message();
+  row.cost = res.cost;
+  row.wirelength = res.wirelength;
+  row.vias = res.vias;
+  row.bestBound = res.bestBound;
+  return row;
+}
+
+#if !defined(_WIN32)
+
+BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
+                                  const tech::RuleConfig& rule,
+                                  double timeoutSec) const {
+  BatchRow row;
+  row.clipId = clip.id;
+  row.ruleName = rule.name;
+
+  int fds[2];
+  if (pipe(fds) != 0) {
+    row.errorCode = ErrorCode::kIo;
+    row.errorMessage = std::string("pipe: ") + std::strerror(errno);
+    return row;
+  }
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    row.errorCode = ErrorCode::kIo;
+    row.errorMessage = std::string("fork: ") + std::strerror(errno);
+    return row;
+  }
+
+  if (pid == 0) {
+    // Worker: solve, ship one JSON line back, and exit without running any
+    // parent-owned teardown (_exit, not exit).
+    close(fds[0]);
+    BatchRow result = runInline(clip, rule);
+    std::string line = toJsonLine(result) + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+      ssize_t n = write(fds[1], line.data() + off, line.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+
+  // Parent: drain the pipe under the watchdog deadline.
+  close(fds[1]);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeoutSec);
+  std::string buffer;
+  bool timedOut = false;
+  char chunk[4096];
+  for (;;) {
+    auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remain.count() <= 0) {
+      timedOut = true;
+      break;
+    }
+    struct pollfd pfd{fds[0], POLLIN, 0};
+    int pr = poll(&pfd, 1, static_cast<int>(remain.count()));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) {
+      timedOut = true;
+      break;
+    }
+    ssize_t n = read(fds[0], chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF: worker finished (or died)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+
+  if (timedOut) kill(pid, SIGKILL);
+  int wstatus = 0;
+  while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+
+  if (timedOut) {
+    row.errorCode = ErrorCode::kDeadline;
+    std::ostringstream msg;
+    msg << "watchdog killed task after " << timeoutSec << "s";
+    row.errorMessage = msg.str();
+    row.seconds = timeoutSec;
+    return row;
+  }
+
+  std::size_t eol = buffer.find('\n');
+  BatchRow parsed;
+  if (eol != std::string::npos &&
+      fromJsonLine(buffer.substr(0, eol), parsed) &&
+      parsed.clipId == clip.id && parsed.ruleName == rule.name) {
+    return parsed;
+  }
+
+  // No complete row came back: the worker died mid-solve.
+  row.crashed = true;
+  row.errorCode = ErrorCode::kCrash;
+  std::ostringstream msg;
+  if (WIFSIGNALED(wstatus)) {
+    msg << "worker killed by signal " << WTERMSIG(wstatus);
+  } else {
+    msg << "worker exited with status "
+        << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1)
+        << " without a result";
+  }
+  row.errorMessage = msg.str();
+  return row;
+}
+
+#else  // _WIN32: no fork -- isolation degrades to an in-process run.
+
+BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
+                                  const tech::RuleConfig& rule,
+                                  double /*timeoutSec*/) const {
+  return runInline(clip, rule);
+}
+
+#endif
+
+BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
+                             const std::vector<tech::RuleConfig>& rules) {
+  BatchReport report;
+
+  // A solve that honors its MIP deadline finishes well inside this envelope;
+  // only a wedged or crashed worker ever meets the watchdog.
+  double timeoutSec = options_.taskTimeoutSec > 0
+                          ? options_.taskTimeoutSec
+                          : options_.router.mip.timeLimitSec * 3.0 + 10.0;
+
+  std::unordered_map<std::string, BatchRow> done;
+  if (!options_.checkpointPath.empty()) {
+    std::ifstream in(options_.checkpointPath);
+    std::string line;
+    while (std::getline(in, line)) {
+      BatchRow row;
+      if (fromJsonLine(line, row)) done.emplace(row.key(), row);
+      // Malformed / truncated lines (e.g. cut by a kill) are skipped; the
+      // task simply re-runs.
+    }
+  }
+
+  std::FILE* checkpoint = nullptr;
+  if (!options_.checkpointPath.empty()) {
+    checkpoint = std::fopen(options_.checkpointPath.c_str(), "a");
+  }
+
+  for (const clip::Clip& clip : clips) {
+    for (const tech::RuleConfig& rule : rules) {
+      std::string key = clip.id + "\x1f" + rule.name;
+      if (auto it = done.find(key); it != done.end()) {
+        report.rows.push_back(it->second);
+        ++report.resumed;
+        continue;
+      }
+      if (options_.stopAfter >= 0 && report.executed >= options_.stopAfter) {
+        report.stoppedEarly = true;
+        if (checkpoint) std::fclose(checkpoint);
+        return report;
+      }
+
+      BatchRow row = options_.isolateTasks
+                         ? runIsolated(clip, rule, timeoutSec)
+                         : runInline(clip, rule);
+      ++report.executed;
+      if (row.crashed) ++report.crashed;
+      if (row.errorCode == ErrorCode::kDeadline &&
+          row.errorMessage.rfind("watchdog", 0) == 0) {
+        ++report.timedOut;
+      }
+
+      if (checkpoint) {
+        std::string line = toJsonLine(row);
+        std::fprintf(checkpoint, "%s\n", line.c_str());
+        std::fflush(checkpoint);
+      }
+      report.rows.push_back(std::move(row));
+    }
+  }
+
+  if (checkpoint) std::fclose(checkpoint);
+  return report;
+}
+
+}  // namespace optr::harness

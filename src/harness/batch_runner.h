@@ -1,0 +1,104 @@
+// Batch sweep harness: runs a clip x rule matrix through OptRouter with the
+// per-clip isolation a long evaluation needs to survive.
+//
+// Robustness contract (the reason this layer exists -- see
+// docs/ROBUSTNESS.md):
+//   * one failed clip yields a recorded error row, never an aborted batch:
+//     by default each task runs in a forked worker, so even an abort() or a
+//     segfault inside the solver stack is contained and recorded;
+//   * a wall-clock watchdog kills a wedged task and records kDeadline;
+//   * every finished row is appended to a JSON-lines checkpoint file as it
+//     completes, so a killed sweep restarts where it stopped: tasks already
+//     in the checkpoint are loaded, not re-run, and the resumed run's final
+//     result set equals an uninterrupted run's (solves are deterministic).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "clip/clip.h"
+#include "common/status.h"
+#include "core/opt_router.h"
+#include "tech/rules.h"
+
+namespace optr::harness {
+
+struct BatchOptions {
+  core::OptRouterOptions router;
+  /// Wall-clock budget per task enforced by the parent (isolated mode) or
+  /// checked between tasks (inline mode). <= 0 derives a generous envelope
+  /// from the MIP time limit.
+  double taskTimeoutSec = 0.0;
+  /// Fork one worker per task (POSIX). Disable to run in-process -- faster
+  /// startup, but a crashing clip then takes the batch down with it.
+  bool isolateTasks = true;
+  /// JSON-lines checkpoint path; empty disables checkpoint/resume.
+  std::string checkpointPath;
+  /// Stop (gracefully) after this many *newly executed* tasks; < 0 runs all.
+  /// Lets callers shard a sweep or tests exercise the resume path.
+  int stopAfter = -1;
+  /// Test hook, called in the worker before the solve (crash injection).
+  std::function<void(const std::string& clipId, const std::string& ruleName)>
+      preSolveHook;
+};
+
+/// One clip x rule outcome. `errorCode`/`errorMessage` mirror
+/// RouteResult::error; rows for crashed or watchdog-killed workers carry
+/// kCrash / kDeadline and no solution fields.
+struct BatchRow {
+  std::string clipId;
+  std::string ruleName;
+  core::RouteStatus status = core::RouteStatus::kError;
+  core::Provenance provenance = core::Provenance::kNone;
+  ErrorCode errorCode = ErrorCode::kOk;
+  std::string errorMessage;
+  double cost = 0.0;
+  int wirelength = 0;
+  int vias = 0;
+  double bestBound = 0.0;
+  double seconds = 0.0;
+  bool crashed = false;  // isolation caught a worker death
+
+  std::string key() const { return clipId + "\x1f" + ruleName; }
+};
+
+/// Serialization used for both the checkpoint file and the worker pipe.
+std::string toJsonLine(const BatchRow& row);
+/// Parses one checkpoint line; false on malformed input (the loader skips
+/// such lines -- e.g. a row truncated by the kill that the resume recovers
+/// from).
+bool fromJsonLine(const std::string& line, BatchRow& row);
+
+struct BatchReport {
+  std::vector<BatchRow> rows;  // task order: clips outer, rules inner
+  int executed = 0;            // tasks run in this invocation
+  int resumed = 0;             // tasks loaded from the checkpoint
+  int crashed = 0;             // workers that died (contained)
+  int timedOut = 0;            // workers the watchdog killed
+  bool stoppedEarly = false;   // stopAfter kicked in
+
+  /// Rows per provenance rung, for regression-visible degradation counts.
+  std::array<int, 4> provenanceCounts() const;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  /// Runs the full clip x rule matrix. Technologies are resolved per clip
+  /// from Clip::techName; an unknown name yields a kUnavailable error row.
+  BatchReport run(const std::vector<clip::Clip>& clips,
+                  const std::vector<tech::RuleConfig>& rules);
+
+ private:
+  BatchRow runInline(const clip::Clip& clip,
+                     const tech::RuleConfig& rule) const;
+  BatchRow runIsolated(const clip::Clip& clip, const tech::RuleConfig& rule,
+                       double timeoutSec) const;
+
+  BatchOptions options_;
+};
+
+}  // namespace optr::harness

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "common/fault_injection.h"
+
 namespace optr::ilp {
 
 const char* toString(MipStatus s) {
@@ -23,8 +25,16 @@ MipSolver::MipSolver(lp::LpModel& model, std::vector<bool> isInteger,
       isInteger_(std::move(isInteger)),
       options_(options),
       lpSolver_(options.lpOptions) {
-  OPTR_ASSERT(static_cast<int>(isInteger_.size()) == model_.numCols(),
-              "integrality mask size mismatch");
+  // Caller-data condition, not an invariant: a mismatched mask must fail the
+  // solve recoverably instead of aborting a whole batch.
+  if (static_cast<int>(isInteger_.size()) != model_.numCols()) {
+    setupError_ = Status::error(ErrorCode::kInvalidInput,
+                                "integrality mask size mismatch: " +
+                                    std::to_string(isInteger_.size()) +
+                                    " marks for " +
+                                    std::to_string(model_.numCols()) +
+                                    " columns");
+  }
 }
 
 bool MipSolver::setInitialIncumbent(const std::vector<double>& x) {
@@ -66,6 +76,10 @@ int MipSolver::pickBranchVariable(const std::vector<double>& x) const {
 
 MipResult MipSolver::solve() {
   MipResult result;
+  if (!setupError_.isOk()) {
+    result.error = setupError_;
+    return result;  // kError
+  }
   auto t0 = std::chrono::steady_clock::now();
   deadline_ = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                        std::chrono::duration<double>(options_.timeLimitSec));
@@ -114,9 +128,11 @@ MipResult MipSolver::solve() {
   bool currentFromHeap = true;
   Node current{{}, -lp::kInfinity};
 
+  ErrorCode limitReason = ErrorCode::kOk;
   while (haveCurrent || !open.empty()) {
     if (timeUp() || result.nodes >= options_.maxNodes) {
       limitHit = true;
+      limitReason = timeUp() ? ErrorCode::kDeadline : ErrorCode::kIterationLimit;
       break;
     }
     Node node;
@@ -151,6 +167,9 @@ MipResult MipSolver::solve() {
     const lp::BasisSnapshot* warm = node.warm.get();
     lp::BasisSnapshot ownBasis;
     bool abortedOnTime = false;
+    bool nodeFailed = false;
+    bool retriedNode = false;
+    Status nodeError;
     for (;;) {
       // Give each LP the remaining wall-clock budget so a single hard LP
       // cannot blow through the MIP time limit.
@@ -162,6 +181,7 @@ MipResult MipSolver::solve() {
       lp::LpResult lpRes = lpSolver_.canContinue(model_)
                                ? lpSolver_.solveContinue(model_)
                                : lpSolver_.solve(model_, warm);
+      lpSolver_.options().forceBland = options_.lpOptions.forceBland;
       result.lpIterations += lpRes.iterations;
       if (lpRes.status == lp::LpStatus::kOptimal) {
         ownBasis = lpSolver_.snapshot();
@@ -170,22 +190,31 @@ MipResult MipSolver::solve() {
 
       if (lpRes.status == lp::LpStatus::kInfeasible) break;
       if (lpRes.status != lp::LpStatus::kOptimal) {
-        if (timeUp()) {
-          // The LP ran out of wall clock, not numerics: stop the search
-          // cleanly and report limit status below.
+        if (lpRes.detail.code() == ErrorCode::kDeadline || timeUp()) {
+          // The LP ran out of wall clock, not numerics (it inherits the
+          // MIP's remaining budget, so its deadline verdict is ours): stop
+          // the search cleanly and report limit status below.
           abortedOnTime = true;
           break;
         }
-        // Iteration limit / numerics: cannot trust this node's bound. Abort
-        // the whole solve rather than risk a wrong "optimal" answer.
-        undoFixes(node);
-        for (int c = 0; c < n; ++c)
-          model_.setBounds(c, rootLower[c], rootUpper[c]);
-        result.status = MipStatus::kError;
-        result.seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                .count();
-        return result;
+        // Iteration limit / numerics: this node's bound cannot be trusted.
+        // Recovery rung 1: retry the node once from a fresh factorization
+        // with Bland's rule forced before giving up on the proof.
+        if (options_.retryOnNumericalFailure && !retriedNode) {
+          retriedNode = true;
+          ++result.numericRetries;
+          lpSolver_.invalidate();
+          lpSolver_.options().forceBland = true;
+          warm = nullptr;  // the warm basis may itself be the problem
+          continue;
+        }
+        nodeFailed = true;
+        nodeError = lpRes.detail.isOk()
+                        ? Status::error(ErrorCode::kNumerical,
+                                        std::string("node LP failed: ") +
+                                            lp::toString(lpRes.status))
+                        : lpRes.detail;
+        break;
       }
 
       if (hasIncumbent_ && lpRes.objective >= incumbentObj_ - gapTol) {
@@ -194,8 +223,20 @@ MipResult MipSolver::solve() {
 
       int branchCol = pickBranchVariable(lpRes.x);
       if (branchCol < 0) {
-        // Integer feasible. Ask the separator for violated lazy rows.
-        int added = separator_ ? separator_(lpRes.x, model_) : 0;
+        // Integer feasible. Ask the separator for violated lazy rows. Trust
+        // the observed model delta over the reported count: a separator that
+        // over-reports (claims cuts it never appended) would otherwise pin
+        // the search to this node forever.
+        int added = 0;
+        if (separator_) {
+          const int rowsBefore = model_.numRows();
+          int reported = separator_(lpRes.x, model_);
+          added = model_.numRows() - rowsBefore;
+          if (fault::fire(fault::Site::kSeparatorOverReport)) {
+            reported = added + 3;
+          }
+          if (reported != added) ++result.separatorMisreports;
+        }
         if (added > 0) {
           result.lazyRowsAdded += added;
           continue;  // re-solve the same node against the new rows
@@ -227,11 +268,38 @@ MipResult MipSolver::solve() {
       break;
     }
     undoFixes(node);
+    if (nodeFailed) {
+      // Recovery rung 2: the retry failed too. Give up the optimality proof
+      // but keep the result useful -- surface the best incumbent (validated
+      // feasible when present) and a still-valid global lower bound from the
+      // unexplored frontier; kError tells the caller no proof survives.
+      for (int c = 0; c < n; ++c)
+        model_.setBounds(c, rootLower[c], rootUpper[c]);
+      double frontier = node.bound;
+      if (haveCurrent) frontier = std::min(frontier, current.bound);
+      if (!open.empty()) frontier = std::min(frontier, open.top().bound);
+      if (hasIncumbent_) {
+        result.objective = incumbentObj_;
+        result.x = incumbent_;
+        for (int c = 0; c < n; ++c) {
+          if (isInteger_[c]) result.x[c] = std::round(result.x[c]);
+        }
+        frontier = std::min(frontier, incumbentObj_);
+      }
+      result.bestBound = frontier;
+      result.error = nodeError;
+      result.status = MipStatus::kError;
+      result.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      return result;
+    }
     if (abortedOnTime) {
       // The interrupted node stays conceptually open: push it back so the
       // frontier bound stays valid for reporting.
       open.push(std::move(node));
       limitHit = true;
+      limitReason = ErrorCode::kDeadline;
       break;
     }
   }
@@ -266,6 +334,12 @@ MipResult MipSolver::solve() {
     result.bestBound = bestBound;
     result.status =
         unexplored ? MipStatus::kNoSolutionLimit : MipStatus::kInfeasible;
+  }
+  if (unexplored) {
+    ErrorCode code =
+        limitReason == ErrorCode::kOk ? ErrorCode::kDeadline : limitReason;
+    result.error = Status::error(
+        code, std::string("search truncated: ") + optr::toString(code));
   }
   return result;
 }

@@ -40,6 +40,9 @@ struct MipOptions {
   double timeLimitSec = 300.0;
   std::int64_t maxNodes = 1000000;
   double intTol = 1e-6;
+  /// On an LP numerical failure at a node, retry that node once from a
+  /// fresh factorization with Bland's rule forced before giving up.
+  bool retryOnNumericalFailure = true;
   /// Prune when nodeBound >= incumbent - objectiveGapTol. Routing objectives
   /// are integral multiples of the cost unit, so callers may raise this to
   /// (unit - epsilon) for stronger pruning.
@@ -56,10 +59,21 @@ struct MipResult {
   std::int64_t lpIterations = 0;
   int lazyRowsAdded = 0;
   double seconds = 0.0;
+  /// Why the solve degraded (kError, or a limit status): machine-readable
+  /// code + message from the failing layer. OK for kOptimal / kInfeasible.
+  Status error = Status::ok();
+  /// Numerical node failures recovered by the fresh-factorization retry.
+  int numericRetries = 0;
+  /// Separator calls whose reported row count disagreed with the rows
+  /// actually appended (the solver trusts the model delta, not the report).
+  int separatorMisreports = 0;
 
   bool hasSolution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasibleLimit;
   }
+  /// True when `x` holds a model-feasible incumbent even though the status
+  /// is an error (the recovery ladder falls back to it).
+  bool hasIncumbent() const { return !x.empty(); }
 };
 
 /// Separation callback. Inspects an integer-feasible candidate `x` and
@@ -108,6 +122,7 @@ class MipSolver {
   lp::LpModel& model_;
   std::vector<bool> isInteger_;
   MipOptions options_;
+  Status setupError_ = Status::ok();  // bad construction input, reported by solve()
   LazySeparator separator_;
   lp::SimplexSolver lpSolver_;
 

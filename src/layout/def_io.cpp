@@ -88,7 +88,7 @@ StatusOr<Design> readDef(const std::string& defText, const CellLibrary& lib) {
     } else if (tokens[0] == "DIEAREA" && tokens.size() >= 10) {
       auto w = parseInt(tokens[6]);
       auto h = parseInt(tokens[7]);
-      if (!w || !h) return Status::error("DEF: bad DIEAREA");
+      if (!w || !h) return Status::error(ErrorCode::kParse, "DEF: bad DIEAREA");
       d.sitesPerRow = static_cast<int>(*w / lib.siteWidthNm());
       d.rows = static_cast<int>(*h / lib.cellHeightNm());
     } else if (tokens[0] == "COMPONENTS") {
@@ -102,45 +102,45 @@ StatusOr<Design> readDef(const std::string& defText, const CellLibrary& lib) {
       }
     } else if (tokens[0] == "-" && section == Section::kComponents) {
       // - <name> <master> + PLACED ( x y ) N ;
-      if (tokens.size() < 10) return Status::error("DEF: short component");
+      if (tokens.size() < 10) return Status::error(ErrorCode::kParse, "DEF: short component");
       Instance inst;
       inst.name = std::string(tokens[1]);
       const CellMaster* master = lib.byName(std::string(tokens[2]));
       if (master == nullptr)
-        return Status::error("DEF: unknown master " + std::string(tokens[2]));
+        return Status::error(ErrorCode::kParse, "DEF: unknown master " + std::string(tokens[2]));
       for (int mi = 0; mi < lib.numMasters(); ++mi) {
         if (&lib.master(mi) == master) inst.master = mi;
       }
       auto x = parseInt(tokens[6]);
       auto y = parseInt(tokens[7]);
-      if (!x || !y) return Status::error("DEF: bad placement");
+      if (!x || !y) return Status::error(ErrorCode::kParse, "DEF: bad placement");
       inst.siteX = static_cast<int>(*x / lib.siteWidthNm());
       inst.row = static_cast<int>(*y / lib.cellHeightNm());
       instByName[inst.name] = static_cast<int>(d.instances.size());
       d.instances.push_back(std::move(inst));
     } else if (tokens[0] == "-" && section == Section::kNets) {
       // - <name> ( inst pin ) ( inst pin ) ... ;
-      if (tokens.size() < 2) return Status::error("DEF: short net");
+      if (tokens.size() < 2) return Status::error(ErrorCode::kParse, "DEF: short net");
       DesignNet net;
       net.name = std::string(tokens[1]);
       std::size_t i = 2;
       while (i + 3 < tokens.size() && tokens[i] == "(") {
         auto it = instByName.find(std::string(tokens[i + 1]));
         if (it == instByName.end())
-          return Status::error("DEF: net references unknown component");
+          return Status::error(ErrorCode::kParse, "DEF: net references unknown component");
         const CellMaster& m = lib.master(d.instances[it->second].master);
         int pinIdx = -1;
         for (std::size_t p = 0; p < m.pins.size(); ++p) {
           if (m.pins[p].name == tokens[i + 2]) pinIdx = static_cast<int>(p);
         }
-        if (pinIdx < 0) return Status::error("DEF: unknown pin");
+        if (pinIdx < 0) return Status::error(ErrorCode::kParse, "DEF: unknown pin");
         net.terminals.push_back({it->second, pinIdx});
         i += 4;
       }
       if (net.terminals.size() >= 2) d.nets.push_back(std::move(net));
     }
   }
-  if (d.name.empty()) return Status::error("DEF: missing DESIGN");
+  if (d.name.empty()) return Status::error(ErrorCode::kParse, "DEF: missing DESIGN");
   return d;
 }
 
@@ -148,15 +148,15 @@ Status saveDesign(const std::string& lefPath, const std::string& defPath,
                   const Design& design, const CellLibrary& lib) {
   {
     std::ofstream out(lefPath);
-    if (!out) return Status::error("cannot open " + lefPath);
+    if (!out) return Status::error(ErrorCode::kIo, "cannot open " + lefPath);
     out << writeLef(lib);
-    if (!out.good()) return Status::error("write failed: " + lefPath);
+    if (!out.good()) return Status::error(ErrorCode::kIo, "write failed: " + lefPath);
   }
   {
     std::ofstream out(defPath);
-    if (!out) return Status::error("cannot open " + defPath);
+    if (!out) return Status::error(ErrorCode::kIo, "cannot open " + defPath);
     out << writeDef(design, lib);
-    if (!out.good()) return Status::error("write failed: " + defPath);
+    if (!out.good()) return Status::error(ErrorCode::kIo, "write failed: " + defPath);
   }
   return Status::ok();
 }

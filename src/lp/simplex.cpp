@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/fault_injection.h"
+
 namespace optr::lp {
 
 const char* toString(LpStatus s) {
@@ -164,11 +166,12 @@ void SimplexSolver::setup(const LpModel& model, const BasisSnapshot* warm) {
   rhsWork_.assign(numRows_, 0.0);
   iterations_ = 0;
   stallCount_ = 0;
-  blandMode_ = false;
+  blandMode_ = options_.forceBland;
   stateValid_ = false;
 }
 
 bool SimplexSolver::refactorize() {
+  if (fault::fire(fault::Site::kSingularBasis)) return false;
   // Rebuild Binv by Gauss-Jordan elimination of the basis matrix B, stored
   // row-major with rows = constraint rows and columns = basis slots. The
   // row-major inverse then has rows = basis slots and columns = constraint
@@ -287,12 +290,24 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
   // Periodic refactorization costs O(m^3); at large m let the product-form
   // updates run longer between rebuilds (the post-solve feasibility check
   // catches accumulated drift and retries from a fresh factorization).
-  const int refactorInterval = std::max(options_.refactorInterval, m);
+  // Tiny configured intervals are honored verbatim so tests can force the
+  // refactorization path on small models.
+  const int refactorInterval =
+      options_.refactorInterval <= 16 ? std::max(options_.refactorInterval, 1)
+                                      : std::max(options_.refactorInterval, m);
   yValid_ = false;
   for (;;) {
-    if (iterationBudget-- <= 0) return LpStatus::kIterLimit;
+    if (iterationBudget-- <= 0) {
+      stopReason_ = ErrorCode::kIterationLimit;
+      return LpStatus::kIterLimit;
+    }
     if (hasDeadline && (iterations_ & 63) == 0 &&
         std::chrono::steady_clock::now() >= deadline) {
+      stopReason_ = ErrorCode::kDeadline;
+      return LpStatus::kIterLimit;
+    }
+    if (fault::fire(fault::Site::kLpDeadline)) {
+      stopReason_ = ErrorCode::kDeadline;
       return LpStatus::kIterLimit;
     }
     ++iterations_;
@@ -444,6 +459,7 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
       if (upperB_[entering] == kInfinity) {
         // Unbounded direction. In phase 1 the objective (total violation)
         // is bounded below by zero, so this cannot persist: numerics.
+        stopReason_ = ErrorCode::kNumerical;
         return phase1 ? LpStatus::kNumericalError : LpStatus::kUnbounded;
       }
       double t = upperB_[entering] - lowerB_[entering];
@@ -461,7 +477,7 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
       if (++stallCount_ >= options_.blandAfterStalls) blandMode_ = true;
     } else {
       stallCount_ = 0;
-      blandMode_ = false;
+      blandMode_ = options_.forceBland;
     }
 
     for (int slot = 0; slot < m; ++slot) {
@@ -483,7 +499,10 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
 
     double piv = w_[leavingSlot];
     if (std::abs(piv) < options_.pivotTol) {
-      if (!refactorize()) return LpStatus::kNumericalError;
+      if (!refactorize()) {
+        stopReason_ = ErrorCode::kSingularBasis;
+        return LpStatus::kNumericalError;
+      }
       continue;
     }
     double invPiv = 1.0 / piv;
@@ -500,13 +519,45 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
       // Dual update: the entering column's reduced cost must drop to zero;
       // y' = y + d_e * (new pivot row of Binv).
       for (int k = 0; k < m; ++k) y_[k] += dEnter * pivotRow[k];
+      if (fault::fire(fault::Site::kDualDrift)) {
+        // Injected drift: corrupt the incremental duals the way accumulated
+        // floating-point error would. The post-solve re-pricing pass in
+        // runPhases must detect and repair this.
+        for (int k = 0; k < m; ++k) y_[k] += 0.125 * (1 + (k & 3));
+      }
     }
 
     if (++sinceRefactor >= refactorInterval) {
-      if (!refactorize()) return LpStatus::kNumericalError;
+      if (!refactorize()) {
+        stopReason_ = ErrorCode::kSingularBasis;
+        return LpStatus::kNumericalError;
+      }
       sinceRefactor = 0;
     }
   }
+}
+
+bool SimplexSolver::phase2ImprovingColumn() {
+  const int m = numRows_;
+  std::fill(y_.begin(), y_.end(), 0.0);
+  for (int slot = 0; slot < m; ++slot) {
+    int bj = basis_[slot];
+    double cb = bj < numStruct_ ? model_->objective(bj) : 0.0;
+    if (cb == 0.0) continue;
+    const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+    for (int r = 0; r < m; ++r) y_[r] += cb * row[r];
+  }
+  yValid_ = true;
+  for (int j = 0; j < totalCols(); ++j) {
+    VarState st = state_[j];
+    if (st == VarState::kBasic) continue;
+    if (lowerB_[j] == upperB_[j]) continue;
+    double cj = j < numStruct_ ? model_->objective(j) : 0.0;
+    double d = cj - columnDot(j, y_);
+    if (st == VarState::kAtLower && d < -options_.optTol) return true;
+    if (st == VarState::kAtUpper && d > options_.optTol) return true;
+  }
+  return false;
 }
 
 LpResult SimplexSolver::solve(const LpModel& model,
@@ -568,6 +619,19 @@ LpResult SimplexSolver::solveContinue(const LpModel& model) {
   // B' = [[B, 0], [C, S]] with S the new slacks, the inverse is
   // [[B^-1, 0], [-S^-1 C B^-1, S^-1]]; each new row costs O(nnz_basic x m).
   const int newRows = model.numRows() - numRows_;
+  for (int r = numRows_; r < model.numRows(); ++r) {
+    if (model.sense(r) == RowSense::kEq) {
+      // A misbehaving separator appended an equality row; the incremental
+      // absorption below only handles slacked inequalities. Refuse the
+      // continuation (the caller falls back to a cold solve, which handles
+      // equality rows via artificials) instead of corrupting the basis.
+      stateValid_ = false;
+      result.status = LpStatus::kNumericalError;
+      result.detail = Status::error(ErrorCode::kInvalidInput,
+                                    "appended row must be an inequality");
+      return result;
+    }
+  }
   if (newRows > 0) {
     const int mOld = numRows_;
     const int m = model.numRows();
@@ -651,8 +715,7 @@ LpResult SimplexSolver::solveContinue(const LpModel& model) {
     }
     for (int r = mOld; r < m; ++r) {
       int slot = r;
-      int col = slackCol_[r];
-      OPTR_ASSERT(col >= 0, "appended row must be an inequality");
+      int col = slackCol_[r];  // non-negative: equality rows rejected above
       basis_[slot] = col;
       basisSlot_[col] = slot;
       state_[col] = VarState::kBasic;
@@ -692,14 +755,23 @@ LpResult SimplexSolver::solveContinue(const LpModel& model) {
   recomputeBasicValues();
   iterations_ = 0;
   stallCount_ = 0;
-  blandMode_ = false;
+  blandMode_ = options_.forceBland;
   return runPhases(model);
 }
 
 LpResult SimplexSolver::runPhases(const LpModel& model) {
   LpResult result;
   stateValid_ = false;
+  stopReason_ = ErrorCode::kOk;
   std::int64_t budget = options_.maxIterations;
+  auto stopDetail = [this](LpStatus st) {
+    if (st == LpStatus::kOptimal || st == LpStatus::kInfeasible ||
+        stopReason_ == ErrorCode::kOk) {
+      return Status::ok();
+    }
+    return Status::error(stopReason_, std::string("simplex stopped: ") +
+                                          optr::toString(stopReason_));
+  };
 
   LpStatus st = iterate(budget, /*phase1=*/true);
   result.iterations = iterations_;
@@ -709,15 +781,30 @@ LpResult SimplexSolver::runPhases(const LpModel& model) {
       stateValid_ = true;  // basis is consistent; continuation is fine
     }
     result.status = st;
+    result.detail = stopDetail(st);
     return result;
   }
 
-  blandMode_ = false;
+  blandMode_ = options_.forceBland;
   stallCount_ = 0;
   st = iterate(budget, /*phase1=*/false);
+  // Dual-drift safety net: "optimal" may rest on incrementally-updated duals
+  // that accumulated error. Re-price against duals rebuilt from the basis
+  // inverse; if an improving column survives, the claim was premature --
+  // resume pivoting (bounded rounds so persistent corruption cannot loop).
+  int repriceRounds = 0;
+  while (st == LpStatus::kOptimal && phase2ImprovingColumn()) {
+    if (++repriceRounds > 3) {
+      stopReason_ = ErrorCode::kNumerical;
+      st = LpStatus::kNumericalError;
+      break;
+    }
+    st = iterate(budget, /*phase1=*/false);
+  }
   result.iterations = iterations_;
   if (st != LpStatus::kOptimal) {
     result.status = st;
+    result.detail = stopDetail(st);
     return result;
   }
 
@@ -745,6 +832,8 @@ LpResult SimplexSolver::runPhases(const LpModel& model) {
     }
     if (!recovered && !model.isFeasible(result.x, 1e-4)) {
       result.status = LpStatus::kNumericalError;
+      result.detail = Status::error(ErrorCode::kNumerical,
+                                    "primal drift unrecovered by refactor");
     }
   }
   stateValid_ = (result.status == LpStatus::kOptimal);

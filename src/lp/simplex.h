@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "lp/lp_model.h"
 
 namespace optr::lp {
@@ -43,6 +44,9 @@ struct SimplexOptions {
   double pivotTol = 1e-9;   // minimum acceptable pivot magnitude
   int refactorInterval = 256;
   int blandAfterStalls = 512;  // degenerate pivots before Bland's rule
+  /// Run Bland's rule from the first pivot. Slower but immune to cycling;
+  /// the MIP's numerical-failure retry sets this for the repeated solve.
+  bool forceBland = false;
   /// Wall-clock budget per solve; <= 0 disables. Checked every few dozen
   /// pivots; an expired solve returns kIterLimit (callers treat it like an
   /// exhausted iteration budget).
@@ -55,6 +59,10 @@ struct LpResult {
   std::vector<double> x;  // structural variables only (model columns)
   std::int64_t iterations = 0;
   double phase1Infeasibility = 0.0;
+  /// Why a non-optimal solve stopped, machine-readable: kDeadline vs
+  /// kIterationLimit for kIterLimit; kSingularBasis vs kNumerical for
+  /// kNumericalError; kInvalidInput for structurally bad continuations.
+  Status detail = Status::ok();
 };
 
 /// A restartable description of a basis, robust against rows being appended
@@ -96,6 +104,10 @@ class SimplexSolver {
   /// Basis of the most recent successful solve, for future warm starts.
   BasisSnapshot snapshot() const;
 
+  /// Drops the continue-in-place state so the next solve() starts from a
+  /// fresh factorization (the MIP's numerical-recovery retry calls this).
+  void invalidate() { stateValid_ = false; }
+
   const SimplexOptions& options() const { return options_; }
   SimplexOptions& options() { return options_; }
 
@@ -114,6 +126,10 @@ class SimplexSolver {
   bool refactorize();
   void recomputeBasicValues();
   double totalInfeasibility() const;
+  /// Rebuilds phase-2 duals from the current basis and prices every column;
+  /// true when an improving column remains (i.e. "optimal" was premature --
+  /// the incremental dual updates drifted). Leaves y_ fresh on return.
+  bool phase2ImprovingColumn();
 
   SimplexOptions options_;
 
@@ -142,6 +158,7 @@ class SimplexSolver {
   std::int64_t iterations_ = 0;
   int stallCount_ = 0;
   bool blandMode_ = false;
+  ErrorCode stopReason_ = ErrorCode::kOk;  // set when iterate() bails out
   bool stateValid_ = false;  // internal state matches model_ for continue
   bool yValid_ = false;      // y_ matches the current basis (phase-2 only)
 };

@@ -29,7 +29,7 @@ StatusOr<RuleConfig> ruleByName(const std::string& name) {
   for (const RuleConfig& rc : table3Rules()) {
     if (rc.name == name) return rc;
   }
-  return Status::error("unknown rule configuration: " + name);
+  return Status::error(ErrorCode::kUnavailable, "unknown rule configuration: " + name);
 }
 
 bool ruleApplicable(const RuleConfig& rule, const Technology& techn) {

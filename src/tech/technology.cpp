@@ -62,7 +62,7 @@ StatusOr<Technology> Technology::byName(const std::string& name) {
   for (const Technology& t : all()) {
     if (t.name == name) return t;
   }
-  return Status::error("unknown technology: " + name);
+  return Status::error(ErrorCode::kUnavailable, "unknown technology: " + name);
 }
 
 }  // namespace optr::tech

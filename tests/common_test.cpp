@@ -1,10 +1,12 @@
-// Tests for the common utilities: geometry, RNG determinism, strings.
+// Tests for the common utilities: geometry, RNG determinism, strings, and
+// the Status / ErrorCode taxonomy.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "common/geometry.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/strings.h"
 
 namespace optr {
@@ -105,6 +107,63 @@ TEST(Strings, StartsWithAndFormat) {
   EXPECT_TRUE(startsWith("RULE10", "RULE"));
   EXPECT_FALSE(startsWith("RU", "RULE"));
   EXPECT_EQ(strFormat("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(Status, DefaultIsOkWithOkCode) {
+  Status s;
+  EXPECT_TRUE(s.isOk());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(Status::ok().code(), ErrorCode::kOk);
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::error(ErrorCode::kDeadline, "out of time");
+  EXPECT_FALSE(s.isOk());
+  EXPECT_EQ(s.code(), ErrorCode::kDeadline);
+  EXPECT_EQ(s.message(), "out of time");
+  // Untagged errors and a (nonsensical) kOk tag both land on kInternal:
+  // an error Status must never claim to be OK.
+  EXPECT_EQ(Status::error("legacy").code(), ErrorCode::kInternal);
+  EXPECT_EQ(Status::error(ErrorCode::kOk, "mislabeled").code(),
+            ErrorCode::kInternal);
+}
+
+TEST(Status, ErrorCodeStringsRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    auto c = static_cast<ErrorCode>(i);
+    EXPECT_EQ(errorCodeFromString(toString(c)), c) << toString(c);
+  }
+  EXPECT_EQ(errorCodeFromString("no-such-code"), ErrorCode::kInternal);
+  EXPECT_STREQ(toString(ErrorCode::kSingularBasis), "singular-basis");
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  auto fn = [](int v) -> Status {
+    OPTR_RETURN_IF_ERROR(v < 0 ? Status::error(ErrorCode::kInvalidInput,
+                                               "negative input")
+                               : Status::ok());
+    return Status::error(ErrorCode::kInternal, "fell through");
+  };
+  EXPECT_EQ(fn(-1).code(), ErrorCode::kInvalidInput);
+  EXPECT_EQ(fn(1).code(), ErrorCode::kInternal);  // macro did not return
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> ok(42);
+  ASSERT_TRUE(ok.isOk());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+
+  StatusOr<int> err(Status::error(ErrorCode::kUnavailable, "missing"));
+  EXPECT_FALSE(err.isOk());
+  EXPECT_EQ(err.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(err.status().message(), "missing");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> err(Status::error(ErrorCode::kNumerical, "bad pivot"));
+  EXPECT_DEATH({ (void)err.value(); }, "StatusOr::value.*numerical");
 }
 
 }  // namespace

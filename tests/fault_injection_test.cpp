@@ -1,0 +1,215 @@
+// Fault-injection coverage of the recovery ladder: every injected solver
+// fault must produce a degraded-but-valid result -- correct taxonomy code,
+// honest provenance, DRC-clean solution (or none) -- and, with injection
+// disarmed, behavior must be bit-identical to a clean run.
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "core/opt_router.h"
+#include "lp/simplex.h"
+#include "route/drc.h"
+#include "tech/technology.h"
+#include "test_clips.h"
+
+namespace optr {
+namespace {
+
+using clip::TrackPoint;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+
+  static clip::Clip testClip() {
+    // Two crossing nets: forces layer changes, a non-trivial ILP.
+    return testing::makeSimpleClip(
+        5, 5, 3,
+        {{TrackPoint{0, 0, 0}, TrackPoint{4, 4, 0}},
+         {TrackPoint{0, 4, 0}, TrackPoint{4, 0, 0}}});
+  }
+
+  static core::OptRouterOptions routerOptions() {
+    core::OptRouterOptions opt;
+    opt.mip.timeLimitSec = 30.0;
+    // Small clips rarely hit the default interval; force frequent
+    // refactorization so the kSingularBasis probe is reachable.
+    opt.mip.lpOptions.refactorInterval = 4;
+    return opt;
+  }
+
+  static core::RouteResult route(const clip::Clip& c,
+                                 core::OptRouterOptions opt) {
+    auto techn = tech::Technology::byName(c.techName).value();
+    auto rule = tech::ruleByName("RULE1").value();
+    return core::OptRouter(techn, rule, opt).route(c);
+  }
+
+  static void expectDrcClean(const clip::Clip& c,
+                             const core::RouteResult& res) {
+    auto techn = tech::Technology::byName(c.techName).value();
+    auto rule = tech::ruleByName("RULE1").value();
+    grid::RoutingGraph graph(c, techn, rule);
+    route::DrcChecker drc(c, graph);
+    EXPECT_TRUE(drc.check(res.solution).empty());
+  }
+};
+
+TEST_F(FaultInjectionTest, CountdownAndRepeatSemantics) {
+  fault::arm(fault::Site::kDualDrift, /*countdown=*/2, /*times=*/2);
+  EXPECT_FALSE(fault::fire(fault::Site::kDualDrift));
+  EXPECT_FALSE(fault::fire(fault::Site::kDualDrift));
+  EXPECT_TRUE(fault::fire(fault::Site::kDualDrift));
+  EXPECT_TRUE(fault::fire(fault::Site::kDualDrift));
+  EXPECT_FALSE(fault::fire(fault::Site::kDualDrift));
+  EXPECT_EQ(fault::fireCount(fault::Site::kDualDrift), 2);
+  // Sites are independent.
+  EXPECT_FALSE(fault::fire(fault::Site::kSingularBasis));
+  fault::reset();
+  EXPECT_FALSE(fault::anyArmed());
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    fault::ScopedFault f(fault::Site::kLpDeadline, 0, fault::kAlways);
+    EXPECT_TRUE(fault::anyArmed());
+    EXPECT_TRUE(fault::fire(fault::Site::kLpDeadline));
+    EXPECT_EQ(f.fired(), 1);
+  }
+  EXPECT_FALSE(fault::anyArmed());
+  EXPECT_FALSE(fault::fire(fault::Site::kLpDeadline));
+}
+
+TEST_F(FaultInjectionTest, DisarmedRunsAreDeterministic) {
+  clip::Clip c = testClip();
+  core::RouteResult a = route(c, routerOptions());
+  core::RouteResult b = route(c, routerOptions());
+  ASSERT_EQ(a.status, core::RouteStatus::kOptimal);
+  EXPECT_EQ(a.provenance, core::Provenance::kIlpProven);
+  EXPECT_TRUE(a.error.isOk());
+  EXPECT_EQ(a.cost, b.cost);  // bit-identical, not just approximately
+  EXPECT_EQ(a.wirelength, b.wirelength);
+  EXPECT_EQ(a.vias, b.vias);
+  EXPECT_EQ(a.lpIterations, b.lpIterations);
+  EXPECT_EQ(a.solverRetries, 0);
+}
+
+TEST_F(FaultInjectionTest, SingleSingularBasisIsRetriedTransparently) {
+  clip::Clip c = testClip();
+  core::RouteResult clean = route(c, routerOptions());
+  ASSERT_EQ(clean.status, core::RouteStatus::kOptimal);
+
+  fault::ScopedFault f(fault::Site::kSingularBasis, 0, 1);
+  core::RouteResult res = route(c, routerOptions());
+  EXPECT_EQ(f.fired(), 1);
+  // The ladder's first rung absorbs the failure: same proven optimum.
+  EXPECT_EQ(res.status, core::RouteStatus::kOptimal);
+  EXPECT_EQ(res.provenance, core::Provenance::kIlpProven);
+  EXPECT_EQ(res.cost, clean.cost);
+  expectDrcClean(c, res);
+}
+
+TEST_F(FaultInjectionTest, PersistentSingularBasisFallsBackToIncumbent) {
+  clip::Clip c = testClip();
+  core::RouteResult clean = route(c, routerOptions());
+  ASSERT_EQ(clean.status, core::RouteStatus::kOptimal);
+
+  // Every refactorization fails: the ILP cannot run at all, so the ladder
+  // must hand back the warm-start incumbent -- validated, honestly tagged.
+  fault::ScopedFault f(fault::Site::kSingularBasis, 0, fault::kAlways);
+  core::RouteResult res = route(c, routerOptions());
+  EXPECT_GE(f.fired(), 2);  // original attempt + Bland-rule retry
+  ASSERT_TRUE(res.hasSolution());
+  EXPECT_EQ(res.status, core::RouteStatus::kFeasible);
+  EXPECT_EQ(res.provenance, core::Provenance::kIlpIncumbent);
+  EXPECT_EQ(res.error.code(), ErrorCode::kSingularBasis);
+  EXPECT_GE(res.solverRetries, 1);
+  // Degraded, never wrong: at least as costly as the proven optimum, and
+  // rule-clean.
+  EXPECT_GE(res.cost, clean.cost);
+  expectDrcClean(c, res);
+}
+
+TEST_F(FaultInjectionTest, PersistentFailureWithoutWarmStartUsesMazeRung) {
+  clip::Clip c = testClip();
+  core::RouteResult clean = route(c, routerOptions());
+  ASSERT_EQ(clean.status, core::RouteStatus::kOptimal);
+
+  core::OptRouterOptions opt = routerOptions();
+  opt.warmStart = false;  // no incumbent rung available
+  fault::ScopedFault f(fault::Site::kSingularBasis, 0, fault::kAlways);
+  core::RouteResult res = route(c, opt);
+  EXPECT_GE(f.fired(), 2);
+  ASSERT_TRUE(res.hasSolution());
+  EXPECT_EQ(res.provenance, core::Provenance::kMazeFallback);
+  EXPECT_EQ(res.status, core::RouteStatus::kFeasible);
+  EXPECT_EQ(res.error.code(), ErrorCode::kSingularBasis);
+  EXPECT_GE(res.cost, clean.cost);
+  expectDrcClean(c, res);
+}
+
+TEST_F(FaultInjectionTest, LpDeadlineFaultDegradesWithDeadlineCode) {
+  clip::Clip c = testClip();
+  core::RouteResult clean = route(c, routerOptions());
+  ASSERT_EQ(clean.status, core::RouteStatus::kOptimal);
+
+  // Deadline expires on every pivot: the search is truncated immediately.
+  fault::ScopedFault f(fault::Site::kLpDeadline, 0, fault::kAlways);
+  core::RouteResult res = route(c, routerOptions());
+  EXPECT_GE(f.fired(), 1);
+  EXPECT_EQ(res.error.code(), ErrorCode::kDeadline);
+  ASSERT_TRUE(res.hasSolution());  // warm-start incumbent or maze fallback
+  EXPECT_NE(res.provenance, core::Provenance::kIlpProven);
+  EXPECT_GE(res.cost, clean.cost);
+  expectDrcClean(c, res);
+}
+
+TEST_F(FaultInjectionTest, DualDriftIsRepairedByRepricing) {
+  // LP-level: corrupt the incremental duals mid-solve; the post-solve
+  // re-pricing pass must detect the bogus "optimal" and keep pivoting.
+  Rng rng(17);
+  lp::LpModel m;
+  for (int cidx = 0; cidx < 12; ++cidx) {
+    m.addColumn(-1.0 - 0.01 * static_cast<double>(rng.uniform(9)), 0, 1);
+  }
+  for (int r = 0; r < 12; ++r) {
+    lp::RowBuilder rb;
+    for (int cidx = 0; cidx < 12; ++cidx) {
+      if (rng.chance(0.5)) {
+        rb.add(cidx, 1.0 + static_cast<double>(rng.uniform(3)));
+      }
+    }
+    rb.sense = lp::RowSense::kLe;
+    rb.rhs = static_cast<double>(2 + rng.uniform(3));
+    m.addRow(rb);
+  }
+
+  lp::SimplexSolver solver;
+  lp::LpResult clean = solver.solve(m);
+  ASSERT_EQ(clean.status, lp::LpStatus::kOptimal);
+
+  fault::ScopedFault f(fault::Site::kDualDrift, /*countdown=*/1, /*times=*/1);
+  lp::SimplexSolver faulted;
+  lp::LpResult res = faulted.solve(m);
+  EXPECT_EQ(f.fired(), 1);
+  ASSERT_EQ(res.status, lp::LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, clean.objective, 1e-9);
+}
+
+TEST_F(FaultInjectionTest, CleanRunAfterFaultsMatchesBaseline) {
+  clip::Clip c = testClip();
+  core::RouteResult clean = route(c, routerOptions());
+  {
+    fault::ScopedFault f(fault::Site::kSingularBasis, 0, fault::kAlways);
+    (void)route(c, routerOptions());
+  }
+  // No sticky state: once disarmed, results are bit-identical again.
+  core::RouteResult after = route(c, routerOptions());
+  EXPECT_EQ(after.status, clean.status);
+  EXPECT_EQ(after.cost, clean.cost);
+  EXPECT_EQ(after.lpIterations, clean.lpIterations);
+}
+
+}  // namespace
+}  // namespace optr

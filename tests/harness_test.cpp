@@ -1,0 +1,237 @@
+// BatchRunner: per-clip isolation (a crashing or wedged task becomes a row,
+// never an aborted batch) and JSONL checkpoint/resume (a killed sweep resumes
+// to the same result set an uninterrupted run produces).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "harness/batch_runner.h"
+#include "test_clips.h"
+
+namespace optr::harness {
+namespace {
+
+using clip::TrackPoint;
+
+std::vector<clip::Clip> twoClips() {
+  clip::Clip a = testing::makeSimpleClip(
+      4, 4, 2, {{TrackPoint{0, 0, 0}, TrackPoint{3, 3, 0}}});
+  a.id = "clipA";
+  clip::Clip b = testing::makeSimpleClip(
+      4, 4, 2,
+      {{TrackPoint{0, 0, 0}, TrackPoint{3, 0, 0}},
+       {TrackPoint{0, 2, 0}, TrackPoint{3, 2, 0}}});
+  b.id = "clipB";
+  return {a, b};
+}
+
+std::vector<tech::RuleConfig> twoRules() {
+  return {tech::ruleByName("RULE1").value(), tech::ruleByName("RULE2").value()};
+}
+
+BatchOptions fastOptions() {
+  BatchOptions opt;
+  opt.router.mip.timeLimitSec = 20.0;
+  opt.isolateTasks = false;  // in-process: fast, and these clips are benign
+  return opt;
+}
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+TEST(BatchRow, JsonRoundTripIncludingEscapes) {
+  BatchRow row;
+  row.clipId = "clip \"7\"\\x";
+  row.ruleName = "RULE3";
+  row.status = core::RouteStatus::kFeasible;
+  row.provenance = core::Provenance::kIlpIncumbent;
+  row.errorCode = ErrorCode::kDeadline;
+  row.errorMessage = "line1\nline2\ttabbed";
+  row.cost = 42.5;
+  row.wirelength = 30;
+  row.vias = 3;
+  row.bestBound = 41.0;
+  row.seconds = 0.125;
+  row.crashed = true;
+
+  BatchRow back;
+  ASSERT_TRUE(fromJsonLine(toJsonLine(row), back));
+  EXPECT_EQ(back.clipId, row.clipId);
+  EXPECT_EQ(back.ruleName, row.ruleName);
+  EXPECT_EQ(back.status, row.status);
+  EXPECT_EQ(back.provenance, row.provenance);
+  EXPECT_EQ(back.errorCode, row.errorCode);
+  EXPECT_EQ(back.errorMessage, row.errorMessage);
+  EXPECT_EQ(back.cost, row.cost);
+  EXPECT_EQ(back.wirelength, row.wirelength);
+  EXPECT_EQ(back.vias, row.vias);
+  EXPECT_EQ(back.bestBound, row.bestBound);
+  EXPECT_EQ(back.crashed, row.crashed);
+}
+
+TEST(BatchRow, MalformedLinesAreRejected) {
+  BatchRow row;
+  EXPECT_FALSE(fromJsonLine("", row));
+  EXPECT_FALSE(fromJsonLine("not json", row));
+  // A row truncated mid-write (the crash the checkpoint recovers from).
+  BatchRow sample;
+  sample.clipId = "c";
+  sample.ruleName = "r";
+  std::string full = toJsonLine(sample);
+  EXPECT_TRUE(fromJsonLine(full, row));
+  EXPECT_FALSE(fromJsonLine(full.substr(0, full.size() / 2), row));
+}
+
+TEST(BatchRunner, SweepsTheFullMatrix) {
+  BatchRunner runner(fastOptions());
+  BatchReport report = runner.run(twoClips(), twoRules());
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.executed, 4);
+  EXPECT_EQ(report.resumed, 0);
+  EXPECT_EQ(report.crashed, 0);
+  for (const BatchRow& row : report.rows) {
+    EXPECT_EQ(row.status, core::RouteStatus::kOptimal) << row.clipId;
+    EXPECT_EQ(row.provenance, core::Provenance::kIlpProven);
+    EXPECT_EQ(row.errorCode, ErrorCode::kOk);
+    EXPECT_GT(row.cost, 0.0);
+  }
+  // Task order: clips outer, rules inner.
+  EXPECT_EQ(report.rows[0].clipId, "clipA");
+  EXPECT_EQ(report.rows[0].ruleName, "RULE1");
+  EXPECT_EQ(report.rows[1].ruleName, "RULE2");
+  EXPECT_EQ(report.rows[2].clipId, "clipB");
+  auto counts = report.provenanceCounts();
+  EXPECT_EQ(counts[static_cast<int>(core::Provenance::kIlpProven)], 4);
+}
+
+TEST(BatchRunner, UnknownTechnologyBecomesErrorRow) {
+  auto clips = twoClips();
+  clips[0].techName = "NO-SUCH-NODE";
+  BatchRunner runner(fastOptions());
+  BatchReport report = runner.run(clips, {tech::ruleByName("RULE1").value()});
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].status, core::RouteStatus::kError);
+  EXPECT_EQ(report.rows[0].errorCode, ErrorCode::kUnavailable);
+  // The batch carried on past the bad clip.
+  EXPECT_EQ(report.rows[1].status, core::RouteStatus::kOptimal);
+}
+
+TEST(BatchRunner, WorkerCrashIsContained) {
+  BatchOptions opt = fastOptions();
+  opt.isolateTasks = true;
+  opt.preSolveHook = [](const std::string& clipId, const std::string& rule) {
+    if (clipId == "clipA" && rule == "RULE2") std::abort();
+  };
+  BatchRunner runner(opt);
+  BatchReport report = runner.run(twoClips(), twoRules());
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.crashed, 1);
+  const BatchRow& dead = report.rows[1];
+  EXPECT_EQ(dead.clipId, "clipA");
+  EXPECT_EQ(dead.ruleName, "RULE2");
+  EXPECT_TRUE(dead.crashed);
+  EXPECT_EQ(dead.errorCode, ErrorCode::kCrash);
+  EXPECT_EQ(dead.status, core::RouteStatus::kError);
+  // Every other task still solved.
+  for (int i : {0, 2, 3}) {
+    EXPECT_EQ(report.rows[i].status, core::RouteStatus::kOptimal) << i;
+  }
+}
+
+TEST(BatchRunner, WatchdogKillsWedgedWorker) {
+  BatchOptions opt = fastOptions();
+  opt.isolateTasks = true;
+  opt.taskTimeoutSec = 0.5;
+  opt.preSolveHook = [](const std::string& clipId, const std::string&) {
+    if (clipId == "clipB") {
+      std::this_thread::sleep_for(std::chrono::seconds(60));
+    }
+  };
+  BatchRunner runner(opt);
+  BatchReport report =
+      runner.run(twoClips(), {tech::ruleByName("RULE1").value()});
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.timedOut, 1);
+  EXPECT_EQ(report.rows[0].status, core::RouteStatus::kOptimal);
+  EXPECT_EQ(report.rows[1].errorCode, ErrorCode::kDeadline);
+  EXPECT_EQ(report.rows[1].status, core::RouteStatus::kError);
+}
+
+TEST(BatchRunner, CheckpointResumeMatchesUninterruptedRun) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+
+  BatchRunner uninterrupted(fastOptions());
+  BatchReport full = uninterrupted.run(clips, rules);
+  ASSERT_EQ(full.rows.size(), 4u);
+
+  // Simulate a sweep killed after two tasks, then restarted.
+  std::string path = tempPath("resume");
+  std::remove(path.c_str());
+  BatchOptions opt = fastOptions();
+  opt.checkpointPath = path;
+  opt.stopAfter = 2;
+  BatchReport first = BatchRunner(opt).run(clips, rules);
+  EXPECT_TRUE(first.stoppedEarly);
+  EXPECT_EQ(first.executed, 2);
+
+  opt.stopAfter = -1;
+  BatchReport second = BatchRunner(opt).run(clips, rules);
+  EXPECT_FALSE(second.stoppedEarly);
+  EXPECT_EQ(second.resumed, 2);
+  EXPECT_EQ(second.executed, 2);
+  ASSERT_EQ(second.rows.size(), full.rows.size());
+  for (std::size_t i = 0; i < full.rows.size(); ++i) {
+    EXPECT_EQ(second.rows[i].clipId, full.rows[i].clipId);
+    EXPECT_EQ(second.rows[i].ruleName, full.rows[i].ruleName);
+    EXPECT_EQ(second.rows[i].status, full.rows[i].status);
+    EXPECT_EQ(second.rows[i].provenance, full.rows[i].provenance);
+    EXPECT_EQ(second.rows[i].cost, full.rows[i].cost);  // deterministic solves
+    EXPECT_EQ(second.rows[i].wirelength, full.rows[i].wirelength);
+    EXPECT_EQ(second.rows[i].vias, full.rows[i].vias);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BatchRunner, TruncatedCheckpointLineReRunsThatTask) {
+  auto clips = twoClips();
+  std::vector<tech::RuleConfig> rules = {tech::ruleByName("RULE1").value()};
+
+  std::string path = tempPath("truncated");
+  std::remove(path.c_str());
+  BatchOptions opt = fastOptions();
+  opt.checkpointPath = path;
+  BatchReport full = BatchRunner(opt).run(clips, rules);
+  ASSERT_EQ(full.rows.size(), 2u);
+
+  // Chop the checkpoint mid-line, as a SIGKILL during fwrite would.
+  std::ifstream in(path);
+  std::string lines((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::size_t firstEol = lines.find('\n');
+  ASSERT_NE(firstEol, std::string::npos);
+  std::ofstream out(path, std::ios::trunc);
+  out << lines.substr(0, firstEol + 1)                 // row 0 intact
+      << lines.substr(firstEol + 1, 20);               // row 1 truncated
+  out.close();
+
+  BatchReport resumed = BatchRunner(opt).run(clips, rules);
+  EXPECT_EQ(resumed.resumed, 1);
+  EXPECT_EQ(resumed.executed, 1);
+  ASSERT_EQ(resumed.rows.size(), 2u);
+  EXPECT_EQ(resumed.rows[1].status, full.rows[1].status);
+  EXPECT_EQ(resumed.rows[1].cost, full.rows[1].cost);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace optr::harness

@@ -1,9 +1,11 @@
 // Limit behaviour of the MIP solver: wall-clock deadlines (including a
-// single over-budget LP), node limits, and bound reporting under truncation.
+// single over-budget LP), node limits, bound reporting under truncation, and
+// bound validity on every rung of the failure-recovery ladder.
 #include <gtest/gtest.h>
 
 #include <chrono>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "ilp/mip.h"
 
@@ -94,6 +96,91 @@ TEST(MipLimits, LpDeadlinePropagates) {
           .count();
   EXPECT_LT(elapsed, 5.0);
   (void)r;
+}
+
+// --- Ladder rungs under injected faults: the bound must stay valid and the
+// --- error code must name the actual failure on every degraded outcome.
+
+TEST(MipLadder, SingleNumericalFailureIsRetriedToOptimal) {
+  LpModel m = hardModel(12, 21);
+  MipOptions clean;
+  MipSolver a(m, std::vector<bool>(12, true), clean);
+  auto rClean = a.solve();
+  ASSERT_EQ(rClean.status, MipStatus::kOptimal);
+
+  LpModel m2 = hardModel(12, 21);
+  MipOptions opt;
+  opt.lpOptions.refactorInterval = 4;  // make the probe reachable
+  fault::ScopedFault f(fault::Site::kSingularBasis, 0, 1);
+  MipSolver b(m2, std::vector<bool>(12, true), opt);
+  auto r = b.solve();
+  EXPECT_EQ(f.fired(), 1);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_EQ(r.numericRetries, 1);
+  EXPECT_TRUE(r.error.isOk());
+  EXPECT_NEAR(r.objective, rClean.objective, 1e-9);
+  EXPECT_NEAR(r.bestBound, r.objective, 1e-9);
+}
+
+TEST(MipLadder, PersistentFailureKeepsIncumbentAndValidBound) {
+  LpModel m = hardModel(20, 7);
+  MipOptions opt;
+  opt.lpOptions.refactorInterval = 4;
+  MipSolver solver(m, std::vector<bool>(20, true), opt);
+  // x = 0 satisfies every <= row and integrality: a legitimate incumbent.
+  ASSERT_TRUE(solver.setInitialIncumbent(std::vector<double>(20, 0.0)));
+
+  fault::ScopedFault f(fault::Site::kSingularBasis, 0, fault::kAlways);
+  auto r = solver.solve();
+  EXPECT_GE(f.fired(), 2);  // first attempt + the Bland-rule retry
+  EXPECT_EQ(r.status, MipStatus::kError);
+  EXPECT_EQ(r.error.code(), ErrorCode::kSingularBasis);
+  EXPECT_EQ(r.numericRetries, 1);
+  ASSERT_TRUE(r.hasIncumbent());
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);  // the seeded point survived
+  // The reported lower bound must still bracket the incumbent.
+  EXPECT_LE(r.bestBound, r.objective + 1e-6);
+}
+
+TEST(MipLadder, DeadlineFaultReportsDeadlineCode) {
+  LpModel m = hardModel(24, 9);
+  fault::ScopedFault f(fault::Site::kLpDeadline, 0, fault::kAlways);
+  MipSolver solver(m, std::vector<bool>(24, true));
+  auto r = solver.solve();
+  EXPECT_GE(f.fired(), 1);
+  EXPECT_EQ(r.status, MipStatus::kNoSolutionLimit);
+  EXPECT_EQ(r.error.code(), ErrorCode::kDeadline);
+  EXPECT_EQ(r.numericRetries, 0);  // a deadline is not retried
+}
+
+TEST(MipLadder, SeparatorOverReportIsCountedNotTrusted) {
+  LpModel m = hardModel(12, 21);
+  MipSolver clean(m, std::vector<bool>(12, true));
+  auto rClean = clean.solve();
+  ASSERT_EQ(rClean.status, MipStatus::kOptimal);
+
+  LpModel m2 = hardModel(12, 21);
+  MipSolver solver(m2, std::vector<bool>(12, true));
+  // Honest no-op separator; the fault makes its *report* lie. The solver
+  // must trust the observed model delta: same optimum, misreports counted.
+  solver.setLazySeparator(
+      [](const std::vector<double>&, LpModel&) { return 0; });
+  fault::ScopedFault f(fault::Site::kSeparatorOverReport, 0, fault::kAlways);
+  auto r = solver.solve();
+  EXPECT_GE(f.fired(), 1);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_GE(r.separatorMisreports, 1);
+  EXPECT_NEAR(r.objective, rClean.objective, 1e-9);
+  EXPECT_EQ(r.lazyRowsAdded, 0);
+}
+
+TEST(MipLadder, BadIntegralityMaskIsAnErrorNotAnAbort) {
+  LpModel m = hardModel(8, 2);
+  MipSolver solver(m, std::vector<bool>(5, true));  // wrong size
+  auto r = solver.solve();
+  EXPECT_EQ(r.status, MipStatus::kError);
+  EXPECT_EQ(r.error.code(), ErrorCode::kInvalidInput);
+  EXPECT_FALSE(r.hasIncumbent());
 }
 
 }  // namespace

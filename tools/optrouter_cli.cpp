@@ -7,6 +7,9 @@
 //   lefdef <tech> <out.lef> <out.def>       dump the synthetic enablement
 //   route <clips> <rule> [index]            route one clip, print the layout
 //   sweep <clips> <rule...>                 route all clips under each rule
+//   batch <clips> <ckpt.jsonl> <rule...>    hardened sweep: fork-isolated
+//                                           tasks, watchdog, resumable via
+//                                           the JSONL checkpoint file
 //   improve <clips> <rule> [threads]        local improvement report
 //
 // Example session:
@@ -23,6 +26,7 @@
 #include "common/strings.h"
 #include "core/improver.h"
 #include "core/opt_router.h"
+#include "harness/batch_runner.h"
 #include "layout/clip_extract.h"
 #include "layout/def_io.h"
 #include "layout/global_route.h"
@@ -42,6 +46,7 @@ int usage() {
                "  lefdef <tech> <out.lef> <out.def>\n"
                "  route <clips> <rule> [index=0]\n"
                "  sweep <clips> <rule...>\n"
+               "  batch <clips> <checkpoint.jsonl> <rule...>\n"
                "  improve <clips> <rule> [threads=1]\n");
   return 2;
 }
@@ -159,8 +164,12 @@ int cmdRoute(int argc, char** argv) {
   std::printf("clip %s under %s: %s", c.id.c_str(),
               ruleOr.value().name.c_str(), core::toString(r.status));
   if (r.hasSolution()) {
-    std::printf("  cost=%.0f (WL %d + %d vias)", r.cost, r.wirelength,
-                r.vias);
+    std::printf("  cost=%.0f (WL %d + %d vias)  [%s]", r.cost, r.wirelength,
+                r.vias, core::toString(r.provenance));
+  }
+  if (!r.error.isOk()) {
+    std::printf("\n  degraded: [%s] %s", toString(r.error.code()),
+                r.error.message().c_str());
   }
   std::printf("\n\n");
   if (r.hasSolution()) {
@@ -179,7 +188,8 @@ int cmdSweep(int argc, char** argv) {
   if (argc < 4) return usage();
   auto clips = loadOrFail(argv[2]);
   if (!clips) return 1;
-  report::Table table({"Clip", "Rule", "status", "cost", "WL", "vias"});
+  report::Table table(
+      {"Clip", "Rule", "status", "cost", "WL", "vias", "provenance", "error"});
   for (const clip::Clip& c : clips.value()) {
     auto techn = tech::Technology::byName(c.techName).value();
     for (int a = 3; a < argc; ++a) {
@@ -197,11 +207,59 @@ int cmdSweep(int argc, char** argv) {
       table.addRow({c.id, argv[a], core::toString(r.status),
                     r.hasSolution() ? strFormat("%.0f", r.cost) : "-",
                     r.hasSolution() ? std::to_string(r.wirelength) : "-",
-                    r.hasSolution() ? std::to_string(r.vias) : "-"});
+                    r.hasSolution() ? std::to_string(r.vias) : "-",
+                    core::toString(r.provenance),
+                    r.error.isOk() ? "-" : toString(r.error.code())});
     }
   }
   std::printf("%s", table.render().c_str());
   return 0;
+}
+
+int cmdBatch(int argc, char** argv) {
+  if (argc < 5) return usage();
+  auto clips = loadOrFail(argv[2]);
+  if (!clips) return 1;
+  std::vector<tech::RuleConfig> rules;
+  for (int a = 4; a < argc; ++a) {
+    auto ruleOr = tech::ruleByName(argv[a]);
+    if (!ruleOr) {
+      std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
+      return 1;
+    }
+    rules.push_back(ruleOr.value());
+  }
+
+  harness::BatchOptions opt;
+  opt.router.mip.timeLimitSec = 20;
+  opt.router.formulation.netBBoxMargin = 3;
+  opt.router.formulation.netLayerMargin = 1;
+  opt.checkpointPath = argv[3];
+  harness::BatchReport report =
+      harness::BatchRunner(opt).run(clips.value(), rules);
+
+  report::Table table({"Clip", "Rule", "status", "provenance", "error",
+                       "cost", "seconds"});
+  for (const harness::BatchRow& row : report.rows) {
+    bool solved = row.status == core::RouteStatus::kOptimal ||
+                  row.status == core::RouteStatus::kFeasible;
+    table.addRow({row.clipId, row.ruleName, core::toString(row.status),
+                  core::toString(row.provenance),
+                  row.errorCode == ErrorCode::kOk ? "-"
+                                                  : toString(row.errorCode),
+                  solved ? strFormat("%.0f", row.cost) : "-",
+                  strFormat("%.1f", row.seconds)});
+  }
+  std::printf("%s", table.render().c_str());
+  auto prov = report.provenanceCounts();
+  std::printf(
+      "\ntasks: %d run, %d resumed from checkpoint, %d crashed, %d timed "
+      "out\nprovenance: %d ilp-proven, %d ilp-incumbent, %d maze-fallback\n",
+      report.executed, report.resumed, report.crashed, report.timedOut,
+      prov[static_cast<int>(core::Provenance::kIlpProven)],
+      prov[static_cast<int>(core::Provenance::kIlpIncumbent)],
+      prov[static_cast<int>(core::Provenance::kMazeFallback)]);
+  return report.crashed > 0 ? 1 : 0;
 }
 
 int cmdImprove(int argc, char** argv) {
@@ -250,6 +308,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "lefdef")) return cmdLefDef(argc, argv);
   if (!std::strcmp(argv[1], "route")) return cmdRoute(argc, argv);
   if (!std::strcmp(argv[1], "sweep")) return cmdSweep(argc, argv);
+  if (!std::strcmp(argv[1], "batch")) return cmdBatch(argc, argv);
   if (!std::strcmp(argv[1], "improve")) return cmdImprove(argc, argv);
   return usage();
 }

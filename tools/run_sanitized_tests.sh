@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the test suite under AddressSanitizer and UBSan and runs it.
+#
+# Usage: tools/run_sanitized_tests.sh [address|undefined|address,undefined]
+#   default: both, as separate builds (combining them works but mixes the
+#   reports). Each configuration builds into build-san-<name>/ so the normal
+#   build/ tree stays untouched.
+#
+# Exit status is nonzero if any sanitized test fails; sanitizer reports are
+# fatal (-fno-sanitize-recover=all), so a single UB hit fails its test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+configs=("${1:-address}" )
+if [[ $# -eq 0 ]]; then
+  configs=(address undefined)
+fi
+
+status=0
+for san in "${configs[@]}"; do
+  dir="build-san-${san//,/+}"
+  echo "=== ${san}: configuring into ${dir} ==="
+  cmake -B "${dir}" -S . -DOPTR_SANITIZE="${san}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "${dir}" -j > /dev/null
+  echo "=== ${san}: running ctest ==="
+  if ! ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"; then
+    status=1
+  fi
+done
+exit ${status}
