@@ -1,12 +1,32 @@
-// Reproduces the paper's Section 5 runtime observations using
-// google-benchmark: OptRouter solve time for a 7x10-track switchbox vs a
-// 10x10-track switchbox, with and without SADP + via-restriction rules.
+// Runtime benchmark with a machine-readable perf trajectory.
 //
-// Paper numbers (CPLEX, full-size clips): 7x10 = 842s without rules, 1047s
-// with; 10x10 = 925s / 1340s. Absolute times differ on our bundled solver
-// and reduced layer count; the *ordering* must match: rules cost extra time,
-// and the larger switchbox costs more than the smaller one.
-#include <benchmark/benchmark.h>
+// Reproduces the paper's Section 5 runtime observations (7x10 vs 10x10-track
+// switchboxes, with and without SADP + via-restriction rules; larger clips
+// and more rules cost more time) and measures the two parallel modes this
+// codebase offers:
+//   * serial        -- the baseline: one clip at a time, threads = 1;
+//   * mip-parallel  -- one clip at a time, MipOptions.threads = N workers
+//                      inside each branch-and-bound solve;
+//   * clip-parallel -- N clips in flight at once, each solved serially
+//                      (the RuleEvaluator / BatchRunner thread-pool mode).
+//
+// Emits BENCH_runtime.json: per-clip wall ms, LP pivots, B&B nodes, thread
+// counts, provenance counts, and the speedup of each parallel mode over the
+// serial baseline. The run FAILS (exit 1) if any clip proven optimal by both
+// the serial and a parallel pass disagrees on the objective -- threads must
+// be a pure performance knob.
+//
+// Usage: bench_runtime [--threads N] [--out path.json]
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/opt_router.h"
 #include "test_support.h"
@@ -15,36 +35,209 @@ using namespace optr;
 
 namespace {
 
-void solveOnce(benchmark::State& state, int tracksX, int tracksY,
-               bool withRules) {
+struct BenchTask {
+  std::string name;
+  int tracksX, tracksY, layers, nets;
+  std::uint64_t seed;
+  const char* rule;
+};
+
+struct ClipStat {
+  std::string name;
+  std::string rule;
+  double wallMs = 0.0;
+  std::int64_t lpPivots = 0;
+  std::int64_t nodes = 0;
+  double cost = 0.0;
+  core::RouteStatus status = core::RouteStatus::kError;
+  core::Provenance provenance = core::Provenance::kNone;
+};
+
+struct PassStat {
+  std::string mode;
+  int clipThreads = 1;
+  int mipThreads = 1;
+  double wallMs = 0.0;
+  std::vector<ClipStat> clips;
+
+  std::array<int, 4> provenanceCounts() const {
+    std::array<int, 4> counts{};
+    for (const ClipStat& c : clips) counts[static_cast<int>(c.provenance)]++;
+    return counts;
+  }
+};
+
+std::vector<BenchTask> taskSet() {
+  // Switchbox sizes x {no rules, SADP+via rules}, as in the paper's runtime
+  // table, sized so every clip *proves* optimality inside the limit (the
+  // determinism gate needs proven optima to compare) while still branching
+  // enough (tens to hundreds of nodes) that the parallel tree search has
+  // real work. Eight independent clips keep a 4-wide pool busy.
+  return {
+      {"sb5x6", 5, 6, 3, 3, 1, "RULE1"},
+      {"sb5x6", 5, 6, 3, 3, 11, "RULE1"},
+      {"sb5x6", 5, 6, 3, 3, 11, "RULE8"},
+      {"sb5x6", 5, 6, 3, 3, 13, "RULE8"},
+      {"sb6x6", 6, 6, 3, 3, 11, "RULE1"},
+      {"sb6x6", 6, 6, 3, 3, 3, "RULE8"},
+      {"sb6x8", 6, 8, 3, 3, 5, "RULE1"},
+      {"sb6x8", 6, 8, 3, 3, 13, "RULE8"},
+  };
+}
+
+ClipStat solveTask(const BenchTask& t, int mipThreads) {
   auto techn = tech::Technology::n28_12t();
-  auto rule = withRules ? tech::ruleByName("RULE8").value()   // SADP>=M3 + 4nb
-                        : tech::ruleByName("RULE1").value();
-  clip::Clip c = bench::syntheticSwitchbox(tracksX, tracksY, 4, 5, 42);
+  auto rule = tech::ruleByName(t.rule).value();
+  clip::Clip c =
+      bench::syntheticSwitchbox(t.tracksX, t.tracksY, t.layers, t.nets, t.seed);
   core::OptRouterOptions o;
   o.mip.timeLimitSec = 30;
+  o.mip.threads = mipThreads;
   o.formulation.netBBoxMargin = 3;
   o.formulation.netLayerMargin = 1;
   core::OptRouter router(techn, rule, o);
-  for (auto _ : state) {
-    core::RouteResult r = router.route(c);
-    benchmark::DoNotOptimize(r.cost);
-    state.counters["nodes"] = static_cast<double>(r.nodes);
-    state.counters["optimal"] =
-        r.status == core::RouteStatus::kOptimal ? 1 : 0;
-  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  core::RouteResult r = router.route(c);
+  ClipStat s;
+  s.wallMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  s.name = t.name + "_s" + std::to_string(t.seed);
+  s.rule = t.rule;
+  s.lpPivots = r.lpIterations;
+  s.nodes = r.nodes;
+  s.cost = r.cost;
+  s.status = r.status;
+  s.provenance = r.provenance;
+  return s;
 }
 
-void BM_Switchbox7x10_NoRules(benchmark::State& s) { solveOnce(s, 7, 10, false); }
-void BM_Switchbox7x10_SadpVia(benchmark::State& s) { solveOnce(s, 7, 10, true); }
-void BM_Switchbox10x10_NoRules(benchmark::State& s) { solveOnce(s, 10, 10, false); }
-void BM_Switchbox10x10_SadpVia(benchmark::State& s) { solveOnce(s, 10, 10, true); }
+PassStat runPass(const std::vector<BenchTask>& tasks, const std::string& mode,
+                 int clipThreads, int mipThreads) {
+  PassStat pass;
+  pass.mode = mode;
+  pass.clipThreads = clipThreads;
+  pass.mipThreads = mipThreads;
+  pass.clips.resize(tasks.size());
 
-BENCHMARK(BM_Switchbox7x10_NoRules)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_Switchbox7x10_SadpVia)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_Switchbox10x10_NoRules)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_Switchbox10x10_SadpVia)->Unit(benchmark::kMillisecond)->Iterations(1);
+  auto t0 = std::chrono::steady_clock::now();
+  if (clipThreads <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      pass.clips[i] = solveTask(tasks[i], mipThreads);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= tasks.size()) return;
+        pass.clips[i] = solveTask(tasks[i], mipThreads);
+      }
+    };
+    std::vector<std::thread> pool;
+    for (int w = 0; w < clipThreads; ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  pass.wallMs = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return pass;
+}
+
+void emitJson(const std::string& path, int threads,
+              const std::vector<PassStat>& passes) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"bench_runtime\",\n  \"threads\": " << threads
+      << ",\n  \"passes\": [\n";
+  for (std::size_t p = 0; p < passes.size(); ++p) {
+    const PassStat& pass = passes[p];
+    auto prov = pass.provenanceCounts();
+    out << "    {\"mode\": \"" << pass.mode
+        << "\", \"clipThreads\": " << pass.clipThreads
+        << ", \"mipThreads\": " << pass.mipThreads
+        << ", \"wallMs\": " << pass.wallMs << ",\n     \"provenance\": {"
+        << "\"ilp-proven\": " << prov[static_cast<int>(core::Provenance::kIlpProven)]
+        << ", \"ilp-incumbent\": "
+        << prov[static_cast<int>(core::Provenance::kIlpIncumbent)]
+        << ", \"maze-fallback\": "
+        << prov[static_cast<int>(core::Provenance::kMazeFallback)] << "},\n"
+        << "     \"clips\": [\n";
+    for (std::size_t i = 0; i < pass.clips.size(); ++i) {
+      const ClipStat& c = pass.clips[i];
+      out << "       {\"name\": \"" << c.name << "\", \"rule\": \"" << c.rule
+          << "\", \"wallMs\": " << c.wallMs << ", \"lpPivots\": " << c.lpPivots
+          << ", \"nodes\": " << c.nodes << ", \"cost\": " << c.cost
+          << ", \"status\": \"" << core::toString(c.status)
+          << "\", \"provenance\": \"" << core::toString(c.provenance) << "\"}"
+          << (i + 1 < pass.clips.size() ? "," : "") << "\n";
+    }
+    out << "     ]}" << (p + 1 < passes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int threads = 4;
+  std::string outPath = "BENCH_runtime.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      threads = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      outPath = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_runtime [--threads N] [--out path.json]\n");
+      return 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+
+  std::vector<BenchTask> tasks = taskSet();
+  std::vector<PassStat> passes;
+  passes.push_back(runPass(tasks, "serial", 1, 1));
+  passes.push_back(runPass(tasks, "mip-parallel", 1, threads));
+  passes.push_back(runPass(tasks, "clip-parallel", threads, 1));
+
+  const PassStat& serial = passes[0];
+  std::printf("%-14s %-6s %10s %12s %10s %8s %s\n", "clip", "rule", "wall ms",
+              "LP pivots", "nodes", "cost", "status");
+  for (const ClipStat& c : serial.clips) {
+    std::printf("%-14s %-6s %10.1f %12lld %10lld %8.0f %s/%s\n",
+                c.name.c_str(), c.rule.c_str(), c.wallMs,
+                static_cast<long long>(c.lpPivots),
+                static_cast<long long>(c.nodes), c.cost,
+                core::toString(c.status), core::toString(c.provenance));
+  }
+
+  // Determinism gate: a clip proven optimal by both the serial baseline and
+  // a parallel pass must agree on the objective bit-for-bit.
+  bool diverged = false;
+  for (std::size_t p = 1; p < passes.size(); ++p) {
+    for (std::size_t i = 0; i < serial.clips.size(); ++i) {
+      const ClipStat& s = serial.clips[i];
+      const ClipStat& q = passes[p].clips[i];
+      if (s.status == core::RouteStatus::kOptimal &&
+          q.status == core::RouteStatus::kOptimal && s.cost != q.cost) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s optimum diverged: serial %.17g vs %s %.17g\n",
+                     s.name.c_str(), s.rule.c_str(), s.cost,
+                     passes[p].mode.c_str(), q.cost);
+        diverged = true;
+      }
+    }
+  }
+
+  for (std::size_t p = 1; p < passes.size(); ++p) {
+    std::printf("%s (x%d): %.0f ms vs serial %.0f ms -> speedup %.2fx\n",
+                passes[p].mode.c_str(), threads, passes[p].wallMs,
+                serial.wallMs, serial.wallMs / passes[p].wallMs);
+  }
+
+  emitJson(outPath, threads, passes);
+  std::printf("wrote %s\n", outPath.c_str());
+  return diverged ? 1 : 0;
+}

@@ -1,11 +1,18 @@
 // Deterministic fault injection for the solver stack.
 //
 // Compiled in unconditionally; a disarmed site costs one predictable branch
-// on a plain bool, so the hooks stay in release builds and the recovery
-// paths they exercise are the same code production runs. Tests arm a site
-// with a countdown ("fire on the k-th probe") and a repeat count; everything
-// is plain counters -- no clocks, no randomness -- so an injected failure
-// reproduces bit-identically run over run.
+// on a relaxed atomic load, so the hooks stay in release builds and the
+// recovery paths they exercise are the same code production runs. Tests arm
+// a site with a countdown ("fire on the k-th probe") and a repeat count;
+// everything is plain counters -- no clocks, no randomness -- so an injected
+// failure reproduces bit-identically run over run on a single thread.
+//
+// Thread safety: probes may race from parallel MIP workers, so the counters
+// are atomics decremented with compare-exchange -- the *total* number of
+// fires is exact at any thread count, while which worker observes a given
+// fire is scheduling-dependent (tests under parallelism assert on counts and
+// on the recovery outcome, not on the firing thread). Arm/disarm/reset are
+// test-side operations and must not run concurrently with probes.
 //
 // Usage (test side):
 //   fault::ScopedFault f(fault::Site::kSingularBasis, /*countdown=*/0,
@@ -15,6 +22,8 @@
 // Usage (probe side, e.g. inside SimplexSolver::refactorize):
 //   if (fault::fire(fault::Site::kSingularBasis)) return false;
 #pragma once
+
+#include <atomic>
 
 namespace optr::fault {
 
@@ -30,19 +39,33 @@ inline constexpr int kAlways = 1 << 30;
 
 namespace detail {
 struct SiteState {
-  bool armed = false;
-  int countdown = 0;  // probes to skip before firing
-  int remaining = 0;  // fires left once the countdown elapses
-  int fired = 0;      // total fires since arm/reset (test observability)
+  std::atomic<bool> armed{false};
+  std::atomic<int> countdown{0};  // probes to skip before firing
+  std::atomic<int> remaining{0};  // fires left once the countdown elapses
+  std::atomic<int> fired{0};      // total fires since arm/reset
 };
 inline SiteState g_sites[static_cast<int>(Site::kNumSites)];
-inline bool g_anyArmed = false;
+inline std::atomic<bool> g_anyArmed{false};
 
 inline SiteState& state(Site s) { return g_sites[static_cast<int>(s)]; }
 
 inline void refreshAnyArmed() {
-  g_anyArmed = false;
-  for (const SiteState& st : g_sites) g_anyArmed |= st.armed;
+  bool any = false;
+  for (const SiteState& st : g_sites)
+    any |= st.armed.load(std::memory_order_relaxed);
+  g_anyArmed.store(any, std::memory_order_relaxed);
+}
+
+/// Decrements `counter` if positive; true when this caller took a unit.
+/// Lock-free and exact under contention.
+inline bool takeUnit(std::atomic<int>& counter) {
+  int v = counter.load(std::memory_order_relaxed);
+  while (v > 0) {
+    if (counter.compare_exchange_weak(v, v - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 }  // namespace detail
 
@@ -50,44 +73,49 @@ inline void refreshAnyArmed() {
 /// `times` probes fire. Re-arming replaces the previous schedule.
 inline void arm(Site site, int countdown = 0, int times = 1) {
   detail::SiteState& st = detail::state(site);
-  st.armed = true;
-  st.countdown = countdown;
-  st.remaining = times;
-  st.fired = 0;
-  detail::g_anyArmed = true;
+  st.countdown.store(countdown, std::memory_order_relaxed);
+  st.remaining.store(times, std::memory_order_relaxed);
+  st.fired.store(0, std::memory_order_relaxed);
+  st.armed.store(true, std::memory_order_relaxed);
+  detail::g_anyArmed.store(true, std::memory_order_relaxed);
 }
 
 inline void disarm(Site site) {
-  detail::state(site).armed = false;
+  detail::state(site).armed.store(false, std::memory_order_relaxed);
   detail::refreshAnyArmed();
 }
 
 /// Disarms every site and clears fire counters.
 inline void reset() {
-  for (detail::SiteState& st : detail::g_sites) st = detail::SiteState{};
-  detail::g_anyArmed = false;
+  for (detail::SiteState& st : detail::g_sites) {
+    st.armed.store(false, std::memory_order_relaxed);
+    st.countdown.store(0, std::memory_order_relaxed);
+    st.remaining.store(0, std::memory_order_relaxed);
+    st.fired.store(0, std::memory_order_relaxed);
+  }
+  detail::g_anyArmed.store(false, std::memory_order_relaxed);
 }
 
 /// The probe. False (and branch-predictable) unless the site is armed and
 /// its countdown has elapsed.
 inline bool fire(Site site) {
-  if (!detail::g_anyArmed) return false;
+  if (!detail::g_anyArmed.load(std::memory_order_relaxed)) return false;
   detail::SiteState& st = detail::state(site);
-  if (!st.armed) return false;
-  if (st.countdown > 0) {
-    --st.countdown;
-    return false;
-  }
-  if (st.remaining <= 0) return false;
-  --st.remaining;
-  ++st.fired;
+  if (!st.armed.load(std::memory_order_relaxed)) return false;
+  if (detail::takeUnit(st.countdown)) return false;
+  if (!detail::takeUnit(st.remaining)) return false;
+  st.fired.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 /// Times `site` has fired since it was last armed (or reset).
-inline int fireCount(Site site) { return detail::state(site).fired; }
+inline int fireCount(Site site) {
+  return detail::state(site).fired.load(std::memory_order_relaxed);
+}
 
-inline bool anyArmed() { return detail::g_anyArmed; }
+inline bool anyArmed() {
+  return detail::g_anyArmed.load(std::memory_order_relaxed);
+}
 
 /// RAII arming for tests: disarms the site (only this one) on scope exit.
 class ScopedFault {

@@ -1,8 +1,10 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 namespace optr::core {
 
@@ -11,11 +13,10 @@ std::vector<ClipOutcome> RuleEvaluator::solveAll(
     double timeFactor) const {
   OptRouterOptions ro = options_.router;
   ro.mip.timeLimitSec *= timeFactor;
-  OptRouter router(tech_, rule, ro);
-  std::vector<ClipOutcome> out;
-  out.reserve(clips.size());
-  for (const clip::Clip& c : clips) {
-    RouteResult r = router.route(c);
+  std::vector<ClipOutcome> out(clips.size());
+
+  auto solveOne = [&](const OptRouter& router, std::size_t i) {
+    RouteResult r = router.route(clips[i]);
     ClipOutcome o;
     o.status = r.status;
     o.provenance = r.provenance;
@@ -27,7 +28,32 @@ std::vector<ClipOutcome> RuleEvaluator::solveAll(
       o.wirelength = r.wirelength;
       o.vias = r.vias;
     }
-    out.push_back(o);
+    out[i] = o;
+  };
+
+  const int threads =
+      std::max(1, std::min<int>(options_.clipThreads,
+                                static_cast<int>(clips.size())));
+  if (threads == 1) {
+    OptRouter router(tech_, rule, ro);
+    for (std::size_t i = 0; i < clips.size(); ++i) solveOne(router, i);
+  } else {
+    // Clips are independent tasks; results land in their slot, so the
+    // outcome vector is identical to the serial sweep's regardless of which
+    // worker solved which clip.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      OptRouter router(tech_, rule, ro);  // per-worker: no shared state
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= clips.size()) return;
+        solveOne(router, i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
   }
   return out;
 }

@@ -29,6 +29,12 @@ struct EvaluationOptions {
   std::string referenceRule = "RULE1";
   /// Give the reference solve extra time: every delta keys off it.
   double referenceTimeFactor = 2.0;
+  /// Worker threads for the per-clip solves inside one rule configuration
+  /// (clips are independent; each worker constructs its own OptRouter).
+  /// 1 keeps the historical serial sweep. Composes with
+  /// router.mip.threads: total concurrency is roughly the product, so
+  /// oversubscribing both is on the caller.
+  int clipThreads = 1;
 };
 
 struct ClipOutcome {

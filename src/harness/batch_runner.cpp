@@ -1,11 +1,15 @@
 #include "harness/batch_runner.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #if !defined(_WIN32)
@@ -343,38 +347,112 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
     checkpoint = std::fopen(options_.checkpointPath.c_str(), "a");
   }
 
-  for (const clip::Clip& clip : clips) {
+  // Forking from a pool thread would be unsafe (the child inherits another
+  // thread's locked allocator state), so the pool applies only in-process.
+  const int threads = options_.isolateTasks ? 1 : std::max(1, options_.threads);
+
+  if (threads == 1) {
+    for (const clip::Clip& clip : clips) {
+      for (const tech::RuleConfig& rule : rules) {
+        std::string key = clip.id + "\x1f" + rule.name;
+        if (auto it = done.find(key); it != done.end()) {
+          report.rows.push_back(it->second);
+          ++report.resumed;
+          continue;
+        }
+        if (options_.stopAfter >= 0 && report.executed >= options_.stopAfter) {
+          report.stoppedEarly = true;
+          if (checkpoint) std::fclose(checkpoint);
+          return report;
+        }
+
+        BatchRow row = options_.isolateTasks
+                           ? runIsolated(clip, rule, timeoutSec)
+                           : runInline(clip, rule);
+        ++report.executed;
+        if (row.crashed) ++report.crashed;
+        if (row.errorCode == ErrorCode::kDeadline &&
+            row.errorMessage.rfind("watchdog", 0) == 0) {
+          ++report.timedOut;
+        }
+
+        if (checkpoint) {
+          std::string line = toJsonLine(row);
+          std::fprintf(checkpoint, "%s\n", line.c_str());
+          std::fflush(checkpoint);
+        }
+        report.rows.push_back(std::move(row));
+      }
+    }
+
+    if (checkpoint) std::fclose(checkpoint);
+    return report;
+  }
+
+  // Thread-pool mode. Plan the same task prefix the serial loop would
+  // process (resumed rows fill from the checkpoint; stopAfter truncates at
+  // the same task), then execute the pending tasks concurrently. Rows keep
+  // task order -- each result lands in its slot -- so a parallel report is
+  // row-for-row comparable with a serial one.
+  struct Task {
+    const clip::Clip* clip;
+    const tech::RuleConfig* rule;
+    std::size_t slot;  // index into report.rows
+  };
+  std::vector<Task> pending;
+  std::vector<BatchRow> rows;
+  for (std::size_t ci = 0; ci < clips.size() && !report.stoppedEarly; ++ci) {
     for (const tech::RuleConfig& rule : rules) {
+      const clip::Clip& clip = clips[ci];
       std::string key = clip.id + "\x1f" + rule.name;
       if (auto it = done.find(key); it != done.end()) {
-        report.rows.push_back(it->second);
+        rows.push_back(it->second);
         ++report.resumed;
         continue;
       }
-      if (options_.stopAfter >= 0 && report.executed >= options_.stopAfter) {
-        report.stoppedEarly = true;
-        if (checkpoint) std::fclose(checkpoint);
-        return report;
+      if (options_.stopAfter >= 0 &&
+          static_cast<int>(pending.size()) >= options_.stopAfter) {
+        report.stoppedEarly = true;  // serial semantics: nothing after stop
+        break;
       }
-
-      BatchRow row = options_.isolateTasks
-                         ? runIsolated(clip, rule, timeoutSec)
-                         : runInline(clip, rule);
+      rows.emplace_back();  // placeholder, filled by the worker
+      pending.push_back(Task{&clip, &rule, rows.size() - 1});
+    }
+  }
+  std::mutex mu;  // checkpoint file + report counters
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= pending.size()) return;
+      const Task& t = pending[i];
+      BatchRow row = runInline(*t.clip, *t.rule);
+      std::lock_guard<std::mutex> lk(mu);
       ++report.executed;
       if (row.crashed) ++report.crashed;
       if (row.errorCode == ErrorCode::kDeadline &&
           row.errorMessage.rfind("watchdog", 0) == 0) {
         ++report.timedOut;
       }
-
       if (checkpoint) {
+        // Completion order, not task order: resume loads rows by key, so
+        // the checkpoint is order-independent.
         std::string line = toJsonLine(row);
         std::fprintf(checkpoint, "%s\n", line.c_str());
         std::fflush(checkpoint);
       }
-      report.rows.push_back(std::move(row));
+      rows[t.slot] = std::move(row);
     }
+  };
+  if (!pending.empty()) {
+    const int poolSize =
+        std::min(threads, static_cast<int>(pending.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(poolSize);
+    for (int t = 0; t < poolSize; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
   }
+  report.rows = std::move(rows);
 
   if (checkpoint) std::fclose(checkpoint);
   return report;

@@ -34,6 +34,13 @@ struct BatchOptions {
   /// Fork one worker per task (POSIX). Disable to run in-process -- faster
   /// startup, but a crashing clip then takes the batch down with it.
   bool isolateTasks = true;
+  /// Worker threads for in-process execution (isolateTasks == false). Tasks
+  /// are independent; rows keep task order and checkpoint/resume semantics
+  /// are unchanged. Ignored in fork-isolation mode: forking from a
+  /// multithreaded parent is hazardous (the child inherits locked allocator
+  /// state), so isolated sweeps stay serial -- crash containment and speed
+  /// are an explicit trade-off, not a free combination.
+  int threads = 1;
   /// JSON-lines checkpoint path; empty disables checkpoint/resume.
   std::string checkpointPath;
   /// Stop (gracefully) after this many *newly executed* tasks; < 0 runs all.

@@ -1,8 +1,12 @@
 #include "ilp/mip.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <queue>
+#include <thread>
 
 #include "common/fault_injection.h"
 
@@ -19,6 +23,74 @@ const char* toString(MipStatus s) {
   return "?";
 }
 
+namespace {
+
+/// Objective ties between incumbents are broken by this canonical order so a
+/// parallel solve never depends on which worker reported first: compare
+/// vectors lexicographically, integer columns on their rounded values (float
+/// noise in an LP basic solution must not flip the order).
+bool canonicalLess(const std::vector<double>& a, const std::vector<double>& b,
+                   const std::vector<bool>& isInteger) {
+  for (std::size_t c = 0; c < a.size() && c < b.size(); ++c) {
+    double av = isInteger[c] ? std::round(a[c]) : a[c];
+    double bv = isInteger[c] ? std::round(b[c]) : b[c];
+    if (av != bv) return av < bv;
+  }
+  return false;
+}
+
+/// Most-fractional branching restricted to the integer columns (the only
+/// candidates); weighted by objective impact, ties to the lowest index.
+int pickBranchIn(const lp::LpModel& m, const std::vector<int>& intCols,
+                 const std::vector<double>& x, double intTol) {
+  int best = -1;
+  double bestScore = 0.0;
+  for (int c : intCols) {
+    double frac = std::abs(x[c] - std::round(x[c]));
+    if (frac <= intTol) continue;
+    // Most-fractional, weighted by objective impact: branching on expensive
+    // variables (vias) moves the bound fastest.
+    double score = frac * (1.0 + std::abs(m.objective(c)));
+    if (score > bestScore) {
+      bestScore = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// A separated lazy row in model-independent form, shareable across the
+/// per-worker model copies (columns are numbered identically everywhere).
+struct PoolRow {
+  std::vector<int> cols;
+  std::vector<double> coefs;
+  lp::RowSense sense;
+  double rhs;
+};
+
+void appendPoolRow(lp::LpModel& model, const PoolRow& pr) {
+  lp::RowBuilder rb;
+  for (std::size_t k = 0; k < pr.cols.size(); ++k) rb.add(pr.cols[k], pr.coefs[k]);
+  rb.sense = pr.sense;
+  rb.rhs = pr.rhs;
+  model.addRow(rb);
+}
+
+bool rowViolated(const PoolRow& pr, const std::vector<double>& x) {
+  double act = 0.0;
+  for (std::size_t k = 0; k < pr.cols.size(); ++k) act += pr.coefs[k] * x[pr.cols[k]];
+  switch (pr.sense) {
+    case lp::RowSense::kLe: return act > pr.rhs + 1e-9;
+    case lp::RowSense::kGe: return act < pr.rhs - 1e-9;
+    case lp::RowSense::kEq: return std::abs(act - pr.rhs) > 1e-9;
+  }
+  return false;
+}
+
+constexpr double kIncumbentTieTol = 1e-9;
+
+}  // namespace
+
 MipSolver::MipSolver(lp::LpModel& model, std::vector<bool> isInteger,
                      MipOptions options)
     : model_(model),
@@ -34,6 +106,10 @@ MipSolver::MipSolver(lp::LpModel& model, std::vector<bool> isInteger,
                                     " marks for " +
                                     std::to_string(model_.numCols()) +
                                     " columns");
+    return;
+  }
+  for (int c = 0; c < model_.numCols(); ++c) {
+    if (isInteger_[c]) intCols_.push_back(c);
   }
 }
 
@@ -52,26 +128,35 @@ bool MipSolver::setInitialIncumbent(const std::vector<double>& x) {
   return true;
 }
 
-bool MipSolver::timeUp() const {
+bool MipSolver::deadlineExpiredNow() const {
   return std::chrono::steady_clock::now() >= deadline_;
 }
 
+bool MipSolver::timeUp() const {
+  if (timeUpLatched_) return true;
+  if (--timeCheckCountdown_ > 0) return false;
+  timeCheckCountdown_ = kTimeCheckInterval;
+  timeUpLatched_ = deadlineExpiredNow();
+  return timeUpLatched_;
+}
+
 int MipSolver::pickBranchVariable(const std::vector<double>& x) const {
-  int best = -1;
-  double bestScore = 0.0;
+  return pickBranchIn(model_, intCols_, x, options_.intTol);
+}
+
+double MipSolver::computeGapTol() const {
+  // When every integer column has an integral objective coefficient and all
+  // continuous columns are costless, the optimum is integral: nodes whose
+  // bound is within 1 of the incumbent can be pruned.
+  double gapTol = options_.objectiveGapTol;
+  bool integralObjective = true;
   for (int c = 0; c < model_.numCols(); ++c) {
-    if (!isInteger_[c]) continue;
-    double frac = std::abs(x[c] - std::round(x[c]));
-    if (frac <= options_.intTol) continue;
-    // Most-fractional, weighted by objective impact: branching on expensive
-    // variables (vias) moves the bound fastest.
-    double score = frac * (1.0 + std::abs(model_.objective(c)));
-    if (score > bestScore) {
-      bestScore = score;
-      best = c;
-    }
+    double o = model_.objective(c);
+    if (!isInteger_[c] && o != 0.0) integralObjective = false;
+    if (std::abs(o - std::round(o)) > 1e-12) integralObjective = false;
   }
-  return best;
+  if (integralObjective) gapTol = std::max(gapTol, 1.0 - 1e-6);
+  return gapTol;
 }
 
 MipResult MipSolver::solve() {
@@ -83,20 +168,16 @@ MipResult MipSolver::solve() {
   auto t0 = std::chrono::steady_clock::now();
   deadline_ = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                        std::chrono::duration<double>(options_.timeLimitSec));
+  timeCheckCountdown_ = 1;  // first timeUp() call queries the clock
+  timeUpLatched_ = false;
 
-  // When every integer column has an integral objective coefficient and all
-  // continuous columns are costless, the optimum is integral: nodes whose
-  // bound is within 1 of the incumbent can be pruned.
-  double gapTol = options_.objectiveGapTol;
-  {
-    bool integralObjective = true;
-    for (int c = 0; c < model_.numCols(); ++c) {
-      double o = model_.objective(c);
-      if (!isInteger_[c] && o != 0.0) integralObjective = false;
-      if (std::abs(o - std::round(o)) > 1e-12) integralObjective = false;
-    }
-    if (integralObjective) gapTol = std::max(gapTol, 1.0 - 1e-6);
-  }
+  if (options_.threads > 1) return solveParallel(t0);
+  return solveSerial(t0);
+}
+
+MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
+  MipResult result;
+  const double gapTol = computeGapTol();
 
   // Snapshot root bounds so we can apply/undo node fixes and restore at exit.
   const int n = model_.numCols();
@@ -126,7 +207,7 @@ MipResult MipSolver::solve() {
   // from the heap when the dive bottoms out.
   bool haveCurrent = true;
   bool currentFromHeap = true;
-  Node current{{}, -lp::kInfinity};
+  Node current{{}, -lp::kInfinity, nullptr};
 
   ErrorCode limitReason = ErrorCode::kOk;
   while (haveCurrent || !open.empty()) {
@@ -190,7 +271,8 @@ MipResult MipSolver::solve() {
 
       if (lpRes.status == lp::LpStatus::kInfeasible) break;
       if (lpRes.status != lp::LpStatus::kOptimal) {
-        if (lpRes.detail.code() == ErrorCode::kDeadline || timeUp()) {
+        if (lpRes.detail.code() == ErrorCode::kDeadline ||
+            deadlineExpiredNow()) {
           // The LP ran out of wall clock, not numerics (it inherits the
           // MIP's remaining budget, so its deadline verdict is ours): stop
           // the search cleanly and report limit status below.
@@ -338,6 +420,445 @@ MipResult MipSolver::solve() {
   if (unexplored) {
     ErrorCode code =
         limitReason == ErrorCode::kOk ? ErrorCode::kDeadline : limitReason;
+    result.error = Status::error(
+        code, std::string("search truncated: ") + optr::toString(code));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel branch and bound.
+//
+// N workers over one best-first frontier. Each worker owns a private copy of
+// the root model and a private SimplexSolver, so every LP data structure is
+// single-owner and the warm-start dive pattern (child differs from parent by
+// one bound) is preserved per worker. Shared, synchronized state:
+//   * the open-node queue (mutex + condition variable; dive children stay
+//     worker-local and never touch the queue);
+//   * the incumbent (mutex for the point, a relaxed atomic of its objective
+//     for the per-node pruning read -- stale reads only delay a prune);
+//   * the lazy-row pool: a separated cut is published once and appended to
+//     every other worker's model at its next node boundary, so one worker's
+//     DRC row prunes everyone's subtree. All separator calls are serialized
+//     behind the pool mutex, which also keeps stateful separators (dedup
+//     sets) correct.
+// Proven-optimal solves are exact regardless of exploration order, so the
+// objective/status are deterministic at any thread count; incumbent ties are
+// broken by canonicalLess, not arrival order.
+// ---------------------------------------------------------------------------
+
+MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
+  MipResult result;
+  const double gapTol = computeGapTol();
+  const int n = model_.numCols();
+  const int numWorkers = std::min(options_.threads, 256);
+
+  std::vector<double> rootLower(n), rootUpper(n);
+  for (int c = 0; c < n; ++c) {
+    rootLower[c] = model_.lower(c);
+    rootUpper[c] = model_.upper(c);
+  }
+
+  struct Shared {
+    std::mutex mu;  // queue, inflight, incumbent, stop bookkeeping
+    std::condition_variable cv;
+    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+    int inflight = 0;  // nodes held by workers (dives included)
+    bool done = false;
+
+    bool hasIncumbent = false;
+    std::vector<double> incumbent;
+    double incumbentObj = 0.0;
+    /// Relaxed mirror of incumbentObj for lock-free pruning reads; stale
+    /// values are always >= the true incumbent, so a stale read can only
+    /// delay a prune, never cause a wrong one.
+    std::atomic<double> incumbentBound{lp::kInfinity};
+
+    std::atomic<bool> stop{false};
+    bool limitHit = false;
+    ErrorCode limitReason = ErrorCode::kOk;
+    bool errorHit = false;
+    Status nodeError;
+
+    std::mutex cutMu;  // lazy-row pool + all separator invocations
+    std::vector<PoolRow> pool;
+
+    std::atomic<std::int64_t> nodes{0};
+    std::atomic<std::int64_t> lpIterations{0};
+    std::atomic<int> numericRetries{0};
+    std::atomic<int> separatorMisreports{0};
+  } S;
+
+  if (hasIncumbent_) {
+    S.hasIncumbent = true;
+    S.incumbent = incumbent_;
+    S.incumbentObj = incumbentObj_;
+    S.incumbentBound.store(incumbentObj_, std::memory_order_relaxed);
+  }
+  S.open.push(Node{{}, -lp::kInfinity, nullptr});
+
+  auto requestLimitStop = [&](ErrorCode code) {
+    std::lock_guard<std::mutex> lk(S.mu);
+    if (!S.limitHit && !S.errorHit) {
+      S.limitHit = true;
+      S.limitReason = code;
+    }
+    S.stop.store(true, std::memory_order_release);
+    S.cv.notify_all();
+  };
+  auto requestErrorStop = [&](const Status& err) {
+    std::lock_guard<std::mutex> lk(S.mu);
+    if (!S.errorHit) {
+      S.errorHit = true;
+      S.nodeError = err;
+    }
+    S.stop.store(true, std::memory_order_release);
+    S.cv.notify_all();
+  };
+
+  auto workerFn = [&]() {
+    // Private copies: model (bounds are mutated per node, rows appended by
+    // cut sync/separation) and simplex solver (owns the factorized basis).
+    lp::LpModel model = model_;
+    lp::SimplexSolver lps(options_.lpOptions);
+    std::size_t poolCursor = 0;          // pool rows already in `model`
+    std::vector<std::size_t> ownAhead;   // own published rows ahead of cursor
+    int timeCountdown = 1;
+
+    // Appends every pool row this worker has not seen yet (skipping rows it
+    // published itself). When `x` is given, flags rows the candidate
+    // violates. Caller must hold S.cutMu.
+    auto syncPoolLocked = [&](const std::vector<double>* x, bool* violated) {
+      for (; poolCursor < S.pool.size(); ++poolCursor) {
+        if (!ownAhead.empty() && ownAhead.front() == poolCursor) {
+          ownAhead.erase(ownAhead.begin());
+          continue;
+        }
+        const PoolRow& pr = S.pool[poolCursor];
+        appendPoolRow(model, pr);
+        if (x && violated && rowViolated(pr, *x)) *violated = true;
+      }
+    };
+
+    auto applyFixes = [&](const Node& node) {
+      for (auto& [c, lb, ub] : node.fixes) model.setBounds(c, lb, ub);
+    };
+    auto undoFixes = [&](const Node& node) {
+      for (auto& [c, lb, ub] : node.fixes) {
+        (void)lb;
+        (void)ub;
+        model.setBounds(c, rootLower[c], rootUpper[c]);
+      }
+    };
+
+    Node current;
+    bool haveCurrent = false;
+
+    auto releaseFinishedNode = [&]() {
+      std::lock_guard<std::mutex> lk(S.mu);
+      --S.inflight;
+      haveCurrent = false;
+      if (S.open.empty() && S.inflight == 0) S.done = true;
+      S.cv.notify_all();
+    };
+
+    for (;;) {
+      if (S.stop.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lk(S.mu);
+        if (haveCurrent) {
+          // The node stays conceptually open: push it back so the frontier
+          // bound stays valid for reporting (mirrors the serial path).
+          S.open.push(std::move(current));
+          --S.inflight;
+          haveCurrent = false;
+        }
+        S.cv.notify_all();
+        return;
+      }
+
+      if (!haveCurrent) {
+        std::unique_lock<std::mutex> lk(S.mu);
+        for (;;) {
+          if (S.done || S.stop.load(std::memory_order_relaxed)) break;
+          if (!S.open.empty()) {
+            double inc = S.incumbentBound.load(std::memory_order_relaxed);
+            if (S.open.top().bound >= inc - gapTol) {
+              // Heap pops in bound order: everything remaining is dominated.
+              while (!S.open.empty()) S.open.pop();
+              if (S.inflight == 0) {
+                S.done = true;
+                S.cv.notify_all();
+              }
+              continue;
+            }
+            current = S.open.top();
+            S.open.pop();
+            ++S.inflight;
+            haveCurrent = true;
+            break;
+          }
+          if (S.inflight == 0) {
+            S.done = true;
+            S.cv.notify_all();
+            break;
+          }
+          S.cv.wait(lk);
+        }
+        if (!haveCurrent) {
+          if (S.stop.load(std::memory_order_relaxed)) continue;  // top of loop
+          return;  // done
+        }
+      }
+
+      // Dive-child prune against the shared incumbent (relaxed read).
+      if (current.bound >=
+          S.incumbentBound.load(std::memory_order_relaxed) - gapTol) {
+        releaseFinishedNode();
+        continue;
+      }
+
+      // Global node budget.
+      if (S.nodes.fetch_add(1, std::memory_order_relaxed) + 1 >
+          options_.maxNodes) {
+        S.nodes.fetch_sub(1, std::memory_order_relaxed);
+        requestLimitStop(ErrorCode::kIterationLimit);
+        continue;  // stop handler pushes `current` back
+      }
+      // Cadenced wall-clock check (each node LP also inherits the remaining
+      // budget, so an expired deadline surfaces through the LP either way).
+      if (--timeCountdown <= 0) {
+        timeCountdown = kTimeCheckInterval;
+        if (deadlineExpiredNow()) {
+          S.nodes.fetch_sub(1, std::memory_order_relaxed);
+          requestLimitStop(ErrorCode::kDeadline);
+          continue;
+        }
+      }
+
+      applyFixes(current);
+      {
+        // Absorb cuts separated by other workers since the last node; the
+        // appended <= rows ride the same solveContinue path as lazy cuts.
+        std::lock_guard<std::mutex> ck(S.cutMu);
+        syncPoolLocked(nullptr, nullptr);
+      }
+
+      const lp::BasisSnapshot* warm = current.warm.get();
+      lp::BasisSnapshot ownBasis;
+      bool abortedOnTime = false;
+      bool nodeFailed = false;
+      bool retriedNode = false;
+      bool keptChild = false;
+      Status nodeErr;
+      Node diveChild;
+      for (;;) {
+        double remaining =
+            std::chrono::duration<double>(deadline_ -
+                                          std::chrono::steady_clock::now())
+                .count();
+        lps.options().deadlineSeconds = std::max(0.05, remaining);
+        lp::LpResult lpRes = lps.canContinue(model) ? lps.solveContinue(model)
+                                                    : lps.solve(model, warm);
+        lps.options().forceBland = options_.lpOptions.forceBland;
+        S.lpIterations.fetch_add(lpRes.iterations, std::memory_order_relaxed);
+        if (lpRes.status == lp::LpStatus::kOptimal) {
+          ownBasis = lps.snapshot();
+          warm = &ownBasis;
+        }
+
+        if (lpRes.status == lp::LpStatus::kInfeasible) break;
+        if (lpRes.status != lp::LpStatus::kOptimal) {
+          if (lpRes.detail.code() == ErrorCode::kDeadline ||
+              deadlineExpiredNow()) {
+            abortedOnTime = true;
+            break;
+          }
+          if (options_.retryOnNumericalFailure && !retriedNode) {
+            retriedNode = true;
+            S.numericRetries.fetch_add(1, std::memory_order_relaxed);
+            lps.invalidate();
+            lps.options().forceBland = true;
+            warm = nullptr;
+            continue;
+          }
+          nodeFailed = true;
+          nodeErr = lpRes.detail.isOk()
+                        ? Status::error(ErrorCode::kNumerical,
+                                        std::string("node LP failed: ") +
+                                            lp::toString(lpRes.status))
+                        : lpRes.detail;
+          break;
+        }
+
+        if (lpRes.objective >=
+            S.incumbentBound.load(std::memory_order_relaxed) - gapTol) {
+          break;  // bound-dominated
+        }
+
+        int branchCol = pickBranchIn(model, intCols_, lpRes.x, options_.intTol);
+        if (branchCol < 0) {
+          // Integer feasible. First absorb cuts other workers separated --
+          // one of them may already cut off this candidate, and a globally
+          // deduplicating separator would report "no rows" for it. Then run
+          // the separator and publish its delta. One critical section keeps
+          // sync + separate + publish atomic across workers.
+          int added = 0;
+          bool violatedByPool = false;
+          {
+            std::lock_guard<std::mutex> ck(S.cutMu);
+            syncPoolLocked(&lpRes.x, &violatedByPool);
+            if (!violatedByPool && separator_) {
+              const int rowsBefore = model.numRows();
+              int reported = separator_(lpRes.x, model);
+              added = model.numRows() - rowsBefore;
+              if (fault::fire(fault::Site::kSeparatorOverReport)) {
+                reported = added + 3;
+              }
+              if (reported != added) {
+                S.separatorMisreports.fetch_add(1, std::memory_order_relaxed);
+              }
+              for (int r = rowsBefore; r < model.numRows(); ++r) {
+                PoolRow pr;
+                auto cols = model.rowCols(r);
+                auto coefs = model.rowCoefs(r);
+                pr.cols.assign(cols.begin(), cols.end());
+                pr.coefs.assign(coefs.begin(), coefs.end());
+                pr.sense = model.sense(r);
+                pr.rhs = model.rhs(r);
+                ownAhead.push_back(S.pool.size());
+                S.pool.push_back(std::move(pr));
+              }
+            }
+          }
+          if (violatedByPool || added > 0) continue;  // re-solve with cuts
+          // Genuine incumbent: publish under the canonical tie-break.
+          {
+            std::lock_guard<std::mutex> lk(S.mu);
+            bool adopt;
+            if (!S.hasIncumbent) {
+              adopt = true;
+            } else if (lpRes.objective < S.incumbentObj - kIncumbentTieTol) {
+              adopt = true;
+            } else if (lpRes.objective <=
+                       S.incumbentObj + kIncumbentTieTol) {
+              adopt = canonicalLess(lpRes.x, S.incumbent, isInteger_);
+            } else {
+              adopt = false;
+            }
+            if (adopt) {
+              S.incumbentObj = S.hasIncumbent
+                                   ? std::min(S.incumbentObj, lpRes.objective)
+                                   : lpRes.objective;
+              S.incumbent = lpRes.x;
+              S.hasIncumbent = true;
+              S.incumbentBound.store(S.incumbentObj,
+                                     std::memory_order_relaxed);
+            }
+          }
+          break;
+        }
+
+        // Branch: share one child with the pool, keep diving the other --
+        // the dive child's LP differs by one bound, which is exactly the
+        // warm-start pattern the per-worker solver exploits.
+        Node down = current, up = current;
+        double v = lpRes.x[branchCol];
+        down.fixes.emplace_back(branchCol, rootLower[branchCol],
+                                std::floor(v));
+        up.fixes.emplace_back(branchCol, std::ceil(v), rootUpper[branchCol]);
+        down.bound = up.bound = lpRes.objective;
+        auto shared = std::make_shared<lp::BasisSnapshot>(std::move(ownBasis));
+        down.warm = shared;
+        up.warm = shared;
+        bool preferUp = (v - std::floor(v)) >= 0.5;
+        {
+          std::lock_guard<std::mutex> lk(S.mu);
+          S.open.push(preferUp ? std::move(down) : std::move(up));
+          S.cv.notify_one();
+        }
+        diveChild = preferUp ? std::move(up) : std::move(down);
+        keptChild = true;
+        break;
+      }
+      undoFixes(current);
+
+      if (nodeFailed) {
+        requestErrorStop(nodeErr);
+        continue;  // stop handler pushes `current` back (its bound counts)
+      }
+      if (abortedOnTime) {
+        requestLimitStop(ErrorCode::kDeadline);
+        continue;  // ditto
+      }
+      if (keptChild) {
+        current = std::move(diveChild);  // inflight unchanged: still ours
+      } else {
+        releaseFinishedNode();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(numWorkers);
+  for (int t = 0; t < numWorkers; ++t) pool.emplace_back(workerFn);
+  for (std::thread& t : pool) t.join();
+
+  // Workers never touch the root model; append the pooled lazy rows now so
+  // the "lazy rows remain appended" contract matches the serial path.
+  for (const PoolRow& pr : S.pool) appendPoolRow(model_, pr);
+
+  result.nodes = S.nodes.load();
+  result.lpIterations = S.lpIterations.load();
+  result.lazyRowsAdded = static_cast<int>(S.pool.size());
+  result.numericRetries = S.numericRetries.load();
+  result.separatorMisreports = S.separatorMisreports.load();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Publish the final incumbent back into the solver (callers may inspect
+  // it through follow-up solves, mirroring the serial member updates).
+  if (S.hasIncumbent) {
+    incumbent_ = S.incumbent;
+    incumbentObj_ = S.incumbentObj;
+    hasIncumbent_ = true;
+  }
+
+  auto emitIncumbent = [&]() {
+    result.objective = S.incumbentObj;
+    result.x = S.incumbent;
+    for (int c = 0; c < n; ++c) {
+      if (isInteger_[c]) result.x[c] = std::round(result.x[c]);
+    }
+  };
+  double frontier = S.open.empty() ? lp::kInfinity : S.open.top().bound;
+
+  if (S.errorHit) {
+    if (S.hasIncumbent) {
+      emitIncumbent();
+      frontier = std::min(frontier, S.incumbentObj);
+    }
+    result.bestBound = frontier;
+    result.error = S.nodeError;
+    result.status = MipStatus::kError;
+    return result;
+  }
+
+  const bool unexplored = S.limitHit && !S.open.empty();
+  if (S.hasIncumbent) {
+    emitIncumbent();
+    result.bestBound =
+        unexplored ? std::min(frontier, S.incumbentObj) : S.incumbentObj;
+    result.status =
+        unexplored ? MipStatus::kFeasibleLimit : MipStatus::kOptimal;
+  } else {
+    result.bestBound = unexplored ? frontier : -lp::kInfinity;
+    result.status =
+        unexplored ? MipStatus::kNoSolutionLimit : MipStatus::kInfeasible;
+  }
+  if (unexplored) {
+    ErrorCode code = S.limitReason == ErrorCode::kOk ? ErrorCode::kDeadline
+                                                     : S.limitReason;
     result.error = Status::error(
         code, std::string("search truncated: ") + optr::toString(code));
   }

@@ -14,6 +14,17 @@
 // Search is best-first on the LP relaxation bound, with most-fractional
 // branching and optional warm-start incumbents (OptRouter seeds the search
 // with the heuristic baseline router's solution).
+//
+// With `MipOptions.threads > 1` the tree search runs on a worker pool: each
+// worker owns a private copy of the model and its own simplex solver
+// (warm-started dives stay single-owner), pulls from a shared best-first
+// queue with dive locality, prunes against a shared incumbent, and publishes
+// separated lazy rows to a shared pool that every other worker absorbs at
+// node boundaries. Proven-optimal solves are deterministic at any thread
+// count (same objective and status; incumbent ties broken by a canonical
+// key, not arrival order); node/iteration *counters* are not, since the
+// exploration order is scheduling-dependent. `threads = 1` runs the
+// original serial path bit-identically. See docs/PERFORMANCE.md.
 #pragma once
 
 #include <chrono>
@@ -47,6 +58,9 @@ struct MipOptions {
   /// are integral multiples of the cost unit, so callers may raise this to
   /// (unit - epsilon) for stronger pruning.
   double objectiveGapTol = 1e-9;
+  /// Branch-and-bound worker threads. 1 = the serial search (bit-identical
+  /// to the historical solver); N > 1 = N workers over a shared frontier.
+  int threads = 1;
   lp::SimplexOptions lpOptions{.maxIterations = 400000};
 };
 
@@ -78,7 +92,11 @@ struct MipResult {
 
 /// Separation callback. Inspects an integer-feasible candidate `x` and
 /// appends every violated lazy row to `model`; returns the number of rows
-/// added (0 means the candidate is fully feasible).
+/// added (0 means the candidate is fully feasible). Under a parallel solve
+/// the solver serializes all separator invocations behind one mutex, so the
+/// callback may keep non-atomic internal state (dedup sets, counters); it
+/// is handed each worker's private model, which shares column numbering
+/// with the root model.
 using LazySeparator =
     std::function<int(const std::vector<double>& x, lp::LpModel& model)>;
 
@@ -86,7 +104,9 @@ class MipSolver {
  public:
   /// `isInteger[c]` marks columns that must take integral values. The model
   /// is mutated during solve (bound fixing, lazy rows) and restored to its
-  /// root bounds afterwards; lazy rows remain appended.
+  /// root bounds afterwards; lazy rows remain appended (under a parallel
+  /// solve the workers' pooled lazy rows are appended to the root model
+  /// when the search finishes).
   MipSolver(lp::LpModel& model, std::vector<bool> isInteger,
             MipOptions options = {});
 
@@ -115,12 +135,26 @@ class MipSolver {
     }
   };
 
+  MipResult solveSerial(std::chrono::steady_clock::time_point t0);
+  MipResult solveParallel(std::chrono::steady_clock::time_point t0);
+
+  /// Effective pruning tolerance: objectiveGapTol, strengthened to almost 1
+  /// when the objective is provably integral on integer-feasible points.
+  double computeGapTol() const;
+
+  /// Cadenced deadline check for the per-node hot path: queries the clock
+  /// only every kTimeCheckInterval calls and latches an expired verdict
+  /// (a deadline never un-expires). Cold paths use deadlineExpiredNow().
   bool timeUp() const;
+  bool deadlineExpiredNow() const;
   /// Returns index of the most fractional integer column, or -1 if integral.
   int pickBranchVariable(const std::vector<double>& x) const;
 
+  static constexpr int kTimeCheckInterval = 16;
+
   lp::LpModel& model_;
   std::vector<bool> isInteger_;
+  std::vector<int> intCols_;  // indices of integer columns (branch scan set)
   MipOptions options_;
   Status setupError_ = Status::ok();  // bad construction input, reported by solve()
   LazySeparator separator_;
@@ -131,6 +165,8 @@ class MipSolver {
   bool hasIncumbent_ = false;
 
   std::chrono::steady_clock::time_point deadline_;
+  mutable int timeCheckCountdown_ = 0;  // calls until the next clock query
+  mutable bool timeUpLatched_ = false;
 };
 
 }  // namespace optr::ilp

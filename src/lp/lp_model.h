@@ -5,6 +5,11 @@
 // Columns carry bounds; every variable must have a finite lower bound (the
 // routing formulation only produces variables in [0, u]), which lets the
 // solver start all nonbasic variables at their lower bound.
+//
+// Thread safety: none, by design. Even const-looking queries build a lazy
+// column index, so a model must be owned by exactly one thread at a time.
+// The parallel branch-and-bound gives each worker its own copy (LpModel is
+// cheap to copy relative to a node solve); do the same rather than sharing.
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,13 @@
 //     a dense inverse is simple and fast enough.
 //   * Dantzig pricing with an automatic switch to Bland's rule after a run
 //     of degenerate pivots guarantees termination.
+//
+// Thread safety: a SimplexSolver is strictly single-owner. Its value is the
+// mutable state it carries between calls (factorized basis inverse, basis
+// snapshots, warm-start bookkeeping), so sharing one across threads is
+// never correct. The parallel branch-and-bound pairs one private solver
+// with one private LpModel per worker; independent solver instances on
+// independent models are safe to run concurrently.
 #pragma once
 
 #include <cstdint>

@@ -103,5 +103,61 @@ TEST(RuleEvaluator, OutcomesCarrySolveMetadata) {
   }
 }
 
+TEST(RuleEvaluator, ClipThreadPoolMatchesSerialEvaluation) {
+  // Tiny deterministic clips that solve in milliseconds: the point is pool
+  // plumbing (task order, outcome equality), not solver stress, and this
+  // test also runs under TSan where solves are ~15x slower. Six clips vs
+  // four workers makes the task cursor actually queue work.
+  std::vector<clip::Clip> clips = {
+      testing::makeSimpleClip(3, 3, 2,
+                              {{{0, 0, 0}, {0, 2, 0}}, {{2, 0, 0}, {2, 2, 0}}}),
+      testing::makeSimpleClip(3, 3, 2,
+                              {{{0, 1, 0}, {2, 1, 0}}, {{1, 0, 0}, {1, 2, 0}}}),
+      testing::makeSimpleClip(3, 3, 3,
+                              {{{0, 0, 0}, {2, 2, 0}}, {{2, 0, 0}, {0, 2, 0}}}),
+      testing::makeSimpleClip(4, 4, 2,
+                              {{{0, 0, 0}, {3, 0, 0}},
+                               {{0, 3, 0}, {3, 3, 0}},
+                               {{0, 1, 0}, {0, 2, 0}}}),
+      testing::makeSimpleClip(4, 4, 3,
+                              {{{1, 0, 0}, {1, 3, 0}}, {{0, 2, 0}, {3, 2, 0}}}),
+      testing::makeSimpleClip(3, 4, 2,
+                              {{{0, 0, 0}, {2, 0, 0}}, {{0, 3, 0}, {2, 3, 0}}}),
+  };
+  EvaluationOptions serialOpt = fastOptions(rulesByName({"RULE1", "RULE6"}));
+  // Outcome equality only holds for solves the deadline never truncates --
+  // with N solves sharing the machine (worse under sanitizers), a short
+  // limit fires in the parallel pass but not the serial one. Give the
+  // solves room so every pass completes every solve.
+  serialOpt.router.mip.timeLimitSec = 300;
+  auto serial =
+      RuleEvaluator(tech::Technology::n28_12t(), serialOpt).evaluate(clips);
+
+  EvaluationOptions parOpt = serialOpt;
+  parOpt.clipThreads = 4;
+  auto par =
+      RuleEvaluator(tech::Technology::n28_12t(), parOpt).evaluate(clips);
+
+  ASSERT_EQ(par.rules.size(), serial.rules.size());
+  for (std::size_t ri = 0; ri < serial.rules.size(); ++ri) {
+    const RuleOutcome& s = serial.rules[ri];
+    const RuleOutcome& p = par.rules[ri];
+    EXPECT_EQ(p.feasible, s.feasible) << s.rule.name;
+    EXPECT_EQ(p.infeasible, s.infeasible) << s.rule.name;
+    EXPECT_EQ(p.unresolved, s.unresolved) << s.rule.name;
+    ASSERT_EQ(p.clips.size(), s.clips.size()) << s.rule.name;
+    for (std::size_t i = 0; i < s.clips.size(); ++i) {
+      // Outcomes stay in clip order and (deterministic solves) identical.
+      EXPECT_EQ(p.clips[i].status, s.clips[i].status) << i;
+      EXPECT_EQ(p.clips[i].provenance, s.clips[i].provenance) << i;
+      EXPECT_EQ(p.clips[i].cost, s.clips[i].cost) << i;
+    }
+    ASSERT_EQ(p.sortedDelta.size(), s.sortedDelta.size());
+    for (std::size_t i = 0; i < s.sortedDelta.size(); ++i) {
+      EXPECT_EQ(p.sortedDelta[i], s.sortedDelta[i]) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace optr::core

@@ -201,6 +201,81 @@ TEST(BatchRunner, CheckpointResumeMatchesUninterruptedRun) {
   std::remove(path.c_str());
 }
 
+TEST(BatchRunner, ThreadPoolMatchesSerialRowForRow) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+
+  BatchReport serial = BatchRunner(fastOptions()).run(clips, rules);
+  ASSERT_EQ(serial.rows.size(), 4u);
+
+  BatchOptions opt = fastOptions();
+  opt.threads = 4;  // in-process pool (fastOptions disables isolation)
+  BatchReport par = BatchRunner(opt).run(clips, rules);
+  EXPECT_EQ(par.executed, serial.executed);
+  ASSERT_EQ(par.rows.size(), serial.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    // Same task order, same deterministic outcomes.
+    EXPECT_EQ(par.rows[i].clipId, serial.rows[i].clipId) << i;
+    EXPECT_EQ(par.rows[i].ruleName, serial.rows[i].ruleName) << i;
+    EXPECT_EQ(par.rows[i].status, serial.rows[i].status) << i;
+    EXPECT_EQ(par.rows[i].provenance, serial.rows[i].provenance) << i;
+    EXPECT_EQ(par.rows[i].cost, serial.rows[i].cost) << i;
+    EXPECT_EQ(par.rows[i].wirelength, serial.rows[i].wirelength) << i;
+    EXPECT_EQ(par.rows[i].vias, serial.rows[i].vias) << i;
+  }
+}
+
+TEST(BatchRunner, ThreadPoolCheckpointResumeAndStopAfter) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+
+  std::string path = tempPath("threadresume");
+  std::remove(path.c_str());
+  BatchOptions opt = fastOptions();
+  opt.threads = 4;
+  opt.checkpointPath = path;
+  opt.stopAfter = 2;
+  BatchReport first = BatchRunner(opt).run(clips, rules);
+  EXPECT_TRUE(first.stoppedEarly);
+  EXPECT_EQ(first.executed, 2);
+  EXPECT_EQ(first.rows.size(), 2u);
+
+  // Resume with the pool: checkpointed tasks load, the rest execute.
+  opt.stopAfter = -1;
+  BatchReport second = BatchRunner(opt).run(clips, rules);
+  EXPECT_FALSE(second.stoppedEarly);
+  EXPECT_EQ(second.resumed, 2);
+  EXPECT_EQ(second.executed, 2);
+  ASSERT_EQ(second.rows.size(), 4u);
+  for (const BatchRow& row : second.rows) {
+    EXPECT_EQ(row.status, core::RouteStatus::kOptimal) << row.clipId;
+  }
+  // Task order survives parallel execution.
+  EXPECT_EQ(second.rows[0].clipId, "clipA");
+  EXPECT_EQ(second.rows[0].ruleName, "RULE1");
+  EXPECT_EQ(second.rows[3].clipId, "clipB");
+  EXPECT_EQ(second.rows[3].ruleName, "RULE2");
+  std::remove(path.c_str());
+}
+
+TEST(BatchRunner, ForkIsolationIgnoresThreadCount) {
+  // threads > 1 with isolation must not fork from pool threads: the runner
+  // falls back to the serial fork loop and still contains a crash.
+  BatchOptions opt = fastOptions();
+  opt.isolateTasks = true;
+  opt.threads = 8;
+  opt.preSolveHook = [](const std::string& clipId, const std::string& rule) {
+    if (clipId == "clipA" && rule == "RULE2") std::abort();
+  };
+  BatchReport report = BatchRunner(opt).run(twoClips(), twoRules());
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.crashed, 1);
+  EXPECT_TRUE(report.rows[1].crashed);
+  for (int i : {0, 2, 3}) {
+    EXPECT_EQ(report.rows[i].status, core::RouteStatus::kOptimal) << i;
+  }
+}
+
 TEST(BatchRunner, TruncatedCheckpointLineReRunsThatTask) {
   auto clips = twoClips();
   std::vector<tech::RuleConfig> rules = {tech::ruleByName("RULE1").value()};

@@ -1,0 +1,259 @@
+// Parallel branch-and-bound determinism and degradation.
+//
+// The contract under test: for proven-optimal solves, MipOptions.threads is
+// a pure performance knob -- the objective, status, and (through OptRouter)
+// provenance are identical at any thread count. Node/iteration counters are
+// scheduling-dependent and deliberately not asserted. The fault-injection
+// case checks the recovery ladder holds when a worker's LP engine fails
+// mid-search: honest provenance, taxonomy code, DRC-clean fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "core/opt_router.h"
+#include "ilp/mip.h"
+#include "route/drc.h"
+#include "tech/technology.h"
+#include "test_clips.h"
+
+namespace optr {
+namespace {
+
+using clip::TrackPoint;
+using ilp::MipOptions;
+using ilp::MipResult;
+using ilp::MipSolver;
+using ilp::MipStatus;
+using lp::LpModel;
+using lp::RowBuilder;
+using lp::RowSense;
+
+int addRow(LpModel& m, RowSense sense, double rhs,
+           std::vector<std::pair<int, double>> terms) {
+  RowBuilder rb;
+  for (auto& [c, v] : terms) rb.add(c, v);
+  rb.sense = sense;
+  rb.rhs = rhs;
+  return m.addRow(rb);
+}
+
+/// Same nasty instance family as mip_limits_test: random dense <= rows over
+/// binaries with many near-symmetric optima, so the tree search actually
+/// branches and the workers contend on the frontier.
+LpModel hardModel(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  LpModel m;
+  for (int c = 0; c < n; ++c)
+    m.addColumn(-1.0 - 0.001 * static_cast<double>(rng.uniform(10)), 0, 1);
+  for (int r = 0; r < n; ++r) {
+    RowBuilder rb;
+    for (int c = 0; c < n; ++c) {
+      if (rng.chance(0.5)) rb.add(c, 1.0 + static_cast<double>(rng.uniform(3)));
+    }
+    rb.sense = RowSense::kLe;
+    rb.rhs = static_cast<double>(2 + rng.uniform(4));
+    m.addRow(rb);
+  }
+  return m;
+}
+
+MipResult solveHard(int n, std::uint64_t seed, int threads) {
+  LpModel m = hardModel(n, seed);
+  MipOptions opt;
+  opt.threads = threads;
+  MipSolver solver(m, std::vector<bool>(n, true), opt);
+  return solver.solve();
+}
+
+TEST(MipParallel, HardModelsMatchSerialObjectiveAndStatus) {
+  for (auto [n, seed] : {std::pair<int, std::uint64_t>{16, 3},
+                         {20, 7},
+                         {24, 9},
+                         {24, 21}}) {
+    MipResult serial = solveHard(n, seed, 1);
+    ASSERT_EQ(serial.status, MipStatus::kOptimal)
+        << "n=" << n << " seed=" << seed;
+    for (int threads : {2, 8}) {
+      MipResult par = solveHard(n, seed, threads);
+      EXPECT_EQ(par.status, serial.status)
+          << "n=" << n << " seed=" << seed << " threads=" << threads;
+      EXPECT_NEAR(par.objective, serial.objective, 1e-9)
+          << "n=" << n << " seed=" << seed << " threads=" << threads;
+      // The proof must be closed: bound meets incumbent.
+      EXPECT_NEAR(par.bestBound, par.objective, 1e-6);
+    }
+  }
+}
+
+TEST(MipParallel, LazySeparationMatchesSerial) {
+  // Knapsack-ish maximization with a lazy "no adjacent pair" rule, the same
+  // shape OptRouter's DRC separation takes. The separator keeps state (a
+  // global dedup set) exactly like core::Formulation does -- the solver must
+  // serialize calls and sync the pool so the dedup never hides a cut from a
+  // worker that needs it.
+  for (int threads : {1, 2, 8}) {
+    LpModel m;
+    std::vector<int> cols;
+    for (int i = 0; i < 8; ++i) cols.push_back(m.addColumn(-1, 0, 1));
+    addRow(m, RowSense::kLe, 6, {{cols[0], 1}, {cols[1], 1}, {cols[2], 1},
+                                 {cols[3], 1}, {cols[4], 1}, {cols[5], 1},
+                                 {cols[6], 1}, {cols[7], 1}});
+    MipOptions opt;
+    opt.threads = threads;
+    MipSolver solver(m, std::vector<bool>(8, true), opt);
+    std::set<std::pair<int, int>> emitted;  // global dedup, like Formulation
+    solver.setLazySeparator(
+        [&](const std::vector<double>& x, LpModel& model) {
+          int added = 0;
+          for (int i = 0; i + 1 < 8; ++i) {
+            if (x[i] > 0.5 && x[i + 1] > 0.5 &&
+                !emitted.count({i, i + 1})) {
+              emitted.insert({i, i + 1});
+              addRow(model, RowSense::kLe, 1,
+                     {{cols[i], 1}, {cols[i + 1], 1}});
+              ++added;
+            }
+          }
+          return added;
+        });
+    MipResult r = solver.solve();
+    ASSERT_EQ(r.status, MipStatus::kOptimal) << "threads=" << threads;
+    // Best independent-ish set: 4 alternating variables.
+    EXPECT_NEAR(r.objective, -4.0, 1e-6) << "threads=" << threads;
+    // The incumbent must satisfy every pair rule, not just the separated
+    // ones (a worker racing past a pooled cut would violate this).
+    for (int i = 0; i + 1 < 8; ++i) {
+      EXPECT_LE(std::round(r.x[i]) + std::round(r.x[i + 1]), 1.0)
+          << "threads=" << threads << " pair " << i;
+    }
+  }
+}
+
+TEST(MipParallel, WarmStartIncumbentSurvivesParallelSolve) {
+  MipResult serial = solveHard(20, 7, 1);
+  ASSERT_EQ(serial.status, MipStatus::kOptimal);
+
+  // Seed the parallel search with the all-zero point (trivially feasible for
+  // the <= rows): the workers must still find and prove the true optimum.
+  LpModel m = hardModel(20, 7);
+  MipOptions opt;
+  opt.threads = 4;
+  MipSolver solver(m, std::vector<bool>(20, true), opt);
+  ASSERT_TRUE(solver.setInitialIncumbent(std::vector<double>(20, 0.0)));
+  MipResult r = solver.solve();
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, serial.objective, 1e-9);
+}
+
+TEST(MipParallel, InfeasibleProofAtAnyThreadCount) {
+  for (int threads : {1, 2, 8}) {
+    LpModel m;
+    int x = m.addColumn(1, 0, 1);
+    int y = m.addColumn(1, 0, 1);
+    addRow(m, RowSense::kEq, 1, {{x, 2}, {y, 2}});  // LP-feasible, IP-infeasible
+    MipOptions opt;
+    opt.threads = threads;
+    MipSolver solver(m, {true, true}, opt);
+    EXPECT_EQ(solver.solve().status, MipStatus::kInfeasible)
+        << "threads=" << threads;
+  }
+}
+
+TEST(MipParallel, NodeLimitReportsTruncationHonestly) {
+  LpModel m = hardModel(40, 5);
+  MipOptions opt;
+  opt.threads = 4;
+  opt.maxNodes = 8;
+  MipSolver solver(m, std::vector<bool>(40, true), opt);
+  MipResult r = solver.solve();
+  ASSERT_TRUE(r.status == MipStatus::kFeasibleLimit ||
+              r.status == MipStatus::kNoSolutionLimit);
+  EXPECT_EQ(r.error.code(), ErrorCode::kIterationLimit);
+  // Truncated searches must still report a valid (finite) lower bound.
+  EXPECT_GT(r.bestBound, -lp::kInfinity);
+  if (r.hasSolution()) {
+    EXPECT_LE(r.bestBound, r.objective + 1e-9);
+  }
+}
+
+// --- Router-level determinism and fault degradation -----------------------
+
+class MipParallelRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+
+  static clip::Clip testClip() {
+    return testing::makeSimpleClip(
+        5, 5, 3,
+        {{TrackPoint{0, 0, 0}, TrackPoint{4, 4, 0}},
+         {TrackPoint{0, 4, 0}, TrackPoint{4, 0, 0}}});
+  }
+
+  static core::OptRouterOptions routerOptions(int threads) {
+    core::OptRouterOptions opt;
+    opt.mip.timeLimitSec = 30.0;
+    opt.mip.threads = threads;
+    opt.mip.lpOptions.refactorInterval = 4;
+    return opt;
+  }
+
+  static core::RouteResult route(const clip::Clip& c,
+                                 core::OptRouterOptions opt) {
+    auto techn = tech::Technology::byName(c.techName).value();
+    auto rule = tech::ruleByName("RULE1").value();
+    return core::OptRouter(techn, rule, opt).route(c);
+  }
+
+  static void expectDrcClean(const clip::Clip& c,
+                             const core::RouteResult& res) {
+    auto techn = tech::Technology::byName(c.techName).value();
+    auto rule = tech::ruleByName("RULE1").value();
+    grid::RoutingGraph graph(c, techn, rule);
+    route::DrcChecker drc(c, graph);
+    EXPECT_TRUE(drc.check(res.solution).empty());
+  }
+};
+
+TEST_F(MipParallelRouterTest, ProvenanceAndCostIdenticalAcrossThreadCounts) {
+  clip::Clip c = testClip();
+  core::RouteResult serial = route(c, routerOptions(1));
+  ASSERT_EQ(serial.status, core::RouteStatus::kOptimal);
+  ASSERT_EQ(serial.provenance, core::Provenance::kIlpProven);
+  for (int threads : {2, 8}) {
+    core::RouteResult par = route(c, routerOptions(threads));
+    EXPECT_EQ(par.status, serial.status) << "threads=" << threads;
+    EXPECT_EQ(par.provenance, serial.provenance) << "threads=" << threads;
+    EXPECT_EQ(par.cost, serial.cost) << "threads=" << threads;
+    expectDrcClean(c, par);
+  }
+}
+
+TEST_F(MipParallelRouterTest, SingularBasisInWorkersStillDegradesHonestly) {
+  clip::Clip c = testClip();
+  core::RouteResult clean = route(c, routerOptions(1));
+  ASSERT_EQ(clean.status, core::RouteStatus::kOptimal);
+
+  // Every refactorization in every worker fails: no worker can prove
+  // anything, so the ladder must hand back the validated warm-start
+  // incumbent (or maze fallback) -- never a crash, never a silent wrong
+  // answer, at any thread count.
+  fault::ScopedFault f(fault::Site::kSingularBasis, 0, fault::kAlways);
+  core::RouteResult res = route(c, routerOptions(4));
+  EXPECT_GE(f.fired(), 2);  // each worker attempts + retries
+  ASSERT_TRUE(res.hasSolution());
+  EXPECT_EQ(res.status, core::RouteStatus::kFeasible);
+  EXPECT_TRUE(res.provenance == core::Provenance::kIlpIncumbent ||
+              res.provenance == core::Provenance::kMazeFallback);
+  EXPECT_EQ(res.error.code(), ErrorCode::kSingularBasis);
+  EXPECT_GE(res.solverRetries, 1);
+  EXPECT_GE(res.cost, clean.cost);
+  expectDrcClean(c, res);
+}
+
+}  // namespace
+}  // namespace optr

@@ -9,7 +9,12 @@
 //   sweep <clips> <rule...>                 route all clips under each rule
 //   batch <clips> <ckpt.jsonl> <rule...>    hardened sweep: fork-isolated
 //                                           tasks, watchdog, resumable via
-//                                           the JSONL checkpoint file
+//                                           the JSONL checkpoint file;
+//                                           --isolation=thread --threads N
+//                                           trades crash containment for an
+//                                           in-process worker pool, and
+//                                           --mip-threads N parallelizes
+//                                           each solve's tree search
 //   improve <clips> <rule> [threads]        local improvement report
 //
 // Example session:
@@ -46,7 +51,10 @@ int usage() {
                "  lefdef <tech> <out.lef> <out.def>\n"
                "  route <clips> <rule> [index=0]\n"
                "  sweep <clips> <rule...>\n"
-               "  batch <clips> <checkpoint.jsonl> <rule...>\n"
+               "  batch <clips> <checkpoint.jsonl> [--threads N]\n"
+               "        [--isolation=fork|thread] [--mip-threads N] <rule...>\n"
+               "        (--threads needs --isolation=thread: the in-process\n"
+               "         pool; fork isolation stays serial but crash-proof)\n"
                "  improve <clips> <rule> [threads=1]\n");
   return 2;
 }
@@ -220,8 +228,46 @@ int cmdBatch(int argc, char** argv) {
   if (argc < 5) return usage();
   auto clips = loadOrFail(argv[2]);
   if (!clips) return 1;
+
+  harness::BatchOptions opt;
+  opt.router.mip.timeLimitSec = 20;
+  opt.router.formulation.netBBoxMargin = 3;
+  opt.router.formulation.netLayerMargin = 1;
+  opt.checkpointPath = argv[3];
+
   std::vector<tech::RuleConfig> rules;
   for (int a = 4; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--threads" && a + 1 < argc) {
+      opt.threads = std::atoi(argv[++a]);
+      if (opt.threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--isolation=", 0) == 0) {
+      std::string mode = arg.substr(std::strlen("--isolation="));
+      if (mode == "fork") {
+        opt.isolateTasks = true;
+      } else if (mode == "thread") {
+        opt.isolateTasks = false;
+      } else {
+        std::fprintf(stderr,
+                     "--isolation must be 'fork' (crash-contained, serial) "
+                     "or 'thread' (in-process pool)\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--mip-threads" && a + 1 < argc) {
+      opt.router.mip.threads = std::atoi(argv[++a]);
+      if (opt.router.mip.threads < 1) {
+        std::fprintf(stderr, "--mip-threads must be >= 1\n");
+        return 2;
+      }
+      continue;
+    }
     auto ruleOr = tech::ruleByName(argv[a]);
     if (!ruleOr) {
       std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
@@ -229,12 +275,13 @@ int cmdBatch(int argc, char** argv) {
     }
     rules.push_back(ruleOr.value());
   }
-
-  harness::BatchOptions opt;
-  opt.router.mip.timeLimitSec = 20;
-  opt.router.formulation.netBBoxMargin = 3;
-  opt.router.formulation.netLayerMargin = 1;
-  opt.checkpointPath = argv[3];
+  if (rules.empty()) return usage();
+  if (opt.threads > 1 && opt.isolateTasks) {
+    std::fprintf(stderr,
+                 "note: --threads applies only with --isolation=thread; "
+                 "fork isolation runs tasks serially (crash containment "
+                 "over speed)\n");
+  }
   harness::BatchReport report =
       harness::BatchRunner(opt).run(clips.value(), rules);
 

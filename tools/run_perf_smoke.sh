@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Perf smoke test: a cheap CORRECTNESS gate for the parallel solve paths,
+# not a timing gate.
+#
+# Builds Release into build-perf/, then runs bench_runtime twice:
+#   * --threads 1 : every pass is effectively serial; sanity-checks that the
+#     thread plumbing at N=1 reproduces the plain serial pass exactly;
+#   * --threads N : serial vs mip-parallel vs clip-parallel on the same
+#     clip set. bench_runtime itself exits nonzero if any clip proven
+#     optimal by both a serial and a parallel pass disagrees on the
+#     objective -- that is the gate this script enforces.
+#
+# Speedups are printed for information only: they depend on available
+# hardware parallelism (on a single-core machine the expected clip-parallel
+# speedup is ~1.0x), so this script never fails on timing.
+#
+# Usage: tools/run_perf_smoke.sh [N]     (default N=4)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+threads="${1:-4}"
+if ! [[ "${threads}" =~ ^[0-9]+$ ]] || [[ "${threads}" -lt 1 ]]; then
+  echo "usage: tools/run_perf_smoke.sh [N >= 1]" >&2
+  exit 2
+fi
+
+echo "=== configuring Release into build-perf/ ==="
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-perf -j --target bench_runtime > /dev/null
+
+cores="$(nproc 2> /dev/null || echo 1)"
+if [[ "${cores}" -lt "${threads}" ]]; then
+  echo "note: ${cores} CPU core(s) available but --threads ${threads} requested;"
+  echo "      wall-clock speedups below will not reflect true parallel scaling."
+  echo "      The objective-determinism gate is unaffected."
+fi
+
+echo "=== bench_runtime --threads 1 (serial reproduction check) ==="
+build-perf/bench/bench_runtime --threads 1 --out build-perf/BENCH_runtime_t1.json
+
+echo "=== bench_runtime --threads ${threads} (determinism gate) ==="
+build-perf/bench/bench_runtime --threads "${threads}" \
+  --out build-perf/BENCH_runtime.json
+
+# Cross-run check: the serial pass must report identical objectives in both
+# runs (solves are deterministic; wall times of course differ).
+python3 - build-perf/BENCH_runtime_t1.json build-perf/BENCH_runtime.json <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+sa = next(p for p in a["passes"] if p["mode"] == "serial")
+sb = next(p for p in b["passes"] if p["mode"] == "serial")
+bad = 0
+for ca, cb in zip(sa["clips"], sb["clips"]):
+    if (ca["name"], ca["rule"]) != (cb["name"], cb["rule"]):
+        print(f"FAIL: clip order differs: {ca['name']} vs {cb['name']}")
+        bad = 1
+        continue
+    if ca["status"] != cb["status"] or ca["cost"] != cb["cost"]:
+        print(f"FAIL: serial pass not reproducible for {ca['name']}/{ca['rule']}:"
+              f" {ca['status']}/{ca['cost']} vs {cb['status']}/{cb['cost']}")
+        bad = 1
+sys.exit(bad)
+EOF
+
+echo "=== perf smoke OK: no parallel/serial objective divergence ==="
+echo "    trajectory: build-perf/BENCH_runtime.json"

@@ -1,21 +1,42 @@
 #!/usr/bin/env bash
-# Builds the test suite under AddressSanitizer and UBSan and runs it.
+# Builds the test suite under sanitizers and runs it.
 #
-# Usage: tools/run_sanitized_tests.sh [address|undefined|address,undefined]
-#   default: both, as separate builds (combining them works but mixes the
-#   reports). Each configuration builds into build-san-<name>/ so the normal
-#   build/ tree stays untouched.
+# Usage: tools/run_sanitized_tests.sh [address|undefined|thread|address,undefined]
+#   default: address, undefined, and thread as separate builds (combining
+#   address+undefined works but mixes the reports; thread is mutually
+#   exclusive with address/leak and is rejected up front). Each configuration
+#   builds into build-san-<name>/ so the normal build/ tree stays untouched.
+#
+# The thread (TSan) leg runs only the concurrency-relevant tests: the full
+# suite under TSan is 10-20x slower and the remaining tests are
+# single-threaded by construction. Pass OPTR_TSAN_ALL=1 to run everything.
 #
 # Exit status is nonzero if any sanitized test fails; sanitizer reports are
-# fatal (-fno-sanitize-recover=all), so a single UB hit fails its test.
+# fatal (-fno-sanitize-recover=all), so a single UB / race hit fails its
+# test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-configs=("${1:-address}" )
+configs=("${1:-address}")
 if [[ $# -eq 0 ]]; then
-  configs=(address undefined)
+  configs=(address undefined thread)
 fi
+
+for san in "${configs[@]}"; do
+  if [[ "${san}" == *thread* && ("${san}" == *address* || "${san}" == *leak*) ]]; then
+    echo "error: OPTR_SANITIZE='${san}' is invalid -- ThreadSanitizer cannot" >&2
+    echo "be combined with AddressSanitizer/LeakSanitizer (conflicting shadow" >&2
+    echo "memory). Run them as separate configurations:" >&2
+    echo "  tools/run_sanitized_tests.sh address && tools/run_sanitized_tests.sh thread" >&2
+    exit 2
+  fi
+done
+
+# Tests that exercise the parallel solve paths (parallel B&B, thread-pool
+# batch evaluation, concurrent fault probes) -- the TSan leg's target set.
+# ctest registers gtest suite names, so the filter matches those.
+tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator'
 
 status=0
 for san in "${configs[@]}"; do
@@ -25,7 +46,12 @@ for san in "${configs[@]}"; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${dir}" -j > /dev/null
   echo "=== ${san}: running ctest ==="
-  if ! ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"; then
+  ctest_args=(--test-dir "${dir}" --output-on-failure -j "$(nproc)")
+  if [[ "${san}" == "thread" && "${OPTR_TSAN_ALL:-0}" != "1" ]]; then
+    echo "    (concurrency tests only: ${tsan_filter}; OPTR_TSAN_ALL=1 for all)"
+    ctest_args+=(-R "${tsan_filter}")
+  fi
+  if ! ctest "${ctest_args[@]}"; then
     status=1
   fi
 done
