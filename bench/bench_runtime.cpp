@@ -11,10 +11,18 @@
 //                      (the RuleEvaluator / BatchRunner thread-pool mode).
 //
 // Emits BENCH_runtime.json: per-clip wall ms, LP pivots, B&B nodes, thread
-// counts, provenance counts, and the speedup of each parallel mode over the
-// serial baseline. The run FAILS (exit 1) if any clip proven optimal by both
-// the serial and a parallel pass disagrees on the objective -- threads must
-// be a pure performance knob.
+// counts, provenance counts, pass-level metrics-registry totals, and the
+// speedup of each parallel mode over the serial baseline. Per-clip pivot and
+// node counts are sourced from the obs metrics registry (snapshot deltas
+// around each solve) in the single-flight passes, so the benchmark reports
+// the same numbers any traced production run would.
+//
+// The run FAILS (exit 1) when:
+//   * a clip proven optimal by both the serial and a parallel pass disagrees
+//     on the objective -- threads must be a pure performance knob; or
+//   * (obs builds) a pass's registry totals disagree with the sum of its
+//     RouteResult counters -- the work-conservation gate: every worker's
+//     pivots and nodes must be counted exactly once, at any thread count.
 //
 // Usage: bench_runtime [--threads N] [--out path.json]
 #include <array>
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "core/opt_router.h"
+#include "obs/metrics.h"
 #include "test_support.h"
 
 using namespace optr;
@@ -42,15 +51,32 @@ struct BenchTask {
   const char* rule;
 };
 
+constexpr bool kObsEnabled = OPTR_OBS_ENABLED != 0;
+
 struct ClipStat {
   std::string name;
   std::string rule;
   double wallMs = 0.0;
+  // Reported pivot/node counts. In single-flight passes these come from the
+  // metrics-registry delta around the solve; in the clip-parallel pass
+  // (concurrent solves share the registry) from the RouteResult.
   std::int64_t lpPivots = 0;
   std::int64_t nodes = 0;
+  // Always the RouteResult's counters: the work-conservation gate checks
+  // the registry totals against these sums.
+  std::int64_t resultPivots = 0;
+  std::int64_t resultNodes = 0;
   double cost = 0.0;
   core::RouteStatus status = core::RouteStatus::kError;
   core::Provenance provenance = core::Provenance::kNone;
+};
+
+/// Pass-level registry deltas (zero in OPTR_OBS_DISABLED builds).
+struct RegistryTotals {
+  std::int64_t lpPivots = 0;   // lp.pivots: counted at the simplex layer
+  std::int64_t ilpPivots = 0;  // ilp.lp_pivots: counted at the MIP layer
+  std::int64_t nodes = 0;      // ilp.nodes
+  std::int64_t routeSolves = 0;
 };
 
 struct PassStat {
@@ -58,12 +84,23 @@ struct PassStat {
   int clipThreads = 1;
   int mipThreads = 1;
   double wallMs = 0.0;
+  RegistryTotals registry;
   std::vector<ClipStat> clips;
 
   std::array<int, 4> provenanceCounts() const {
     std::array<int, 4> counts{};
     for (const ClipStat& c : clips) counts[static_cast<int>(c.provenance)]++;
     return counts;
+  }
+  std::int64_t sumResultPivots() const {
+    std::int64_t n = 0;
+    for (const ClipStat& c : clips) n += c.resultPivots;
+    return n;
+  }
+  std::int64_t sumResultNodes() const {
+    std::int64_t n = 0;
+    for (const ClipStat& c : clips) n += c.resultNodes;
+    return n;
   }
 };
 
@@ -85,7 +122,9 @@ std::vector<BenchTask> taskSet() {
   };
 }
 
-ClipStat solveTask(const BenchTask& t, int mipThreads) {
+/// `singleFlight` means no other solve shares the registry during this call,
+/// so a snapshot delta attributes cleanly to this clip.
+ClipStat solveTask(const BenchTask& t, int mipThreads, bool singleFlight) {
   auto techn = tech::Technology::n28_12t();
   auto rule = tech::ruleByName(t.rule).value();
   clip::Clip c =
@@ -97,6 +136,8 @@ ClipStat solveTask(const BenchTask& t, int mipThreads) {
   o.formulation.netLayerMargin = 1;
   core::OptRouter router(techn, rule, o);
 
+  obs::MetricsSnapshot before;
+  if (kObsEnabled && singleFlight) before = obs::metrics().snapshot();
   auto t0 = std::chrono::steady_clock::now();
   core::RouteResult r = router.route(c);
   ClipStat s;
@@ -106,8 +147,17 @@ ClipStat solveTask(const BenchTask& t, int mipThreads) {
           .count();
   s.name = t.name + "_s" + std::to_string(t.seed);
   s.rule = t.rule;
-  s.lpPivots = r.lpIterations;
-  s.nodes = r.nodes;
+  s.resultPivots = r.lpIterations;
+  s.resultNodes = r.nodes;
+  if (kObsEnabled && singleFlight) {
+    obs::MetricsSnapshot d =
+        obs::MetricsSnapshot::delta(obs::metrics().snapshot(), before);
+    s.lpPivots = d.value("lp.pivots");
+    s.nodes = d.value("ilp.nodes");
+  } else {
+    s.lpPivots = r.lpIterations;
+    s.nodes = r.nodes;
+  }
   s.cost = r.cost;
   s.status = r.status;
   s.provenance = r.provenance;
@@ -122,10 +172,12 @@ PassStat runPass(const std::vector<BenchTask>& tasks, const std::string& mode,
   pass.mipThreads = mipThreads;
   pass.clips.resize(tasks.size());
 
+  obs::MetricsSnapshot before;
+  if (kObsEnabled) before = obs::metrics().snapshot();
   auto t0 = std::chrono::steady_clock::now();
   if (clipThreads <= 1) {
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      pass.clips[i] = solveTask(tasks[i], mipThreads);
+      pass.clips[i] = solveTask(tasks[i], mipThreads, /*singleFlight=*/true);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -133,7 +185,7 @@ PassStat runPass(const std::vector<BenchTask>& tasks, const std::string& mode,
       for (;;) {
         std::size_t i = next.fetch_add(1);
         if (i >= tasks.size()) return;
-        pass.clips[i] = solveTask(tasks[i], mipThreads);
+        pass.clips[i] = solveTask(tasks[i], mipThreads, /*singleFlight=*/false);
       }
     };
     std::vector<std::thread> pool;
@@ -143,7 +195,39 @@ PassStat runPass(const std::vector<BenchTask>& tasks, const std::string& mode,
   pass.wallMs = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+  if (kObsEnabled) {
+    obs::MetricsSnapshot d =
+        obs::MetricsSnapshot::delta(obs::metrics().snapshot(), before);
+    pass.registry.lpPivots = d.value("lp.pivots");
+    pass.registry.ilpPivots = d.value("ilp.lp_pivots");
+    pass.registry.nodes = d.value("ilp.nodes");
+    pass.registry.routeSolves = d.value("route.solves");
+  }
   return pass;
+}
+
+/// Work-conservation gate (obs builds only): a pass's registry totals must
+/// equal the sum of its RouteResult counters, exactly. Any miss means some
+/// worker's pivots or nodes escaped the plumbing.
+bool checkWorkConservation(const PassStat& pass) {
+  if (!kObsEnabled) return true;
+  bool ok = true;
+  auto expect = [&](const char* what, std::int64_t registry,
+                    std::int64_t summed) {
+    if (registry != summed) {
+      std::fprintf(stderr,
+                   "FAIL: %s pass: registry %s %lld != summed results %lld\n",
+                   pass.mode.c_str(), what, static_cast<long long>(registry),
+                   static_cast<long long>(summed));
+      ok = false;
+    }
+  };
+  expect("lp.pivots", pass.registry.lpPivots, pass.sumResultPivots());
+  expect("ilp.lp_pivots", pass.registry.ilpPivots, pass.sumResultPivots());
+  expect("ilp.nodes", pass.registry.nodes, pass.sumResultNodes());
+  expect("route.solves", pass.registry.routeSolves,
+         static_cast<std::int64_t>(pass.clips.size()));
+  return ok;
 }
 
 void emitJson(const std::string& path, int threads,
@@ -157,7 +241,12 @@ void emitJson(const std::string& path, int threads,
     out << "    {\"mode\": \"" << pass.mode
         << "\", \"clipThreads\": " << pass.clipThreads
         << ", \"mipThreads\": " << pass.mipThreads
-        << ", \"wallMs\": " << pass.wallMs << ",\n     \"provenance\": {"
+        << ", \"wallMs\": " << pass.wallMs << ",\n     \"registry\": {"
+        << "\"lpPivots\": " << pass.registry.lpPivots
+        << ", \"ilpPivots\": " << pass.registry.ilpPivots
+        << ", \"nodes\": " << pass.registry.nodes
+        << ", \"routeSolves\": " << pass.registry.routeSolves
+        << "},\n     \"provenance\": {"
         << "\"ilp-proven\": " << prov[static_cast<int>(core::Provenance::kIlpProven)]
         << ", \"ilp-incumbent\": "
         << prov[static_cast<int>(core::Provenance::kIlpIncumbent)]
@@ -216,6 +305,9 @@ int main(int argc, char** argv) {
   // Determinism gate: a clip proven optimal by both the serial baseline and
   // a parallel pass must agree on the objective bit-for-bit.
   bool diverged = false;
+  for (const PassStat& pass : passes) {
+    if (!checkWorkConservation(pass)) diverged = true;
+  }
   for (std::size_t p = 1; p < passes.size(); ++p) {
     for (std::size_t i = 0; i < serial.clips.size(); ++i) {
       const ClipStat& s = serial.clips[i];

@@ -1,0 +1,35 @@
+// Regenerates examples/example.clips, the small committed clip set used by
+// the observability walkthrough in docs/OBSERVABILITY.md:
+//
+//   optrouter batch examples/example.clips /tmp/ckpt.jsonl \
+//       --trace=/tmp/trace.jsonl --metrics RULE1 RULE8
+//   trace_report /tmp/trace.jsonl
+//
+// Four deterministic switchboxes (distinct seeds give distinct clip ids),
+// sized so every solve proves optimality in seconds while still branching
+// enough to produce an interesting trace.
+//
+// Usage: make_example_clips [out.clips]
+#include <cstdio>
+
+#include "clip/clip_io.h"
+#include "test_support.h"
+
+using namespace optr;
+
+int main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "examples/example.clips";
+  std::vector<clip::Clip> clips = {
+      bench::syntheticSwitchbox(5, 6, 3, 3, 1),
+      bench::syntheticSwitchbox(5, 6, 3, 3, 11),
+      bench::syntheticSwitchbox(6, 6, 3, 3, 3),
+      bench::syntheticSwitchbox(6, 8, 3, 3, 5),
+  };
+  Status s = clip::saveClips(out, clips);
+  if (!s) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu clips to %s\n", clips.size(), out);
+  return 0;
+}

@@ -25,6 +25,8 @@
 
 #include <atomic>
 
+#include "obs/trace.h"
+
 namespace optr::fault {
 
 enum class Site : int {
@@ -36,6 +38,19 @@ enum class Site : int {
 };
 
 inline constexpr int kAlways = 1 << 30;
+
+/// Stable site names for trace events and metric labels; common_test checks
+/// exhaustiveness (a new Site without a name trips it).
+inline const char* toString(Site s) {
+  switch (s) {
+    case Site::kSingularBasis: return "singular-basis";
+    case Site::kDualDrift: return "dual-drift";
+    case Site::kLpDeadline: return "lp-deadline";
+    case Site::kSeparatorOverReport: return "separator-over-report";
+    case Site::kNumSites: break;
+  }
+  return "?";
+}
 
 namespace detail {
 struct SiteState {
@@ -105,6 +120,12 @@ inline bool fire(Site site) {
   if (detail::takeUnit(st.countdown)) return false;
   if (!detail::takeUnit(st.remaining)) return false;
   st.fired.fetch_add(1, std::memory_order_relaxed);
+  // Every injected fault is observable: a trace event at the exact probe
+  // that fired (so tests can assert injection -> recovery causality) and a
+  // counter. Both are no-ops unless tracing/metrics are live, and this is
+  // the rare branch -- disarmed probes returned above.
+  obs::event("fault.fired", toString(site));
+  obs::metrics().counter("fault.injected").add();
   return true;
 }
 

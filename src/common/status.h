@@ -32,6 +32,10 @@ enum class ErrorCode : std::uint8_t {
   kSeparation,       // lazy-constraint separator misbehaved
   kCrash,            // isolated worker died (signal / abort)
   kInternal,         // invariant violated; default for untagged errors
+  /// Count sentinel -- always last; insert new codes directly above it so
+  /// serialized values stay stable. Exists so the string table can be
+  /// checked exhaustively (common_test fails on a nameless new code).
+  kNumCodes,
 };
 
 const char* toString(ErrorCode c);
@@ -76,6 +80,7 @@ inline const char* toString(ErrorCode c) {
     case ErrorCode::kSeparation: return "separation";
     case ErrorCode::kCrash: return "crash";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kNumCodes: break;
   }
   return "?";
 }
@@ -83,7 +88,7 @@ inline const char* toString(ErrorCode c) {
 /// Parses the serialized form produced by toString (harness checkpoints);
 /// unknown strings map to kInternal.
 inline ErrorCode errorCodeFromString(const std::string& s) {
-  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+  for (int i = 0; i < static_cast<int>(ErrorCode::kNumCodes); ++i) {
     auto c = static_cast<ErrorCode>(i);
     if (s == toString(c)) return c;
   }

@@ -6,11 +6,16 @@
 #include <limits>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace optr::core {
 
 std::vector<ClipOutcome> RuleEvaluator::solveAll(
     const std::vector<clip::Clip>& clips, const tech::RuleConfig& rule,
     double timeFactor) const {
+  obs::Span sweepSpan("eval.rule");
+  sweepSpan.detail(rule.name);
+  sweepSpan.arg("clips", static_cast<double>(clips.size()));
   OptRouterOptions ro = options_.router;
   ro.mip.timeLimitSec *= timeFactor;
   std::vector<ClipOutcome> out(clips.size());
@@ -60,6 +65,9 @@ std::vector<ClipOutcome> RuleEvaluator::solveAll(
 
 EvaluationResult RuleEvaluator::evaluate(
     const std::vector<clip::Clip>& clips) const {
+  obs::Span sweep("eval.sweep");
+  sweep.arg("rules", static_cast<double>(options_.rules.size()));
+  sweep.arg("clips", static_cast<double>(clips.size()));
   EvaluationResult result;
 
   // Reference first (longer budget: every delta keys off it).
@@ -123,6 +131,7 @@ EvaluationResult RuleEvaluator::evaluate(
     int finite = 0;
     for (double d : ro.sortedDelta) finite += std::isfinite(d) ? 1 : 0;
     ro.meanDelta = finite ? sum / finite : 0.0;
+    obs::metrics().counter("eval.rules_evaluated").add();
     result.rules.push_back(std::move(ro));
   }
   return result;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace optr::core {
 
 const char* toString(RouteStatus s) {
@@ -50,6 +52,33 @@ OptRouter::OptRouter(const tech::Technology& techn,
 //   rung 4  nothing DRC-clean exists: kUnknown / kError, never a dirty
 //           solution.
 RouteResult OptRouter::route(const clip::Clip& clip) const {
+  obs::Span span("route.solve");
+  span.detail(clip.id + "|" + rule_.name);
+
+  RouteResult result = routeImpl(clip);
+
+  span.arg("nodes", static_cast<double>(result.nodes));
+  span.arg("pivots", static_cast<double>(result.lpIterations));
+  span.arg("cost", result.cost);
+  // The ladder verdict, one event per solve: which rung held, what is
+  // proven, and (when degraded) the machine-readable reason.
+  obs::event("route.ladder", toString(result.provenance),
+             {{"status", static_cast<double>(result.status)},
+              {"error", static_cast<double>(result.error.code())}});
+  auto& m = obs::metrics();
+  m.counter("route.solves").add();
+  m.counter(std::string("route.status.") + toString(result.status)).add();
+  m.counter(std::string("route.provenance.") + toString(result.provenance))
+      .add();
+  span.end();
+  // A finished clip solve is the natural flush boundary: rings are drained
+  // while their content is one coherent solve, and a fork-isolated child
+  // (batch harness) gets its records out before _exit.
+  obs::TraceSession::flushAll();
+  return result;
+}
+
+RouteResult OptRouter::routeImpl(const clip::Clip& clip) const {
   RouteResult result;
   Status valid = clip.validate();
   if (!valid) {
@@ -57,8 +86,12 @@ RouteResult OptRouter::route(const clip::Clip& clip) const {
     return result;  // kError
   }
 
+  obs::Span formulateSpan("route.formulate");
   grid::RoutingGraph graph(clip, tech_, rule_);
   Formulation formulation(clip, graph, options_.formulation);
+  formulateSpan.arg("cols", static_cast<double>(formulation.model().numCols()));
+  formulateSpan.arg("rows", static_cast<double>(formulation.model().numRows()));
+  formulateSpan.end();
 
   ilp::MipSolver mip(formulation.model(), formulation.integrality(),
                      options_.mip);
@@ -73,12 +106,14 @@ RouteResult OptRouter::route(const clip::Clip& clip) const {
   auto runHeuristic = [&]() {
     if (heuristicTried) return;
     heuristicTried = true;
+    obs::Span mazeSpan("route.maze");
     route::MazeOptions mo = options_.mazeOptions;
     mo.arcFilter = [&formulation](int net, int arc) {
       return formulation.arcAvailableTo(net, arc);
     };
     route::MazeRouter maze(clip, graph, mo);
     heuristic = maze.route();
+    mazeSpan.arg("success", heuristic.success ? 1.0 : 0.0);
   };
   if (options_.warmStart) {
     runHeuristic();
@@ -140,8 +175,12 @@ RouteResult OptRouter::route(const clip::Clip& clip) const {
   const bool incumbentOnError =
       mr.status == ilp::MipStatus::kError && mr.hasIncumbent();
   if (mr.hasSolution() || incumbentOnError) {
+    obs::Span verifySpan("route.verify");
     route::RouteSolution sol = formulation.extractSolution(mr.x);
-    if (drc.check(sol).empty()) {
+    const bool clean = drc.check(sol).empty();
+    verifySpan.arg("clean", clean ? 1.0 : 0.0);
+    verifySpan.end();
+    if (clean) {
       if (mr.status == ilp::MipStatus::kOptimal) {
         adopt(sol, RouteStatus::kOptimal, Provenance::kIlpProven);
       } else {

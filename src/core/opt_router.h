@@ -97,6 +97,11 @@ class OptRouter {
   const OptRouterOptions& options() const { return options_; }
 
  private:
+  /// The ladder body; route() wraps it in the observability envelope
+  /// (route.solve span, ladder event, provenance counters, trace flush --
+  /// the end of a clip solve is the trace's flush boundary).
+  RouteResult routeImpl(const clip::Clip& clip) const;
+
   tech::Technology tech_;
   tech::RuleConfig rule_;
   OptRouterOptions options_;

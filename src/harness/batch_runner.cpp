@@ -19,6 +19,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/trace.h"
 #include "tech/technology.h"
 
 namespace optr::harness {
@@ -171,6 +172,8 @@ BatchRunner::BatchRunner(BatchOptions options)
 
 BatchRow BatchRunner::runInline(const clip::Clip& clip,
                                 const tech::RuleConfig& rule) const {
+  obs::Span span("batch.task", runSpanId_);
+  span.detail(clip.id + "|" + rule.name);
   BatchRow row;
   row.clipId = clip.id;
   row.ruleName = rule.name;
@@ -210,6 +213,11 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
   row.clipId = clip.id;
   row.ruleName = rule.name;
 
+  // Drain the trace rings before forking: any record still buffered here
+  // would otherwise be written twice (once by each process). After the
+  // flush the child starts from empty rings.
+  obs::TraceSession::flushAll();
+
   int fds[2];
   if (pipe(fds) != 0) {
     row.errorCode = ErrorCode::kIo;
@@ -230,7 +238,12 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
     // Worker: solve, ship one JSON line back, and exit without running any
     // parent-owned teardown (_exit, not exit).
     close(fds[0]);
+    // Re-key the child's span ids so they cannot collide with the parent's
+    // (both processes append to the same trace fd; O_APPEND keeps the
+    // line-level interleaving atomic).
+    obs::TraceSession::onFork(static_cast<std::uint64_t>(getpid()) << 32);
     BatchRow result = runInline(clip, rule);
+    obs::TraceSession::flushAll();  // ship the child's records before _exit
     std::string line = toJsonLine(result) + "\n";
     std::size_t off = 0;
     while (off < line.size()) {
@@ -322,6 +335,25 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
 
 BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
                              const std::vector<tech::RuleConfig>& rules) {
+  obs::Span runSpan("batch.run");
+  runSpan.arg("clips", static_cast<double>(clips.size()));
+  runSpan.arg("rules", static_cast<double>(rules.size()));
+  runSpanId_ = runSpan.id();
+  // Shared epilogue for every return path: batch counters, span args, and
+  // the end-of-run trace flush.
+  auto finish = [&](BatchReport& r) -> BatchReport& {
+    auto& m = obs::metrics();
+    m.counter("batch.tasks").add(r.executed);
+    m.counter("batch.resumed").add(r.resumed);
+    m.counter("batch.crashed").add(r.crashed);
+    m.counter("batch.timeouts").add(r.timedOut);
+    runSpan.arg("tasks", static_cast<double>(r.executed));
+    runSpan.arg("resumed", static_cast<double>(r.resumed));
+    runSpan.end();
+    runSpanId_ = 0;
+    obs::TraceSession::flushAll();
+    return r;
+  };
   BatchReport report;
 
   // A solve that honors its MIP deadline finishes well inside this envelope;
@@ -363,7 +395,7 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
         if (options_.stopAfter >= 0 && report.executed >= options_.stopAfter) {
           report.stoppedEarly = true;
           if (checkpoint) std::fclose(checkpoint);
-          return report;
+          return finish(report);
         }
 
         BatchRow row = options_.isolateTasks
@@ -380,13 +412,14 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
           std::string line = toJsonLine(row);
           std::fprintf(checkpoint, "%s\n", line.c_str());
           std::fflush(checkpoint);
+          obs::event("batch.checkpoint", row.clipId + "|" + row.ruleName);
         }
         report.rows.push_back(std::move(row));
       }
     }
 
     if (checkpoint) std::fclose(checkpoint);
-    return report;
+    return finish(report);
   }
 
   // Thread-pool mode. Plan the same task prefix the serial loop would
@@ -440,6 +473,7 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
         std::string line = toJsonLine(row);
         std::fprintf(checkpoint, "%s\n", line.c_str());
         std::fflush(checkpoint);
+        obs::event("batch.checkpoint", row.clipId + "|" + row.ruleName);
       }
       rows[t.slot] = std::move(row);
     }
@@ -455,7 +489,7 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
   report.rows = std::move(rows);
 
   if (checkpoint) std::fclose(checkpoint);
-  return report;
+  return finish(report);
 }
 
 }  // namespace optr::harness

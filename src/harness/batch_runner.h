@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -106,6 +107,10 @@ class BatchRunner {
                        double timeoutSec) const;
 
   BatchOptions options_;
+  // Span id of the active batch.run, parenting batch.task spans explicitly:
+  // pool threads have no implicit parent stack, and fork children inherit a
+  // stale one. 0 outside run().
+  std::uint64_t runSpanId_ = 0;
 };
 
 }  // namespace optr::harness

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/fault_injection.h"
+#include "obs/trace.h"
 
 namespace optr::ilp {
 
@@ -160,6 +161,7 @@ double MipSolver::computeGapTol() const {
 }
 
 MipResult MipSolver::solve() {
+  obs::Span span("mip.solve");
   MipResult result;
   if (!setupError_.isOk()) {
     result.error = setupError_;
@@ -171,8 +173,21 @@ MipResult MipSolver::solve() {
   timeCheckCountdown_ = 1;  // first timeUp() call queries the clock
   timeUpLatched_ = false;
 
-  if (options_.threads > 1) return solveParallel(t0);
-  return solveSerial(t0);
+  result = options_.threads > 1 ? solveParallel(t0) : solveSerial(t0);
+
+  span.arg("nodes", static_cast<double>(result.nodes));
+  span.arg("pivots", static_cast<double>(result.lpIterations));
+  span.arg("lazyRows", static_cast<double>(result.lazyRowsAdded));
+  span.arg("threads", static_cast<double>(options_.threads));
+  auto& m = obs::metrics();
+  m.counter("ilp.solves").add();
+  m.counter("ilp.nodes").add(result.nodes);
+  m.counter("ilp.lp_pivots").add(result.lpIterations);
+  m.counter("ilp.lazy_rows").add(result.lazyRowsAdded);
+  m.counter("ilp.numeric_retries").add(result.numericRetries);
+  m.counter("ilp.separator_misreports").add(result.separatorMisreports);
+  m.histogram("ilp.nodes_per_solve").record(static_cast<double>(result.nodes));
+  return result;
 }
 
 MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
@@ -236,6 +251,8 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
     }
 
     ++result.nodes;
+    obs::Span nodeSpan("mip.node");
+    nodeSpan.arg("bound", node.bound);
     applyFixes(node);
 
     // Lazy-constraint loop: re-solve this node while the separator keeps
@@ -250,6 +267,7 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
     bool abortedOnTime = false;
     bool nodeFailed = false;
     bool retriedNode = false;
+    std::int64_t nodeIters = 0;
     Status nodeError;
     for (;;) {
       // Give each LP the remaining wall-clock budget so a single hard LP
@@ -264,6 +282,7 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
                                : lpSolver_.solve(model_, warm);
       lpSolver_.options().forceBland = options_.lpOptions.forceBland;
       result.lpIterations += lpRes.iterations;
+      nodeIters += lpRes.iterations;
       if (lpRes.status == lp::LpStatus::kOptimal) {
         ownBasis = lpSolver_.snapshot();
         warm = &ownBasis;
@@ -285,6 +304,9 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
         if (options_.retryOnNumericalFailure && !retriedNode) {
           retriedNode = true;
           ++result.numericRetries;
+          obs::event("mip.retry", lpRes.detail.isOk()
+                                      ? lp::toString(lpRes.status)
+                                      : toString(lpRes.detail.code()));
           lpSolver_.invalidate();
           lpSolver_.options().forceBland = true;
           warm = nullptr;  // the warm basis may itself be the problem
@@ -321,6 +343,8 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
         }
         if (added > 0) {
           result.lazyRowsAdded += added;
+          obs::event("mip.cuts", {}, {{"rows", static_cast<double>(added)}});
+          obs::metrics().counter("ilp.cut_rounds").add();
           continue;  // re-solve the same node against the new rows
         }
         // Genuine incumbent.
@@ -328,6 +352,8 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
           incumbent_ = lpRes.x;
           incumbentObj_ = lpRes.objective;
           hasIncumbent_ = true;
+          obs::event("mip.incumbent", {}, {{"obj", incumbentObj_}});
+          obs::metrics().counter("ilp.incumbents").add();
         }
         break;
       }
@@ -350,6 +376,8 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
       break;
     }
     undoFixes(node);
+    nodeSpan.arg("iters", static_cast<double>(nodeIters));
+    nodeSpan.end();
     if (nodeFailed) {
       // Recovery rung 2: the retry failed too. Give up the optimality proof
       // but keep the result useful -- surface the best incumbent (validated
@@ -374,6 +402,7 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
       result.seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
+      result.workers = {{result.nodes, result.lpIterations, 0.0}};
       return result;
     }
     if (abortedOnTime) {
@@ -423,6 +452,7 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
     result.error = Status::error(
         code, std::string("search truncated: ") + optr::toString(code));
   }
+  result.workers = {{result.nodes, result.lpIterations, 0.0}};
   return result;
 }
 
@@ -487,7 +517,13 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
     std::atomic<std::int64_t> lpIterations{0};
     std::atomic<int> numericRetries{0};
     std::atomic<int> separatorMisreports{0};
+    /// One pre-sized slot per worker; each worker writes only its own slot
+    /// and the join is the synchronization point. The per-slot sums must
+    /// equal the atomic totals above -- the whole point of the per-worker
+    /// breakdown is that no worker's work can fall out of the report.
+    std::vector<MipWorkerStats> workers;
   } S;
+  S.workers.resize(static_cast<std::size_t>(numWorkers));
 
   if (hasIncumbent_) {
     S.hasIncumbent = true;
@@ -516,7 +552,14 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
     S.cv.notify_all();
   };
 
-  auto workerFn = [&]() {
+  // MIP workers run on their own threads, so their spans would otherwise be
+  // roots; parent them under the caller's mip.solve span explicitly.
+  const std::uint64_t solveSpanId = obs::TraceSession::currentSpanId();
+
+  auto workerFn = [&](int workerIdx) {
+    obs::Span workerSpan("mip.worker", solveSpanId);
+    workerSpan.arg("worker", static_cast<double>(workerIdx));
+    MipWorkerStats& wstats = S.workers[static_cast<std::size_t>(workerIdx)];
     // Private copies: model (bounds are mutated per node, rows appended by
     // cut sync/separation) and simplex solver (owns the factorized basis).
     lp::LpModel model = model_;
@@ -562,6 +605,9 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
       S.cv.notify_all();
     };
 
+    // The search loop proper lives in a lambda so that every exit path
+    // (done, stop, error) falls through to the stats/span epilogue below.
+    auto runLoop = [&]() {
     for (;;) {
       if (S.stop.load(std::memory_order_acquire)) {
         std::lock_guard<std::mutex> lk(S.mu);
@@ -602,7 +648,12 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
             S.cv.notify_all();
             break;
           }
+          const auto idle0 = std::chrono::steady_clock::now();
           S.cv.wait(lk);
+          wstats.idleSeconds +=
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            idle0)
+                  .count();
         }
         if (!haveCurrent) {
           if (S.stop.load(std::memory_order_relaxed)) continue;  // top of loop
@@ -635,6 +686,9 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
         }
       }
 
+      ++wstats.nodes;  // mirrors the S.nodes add; rollbacks never reach here
+      obs::Span nodeSpan("mip.node");
+      nodeSpan.arg("bound", current.bound);
       applyFixes(current);
       {
         // Absorb cuts separated by other workers since the last node; the
@@ -649,6 +703,7 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
       bool nodeFailed = false;
       bool retriedNode = false;
       bool keptChild = false;
+      std::int64_t nodeIters = 0;
       Status nodeErr;
       Node diveChild;
       for (;;) {
@@ -661,6 +716,8 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
                                                     : lps.solve(model, warm);
         lps.options().forceBland = options_.lpOptions.forceBland;
         S.lpIterations.fetch_add(lpRes.iterations, std::memory_order_relaxed);
+        wstats.lpIterations += lpRes.iterations;
+        nodeIters += lpRes.iterations;
         if (lpRes.status == lp::LpStatus::kOptimal) {
           ownBasis = lps.snapshot();
           warm = &ownBasis;
@@ -676,6 +733,9 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
           if (options_.retryOnNumericalFailure && !retriedNode) {
             retriedNode = true;
             S.numericRetries.fetch_add(1, std::memory_order_relaxed);
+            obs::event("mip.retry", lpRes.detail.isOk()
+                                        ? lp::toString(lpRes.status)
+                                        : toString(lpRes.detail.code()));
             lps.invalidate();
             lps.options().forceBland = true;
             warm = nullptr;
@@ -730,6 +790,10 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
               }
             }
           }
+          if (added > 0) {
+            obs::event("mip.cuts", {}, {{"rows", static_cast<double>(added)}});
+            obs::metrics().counter("ilp.cut_rounds").add();
+          }
           if (violatedByPool || added > 0) continue;  // re-solve with cuts
           // Genuine incumbent: publish under the canonical tie-break.
           {
@@ -753,6 +817,8 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
               S.hasIncumbent = true;
               S.incumbentBound.store(S.incumbentObj,
                                      std::memory_order_relaxed);
+              obs::event("mip.incumbent", {}, {{"obj", S.incumbentObj}});
+              obs::metrics().counter("ilp.incumbents").add();
             }
           }
           break;
@@ -781,6 +847,8 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
         break;
       }
       undoFixes(current);
+      nodeSpan.arg("iters", static_cast<double>(nodeIters));
+      nodeSpan.end();
 
       if (nodeFailed) {
         requestErrorStop(nodeErr);
@@ -796,11 +864,19 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
         releaseFinishedNode();
       }
     }
+    };  // runLoop
+    runLoop();
+
+    workerSpan.arg("nodes", static_cast<double>(wstats.nodes));
+    workerSpan.arg("pivots", static_cast<double>(wstats.lpIterations));
+    workerSpan.arg("idleSec", wstats.idleSeconds);
+    obs::metrics().counter("ilp.worker_idle_ns").add(
+        static_cast<std::int64_t>(wstats.idleSeconds * 1e9));
   };
 
   std::vector<std::thread> pool;
   pool.reserve(numWorkers);
-  for (int t = 0; t < numWorkers; ++t) pool.emplace_back(workerFn);
+  for (int t = 0; t < numWorkers; ++t) pool.emplace_back(workerFn, t);
   for (std::thread& t : pool) t.join();
 
   // Workers never touch the root model; append the pooled lazy rows now so
@@ -812,6 +888,7 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
   result.lazyRowsAdded = static_cast<int>(S.pool.size());
   result.numericRetries = S.numericRetries.load();
   result.separatorMisreports = S.separatorMisreports.load();
+  result.workers = std::move(S.workers);
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

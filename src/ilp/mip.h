@@ -47,6 +47,18 @@ enum class MipStatus : std::uint8_t {
 
 const char* toString(MipStatus s);
 
+/// Per-worker work accounting. The aggregation invariant -- pinned by
+/// mip_parallel_test -- is that summing nodes / lpIterations over `workers`
+/// reproduces the MipResult totals exactly, at any thread count: every
+/// worker's work is counted, not just the chain that produced the final
+/// incumbent, so reported totals are complete regardless of scheduling.
+struct MipWorkerStats {
+  std::int64_t nodes = 0;
+  std::int64_t lpIterations = 0;
+  /// Wall seconds this worker spent blocked on the empty shared frontier.
+  double idleSeconds = 0.0;
+};
+
 struct MipOptions {
   double timeLimitSec = 300.0;
   std::int64_t maxNodes = 1000000;
@@ -81,6 +93,9 @@ struct MipResult {
   /// Separator calls whose reported row count disagreed with the rows
   /// actually appended (the solver trusts the model delta, not the report).
   int separatorMisreports = 0;
+  /// One entry per worker (a serial solve reports a single entry); the
+  /// per-field sums equal the totals above. See MipWorkerStats.
+  std::vector<MipWorkerStats> workers;
 
   bool hasSolution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasibleLimit;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
 
 namespace optr::lp {
 
@@ -165,12 +166,16 @@ void SimplexSolver::setup(const LpModel& model, const BasisSnapshot* warm) {
   w_.assign(numRows_, 0.0);
   rhsWork_.assign(numRows_, 0.0);
   iterations_ = 0;
+  refactorCount_ = 0;
+  degeneratePivots_ = 0;
+  blandActivations_ = 0;
   stallCount_ = 0;
   blandMode_ = options_.forceBland;
   stateValid_ = false;
 }
 
 bool SimplexSolver::refactorize() {
+  ++refactorCount_;
   if (fault::fire(fault::Site::kSingularBasis)) return false;
   // Rebuild Binv by Gauss-Jordan elimination of the basis matrix B, stored
   // row-major with rows = constraint rows and columns = basis slots. The
@@ -474,7 +479,11 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
     }
 
     if (tBest <= options_.feasTol) {
-      if (++stallCount_ >= options_.blandAfterStalls) blandMode_ = true;
+      ++degeneratePivots_;
+      if (++stallCount_ >= options_.blandAfterStalls && !blandMode_) {
+        blandMode_ = true;
+        ++blandActivations_;
+      }
     } else {
       stallCount_ = 0;
       blandMode_ = options_.forceBland;
@@ -754,9 +763,35 @@ LpResult SimplexSolver::solveContinue(const LpModel& model) {
 
   recomputeBasicValues();
   iterations_ = 0;
+  refactorCount_ = 0;
+  degeneratePivots_ = 0;
+  blandActivations_ = 0;
   stallCount_ = 0;
   blandMode_ = options_.forceBland;
   return runPhases(model);
+}
+
+void SimplexSolver::finalizeResult(LpResult& result) {
+  result.iterations = iterations_;
+  result.refactorizations = refactorCount_;
+  result.degeneratePivots = degeneratePivots_;
+  result.blandActivations = blandActivations_;
+  static obs::Counter& cSolves = obs::metrics().counter("lp.solves");
+  static obs::Counter& cPivots = obs::metrics().counter("lp.pivots");
+  static obs::Counter& cRefactor =
+      obs::metrics().counter("lp.refactorizations");
+  static obs::Counter& cDegen =
+      obs::metrics().counter("lp.degenerate_pivots");
+  static obs::Counter& cBland =
+      obs::metrics().counter("lp.bland_activations");
+  static obs::Histogram& hPivots =
+      obs::metrics().histogram("lp.pivots_per_solve");
+  cSolves.add();
+  cPivots.add(iterations_);
+  cRefactor.add(refactorCount_);
+  cDegen.add(degeneratePivots_);
+  cBland.add(blandActivations_);
+  hPivots.record(static_cast<double>(iterations_));
 }
 
 LpResult SimplexSolver::runPhases(const LpModel& model) {
@@ -774,7 +809,6 @@ LpResult SimplexSolver::runPhases(const LpModel& model) {
   };
 
   LpStatus st = iterate(budget, /*phase1=*/true);
-  result.iterations = iterations_;
   if (st != LpStatus::kOptimal) {
     if (st == LpStatus::kInfeasible) {
       result.phase1Infeasibility = totalInfeasibility();
@@ -782,6 +816,7 @@ LpResult SimplexSolver::runPhases(const LpModel& model) {
     }
     result.status = st;
     result.detail = stopDetail(st);
+    finalizeResult(result);
     return result;
   }
 
@@ -801,10 +836,10 @@ LpResult SimplexSolver::runPhases(const LpModel& model) {
     }
     st = iterate(budget, /*phase1=*/false);
   }
-  result.iterations = iterations_;
   if (st != LpStatus::kOptimal) {
     result.status = st;
     result.detail = stopDetail(st);
+    finalizeResult(result);
     return result;
   }
 
@@ -837,6 +872,7 @@ LpResult SimplexSolver::runPhases(const LpModel& model) {
     }
   }
   stateValid_ = (result.status == LpStatus::kOptimal);
+  finalizeResult(result);
   return result;
 }
 

@@ -64,7 +64,13 @@ struct LpResult {
   LpStatus status = LpStatus::kNumericalError;
   double objective = 0.0;
   std::vector<double> x;  // structural variables only (model columns)
+  /// Every pivot this call performed, including the primal-drift recovery
+  /// retries after the main phases (historically those went uncounted,
+  /// which made MIP pivot totals depend on how often recovery ran).
   std::int64_t iterations = 0;
+  std::int64_t refactorizations = 0;  // attempts, incl. failed/injected
+  std::int64_t degeneratePivots = 0;  // zero-step-length pivots
+  std::int64_t blandActivations = 0;  // Dantzig -> Bland's rule switches
   double phase1Infeasibility = 0.0;
   /// Why a non-optimal solve stopped, machine-readable: kDeadline vs
   /// kIterationLimit for kIterLimit; kSingularBasis vs kNumerical for
@@ -127,6 +133,10 @@ class SimplexSolver {
 
   void setup(const LpModel& model, const BasisSnapshot* warm);
   LpResult runPhases(const LpModel& model);
+  /// Copies the per-call work counters into `result` and publishes them to
+  /// the obs metrics registry. Runs on every runPhases exit path, *after*
+  /// the drift-recovery retries, so no pivot goes unreported.
+  void finalizeResult(LpResult& result);
   /// One simplex phase. In phase 1 the cost vector is the dynamic bound
   /// violation signature of the basis; in phase 2 it is the model objective.
   LpStatus iterate(std::int64_t& iterationBudget, bool phase1);
@@ -163,6 +173,9 @@ class SimplexSolver {
   // Workspace.
   std::vector<double> y_, w_, rhsWork_;
   std::int64_t iterations_ = 0;
+  std::int64_t refactorCount_ = 0;
+  std::int64_t degeneratePivots_ = 0;
+  std::int64_t blandActivations_ = 0;
   int stallCount_ = 0;
   bool blandMode_ = false;
   ErrorCode stopReason_ = ErrorCode::kOk;  // set when iterate() bails out

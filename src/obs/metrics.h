@@ -1,0 +1,399 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// Design constraints, in order:
+//   1. Hot-path increments must be cheap enough to leave in the simplex
+//      pivot loop: a relaxed atomic fetch_add on a cached handle, no locks,
+//      no string hashing. Callers resolve a handle once (registry lookup
+//      takes a mutex) and then increment through the reference.
+//   2. Thread safety everywhere: increments may race from parallel MIP
+//      workers and clip pools; snapshot() may race with increments. All
+//      reads/writes are relaxed atomics -- a snapshot is a consistent-enough
+//      cut for reporting, not a linearizable barrier.
+//   3. Zero dependencies beyond the standard library, header-only, and
+//      compiled down to no-ops when OPTR_OBS_DISABLED is defined so that an
+//      instrumented hot path costs literally nothing in stripped builds.
+//
+// Metric handles are stable for the process lifetime: the registry never
+// deletes a metric, so a `Counter&` captured at startup stays valid in any
+// thread. Names are dotted paths ("lp.pivots"); the catalogue lives in
+// docs/OBSERVABILITY.md.
+//
+// Snapshots: MetricsSnapshot freezes every metric's current value; the
+// static delta(after, before) subtracts counters/histogram accumulations
+// (gauges and histogram min/max keep the `after` value -- they are levels,
+// not flows). bench_runtime and the CLI's --metrics flag are built on
+// snapshot deltas, which makes them robust against other solves having run
+// earlier in the same process.
+#pragma once
+
+#ifndef OPTR_OBS_ENABLED
+#ifdef OPTR_OBS_DISABLED
+#define OPTR_OBS_ENABLED 0
+#else
+#define OPTR_OBS_ENABLED 1
+#endif
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optr::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+inline const char* toString(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+#if OPTR_OBS_ENABLED
+
+/// Monotonic event count. add() is the hot-path operation.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// Test-only: snapshots/deltas are the supported way to scope a reading.
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A level that can move both ways (queue depth, open nodes).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Distribution of non-negative samples in power-of-two buckets:
+/// bucket 0 holds v < 1, bucket k holds 2^(k-1) <= v < 2^k, the last bucket
+/// is open-ended. count/sum/min/max ride along for exact aggregates.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  void record(double v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// +inf / -inf respectively while empty.
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  std::int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(kInf, std::memory_order_relaxed);
+    max_.store(-kInf, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  static int bucketOf(double v) {
+    if (!(v >= 1.0)) return 0;  // negatives and NaN land in bucket 0
+    int k = 1;
+    while (k < kNumBuckets - 1 && v >= static_cast<double>(1ULL << k)) ++k;
+    return k;
+  }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  static void atomicAdd(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMin(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMax(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{kInf};
+  std::atomic<double> max_{-kInf};
+  std::atomic<std::int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// One frozen reading of the registry. Entries are sorted by name.
+class MetricsSnapshot {
+ public:
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::int64_t value = 0;  // counter / gauge
+    std::int64_t count = 0;  // histogram
+    double sum = 0.0;        // histogram
+    double min = 0.0;        // histogram (level: delta keeps `after`)
+    double max = 0.0;        // histogram (level: delta keeps `after`)
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  const Entry* find(std::string_view name) const {
+    for (const Entry& e : entries_)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+
+  /// Counter/gauge value by name; 0 when absent.
+  std::int64_t value(std::string_view name) const {
+    const Entry* e = find(name);
+    return e ? e->value : 0;
+  }
+
+  /// after - before. Counters and histogram count/sum subtract; gauges and
+  /// histogram min/max keep the `after` reading. Metrics absent from
+  /// `before` are treated as zero there.
+  static MetricsSnapshot delta(const MetricsSnapshot& after,
+                               const MetricsSnapshot& before) {
+    MetricsSnapshot out;
+    for (const Entry& a : after.entries_) {
+      Entry e = a;
+      if (const Entry* b = before.find(a.name)) {
+        if (e.kind != MetricKind::kGauge) e.value -= b->value;
+        e.count -= b->count;
+        e.sum -= b->sum;
+      }
+      out.entries_.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  /// One JSON object: {"lp.pivots":123,"lp.pivots_per_solve":{...}}.
+  std::string toJson() const {
+    std::string out = "{";
+    bool first = true;
+    char buf[64];
+    for (const Entry& e : entries_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + e.name + "\":";
+      if (e.kind == MetricKind::kHistogram) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"count\":%lld,\"sum\":%.17g", (long long)e.count,
+                      e.sum);
+        out += buf;
+        if (e.count > 0) {
+          std::snprintf(buf, sizeof buf, ",\"min\":%.17g,\"max\":%.17g", e.min,
+                        e.max);
+          out += buf;
+        }
+        out += "}";
+      } else {
+        std::snprintf(buf, sizeof buf, "%lld", (long long)e.value);
+        out += buf;
+      }
+    }
+    out += "}";
+    return out;
+  }
+
+  void add(Entry e) { entries_.push_back(std::move(e)); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// The registry. Lookup by name takes a mutex and is meant for handle
+/// resolution, not per-increment use. Metrics are never removed, so
+/// returned references are valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name) {
+    return slot(name, MetricKind::kCounter).counter;
+  }
+  Gauge& gauge(std::string_view name) {
+    return slot(name, MetricKind::kGauge).gauge;
+  }
+  Histogram& histogram(std::string_view name) {
+    return slot(name, MetricKind::kHistogram).histogram;
+  }
+
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, m] : metrics_) {
+      MetricsSnapshot::Entry e;
+      e.name = name;
+      e.kind = m->kind;
+      switch (m->kind) {
+        case MetricKind::kCounter:
+          e.value = m->counter.value();
+          break;
+        case MetricKind::kGauge:
+          e.value = m->gauge.value();
+          break;
+        case MetricKind::kHistogram:
+          e.count = m->histogram.count();
+          e.sum = m->histogram.sum();
+          e.min = m->histogram.min();
+          e.max = m->histogram.max();
+          break;
+      }
+      snap.add(std::move(e));
+    }
+    return snap;  // std::map iterates sorted by name
+  }
+
+  /// Test-only: zeroes every metric (handles stay valid).
+  void resetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, m] : metrics_) {
+      (void)name;
+      m->counter.reset();
+      m->gauge.reset();
+      m->histogram.reset();
+    }
+  }
+
+ private:
+  struct Metric {
+    explicit Metric(MetricKind k) : kind(k) {}
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Metric& slot(std::string_view name, MetricKind kind) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(std::string(name));
+    if (it == metrics_.end()) {
+      it = metrics_
+               .emplace(std::string(name), std::make_unique<Metric>(kind))
+               .first;
+    }
+    return *it->second;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+};
+
+/// The process-wide registry. Intentionally leaked (never destroyed) so
+/// metric handles and late increments from detached threads stay safe
+/// during shutdown.
+inline MetricsRegistry& metrics() {
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+#else  // !OPTR_OBS_ENABLED --------------------------------------------------
+
+// No-op mirrors with identical call signatures; every call inlines away.
+
+class Counter {
+ public:
+  void add(std::int64_t = 1) {}
+  std::int64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) {}
+  void add(std::int64_t = 1) {}
+  std::int64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+  void record(double) {}
+  std::int64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  double min() const { return 0.0; }
+  double max() const { return 0.0; }
+  std::int64_t bucket(int) const { return 0; }
+  void reset() {}
+  static int bucketOf(double) { return 0; }
+};
+
+class MetricsSnapshot {
+ public:
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::int64_t value = 0;
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  const std::vector<Entry>& entries() const {
+    static const std::vector<Entry> kEmpty;
+    return kEmpty;
+  }
+  const Entry* find(std::string_view) const { return nullptr; }
+  std::int64_t value(std::string_view) const { return 0; }
+  static MetricsSnapshot delta(const MetricsSnapshot&, const MetricsSnapshot&) {
+    return {};
+  }
+  std::string toJson() const { return "{}"; }
+  void add(Entry) {}
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  MetricsSnapshot snapshot() const { return {}; }
+  void resetAll() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+inline MetricsRegistry& metrics() {
+  static MetricsRegistry g;
+  return g;
+}
+
+#endif  // OPTR_OBS_ENABLED
+
+}  // namespace optr::obs

@@ -1,0 +1,502 @@
+// Structured tracing: spans and events, written as JSONL at flush points.
+//
+// Model
+//   * One process-wide TraceSession, started/stopped explicitly (CLI flag,
+//     test fixture). While active, `Span` RAII objects and `event()` calls
+//     enqueue fixed-size records into a lock-free per-thread ring buffer.
+//   * Parenting is implicit: a thread-local "current span" makes every new
+//     span/event a child of the innermost live span on that thread, so the
+//     solver stack (batch.task > route.solve > mip.solve > mip.node) nests
+//     without plumbing ids through APIs.
+//   * Rings are drained to the trace file by flushAll(), called at solve
+//     boundaries (OptRouter::route end, session stop). The producer side
+//     never blocks and never allocates: when a ring is full the record is
+//     dropped and the `trace.dropped` metric is incremented -- tracing must
+//     not be able to stall or deadlock the solver, ever.
+//   * Record fields are POD; `name` must be a string literal (static
+//     storage), `detail` is a short inline copy, plus up to 4 numeric args.
+//
+// Concurrency. Each ring is single-producer (its thread) single-consumer
+// (whoever holds the flush mutex): head is released by the producer and
+// acquired by the consumer, tail the other way round. Registration of new
+// threads takes the mutex once per thread per session.
+//
+// Fork safety (harness::BatchRunner fork isolation). The trace file is
+// opened O_APPEND, so parent and child writes are byte-atomic appends.
+// Protocol: the parent calls flushAll() immediately before fork() (so the
+// child's inherited rings are empty), the child calls onFork(offset) once
+// (discards any stray inherited records and offsets the span-id counter so
+// child ids cannot collide with the parent's). The child's records parent
+// correctly under the batch.task span because fork copies the thread-local
+// current-span.
+//
+// Disabled builds: with OPTR_OBS_DISABLED defined every entity below is an
+// empty inline shell; start() reports kUnavailable so callers can tell the
+// user tracing was compiled out.
+//
+// Schema (docs/OBSERVABILITY.md documents it fully):
+//   {"t":"meta","schema":"optr-trace","version":1}
+//   {"t":"span","name":"mip.node","tid":1,"id":7,"par":6,"ts":12,"dur":34,
+//    "detail":"...","args":{"iters":42}}
+//   {"t":"event","name":"mip.incumbent","tid":1,"par":6,"ts":13,
+//    "args":{"obj":17}}
+//   {"t":"meta","end":true,"durNs":99,"dropped":0}
+#pragma once
+
+#include "obs/metrics.h"  // defines OPTR_OBS_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+#if OPTR_OBS_ENABLED
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace optr::obs {
+
+/// One numeric annotation on a span or event. `key` must have static
+/// storage duration (string literal).
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+struct TraceOptions {
+  /// Ring capacity in records per thread. Small values are useful in tests
+  /// to exercise the overflow path; the default absorbs a full MIP solve's
+  /// node spans between flushes for the clip sizes in this repo.
+  std::size_t ringCapacity = std::size_t{1} << 14;
+};
+
+#if OPTR_OBS_ENABLED
+
+namespace trace_detail {
+
+struct TraceRecord {
+  enum class Kind : std::uint8_t { kSpan, kEvent };
+  static constexpr int kDetailCap = 48;
+  static constexpr int kMaxArgs = 4;
+
+  Kind kind = Kind::kEvent;
+  std::uint8_t numArgs = 0;
+  std::uint64_t id = 0;      // span id; 0 for events
+  std::uint64_t parent = 0;  // 0 = root
+  std::int64_t tsNs = 0;     // absolute steady-clock ns; flush rebases
+  std::int64_t durNs = 0;    // 0 for events
+  const char* name = "";     // static storage only
+  char detail[kDetailCap] = {0};
+  TraceArg args[kMaxArgs] = {};
+};
+
+struct Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+  std::vector<TraceRecord> slots;
+  std::atomic<std::uint64_t> head{0};  // next write; producer-owned
+  std::atomic<std::uint64_t> tail{0};  // next read; consumer-owned
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint64_t generation = 0;  // session this ring belongs to
+  std::uint32_t tid = 0;
+
+  /// Producer side. Never blocks: false (drop) when full.
+  bool push(const TraceRecord& r) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    if (h - tail.load(std::memory_order_acquire) >= slots.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots[h % slots.size()] = r;
+    head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+};
+
+struct State {
+  std::mutex mu;  // registration + flush + start/stop
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<bool> active{false};
+  int fd = -1;
+  std::size_t ringCapacity = TraceOptions{}.ringCapacity;
+  std::uint32_t tidCounter = 0;  // under mu
+  std::atomic<std::uint64_t> nextSpanId{1};
+  std::int64_t t0Ns = 0;  // session start, absolute steady ns
+  std::uint64_t droppedAtStart = 0;
+};
+
+struct TlsState {
+  Ring* ring = nullptr;
+  std::uint64_t generation = 0;
+  std::uint64_t currentSpan = 0;
+};
+
+/// Intentionally leaked: records may arrive from detached threads during
+/// static destruction.
+inline State& state() {
+  static State* g = new State();
+  return *g;
+}
+
+inline TlsState& tls() {
+  thread_local TlsState t;
+  return t;
+}
+
+inline std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline Ring* threadRing() {
+  State& s = state();
+  TlsState& t = tls();
+  const std::uint64_t gen = s.generation.load(std::memory_order_acquire);
+  if (t.ring == nullptr || t.generation != gen) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto ring = std::make_unique<Ring>(s.ringCapacity);
+    ring->generation = gen;
+    ring->tid = s.tidCounter++;
+    t.ring = ring.get();
+    t.generation = gen;
+    s.rings.push_back(std::move(ring));
+  }
+  return t.ring;
+}
+
+inline void appendEscaped(std::string& out, const char* str) {
+  for (const char* p = str; *p; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+inline void formatRecord(const TraceRecord& r, std::uint32_t tid,
+                         std::int64_t t0Ns, std::string& out) {
+  char buf[96];
+  out += r.kind == TraceRecord::Kind::kSpan ? "{\"t\":\"span\",\"name\":\""
+                                            : "{\"t\":\"event\",\"name\":\"";
+  appendEscaped(out, r.name);
+  std::int64_t ts = r.tsNs - t0Ns;
+  if (ts < 0) ts = 0;
+  std::snprintf(buf, sizeof buf, "\",\"tid\":%u,\"ts\":%lld",
+                tid, static_cast<long long>(ts));
+  out += buf;
+  if (r.kind == TraceRecord::Kind::kSpan) {
+    std::snprintf(buf, sizeof buf, ",\"id\":%llu,\"dur\":%lld",
+                  static_cast<unsigned long long>(r.id),
+                  static_cast<long long>(r.durNs));
+    out += buf;
+  }
+  if (r.parent != 0) {
+    std::snprintf(buf, sizeof buf, ",\"par\":%llu",
+                  static_cast<unsigned long long>(r.parent));
+    out += buf;
+  }
+  if (r.detail[0] != 0) {
+    out += ",\"detail\":\"";
+    appendEscaped(out, r.detail);
+    out += "\"";
+  }
+  if (r.numArgs > 0) {
+    out += ",\"args\":{";
+    for (int i = 0; i < r.numArgs; ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      appendEscaped(out, r.args[i].key);
+      // JSON has no inf/nan literals (node bounds start at -infinity).
+      if (std::isfinite(r.args[i].value)) {
+        std::snprintf(buf, sizeof buf, "\":%.17g", r.args[i].value);
+      } else {
+        std::snprintf(buf, sizeof buf, "\":null");
+      }
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "}\n";
+}
+
+inline void writeAll(int fd, const std::string& buf) {
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // tracing must never take the solver down with it
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Drains every current-generation ring into the file. Caller holds mu.
+inline void drainLocked(State& s) {
+  if (s.fd < 0) return;
+  const std::uint64_t gen = s.generation.load(std::memory_order_relaxed);
+  std::string buf;
+  for (const auto& ring : s.rings) {
+    if (ring->generation != gen) continue;
+    std::uint64_t t = ring->tail.load(std::memory_order_relaxed);
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    for (; t != h; ++t) {
+      formatRecord(ring->slots[t % ring->slots.size()], ring->tid, s.t0Ns,
+                   buf);
+    }
+    ring->tail.store(t, std::memory_order_release);
+  }
+  if (!buf.empty()) writeAll(s.fd, buf);
+}
+
+inline std::uint64_t sessionDroppedLocked(State& s) {
+  const std::uint64_t gen = s.generation.load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (const auto& ring : s.rings) {
+    if (ring->generation == gen)
+      total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+inline void record(const TraceRecord& r) {
+  State& s = state();
+  if (!s.active.load(std::memory_order_acquire)) return;
+  if (!threadRing()->push(r)) {
+    static Counter& dropped = metrics().counter("trace.dropped");
+    dropped.add();
+  }
+}
+
+}  // namespace trace_detail
+
+class TraceSession {
+ public:
+  /// Opens `path` (truncated) and activates tracing process-wide. Fails if
+  /// a session is already active or the file cannot be opened.
+  static Status start(const std::string& path, TraceOptions options = {}) {
+    trace_detail::State& s = trace_detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.active.load(std::memory_order_relaxed)) {
+      return Status::error(ErrorCode::kInvalidInput,
+                           "trace session already active");
+    }
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                          0644);
+    if (fd < 0) {
+      return Status::error(ErrorCode::kIo,
+                           "cannot open trace file: " + path);
+    }
+    s.fd = fd;
+    s.ringCapacity = options.ringCapacity == 0 ? 1 : options.ringCapacity;
+    // Bumping the generation makes every thread lazily re-register with a
+    // fresh ring sized for this session; prior-session rings are retired in
+    // place (never freed -- a stale producer can still touch them safely).
+    s.generation.fetch_add(1, std::memory_order_release);
+    s.tidCounter = 0;
+    s.nextSpanId.store(1, std::memory_order_relaxed);
+    s.t0Ns = trace_detail::nowNs();
+    trace_detail::writeAll(
+        s.fd, "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":1}\n");
+    s.active.store(true, std::memory_order_release);
+    return Status::ok();
+  }
+
+  /// Drains all rings, writes the closing meta record, and closes the file.
+  /// Spans still open when stop() runs are lost (close them first).
+  static void stop() {
+    trace_detail::State& s = trace_detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.active.load(std::memory_order_relaxed)) return;
+    s.active.store(false, std::memory_order_release);
+    trace_detail::drainLocked(s);
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "{\"t\":\"meta\",\"end\":true,\"durNs\":%lld,"
+                  "\"dropped\":%llu}\n",
+                  static_cast<long long>(trace_detail::nowNs() - s.t0Ns),
+                  static_cast<unsigned long long>(
+                      trace_detail::sessionDroppedLocked(s)));
+    trace_detail::writeAll(s.fd, buf);
+    ::close(s.fd);
+    s.fd = -1;
+  }
+
+  static bool active() {
+    return trace_detail::state().active.load(std::memory_order_acquire);
+  }
+
+  /// Drains every thread's ring to the file. Called at solve boundaries;
+  /// cheap (one relaxed load) when no session is active.
+  static void flushAll() {
+    trace_detail::State& s = trace_detail::state();
+    if (!s.active.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(s.mu);
+    trace_detail::drainLocked(s);
+  }
+
+  /// Id of the calling thread's innermost live span (0 = none). Hand it to
+  /// the parent-override Span constructor to nest work done on *another*
+  /// thread (e.g. MIP workers under the mip.solve span).
+  static std::uint64_t currentSpanId() {
+    return trace_detail::tls().currentSpan;
+  }
+
+  /// Child-side fork hook: discards any records inherited in ring buffers
+  /// (the parent flushes before fork; this is belt-and-braces) and offsets
+  /// the span-id counter so child span ids cannot collide with the
+  /// parent's. Call once, immediately after fork(), before any tracing.
+  static void onFork(std::uint64_t idOffset) {
+    trace_detail::State& s = trace_detail::state();
+    for (const auto& ring : s.rings) {
+      ring->tail.store(ring->head.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+    s.nextSpanId.fetch_add(idOffset, std::memory_order_relaxed);
+  }
+};
+
+/// RAII span. Construction snapshots the start time and pushes itself as
+/// the thread's current span; end()/destruction emits the record. All
+/// methods are no-ops when no session was active at construction.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    trace_detail::State& s = trace_detail::state();
+    if (!s.active.load(std::memory_order_acquire)) return;
+    live_ = true;
+    rec_.kind = trace_detail::TraceRecord::Kind::kSpan;
+    rec_.name = name;
+    rec_.id = s.nextSpanId.fetch_add(1, std::memory_order_relaxed);
+    trace_detail::TlsState& t = trace_detail::tls();
+    savedParent_ = t.currentSpan;
+    rec_.parent = t.currentSpan;
+    t.currentSpan = rec_.id;
+    rec_.tsNs = trace_detail::nowNs();
+  }
+  /// Same, but parented under an explicit span id (from
+  /// TraceSession::currentSpanId() on another thread) instead of the
+  /// calling thread's current span.
+  Span(const char* name, std::uint64_t parentOverride) : Span(name) {
+    if (live_) rec_.parent = parentOverride;
+  }
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Short free-text annotation (truncated to 47 chars), e.g. "clip|rule".
+  void detail(std::string_view d) {
+    if (!live_) return;
+    const std::size_t n =
+        std::min(d.size(),
+                 std::size_t{trace_detail::TraceRecord::kDetailCap - 1});
+    std::memcpy(rec_.detail, d.data(), n);
+    rec_.detail[n] = 0;
+  }
+
+  /// Numeric annotation; at most 4, extras are ignored. `key` must be a
+  /// string literal.
+  void arg(const char* key, double value) {
+    if (!live_ || rec_.numArgs >= trace_detail::TraceRecord::kMaxArgs) return;
+    rec_.args[rec_.numArgs++] = TraceArg{key, value};
+  }
+
+  /// Ends the span early (idempotent); the destructor is then a no-op.
+  void end() {
+    if (!live_) return;
+    live_ = false;
+    trace_detail::tls().currentSpan = savedParent_;
+    rec_.durNs = trace_detail::nowNs() - rec_.tsNs;
+    trace_detail::record(rec_);
+  }
+
+  /// Span id for tests; 0 when tracing was inactive at construction.
+  std::uint64_t id() const { return live_ ? rec_.id : 0; }
+
+ private:
+  trace_detail::TraceRecord rec_;
+  std::uint64_t savedParent_ = 0;
+  bool live_ = false;
+};
+
+/// Instantaneous event, parented under the thread's current span.
+inline void event(const char* name, std::string_view detail = {},
+                  std::initializer_list<TraceArg> args = {}) {
+  trace_detail::State& s = trace_detail::state();
+  if (!s.active.load(std::memory_order_acquire)) return;
+  trace_detail::TraceRecord r;
+  r.kind = trace_detail::TraceRecord::Kind::kEvent;
+  r.name = name;
+  r.parent = trace_detail::tls().currentSpan;
+  r.tsNs = trace_detail::nowNs();
+  if (!detail.empty()) {
+    const std::size_t n =
+        std::min(detail.size(),
+                 std::size_t{trace_detail::TraceRecord::kDetailCap - 1});
+    std::memcpy(r.detail, detail.data(), n);
+    r.detail[n] = 0;
+  }
+  for (const TraceArg& a : args) {
+    if (r.numArgs >= trace_detail::TraceRecord::kMaxArgs) break;
+    r.args[r.numArgs++] = a;
+  }
+  trace_detail::record(r);
+}
+
+#else  // !OPTR_OBS_ENABLED --------------------------------------------------
+
+class TraceSession {
+ public:
+  static Status start(const std::string&, TraceOptions = {}) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "tracing compiled out (OPTR_OBS=OFF)");
+  }
+  static void stop() {}
+  static bool active() { return false; }
+  static void flushAll() {}
+  static std::uint64_t currentSpanId() { return 0; }
+  static void onFork(std::uint64_t) {}
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const char*, std::uint64_t) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void detail(std::string_view) {}
+  void arg(const char*, double) {}
+  void end() {}
+  std::uint64_t id() const { return 0; }
+};
+
+inline void event(const char*, std::string_view = {},
+                  std::initializer_list<TraceArg> = {}) {}
+
+#endif  // OPTR_OBS_ENABLED
+
+}  // namespace optr::obs

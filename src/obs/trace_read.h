@@ -1,0 +1,376 @@
+// Reader + aggregator for the JSONL trace schema written by obs/trace.h.
+//
+// Shared by tools/trace_report.cpp and the golden schema tests, so the
+// parser *is* the schema contract: if the writer changes shape, the golden
+// test fails here first. The parser is hand-rolled for the restricted JSON
+// the writer emits (flat objects, string/number/bool values, one nested
+// "args" object of string->number) -- same approach as the batch harness
+// checkpoints, no external JSON dependency.
+//
+// Unlike metrics.h/trace.h this header is NOT compiled out under
+// OPTR_OBS_DISABLED: reading a trace produced elsewhere is always legal.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optr::obs {
+
+/// Highest trace schema version this reader understands.
+inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr const char* kTraceSchemaName = "optr-trace";
+
+/// One parsed JSONL line. `type` is "meta", "span", or "event".
+struct TraceEntry {
+  std::string type;
+  std::string name;
+  std::string detail;
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::int64_t ts = 0;   // ns since session start
+  std::int64_t dur = 0;  // ns; 0 for events
+  std::vector<std::pair<std::string, double>> args;
+  // Meta-only fields.
+  std::string schema;
+  int version = 0;
+  bool end = false;
+  std::int64_t durNs = 0;     // session duration (closing meta)
+  std::int64_t dropped = -1;  // -1 = not present
+
+  double arg(std::string_view key, double fallback = 0.0) const {
+    for (const auto& [k, v] : args)
+      if (k == key) return v;
+    return fallback;
+  }
+  bool hasArg(std::string_view key) const {
+    for (const auto& [k, v] : args) {
+      (void)v;
+      if (k == key) return true;
+    }
+    return false;
+  }
+};
+
+namespace trace_read_detail {
+
+/// Finds `"key":` at object depth 1 and returns the index just past the
+/// colon, or npos. Keys inside nested objects (args) are not matched.
+inline std::size_t findKey(std::string_view line, std::string_view key) {
+  // Built by append (not operator+) to sidestep a GCC 12 -Wrestrict
+  // false positive on the temporary-string concatenation chain.
+  std::string pat;
+  pat.reserve(key.size() + 3);
+  pat += '"';
+  pat += key;
+  pat += "\":";
+  int depth = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (inString) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    } else if (c == '"') {
+      if (depth == 1 && line.compare(i, pat.size(), pat) == 0) {
+        return i + pat.size();
+      }
+      inString = true;
+    }
+  }
+  return std::string_view::npos;
+}
+
+inline bool parseString(std::string_view line, std::string_view key,
+                        std::string& out) {
+  std::size_t i = findKey(line, key);
+  if (i == std::string_view::npos || i >= line.size() || line[i] != '"')
+    return false;
+  ++i;
+  out.clear();
+  for (; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"') return true;
+    if (c == '\\' && i + 1 < line.size()) {
+      const char e = line[++i];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 4 < line.size()) {
+            unsigned code = 0;
+            std::sscanf(std::string(line.substr(i + 1, 4)).c_str(), "%4x",
+                        &code);
+            out += static_cast<char>(code);
+            i += 4;
+          }
+          break;
+        }
+        default: out += e;
+      }
+      continue;
+    }
+    out += c;
+  }
+  return false;  // unterminated
+}
+
+inline bool parseNumber(std::string_view line, std::string_view key,
+                        double& out) {
+  const std::size_t i = findKey(line, key);
+  if (i == std::string_view::npos) return false;
+  return std::sscanf(std::string(line.substr(i, 32)).c_str(), "%lf", &out) ==
+         1;
+}
+
+inline bool parseBool(std::string_view line, std::string_view key) {
+  const std::size_t i = findKey(line, key);
+  return i != std::string_view::npos && line.compare(i, 4, "true") == 0;
+}
+
+/// Parses the flat string->number object at `"args":{...}`.
+inline void parseArgs(std::string_view line,
+                      std::vector<std::pair<std::string, double>>& out) {
+  std::size_t i = findKey(line, "args");
+  if (i == std::string_view::npos || i >= line.size() || line[i] != '{')
+    return;
+  ++i;
+  while (i < line.size() && line[i] != '}') {
+    if (line[i] != '"') {
+      ++i;
+      continue;
+    }
+    ++i;
+    std::string key;
+    while (i < line.size() && line[i] != '"') key += line[i++];
+    ++i;  // closing quote
+    if (i < line.size() && line[i] == ':') ++i;
+    double v = 0.0;
+    std::sscanf(std::string(line.substr(i, 32)).c_str(), "%lf", &v);
+    while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+    out.emplace_back(std::move(key), v);
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+}
+
+}  // namespace trace_read_detail
+
+/// Parses one JSONL line. False for blank lines or lines without a "t" tag.
+inline bool parseTraceLine(std::string_view line, TraceEntry& out) {
+  namespace d = trace_read_detail;
+  out = TraceEntry{};
+  if (!d::parseString(line, "t", out.type)) return false;
+  d::parseString(line, "name", out.name);
+  d::parseString(line, "detail", out.detail);
+  d::parseString(line, "schema", out.schema);
+  double num = 0.0;
+  if (d::parseNumber(line, "tid", num))
+    out.tid = static_cast<std::uint32_t>(num);
+  if (d::parseNumber(line, "id", num))
+    out.id = static_cast<std::uint64_t>(num);
+  if (d::parseNumber(line, "par", num))
+    out.parent = static_cast<std::uint64_t>(num);
+  if (d::parseNumber(line, "ts", num)) out.ts = static_cast<std::int64_t>(num);
+  if (d::parseNumber(line, "dur", num))
+    out.dur = static_cast<std::int64_t>(num);
+  if (d::parseNumber(line, "version", num)) out.version = static_cast<int>(num);
+  if (d::parseNumber(line, "durNs", num))
+    out.durNs = static_cast<std::int64_t>(num);
+  if (d::parseNumber(line, "dropped", num))
+    out.dropped = static_cast<std::int64_t>(num);
+  out.end = d::parseBool(line, "end");
+  d::parseArgs(line, out.args);
+  return true;
+}
+
+/// Loads a whole trace file. Fails on IO errors, a missing/alien schema
+/// header, or a schema version newer than this reader.
+inline StatusOr<std::vector<TraceEntry>> loadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::error(ErrorCode::kIo, "cannot open trace file: " + path);
+  }
+  std::vector<TraceEntry> entries;
+  std::string line;
+  bool sawHeader = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceEntry e;
+    if (!parseTraceLine(line, e)) {
+      return Status::error(ErrorCode::kParse,
+                           "unparseable trace line: " + line);
+    }
+    if (!sawHeader) {
+      if (e.type != "meta" || e.schema != kTraceSchemaName) {
+        return Status::error(ErrorCode::kParse,
+                             "not an optr-trace file: " + path);
+      }
+      if (e.version > kTraceSchemaVersion) {
+        return Status::error(
+            ErrorCode::kUnavailable,
+            "trace schema version " + std::to_string(e.version) +
+                " is newer than this reader (" +
+                std::to_string(kTraceSchemaVersion) + ")");
+      }
+      sawHeader = true;
+    }
+    entries.push_back(std::move(e));
+  }
+  if (!sawHeader) {
+    return Status::error(ErrorCode::kParse, "empty trace file: " + path);
+  }
+  return entries;
+}
+
+/// Aggregated per-span-name row. Self time is total minus the time spent in
+/// child spans, so summing self across all rows approximates wall time once
+/// (no double counting down the span tree).
+struct PhaseRow {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t totalNs = 0;
+  std::int64_t selfNs = 0;
+  double meanArg = 0.0;  // mean of the row's primary arg (iters/pivots)
+};
+
+struct RuleRow {
+  std::string rule;
+  std::int64_t solves = 0;
+  std::int64_t totalNs = 0;
+  double pivots = 0.0;
+  double nodes = 0.0;
+};
+
+struct TraceReport {
+  std::vector<PhaseRow> phases;  // sorted by totalNs descending
+  std::vector<RuleRow> rules;    // from route.solve details ("clip|rule")
+  std::int64_t sessionNs = 0;    // closing meta durNs, or max(ts+dur)
+  std::int64_t rootNs = 0;       // summed duration of root spans
+  std::int64_t events = 0;
+  std::int64_t spans = 0;
+  std::int64_t dropped = 0;
+  std::vector<std::string> anomalies;
+};
+
+/// Aggregates a parsed trace: per-phase totals with self time, per-rule
+/// breakdown, wall-clock coverage, and pivot-count outlier flags.
+inline TraceReport analyzeTrace(const std::vector<TraceEntry>& entries) {
+  TraceReport rep;
+  std::map<std::uint64_t, const TraceEntry*> byId;
+  std::map<std::uint64_t, std::int64_t> childNs;  // parent id -> child time
+  for (const TraceEntry& e : entries) {
+    if (e.type == "meta") {
+      if (e.end) rep.sessionNs = e.durNs;
+      if (e.dropped >= 0) rep.dropped = e.dropped;
+      continue;
+    }
+    rep.sessionNs = std::max(rep.sessionNs, e.ts + e.dur);
+    if (e.type == "event") {
+      ++rep.events;
+      continue;
+    }
+    if (e.type != "span") continue;
+    ++rep.spans;
+    byId[e.id] = &e;
+    if (e.parent != 0) childNs[e.parent] += e.dur;
+  }
+
+  std::map<std::string, PhaseRow> phases;
+  std::map<std::string, RuleRow> rules;
+  // Pivot-outlier detection over mip.node spans.
+  double nodeSum = 0.0, nodeSq = 0.0;
+  std::int64_t nodeN = 0;
+  for (const auto& [id, e] : byId) {
+    PhaseRow& row = phases[e->name];
+    row.name = e->name;
+    ++row.count;
+    row.totalNs += e->dur;
+    // Children running concurrently on other threads can sum past the
+    // parent's duration (e.g. batch.run over a thread pool); self time is
+    // "not attributed to children", so it floors at zero, never negative.
+    row.selfNs += std::max<std::int64_t>(0, e->dur - childNs[id]);
+    // A span is a root for coverage purposes when its parent was never
+    // written (dropped, or genuinely top-level).
+    if (e->parent == 0 || byId.find(e->parent) == byId.end()) {
+      rep.rootNs += e->dur;
+    }
+    if (e->name == "mip.node") {
+      const double iters = e->arg("iters");
+      row.meanArg += iters;
+      nodeSum += iters;
+      nodeSq += iters * iters;
+      ++nodeN;
+    }
+    if (e->name == "route.solve" && !e->detail.empty()) {
+      const std::size_t bar = e->detail.find('|');
+      const std::string rule = bar == std::string::npos
+                                   ? e->detail
+                                   : e->detail.substr(bar + 1);
+      RuleRow& rr = rules[rule];
+      rr.rule = rule;
+      ++rr.solves;
+      rr.totalNs += e->dur;
+      rr.pivots += e->arg("pivots");
+      rr.nodes += e->arg("nodes");
+    }
+  }
+  for (auto& [name, row] : phases) {
+    if (row.count > 0) row.meanArg /= static_cast<double>(row.count);
+    rep.phases.push_back(row);
+  }
+  std::sort(rep.phases.begin(), rep.phases.end(),
+            [](const PhaseRow& a, const PhaseRow& b) {
+              return a.totalNs != b.totalNs ? a.totalNs > b.totalNs
+                                           : a.name < b.name;
+            });
+  for (auto& [name, row] : rules) rep.rules.push_back(row);
+
+  if (nodeN >= 8) {
+    const double mean = nodeSum / static_cast<double>(nodeN);
+    const double var =
+        std::max(0.0, nodeSq / static_cast<double>(nodeN) - mean * mean);
+    const double limit = std::max(mean + 4.0 * std::sqrt(var), 4.0 * mean);
+    for (const auto& [id, e] : byId) {
+      if (e->name != "mip.node") continue;
+      const double iters = e->arg("iters");
+      if (iters > limit && iters > 64.0) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "pivot outlier: mip.node id=%llu did %.0f LP pivots "
+                      "(mean %.1f over %lld nodes)",
+                      static_cast<unsigned long long>(id), iters, mean,
+                      static_cast<long long>(nodeN));
+        rep.anomalies.push_back(buf);
+      }
+    }
+  }
+  if (rep.dropped > 0) {
+    rep.anomalies.push_back(
+        "trace dropped " + std::to_string(rep.dropped) +
+        " records (ring overflow); timings remain valid, counts are lower "
+        "bounds");
+  }
+  return rep;
+}
+
+}  // namespace optr::obs

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "common/fault_injection.h"
 #include "common/geometry.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -130,12 +131,38 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(Status, ErrorCodeStringsRoundTrip) {
-  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+  for (int i = 0; i < static_cast<int>(ErrorCode::kNumCodes); ++i) {
     auto c = static_cast<ErrorCode>(i);
     EXPECT_EQ(errorCodeFromString(toString(c)), c) << toString(c);
   }
   EXPECT_EQ(errorCodeFromString("no-such-code"), ErrorCode::kInternal);
   EXPECT_STREQ(toString(ErrorCode::kSingularBasis), "singular-basis");
+}
+
+TEST(Status, EveryErrorCodeHasADistinctName) {
+  // Exhaustive against the kNumCodes sentinel: adding an ErrorCode without
+  // extending the string table makes toString fall through to "?" and this
+  // test names the offending value. Distinctness keeps errorCodeFromString
+  // a bijection (serialized batch rows round-trip unambiguously).
+  std::set<std::string> seen;
+  for (int i = 0; i < static_cast<int>(ErrorCode::kNumCodes); ++i) {
+    const char* name = toString(static_cast<ErrorCode>(i));
+    EXPECT_STRNE(name, "?") << "ErrorCode value " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate ErrorCode name: " << name;
+  }
+}
+
+TEST(Status, EveryFaultSiteHasADistinctName) {
+  // Same contract for fault::Site: the names label fault.fired trace events
+  // and must stay exhaustive and unique.
+  std::set<std::string> seen;
+  for (int i = 0; i < static_cast<int>(fault::Site::kNumSites); ++i) {
+    const char* name = toString(static_cast<fault::Site>(i));
+    EXPECT_STRNE(name, "?") << "fault::Site value " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate fault::Site name: " << name;
+  }
 }
 
 TEST(Status, ReturnIfErrorPropagates) {

@@ -8,6 +8,9 @@
 #include "common/rng.h"
 #include "core/opt_router.h"
 #include "lp/simplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_read.h"
 #include "route/drc.h"
 #include "tech/technology.h"
 #include "test_clips.h"
@@ -195,6 +198,41 @@ TEST_F(FaultInjectionTest, DualDriftIsRepairedByRepricing) {
   EXPECT_EQ(f.fired(), 1);
   ASSERT_EQ(res.status, lp::LpStatus::kOptimal);
   EXPECT_NEAR(res.objective, clean.objective, 1e-9);
+}
+
+TEST_F(FaultInjectionTest, InjectedFaultsAreTracedWithRecoveryCausality) {
+  // Every injected fault must leave a fault.fired trace event, so a trace
+  // can prove the injection -> recovery chain: the mip.retry event that
+  // absorbs a singular basis has to come *after* the fault that caused it,
+  // inside the same solve. Also checks the fault.injected counter.
+  clip::Clip c = testClip();
+  const std::string path = ::testing::TempDir() + "/fault_trace.jsonl";
+  const std::int64_t injectedBefore =
+      obs::metrics().counter("fault.injected").value();
+
+  ASSERT_TRUE(obs::TraceSession::start(path).isOk());
+  fault::ScopedFault f(fault::Site::kSingularBasis, 0, 1);
+  core::RouteResult res = route(c, routerOptions());
+  obs::TraceSession::stop();
+
+  ASSERT_EQ(f.fired(), 1);
+  EXPECT_EQ(res.status, core::RouteStatus::kOptimal);
+  EXPECT_EQ(
+      obs::metrics().counter("fault.injected").value() - injectedBefore, 1);
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  const obs::TraceEntry* fired = nullptr;
+  const obs::TraceEntry* retry = nullptr;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.name == "fault.fired" && !fired) fired = &e;
+    if (e.name == "mip.retry" && !retry) retry = &e;
+  }
+  ASSERT_NE(fired, nullptr) << "injected fault left no trace event";
+  ASSERT_NE(retry, nullptr) << "recovery left no trace event";
+  EXPECT_EQ(fired->detail, "singular-basis");
+  // Causality: the fault precedes the retry that recovers from it.
+  EXPECT_LE(fired->ts, retry->ts);
 }
 
 TEST_F(FaultInjectionTest, CleanRunAfterFaultsMatchesBaseline) {

@@ -163,6 +163,36 @@ TEST(MipParallel, InfeasibleProofAtAnyThreadCount) {
   }
 }
 
+TEST(MipParallel, WorkerStatsSumToTotalsAtAnyThreadCount) {
+  // The aggregation invariant pinned by MipWorkerStats: reported pivot and
+  // node totals are the sum over *every* worker's private counters, so no
+  // work disappears regardless of which worker happened to close the tree.
+  // (Historically, safety-net retry pivots inside the LP escaped the count;
+  // the per-worker breakdown makes any such leak visible.)
+  for (int threads : {1, 2, 4, 8}) {
+    MipResult r = solveHard(24, 9, threads);
+    ASSERT_EQ(r.status, MipStatus::kOptimal) << "threads=" << threads;
+    ASSERT_EQ(r.workers.size(),
+              static_cast<std::size_t>(threads == 1 ? 1 : threads))
+        << "threads=" << threads;
+    std::int64_t nodes = 0, pivots = 0;
+    for (const ilp::MipWorkerStats& w : r.workers) {
+      EXPECT_GE(w.nodes, 0);
+      EXPECT_GE(w.lpIterations, 0);
+      EXPECT_GE(w.idleSeconds, 0.0);
+      nodes += w.nodes;
+      pivots += w.lpIterations;
+    }
+    EXPECT_EQ(nodes, r.nodes) << "threads=" << threads;
+    EXPECT_EQ(pivots, r.lpIterations) << "threads=" << threads;
+  }
+  // Serial solves never idle: a nonzero idleSeconds there would mean the
+  // accounting is touching the parallel path's condition variable.
+  MipResult serial = solveHard(16, 3, 1);
+  ASSERT_EQ(serial.workers.size(), 1u);
+  EXPECT_EQ(serial.workers[0].idleSeconds, 0.0);
+}
+
 TEST(MipParallel, NodeLimitReportsTruncationHonestly) {
   LpModel m = hardModel(40, 5);
   MipOptions opt;

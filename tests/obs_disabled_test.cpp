@@ -1,0 +1,78 @@
+// Compiles the obs headers with OPTR_OBS_DISABLED (forced by this target's
+// compile definitions, see tests/CMakeLists.txt) and checks the no-op
+// surface: every call site in the solver stack must still compile and cost
+// nothing, and TraceSession::start must say *why* tracing is unavailable.
+//
+// This is the "disabled build compiles" leg of the obs test matrix -- the
+// rest of the suite (obs_test) runs against the enabled implementation.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef OPTR_OBS_DISABLED
+#error obs_disabled_test must be compiled with OPTR_OBS_DISABLED
+#endif
+static_assert(OPTR_OBS_ENABLED == 0,
+              "the obs gate macro must report disabled here");
+
+namespace optr {
+namespace {
+
+TEST(ObsDisabled, MetricsAreInertButCallable) {
+  auto& m = obs::metrics();
+  // The full hot-path API must be expressible (same signatures as the
+  // enabled build) and observable values stay zero.
+  obs::Counter& c = m.counter("lp.pivots");
+  c.add();
+  c.add(100);
+  EXPECT_EQ(c.value(), 0);
+
+  obs::Gauge& g = m.gauge("some.gauge");
+  g.set(5);
+  g.add(1);
+  EXPECT_EQ(g.value(), 0);
+
+  obs::Histogram& h = m.histogram("some.hist");
+  h.record(3.5);
+
+  obs::MetricsSnapshot snap = m.snapshot();
+  EXPECT_TRUE(snap.entries().empty());
+  EXPECT_EQ(snap.value("lp.pivots"), 0);
+  EXPECT_EQ(snap.find("lp.pivots"), nullptr);
+  EXPECT_EQ(obs::MetricsSnapshot::delta(snap, snap).entries().size(), 0u);
+  EXPECT_EQ(snap.toJson(), "{}");
+  m.resetAll();
+}
+
+TEST(ObsDisabled, TraceSessionReportsCompiledOut) {
+  Status s = obs::TraceSession::start("/tmp/should-not-be-created.jsonl");
+  ASSERT_FALSE(s.isOk());
+  EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(s.message().find("compiled out"), std::string::npos);
+  EXPECT_FALSE(obs::TraceSession::active());
+  obs::TraceSession::stop();
+  obs::TraceSession::flushAll();
+  obs::TraceSession::onFork(123);
+  EXPECT_EQ(obs::TraceSession::currentSpanId(), 0u);
+}
+
+TEST(ObsDisabled, SpanAndEventShellsCompileToNothing) {
+  // Exactly the shapes the solver stack uses, including the cross-thread
+  // parent override and the initializer-list event args.
+  obs::Span span("mip.solve");
+  span.detail("clip|rule");
+  span.arg("nodes", 3.0);
+  EXPECT_EQ(span.id(), 0u);
+  span.end();
+
+  obs::Span worker("mip.worker", obs::TraceSession::currentSpanId());
+  worker.arg("worker", 0.0);
+
+  obs::event("mip.incumbent");
+  obs::event("fault.fired", "singular-basis");
+  obs::event("mip.cuts", "", {{"rows", 2.0}, {"round", 1.0}});
+}
+
+}  // namespace
+}  // namespace optr

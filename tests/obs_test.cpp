@@ -1,0 +1,414 @@
+// Observability-layer tests: metrics registry, trace session, trace reader.
+//
+// The golden-schema cases pin the JSONL contract between obs/trace.h (the
+// writer) and obs/trace_read.h (the reader used by tools/trace_report): if
+// the writer changes shape, these fail before any downstream tooling does.
+// The concurrency cases are part of the TSan leg (tools/run_sanitized_tests.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/opt_router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_read.h"
+#include "tech/technology.h"
+#include "test_clips.h"
+
+namespace optr {
+namespace {
+
+using clip::TrackPoint;
+
+std::string tempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Stops the process-wide session even when an ASSERT bails out of the test.
+struct SessionGuard {
+  ~SessionGuard() { obs::TraceSession::stop(); }
+};
+
+// --- Metrics registry -------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  auto& m = obs::metrics();
+  obs::Counter& c = m.counter("test.basics.counter");
+  const std::int64_t base = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), base + 42);
+
+  obs::Gauge& g = m.gauge("test.basics.gauge");
+  g.set(7);
+  g.add(3);
+  EXPECT_EQ(g.value(), 10);
+
+  obs::MetricsSnapshot before = m.snapshot();
+  obs::Histogram& h = m.histogram("test.basics.hist");
+  h.record(1.0);
+  h.record(100.0);
+  h.record(10.0);
+  obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(m.snapshot(), before);
+  const obs::MetricsSnapshot::Entry* e = d.find("test.basics.hist");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(e->count, 3);
+  EXPECT_DOUBLE_EQ(e->sum, 111.0);
+  EXPECT_DOUBLE_EQ(e->min, 1.0);
+  EXPECT_DOUBLE_EQ(e->max, 100.0);
+}
+
+TEST(Metrics, DeltaSubtractsCountersButKeepsGaugeLevel) {
+  auto& m = obs::metrics();
+  obs::Counter& c = m.counter("test.delta.counter");
+  obs::Gauge& g = m.gauge("test.delta.gauge");
+  c.add(5);
+  g.set(100);
+  obs::MetricsSnapshot before = m.snapshot();
+  c.add(3);
+  g.set(250);
+  obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(m.snapshot(), before);
+  EXPECT_EQ(d.value("test.delta.counter"), 3);   // difference
+  EXPECT_EQ(d.value("test.delta.gauge"), 250);   // level, not difference
+}
+
+TEST(Metrics, SnapshotJsonIsFlatObject) {
+  auto& m = obs::metrics();
+  m.counter("test.json.counter").add(2);
+  std::string json = m.snapshot().toJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"test.json.counter\":"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentIncrementsSumExactly) {
+  // Hot-path contract: relaxed atomic adds from many threads lose nothing.
+  // This test is part of the TSan leg.
+  auto& m = obs::metrics();
+  obs::Counter& c = m.counter("test.concurrent.counter");
+  obs::Histogram& h = m.histogram("test.concurrent.hist");
+  const std::int64_t cBase = c.value();
+  obs::MetricsSnapshot before = m.snapshot();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(1.0);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_EQ(c.value() - cBase, kThreads * kPerThread);
+  obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(m.snapshot(), before);
+  const obs::MetricsSnapshot::Entry* e = d.find("test.concurrent.hist");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(e->sum, static_cast<double>(kThreads * kPerThread));
+}
+
+// --- Trace session: writer-side golden schema -------------------------------
+
+TEST(Trace, SpanNestingEventsAndGoldenSchema) {
+  const std::string path = tempPath("obs_schema.jsonl");
+  SessionGuard guard;
+  ASSERT_TRUE(obs::TraceSession::start(path).isOk());
+  EXPECT_TRUE(obs::TraceSession::active());
+
+  std::uint64_t outerId = 0, innerId = 0;
+  {
+    obs::Span outer("test.outer");
+    outer.detail("clipX|RULEY");
+    outer.arg("alpha", 1.5);
+    outerId = outer.id();
+    ASSERT_NE(outerId, 0u);
+    {
+      obs::Span inner("test.inner");
+      innerId = inner.id();
+      obs::event("test.ping", "hello", {{"beta", 2.0}});
+    }
+  }
+  obs::TraceSession::stop();
+  EXPECT_FALSE(obs::TraceSession::active());
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  const std::vector<obs::TraceEntry>& es = entriesOr.value();
+
+  // Header meta: schema name + version (the versioning contract).
+  ASSERT_GE(es.size(), 5u);  // meta, 2 spans, 1 event, closing meta
+  EXPECT_EQ(es.front().type, "meta");
+  EXPECT_EQ(es.front().schema, obs::kTraceSchemaName);
+  EXPECT_EQ(es.front().version, obs::kTraceSchemaVersion);
+  // Closing meta: end flag, session duration, dropped count.
+  EXPECT_EQ(es.back().type, "meta");
+  EXPECT_TRUE(es.back().end);
+  EXPECT_GT(es.back().durNs, 0);
+  EXPECT_EQ(es.back().dropped, 0);
+
+  const obs::TraceEntry* outer = nullptr;
+  const obs::TraceEntry* inner = nullptr;
+  const obs::TraceEntry* ping = nullptr;
+  for (const obs::TraceEntry& e : es) {
+    if (e.name == "test.outer") outer = &e;
+    if (e.name == "test.inner") inner = &e;
+    if (e.name == "test.ping") ping = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(ping, nullptr);
+
+  // Span record shape.
+  EXPECT_EQ(outer->type, "span");
+  EXPECT_EQ(outer->id, outerId);
+  EXPECT_EQ(outer->parent, 0u);  // root
+  EXPECT_GE(outer->dur, 0);
+  EXPECT_EQ(outer->detail, "clipX|RULEY");
+  EXPECT_DOUBLE_EQ(outer->arg("alpha"), 1.5);
+  // Implicit parenting: inner under outer, event under inner.
+  EXPECT_EQ(inner->parent, outerId);
+  EXPECT_EQ(ping->type, "event");
+  EXPECT_EQ(ping->parent, innerId);
+  EXPECT_EQ(ping->id, 0u);  // events carry no span id
+  EXPECT_EQ(ping->dur, 0);
+  EXPECT_EQ(ping->detail, "hello");
+  EXPECT_DOUBLE_EQ(ping->arg("beta"), 2.0);
+  // Durations nest: the parent covers the child.
+  EXPECT_GE(outer->dur, inner->dur);
+}
+
+TEST(Trace, CrossThreadParentOverrideNestsWorkerSpans) {
+  const std::string path = tempPath("obs_crossthread.jsonl");
+  SessionGuard guard;
+  ASSERT_TRUE(obs::TraceSession::start(path).isOk());
+
+  std::uint64_t rootId = 0, workerId = 0;
+  {
+    obs::Span root("test.root");
+    rootId = obs::TraceSession::currentSpanId();
+    ASSERT_EQ(rootId, root.id());
+    std::thread worker([&] {
+      // A fresh thread has no current span; the override provides one.
+      obs::Span w("test.worker", rootId);
+      workerId = w.id();
+    });
+    worker.join();
+  }
+  obs::TraceSession::stop();
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk());
+  const obs::TraceEntry* w = nullptr;
+  const obs::TraceEntry* r = nullptr;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.name == "test.worker") w = &e;
+    if (e.name == "test.root") r = &e;
+  }
+  ASSERT_NE(w, nullptr);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(w->parent, rootId);
+  EXPECT_EQ(w->id, workerId);
+  EXPECT_NE(w->tid, r->tid);  // distinct per-session thread ids
+}
+
+TEST(Trace, RingOverflowDropsAndCountsInsteadOfBlocking) {
+  const std::string path = tempPath("obs_overflow.jsonl");
+  const std::int64_t droppedBefore =
+      obs::metrics().counter("trace.dropped").value();
+  SessionGuard guard;
+  obs::TraceOptions opts;
+  opts.ringCapacity = 4;
+  ASSERT_TRUE(obs::TraceSession::start(path, opts).isOk());
+
+  // 100 events into a 4-slot ring with no flush in between: 4 land, 96
+  // drop. The producer must return promptly every time (a blocking push
+  // would hang this loop forever -- the test completing at all is the
+  // "never blocks" half of the contract).
+  for (int i = 0; i < 100; ++i) obs::event("test.flood");
+  obs::TraceSession::stop();
+
+  EXPECT_EQ(obs::metrics().counter("trace.dropped").value() - droppedBefore,
+            96);
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk());
+  std::int64_t floods = 0;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.name == "test.flood") ++floods;
+  }
+  EXPECT_EQ(floods, 4);
+  // The closing meta reports the drop count so readers can flag it.
+  EXPECT_EQ(entriesOr.value().back().dropped, 96);
+}
+
+TEST(Trace, SecondStartFailsWhileActive) {
+  const std::string path = tempPath("obs_double.jsonl");
+  SessionGuard guard;
+  ASSERT_TRUE(obs::TraceSession::start(path).isOk());
+  Status again = obs::TraceSession::start(tempPath("obs_double2.jsonl"));
+  EXPECT_EQ(again.code(), ErrorCode::kInvalidInput);
+  obs::TraceSession::stop();
+  obs::TraceSession::stop();  // idempotent
+}
+
+// --- Trace reader: aggregation golden cases ---------------------------------
+
+void writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(TraceRead, GoldenAggregationSelfTimeAndRules) {
+  const std::string path = tempPath("obs_golden.jsonl");
+  writeFile(path,
+            "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":1}\n"
+            "{\"t\":\"span\",\"name\":\"route.solve\",\"tid\":0,\"ts\":0,"
+            "\"id\":1,\"dur\":1000,\"detail\":\"clipA|RULE1\","
+            "\"args\":{\"pivots\":10,\"nodes\":2}}\n"
+            "{\"t\":\"span\",\"name\":\"mip.solve\",\"tid\":0,\"ts\":100,"
+            "\"id\":2,\"dur\":800,\"par\":1}\n"
+            "{\"t\":\"event\",\"name\":\"route.ladder\",\"tid\":0,\"ts\":990,"
+            "\"par\":1,\"detail\":\"ilp-proven\"}\n"
+            "{\"t\":\"meta\",\"end\":true,\"durNs\":1200,\"dropped\":0}\n");
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  obs::TraceReport rep = obs::analyzeTrace(entriesOr.value());
+
+  EXPECT_EQ(rep.spans, 2);
+  EXPECT_EQ(rep.events, 1);
+  EXPECT_EQ(rep.sessionNs, 1200);
+  EXPECT_EQ(rep.rootNs, 1000);  // only route.solve is a root
+  ASSERT_EQ(rep.phases.size(), 2u);
+  EXPECT_EQ(rep.phases[0].name, "route.solve");  // sorted by total desc
+  EXPECT_EQ(rep.phases[0].totalNs, 1000);
+  EXPECT_EQ(rep.phases[0].selfNs, 200);  // 1000 minus the 800 child
+  EXPECT_EQ(rep.phases[1].name, "mip.solve");
+  EXPECT_EQ(rep.phases[1].selfNs, 800);
+
+  ASSERT_EQ(rep.rules.size(), 1u);
+  EXPECT_EQ(rep.rules[0].rule, "RULE1");
+  EXPECT_EQ(rep.rules[0].solves, 1);
+  EXPECT_EQ(rep.rules[0].totalNs, 1000);
+  EXPECT_DOUBLE_EQ(rep.rules[0].pivots, 10.0);
+  EXPECT_DOUBLE_EQ(rep.rules[0].nodes, 2.0);
+  EXPECT_TRUE(rep.anomalies.empty());
+}
+
+TEST(TraceRead, FlagsPivotOutliersAndDroppedRecords) {
+  const std::string path = tempPath("obs_outlier.jsonl");
+  std::string content =
+      "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":1}\n";
+  // 20 unremarkable nodes plus one doing 500x the work.
+  for (int i = 0; i < 20; ++i) {
+    content += "{\"t\":\"span\",\"name\":\"mip.node\",\"tid\":0,\"ts\":" +
+               std::to_string(i * 10) + ",\"id\":" + std::to_string(i + 1) +
+               ",\"dur\":10,\"args\":{\"iters\":10}}\n";
+  }
+  content +=
+      "{\"t\":\"span\",\"name\":\"mip.node\",\"tid\":0,\"ts\":200,"
+      "\"id\":21,\"dur\":10,\"args\":{\"iters\":5000}}\n"
+      "{\"t\":\"meta\",\"end\":true,\"durNs\":300,\"dropped\":7}\n";
+  writeFile(path, content);
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk());
+  obs::TraceReport rep = obs::analyzeTrace(entriesOr.value());
+  ASSERT_EQ(rep.anomalies.size(), 2u);
+  EXPECT_NE(rep.anomalies[0].find("pivot outlier"), std::string::npos);
+  EXPECT_NE(rep.anomalies[0].find("5000"), std::string::npos);
+  EXPECT_NE(rep.anomalies[1].find("dropped 7"), std::string::npos);
+  EXPECT_EQ(rep.dropped, 7);
+}
+
+TEST(TraceRead, RejectsAlienFilesAndNewerSchemaVersions) {
+  const std::string alien = tempPath("obs_alien.jsonl");
+  writeFile(alien, "{\"t\":\"meta\",\"schema\":\"something-else\"}\n");
+  EXPECT_EQ(obs::loadTrace(alien).status().code(), ErrorCode::kParse);
+
+  const std::string future = tempPath("obs_future.jsonl");
+  writeFile(future,
+            "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":2}\n");
+  EXPECT_EQ(obs::loadTrace(future).status().code(), ErrorCode::kUnavailable);
+
+  EXPECT_EQ(obs::loadTrace(tempPath("obs_missing.jsonl")).status().code(),
+            ErrorCode::kIo);
+}
+
+// --- End to end: a traced solve, checked against the registry ---------------
+
+TEST(ObsEndToEnd, TracedRouteSolveAgreesWithRegistryAndResult) {
+  const std::string path = tempPath("obs_e2e.jsonl");
+  clip::Clip c = testing::makeSimpleClip(
+      5, 5, 3,
+      {{TrackPoint{0, 0, 0}, TrackPoint{4, 4, 0}},
+       {TrackPoint{0, 4, 0}, TrackPoint{4, 0, 0}}});
+  auto techn = tech::Technology::byName(c.techName).value();
+  auto rule = tech::ruleByName("RULE1").value();
+  core::OptRouterOptions opt;
+  opt.mip.timeLimitSec = 30.0;
+  core::OptRouter router(techn, rule, opt);
+
+  SessionGuard guard;
+  ASSERT_TRUE(obs::TraceSession::start(path).isOk());
+  obs::MetricsSnapshot before = obs::metrics().snapshot();
+  core::RouteResult r = router.route(c);
+  obs::MetricsSnapshot d =
+      obs::MetricsSnapshot::delta(obs::metrics().snapshot(), before);
+  obs::TraceSession::stop();
+  ASSERT_EQ(r.status, core::RouteStatus::kOptimal);
+
+  // One source of truth: the registry deltas must equal the RouteResult's
+  // counters, which must equal the per-worker stat sums.
+  EXPECT_EQ(d.value("route.solves"), 1);
+  EXPECT_EQ(d.value("ilp.solves"), 1);
+  EXPECT_EQ(d.value("ilp.nodes"), r.nodes);
+  EXPECT_EQ(d.value("ilp.lp_pivots"), r.lpIterations);
+  EXPECT_EQ(d.value("lp.pivots"), r.lpIterations);
+  EXPECT_EQ(d.value("route.provenance.ilp-proven"), 1);
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk());
+  const obs::TraceEntry* solve = nullptr;
+  const obs::TraceEntry* mip = nullptr;
+  const obs::TraceEntry* ladder = nullptr;
+  std::int64_t nodeSpans = 0;
+  double nodeIters = 0.0;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.name == "route.solve") solve = &e;
+    if (e.name == "mip.solve") mip = &e;
+    if (e.name == "route.ladder") ladder = &e;
+    if (e.name == "mip.node") {
+      ++nodeSpans;
+      nodeIters += e.arg("iters");
+    }
+  }
+  ASSERT_NE(solve, nullptr);
+  ASSERT_NE(mip, nullptr);
+  ASSERT_NE(ladder, nullptr);
+  EXPECT_EQ(solve->detail, "test|RULE1");
+  EXPECT_DOUBLE_EQ(solve->arg("pivots"), static_cast<double>(r.lpIterations));
+  EXPECT_EQ(mip->parent, solve->id);
+  EXPECT_EQ(ladder->detail, "ilp-proven");
+  // Every branch-and-bound node left a span, and their per-span iteration
+  // args re-add to the solve total (nothing double- or under-counted).
+  EXPECT_EQ(nodeSpans, r.nodes);
+  EXPECT_DOUBLE_EQ(nodeIters, static_cast<double>(r.lpIterations));
+
+  // Coverage: the instrumented root span accounts for essentially the whole
+  // session (the acceptance gate tools/trace_report checks at 5%).
+  obs::TraceReport rep = obs::analyzeTrace(entriesOr.value());
+  EXPECT_GE(rep.rootNs, rep.sessionNs * 8 / 10);
+}
+
+}  // namespace
+}  // namespace optr

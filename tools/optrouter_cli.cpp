@@ -35,6 +35,8 @@
 #include "layout/clip_extract.h"
 #include "layout/def_io.h"
 #include "layout/global_route.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "report/table.h"
 #include "route/render.h"
 #include "route/sadp_decompose.h"
@@ -52,9 +54,12 @@ int usage() {
                "  route <clips> <rule> [index=0]\n"
                "  sweep <clips> <rule...>\n"
                "  batch <clips> <checkpoint.jsonl> [--threads N]\n"
-               "        [--isolation=fork|thread] [--mip-threads N] <rule...>\n"
+               "        [--isolation=fork|thread] [--mip-threads N]\n"
+               "        [--trace=out.jsonl] [--metrics] <rule...>\n"
                "        (--threads needs --isolation=thread: the in-process\n"
-               "         pool; fork isolation stays serial but crash-proof)\n"
+               "         pool; fork isolation stays serial but crash-proof;\n"
+               "         --trace writes a span/event JSONL for trace_report,\n"
+               "         --metrics prints the batch's counter deltas)\n"
                "  improve <clips> <rule> [threads=1]\n");
   return 2;
 }
@@ -235,9 +240,23 @@ int cmdBatch(int argc, char** argv) {
   opt.router.formulation.netLayerMargin = 1;
   opt.checkpointPath = argv[3];
 
+  std::string tracePath;
+  bool wantMetrics = false;
   std::vector<tech::RuleConfig> rules;
   for (int a = 4; a < argc; ++a) {
     std::string arg = argv[a];
+    if (arg.rfind("--trace=", 0) == 0) {
+      tracePath = arg.substr(std::strlen("--trace="));
+      if (tracePath.empty()) {
+        std::fprintf(stderr, "--trace needs a path: --trace=out.jsonl\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--metrics") {
+      wantMetrics = true;
+      continue;
+    }
     if (arg == "--threads" && a + 1 < argc) {
       opt.threads = std::atoi(argv[++a]);
       if (opt.threads < 1) {
@@ -282,8 +301,19 @@ int cmdBatch(int argc, char** argv) {
                  "fork isolation runs tasks serially (crash containment "
                  "over speed)\n");
   }
+  if (!tracePath.empty()) {
+    Status ts = obs::TraceSession::start(tracePath);
+    if (!ts) {
+      std::fprintf(stderr, "--trace: %s\n", ts.message().c_str());
+      return 1;
+    }
+  }
+  obs::MetricsSnapshot before = obs::metrics().snapshot();
+
   harness::BatchReport report =
       harness::BatchRunner(opt).run(clips.value(), rules);
+
+  if (!tracePath.empty()) obs::TraceSession::stop();
 
   report::Table table({"Clip", "Rule", "status", "provenance", "error",
                        "cost", "seconds"});
@@ -306,6 +336,18 @@ int cmdBatch(int argc, char** argv) {
       prov[static_cast<int>(core::Provenance::kIlpProven)],
       prov[static_cast<int>(core::Provenance::kIlpIncumbent)],
       prov[static_cast<int>(core::Provenance::kMazeFallback)]);
+  if (wantMetrics) {
+    // Delta over this batch only, so a long-lived process (or resumed
+    // checkpoint) doesn't leak earlier solves into the numbers. Note that
+    // fork-isolated solves run in child processes: their solver counters
+    // die with the child, so only harness-level metrics move in that mode.
+    obs::MetricsSnapshot after = obs::metrics().snapshot();
+    std::printf("\nmetrics (this batch):\n%s\n",
+                obs::MetricsSnapshot::delta(after, before).toJson().c_str());
+  }
+  if (!tracePath.empty()) {
+    std::printf("trace written to %s\n", tracePath.c_str());
+  }
   return report.crashed > 0 ? 1 : 0;
 }
 

@@ -61,8 +61,38 @@ for ca, cb in zip(sa["clips"], sb["clips"]):
         print(f"FAIL: serial pass not reproducible for {ca['name']}/{ca['rule']}:"
               f" {ca['status']}/{ca['cost']} vs {cb['status']}/{cb['cost']}")
         bad = 1
+
+# Work-conservation gate over the metrics registry (bench_runtime already
+# checked registry == sum-of-result-stats within each pass; this checks
+# *across* passes). Per-task solves are deterministic and independent, so the
+# clip-parallel pass must do exactly the serial pass's work -- clip threading
+# changes scheduling between tasks, never inside one. The mip-parallel pass
+# explores a scheduling-dependent tree, so its totals only get a generous
+# ratio bound; its solve count is still exact.
+passes = {p["mode"]: p for p in b["passes"]}
+ser, clip, mip = (passes[m]["registry"]
+                  for m in ("serial", "clip-parallel", "mip-parallel"))
+for key in ("lpPivots", "ilpPivots", "nodes", "routeSolves"):
+    if clip[key] != ser[key]:
+        print(f"FAIL: clip-parallel {key} {clip[key]} != serial {ser[key]}"
+              f" (threading must not change per-task work)")
+        bad = 1
+if mip["routeSolves"] != ser["routeSolves"]:
+    print(f"FAIL: mip-parallel routeSolves {mip['routeSolves']}"
+          f" != serial {ser['routeSolves']}")
+    bad = 1
+for key in ("lpPivots", "nodes"):
+    if ser[key] > 0 and not (ser[key] / 4 <= mip[key] <= ser[key] * 4):
+        print(f"FAIL: mip-parallel {key} {mip[key]} outside 4x of"
+              f" serial {ser[key]} -- parallel B&B doing pathological work")
+        bad = 1
+if ser["routeSolves"] == 0 and ser["lpPivots"] == 0:
+    # Registry deltas all zero means the build compiled obs out; the gate
+    # would pass vacuously, so say so instead of silently degrading.
+    print("note: metrics registry empty (OPTR_OBS disabled build);"
+          " work-conservation gate skipped")
 sys.exit(bad)
 EOF
 
-echo "=== perf smoke OK: no parallel/serial objective divergence ==="
+echo "=== perf smoke OK: no objective divergence, work conserved ==="
 echo "    trajectory: build-perf/BENCH_runtime.json"

@@ -34,9 +34,10 @@ for san in "${configs[@]}"; do
 done
 
 # Tests that exercise the parallel solve paths (parallel B&B, thread-pool
-# batch evaluation, concurrent fault probes) -- the TSan leg's target set.
-# ctest registers gtest suite names, so the filter matches those.
-tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator'
+# batch evaluation, concurrent fault probes) plus the observability layer
+# (lock-free trace rings, relaxed-atomic metric counters) -- the TSan leg's
+# target set. ctest registers gtest suite names, so the filter matches those.
+tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace'
 
 status=0
 for san in "${configs[@]}"; do
@@ -53,6 +54,23 @@ for san in "${configs[@]}"; do
   fi
   if ! ctest "${ctest_args[@]}"; then
     status=1
+  fi
+  if [[ "${san}" == "thread" ]]; then
+    # End-to-end race check: a traced, metered, thread-pool batch drives the
+    # trace rings and metric atomics from real worker threads, then the
+    # analyzer parses the result. Unit tests cover the pieces; this covers
+    # their composition under TSan.
+    echo "=== ${san}: traced batch end-to-end ==="
+    rm -f "${dir}/tsan_batch.ckpt" "${dir}/tsan_trace.jsonl"
+    if ! "${dir}/tools/optrouter" batch examples/example.clips \
+         "${dir}/tsan_batch.ckpt" RULE1 RULE3 \
+         --isolation=thread --threads 2 \
+         --trace="${dir}/tsan_trace.jsonl" --metrics; then
+      status=1
+    fi
+    if ! "${dir}/tools/trace_report" "${dir}/tsan_trace.jsonl"; then
+      status=1
+    fi
   fi
 done
 exit ${status}
