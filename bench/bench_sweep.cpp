@@ -1,0 +1,374 @@
+// Rule-sweep benchmark: the correctness + payoff gate for core::ClipSession.
+//
+// A rule sweep solves every clip under every applicable Table 3 rule. The
+// historical path rebuilds the routing graph and the full ILP for each
+// (clip, rule) pair; the session path builds them once per clip and turns
+// each rule into a cheap overlay (grid::RoutingGraph::applyRule +
+// core::Formulation::resetRuleLayer) plus a cross-rule warm start. Sessions
+// are a pure performance mechanism, so this bench enforces exactly that:
+//
+//   * for every (clip, rule) that both passes PROVE (optimal or
+//     infeasible), the session pass must report byte-identical status,
+//     cost, and bestBound to the fresh-rebuild pass -- any divergence
+//     FAILS the run (exit 1). Deadline-truncated solves (feasible /
+//     unknown) are reported as undecided instead: their incumbent and
+//     bound are scheduling- and warm-start-dependent by nature (the same
+//     rule bench_runtime applies to its parallel passes);
+//   * a proven verdict may never CONTRADICT the other pass: one side
+//     proving infeasibility while the other holds a validated solution is
+//     a soundness failure regardless of deadlines;
+//   * fewer than half the tasks proven in both passes FAILS too -- the
+//     equality gate must not pass vacuously on a machine where everything
+//     times out;
+//   * (obs builds) the session.base_build counter delta across a session
+//     pass must equal the clip count: one base graph+model per clip, never
+//     one per (clip, rule).
+//
+// Emits BENCH_sweep.json: per-(clip, rule) wall ms / cost / status /
+// warm-start kind per pass, session.* registry deltas, and the speedup of
+// session reuse over rebuild at each thread count.
+//
+// Usage: bench_sweep [--threads N] [--clips path] [--out path.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "core/clip_session.h"
+#include "core/opt_router.h"
+#include "obs/metrics.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+
+using namespace optr;
+
+namespace {
+
+constexpr bool kObsEnabled = OPTR_OBS_ENABLED != 0;
+
+struct TaskStat {
+  std::string clipId;
+  std::string rule;
+  double wallMs = 0.0;
+  double cost = 0.0;
+  double bestBound = 0.0;
+  core::RouteStatus status = core::RouteStatus::kError;
+  core::Provenance provenance = core::Provenance::kNone;
+  core::WarmStartKind warmStart = core::WarmStartKind::kNone;
+  std::int64_t nodes = 0;
+};
+
+/// session.* registry deltas across one pass (zero when obs is compiled out
+/// or on the rebuild path, which never constructs a session).
+struct SessionTotals {
+  std::int64_t baseBuilds = 0;    // session.base_build
+  std::int64_t ruleOverlays = 0;  // session.rule_overlay
+  std::int64_t warmCrossRule = 0; // session.warmstart.cross_rule
+  std::int64_t warmMaze = 0;      // session.warmstart.maze
+  std::int64_t warmNone = 0;      // session.warmstart.none
+};
+
+struct PassStat {
+  std::string mode;  // "rebuild" | "session"
+  int mipThreads = 1;
+  double wallMs = 0.0;
+  SessionTotals registry;
+  std::vector<TaskStat> tasks;  // clips outer, rules inner
+};
+
+core::OptRouterOptions routerOptions(int mipThreads) {
+  core::OptRouterOptions o;
+  o.mip.timeLimitSec = 30;
+  o.mip.threads = mipThreads;
+  o.formulation.netBBoxMargin = 3;
+  o.formulation.netLayerMargin = 1;
+  return o;
+}
+
+/// One full clip x rule sweep. `useSessions` selects per-clip ClipSession
+/// reuse (one base build per clip, rules as overlays) vs the historical
+/// rebuild of graph + ILP per (clip, rule) task.
+PassStat runPass(const std::vector<clip::Clip>& clips,
+                 const tech::Technology& techn,
+                 const std::vector<tech::RuleConfig>& rules, bool useSessions,
+                 int mipThreads) {
+  PassStat pass;
+  pass.mode = useSessions ? "session" : "rebuild";
+  pass.mipThreads = mipThreads;
+
+  obs::MetricsSnapshot before;
+  if (kObsEnabled) before = obs::metrics().snapshot();
+  auto t0 = std::chrono::steady_clock::now();
+  for (const clip::Clip& c : clips) {
+    std::unique_ptr<core::ClipSession> session;
+    if (useSessions) {
+      core::ClipSessionOptions so;
+      so.formulation = routerOptions(mipThreads).formulation;
+      so.universe = rules;
+      session = std::make_unique<core::ClipSession>(c, techn, std::move(so));
+    }
+    for (const tech::RuleConfig& rule : rules) {
+      core::OptRouter router(techn, rule, routerOptions(mipThreads));
+      auto s0 = std::chrono::steady_clock::now();
+      core::RouteResult r =
+          useSessions ? router.route(*session, rule) : router.route(c);
+      TaskStat t;
+      t.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - s0)
+                     .count();
+      t.clipId = c.id;
+      t.rule = rule.name;
+      t.cost = r.cost;
+      t.bestBound = r.bestBound;
+      t.status = r.status;
+      t.provenance = r.provenance;
+      t.warmStart = r.warmStartKind;
+      t.nodes = r.nodes;
+      pass.tasks.push_back(t);
+    }
+  }
+  pass.wallMs = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  if (kObsEnabled) {
+    obs::MetricsSnapshot d =
+        obs::MetricsSnapshot::delta(obs::metrics().snapshot(), before);
+    pass.registry.baseBuilds = d.value("session.base_build");
+    pass.registry.ruleOverlays = d.value("session.rule_overlay");
+    pass.registry.warmCrossRule = d.value("session.warmstart.cross_rule");
+    pass.registry.warmMaze = d.value("session.warmstart.maze");
+    pass.registry.warmNone = d.value("session.warmstart.none");
+  }
+  return pass;
+}
+
+bool proven(core::RouteStatus s) {
+  return s == core::RouteStatus::kOptimal ||
+         s == core::RouteStatus::kInfeasible;
+}
+
+bool holdsSolution(core::RouteStatus s) {
+  return s == core::RouteStatus::kOptimal ||
+         s == core::RouteStatus::kFeasible;
+}
+
+struct GateResult {
+  int provenBoth = 0;  // tasks both passes proved (and had to match)
+  int undecided = 0;   // tasks a deadline truncated in at least one pass
+  bool ok = true;
+};
+
+/// The equivalence gate: for every task both passes PROVE, status, cost,
+/// and bestBound must be byte-identical -- a proven optimum is unique and
+/// warm starts may only change node counts, never the answer. Tasks the
+/// deadline truncated on either side are undecided (their incumbents and
+/// bounds depend on the search path), but a proven verdict must never be
+/// contradicted by a solution on the other side.
+GateResult checkEquivalence(const PassStat& rebuild, const PassStat& session) {
+  GateResult gate;
+  for (std::size_t i = 0; i < rebuild.tasks.size(); ++i) {
+    const TaskStat& a = rebuild.tasks[i];
+    const TaskStat& b = session.tasks[i];
+    bool aInfeasible = a.status == core::RouteStatus::kInfeasible;
+    bool bInfeasible = b.status == core::RouteStatus::kInfeasible;
+    if ((aInfeasible && holdsSolution(b.status)) ||
+        (bInfeasible && holdsSolution(a.status))) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s at mip.threads=%d: rebuild %s contradicts "
+                   "session %s (infeasibility proof vs validated solution)\n",
+                   a.clipId.c_str(), a.rule.c_str(), rebuild.mipThreads,
+                   core::toString(a.status), core::toString(b.status));
+      gate.ok = false;
+      continue;
+    }
+    if (!proven(a.status) || !proven(b.status)) {
+      ++gate.undecided;
+      continue;
+    }
+    ++gate.provenBoth;
+    if (a.status != b.status || a.cost != b.cost ||
+        a.bestBound != b.bestBound) {
+      std::fprintf(
+          stderr,
+          "FAIL: %s/%s diverged at mip.threads=%d: rebuild %s cost %.17g "
+          "bound %.17g vs session %s cost %.17g bound %.17g\n",
+          a.clipId.c_str(), a.rule.c_str(), rebuild.mipThreads,
+          core::toString(a.status), a.cost, a.bestBound,
+          core::toString(b.status), b.cost, b.bestBound);
+      gate.ok = false;
+    }
+  }
+  if (gate.provenBoth * 2 < static_cast<int>(rebuild.tasks.size())) {
+    std::fprintf(stderr,
+                 "FAIL: mip.threads=%d: only %d of %zu tasks proven in both "
+                 "passes -- the equality gate would be vacuous (raise the "
+                 "time limit or shrink the clips)\n",
+                 rebuild.mipThreads, gate.provenBoth, rebuild.tasks.size());
+    gate.ok = false;
+  }
+  return gate;
+}
+
+/// Base-build economy gate (obs builds): a session pass builds exactly one
+/// base graph+model per clip; a rebuild pass builds none (it never touches
+/// ClipSession at all).
+bool checkBaseBuilds(const PassStat& pass, std::size_t numClips) {
+  if (!kObsEnabled) return true;
+  std::int64_t want =
+      pass.mode == "session" ? static_cast<std::int64_t>(numClips) : 0;
+  if (pass.registry.baseBuilds != want) {
+    std::fprintf(stderr,
+                 "FAIL: %s pass at mip.threads=%d: session.base_build %lld != "
+                 "expected %lld\n",
+                 pass.mode.c_str(), pass.mipThreads,
+                 static_cast<long long>(pass.registry.baseBuilds),
+                 static_cast<long long>(want));
+    return false;
+  }
+  return true;
+}
+
+void emitJson(const std::string& path, int threads, std::size_t numClips,
+              std::size_t numRules, const std::vector<PassStat>& passes) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"bench_sweep\",\n  \"threads\": " << threads
+      << ",\n  \"clips\": " << numClips << ",\n  \"rules\": " << numRules
+      << ",\n  \"passes\": [\n";
+  for (std::size_t p = 0; p < passes.size(); ++p) {
+    const PassStat& pass = passes[p];
+    out << "    {\"mode\": \"" << pass.mode
+        << "\", \"mipThreads\": " << pass.mipThreads
+        << ", \"wallMs\": " << pass.wallMs << ",\n     \"registry\": {"
+        << "\"baseBuilds\": " << pass.registry.baseBuilds
+        << ", \"ruleOverlays\": " << pass.registry.ruleOverlays
+        << ", \"warmCrossRule\": " << pass.registry.warmCrossRule
+        << ", \"warmMaze\": " << pass.registry.warmMaze
+        << ", \"warmNone\": " << pass.registry.warmNone << "},\n"
+        << "     \"tasks\": [\n";
+    for (std::size_t i = 0; i < pass.tasks.size(); ++i) {
+      const TaskStat& t = pass.tasks[i];
+      out << "       {\"clip\": \"" << t.clipId << "\", \"rule\": \"" << t.rule
+          << "\", \"wallMs\": " << t.wallMs << ", \"cost\": " << t.cost
+          << ", \"bestBound\": " << t.bestBound << ", \"status\": \""
+          << core::toString(t.status) << "\", \"provenance\": \""
+          << core::toString(t.provenance) << "\", \"warmStart\": \""
+          << core::toString(t.warmStart) << "\", \"nodes\": " << t.nodes
+          << "}" << (i + 1 < pass.tasks.size() ? "," : "") << "\n";
+    }
+    out << "     ]}" << (p + 1 < passes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  std::string clipsPath = "examples/example.clips";
+  std::string outPath = "BENCH_sweep.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      threads = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--clips") == 0 && a + 1 < argc) {
+      clipsPath = argv[++a];
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      outPath = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sweep [--threads N] [--clips path] "
+                   "[--out path.json]\n");
+      return 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+
+  auto loaded = clip::loadClips(clipsPath);
+  if (!loaded.isOk()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", clipsPath.c_str(),
+                 loaded.status().message().c_str());
+    return 2;
+  }
+  std::vector<clip::Clip> clips = std::move(loaded).value();
+  if (clips.empty()) {
+    std::fprintf(stderr, "no clips in %s\n", clipsPath.c_str());
+    return 2;
+  }
+  for (const clip::Clip& c : clips) {
+    if (c.techName != clips.front().techName) {
+      std::fprintf(stderr, "mixed technologies in %s (%s vs %s)\n",
+                   clipsPath.c_str(), c.techName.c_str(),
+                   clips.front().techName.c_str());
+      return 2;
+    }
+  }
+  auto techOr = tech::Technology::byName(clips.front().techName);
+  if (!techOr.isOk()) {
+    std::fprintf(stderr, "unknown technology %s\n",
+                 clips.front().techName.c_str());
+    return 2;
+  }
+  tech::Technology techn = std::move(techOr).value();
+
+  std::vector<tech::RuleConfig> rules;
+  for (const tech::RuleConfig& rc : tech::table3Rules()) {
+    if (tech::ruleApplicable(rc, techn)) rules.push_back(rc);
+  }
+  std::printf("sweep: %zu clips x %zu rules (%s)\n", clips.size(),
+              rules.size(), techn.name.c_str());
+
+  // Rebuild first at each thread count so the session pass's warm-start
+  // economics never leak backwards into its baseline.
+  std::vector<PassStat> passes;
+  passes.push_back(runPass(clips, techn, rules, /*useSessions=*/false, 1));
+  passes.push_back(runPass(clips, techn, rules, /*useSessions=*/true, 1));
+  if (threads > 1) {
+    passes.push_back(
+        runPass(clips, techn, rules, /*useSessions=*/false, threads));
+    passes.push_back(
+        runPass(clips, techn, rules, /*useSessions=*/true, threads));
+  }
+
+  bool failed = false;
+  for (const PassStat& pass : passes) {
+    if (!checkBaseBuilds(pass, clips.size())) failed = true;
+  }
+  for (std::size_t p = 0; p + 1 < passes.size(); p += 2) {
+    GateResult gate = checkEquivalence(passes[p], passes[p + 1]);
+    if (!gate.ok) failed = true;
+    std::printf(
+        "mip.threads=%d: rebuild %.0f ms vs session %.0f ms -> speedup "
+        "%.2fx (%d tasks proven-and-equal, %d deadline-undecided)\n",
+        passes[p].mipThreads, passes[p].wallMs, passes[p + 1].wallMs,
+        passes[p].wallMs / passes[p + 1].wallMs, gate.provenBoth,
+        gate.undecided);
+  }
+  if (kObsEnabled) {
+    for (const PassStat& pass : passes) {
+      if (pass.mode != "session") continue;
+      std::printf(
+          "session pass (mip.threads=%d): %lld base builds, %lld overlays, "
+          "warm starts cross-rule/maze/none = %lld/%lld/%lld\n",
+          pass.mipThreads, static_cast<long long>(pass.registry.baseBuilds),
+          static_cast<long long>(pass.registry.ruleOverlays),
+          static_cast<long long>(pass.registry.warmCrossRule),
+          static_cast<long long>(pass.registry.warmMaze),
+          static_cast<long long>(pass.registry.warmNone));
+    }
+  }
+
+  emitJson(outPath, threads, clips.size(), rules.size(), passes);
+  std::printf("wrote %s\n", outPath.c_str());
+  if (failed) {
+    std::fprintf(stderr, "FAIL: session reuse is not result-equivalent\n");
+    return 1;
+  }
+  std::printf(
+      "sweep OK: session results byte-equal rebuild results on every "
+      "proven task\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "core/clip_session.h"
+
+#include "obs/trace.h"
+
+namespace optr::core {
+
+ClipSession::ClipSession(const clip::Clip& clip, const tech::Technology& techn,
+                         ClipSessionOptions options)
+    : clip_(clip), options_(std::move(options)),
+      baseSpan_("session.base_build"),
+      graph_(clip_, techn, options_.universe),
+      formulation_(clip_, graph_, options_.formulation) {
+  baseSpan_.detail(clip_.id);
+  baseSpan_.arg("cols", static_cast<double>(formulation_.model().numCols()));
+  baseSpan_.end();
+  obs::metrics().counter("session.base_build").add();
+}
+
+void ClipSession::activateRule(const tech::RuleConfig& rule) {
+  // Rule names identify configurations (tech::RuleConfig carries no
+  // comparison operator); a same-name activation with no lazy rows since the
+  // layer was pushed is already in force.
+  if (rule.name == graph_.rule().name && formulation_.stats().lazyRows == 0)
+    return;
+  obs::Span span("session.rule_overlay");
+  span.detail(clip_.id + "|" + rule.name);
+  graph_.applyRule(rule);
+  formulation_.resetRuleLayer();
+  span.arg("rows", static_cast<double>(formulation_.model().numRows()));
+  obs::metrics().counter("session.rule_overlay").add();
+}
+
+void ClipSession::offerReference(const route::RouteSolution& sol) {
+  if (hasReference_) return;
+  hasReference_ = true;
+  referenceRule_ = graph_.rule().name;
+  reference_ = sol;
+}
+
+}  // namespace optr::core

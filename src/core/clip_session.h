@@ -1,0 +1,91 @@
+// ClipSession: per-clip solver state reused across a rule sweep.
+//
+// The paper's methodology (Figure 6) solves the SAME clip under every Table 3
+// rule configuration. A session splits that work into a rule-independent part
+// paid once per clip and a rule-dependent part paid once per rule:
+//
+//   base (once)        RoutingGraph union build over the rule universe,
+//                      Formulation base model (availability, variables, flow
+//                      conservation, arc exclusivity, coupling)
+//   overlay (per rule) RoutingGraph::applyRule() arc/via masks + via costs,
+//                      Formulation::resetRuleLayer() bounds/objective refresh
+//                      + eager rule rows
+//   solve (per rule)   OptRouter::route(ClipSession&, rule), which also
+//                      maintains the session's cross-rule warm-start seed
+//
+// The session additionally remembers the first rule's routed solution (the
+// sweep reference, typically RULE1): later rules re-validate it under their
+// own DRC configuration and seed the MIP with it when clean, which usually
+// beats the maze warm start because the reference is an *optimal* routing of
+// the same clip.
+//
+// Sessions are single-threaded objects: one worker drives one session at a
+// time (the evaluator and batch harness give each clip's sweep to exactly one
+// worker). They are immovable because the formulation holds pointers into the
+// session-owned clip and graph; hold them by unique_ptr.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clip/clip.h"
+#include "core/formulation.h"
+#include "grid/routing_graph.h"
+#include "obs/trace.h"
+#include "route/route_solution.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+
+namespace optr::core {
+
+struct ClipSessionOptions {
+  FormulationOptions formulation;
+  /// Every rule the session may be asked to activate. The graph is built as
+  /// the union over this universe (off-preferred arcs when any rule is
+  /// bidirectional, via instances for the union of via shapes), so
+  /// activating a rule outside the universe asserts. Defaults to Table 3.
+  std::vector<tech::RuleConfig> universe = tech::table3Rules();
+};
+
+class ClipSession {
+ public:
+  ClipSession(const clip::Clip& clip, const tech::Technology& techn,
+              ClipSessionOptions options = {});
+
+  // The formulation points into the session-owned clip and graph.
+  ClipSession(const ClipSession&) = delete;
+  ClipSession& operator=(const ClipSession&) = delete;
+
+  /// Re-targets the graph overlay and formulation rule layer at `rule`
+  /// (identified by name). No-op when `rule` is already active and no lazy
+  /// rows have been separated since its layer was pushed.
+  void activateRule(const tech::RuleConfig& rule);
+
+  const clip::Clip& clip() const { return clip_; }
+  const grid::RoutingGraph& graph() const { return graph_; }
+  Formulation& formulation() { return formulation_; }
+  const tech::RuleConfig& activeRule() const { return graph_.rule(); }
+
+  /// Offers a routed, DRC-clean solution of the ACTIVE rule as the session's
+  /// cross-rule warm-start seed. Only the first offer sticks: the sweep
+  /// solves the reference rule first, so the seed is the reference solution.
+  void offerReference(const route::RouteSolution& sol);
+  bool hasReference() const { return hasReference_; }
+  const route::RouteSolution& referenceSolution() const { return reference_; }
+  /// Name of the rule the reference solution was routed under.
+  const std::string& referenceRuleName() const { return referenceRule_; }
+
+ private:
+  clip::Clip clip_;  // owned: the session outlives transient batch rows
+  ClipSessionOptions options_;
+  // Declared before graph_/formulation_ so the span brackets both base
+  // builds; ended (and the counter bumped) in the constructor body.
+  obs::Span baseSpan_;
+  grid::RoutingGraph graph_;        // union build; overlay = active rule
+  Formulation formulation_;         // base model + active rule layer
+  bool hasReference_ = false;
+  std::string referenceRule_;
+  route::RouteSolution reference_;
+};
+
+}  // namespace optr::core

@@ -12,7 +12,8 @@ namespace optr::core {
 
 std::vector<ClipOutcome> RuleEvaluator::solveAll(
     const std::vector<clip::Clip>& clips, const tech::RuleConfig& rule,
-    double timeFactor) const {
+    double timeFactor,
+    std::vector<std::unique_ptr<ClipSession>>* sessions) const {
   obs::Span sweepSpan("eval.rule");
   sweepSpan.detail(rule.name);
   sweepSpan.arg("clips", static_cast<double>(clips.size()));
@@ -21,13 +22,30 @@ std::vector<ClipOutcome> RuleEvaluator::solveAll(
   std::vector<ClipOutcome> out(clips.size());
 
   auto solveOne = [&](const OptRouter& router, std::size_t i) {
-    RouteResult r = router.route(clips[i]);
+    RouteResult r;
+    if (sessions) {
+      // Lazily build the clip's session on first touch; later rules reuse
+      // it (the base model survives, only the rule overlay changes).
+      if (!(*sessions)[i]) {
+        ClipSessionOptions so;
+        so.formulation = ro.formulation;
+        so.universe = options_.rules;
+        (*sessions)[i] =
+            std::make_unique<ClipSession>(clips[i], tech_, std::move(so));
+      }
+      r = router.route(*(*sessions)[i], rule);
+    } else {
+      r = router.route(clips[i]);
+    }
     ClipOutcome o;
     o.status = r.status;
     o.provenance = r.provenance;
     o.error = r.error.code();
     o.bestBound = r.bestBound;
     o.seconds = r.seconds;
+    o.nodes = r.nodes;
+    o.lpIterations = r.lpIterations;
+    o.warmStartUsed = r.warmStartUsed;
     if (r.hasSolution()) {
       o.cost = r.cost;
       o.wirelength = r.wirelength;
@@ -80,8 +98,16 @@ EvaluationResult RuleEvaluator::evaluate(
     }
   }
   OPTR_ASSERT(haveReference, "reference rule missing from the rule list");
+
+  // One session per clip, shared by every rule of the sweep. The reference
+  // solves first, so each session's cross-rule seed is the reference
+  // solution (ClipSession::offerReference).
+  std::vector<std::unique_ptr<ClipSession>> sessions(
+      options_.sessionReuse ? clips.size() : 0);
+  auto* sp = options_.sessionReuse ? &sessions : nullptr;
+
   result.reference =
-      solveAll(clips, reference, options_.referenceTimeFactor);
+      solveAll(clips, reference, options_.referenceTimeFactor, sp);
 
   for (const tech::RuleConfig& rc : options_.rules) {
     RuleOutcome ro;
@@ -93,7 +119,7 @@ EvaluationResult RuleEvaluator::evaluate(
     }
     ro.clips = (rc.name == options_.referenceRule)
                    ? result.reference
-                   : solveAll(clips, rc, 1.0);
+                   : solveAll(clips, rc, 1.0, sp);
 
     double sum = 0;
     for (std::size_t i = 0; i < clips.size(); ++i) {

@@ -11,10 +11,13 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "clip/clip.h"
+#include "core/clip_session.h"
 #include "core/opt_router.h"
 #include "tech/rules.h"
 
@@ -35,6 +38,12 @@ struct EvaluationOptions {
   /// router.mip.threads: total concurrency is roughly the product, so
   /// oversubscribing both is on the caller.
   int clipThreads = 1;
+  /// Keep one core::ClipSession per clip across the rule sweep: the graph
+  /// and base model are built once per clip and each rule becomes a cheap
+  /// overlay + cross-rule warm start. Results are equivalent to the rebuild
+  /// path (gated by bench_sweep); disable to force per-(clip, rule)
+  /// rebuilds, e.g. for measuring the reuse payoff.
+  bool sessionReuse = true;
 };
 
 struct ClipOutcome {
@@ -46,6 +55,9 @@ struct ClipOutcome {
   int wirelength = 0;
   int vias = 0;
   double seconds = 0;
+  std::int64_t nodes = 0;          // branch-and-bound nodes explored
+  std::int64_t lpIterations = 0;   // simplex pivots across all nodes
+  bool warmStartUsed = false;      // an incumbent seeded the MIP
 };
 
 struct RuleOutcome {
@@ -83,9 +95,15 @@ class RuleEvaluator {
   EvaluationResult evaluate(const std::vector<clip::Clip>& clips) const;
 
  private:
-  std::vector<ClipOutcome> solveAll(const std::vector<clip::Clip>& clips,
-                                    const tech::RuleConfig& rule,
-                                    double timeFactor) const;
+  /// Solves every clip under one rule. `sessions` (parallel to `clips`,
+  /// non-null on the session-reuse path) holds per-clip sessions that are
+  /// created lazily by whichever worker first touches the clip and reused
+  /// by later rules; each slot is touched by exactly one worker per call
+  /// and calls are separated by the thread-pool join.
+  std::vector<ClipOutcome> solveAll(
+      const std::vector<clip::Clip>& clips, const tech::RuleConfig& rule,
+      double timeFactor,
+      std::vector<std::unique_ptr<ClipSession>>* sessions) const;
 
   tech::Technology tech_;
   EvaluationOptions options_;

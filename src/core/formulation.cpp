@@ -31,17 +31,61 @@ Formulation::Formulation(const clip::Clip& clip,
   stats_.numArcs = graph.numArcs();
   stats_.numVertices = graph.numVertices();
 
+  // Rule-independent base: availability and the flow structure depend only
+  // on the graph's vertices/arcs and pin ownership, which a session graph
+  // keeps fixed across applyRule() overlays.
   computeAvailability();
   buildVariables();
   buildFlowConservation();
   buildArcExclusivity();
   buildCoupling();
+  baseRowMark_ = model_.markRows();
+  baseColMark_ = model_.markCols();
+
+  buildRuleLayer();
+}
+
+void Formulation::buildRuleLayer() {
+  applyMaskBounds();
   if (options_.eagerViaRules) buildEagerViaRules();
   if (options_.eagerSadp) buildEagerSadp();
 
   stats_.numVariables = model_.numCols();
   stats_.numRows = model_.numRows();
+  stats_.numIntegerVars = 0;
   for (bool b : isInteger_) stats_.numIntegerVars += b ? 1 : 0;
+}
+
+void Formulation::resetRuleLayer() {
+  model_.truncateRows(baseRowMark_);
+  model_.truncateCols(baseColMark_);
+  isInteger_.resize(static_cast<std::size_t>(baseColMark_));
+  // The dedup set and lazy-row count describe rows that no longer exist;
+  // stale signatures would silently suppress the new rule's cuts.
+  emittedRows_.clear();
+  stats_.lazyRows = 0;
+  buildRuleLayer();
+}
+
+void Formulation::applyMaskBounds() {
+  const grid::RoutingGraph& g = *graph_;
+  for (int k = 0; k < stats_.numNets; ++k) {
+    const NetInfo& ni = nets_[k];
+    for (int a = 0; a < g.numArcs(); ++a) {
+      int e = eVar_[k][a];
+      if (e < 0) continue;
+      const bool enabled = g.arcEnabled(a);
+      // A masked arc's variables are pinned to zero instead of removed, so
+      // column ids stay stable across rule overlays. Via costs are re-read
+      // from the graph: applyRule() re-prices them per rule.
+      model_.setBounds(e, 0.0, enabled ? 1.0 : 0.0);
+      model_.setObjective(e, g.arc(a).cost);
+      if (!ni.merged) {
+        model_.setBounds(fVar_[k][a], 0.0,
+                         enabled ? static_cast<double>(ni.numSinks) : 0.0);
+      }
+    }
+  }
 }
 
 void Formulation::computeAvailability() {
@@ -307,8 +351,8 @@ void Formulation::buildEagerViaRules() {
   auto conflictPair = [&](const grid::ViaInstance& a,
                           const grid::ViaInstance& b) {
     if (a.z != b.z) return false;
-    const auto& sa = g.rule().viaShapes[a.shape];
-    const auto& sb = g.rule().viaShapes[b.shape];
+    const auto& sa = g.viaShape(a.shape);
+    const auto& sb = g.viaShape(b.shape);
     int gx = std::max({0, b.x - (a.x + sa.spanX - 1), a.x - (b.x + sb.spanX - 1)});
     int gy = std::max({0, b.y - (a.y + sa.spanY - 1), a.y - (b.y + sb.spanY - 1)});
     if (gx == 0 && gy == 0) return true;  // overlap: always illegal
@@ -321,7 +365,9 @@ void Formulation::buildEagerViaRules() {
   };
 
   for (std::size_t i = 0; i < vias.size(); ++i) {
+    if (!g.viaInstanceEnabled(static_cast<int>(i))) continue;
     for (std::size_t j = i + 1; j < vias.size(); ++j) {
+      if (!g.viaInstanceEnabled(static_cast<int>(j))) continue;
       if (!conflictPair(vias[i], vias[j])) continue;
       lp::RowBuilder rb;
       addEnterTerms(rb, -1, static_cast<int>(i), -1);
@@ -337,7 +383,8 @@ void Formulation::buildEagerViaRules() {
   // instance and covered vertex, every other net is excluded.
   for (std::size_t i = 0; i < vias.size(); ++i) {
     const grid::ViaInstance& inst = vias[i];
-    if (g.rule().viaShapes[inst.shape].isUnit()) continue;
+    if (!g.viaInstanceEnabled(static_cast<int>(i))) continue;
+    if (g.viaShape(inst.shape).isUnit()) continue;
     std::vector<int> covered = inst.coveredLower;
     covered.insert(covered.end(), inst.coveredUpper.begin(),
                    inst.coveredUpper.end());
@@ -404,7 +451,7 @@ void Formulation::buildEagerSadp() {
       // Via arcs at v available to this net.
       std::vector<int> viaCols;
       auto collect = [&](int a) {
-        if (g.arc(a).viaInstance < 0) return;
+        if (g.arc(a).viaInstance < 0 || !g.arcEnabled(a)) return;
         if (eVar_[k][a] >= 0) viaCols.push_back(eVar_[k][a]);
       };
       for (int a : g.outArcs(v)) collect(a);
@@ -569,7 +616,9 @@ std::vector<double> Formulation::encode(
     // nets share one column for e and f, so only the flow walk writes it.
     std::vector<int> inArcAt(g.numVertices(), -1);
     for (int a : sol.usedArcs[k]) {
-      if (eVar_[k][a] < 0) return {};
+      // Masked arcs have zero upper bounds under the active rule; a seed
+      // using one (e.g. a cross-rule warm start) is not encodable.
+      if (eVar_[k][a] < 0 || !g.arcEnabled(a)) return {};
       if (!ni.merged) x[eVar_[k][a]] = 1.0;
       int to = g.arc(a).to;
       if (inArcAt[to] != -1) return {};  // not a tree

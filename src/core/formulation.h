@@ -77,6 +77,17 @@ class Formulation {
   Formulation(const clip::Clip& clip, const grid::RoutingGraph& graph,
               FormulationOptions options = {});
 
+  /// Re-aligns the rule-dependent layer with the graph's ACTIVE rule after a
+  /// RoutingGraph::applyRule(): rolls the model back to the rule-independent
+  /// base (dropping the previous rule's eager rows, eager-SADP columns, and
+  /// any lazy rows separated during its solve), clears the separation dedup
+  /// set, resets the lazyRows stat, then pushes the new rule's layer --
+  /// mask-driven variable bounds, refreshed via costs in the objective, and
+  /// the rule's eager rows. Equivalent to constructing a fresh Formulation
+  /// against the re-ruled graph, at a fraction of the cost
+  /// (core::ClipSession's per-rule path).
+  void resetRuleLayer();
+
   lp::LpModel& model() { return model_; }
   const lp::LpModel& model() const { return model_; }
   const std::vector<bool>& integrality() const { return isInteger_; }
@@ -85,8 +96,13 @@ class Formulation {
   /// Column of e[k][a] (or the merged variable), -1 if the arc is not
   /// available to the net.
   int eVar(int net, int arc) const { return eVar_[net][arc]; }
-  /// True when the arc survives availability / region pruning for the net.
-  bool arcAvailableTo(int net, int arc) const { return eVar_[net][arc] >= 0; }
+  /// True when the arc survives availability / region pruning for the net
+  /// AND is enabled under the graph's active rule overlay. Warm-start
+  /// generators (the maze router's arcFilter) route through this, which
+  /// keeps masked arcs out of incumbents.
+  bool arcAvailableTo(int net, int arc) const {
+    return eVar_[net][arc] >= 0 && graph_->arcEnabled(arc);
+  }
   /// Column of f[k][a]; equals eVar for merged two-pin nets.
   int fVar(int net, int arc) const { return fVar_[net][arc]; }
 
@@ -128,6 +144,10 @@ class Formulation {
   void buildFlowConservation();
   void buildArcExclusivity();
   void buildCoupling();
+  /// Pushes the rule-dependent layer for the graph's active rule: mask
+  /// bounds + objective refresh, then the eager row families.
+  void buildRuleLayer();
+  void applyMaskBounds();
   void buildEagerViaRules();
   void buildEagerSadp();
 
@@ -143,6 +163,8 @@ class Formulation {
   lp::LpModel model_;
   std::vector<bool> isInteger_;
   FormulationStats stats_;
+  int baseRowMark_ = 0;  // rule-independent base extent (resetRuleLayer)
+  int baseColMark_ = 0;
 
   std::vector<NetInfo> nets_;
   std::vector<std::vector<int>> eVar_, fVar_;

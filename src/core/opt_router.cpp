@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/clip_session.h"
 #include "obs/trace.h"
 
 namespace optr::core {
@@ -27,17 +28,50 @@ const char* toString(Provenance p) {
   return "?";
 }
 
-Provenance provenanceFromString(const std::string& s) {
-  for (Provenance p : {Provenance::kIlpProven, Provenance::kIlpIncumbent,
-                       Provenance::kMazeFallback}) {
+std::optional<Provenance> provenanceFromString(const std::string& s) {
+  for (Provenance p : {Provenance::kNone, Provenance::kIlpProven,
+                       Provenance::kIlpIncumbent, Provenance::kMazeFallback}) {
     if (s == toString(p)) return p;
   }
-  return Provenance::kNone;
+  return std::nullopt;
+}
+
+const char* toString(WarmStartKind k) {
+  switch (k) {
+    case WarmStartKind::kNone: return "none";
+    case WarmStartKind::kMaze: return "maze";
+    case WarmStartKind::kCrossRule: return "cross-rule";
+  }
+  return "?";
 }
 
 OptRouter::OptRouter(const tech::Technology& techn,
                      const tech::RuleConfig& rule, OptRouterOptions options)
     : tech_(techn), rule_(rule), options_(options) {}
+
+namespace {
+
+/// The observability tail every route() shares: span args, the ladder event,
+/// provenance counters, and the trace flush (a finished clip solve is the
+/// natural flush boundary -- rings drain while their content is one coherent
+/// solve, and a fork-isolated child gets its records out before _exit).
+void finishEnvelope(obs::Span& span, const RouteResult& result) {
+  span.arg("nodes", static_cast<double>(result.nodes));
+  span.arg("pivots", static_cast<double>(result.lpIterations));
+  span.arg("cost", result.cost);
+  obs::event("route.ladder", toString(result.provenance),
+             {{"status", static_cast<double>(result.status)},
+              {"error", static_cast<double>(result.error.code())}});
+  auto& m = obs::metrics();
+  m.counter("route.solves").add();
+  m.counter(std::string("route.status.") + toString(result.status)).add();
+  m.counter(std::string("route.provenance.") + toString(result.provenance))
+      .add();
+  span.end();
+  obs::TraceSession::flushAll();
+}
+
+}  // namespace
 
 // The degradation ladder. Every rung yields an honest result: the status
 // says what is proven, `provenance` says where the solution came from, and
@@ -54,27 +88,17 @@ OptRouter::OptRouter(const tech::Technology& techn,
 RouteResult OptRouter::route(const clip::Clip& clip) const {
   obs::Span span("route.solve");
   span.detail(clip.id + "|" + rule_.name);
-
   RouteResult result = routeImpl(clip);
+  finishEnvelope(span, result);
+  return result;
+}
 
-  span.arg("nodes", static_cast<double>(result.nodes));
-  span.arg("pivots", static_cast<double>(result.lpIterations));
-  span.arg("cost", result.cost);
-  // The ladder verdict, one event per solve: which rung held, what is
-  // proven, and (when degraded) the machine-readable reason.
-  obs::event("route.ladder", toString(result.provenance),
-             {{"status", static_cast<double>(result.status)},
-              {"error", static_cast<double>(result.error.code())}});
-  auto& m = obs::metrics();
-  m.counter("route.solves").add();
-  m.counter(std::string("route.status.") + toString(result.status)).add();
-  m.counter(std::string("route.provenance.") + toString(result.provenance))
-      .add();
-  span.end();
-  // A finished clip solve is the natural flush boundary: rings are drained
-  // while their content is one coherent solve, and a fork-isolated child
-  // (batch harness) gets its records out before _exit.
-  obs::TraceSession::flushAll();
+RouteResult OptRouter::route(ClipSession& session,
+                             const tech::RuleConfig& rule) const {
+  obs::Span span("route.solve");
+  span.detail(session.clip().id + "|" + rule.name);
+  RouteResult result = routeImpl(session, rule);
+  finishEnvelope(span, result);
   return result;
 }
 
@@ -93,14 +117,42 @@ RouteResult OptRouter::routeImpl(const clip::Clip& clip) const {
   formulateSpan.arg("rows", static_cast<double>(formulation.model().numRows()));
   formulateSpan.end();
 
+  return solveModel(clip, graph, formulation, nullptr);
+}
+
+RouteResult OptRouter::routeImpl(ClipSession& session,
+                                 const tech::RuleConfig& rule) const {
+  RouteResult result;
+  Status valid = session.clip().validate();
+  if (!valid) {
+    result.error = valid;
+    return result;  // kError
+  }
+
+  session.activateRule(rule);
+  result = solveModel(session.clip(), session.graph(), session.formulation(),
+                      &session);
+  // Every adopted solution is DRC-clean under the active rule (the ladder
+  // never reports dirty solutions), so it qualifies as the session's
+  // cross-rule seed; only the first (the sweep reference) sticks.
+  if (result.hasSolution()) session.offerReference(result.solution);
+  return result;
+}
+
+RouteResult OptRouter::solveModel(const clip::Clip& clip,
+                                  const grid::RoutingGraph& graph,
+                                  Formulation& formulation,
+                                  ClipSession* session) const {
+  RouteResult result;
+
   ilp::MipSolver mip(formulation.model(), formulation.integrality(),
                      options_.mip);
   mip.setLazySeparator(formulation.separator());
 
-  // Heuristic baseline: routed within the same per-net arc regions; only a
-  // DRC-clean solution may seed the exact search (the MIP trusts the
-  // incumbent's rule feasibility). Also computed on demand by the fallback
-  // rung when warm starts are disabled.
+  // Heuristic baseline: routed within the same per-net arc regions (the
+  // arcFilter also excludes rule-masked arcs on session graphs); only a
+  // DRC-clean solution may seed the exact search. Also computed on demand by
+  // the fallback rung when warm starts are disabled.
   route::MazeResult heuristic;
   bool heuristicTried = false;
   auto runHeuristic = [&]() {
@@ -116,12 +168,42 @@ RouteResult OptRouter::routeImpl(const clip::Clip& clip) const {
     mazeSpan.arg("success", heuristic.success ? 1.0 : 0.0);
   };
   if (options_.warmStart) {
-    runHeuristic();
-    if (heuristic.success) {
-      std::vector<double> seed = formulation.encode(heuristic.solution);
-      if (!seed.empty() && mip.setInitialIncumbent(seed)) {
-        result.warmStartUsed = true;
+    // Cross-rule first: the session's reference solution is an optimal
+    // routing of this very clip under a sibling rule; when it passes the
+    // active rule's DRC it is a far tighter incumbent than the maze's.
+    if (session && session->hasReference() &&
+        session->referenceRuleName() != graph.rule().name) {
+      obs::Span crossSpan("route.warmstart.cross_rule");
+      bool seeded = false;
+      route::DrcChecker refCheck(clip, graph);
+      if (refCheck.check(session->referenceSolution()).empty()) {
+        std::vector<double> seed =
+            formulation.encode(session->referenceSolution());
+        if (!seed.empty() && mip.setInitialIncumbent(seed)) {
+          result.warmStartUsed = true;
+          result.warmStartKind = WarmStartKind::kCrossRule;
+          seeded = true;
+        }
       }
+      crossSpan.arg("seeded", seeded ? 1.0 : 0.0);
+    }
+    if (result.warmStartKind == WarmStartKind::kNone) {
+      runHeuristic();
+      if (heuristic.success) {
+        std::vector<double> seed = formulation.encode(heuristic.solution);
+        if (!seed.empty() && mip.setInitialIncumbent(seed)) {
+          result.warmStartUsed = true;
+          result.warmStartKind = WarmStartKind::kMaze;
+        }
+      }
+    }
+    if (session) {
+      const char* kind = "session.warmstart.none";
+      if (result.warmStartKind == WarmStartKind::kCrossRule)
+        kind = "session.warmstart.cross_rule";
+      else if (result.warmStartKind == WarmStartKind::kMaze)
+        kind = "session.warmstart.maze";
+      obs::metrics().counter(kind).add();
     }
   }
 

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "clip/clip.h"
 #include "core/formulation.h"
@@ -25,6 +27,8 @@
 #include "tech/technology.h"
 
 namespace optr::core {
+
+class ClipSession;
 
 enum class RouteStatus : std::uint8_t {
   kOptimal,     // proven minimum-cost rule-correct routing
@@ -48,7 +52,19 @@ enum class Provenance : std::uint8_t {
 
 const char* toString(Provenance p);
 
-Provenance provenanceFromString(const std::string& s);
+/// Inverse of toString(Provenance); accepts all four provenance spellings
+/// (including "none") and returns nullopt for anything unrecognized.
+std::optional<Provenance> provenanceFromString(const std::string& s);
+
+/// Which seed reached the branch-and-bound (RouteResult::warmStartKind).
+enum class WarmStartKind : std::uint8_t {
+  kNone,       // no incumbent seeded
+  kMaze,       // the heuristic maze router's DRC-clean solution
+  kCrossRule,  // a session's reference-rule solution, re-validated under the
+               // active rule (the cross-rule warm start of rule sweeps)
+};
+
+const char* toString(WarmStartKind k);
 
 struct OptRouterOptions {
   FormulationOptions formulation;
@@ -70,6 +86,7 @@ struct RouteResult {
   std::int64_t lpIterations = 0;
   int lazyRows = 0;
   bool warmStartUsed = false;
+  WarmStartKind warmStartKind = WarmStartKind::kNone;
   FormulationStats formulationStats;
   /// Which rung of the degradation ladder produced `solution`.
   Provenance provenance = Provenance::kNone;
@@ -94,6 +111,15 @@ class OptRouter {
   /// Solves one clip. Stateless across calls (safe to reuse).
   RouteResult route(const clip::Clip& clip) const;
 
+  /// Solves the session's clip under `rule`, reusing the session's base
+  /// graph/model (cheap overlay instead of a rebuild) and its cross-rule
+  /// warm start: the reference rule's routed solution is re-validated with
+  /// DrcChecker under `rule` and seeds the MIP when clean, falling back to
+  /// the maze warm start otherwise. The constructor's rule is ignored on
+  /// this path -- `rule` must instead belong to the session's universe.
+  /// Results are equivalent to route(clip) with a router built for `rule`.
+  RouteResult route(ClipSession& session, const tech::RuleConfig& rule) const;
+
   const OptRouterOptions& options() const { return options_; }
 
  private:
@@ -101,6 +127,13 @@ class OptRouter {
   /// (route.solve span, ladder event, provenance counters, trace flush --
   /// the end of a clip solve is the trace's flush boundary).
   RouteResult routeImpl(const clip::Clip& clip) const;
+  RouteResult routeImpl(ClipSession& session,
+                        const tech::RuleConfig& rule) const;
+  /// Shared solve core: warm start, MIP, degradation ladder. `session` is
+  /// non-null on the session path (cross-rule seeding + session.* counters).
+  RouteResult solveModel(const clip::Clip& clip,
+                         const grid::RoutingGraph& graph,
+                         Formulation& formulation, ClipSession* session) const;
 
   tech::Technology tech_;
   tech::RuleConfig rule_;

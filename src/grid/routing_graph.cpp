@@ -2,13 +2,63 @@
 
 namespace optr::grid {
 
+namespace {
+
+/// Union shape table over a rule universe: one entry per distinct footprint
+/// (spanX, spanY). The cost factor recorded here is only the build-time
+/// default; applyRule() re-prices every via arc from the active rule.
+std::vector<tech::ViaShape> unionShapes(
+    const std::vector<tech::RuleConfig>& universe) {
+  std::vector<tech::ViaShape> shapes;
+  for (const tech::RuleConfig& rc : universe) {
+    for (const tech::ViaShape& s : rc.viaShapes) {
+      bool known = false;
+      for (const tech::ViaShape& have : shapes) {
+        if (have.spanX == s.spanX && have.spanY == s.spanY) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) shapes.push_back(s);
+    }
+  }
+  return shapes;
+}
+
+}  // namespace
+
 RoutingGraph::RoutingGraph(const clip::Clip& clip,
                            const tech::Technology& techn,
                            const tech::RuleConfig& rule)
     : nx_(clip.tracksX), ny_(clip.tracksY), nz_(clip.numLayers),
-      tech_(techn), rule_(rule) {
-  OPTR_ASSERT(nz_ <= techn.numLayers(),
+      tech_(techn), rule_(rule), shapes_(rule.viaShapes) {
+  build(clip, !rule.unidirectional);
+  // Single-rule graphs are fully enabled; costs were baked by the build.
+  arcEnabled_.assign(numArcs(), 1);
+  viaEnabled_.assign(vias_.size(), 1);
+}
+
+RoutingGraph::RoutingGraph(const clip::Clip& clip,
+                           const tech::Technology& techn,
+                           const std::vector<tech::RuleConfig>& universe)
+    : nx_(clip.tracksX), ny_(clip.tracksY), nz_(clip.numLayers),
+      tech_(techn), shapes_(unionShapes(universe)) {
+  OPTR_ASSERT(!universe.empty(), "session graph needs a rule universe");
+  rule_ = universe.front();
+  bool bidirectional = false;
+  for (const tech::RuleConfig& rc : universe) {
+    if (!rc.unidirectional) bidirectional = true;
+  }
+  build(clip, bidirectional);
+  arcEnabled_.assign(numArcs(), 1);
+  viaEnabled_.assign(vias_.size(), 1);
+  applyRule(universe.front());
+}
+
+void RoutingGraph::build(const clip::Clip& clip, bool bidirectional) {
+  OPTR_ASSERT(nz_ <= tech_.numLayers(),
               "clip uses more layers than the technology provides");
+  builtBidirectional_ = bidirectional;
   numVertices_ = numGridVertices();
   owner_.assign(numGridVertices(), kVertexFree);
 
@@ -32,7 +82,7 @@ RoutingGraph::RoutingGraph(const clip::Clip& clip,
     owner_[vertexId(o)] = kVertexBlocked;
   }
 
-  buildPlanarArcs();
+  buildPlanarArcs(bidirectional);
   buildVias();
 
   // Adjacency (built once arcs are final).
@@ -58,6 +108,58 @@ RoutingGraph::RoutingGraph(const clip::Clip& clip,
   }
 }
 
+void RoutingGraph::applyRule(const tech::RuleConfig& rule) {
+  // Every shape of the incoming rule must have been provisioned at build
+  // time, and a bidirectional rule needs the off-preferred arcs to exist:
+  // an under-provisioned graph would silently shrink the rule's model.
+  std::vector<int> shapeMap(shapes_.size(), -1);  // graph shape -> rule shape
+  for (std::size_t rs = 0; rs < rule.viaShapes.size(); ++rs) {
+    bool found = false;
+    for (std::size_t gs = 0; gs < shapes_.size(); ++gs) {
+      if (shapes_[gs].spanX == rule.viaShapes[rs].spanX &&
+          shapes_[gs].spanY == rule.viaShapes[rs].spanY) {
+        shapeMap[gs] = static_cast<int>(rs);
+        found = true;
+        break;
+      }
+    }
+    OPTR_ASSERT(found, "rule via shape missing from the session universe");
+    (void)found;
+  }
+  OPTR_ASSERT(rule.unidirectional || builtBidirectional_,
+              "bidirectional rule applied to a unidirectional-built graph");
+  rule_ = rule;
+
+  // Planar arcs: off-preferred-direction arcs are masked on unidirectional
+  // layers; the cost (1 per track step) never changes.
+  for (int a = 0; a < numArcs(); ++a) {
+    const Arc& arc = arcs_[a];
+    if (arc.kind != ArcKind::kPlanar) continue;
+    bool horizontalMove =
+        coords(arc.from).y == coords(arc.to).y;
+    const bool preferred = tech_.layers[arc.layer].horizontal == horizontalMove;
+    arcEnabled_[a] = (preferred || !rule.unidirectional) ? 1 : 0;
+  }
+
+  // Via instances: enabled when the active rule offers the shape; enabled
+  // instances get the rule's via pricing on their paying arcs.
+  for (std::size_t i = 0; i < vias_.size(); ++i) {
+    const ViaInstance& inst = vias_[i];
+    int mapped = shapeMap[inst.shape];
+    const bool enabled = mapped >= 0;
+    viaEnabled_[i] = enabled ? 1 : 0;
+    const double viaCost =
+        enabled ? rule.viaCostWeight * rule.viaShapes[mapped].costFactor : 0.0;
+    for (int a : inst.arcs) {
+      arcEnabled_[a] = enabled ? 1 : 0;
+      Arc& arc = arcs_[a];
+      if (arc.kind == ArcKind::kVia || arc.kind == ArcKind::kViaEnter) {
+        arc.cost = viaCost;
+      }
+    }
+  }
+}
+
 int RoutingGraph::addArc(int from, int to, double cost, ArcKind kind,
                          int viaInst, int layer) {
   Arc arc;
@@ -71,11 +173,11 @@ int RoutingGraph::addArc(int from, int to, double cost, ArcKind kind,
   return numArcs() - 1;
 }
 
-void RoutingGraph::buildPlanarArcs() {
+void RoutingGraph::buildPlanarArcs(bool bidirectional) {
   for (int z = 0; z < nz_; ++z) {
     const tech::LayerInfo& li = tech_.layers[z];
-    const bool allowHorizontal = li.horizontal || !rule_.unidirectional;
-    const bool allowVertical = !li.horizontal || !rule_.unidirectional;
+    const bool allowHorizontal = li.horizontal || bidirectional;
+    const bool allowVertical = !li.horizontal || bidirectional;
     for (int y = 0; y < ny_; ++y) {
       for (int x = 0; x < nx_; ++x) {
         if (allowHorizontal && x + 1 < nx_) {
@@ -94,11 +196,10 @@ void RoutingGraph::buildPlanarArcs() {
 }
 
 void RoutingGraph::buildVias() {
-  const auto& shapes = rule_.viaShapes;
-  OPTR_ASSERT(!shapes.empty(), "rule config must allow at least one via shape");
+  OPTR_ASSERT(!shapes_.empty(), "rule config must allow at least one via shape");
   for (int z = 0; z + 1 < nz_; ++z) {
-    for (std::size_t s = 0; s < shapes.size(); ++s) {
-      const tech::ViaShape& shape = shapes[s];
+    for (std::size_t s = 0; s < shapes_.size(); ++s) {
+      const tech::ViaShape& shape = shapes_[s];
       const double viaCost = rule_.viaCostWeight * shape.costFactor;
       for (int y = 0; y + shape.spanY <= ny_; ++y) {
         for (int x = 0; x + shape.spanX <= nx_; ++x) {

@@ -49,7 +49,7 @@ struct Arc {
 /// One candidate via placement (including unit vias): the footprint spans
 /// [x, x+spanX) x [y, y+spanY) on layers z (lower) and z+1 (upper).
 struct ViaInstance {
-  int shape = 0;  // index into RuleConfig::viaShapes
+  int shape = 0;  // index into RoutingGraph::viaShapes()
   int x = 0, y = 0, z = 0;
   std::vector<int> coveredLower;  // grid vertex ids on layer z
   std::vector<int> coveredUpper;  // grid vertex ids on layer z+1
@@ -67,6 +67,36 @@ class RoutingGraph {
  public:
   RoutingGraph(const clip::Clip& clip, const tech::Technology& techn,
                const tech::RuleConfig& rule);
+
+  /// Rule-independent session build (core::ClipSession): constructs the
+  /// union graph of every configuration in `universe` -- planar arcs in both
+  /// directions when any rule allows them, via instances for the union of
+  /// all via shapes -- then applies `universe.front()` as the active
+  /// overlay. Per-rule differences (unidirectional pruning, via-shape
+  /// availability, via costs) become cheap applyRule() mask updates instead
+  /// of graph rebuilds; arc and vertex ids are stable across the sweep.
+  RoutingGraph(const clip::Clip& clip, const tech::Technology& techn,
+               const std::vector<tech::RuleConfig>& universe);
+
+  /// Re-targets the overlay at `rule`: recomputes the arc/via enable masks
+  /// and via arc costs in place. O(arcs); never touches graph structure.
+  /// Every via shape of `rule` must exist in the build universe, and a
+  /// bidirectional rule requires a graph built with a bidirectional
+  /// universe (asserted).
+  void applyRule(const tech::RuleConfig& rule);
+
+  /// True when arc `a` is usable under the active rule overlay. Graphs
+  /// built with the single-rule constructor enable every arc.
+  bool arcEnabled(int a) const { return arcEnabled_[a] != 0; }
+  const std::vector<char>& arcMask() const { return arcEnabled_; }
+  /// True when via instance `i`'s shape is available under the active rule.
+  bool viaInstanceEnabled(int i) const { return viaEnabled_[i] != 0; }
+
+  /// Shape table of this graph (the union over the build universe; equal to
+  /// rule().viaShapes for single-rule graphs). ViaInstance::shape indexes
+  /// this table, NOT the active rule's viaShapes.
+  const tech::ViaShape& viaShape(int s) const { return shapes_[s]; }
+  const std::vector<tech::ViaShape>& viaShapes() const { return shapes_; }
 
   int nx() const { return nx_; }
   int ny() const { return ny_; }
@@ -119,7 +149,8 @@ class RoutingGraph {
   int metalOf(int z) const { return tech_.layers[z].metal; }
 
  private:
-  void buildPlanarArcs();
+  void build(const clip::Clip& clip, bool bidirectional);
+  void buildPlanarArcs(bool bidirectional);
   void buildVias();
   int addArc(int from, int to, double cost, ArcKind kind, int viaInst,
              int layer);
@@ -129,13 +160,20 @@ class RoutingGraph {
   // Stored by value: callers may pass temporaries (e.g. a preset factory
   // call), and the graph outlives most call sites.
   tech::Technology tech_;
-  tech::RuleConfig rule_;
+  tech::RuleConfig rule_;  // the ACTIVE rule (last applyRule target)
 
+  // Structure shared by every rule overlay.
+  std::vector<tech::ViaShape> shapes_;  // union shape table
+  bool builtBidirectional_ = false;     // off-preferred arcs exist
   std::vector<Arc> arcs_;
   std::vector<int> reverse_;
   std::vector<std::vector<int>> outArcs_, inArcs_;
   std::vector<ViaInstance> vias_;
   std::vector<int> owner_;
+
+  // Active rule overlay (all-enabled for single-rule graphs).
+  std::vector<char> arcEnabled_;
+  std::vector<char> viaEnabled_;
 };
 
 }  // namespace optr::grid

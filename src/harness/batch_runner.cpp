@@ -126,6 +126,9 @@ std::string toJsonLine(const BatchRow& row) {
      << ",\"cost\":" << row.cost << ",\"wirelength\":" << row.wirelength
      << ",\"vias\":" << row.vias << ",\"bestBound\":" << row.bestBound
      << ",\"seconds\":" << row.seconds
+     << ",\"nodes\":" << row.nodes
+     << ",\"lpIterations\":" << row.lpIterations
+     << ",\"warmStart\":" << (row.warmStartUsed ? 1 : 0)
      << ",\"crashed\":" << (row.crashed ? 1 : 0) << "}";
   return os.str();
 }
@@ -143,7 +146,9 @@ bool fromJsonLine(const std::string& line, BatchRow& row) {
   row.status = routeStatusFromString(statusStr, ok);
   if (!ok) return false;
   if (jsonString(line, "provenance", provStr)) {
-    row.provenance = core::provenanceFromString(provStr);
+    auto prov = core::provenanceFromString(provStr);
+    if (!prov) return false;  // corrupted row: force a re-run
+    row.provenance = *prov;
   }
   if (jsonString(line, "error", errStr)) {
     row.errorCode = errorCodeFromString(errStr);
@@ -155,6 +160,10 @@ bool fromJsonLine(const std::string& line, BatchRow& row) {
   if (jsonNumber(line, "vias", v)) row.vias = static_cast<int>(v);
   if (jsonNumber(line, "bestBound", v)) row.bestBound = v;
   if (jsonNumber(line, "seconds", v)) row.seconds = v;
+  if (jsonNumber(line, "nodes", v)) row.nodes = static_cast<std::int64_t>(v);
+  if (jsonNumber(line, "lpIterations", v))
+    row.lpIterations = static_cast<std::int64_t>(v);
+  if (jsonNumber(line, "warmStart", v)) row.warmStartUsed = v != 0;
   if (jsonNumber(line, "crashed", v)) row.crashed = v != 0;
   return true;
 }
@@ -171,7 +180,8 @@ BatchRunner::BatchRunner(BatchOptions options)
     : options_(std::move(options)) {}
 
 BatchRow BatchRunner::runInline(const clip::Clip& clip,
-                                const tech::RuleConfig& rule) const {
+                                const tech::RuleConfig& rule,
+                                SessionCache* cache) const {
   obs::Span span("batch.task", runSpanId_);
   span.detail(clip.id + "|" + rule.name);
   BatchRow row;
@@ -188,7 +198,22 @@ BatchRow BatchRunner::runInline(const clip::Clip& clip,
 
   auto start = std::chrono::steady_clock::now();
   core::OptRouter router(techOr.value(), rule, options_.router);
-  core::RouteResult res = router.route(clip);
+  core::RouteResult res;
+  if (cache) {
+    // Tasks run clips-outer / rules-inner, so this worker usually already
+    // holds the clip's session and the solve is overlay + warm start only.
+    if (!cache->session || cache->clipId != clip.id) {
+      core::ClipSessionOptions so;
+      so.formulation = options_.router.formulation;
+      so.universe = *cache->universe;
+      cache->session = std::make_unique<core::ClipSession>(
+          clip, techOr.value(), std::move(so));
+      cache->clipId = clip.id;
+    }
+    res = router.route(*cache->session, rule);
+  } else {
+    res = router.route(clip);
+  }
   row.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -201,6 +226,9 @@ BatchRow BatchRunner::runInline(const clip::Clip& clip,
   row.wirelength = res.wirelength;
   row.vias = res.vias;
   row.bestBound = res.bestBound;
+  row.nodes = res.nodes;
+  row.lpIterations = res.lpIterations;
+  row.warmStartUsed = res.warmStartUsed;
   return row;
 }
 
@@ -242,7 +270,7 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
     // (both processes append to the same trace fd; O_APPEND keeps the
     // line-level interleaving atomic).
     obs::TraceSession::onFork(static_cast<std::uint64_t>(getpid()) << 32);
-    BatchRow result = runInline(clip, rule);
+    BatchRow result = runInline(clip, rule, nullptr);
     obs::TraceSession::flushAll();  // ship the child's records before _exit
     std::string line = toJsonLine(result) + "\n";
     std::size_t off = 0;
@@ -328,7 +356,7 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
 BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
                                   const tech::RuleConfig& rule,
                                   double /*timeoutSec*/) const {
-  return runInline(clip, rule);
+  return runInline(clip, rule, nullptr);
 }
 
 #endif
@@ -384,6 +412,11 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
   const int threads = options_.isolateTasks ? 1 : std::max(1, options_.threads);
 
   if (threads == 1) {
+    SessionCache serialCache;
+    serialCache.universe = &rules;
+    SessionCache* cache =
+        (options_.sessionReuse && !options_.isolateTasks) ? &serialCache
+                                                          : nullptr;
     for (const clip::Clip& clip : clips) {
       for (const tech::RuleConfig& rule : rules) {
         std::string key = clip.id + "\x1f" + rule.name;
@@ -400,7 +433,7 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
 
         BatchRow row = options_.isolateTasks
                            ? runIsolated(clip, rule, timeoutSec)
-                           : runInline(clip, rule);
+                           : runInline(clip, rule, cache);
         ++report.executed;
         if (row.crashed) ++report.crashed;
         if (row.errorCode == ErrorCode::kDeadline &&
@@ -455,11 +488,16 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
   std::mutex mu;  // checkpoint file + report counters
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    // Worker-local: sessions are single-threaded objects, and each worker
+    // sweeping its own cache keeps the pool free of shared solver state.
+    SessionCache workerCache;
+    workerCache.universe = &rules;
+    SessionCache* cache = options_.sessionReuse ? &workerCache : nullptr;
     for (;;) {
       std::size_t i = next.fetch_add(1);
       if (i >= pending.size()) return;
       const Task& t = pending[i];
-      BatchRow row = runInline(*t.clip, *t.rule);
+      BatchRow row = runInline(*t.clip, *t.rule, cache);
       std::lock_guard<std::mutex> lk(mu);
       ++report.executed;
       if (row.crashed) ++report.crashed;

@@ -16,11 +16,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "clip/clip.h"
 #include "common/status.h"
+#include "core/clip_session.h"
 #include "core/opt_router.h"
 #include "tech/rules.h"
 
@@ -42,6 +44,13 @@ struct BatchOptions {
   /// state), so isolated sweeps stay serial -- crash containment and speed
   /// are an explicit trade-off, not a free combination.
   int threads = 1;
+  /// Reuse one core::ClipSession per clip per worker on the in-process
+  /// paths: the routing graph and base ILP are built once per clip and each
+  /// rule becomes a cheap overlay plus a cross-rule warm start. Results are
+  /// equivalent to the rebuild path (gated by bench_sweep). Fork isolation
+  /// ignores this: each forked worker is a fresh process, so there is no
+  /// base model to carry over (crash containment keeps the rebuild path).
+  bool sessionReuse = true;
   /// JSON-lines checkpoint path; empty disables checkpoint/resume.
   std::string checkpointPath;
   /// Stop (gracefully) after this many *newly executed* tasks; < 0 runs all.
@@ -67,6 +76,9 @@ struct BatchRow {
   int vias = 0;
   double bestBound = 0.0;
   double seconds = 0.0;
+  std::int64_t nodes = 0;          // branch-and-bound nodes explored
+  std::int64_t lpIterations = 0;   // simplex pivots across all nodes
+  bool warmStartUsed = false;      // an incumbent seeded the MIP
   bool crashed = false;  // isolation caught a worker death
 
   std::string key() const { return clipId + "\x1f" + ruleName; }
@@ -101,8 +113,18 @@ class BatchRunner {
                   const std::vector<tech::RuleConfig>& rules);
 
  private:
-  BatchRow runInline(const clip::Clip& clip,
-                     const tech::RuleConfig& rule) const;
+  /// Worker-local session reuse: the most recent clip's session (tasks run
+  /// clips-outer, so an LRU of one covers the sweep) plus the rule universe
+  /// the run was launched with. Each worker owns exactly one cache.
+  struct SessionCache {
+    std::string clipId;
+    std::unique_ptr<core::ClipSession> session;
+    const std::vector<tech::RuleConfig>* universe = nullptr;
+  };
+
+  /// `cache` is null on the rebuild paths (fork workers, sessionReuse off).
+  BatchRow runInline(const clip::Clip& clip, const tech::RuleConfig& rule,
+                     SessionCache* cache) const;
   BatchRow runIsolated(const clip::Clip& clip, const tech::RuleConfig& rule,
                        double timeoutSec) const;
 

@@ -92,6 +92,48 @@ class LpModel {
 
   int numCols() const { return static_cast<int>(objective_.size()); }
   int numRows() const { return static_cast<int>(rhs_.size()); }
+
+  // --- Row/column block checkpointing -------------------------------------
+  // The routing formulation layers rule-dependent rows (and, for eager SADP,
+  // columns) on top of a rule-independent base model. A mark taken after the
+  // base build lets a rule sweep pop one rule's layer -- including any lazy
+  // rows separated during its solve -- and push the next rule's without
+  // rebuilding the base (core::Formulation / core::ClipSession).
+
+  /// Checkpoint for truncateRows(): the current row count.
+  int markRows() const { return numRows(); }
+
+  /// Drops every row with index >= mark (appended after the checkpoint).
+  void truncateRows(int mark) {
+    OPTR_ASSERT(mark >= 0 && mark <= numRows(), "row mark out of range");
+    if (mark == numRows()) return;
+    int nzKeep = rowStarts_[mark];
+    rowCols_.resize(nzKeep);
+    rowCoefs_.resize(nzKeep);
+    rowStarts_.resize(mark);
+    sense_.resize(mark);
+    rhs_.resize(mark);
+    columnIndexDirty_ = true;
+  }
+
+  /// Checkpoint for truncateCols(): the current column count.
+  int markCols() const { return numCols(); }
+
+  /// Drops every column with index >= mark. Rows referencing a dropped
+  /// column must be truncated first (enforced); bounds and objective of the
+  /// surviving columns are untouched.
+  void truncateCols(int mark) {
+    OPTR_ASSERT(mark >= 0 && mark <= numCols(), "column mark out of range");
+    if (mark == numCols()) return;
+    for (int c : rowCols_) {
+      OPTR_ASSERT(c < mark, "surviving row references a truncated column");
+      (void)c;
+    }
+    objective_.resize(mark);
+    lower_.resize(mark);
+    upper_.resize(mark);
+    columnIndexDirty_ = true;
+  }
   std::int64_t numNonzeros() const {
     return static_cast<std::int64_t>(rowCols_.size());
   }

@@ -155,8 +155,8 @@ void DrcChecker::checkViaRules(const RouteSolution& sol,
 
   auto footprintGap = [&](const grid::ViaInstance& a,
                           const grid::ViaInstance& b, int& gx, int& gy) {
-    const auto& sa = g.rule().viaShapes[a.shape];
-    const auto& sb = g.rule().viaShapes[b.shape];
+    const auto& sa = g.viaShape(a.shape);
+    const auto& sb = g.viaShape(b.shape);
     int aLoX = a.x, aHiX = a.x + sa.spanX - 1;
     int aLoY = a.y, aHiY = a.y + sa.spanY - 1;
     int bLoX = b.x, bHiX = b.x + sb.spanX - 1;
@@ -208,7 +208,7 @@ void DrcChecker::checkViaRules(const RouteSolution& sol,
   // the via's owner as well.
   for (const UsedVia& uv : used) {
     const grid::ViaInstance& inst = g.viaInstance(uv.inst);
-    if (g.rule().viaShapes[inst.shape].isUnit()) continue;  // vertex rule covers it
+    if (g.viaShape(inst.shape).isUnit()) continue;  // vertex rule covers it
     std::vector<int> covered = inst.coveredLower;
     covered.insert(covered.end(), inst.coveredUpper.begin(),
                    inst.coveredUpper.end());

@@ -86,13 +86,13 @@ bool MazeRouter::routeNet(int net, double presentFactor,
   // keep trading the same pair of sites).
   auto viaBlocked = [&](int instId) {
     const grid::ViaInstance& inst = g.viaInstance(instId);
-    const auto& shape = g.rule().viaShapes[inst.shape];
+    const auto& shape = g.viaShape(inst.shape);
     for (std::size_t j = 0; j < g.viaInstances().size(); ++j) {
       if (!viaSiteOcc_[j] && !ownVias[j]) continue;
       if (ownVias[j] && static_cast<std::size_t>(instId) == j) continue;
       const grid::ViaInstance& other = g.viaInstance(j);
       if (other.z != inst.z) continue;
-      const auto& os = g.rule().viaShapes[other.shape];
+      const auto& os = g.viaShape(other.shape);
       int gx = std::max({0, other.x - (inst.x + shape.spanX - 1),
                          inst.x - (other.x + os.spanX - 1)});
       int gy = std::max({0, other.y - (inst.y + shape.spanY - 1),

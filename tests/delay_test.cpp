@@ -66,8 +66,8 @@ TEST(Delay, LongerWireHasLargerDelay) {
   auto shortClip = makeSimpleClip(3, 1, 1, {{{0, 0, 0}, {2, 0, 0}}});
   auto longClip = makeSimpleClip(7, 1, 1, {{{0, 0, 0}, {6, 0, 0}}});
   auto rc = tech::RcModel::n28();
-  grid::RoutingGraph g1(shortClip, tech::Technology::n28_12t(), {});
-  grid::RoutingGraph g2(longClip, tech::Technology::n28_12t(), {});
+  grid::RoutingGraph g1(shortClip, tech::Technology::n28_12t(), tech::RuleConfig{});
+  grid::RoutingGraph g2(longClip, tech::Technology::n28_12t(), tech::RuleConfig{});
   auto d1 = estimateNetDelays(shortClip, g1, routeIt(shortClip, g1), rc);
   auto d2 = estimateNetDelays(longClip, g2, routeIt(longClip, g2), rc);
   EXPECT_GT(d2[0].worstSinkDelay, d1[0].worstSinkDelay);
@@ -78,8 +78,8 @@ TEST(Delay, ViasAddResistance) {
   auto planar = makeSimpleClip(4, 1, 1, {{{0, 0, 0}, {3, 0, 0}}});
   auto layered = makeSimpleClip(2, 4, 2, {{{0, 0, 0}, {0, 3, 0}}});
   auto rc = tech::RcModel::n28();
-  grid::RoutingGraph g1(planar, tech::Technology::n28_12t(), {});
-  grid::RoutingGraph g2(layered, tech::Technology::n28_12t(), {});
+  grid::RoutingGraph g1(planar, tech::Technology::n28_12t(), tech::RuleConfig{});
+  grid::RoutingGraph g2(layered, tech::Technology::n28_12t(), tech::RuleConfig{});
   auto d1 = estimateNetDelays(planar, g1, routeIt(planar, g1), rc);
   auto d2 = estimateNetDelays(layered, g2, routeIt(layered, g2), rc);
   // 3 segments + 2 vias (R 2.0 each) beats 3 plain segments.

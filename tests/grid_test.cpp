@@ -184,5 +184,91 @@ TEST(RoutingGraph, MetalNumbersStartAtM2) {
   EXPECT_EQ(g.metalOf(2), 4);
 }
 
+// ---------------------------------------------------------------------------
+// Union build + applyRule overlays (the rule-independent base of ClipSession:
+// the graph is built once over a rule universe, each rule becomes a mask).
+
+TEST(RoutingGraph, UnionBuildMasksOffAxisArcsPerRule) {
+  auto c = emptyClip(4, 4, 2);
+  tech::RuleConfig uni;  // default: unidirectional
+  tech::RuleConfig bidi;
+  bidi.name = "BIDI";
+  bidi.unidirectional = false;
+  RoutingGraph g(c, tech::Technology::n28_12t(),
+                 std::vector<tech::RuleConfig>{uni, bidi});
+  EXPECT_EQ(g.rule().name, uni.name);  // first universe rule starts active
+
+  // The union graph physically contains off-preferred arcs (some rule wants
+  // them), but under the unidirectional rule they must be masked off.
+  int offAxis = 0, offAxisEnabled = 0;
+  auto countOffAxis = [&] {
+    offAxis = offAxisEnabled = 0;
+    for (int a = 0; a < g.numArcs(); ++a) {
+      const Arc& arc = g.arc(a);
+      if (arc.kind != ArcKind::kPlanar) continue;
+      auto pa = g.coords(arc.from);
+      auto pb = g.coords(arc.to);
+      bool horizontalMove = pa.y == pb.y;
+      bool preferred =
+          tech::Technology::n28_12t().layers[arc.layer].horizontal ==
+          horizontalMove;
+      if (preferred) {
+        EXPECT_TRUE(g.arcEnabled(a));  // preferred arcs stay on everywhere
+        continue;
+      }
+      ++offAxis;
+      offAxisEnabled += g.arcEnabled(a) ? 1 : 0;
+    }
+  };
+  countOffAxis();
+  EXPECT_GT(offAxis, 0);
+  EXPECT_EQ(offAxisEnabled, 0);
+
+  g.applyRule(bidi);
+  EXPECT_EQ(g.rule().name, "BIDI");
+  countOffAxis();
+  EXPECT_EQ(offAxisEnabled, offAxis);
+
+  // And the overlay flips back cleanly.
+  g.applyRule(uni);
+  countOffAxis();
+  EXPECT_EQ(offAxisEnabled, 0);
+}
+
+TEST(RoutingGraph, ApplyRuleSwitchesViaAvailabilityAndCost) {
+  auto c = emptyClip(4, 4, 2);
+  tech::RuleConfig unitOnly;
+  unitOnly.name = "UNIT";
+  unitOnly.viaShapes = {tech::unitVia()};
+  unitOnly.viaCostWeight = 4.0;
+  tech::RuleConfig squareOnly;
+  squareOnly.name = "SQUARE";
+  squareOnly.viaShapes = {tech::squareVia()};
+  squareOnly.viaCostWeight = 2.0;
+  RoutingGraph g(c, tech::Technology::n28_12t(),
+                 std::vector<tech::RuleConfig>{unitOnly, squareOnly});
+  // The union graph carries instances of both shapes.
+  EXPECT_EQ(g.viaShapes().size(), 2u);
+
+  auto checkActive = [&](bool wantUnit, double wantCost) {
+    for (std::size_t i = 0; i < g.viaInstances().size(); ++i) {
+      const ViaInstance& vi = g.viaInstances()[i];
+      bool isUnit = g.viaShape(vi.shape).isUnit();
+      EXPECT_EQ(g.viaInstanceEnabled(static_cast<int>(i)), isUnit == wantUnit);
+      if (isUnit != wantUnit) continue;
+      for (int a : vi.arcs) {
+        const Arc& arc = g.arc(a);
+        if (arc.kind == ArcKind::kVia || arc.kind == ArcKind::kViaEnter)
+          EXPECT_DOUBLE_EQ(arc.cost, wantCost);
+      }
+    }
+  };
+  checkActive(/*wantUnit=*/true, 4.0 * 1.0);
+  g.applyRule(squareOnly);
+  checkActive(/*wantUnit=*/false, 2.0 * 0.8);  // squareVia costFactor = 0.8
+  g.applyRule(unitOnly);
+  checkActive(/*wantUnit=*/true, 4.0 * 1.0);
+}
+
 }  // namespace
 }  // namespace optr::grid

@@ -60,6 +60,9 @@ TEST(BatchRow, JsonRoundTripIncludingEscapes) {
   row.vias = 3;
   row.bestBound = 41.0;
   row.seconds = 0.125;
+  row.nodes = 1234567890123LL;
+  row.lpIterations = 987654321;
+  row.warmStartUsed = true;
   row.crashed = true;
 
   BatchRow back;
@@ -74,7 +77,25 @@ TEST(BatchRow, JsonRoundTripIncludingEscapes) {
   EXPECT_EQ(back.wirelength, row.wirelength);
   EXPECT_EQ(back.vias, row.vias);
   EXPECT_EQ(back.bestBound, row.bestBound);
+  EXPECT_EQ(back.nodes, row.nodes);
+  EXPECT_EQ(back.lpIterations, row.lpIterations);
+  EXPECT_EQ(back.warmStartUsed, row.warmStartUsed);
   EXPECT_EQ(back.crashed, row.crashed);
+}
+
+TEST(BatchRow, UnknownProvenanceSpellingIsRejected) {
+  // A checkpoint written by a different (or corrupted) build must not parse
+  // into a default provenance: the row is rejected and re-run instead.
+  BatchRow sample;
+  sample.clipId = "c";
+  sample.ruleName = "r";
+  sample.provenance = core::Provenance::kIlpProven;
+  std::string line = toJsonLine(sample);
+  std::string::size_type at = line.find("ilp-proven");
+  ASSERT_NE(at, std::string::npos);
+  line.replace(at, std::string("ilp-proven").size(), "ilp-PROVEN");
+  BatchRow back;
+  EXPECT_FALSE(fromJsonLine(line, back));
 }
 
 TEST(BatchRow, MalformedLinesAreRejected) {

@@ -270,5 +270,89 @@ TEST_P(SimplexRandomized, SolutionFeasibleAndNotWorseThanGridScan) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomized,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+// ---------------------------------------------------------------------------
+// Checkpoint/rollback: the primitive behind Formulation::resetRuleLayer()
+// (rule sweeps roll the model back to the rule-independent base and push a
+// new rule layer instead of rebuilding everything).
+
+TEST(LpModelCheckpoint, RollbackDropsRowsPushedAfterMark) {
+  LpModel m;
+  int x = m.addColumn(1.0, 0.0, 10.0);
+  int y = m.addColumn(2.0, 0.0, 10.0);
+  addGeRow(m, {{x, 1.0}, {y, 1.0}}, 4.0);
+  int mark = m.markRows();
+  auto base = solve(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  EXPECT_NEAR(base.objective, 4.0, kTol);  // x carries everything
+
+  // A "lazy" cut forces the expensive column into the solution...
+  addGeRow(m, {{y, 1.0}}, 3.0);
+  auto cut = solve(m);
+  ASSERT_EQ(cut.status, LpStatus::kOptimal);
+  EXPECT_NEAR(cut.objective, 1.0 + 2.0 * 3.0, kTol);
+
+  // ...and rolling back restores the pre-cut optimum exactly.
+  m.truncateRows(mark);
+  EXPECT_EQ(m.numRows(), 1);
+  auto again = solve(m);
+  ASSERT_EQ(again.status, LpStatus::kOptimal);
+  EXPECT_NEAR(again.objective, base.objective, kTol);
+}
+
+TEST(LpModelCheckpoint, DoubleRollbackIsIdempotent) {
+  LpModel m;
+  int x = m.addColumn(1.0, 0.0, 5.0);
+  addGeRow(m, {{x, 1.0}}, 1.0);
+  int mark = m.markRows();
+  addGeRow(m, {{x, 1.0}}, 2.0);
+  addGeRow(m, {{x, 1.0}}, 3.0);
+  m.truncateRows(mark);
+  EXPECT_EQ(m.numRows(), 1);
+  m.truncateRows(mark);  // no rows above the mark: a no-op
+  EXPECT_EQ(m.numRows(), 1);
+  auto r = solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 1.0, kTol);
+}
+
+TEST(LpModelCheckpoint, RollbackToEmptyModelKeepsBoundsOptimum) {
+  LpModel m;
+  int x = m.addColumn(3.0, 1.0, 5.0);
+  int mark = m.markRows();  // zero rows
+  addGeRow(m, {{x, 1.0}}, 4.0);
+  auto constrained = solve(m);
+  ASSERT_EQ(constrained.status, LpStatus::kOptimal);
+  EXPECT_NEAR(constrained.x[x], 4.0, kTol);
+  m.truncateRows(mark);
+  EXPECT_EQ(m.numRows(), 0);
+  auto r = solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 1.0, kTol);  // back to the lower bound
+}
+
+TEST(LpModelCheckpoint, ColumnRollbackAfterRowRollback) {
+  LpModel m;
+  int x = m.addColumn(1.0, 0.0, 5.0);
+  addGeRow(m, {{x, 1.0}}, 2.0);
+  int rowMark = m.markRows();
+  int colMark = m.markCols();
+
+  // A rule layer may add both columns and rows referencing them; rollback
+  // must drop the rows first, then the columns.
+  int z = m.addColumn(0.5, 0.0, 5.0);
+  addGeRow(m, {{x, 1.0}, {z, 1.0}}, 6.0);
+  auto layered = solve(m);
+  ASSERT_EQ(layered.status, LpStatus::kOptimal);
+  EXPECT_NEAR(layered.objective, 2.0 + 0.5 * 4.0, kTol);
+
+  m.truncateRows(rowMark);
+  m.truncateCols(colMark);
+  EXPECT_EQ(m.numRows(), 1);
+  EXPECT_EQ(m.numCols(), 1);
+  auto r = solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, kTol);
+}
+
 }  // namespace
 }  // namespace optr::lp

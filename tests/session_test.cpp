@@ -1,0 +1,245 @@
+// ClipSession: the rule-independent/rule-dependent split of the solve
+// pipeline. Unit tests cover overlay switching, the reference warm-start
+// seed, and provenance parsing; the SessionSweep suite gates result
+// equivalence (status, cost, bestBound) between session reuse and the
+// historical per-(clip, rule) rebuild over the bundled example clips.
+// bench_sweep runs the same gate over the FULL clip x rule matrix; the
+// ctest legs here are sized for the suite's time budget.
+#include "core/clip_session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "core/evaluator.h"
+#include "core/opt_router.h"
+#include "test_clips.h"
+
+namespace optr::core {
+namespace {
+
+using clip::TrackPoint;
+
+tech::RuleConfig rule(const char* name) {
+  return tech::ruleByName(name).value();
+}
+
+std::vector<tech::RuleConfig> rules(std::initializer_list<const char*> names) {
+  std::vector<tech::RuleConfig> out;
+  for (const char* n : names) out.push_back(rule(n));
+  return out;
+}
+
+OptRouterOptions fastRouter(int mipThreads = 1) {
+  OptRouterOptions o;
+  // Generous: the equivalence gates only hold for solves the deadline never
+  // truncates (a limit-hit bound is scheduling-dependent), and ctest runs
+  // this suite alongside other solver tests on shared cores.
+  o.mip.timeLimitSec = 600;
+  o.mip.threads = mipThreads;
+  return o;
+}
+
+ClipSessionOptions sessionOptions(std::vector<tech::RuleConfig> universe) {
+  ClipSessionOptions so;
+  so.universe = std::move(universe);
+  return so;
+}
+
+TEST(ClipSessionTest, ConstructionActivatesFirstUniverseRule) {
+  auto c = testing::randomClip(1);
+  ClipSession s(c, tech::Technology::n28_12t(),
+                sessionOptions(rules({"RULE6", "RULE1"})));
+  EXPECT_EQ(s.activeRule().name, "RULE6");
+  EXPECT_FALSE(s.hasReference());
+  EXPECT_GT(s.formulation().stats().numRows, 0);
+}
+
+TEST(ClipSessionTest, ActivateRuleRebuildsRuleLayerAndRestoresIt) {
+  auto c = testing::randomClip(2);
+  ClipSession s(c, tech::Technology::n28_12t(),
+                sessionOptions(rules({"RULE1", "RULE9"})));
+  const int baseRows = s.formulation().stats().numRows;
+
+  // RULE9 (full via restriction) pushes eager via-adjacency rows RULE1
+  // does not have.
+  s.activateRule(rule("RULE9"));
+  EXPECT_EQ(s.activeRule().name, "RULE9");
+  const int rule9Rows = s.formulation().stats().numRows;
+  EXPECT_GT(rule9Rows, baseRows);
+
+  // Rolling back to RULE1 must drop those rows exactly: the overlay is a
+  // checkpoint/rollback, not an accumulation.
+  s.activateRule(rule("RULE1"));
+  EXPECT_EQ(s.activeRule().name, "RULE1");
+  EXPECT_EQ(s.formulation().stats().numRows, baseRows);
+
+  // And the cycle is repeatable (second overlay sees the same model).
+  s.activateRule(rule("RULE9"));
+  EXPECT_EQ(s.formulation().stats().numRows, rule9Rows);
+}
+
+TEST(ClipSessionTest, FirstReferenceOfferSticks) {
+  auto c = testing::randomClip(3);
+  ClipSession s(c, tech::Technology::n28_12t(),
+                sessionOptions(rules({"RULE1", "RULE6"})));
+  OptRouter router(tech::Technology::n28_12t(), rule("RULE1"), fastRouter());
+  RouteResult r1 = router.route(s, rule("RULE1"));
+  ASSERT_TRUE(r1.hasSolution());
+  ASSERT_TRUE(s.hasReference());
+  EXPECT_EQ(s.referenceRuleName(), "RULE1");
+
+  // A later solve's solution must not displace the reference.
+  RouteResult r6 = router.route(s, rule("RULE6"));
+  ASSERT_TRUE(r6.hasSolution());
+  EXPECT_EQ(s.referenceRuleName(), "RULE1");
+}
+
+TEST(ClipSessionTest, CrossRuleWarmStartSeedsLaterRules) {
+  // A via-free straight net: its RULE1 optimum is DRC-clean under every
+  // via-restriction rule, so the cross-rule seed must validate and stick.
+  auto c = testing::makeSimpleClip(
+      4, 3, 2, {{TrackPoint{0, 1, 0}, TrackPoint{3, 1, 0}}});
+  ClipSession s(c, tech::Technology::n28_12t(),
+                sessionOptions(rules({"RULE1", "RULE9"})));
+  OptRouter router(tech::Technology::n28_12t(), rule("RULE1"), fastRouter());
+  RouteResult r1 = router.route(s, rule("RULE1"));
+  ASSERT_EQ(r1.status, RouteStatus::kOptimal);
+  EXPECT_NE(r1.warmStartKind, WarmStartKind::kCrossRule);
+
+  RouteResult r9 = router.route(s, rule("RULE9"));
+  ASSERT_EQ(r9.status, RouteStatus::kOptimal);
+  EXPECT_TRUE(r9.warmStartUsed);
+  EXPECT_EQ(r9.warmStartKind, WarmStartKind::kCrossRule);
+  EXPECT_EQ(r9.cost, r1.cost);  // straight wire: no rule can tax it
+}
+
+TEST(ClipSessionTest, SessionRouteMatchesFreshRoute) {
+  // Small deterministic clips that solve in milliseconds: the point is the
+  // session plumbing (mask overlay, rollback, warm-start seeding), not
+  // solver stress -- SessionSweep and bench_sweep cover real clips.
+  std::vector<clip::Clip> clips = {
+      testing::makeSimpleClip(3, 3, 2,
+                              {{{0, 0, 0}, {0, 2, 0}}, {{2, 0, 0}, {2, 2, 0}}}),
+      testing::makeSimpleClip(4, 4, 3,
+                              {{{0, 0, 0}, {2, 2, 0}}, {{2, 0, 0}, {0, 2, 0}}}),
+      testing::makeSimpleClip(4, 4, 2,
+                              {{{1, 0, 0}, {1, 3, 0}}, {{0, 2, 0}, {3, 2, 0}}}),
+  };
+  auto techn = tech::Technology::n28_12t();
+  auto sweep = rules({"RULE1", "RULE6", "RULE9"});
+  for (std::size_t ci = 0; ci < clips.size(); ++ci) {
+    ClipSession s(clips[ci], techn, sessionOptions(sweep));
+    for (const tech::RuleConfig& rc : sweep) {
+      OptRouter router(techn, rc, fastRouter());
+      RouteResult fresh = router.route(clips[ci]);
+      RouteResult reused = router.route(s, rc);
+      EXPECT_EQ(reused.status, fresh.status) << rc.name << " clip " << ci;
+      EXPECT_EQ(reused.cost, fresh.cost) << rc.name << " clip " << ci;
+      EXPECT_EQ(reused.bestBound, fresh.bestBound)
+          << rc.name << " clip " << ci;
+    }
+  }
+}
+
+TEST(ClipSessionTest, ProvenanceFromStringRoundTripsAndRejects) {
+  for (Provenance p : {Provenance::kNone, Provenance::kIlpProven,
+                       Provenance::kIlpIncumbent, Provenance::kMazeFallback}) {
+    auto back = provenanceFromString(toString(p));
+    ASSERT_TRUE(back.has_value()) << toString(p);
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(provenanceFromString("").has_value());
+  EXPECT_FALSE(provenanceFromString("ilp").has_value());
+  EXPECT_FALSE(provenanceFromString("ILP-PROVEN").has_value());
+  EXPECT_FALSE(provenanceFromString("maze-fallback ").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// SessionSweep: equivalence gates over the bundled example clips (the same
+// clips the CLI walkthrough and the sanitizer batch sweep use). These run
+// real MIP solves and are the slowest tests in the suite; bench_sweep covers
+// the full matrix at both thread counts.
+
+/// Loads the bundled example set and keeps the clips named in `ids`. The
+/// heavyweight sbox1 is excluded from ctest legs: its RULE9-11 solves run
+/// to any reasonable deadline, and the equality contract only covers
+/// proven verdicts -- bench_sweep handles the full set.
+std::vector<clip::Clip> exampleClips(std::initializer_list<const char*> ids) {
+  auto loaded = clip::loadClips(OPTR_EXAMPLES_CLIPS);
+  EXPECT_TRUE(loaded.isOk()) << loaded.status().message();
+  std::vector<clip::Clip> out;
+  if (!loaded.isOk()) return out;
+  for (const clip::Clip& c : loaded.value()) {
+    for (const char* id : ids) {
+      if (c.id == id) out.push_back(c);
+    }
+  }
+  EXPECT_EQ(out.size(), ids.size());
+  return out;
+}
+
+bool provenStatus(RouteStatus s) {
+  return s == RouteStatus::kOptimal || s == RouteStatus::kInfeasible;
+}
+
+void expectEquivalent(const EvaluationResult& a, const EvaluationResult& b) {
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (std::size_t ri = 0; ri < a.rules.size(); ++ri) {
+    const RuleOutcome& ra = a.rules[ri];
+    const RuleOutcome& rb = b.rules[ri];
+    ASSERT_EQ(ra.clips.size(), rb.clips.size()) << ra.rule.name;
+    for (std::size_t i = 0; i < ra.clips.size(); ++i) {
+      // The clips are sized to always prove within the budget; a truncated
+      // solve would make the equality below vacuous, so it fails loudly.
+      EXPECT_TRUE(provenStatus(ra.clips[i].status))
+          << ra.rule.name << " clip " << i << " rebuild "
+          << toString(ra.clips[i].status);
+      EXPECT_EQ(rb.clips[i].status, ra.clips[i].status)
+          << ra.rule.name << " clip " << i;
+      EXPECT_EQ(rb.clips[i].cost, ra.clips[i].cost)
+          << ra.rule.name << " clip " << i;
+      EXPECT_EQ(rb.clips[i].bestBound, ra.clips[i].bestBound)
+          << ra.rule.name << " clip " << i;
+    }
+  }
+}
+
+EvaluationResult runSweep(const std::vector<clip::Clip>& clips,
+                          std::vector<tech::RuleConfig> sweep,
+                          bool sessionReuse, int mipThreads) {
+  EvaluationOptions eo;
+  eo.router = fastRouter(mipThreads);
+  eo.rules = std::move(sweep);
+  eo.sessionReuse = sessionReuse;
+  return RuleEvaluator(tech::Technology::n28_12t(), eo).evaluate(clips);
+}
+
+TEST(SessionSweep, ExampleClipsAllRulesMatchRebuildSerial) {
+  // sbox3 proves every applicable rule in seconds; bench_sweep runs all.
+  auto clips = exampleClips({"sbox3"});
+  ASSERT_FALSE(clips.empty());
+  auto techn = tech::Technology::n28_12t();
+  std::vector<tech::RuleConfig> sweep;
+  for (const tech::RuleConfig& rc : tech::table3Rules()) {
+    if (tech::ruleApplicable(rc, techn)) sweep.push_back(rc);
+  }
+  ASSERT_FALSE(sweep.empty());
+  auto rebuilt = runSweep(clips, sweep, /*sessionReuse=*/false, 1);
+  auto reused = runSweep(clips, sweep, /*sessionReuse=*/true, 1);
+  expectEquivalent(rebuilt, reused);
+}
+
+TEST(SessionSweep, ExampleClipMatchesRebuildAtFourMipThreads) {
+  auto clips = exampleClips({"sbox11"});
+  ASSERT_FALSE(clips.empty());
+  auto sweep = rules({"RULE1", "RULE6", "RULE9"});
+  auto rebuilt = runSweep(clips, sweep, /*sessionReuse=*/false, 4);
+  auto reused = runSweep(clips, sweep, /*sessionReuse=*/true, 4);
+  expectEquivalent(rebuilt, reused);
+}
+
+}  // namespace
+}  // namespace optr::core

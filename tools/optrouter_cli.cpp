@@ -55,9 +55,12 @@ int usage() {
                "  sweep <clips> <rule...>\n"
                "  batch <clips> <checkpoint.jsonl> [--threads N]\n"
                "        [--isolation=fork|thread] [--mip-threads N]\n"
-               "        [--trace=out.jsonl] [--metrics] <rule...>\n"
+               "        [--no-session-reuse] [--trace=out.jsonl] [--metrics]\n"
+               "        <rule...>\n"
                "        (--threads needs --isolation=thread: the in-process\n"
                "         pool; fork isolation stays serial but crash-proof;\n"
+               "         --no-session-reuse rebuilds graph+model per rule\n"
+               "         instead of reusing the per-clip session;\n"
                "         --trace writes a span/event JSONL for trace_report,\n"
                "         --metrics prints the batch's counter deltas)\n"
                "  improve <clips> <rule> [threads=1]\n");
@@ -179,6 +182,10 @@ int cmdRoute(int argc, char** argv) {
   if (r.hasSolution()) {
     std::printf("  cost=%.0f (WL %d + %d vias)  [%s]", r.cost, r.wirelength,
                 r.vias, core::toString(r.provenance));
+    std::printf("\n  search: %lld nodes, %lld LP iterations, warm start %s",
+                static_cast<long long>(r.nodes),
+                static_cast<long long>(r.lpIterations),
+                core::toString(r.warmStartKind));
   }
   if (!r.error.isOk()) {
     std::printf("\n  degraded: [%s] %s", toString(r.error.code()),
@@ -287,6 +294,10 @@ int cmdBatch(int argc, char** argv) {
       }
       continue;
     }
+    if (arg == "--no-session-reuse") {
+      opt.sessionReuse = false;
+      continue;
+    }
     auto ruleOr = tech::ruleByName(argv[a]);
     if (!ruleOr) {
       std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
@@ -316,7 +327,7 @@ int cmdBatch(int argc, char** argv) {
   if (!tracePath.empty()) obs::TraceSession::stop();
 
   report::Table table({"Clip", "Rule", "status", "provenance", "error",
-                       "cost", "seconds"});
+                       "cost", "nodes", "LP iters", "warm", "seconds"});
   for (const harness::BatchRow& row : report.rows) {
     bool solved = row.status == core::RouteStatus::kOptimal ||
                   row.status == core::RouteStatus::kFeasible;
@@ -325,6 +336,8 @@ int cmdBatch(int argc, char** argv) {
                   row.errorCode == ErrorCode::kOk ? "-"
                                                   : toString(row.errorCode),
                   solved ? strFormat("%.0f", row.cost) : "-",
+                  std::to_string(row.nodes), std::to_string(row.lpIterations),
+                  row.warmStartUsed ? "yes" : "-",
                   strFormat("%.1f", row.seconds)});
   }
   std::printf("%s", table.render().c_str());

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Perf smoke test: a cheap CORRECTNESS gate for the parallel solve paths,
-# not a timing gate.
+# Perf smoke test: a cheap CORRECTNESS gate for the parallel solve paths
+# and for ClipSession reuse, not a timing gate.
 #
 # Builds Release into build-perf/, then runs bench_runtime twice:
 #   * --threads 1 : every pass is effectively serial; sanity-checks that the
@@ -9,6 +9,16 @@
 #     clip set. bench_runtime itself exits nonzero if any clip proven
 #     optimal by both a serial and a parallel pass disagrees on the
 #     objective -- that is the gate this script enforces.
+#
+# It then runs bench_sweep, the session-reuse correctness gate: over the
+# full example-clip x Table 3 rule sweep at mip.threads 1 and N, every task
+# that BOTH the ClipSession-reuse path and the per-(clip, rule) rebuild
+# path prove (optimal or infeasible) must report byte-identical
+# status/cost/bestBound; deadline-truncated solves are undecided but a
+# proven infeasibility may never coexist with a validated solution, and at
+# least half the tasks must prove on both paths so the gate cannot pass
+# vacuously. Obs builds must show exactly one base model per clip.
+# bench_sweep exits nonzero on any divergence.
 #
 # Speedups are printed for information only: they depend on available
 # hardware parallelism (on a single-core machine the expected clip-parallel
@@ -27,7 +37,7 @@ fi
 
 echo "=== configuring Release into build-perf/ ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build build-perf -j --target bench_runtime > /dev/null
+cmake --build build-perf -j --target bench_runtime bench_sweep > /dev/null
 
 cores="$(nproc 2> /dev/null || echo 1)"
 if [[ "${cores}" -lt "${threads}" ]]; then
@@ -94,5 +104,10 @@ if ser["routeSolves"] == 0 and ser["lpPivots"] == 0:
 sys.exit(bad)
 EOF
 
-echo "=== perf smoke OK: no objective divergence, work conserved ==="
-echo "    trajectory: build-perf/BENCH_runtime.json"
+echo "=== bench_sweep --threads ${threads} (session-reuse equivalence gate) ==="
+build-perf/bench/bench_sweep --threads "${threads}" \
+  --out build-perf/BENCH_sweep.json
+
+echo "=== perf smoke OK: no objective divergence, work conserved, ==="
+echo "=== session reuse result-equivalent ==="
+echo "    trajectories: build-perf/BENCH_runtime.json build-perf/BENCH_sweep.json"

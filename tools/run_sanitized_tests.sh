@@ -37,7 +37,7 @@ done
 # batch evaluation, concurrent fault probes) plus the observability layer
 # (lock-free trace rings, relaxed-atomic metric counters) -- the TSan leg's
 # target set. ctest registers gtest suite names, so the filter matches those.
-tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace'
+tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession'
 
 status=0
 for san in "${configs[@]}"; do
@@ -58,9 +58,12 @@ for san in "${configs[@]}"; do
   if [[ "${san}" == "thread" ]]; then
     # End-to-end race check: a traced, metered, thread-pool batch drives the
     # trace rings and metric atomics from real worker threads, then the
-    # analyzer parses the result. Unit tests cover the pieces; this covers
+    # analyzer parses the result. Session reuse is on by default, so this is
+    # also the ClipSession race check: each pool worker owns a session cache
+    # (base build + per-rule overlays + cross-rule warm starts) while sharing
+    # the registry and trace rings. Unit tests cover the pieces; this covers
     # their composition under TSan.
-    echo "=== ${san}: traced batch end-to-end ==="
+    echo "=== ${san}: traced batch end-to-end (session reuse on) ==="
     rm -f "${dir}/tsan_batch.ckpt" "${dir}/tsan_trace.jsonl"
     if ! "${dir}/tools/optrouter" batch examples/example.clips \
          "${dir}/tsan_batch.ckpt" RULE1 RULE3 \
