@@ -1,0 +1,373 @@
+// Fleet benchmark: the correctness gate for harness::SweepCoordinator.
+//
+// A distributed sweep is only admissible if distribution is invisible in
+// the results. This bench runs the same clip x rule matrix three ways and
+// enforces exactly that:
+//
+//   * reference: in-process harness::BatchRunner (isolateTasks=false,
+//     sessionReuse=false, threads=1) -- the same rebuild path the fleet
+//     workers use;
+//   * fleet-clean: SweepCoordinator with 2 worker processes, no faults;
+//   * fleet-chaos: same, but the coordinator SIGKILLs random busy workers
+//     mid-solve (deterministic seed, bounded kill count), exercising lease
+//     expiry, respawn backoff, and re-assignment under real worker deaths.
+//
+// Gates (any failure exits 1):
+//   * every pass yields exactly one row per (clip, rule), in matrix order,
+//     with zero quarantined tasks -- no lost and no duplicated work;
+//   * for every task both the reference and a fleet pass PROVE (optimal or
+//     infeasible), status, cost, and bestBound must be byte-identical;
+//     a proven verdict must never contradict a validated solution on the
+//     other side; fewer than half the tasks proven in both fails too (the
+//     equality gate must not pass vacuously);
+//   * the chaos pass must actually have killed workers (chaosKills >= 1)
+//     and recovered (leases re-assigned, fleet finished, nothing
+//     quarantined) -- otherwise the "survives SIGKILL" claim is untested;
+//   * a fresh coordinator pointed at the chaos pass's checkpoint must
+//     resume every task from disk and execute zero new solves -- the
+//     crash-consistent merge is part of the contract.
+//
+// Emits BENCH_fleet.json: per-task rows per pass plus the fleet counters
+// (leases granted/reassigned/expired, spawns, deaths, chaos kills,
+// duplicate/stale results).
+//
+// Usage: bench_fleet [--clips path] [--out path.json] [--workers N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "core/opt_router.h"
+#include "harness/batch_runner.h"
+#include "harness/checkpoint_io.h"
+#include "harness/sweep_coordinator.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+
+using namespace optr;
+
+namespace {
+
+core::OptRouterOptions routerOptions() {
+  core::OptRouterOptions o;
+  o.mip.timeLimitSec = 20;
+  o.formulation.netBBoxMargin = 3;
+  o.formulation.netLayerMargin = 1;
+  return o;
+}
+
+struct PassStat {
+  std::string mode;  // "reference" | "fleet-clean" | "fleet-chaos"
+  double wallMs = 0.0;
+  std::vector<harness::BatchRow> rows;
+  harness::FleetReport fleet;  // zeroed for the reference pass
+};
+
+bool proven(core::RouteStatus s) {
+  return s == core::RouteStatus::kOptimal ||
+         s == core::RouteStatus::kInfeasible;
+}
+
+bool holdsSolution(core::RouteStatus s) {
+  return s == core::RouteStatus::kOptimal ||
+         s == core::RouteStatus::kFeasible;
+}
+
+/// Shape gate: one row per matrix cell, matrix order, nothing quarantined.
+bool checkShape(const PassStat& pass, const std::vector<clip::Clip>& clips,
+                const std::vector<tech::RuleConfig>& rules) {
+  bool ok = true;
+  if (pass.rows.size() != clips.size() * rules.size()) {
+    std::fprintf(stderr, "FAIL: %s pass: %zu rows for a %zu x %zu matrix\n",
+                 pass.mode.c_str(), pass.rows.size(), clips.size(),
+                 rules.size());
+    return false;
+  }
+  std::size_t i = 0;
+  for (const clip::Clip& c : clips) {
+    for (const tech::RuleConfig& r : rules) {
+      const harness::BatchRow& row = pass.rows[i++];
+      if (row.clipId != c.id || row.ruleName != r.name) {
+        std::fprintf(stderr,
+                     "FAIL: %s pass: row %zu is %s/%s, expected %s/%s "
+                     "(matrix order violated)\n",
+                     pass.mode.c_str(), i - 1, row.clipId.c_str(),
+                     row.ruleName.c_str(), c.id.c_str(), r.name.c_str());
+        ok = false;
+      }
+    }
+  }
+  if (pass.fleet.quarantined != 0) {
+    std::fprintf(stderr, "FAIL: %s pass: %d tasks quarantined\n",
+                 pass.mode.c_str(), pass.fleet.quarantined);
+    ok = false;
+  }
+  return ok;
+}
+
+/// The equivalence gate (same discipline as bench_sweep): proven-by-both
+/// tasks must match byte-for-byte; proofs must never contradict solutions;
+/// the gate must not pass vacuously.
+bool checkEquivalence(const PassStat& ref, const PassStat& pass) {
+  bool ok = true;
+  int provenBoth = 0;
+  for (std::size_t i = 0; i < ref.rows.size(); ++i) {
+    const harness::BatchRow& a = ref.rows[i];
+    const harness::BatchRow& b = pass.rows[i];
+    bool aInfeasible = a.status == core::RouteStatus::kInfeasible;
+    bool bInfeasible = b.status == core::RouteStatus::kInfeasible;
+    if ((aInfeasible && holdsSolution(b.status)) ||
+        (bInfeasible && holdsSolution(a.status))) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s: reference %s contradicts %s %s "
+                   "(infeasibility proof vs validated solution)\n",
+                   a.clipId.c_str(), a.ruleName.c_str(),
+                   core::toString(a.status), pass.mode.c_str(),
+                   core::toString(b.status));
+      ok = false;
+      continue;
+    }
+    if (!proven(a.status) || !proven(b.status)) continue;
+    ++provenBoth;
+    if (a.status != b.status || a.cost != b.cost ||
+        a.bestBound != b.bestBound) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s diverged: reference %s cost %.17g bound "
+                   "%.17g vs %s %s cost %.17g bound %.17g\n",
+                   a.clipId.c_str(), a.ruleName.c_str(),
+                   core::toString(a.status), a.cost, a.bestBound,
+                   pass.mode.c_str(), core::toString(b.status), b.cost,
+                   b.bestBound);
+      ok = false;
+    }
+  }
+  if (provenBoth * 2 < static_cast<int>(ref.rows.size())) {
+    std::fprintf(stderr,
+                 "FAIL: %s: only %d of %zu tasks proven in both passes -- "
+                 "the equality gate would be vacuous\n",
+                 pass.mode.c_str(), provenBoth, ref.rows.size());
+    ok = false;
+  }
+  std::printf("%s: %d of %zu tasks proven-and-equal vs reference\n",
+              pass.mode.c_str(), provenBoth, ref.rows.size());
+  return ok;
+}
+
+void removeFleetFiles(const std::string& base) {
+  std::remove(base.c_str());
+  for (int slot = 0; slot < 8; ++slot) {
+    std::remove(harness::workerCheckpointPath(base, slot).c_str());
+  }
+}
+
+void emitJson(const std::string& path, const std::vector<PassStat>& passes) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"bench_fleet\",\n  \"passes\": [\n";
+  for (std::size_t p = 0; p < passes.size(); ++p) {
+    const PassStat& pass = passes[p];
+    const harness::FleetReport& f = pass.fleet;
+    out << "    {\"mode\": \"" << pass.mode
+        << "\", \"wallMs\": " << pass.wallMs << ",\n     \"fleet\": {"
+        << "\"executed\": " << f.executed << ", \"resumed\": " << f.resumed
+        << ", \"leasesGranted\": " << f.leasesGranted
+        << ", \"leasesReassigned\": " << f.leasesReassigned
+        << ", \"leasesExpired\": " << f.leasesExpired
+        << ", \"workersSpawned\": " << f.workersSpawned
+        << ", \"workerDeaths\": " << f.workerDeaths
+        << ", \"chaosKills\": " << f.chaosKills
+        << ", \"duplicateResults\": " << f.duplicateResults
+        << ", \"staleResults\": " << f.staleResults
+        << ", \"quarantined\": " << f.quarantined << "},\n"
+        << "     \"tasks\": [\n";
+    for (std::size_t i = 0; i < pass.rows.size(); ++i) {
+      const harness::BatchRow& r = pass.rows[i];
+      out << "       {\"clip\": \"" << r.clipId << "\", \"rule\": \""
+          << r.ruleName << "\", \"cost\": " << r.cost
+          << ", \"bestBound\": " << r.bestBound << ", \"status\": \""
+          << core::toString(r.status) << "\", \"seconds\": " << r.seconds
+          << "}" << (i + 1 < pass.rows.size() ? "," : "") << "\n";
+    }
+    out << "     ]}" << (p + 1 < passes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string clipsPath = "examples/example.clips";
+  std::string outPath = "BENCH_fleet.json";
+  int workers = 2;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--clips") == 0 && a + 1 < argc) {
+      clipsPath = argv[++a];
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      outPath = argv[++a];
+    } else if (std::strcmp(argv[a], "--workers") == 0 && a + 1 < argc) {
+      workers = std::atoi(argv[++a]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--clips path] [--out path.json] "
+                   "[--workers N]\n");
+      return 2;
+    }
+  }
+  if (workers < 1) workers = 1;
+
+  auto loaded = clip::loadClips(clipsPath);
+  if (!loaded.isOk()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", clipsPath.c_str(),
+                 loaded.status().message().c_str());
+    return 2;
+  }
+  std::vector<clip::Clip> clips = std::move(loaded).value();
+  if (clips.empty()) {
+    std::fprintf(stderr, "no clips in %s\n", clipsPath.c_str());
+    return 2;
+  }
+  auto techOr = tech::Technology::byName(clips.front().techName);
+  if (!techOr.isOk()) {
+    std::fprintf(stderr, "unknown technology %s\n",
+                 clips.front().techName.c_str());
+    return 2;
+  }
+  tech::Technology techn = std::move(techOr).value();
+
+  // Two applicable rules keep the matrix small enough that the chaos pass
+  // (which re-solves killed tasks) stays within a smoke-test budget.
+  std::vector<tech::RuleConfig> rules;
+  for (const tech::RuleConfig& rc : tech::table3Rules()) {
+    if (tech::ruleApplicable(rc, techn)) rules.push_back(rc);
+    if (rules.size() == 2) break;
+  }
+  if (rules.empty()) {
+    std::fprintf(stderr, "no applicable rules for %s\n", techn.name.c_str());
+    return 2;
+  }
+  std::printf("fleet bench: %zu clips x %zu rules, %d workers\n",
+              clips.size(), rules.size(), workers);
+
+  std::vector<PassStat> passes;
+  auto timed = [&](const std::string& mode, auto&& body) {
+    PassStat pass;
+    pass.mode = mode;
+    auto t0 = std::chrono::steady_clock::now();
+    body(pass);
+    pass.wallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    passes.push_back(std::move(pass));
+  };
+
+  timed("reference", [&](PassStat& pass) {
+    harness::BatchOptions bo;
+    bo.router = routerOptions();
+    bo.isolateTasks = false;
+    bo.sessionReuse = false;
+    bo.threads = 1;
+    harness::BatchReport rep = harness::BatchRunner(bo).run(clips, rules);
+    pass.rows = std::move(rep.rows);
+  });
+
+  const std::string ckpt = outPath + ".ckpt.jsonl";
+  removeFleetFiles(ckpt);
+  timed("fleet-clean", [&](PassStat& pass) {
+    harness::SweepCoordinatorOptions so;
+    so.router = routerOptions();
+    so.workers = workers;
+    so.checkpointPath = ckpt;
+    pass.fleet = harness::SweepCoordinator(so).run(clips, rules);
+    pass.rows = pass.fleet.rows;
+  });
+
+  removeFleetFiles(ckpt);
+  timed("fleet-chaos", [&](PassStat& pass) {
+    harness::SweepCoordinatorOptions so;
+    so.router = routerOptions();
+    so.workers = workers;
+    so.checkpointPath = ckpt;
+    // Enough head-room that a task killed repeatedly by bad luck still
+    // completes instead of quarantining (kills are bounded anyway).
+    so.maxAttempts = 5;
+    so.chaosSeed = 0xf1ee7;
+    so.chaosKillProb = 0.02;  // per 50 ms poll tick, vs a busy worker
+    so.chaosMaxKills = 3;
+    pass.fleet = harness::SweepCoordinator(so).run(clips, rules);
+    pass.rows = pass.fleet.rows;
+  });
+
+  bool failed = false;
+  for (const PassStat& pass : passes) {
+    if (!checkShape(pass, clips, rules)) failed = true;
+  }
+  for (std::size_t p = 1; p < passes.size(); ++p) {
+    if (!passes[p].fleet.status.isOk()) {
+      std::fprintf(stderr, "FAIL: %s pass: %s\n", passes[p].mode.c_str(),
+                   passes[p].fleet.status.message().c_str());
+      failed = true;
+    }
+    if (!checkEquivalence(passes.front(), passes[p])) failed = true;
+  }
+
+  const harness::FleetReport& chaos = passes.back().fleet;
+  if (chaos.chaosKills < 1) {
+    std::fprintf(stderr,
+                 "FAIL: chaos pass killed no workers -- the recovery claim "
+                 "is untested (raise --workers or the kill probability)\n");
+    failed = true;
+  }
+  if (chaos.chaosKills > 0 && chaos.leasesReassigned < 1) {
+    std::fprintf(stderr,
+                 "FAIL: chaos pass killed workers but re-assigned no "
+                 "leases\n");
+    failed = true;
+  }
+  std::printf(
+      "fleet-chaos survived %d chaos kills (%d worker deaths, %d leases "
+      "re-assigned, %d spawns, %d stale / %d duplicate results)\n",
+      chaos.chaosKills, chaos.workerDeaths, chaos.leasesReassigned,
+      chaos.workersSpawned, chaos.staleResults, chaos.duplicateResults);
+
+  // Restart gate: the chaos pass's merged checkpoint must satisfy a fresh
+  // coordinator entirely from disk.
+  {
+    harness::SweepCoordinatorOptions so;
+    so.router = routerOptions();
+    so.workers = workers;
+    so.checkpointPath = ckpt;
+    harness::FleetReport resumed = harness::SweepCoordinator(so).run(clips, rules);
+    if (resumed.executed != 0 ||
+        resumed.resumed != static_cast<int>(clips.size() * rules.size())) {
+      std::fprintf(stderr,
+                   "FAIL: restart after chaos re-ran work: %d executed, %d "
+                   "resumed (expected 0 / %zu)\n",
+                   resumed.executed, resumed.resumed,
+                   clips.size() * rules.size());
+      failed = true;
+    } else {
+      std::printf("restart after chaos: all %d tasks resumed from the "
+                  "merged checkpoint, 0 re-solved\n",
+                  resumed.resumed);
+    }
+  }
+  removeFleetFiles(ckpt);
+
+  emitJson(outPath, passes);
+  std::printf("wrote %s\n", outPath.c_str());
+  for (const PassStat& pass : passes) {
+    std::printf("  %-12s %7.0f ms\n", pass.mode.c_str(), pass.wallMs);
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "FAIL: the fleet is not result-equivalent to BatchRunner\n");
+    return 1;
+  }
+  std::printf(
+      "fleet OK: distributed results byte-equal in-process results on "
+      "every proven task, with and without worker kills\n");
+  return 0;
+}

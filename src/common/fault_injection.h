@@ -34,6 +34,12 @@ enum class Site : int {
   kDualDrift,            // incremental dual update picks up an error term
   kLpDeadline,           // LP wall-clock deadline expires at the k-th pivot
   kSeparatorOverReport,  // lazy separator claims rows it never appended
+  // Fleet sites (harness::SweepWorker probes these; the coordinator's
+  // failure-detection and re-assignment paths are the recovery under test).
+  kWorkerCrash,          // worker process dies (_exit) on taking a lease
+  kWorkerHang,           // worker wedges mid-solve but keeps heartbeating
+  kGarbledMessage,       // worker's result line is truncated on the wire
+  kDroppedHeartbeat,     // worker suppresses a heartbeat it owed
   kNumSites,
 };
 
@@ -47,6 +53,10 @@ inline const char* toString(Site s) {
     case Site::kDualDrift: return "dual-drift";
     case Site::kLpDeadline: return "lp-deadline";
     case Site::kSeparatorOverReport: return "separator-over-report";
+    case Site::kWorkerCrash: return "worker-crash";
+    case Site::kWorkerHang: return "worker-hang";
+    case Site::kGarbledMessage: return "garbled-message";
+    case Site::kDroppedHeartbeat: return "dropped-heartbeat";
     case Site::kNumSites: break;
   }
   return "?";

@@ -1,0 +1,94 @@
+// Minimal JSON-lines helpers shared by the serialization spots that must
+// not grow a JSON dependency: the batch checkpoint rows
+// (harness/batch_runner.cpp) and the fleet wire protocol
+// (harness/sweep_protocol.cpp).
+//
+// This is deliberately NOT a JSON library. The writer side emits one flat
+// object per line; the reader side matches values by key substring, which is
+// sound only because every schema built on it (a) controls both ends, (b)
+// never nests objects whose keys collide with top-level keys, and (c) treats
+// any parse failure as "skip this line". Torn lines (a writer killed
+// mid-write) fail cleanly: an unterminated string returns false.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace optr::jsonl {
+
+/// Escapes `s` for embedding inside a JSON string literal.
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Finds `"key":` in `line` and returns the offset just past the colon,
+/// or npos.
+inline std::size_t valueOffset(const std::string& line, const char* key) {
+  std::string pat = std::string("\"") + key + "\":";
+  std::size_t at = line.find(pat);
+  if (at == std::string::npos) return std::string::npos;
+  return at + pat.size();
+}
+
+/// Extracts the string value of `key`; false when the key is absent, not a
+/// string, or the closing quote is missing (truncated line).
+inline bool getString(const std::string& line, const char* key,
+                      std::string& out) {
+  std::size_t at = valueOffset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"')
+    return false;
+  out.clear();
+  for (std::size_t i = at + 1; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"') return true;
+    if (c == '\\' && i + 1 < line.size()) {
+      char e = line[++i];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 4 >= line.size()) return false;
+          out += static_cast<char>(
+              std::strtol(line.substr(i + 1, 4).c_str(), nullptr, 16));
+          i += 4;
+          break;
+        default: out += e;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return false;  // unterminated (truncated line)
+}
+
+/// Extracts the numeric value of `key`; false when absent or non-numeric.
+inline bool getNumber(const std::string& line, const char* key, double& out) {
+  std::size_t at = valueOffset(line, key);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtod(line.c_str() + at, &end);
+  return end != line.c_str() + at;
+}
+
+}  // namespace optr::jsonl

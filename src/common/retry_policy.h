@@ -1,0 +1,97 @@
+// Jittered exponential-backoff retry policy.
+//
+// Shared by every layer that retries a failed operation with a delay — the
+// fleet coordinator uses it to pace worker respawns so a crash-looping
+// worker cannot busy-spin the machine, and to bound how long it keeps
+// trying. The jitter is drawn from the repo's deterministic Rng, so a policy
+// constructed from a fixed seed produces a bit-identical delay schedule run
+// over run (the property the unit tests pin down); production callers seed
+// from whatever entropy they like.
+//
+// Semantics:
+//   * attempt 1 is the original try; nextDelaySec() is consulted *after* a
+//     failure and answers "may I retry, and after how long?";
+//   * the delay for retry k is min(initial * multiplier^(k-1), maxDelay),
+//     scaled by a uniform jitter in [1 - jitterFrac, 1 + jitterFrac];
+//   * maxAttempts caps total tries (original + retries); <= 0 means
+//     unbounded;
+//   * deadlineSec caps the policy's whole lifetime: a retry whose delay
+//     would land past the deadline is refused. <= 0 disables the deadline.
+//     The caller supplies elapsed time, so the policy itself stays
+//     clock-free and fully testable.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "common/rng.h"
+
+namespace optr::common {
+
+struct RetryPolicyOptions {
+  double initialDelaySec = 0.05;
+  double multiplier = 2.0;
+  double maxDelaySec = 2.0;
+  /// Uniform jitter as a fraction of the backoff: each delay is scaled by
+  /// [1 - jitterFrac, 1 + jitterFrac]. 0 disables jitter. Clamped to [0, 1].
+  double jitterFrac = 0.25;
+  /// Total tries allowed (original + retries); <= 0 means unbounded.
+  int maxAttempts = 5;
+  /// Lifetime budget in seconds; a retry that cannot start before the
+  /// deadline is refused. <= 0 disables.
+  double deadlineSec = 0.0;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryPolicyOptions options = {},
+                       std::uint64_t jitterSeed = 0x5eedULL)
+      : options_(options), rng_(jitterSeed) {
+    options_.jitterFrac = std::clamp(options_.jitterFrac, 0.0, 1.0);
+    if (options_.multiplier < 1.0) options_.multiplier = 1.0;
+  }
+
+  /// Call after a failure. Returns the delay to wait before the next try,
+  /// or nullopt when the policy is exhausted (attempts or deadline).
+  /// `elapsedSec` is time since the policy's first attempt started.
+  std::optional<double> nextDelaySec(double elapsedSec = 0.0) {
+    if (options_.maxAttempts > 0 && attempt_ >= options_.maxAttempts) {
+      return std::nullopt;
+    }
+    double base = options_.initialDelaySec;
+    for (int i = 1; i < attempt_; ++i) {
+      base *= options_.multiplier;
+      if (base >= options_.maxDelaySec) break;
+    }
+    base = std::min(base, options_.maxDelaySec);
+    double scale = 1.0;
+    if (options_.jitterFrac > 0.0) {
+      scale = 1.0 - options_.jitterFrac +
+              2.0 * options_.jitterFrac * rng_.uniformReal();
+    }
+    double delay = base * scale;
+    if (options_.deadlineSec > 0.0 &&
+        elapsedSec + delay > options_.deadlineSec) {
+      return std::nullopt;
+    }
+    ++attempt_;
+    return delay;
+  }
+
+  /// Tries consumed so far (1 after construction: the original attempt).
+  int attempt() const { return attempt_; }
+
+  /// Back to the original-attempt state (e.g. a worker slot that proved
+  /// healthy again earns a fresh budget). Jitter state is NOT reset, so a
+  /// reused policy keeps its deterministic draw sequence.
+  void reset() { attempt_ = 1; }
+
+  const RetryPolicyOptions& options() const { return options_; }
+
+ private:
+  RetryPolicyOptions options_;
+  Rng rng_;
+  int attempt_ = 1;
+};
+
+}  // namespace optr::common

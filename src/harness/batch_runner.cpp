@@ -6,7 +6,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -19,6 +18,8 @@
 #include <unistd.h>
 #endif
 
+#include "common/jsonl.h"
+#include "harness/checkpoint_io.h"
 #include "obs/trace.h"
 #include "tech/technology.h"
 
@@ -27,78 +28,13 @@ namespace optr::harness {
 namespace {
 
 // ---- JSON-lines (de)serialization ------------------------------------------
-// One flat object per row; hand-rolled because the container must not grow
-// dependencies and the schema is fixed. Fields are matched by key, so rows
-// written by older sweeps with fewer fields still load.
+// One flat object per row, built on the shared common/jsonl.h helpers.
+// Fields are matched by key, so rows written by older sweeps with fewer
+// fields still load.
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Finds `"key":` in `line` and returns the offset just past the colon,
-/// or npos.
-std::size_t valueOffset(const std::string& line, const char* key) {
-  std::string pat = std::string("\"") + key + "\":";
-  std::size_t at = line.find(pat);
-  if (at == std::string::npos) return std::string::npos;
-  return at + pat.size();
-}
-
-bool jsonString(const std::string& line, const char* key, std::string& out) {
-  std::size_t at = valueOffset(line, key);
-  if (at == std::string::npos || at >= line.size() || line[at] != '"')
-    return false;
-  out.clear();
-  for (std::size_t i = at + 1; i < line.size(); ++i) {
-    char c = line[i];
-    if (c == '"') return true;
-    if (c == '\\' && i + 1 < line.size()) {
-      char e = line[++i];
-      switch (e) {
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u':
-          if (i + 4 >= line.size()) return false;
-          out += static_cast<char>(std::strtol(
-              line.substr(i + 1, 4).c_str(), nullptr, 16));
-          i += 4;
-          break;
-        default: out += e;
-      }
-    } else {
-      out += c;
-    }
-  }
-  return false;  // unterminated (truncated line)
-}
-
-bool jsonNumber(const std::string& line, const char* key, double& out) {
-  std::size_t at = valueOffset(line, key);
-  if (at == std::string::npos) return false;
-  char* end = nullptr;
-  out = std::strtod(line.c_str() + at, &end);
-  return end != line.c_str() + at;
-}
+using jsonl::escape;
+using jsonl::getNumber;
+using jsonl::getString;
 
 core::RouteStatus routeStatusFromString(const std::string& s, bool& ok) {
   for (auto st : {core::RouteStatus::kOptimal, core::RouteStatus::kFeasible,
@@ -117,12 +53,12 @@ core::RouteStatus routeStatusFromString(const std::string& s, bool& ok) {
 
 std::string toJsonLine(const BatchRow& row) {
   std::ostringstream os;
-  os << "{\"clip\":\"" << jsonEscape(row.clipId) << "\""
-     << ",\"rule\":\"" << jsonEscape(row.ruleName) << "\""
+  os << "{\"clip\":\"" << escape(row.clipId) << "\""
+     << ",\"rule\":\"" << escape(row.ruleName) << "\""
      << ",\"status\":\"" << core::toString(row.status) << "\""
      << ",\"provenance\":\"" << core::toString(row.provenance) << "\""
      << ",\"error\":\"" << toString(row.errorCode) << "\""
-     << ",\"message\":\"" << jsonEscape(row.errorMessage) << "\""
+     << ",\"message\":\"" << escape(row.errorMessage) << "\""
      << ",\"cost\":" << row.cost << ",\"wirelength\":" << row.wirelength
      << ",\"vias\":" << row.vias << ",\"bestBound\":" << row.bestBound
      << ",\"seconds\":" << row.seconds
@@ -139,32 +75,32 @@ bool fromJsonLine(const std::string& line, BatchRow& row) {
     return false;
   }
   std::string statusStr, errStr, provStr;
-  if (!jsonString(line, "clip", row.clipId)) return false;
-  if (!jsonString(line, "rule", row.ruleName)) return false;
-  if (!jsonString(line, "status", statusStr)) return false;
+  if (!getString(line, "clip", row.clipId)) return false;
+  if (!getString(line, "rule", row.ruleName)) return false;
+  if (!getString(line, "status", statusStr)) return false;
   bool ok = false;
   row.status = routeStatusFromString(statusStr, ok);
   if (!ok) return false;
-  if (jsonString(line, "provenance", provStr)) {
+  if (getString(line, "provenance", provStr)) {
     auto prov = core::provenanceFromString(provStr);
     if (!prov) return false;  // corrupted row: force a re-run
     row.provenance = *prov;
   }
-  if (jsonString(line, "error", errStr)) {
+  if (getString(line, "error", errStr)) {
     row.errorCode = errorCodeFromString(errStr);
   }
-  jsonString(line, "message", row.errorMessage);
+  getString(line, "message", row.errorMessage);
   double v = 0;
-  if (jsonNumber(line, "cost", v)) row.cost = v;
-  if (jsonNumber(line, "wirelength", v)) row.wirelength = static_cast<int>(v);
-  if (jsonNumber(line, "vias", v)) row.vias = static_cast<int>(v);
-  if (jsonNumber(line, "bestBound", v)) row.bestBound = v;
-  if (jsonNumber(line, "seconds", v)) row.seconds = v;
-  if (jsonNumber(line, "nodes", v)) row.nodes = static_cast<std::int64_t>(v);
-  if (jsonNumber(line, "lpIterations", v))
+  if (getNumber(line, "cost", v)) row.cost = v;
+  if (getNumber(line, "wirelength", v)) row.wirelength = static_cast<int>(v);
+  if (getNumber(line, "vias", v)) row.vias = static_cast<int>(v);
+  if (getNumber(line, "bestBound", v)) row.bestBound = v;
+  if (getNumber(line, "seconds", v)) row.seconds = v;
+  if (getNumber(line, "nodes", v)) row.nodes = static_cast<std::int64_t>(v);
+  if (getNumber(line, "lpIterations", v))
     row.lpIterations = static_cast<std::int64_t>(v);
-  if (jsonNumber(line, "warmStart", v)) row.warmStartUsed = v != 0;
-  if (jsonNumber(line, "crashed", v)) row.crashed = v != 0;
+  if (getNumber(line, "warmStart", v)) row.warmStartUsed = v != 0;
+  if (getNumber(line, "crashed", v)) row.crashed = v != 0;
   return true;
 }
 
@@ -392,14 +328,10 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
 
   std::unordered_map<std::string, BatchRow> done;
   if (!options_.checkpointPath.empty()) {
-    std::ifstream in(options_.checkpointPath);
-    std::string line;
-    while (std::getline(in, line)) {
-      BatchRow row;
-      if (fromJsonLine(line, row)) done.emplace(row.key(), row);
-      // Malformed / truncated lines (e.g. cut by a kill) are skipped; the
-      // task simply re-runs.
-    }
+    // Torn / malformed lines (e.g. cut by a kill mid-fwrite) are skipped
+    // and counted; the affected tasks simply re-run.
+    CheckpointLoadStats stats = loadCheckpoint(options_.checkpointPath, done);
+    report.checkpointSkipped = stats.skipped();
   }
 
   std::FILE* checkpoint = nullptr;

@@ -97,6 +97,9 @@ struct BatchReport {
   int resumed = 0;             // tasks loaded from the checkpoint
   int crashed = 0;             // workers that died (contained)
   int timedOut = 0;            // workers the watchdog killed
+  /// Checkpoint lines skipped on load (torn final line from a mid-write
+  /// kill, or otherwise malformed); the affected tasks simply re-ran.
+  int checkpointSkipped = 0;
   bool stoppedEarly = false;   // stopAfter kicked in
 
   /// Rows per provenance rung, for regression-visible degradation counts.

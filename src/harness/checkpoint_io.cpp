@@ -1,0 +1,89 @@
+#include "harness/checkpoint_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#if !defined(_WIN32)
+#include <dirent.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace optr::harness {
+
+CheckpointLoadStats loadCheckpoint(
+    const std::string& path, std::unordered_map<std::string, BatchRow>& out) {
+  CheckpointLoadStats stats;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return stats;
+  stats.fileExists = true;
+
+  std::string line;
+  bool sawFinalNewline = true;
+  while (true) {
+    if (!std::getline(in, line)) break;
+    // getline strips the delimiter; eof with a non-empty line means the file
+    // did not end in '\n' -- the signature of a write cut short by a kill.
+    sawFinalNewline = !(in.eof() && !line.empty());
+    if (line.empty()) continue;
+    BatchRow row;
+    if (!fromJsonLine(line, row)) {
+      if (!sawFinalNewline) {
+        ++stats.torn;
+      } else {
+        ++stats.malformed;
+      }
+      obs::metrics().counter("harness.checkpoint.skipped").add();
+      obs::event("harness.checkpoint.skipped",
+                 sawFinalNewline ? "malformed" : "torn");
+      continue;
+    }
+    if (out.emplace(row.key(), std::move(row)).second) {
+      ++stats.loaded;
+    } else {
+      ++stats.duplicates;
+    }
+  }
+  return stats;
+}
+
+std::string workerCheckpointPath(const std::string& mergedPath, int slot) {
+  return mergedPath + ".w" + std::to_string(slot);
+}
+
+std::vector<std::string> listWorkerCheckpoints(const std::string& mergedPath) {
+  std::vector<std::string> found;
+#if !defined(_WIN32)
+  std::size_t slash = mergedPath.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : mergedPath.substr(0, slash);
+  std::string base =
+      slash == std::string::npos ? mergedPath : mergedPath.substr(slash + 1);
+  std::string prefix = base + ".w";
+
+  DIR* d = opendir(dir.c_str());
+  if (!d) return found;
+  std::vector<std::pair<int, std::string>> slots;
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::string suffix = name.substr(prefix.size());
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;  // not a pure slot number (avoids matching ".w3.bak" etc.)
+    }
+    slots.emplace_back(std::atoi(suffix.c_str()),
+                       dir + "/" + name);
+  }
+  closedir(d);
+  std::sort(slots.begin(), slots.end());
+  for (auto& [slot, path] : slots) found.push_back(std::move(path));
+#else
+  (void)mergedPath;
+#endif
+  return found;
+}
+
+}  // namespace optr::harness

@@ -1,0 +1,46 @@
+// Crash-tolerant loading of JSONL batch checkpoints.
+//
+// Both sweep drivers (`BatchRunner` and the fleet `SweepCoordinator`) append
+// one BatchRow JSON line per completed task and resume by re-reading the
+// file. The writer can be killed at any byte — a SIGKILLed sweep, a crashed
+// worker, a powered-off host — so the loader must treat a torn final line as
+// normal: skip it, count it, and let the task re-run. Failing the whole
+// resume over one half-written row would turn a crash the checkpoint exists
+// to survive into data loss.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/batch_runner.h"
+
+namespace optr::harness {
+
+struct CheckpointLoadStats {
+  bool fileExists = false;
+  int loaded = 0;     // rows parsed and kept (first writer wins on dup keys)
+  int duplicates = 0; // rows whose key was already present (kept the first)
+  int torn = 0;       // final line, unterminated by '\n', failed to parse
+  int malformed = 0;  // any other unparseable line
+  int skipped() const { return torn + malformed; }
+};
+
+/// Loads `path` into `out` keyed by BatchRow::key(). Unparseable lines are
+/// skipped and counted, never fatal; a missing file is an empty checkpoint.
+/// Existing entries in `out` win over rows from this file (callers merge
+/// checkpoints in priority order). Increments the
+/// `harness.checkpoint.skipped` counter for every skipped line.
+CheckpointLoadStats loadCheckpoint(
+    const std::string& path, std::unordered_map<std::string, BatchRow>& out);
+
+/// Lists sibling per-worker checkpoint files for a fleet run whose merged
+/// checkpoint is `mergedPath`: files named `<mergedPath>.w<slot>` in the
+/// same directory, sorted by slot. Used by the coordinator to recover rows
+/// a killed predecessor accepted into worker files but never merged.
+std::vector<std::string> listWorkerCheckpoints(const std::string& mergedPath);
+
+/// Per-worker checkpoint path for a worker slot: `<mergedPath>.w<slot>`.
+std::string workerCheckpointPath(const std::string& mergedPath, int slot);
+
+}  // namespace optr::harness

@@ -1,0 +1,252 @@
+#include "harness/lease_table.h"
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace optr::harness {
+
+const char* toString(TaskState s) {
+  switch (s) {
+    case TaskState::kPending: return "pending";
+    case TaskState::kLeased: return "leased";
+    case TaskState::kDone: return "done";
+    case TaskState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+const char* toString(LeaseFailure f) {
+  switch (f) {
+    case LeaseFailure::kHeartbeatLost: return "heartbeat-lost";
+    case LeaseFailure::kTaskTimeout: return "task-timeout";
+    case LeaseFailure::kWorkerDied: return "worker-died";
+    case LeaseFailure::kNacked: return "nacked";
+  }
+  return "?";
+}
+
+LeaseTable::LeaseTable(LeaseOptions options) : options_(options) {
+  if (options_.maxAttempts < 1) options_.maxAttempts = 1;
+}
+
+void LeaseTable::addTask(const std::string& clipId,
+                         const std::string& ruleName) {
+  Entry e;
+  e.clipId = clipId;
+  e.ruleName = ruleName;
+  std::string key = clipId + "\x1f" + ruleName;
+  if (tasks_.emplace(key, std::move(e)).second) {
+    order_.push_back(key);
+    ++pending_;
+  }
+}
+
+bool LeaseTable::markResumed(const BatchRow& row) {
+  auto it = tasks_.find(row.key());
+  if (it == tasks_.end()) return false;
+  Entry& e = it->second;
+  if (e.state != TaskState::kPending) return false;  // first writer wins
+  e.state = TaskState::kDone;
+  e.row = row;
+  --pending_;
+  ++done_;
+  return true;
+}
+
+bool LeaseTable::grant(int workerSlot, double now, LeaseGrant& out) {
+  if (pending_ == 0) return false;
+  for (const std::string& key : order_) {
+    Entry& e = tasks_[key];
+    if (e.state != TaskState::kPending) continue;
+    e.state = TaskState::kLeased;
+    e.workerSlot = workerSlot;
+    ++e.attempts;
+    ++grants_;
+    e.heartbeatDeadline = now + options_.leaseSec;
+    e.taskDeadline = now + options_.taskTimeoutSec;
+    --pending_;
+    ++leased_;
+    out.clipId = e.clipId;
+    out.ruleName = e.ruleName;
+    out.attempt = e.attempts;
+    return true;
+  }
+  return false;  // counts said pending > 0 but none found: unreachable
+}
+
+bool LeaseTable::heartbeat(const std::string& key, int workerSlot,
+                           double now) {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) return false;
+  Entry& e = it->second;
+  if (e.state != TaskState::kLeased || e.workerSlot != workerSlot) {
+    return false;  // stale: the lease moved on without this worker
+  }
+  e.heartbeatDeadline = now + options_.leaseSec;
+  return true;
+}
+
+ResultOutcome LeaseTable::complete(const std::string& key, int workerSlot,
+                                   const BatchRow& row) {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) return ResultOutcome::kUnknownTask;
+  Entry& e = it->second;
+  if (e.state == TaskState::kDone || e.state == TaskState::kQuarantined) {
+    return ResultOutcome::kDuplicate;
+  }
+  // First result wins, even from a revoked lease: solves are deterministic,
+  // so a stale worker's answer is the same answer the replacement would
+  // compute. kQuarantined is treated as done above -- a task given up on
+  // stays given up on (its error row already merged into the checkpoint).
+  bool stale =
+      e.state != TaskState::kLeased || e.workerSlot != workerSlot;
+  if (e.state == TaskState::kLeased) {
+    --leased_;
+  } else {
+    --pending_;  // re-queued but not yet re-granted
+  }
+  e.state = TaskState::kDone;
+  e.row = row;
+  ++done_;
+  return stale ? ResultOutcome::kAcceptedStale : ResultOutcome::kAccepted;
+}
+
+void LeaseTable::fail(Entry& e, const std::string& key, LeaseFailure reason,
+                      ErrorCode code, const std::string& message,
+                      ExpiredLease& out) {
+  out.key = key;
+  out.workerSlot = e.workerSlot;
+  out.reason = reason;
+  e.lastError = code;
+  e.lastMessage = message;
+  e.workerSlot = -1;
+  --leased_;
+  if (e.attempts >= options_.maxAttempts) {
+    e.state = TaskState::kQuarantined;
+    ++quarantined_;
+    out.quarantined = true;
+    // The quarantine row is an honest error row in BatchRunner's taxonomy:
+    // status kError, the last failure's code, and a message recording the
+    // attempt budget. It never carries solution fields.
+    e.row = BatchRow{};
+    e.row.clipId = e.clipId;
+    e.row.ruleName = e.ruleName;
+    e.row.status = core::RouteStatus::kError;
+    e.row.errorCode = code;
+    std::ostringstream msg;
+    msg << "quarantined after " << e.attempts << " attempts; last failure: "
+        << toString(reason);
+    if (!message.empty()) msg << " (" << message << ")";
+    e.row.errorMessage = msg.str();
+    if (reason == LeaseFailure::kWorkerDied) e.row.crashed = true;
+  } else {
+    e.state = TaskState::kPending;
+    ++pending_;
+  }
+}
+
+ExpiredLease LeaseTable::nack(const std::string& key, int workerSlot,
+                              ErrorCode code, const std::string& message) {
+  ExpiredLease out;
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) return out;
+  Entry& e = it->second;
+  if (e.state != TaskState::kLeased || e.workerSlot != workerSlot) return out;
+  fail(e, key, LeaseFailure::kNacked,
+       code == ErrorCode::kOk ? ErrorCode::kInternal : code, message, out);
+  return out;
+}
+
+std::vector<ExpiredLease> LeaseTable::expire(double now) {
+  std::vector<ExpiredLease> expired;
+  for (const std::string& key : order_) {
+    Entry& e = tasks_[key];
+    if (e.state != TaskState::kLeased) continue;
+    LeaseFailure reason;
+    if (now >= e.taskDeadline) {
+      reason = LeaseFailure::kTaskTimeout;
+    } else if (now >= e.heartbeatDeadline) {
+      reason = LeaseFailure::kHeartbeatLost;
+    } else {
+      continue;
+    }
+    ExpiredLease out;
+    fail(e, key, reason, ErrorCode::kDeadline,
+         reason == LeaseFailure::kTaskTimeout ? "task deadline exceeded"
+                                              : "heartbeats stopped",
+         out);
+    expired.push_back(std::move(out));
+  }
+  return expired;
+}
+
+std::vector<ExpiredLease> LeaseTable::releaseWorker(int workerSlot) {
+  std::vector<ExpiredLease> released;
+  for (const std::string& key : order_) {
+    Entry& e = tasks_[key];
+    if (e.state != TaskState::kLeased || e.workerSlot != workerSlot) continue;
+    ExpiredLease out;
+    fail(e, key, LeaseFailure::kWorkerDied, ErrorCode::kCrash,
+         "worker died holding the lease", out);
+    released.push_back(std::move(out));
+  }
+  return released;
+}
+
+int LeaseTable::attempts(const std::string& key) const {
+  auto it = tasks_.find(key);
+  return it == tasks_.end() ? 0 : it->second.attempts;
+}
+
+TaskState LeaseTable::state(const std::string& key) const {
+  auto it = tasks_.find(key);
+  OPTR_ASSERT(it != tasks_.end(), "LeaseTable::state: unknown task key");
+  return it->second.state;
+}
+
+const BatchRow* LeaseTable::settledRow(const std::string& key) const {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) return nullptr;
+  const Entry& e = it->second;
+  if (e.state != TaskState::kDone && e.state != TaskState::kQuarantined) {
+    return nullptr;
+  }
+  return &e.row;
+}
+
+std::vector<std::string> LeaseTable::quarantineAllPending(
+    ErrorCode code, const std::string& message) {
+  std::vector<std::string> affected;
+  for (const std::string& key : order_) {
+    Entry& e = tasks_[key];
+    if (e.state != TaskState::kPending) continue;
+    e.state = TaskState::kQuarantined;
+    --pending_;
+    ++quarantined_;
+    e.lastError = code;
+    e.lastMessage = message;
+    e.row = BatchRow{};
+    e.row.clipId = e.clipId;
+    e.row.ruleName = e.ruleName;
+    e.row.status = core::RouteStatus::kError;
+    e.row.errorCode = code;
+    e.row.errorMessage = message;
+    affected.push_back(key);
+  }
+  return affected;
+}
+
+std::vector<BatchRow> LeaseTable::rows() const {
+  std::vector<BatchRow> out;
+  out.reserve(order_.size());
+  for (const std::string& key : order_) {
+    const Entry& e = tasks_.at(key);
+    if (e.state == TaskState::kDone || e.state == TaskState::kQuarantined) {
+      out.push_back(e.row);
+    }
+  }
+  return out;
+}
+
+}  // namespace optr::harness

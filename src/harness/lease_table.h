@@ -1,0 +1,187 @@
+// Lease table: the coordinator's task-state machine, kept free of IO and
+// clocks so every failure-ordering edge case is unit-testable.
+//
+// Each (clip, rule) task moves through:
+//
+//   kPending --grant--> kLeased --complete--> kDone
+//       ^                  |
+//       +----expire/release+--(attempts exhausted)--> kQuarantined
+//
+// Failure discipline:
+//   * a lease carries two deadlines: the heartbeat deadline (extended by
+//     every heartbeat; missing it means the worker is dead or partitioned)
+//     and the hard task deadline (never extended; a worker that heartbeats
+//     forever without producing a result is hung, not healthy);
+//   * attempts are counted at grant time. A task that has been granted
+//     maxAttempts times and fails again is quarantined: it becomes an error
+//     row carrying the ErrorCode of its last failure, and the sweep moves
+//     on — one poison task must not wedge the fleet;
+//   * results are first-writer-wins. A result for a task already kDone is
+//     counted as a duplicate and dropped; a result from a stale lease (the
+//     task was re-assigned while the result was in flight) is accepted if
+//     the task is not yet done — solves are deterministic, so the stale
+//     worker's answer is the same answer. The later finisher becomes the
+//     duplicate. This is what makes re-assignment safe to do eagerly.
+//
+// All times are plain double seconds on a caller-supplied monotonic clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/batch_runner.h"
+
+namespace optr::harness {
+
+struct LeaseOptions {
+  /// Heartbeat deadline: a leased task with no heartbeat for this long is
+  /// presumed lost (worker death, partition, dropped heartbeats).
+  double leaseSec = 5.0;
+  /// Hard per-attempt ceiling. Never extended by heartbeats; catches hung
+  /// workers whose heartbeat thread is still dutifully ticking.
+  double taskTimeoutSec = 60.0;
+  /// Grants allowed per task before it is quarantined.
+  int maxAttempts = 3;
+};
+
+enum class TaskState : std::uint8_t {
+  kPending = 0,
+  kLeased,
+  kDone,
+  kQuarantined,
+};
+
+const char* toString(TaskState s);
+
+/// Why a lease was released without a result.
+enum class LeaseFailure : std::uint8_t {
+  kHeartbeatLost = 0,  // heartbeat deadline missed
+  kTaskTimeout,        // hard deadline hit (hung worker)
+  kWorkerDied,         // owning worker's process is gone
+  kNacked,             // worker reported it cannot run the task
+};
+
+const char* toString(LeaseFailure f);
+
+/// Outcome of offering a result to the table.
+enum class ResultOutcome : std::uint8_t {
+  kAccepted = 0,   // first result for the task; recorded
+  kAcceptedStale,  // first result, but the lease had already been revoked
+  kDuplicate,      // task already done; result dropped
+  kUnknownTask,    // key not in this run's matrix
+};
+
+struct LeaseGrant {
+  std::string clipId;
+  std::string ruleName;
+  int attempt = 0;  // 1-based
+  std::string key() const { return clipId + "\x1f" + ruleName; }
+};
+
+struct ExpiredLease {
+  std::string key;
+  int workerSlot = -1;
+  LeaseFailure reason = LeaseFailure::kHeartbeatLost;
+  bool quarantined = false;  // attempts exhausted; task became an error row
+};
+
+class LeaseTable {
+ public:
+  explicit LeaseTable(LeaseOptions options = {});
+
+  /// Defines the task matrix, clips outer / rules inner (the canonical row
+  /// order every report uses). Call once before anything else.
+  void addTask(const std::string& clipId, const std::string& ruleName);
+
+  /// Marks a task completed from a resumed checkpoint row (not counted as
+  /// this run's result). Unknown keys are ignored (a checkpoint may carry
+  /// rows for a different matrix). Returns true when the row was applied.
+  bool markResumed(const BatchRow& row);
+
+  /// Leases the next pending task (in matrix order) to `workerSlot`.
+  /// Returns false when nothing is pending.
+  bool grant(int workerSlot, double now, LeaseGrant& out);
+
+  /// Extends the heartbeat deadline. False when the (key, workerSlot) pair
+  /// holds no live lease — a stale heartbeat, ignorable.
+  bool heartbeat(const std::string& key, int workerSlot, double now);
+
+  /// Offers a result. First writer wins; see ResultOutcome.
+  ResultOutcome complete(const std::string& key, int workerSlot,
+                         const BatchRow& row);
+
+  /// Records a nack from the leasing worker: the lease is released and the
+  /// task re-queued or quarantined (reflected in the returned entry).
+  ExpiredLease nack(const std::string& key, int workerSlot, ErrorCode code,
+                    const std::string& message);
+
+  /// Sweeps every live lease against both deadlines. Expired leases are
+  /// re-queued (or quarantined when attempts ran out) and reported so the
+  /// coordinator can kill / respawn the workers involved.
+  std::vector<ExpiredLease> expire(double now);
+
+  /// Releases every lease held by `workerSlot` (its process died).
+  std::vector<ExpiredLease> releaseWorker(int workerSlot);
+
+  int pending() const { return pending_; }
+  int leased() const { return leased_; }
+  int done() const { return done_; }
+  int quarantined() const { return quarantined_; }
+  int total() const { return static_cast<int>(order_.size()); }
+  bool allSettled() const { return pending_ == 0 && leased_ == 0; }
+
+  /// Total grants handed out (== sum of per-task attempts).
+  int grants() const { return grants_; }
+
+  /// Attempts consumed by the task currently or last holding `key`; 0 for
+  /// unknown keys.
+  int attempts(const std::string& key) const;
+
+  TaskState state(const std::string& key) const;
+
+  /// Settled row for `key`; nullptr while the task is pending/leased or the
+  /// key is unknown. The pointer is invalidated by the next mutating call.
+  const BatchRow* settledRow(const std::string& key) const;
+
+  /// Endgame drain: quarantines every pending task with `code` (used when
+  /// the worker fleet is exhausted and nothing can run them). Leased tasks
+  /// are untouched. Returns the affected keys.
+  std::vector<std::string> quarantineAllPending(ErrorCode code,
+                                                const std::string& message);
+
+  /// Rows of every settled (done / quarantined) task, in matrix order.
+  /// After a completed run this is one row per task; a run stopped early
+  /// contributes only what settled.
+  std::vector<BatchRow> rows() const;
+
+ private:
+  struct Entry {
+    std::string clipId, ruleName;
+    TaskState state = TaskState::kPending;
+    int attempts = 0;
+    int workerSlot = -1;
+    double heartbeatDeadline = 0.0;
+    double taskDeadline = 0.0;
+    ErrorCode lastError = ErrorCode::kOk;
+    std::string lastMessage;
+    BatchRow row;  // valid once kDone / kQuarantined
+  };
+
+  /// Releases `e`'s lease after a failure: back to pending, or quarantine
+  /// once attempts are exhausted. Fills the report entry.
+  void fail(Entry& e, const std::string& key, LeaseFailure reason,
+            ErrorCode code, const std::string& message, ExpiredLease& out);
+
+  LeaseOptions options_;
+  std::unordered_map<std::string, Entry> tasks_;
+  // Matrix order of keys. grant() scans it front to back, so a re-queued
+  // early task is picked up again before later fresh ones; task counts are
+  // small enough (hundreds) that the linear scan is irrelevant.
+  std::vector<std::string> order_;
+  int pending_ = 0, leased_ = 0, done_ = 0, quarantined_ = 0;
+  int grants_ = 0;
+};
+
+}  // namespace optr::harness

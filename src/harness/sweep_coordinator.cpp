@@ -1,0 +1,650 @@
+#include "harness/sweep_coordinator.h"
+
+#if !defined(_WIN32)
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "harness/checkpoint_io.h"
+#include "harness/lease_table.h"
+#include "harness/sweep_protocol.h"
+#include "harness/sweep_worker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace optr::harness {
+
+namespace {
+
+bool writeLine(int fd, const std::string& line) {
+  std::string framed = line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct WorkerSlot {
+  int rfd = -1, wfd = -1;  // equal for socketpair spawns
+  pid_t pid = -1;
+  bool alive = false;
+  bool ready = false;  // hello received for the current generation
+  bool busy = false;   // holds a lease
+  std::string taskKey;
+  int generation = 0;  // spawn count for this slot
+  std::string buffer;  // partial protocol line
+  common::RetryPolicy respawn;
+  double respawnAt = 0.0;
+  bool retired = false;  // respawn budget spent (or protocol refusal)
+
+  explicit WorkerSlot(common::RetryPolicy policy)
+      : respawn(std::move(policy)) {}
+};
+
+/// One coordinator run's state + event loop. A plain struct so run() reads
+/// top-to-bottom; lives entirely on SweepCoordinator::run's stack.
+struct Fleet {
+  const SweepCoordinatorOptions& options;
+  const std::vector<clip::Clip>& clips;
+  const std::vector<tech::RuleConfig>& rules;
+  FleetReport report;
+  LeaseTable lease;
+  std::vector<WorkerSlot> slots;
+  std::FILE* checkpoint = nullptr;
+  double heartbeatSec;
+  bool draining = false;  // shutdown phase: deaths are expected exits
+  optr::Rng chaosRng;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+
+  Fleet(const SweepCoordinatorOptions& opts,
+        const std::vector<clip::Clip>& c,
+        const std::vector<tech::RuleConfig>& r, LeaseOptions leaseOpts)
+      : options(opts),
+        clips(c),
+        rules(r),
+        lease(leaseOpts),
+        heartbeatSec(opts.heartbeatSec > 0.0
+                         ? opts.heartbeatSec
+                         : std::max(0.05, opts.leaseSec / 4.0)),
+        chaosRng(opts.chaosSeed) {}
+
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  void appendCheckpoint(const BatchRow& row) {
+    if (!checkpoint) return;
+    std::fprintf(checkpoint, "%s\n", toJsonLine(row).c_str());
+    std::fflush(checkpoint);
+  }
+
+  // ---- startup: checkpoint merge ---------------------------------------
+
+  void resumeFromCheckpoints() {
+    if (options.checkpointPath.empty()) return;
+    std::unordered_map<std::string, BatchRow> done;
+    CheckpointLoadStats mainStats =
+        loadCheckpoint(options.checkpointPath, done);
+    report.checkpointSkipped += mainStats.skipped();
+    std::unordered_set<std::string> inMain;
+    inMain.reserve(done.size());
+    for (const auto& [key, row] : done) inMain.insert(key);
+    for (const std::string& wf : listWorkerCheckpoints(options.checkpointPath)) {
+      CheckpointLoadStats s = loadCheckpoint(wf, done);
+      report.checkpointSkipped += s.skipped();
+    }
+    checkpoint = std::fopen(options.checkpointPath.c_str(), "a");
+    if (!checkpoint) {
+      report.status = Status::error(
+          ErrorCode::kIo,
+          "cannot open checkpoint " + options.checkpointPath);
+    }
+    for (const auto& [key, row] : done) {
+      if (!lease.markResumed(row)) continue;
+      ++report.resumed;
+      if (!inMain.count(key)) {
+        // A predecessor's worker proved this row but died before the merge:
+        // fold it into the main checkpoint now so the recovery is durable.
+        appendCheckpoint(row);
+        ++report.recoveredFromWorkerFiles;
+        obs::event("fleet.checkpoint.recovered", key);
+      }
+    }
+    if (report.resumed > 0) {
+      obs::metrics().counter("fleet.tasks.resumed").add(report.resumed);
+    }
+  }
+
+  // ---- worker lifecycle ------------------------------------------------
+
+  void closeAllSlotFdsInChild() {
+    for (WorkerSlot& s : slots) {
+      if (s.rfd >= 0) close(s.rfd);
+      if (s.wfd >= 0 && s.wfd != s.rfd) close(s.wfd);
+    }
+  }
+
+  bool spawn(int slotIdx) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slotIdx)];
+    return options.workerCommand.empty() ? spawnFork(slotIdx, s)
+                                         : spawnCommand(slotIdx, s);
+  }
+
+  bool spawnFork(int slotIdx, WorkerSlot& s) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      s.retired = true;
+      return false;
+    }
+    // Drain the trace rings before fork so the child's inherited copies are
+    // empty; the child re-bases span ids on its pid (same protocol as
+    // BatchRunner's fork isolation).
+    obs::TraceSession::flushAll();
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(sv[0]);
+      close(sv[1]);
+      s.retired = true;
+      return false;
+    }
+    if (pid == 0) {
+      close(sv[0]);
+      // Inherited copies of other workers' sockets would hold their write
+      // ends open and mask their EOFs from the coordinator.
+      closeAllSlotFdsInChild();
+      obs::TraceSession::onFork(static_cast<std::uint64_t>(getpid()) << 32);
+      if (options.workerInitHook) {
+        options.workerInitHook(slotIdx, s.generation);
+      }
+      SweepWorkerOptions wo;
+      wo.router = options.router;
+      wo.workerId = "w" + std::to_string(slotIdx);
+      if (!options.checkpointPath.empty()) {
+        wo.checkpointPath =
+            workerCheckpointPath(options.checkpointPath, slotIdx);
+      }
+      wo.heartbeatSec = heartbeatSec;
+      SweepWorker worker(std::move(wo));
+      worker.serve(sv[1], sv[1], clips, rules);
+      obs::TraceSession::flushAll();
+      _exit(0);
+    }
+    close(sv[1]);
+    s.rfd = s.wfd = sv[0];
+    onSpawned(slotIdx, s, pid);
+    return true;
+  }
+
+  bool spawnCommand(int slotIdx, WorkerSlot& s) {
+    int toChild[2], fromChild[2];
+    if (pipe(toChild) != 0) {
+      s.retired = true;
+      return false;
+    }
+    if (pipe(fromChild) != 0) {
+      close(toChild[0]);
+      close(toChild[1]);
+      s.retired = true;
+      return false;
+    }
+    obs::TraceSession::flushAll();
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(toChild[0]);
+      close(toChild[1]);
+      close(fromChild[0]);
+      close(fromChild[1]);
+      s.retired = true;
+      return false;
+    }
+    if (pid == 0) {
+      dup2(toChild[0], 0);
+      dup2(fromChild[1], 1);
+      close(toChild[0]);
+      close(toChild[1]);
+      close(fromChild[0]);
+      close(fromChild[1]);
+      closeAllSlotFdsInChild();
+      setenv("OPTR_SWEEP_SLOT", std::to_string(slotIdx).c_str(), 1);
+      setenv("OPTR_SWEEP_GEN", std::to_string(s.generation).c_str(), 1);
+      execl("/bin/sh", "sh", "-c", options.workerCommand.c_str(),
+            static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    close(toChild[0]);
+    close(fromChild[1]);
+    s.rfd = fromChild[0];
+    s.wfd = toChild[1];
+    onSpawned(slotIdx, s, pid);
+    return true;
+  }
+
+  void onSpawned(int slotIdx, WorkerSlot& s, pid_t pid) {
+    s.pid = pid;
+    s.alive = true;
+    s.ready = false;
+    s.busy = false;
+    s.taskKey.clear();
+    s.buffer.clear();
+    ++s.generation;
+    ++report.workersSpawned;
+    obs::metrics().counter("fleet.worker.spawned").add();
+    obs::event("fleet.worker.spawn", "slot " + std::to_string(slotIdx),
+               {{"gen", static_cast<double>(s.generation)}});
+  }
+
+  void closeSlot(WorkerSlot& s) {
+    if (s.rfd >= 0) close(s.rfd);
+    if (s.wfd >= 0 && s.wfd != s.rfd) close(s.wfd);
+    s.rfd = s.wfd = -1;
+  }
+
+  void reap(WorkerSlot& s) {
+    int st = 0;
+    while (waitpid(s.pid, &st, 0) < 0 && errno == EINTR) {
+    }
+    s.alive = false;
+    s.ready = false;
+    s.busy = false;
+    s.taskKey.clear();
+  }
+
+  /// fd EOF / read error: the worker process is gone.
+  void onWorkerDeath(int slotIdx, double tnow) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slotIdx)];
+    if (!s.alive) return;
+    closeSlot(s);
+    reap(s);
+    if (draining) return;  // expected exit during shutdown
+    ++report.workerDeaths;
+    obs::metrics().counter("fleet.worker.deaths").add();
+    obs::event("fleet.worker.death", "slot " + std::to_string(slotIdx));
+    for (const ExpiredLease& ex : lease.releaseWorker(slotIdx)) {
+      handleQuarantine(ex);
+    }
+    if (s.retired) return;  // e.g. protocol refusal: do not respawn
+    if (std::optional<double> delay = s.respawn.nextDelaySec(tnow)) {
+      s.respawnAt = tnow + *delay;
+      obs::event("fleet.worker.respawn_scheduled",
+                 "slot " + std::to_string(slotIdx),
+                 {{"delaySec", *delay}});
+    } else {
+      s.retired = true;
+      obs::event("fleet.worker.retired", "slot " + std::to_string(slotIdx));
+    }
+  }
+
+  // ---- lease bookkeeping -----------------------------------------------
+
+  void handleQuarantine(const ExpiredLease& ex) {
+    if (!ex.quarantined) return;
+    ++report.quarantined;
+    obs::metrics().counter("fleet.tasks.quarantined").add();
+    obs::event("fleet.task.quarantined", ex.key);
+    if (const BatchRow* row = lease.settledRow(ex.key)) {
+      appendCheckpoint(*row);
+    }
+  }
+
+  void grantTo(int slotIdx, double tnow) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slotIdx)];
+    if (draining || !s.alive || !s.ready || s.busy) return;
+    LeaseGrant g;
+    if (!lease.grant(slotIdx, tnow, g)) return;
+    ++report.leasesGranted;
+    obs::metrics().counter("fleet.leases.granted").add();
+    if (g.attempt > 1) {
+      ++report.leasesReassigned;
+      obs::metrics().counter("fleet.leases.reassigned").add();
+      obs::event("fleet.lease.reassigned", g.clipId + "|" + g.ruleName,
+                 {{"attempt", static_cast<double>(g.attempt)}});
+    }
+    s.busy = true;
+    s.taskKey = g.key();
+    // A write to a just-died worker fails (SIGPIPE ignored); the EOF path
+    // will release the lease and the task re-queues -- nothing to do here.
+    (void)writeLine(s.wfd,
+                    encodeLease(g.clipId, g.ruleName, options.leaseSec,
+                                g.attempt));
+  }
+
+  void onLine(int slotIdx, const std::string& line, double tnow) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slotIdx)];
+    SweepMessage msg = decodeMessage(line);
+    switch (msg.type) {
+      case MsgType::kHello:
+        if (msg.protoVersion != kSweepProtocolVersion) {
+          // A mixed-build fleet would corrupt the equivalence contract
+          // silently; refuse the worker and retire the slot.
+          obs::event("fleet.protocol.version_mismatch",
+                     msg.workerId + " proto " +
+                         std::to_string(msg.protoVersion));
+          s.retired = true;
+          (void)writeLine(s.wfd, encodeShutdown());
+          return;
+        }
+        s.ready = true;
+        grantTo(slotIdx, tnow);
+        return;
+      case MsgType::kHeartbeat:
+        lease.heartbeat(msg.taskKey(), slotIdx, tnow);
+        return;
+      case MsgType::kResult: {
+        ResultOutcome oc = lease.complete(msg.taskKey(), slotIdx, msg.row);
+        switch (oc) {
+          case ResultOutcome::kAccepted:
+          case ResultOutcome::kAcceptedStale:
+            if (oc == ResultOutcome::kAcceptedStale) {
+              ++report.staleResults;
+              obs::metrics().counter("fleet.results.stale").add();
+              obs::event("fleet.result.stale", msg.taskKey());
+            }
+            ++report.executed;
+            appendCheckpoint(msg.row);
+            obs::metrics().counter("fleet.results.accepted").add();
+            obs::metrics()
+                .histogram("fleet.task.attempts")
+                .record(lease.attempts(msg.taskKey()));
+            // Completing a task proves the slot healthy again; it earns a
+            // fresh respawn budget.
+            s.respawn.reset();
+            break;
+          case ResultOutcome::kDuplicate:
+            ++report.duplicateResults;
+            obs::metrics().counter("fleet.results.duplicate").add();
+            obs::event("fleet.result.duplicate", msg.taskKey());
+            break;
+          case ResultOutcome::kUnknownTask:
+            obs::event("fleet.result.unknown_task", msg.taskKey());
+            break;
+        }
+        s.busy = false;
+        s.taskKey.clear();
+        grantTo(slotIdx, tnow);
+        return;
+      }
+      case MsgType::kNack: {
+        ExpiredLease ex =
+            lease.nack(msg.taskKey(), slotIdx, msg.errorCode, msg.message);
+        ++report.nacks;
+        obs::metrics().counter("fleet.results.nack").add();
+        obs::event("fleet.result.nack", msg.taskKey());
+        handleQuarantine(ex);
+        s.busy = false;
+        s.taskKey.clear();
+        grantTo(slotIdx, tnow);
+        return;
+      }
+      case MsgType::kGarbled:
+        // Undecodable line: count it and let the failure detector recover.
+        // If this was a torn result, the worker is now idle and silent, its
+        // heartbeat deadline passes, and the lease machinery reclaims both
+        // the task and the worker.
+        ++report.garbledMessages;
+        obs::metrics().counter("fleet.protocol.garbled").add();
+        obs::event("fleet.protocol.garbled",
+                   line.substr(0, std::min<std::size_t>(line.size(), 60)));
+        return;
+      default:
+        return;  // lease/shutdown echoed back: tolerate chatter
+    }
+  }
+
+  void onReadable(int slotIdx, double tnow) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slotIdx)];
+    char chunk[8192];
+    ssize_t n = read(s.rfd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) return;
+    if (n <= 0) {
+      onWorkerDeath(slotIdx, tnow);
+      return;
+    }
+    s.buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol;
+    while ((eol = s.buffer.find('\n')) != std::string::npos) {
+      std::string line = s.buffer.substr(0, eol);
+      s.buffer.erase(0, eol + 1);
+      if (!line.empty()) onLine(slotIdx, line, tnow);
+      if (!slots[static_cast<std::size_t>(slotIdx)].alive) return;
+    }
+  }
+
+  // ---- event loop ------------------------------------------------------
+
+  void tick() {
+    double tnow = now();
+
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      WorkerSlot& s = slots[i];
+      if (!s.alive && !s.retired && tnow >= s.respawnAt) {
+        spawn(static_cast<int>(i));
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<int> fdSlot;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].alive) continue;
+      fds.push_back({slots[i].rfd, POLLIN, 0});
+      fdSlot.push_back(static_cast<int>(i));
+    }
+    if (fds.empty()) {
+      // Whole fleet waiting on respawn backoff: idle instead of spinning.
+      poll(nullptr, 0, 10);
+      return;
+    }
+    int rc = poll(fds.data(), fds.size(), 50);
+    if (rc < 0) return;  // EINTR: just take another tick
+    tnow = now();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        onReadable(fdSlot[i], tnow);
+      }
+    }
+
+    // Failure detection: sweep every live lease against its deadlines. The
+    // worker behind an expired lease is hung, partitioned, or lying --
+    // SIGKILL it; the EOF path handles release + respawn.
+    for (const ExpiredLease& ex : lease.expire(tnow)) {
+      ++report.leasesExpired;
+      obs::metrics().counter("fleet.leases.expired").add();
+      obs::event("fleet.lease.expired", ex.key + " " + toString(ex.reason));
+      handleQuarantine(ex);
+      if (ex.workerSlot >= 0 &&
+          slots[static_cast<std::size_t>(ex.workerSlot)].alive) {
+        kill(slots[static_cast<std::size_t>(ex.workerSlot)].pid, SIGKILL);
+      }
+    }
+
+    // Chaos: murder a random busy worker mid-solve.
+    if (options.chaosKillProb > 0.0 && report.chaosKills < options.chaosMaxKills &&
+        chaosRng.chance(options.chaosKillProb)) {
+      std::vector<int> busy;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].alive && slots[i].busy) busy.push_back(static_cast<int>(i));
+      }
+      if (!busy.empty()) {
+        int victim = busy[chaosRng.uniform(busy.size())];
+        ++report.chaosKills;
+        obs::event("fleet.chaos.kill", "slot " + std::to_string(victim));
+        kill(slots[static_cast<std::size_t>(victim)].pid, SIGKILL);
+      }
+    }
+
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      grantTo(static_cast<int>(i), tnow);
+    }
+  }
+
+  /// True while the run should keep ticking.
+  bool live() {
+    if (options.stopAfterResults >= 0 &&
+        report.executed >= options.stopAfterResults) {
+      report.stoppedEarly = true;
+      return false;
+    }
+    if (lease.allSettled()) return false;
+    bool anyViable = false;
+    for (const WorkerSlot& s : slots) {
+      if (s.alive || !s.retired) {
+        anyViable = true;
+        break;
+      }
+    }
+    if (!anyViable) {
+      // Every slot retired with work outstanding: quarantine the remainder
+      // as honest error rows instead of wedging or silently dropping them.
+      for (const std::string& key : lease.quarantineAllPending(
+               ErrorCode::kUnavailable,
+               "worker fleet exhausted (respawn budget spent)")) {
+        ++report.quarantined;
+        obs::metrics().counter("fleet.tasks.quarantined").add();
+        if (const BatchRow* row = lease.settledRow(key)) {
+          appendCheckpoint(*row);
+        }
+      }
+      report.status = Status::error(
+          ErrorCode::kUnavailable,
+          "fleet exhausted before completing the sweep");
+      return false;
+    }
+    return true;
+  }
+
+  void teardown() {
+    draining = true;
+    bool crashStop = report.stoppedEarly;
+    for (WorkerSlot& s : slots) {
+      if (!s.alive) continue;
+      if (crashStop) {
+        // Simulated coordinator crash: no goodbye, exactly what a real
+        // coordinator death looks like to the workers.
+        kill(s.pid, SIGKILL);
+      } else {
+        (void)writeLine(s.wfd, encodeShutdown());
+      }
+    }
+    double deadline = now() + 5.0;
+    for (;;) {
+      std::vector<pollfd> fds;
+      std::vector<int> fdSlot;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].alive) continue;
+        fds.push_back({slots[i].rfd, POLLIN, 0});
+        fdSlot.push_back(static_cast<int>(i));
+      }
+      if (fds.empty()) break;
+      if (now() >= deadline) {
+        for (int idx : fdSlot) {
+          kill(slots[static_cast<std::size_t>(idx)].pid, SIGKILL);
+        }
+      }
+      int rc = poll(fds.data(), fds.size(), 50);
+      if (rc < 0) continue;
+      double tnow = now();
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+          onReadable(fdSlot[i], tnow);  // drains to EOF -> onWorkerDeath
+        }
+      }
+    }
+    if (checkpoint) std::fclose(checkpoint);
+    checkpoint = nullptr;
+  }
+};
+
+}  // namespace
+
+SweepCoordinator::SweepCoordinator(SweepCoordinatorOptions options)
+    : options_(std::move(options)) {}
+
+FleetReport SweepCoordinator::run(const std::vector<clip::Clip>& clips,
+                                  const std::vector<tech::RuleConfig>& rules) {
+  LeaseOptions leaseOpts;
+  leaseOpts.leaseSec = options_.leaseSec;
+  // Same watchdog envelope BatchRunner derives: a solve that honors its MIP
+  // deadline finishes well inside it.
+  leaseOpts.taskTimeoutSec =
+      options_.taskTimeoutSec > 0
+          ? options_.taskTimeoutSec
+          : options_.router.mip.timeLimitSec * 3.0 + 10.0;
+  leaseOpts.maxAttempts = options_.maxAttempts;
+
+  Fleet fleet(options_, clips, rules, leaseOpts);
+  for (const clip::Clip& clip : clips) {
+    for (const tech::RuleConfig& rule : rules) {
+      fleet.lease.addTask(clip.id, rule.name);
+    }
+  }
+
+  obs::Span span("fleet.run");
+  span.detail(std::to_string(options_.workers) + " workers, " +
+              std::to_string(fleet.lease.total()) + " tasks");
+
+  fleet.resumeFromCheckpoints();
+
+  // Dead-worker writes must come back as EPIPE errors, not process death.
+  struct sigaction ign {};
+  struct sigaction old {};
+  ign.sa_handler = SIG_IGN;
+  sigaction(SIGPIPE, &ign, &old);
+
+  int workers = std::max(1, options_.workers);
+  fleet.slots.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    fleet.slots.emplace_back(common::RetryPolicy(
+        options_.respawn,
+        options_.respawnSeed ^ (0x9e3779b97f4a7c15ULL * (i + 1))));
+  }
+  if (!fleet.lease.allSettled()) {
+    for (int i = 0; i < workers; ++i) fleet.spawn(i);
+    while (fleet.live()) fleet.tick();
+  }
+  fleet.teardown();
+
+  sigaction(SIGPIPE, &old, nullptr);
+
+  fleet.report.rows = fleet.lease.rows();
+  return fleet.report;
+}
+
+}  // namespace optr::harness
+
+#else  // _WIN32
+
+namespace optr::harness {
+
+SweepCoordinator::SweepCoordinator(SweepCoordinatorOptions options)
+    : options_(std::move(options)) {}
+
+FleetReport SweepCoordinator::run(const std::vector<clip::Clip>&,
+                                  const std::vector<tech::RuleConfig>&) {
+  FleetReport report;
+  report.status = Status::error(
+      ErrorCode::kUnavailable,
+      "sweep coordinator requires POSIX (fork/poll/socketpair)");
+  return report;
+}
+
+}  // namespace optr::harness
+
+#endif

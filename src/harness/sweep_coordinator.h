@@ -1,0 +1,134 @@
+// Fleet coordinator: shards a clip x rule matrix across worker processes
+// with lease-based failure detection and crash-consistent checkpointing.
+//
+// The coordinator owns the task state (harness::LeaseTable) and the worker
+// fleet; workers own the solves. Tasks are leased one at a time per worker
+// over the line-delimited JSON protocol (harness/sweep_protocol.h); a lease
+// must be renewed by heartbeats and is bounded by a hard task deadline, so
+// dead workers, hung workers, and partitions all reduce to "the lease
+// expired" and the task is re-assigned -- a bounded number of times, after
+// which it is quarantined as an honest error row instead of wedging the
+// sweep.
+//
+// Failure discipline:
+//   * worker death (fd EOF) releases its leases and schedules a respawn on
+//     a jittered exponential backoff (common::RetryPolicy), so a
+//     crash-looping worker cannot busy-spin the machine; a slot whose
+//     respawn budget is spent is retired, and if the whole fleet retires
+//     the remaining tasks are quarantined rather than silently dropped;
+//   * an expired lease SIGKILLs the offending worker (it is hung,
+//     partitioned, or lying) and re-queues the task;
+//   * results are first-writer-wins (solves are deterministic): a result
+//     racing its own lease expiry is accepted as stale, the re-assigned
+//     runner's later result is counted as a duplicate.
+//
+// Durability: every accepted result is appended (and flushed) to the merged
+// JSONL checkpoint; every worker also appends to its own
+// `<checkpoint>.w<slot>` file *before* the result goes on the wire. On
+// startup the coordinator merges the main checkpoint with all worker files
+// (first writer wins, torn lines skipped and counted), re-appends rows only
+// the worker files had, and marks the union resumed -- so a coordinator
+// killed at any byte resumes without re-solving proven tasks.
+//
+// The correctness contract -- a fleet run, even one with workers SIGKILLed
+// at random, produces byte-identical proven status/cost/bestBound to the
+// in-process BatchRunner -- is gated by bench/bench_fleet.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "clip/clip.h"
+#include "common/retry_policy.h"
+#include "common/status.h"
+#include "core/opt_router.h"
+#include "harness/batch_runner.h"
+#include "tech/rules.h"
+
+namespace optr::harness {
+
+struct SweepCoordinatorOptions {
+  core::OptRouterOptions router;
+  /// Worker slots. Each slot is at most one live process; a dead slot
+  /// respawns on backoff until its retry budget is spent.
+  int workers = 2;
+  /// Heartbeat deadline for a lease: no heartbeat for this long and the
+  /// task is presumed lost (see LeaseOptions::leaseSec).
+  double leaseSec = 5.0;
+  /// Hard per-attempt ceiling, never extended by heartbeats. <= 0 derives
+  /// the same generous envelope BatchRunner uses (3x MIP limit + 10s).
+  double taskTimeoutSec = 0.0;
+  /// Lease attempts per task before quarantine.
+  int maxAttempts = 3;
+  /// Merged JSONL checkpoint; empty disables checkpoint/resume (worker
+  /// files are then disabled too).
+  std::string checkpointPath;
+  /// Non-empty: spawn each worker as `/bin/sh -c <workerCommand>` speaking
+  /// the protocol on its stdin/stdout (OPTR_SWEEP_SLOT / OPTR_SWEEP_GEN in
+  /// its environment) -- this is how a worker runs behind an SSH pipe.
+  /// Empty: fork in-process SweepWorkers over socketpairs.
+  std::string workerCommand;
+  /// Worker heartbeat period; <= 0 derives leaseSec / 4.
+  double heartbeatSec = 0.0;
+  /// Respawn backoff per worker slot. A slot that completes a task earns
+  /// its budget back (RetryPolicy::reset).
+  common::RetryPolicyOptions respawn;
+  std::uint64_t respawnSeed = 0x0f1ee7;
+
+  /// Test hook: stop (abruptly, workers SIGKILLed, no shutdown handshake)
+  /// after this many newly executed results -- simulates a coordinator
+  /// crash for restart/resume tests. < 0 runs to completion.
+  int stopAfterResults = -1;
+  /// Test hook, called in fork-spawned workers (child side, after fork)
+  /// before serving; lets tests arm fault injection in generation-0 workers
+  /// only, so respawned workers recover cleanly.
+  std::function<void(int slot, int generation)> workerInitHook;
+
+  /// Chaos mode: each poll tick, with probability chaosKillProb, SIGKILL a
+  /// random busy worker (at most chaosMaxKills total). Deterministic given
+  /// chaosSeed. This is how bench_fleet proves the recovery machinery under
+  /// real mid-solve worker deaths.
+  std::uint64_t chaosSeed = 1;
+  double chaosKillProb = 0.0;
+  int chaosMaxKills = 0;
+};
+
+struct FleetReport {
+  std::vector<BatchRow> rows;  // settled tasks, matrix order
+  /// Non-OK when the fleet could not finish (e.g. every slot retired); the
+  /// rows then include quarantine rows for whatever never ran.
+  Status status = Status::ok();
+  int executed = 0;   // results newly accepted this run
+  int resumed = 0;    // tasks satisfied from checkpoints on startup
+  int recoveredFromWorkerFiles = 0;  // resumed rows only a worker file had
+  int checkpointSkipped = 0;         // torn/malformed lines across all files
+  int leasesGranted = 0;
+  int leasesReassigned = 0;  // grants with attempt > 1 (re-assigned tasks)
+  int leasesExpired = 0;     // heartbeat losses + task timeouts
+  int workersSpawned = 0;    // processes started, respawns included
+  int workerDeaths = 0;      // unexpected exits (not shutdown-drain exits)
+  int chaosKills = 0;        // deaths the chaos mode itself inflicted
+  int duplicateResults = 0;  // results for already-done tasks, dropped
+  int staleResults = 0;      // accepted results from revoked leases
+  int nacks = 0;
+  int garbledMessages = 0;   // undecodable lines (protocol never aborts)
+  int quarantined = 0;       // tasks given up on; error rows
+  bool stoppedEarly = false;
+};
+
+class SweepCoordinator {
+ public:
+  explicit SweepCoordinator(SweepCoordinatorOptions options);
+
+  /// Runs the matrix to completion (or stopAfterResults / fleet
+  /// exhaustion). POSIX only; elsewhere returns status kUnavailable.
+  FleetReport run(const std::vector<clip::Clip>& clips,
+                  const std::vector<tech::RuleConfig>& rules);
+
+ private:
+  SweepCoordinatorOptions options_;
+};
+
+}  // namespace optr::harness

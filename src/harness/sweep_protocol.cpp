@@ -1,0 +1,125 @@
+#include "harness/sweep_protocol.h"
+
+#include <sstream>
+
+#include "common/jsonl.h"
+
+namespace optr::harness {
+
+const char* toString(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kLease: return "lease";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kResult: return "result";
+    case MsgType::kNack: return "nack";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kGarbled: return "garbled";
+    case MsgType::kNumTypes: break;
+  }
+  return "?";
+}
+
+std::string encodeHello(const std::string& workerId, int pid) {
+  std::ostringstream os;
+  os << "{\"t\":\"hello\",\"proto\":" << kSweepProtocolVersion
+     << ",\"worker\":\"" << jsonl::escape(workerId) << "\",\"pid\":" << pid
+     << "}";
+  return os.str();
+}
+
+std::string encodeLease(const std::string& clipId, const std::string& ruleName,
+                        double leaseSec, int attempt) {
+  std::ostringstream os;
+  os << "{\"t\":\"lease\",\"clip\":\"" << jsonl::escape(clipId)
+     << "\",\"rule\":\"" << jsonl::escape(ruleName)
+     << "\",\"leaseSec\":" << leaseSec << ",\"attempt\":" << attempt << "}";
+  return os.str();
+}
+
+std::string encodeHeartbeat(const std::string& clipId,
+                            const std::string& ruleName) {
+  std::ostringstream os;
+  os << "{\"t\":\"heartbeat\",\"clip\":\"" << jsonl::escape(clipId)
+     << "\",\"rule\":\"" << jsonl::escape(ruleName) << "\"}";
+  return os.str();
+}
+
+std::string encodeResult(const BatchRow& row) {
+  // The result message IS a BatchRow line plus the type tag: the row's own
+  // serialization starts with {"clip":..., so splice the tag in after the
+  // opening brace. Decoding works because fromJsonLine matches by key and
+  // "t" is not a row field.
+  std::string line = toJsonLine(row);
+  return "{\"t\":\"result\"," + line.substr(1);
+}
+
+std::string encodeNack(const std::string& clipId, const std::string& ruleName,
+                       ErrorCode code, const std::string& message) {
+  std::ostringstream os;
+  os << "{\"t\":\"nack\",\"clip\":\"" << jsonl::escape(clipId)
+     << "\",\"rule\":\"" << jsonl::escape(ruleName) << "\",\"error\":\""
+     << toString(code) << "\",\"message\":\"" << jsonl::escape(message)
+     << "\"}";
+  return os.str();
+}
+
+std::string encodeShutdown() { return "{\"t\":\"shutdown\"}"; }
+
+SweepMessage decodeMessage(const std::string& line) {
+  SweepMessage msg;
+  if (line.empty() || line.front() != '{' || line.back() != '}') return msg;
+  std::string type;
+  if (!jsonl::getString(line, "t", type)) return msg;
+
+  double num = 0.0;
+  if (type == "hello") {
+    if (!jsonl::getNumber(line, "proto", num)) return msg;
+    msg.protoVersion = static_cast<int>(num);
+    if (!jsonl::getString(line, "worker", msg.workerId)) return msg;
+    if (jsonl::getNumber(line, "pid", num)) msg.pid = static_cast<int>(num);
+    msg.type = MsgType::kHello;
+    return msg;
+  }
+  if (type == "lease") {
+    if (!jsonl::getString(line, "clip", msg.clipId)) return msg;
+    if (!jsonl::getString(line, "rule", msg.ruleName)) return msg;
+    if (jsonl::getNumber(line, "leaseSec", num)) msg.leaseSec = num;
+    if (jsonl::getNumber(line, "attempt", num)) {
+      msg.attempt = static_cast<int>(num);
+    }
+    msg.type = MsgType::kLease;
+    return msg;
+  }
+  if (type == "heartbeat") {
+    if (!jsonl::getString(line, "clip", msg.clipId)) return msg;
+    if (!jsonl::getString(line, "rule", msg.ruleName)) return msg;
+    msg.type = MsgType::kHeartbeat;
+    return msg;
+  }
+  if (type == "result") {
+    if (!fromJsonLine(line, msg.row)) return msg;
+    msg.clipId = msg.row.clipId;
+    msg.ruleName = msg.row.ruleName;
+    msg.type = MsgType::kResult;
+    return msg;
+  }
+  if (type == "nack") {
+    if (!jsonl::getString(line, "clip", msg.clipId)) return msg;
+    if (!jsonl::getString(line, "rule", msg.ruleName)) return msg;
+    std::string code;
+    if (jsonl::getString(line, "error", code)) {
+      msg.errorCode = errorCodeFromString(code);
+    }
+    jsonl::getString(line, "message", msg.message);
+    msg.type = MsgType::kNack;
+    return msg;
+  }
+  if (type == "shutdown") {
+    msg.type = MsgType::kShutdown;
+    return msg;
+  }
+  return msg;  // unknown type: kGarbled
+}
+
+}  // namespace optr::harness

@@ -1,0 +1,88 @@
+// Fleet wire protocol: line-delimited JSON between SweepCoordinator and
+// SweepWorker.
+//
+// One JSON object per line, flat (no nesting), newline-terminated, over any
+// byte stream — a socketpair for fork-spawned workers, stdin/stdout pipes
+// for command-spawned ones (which is what makes an SSH-wrapped worker work
+// unchanged). The schema is tiny and versioned by the hello handshake:
+//
+//   worker -> coordinator
+//     {"t":"hello","proto":1,"worker":"w0","pid":4242}
+//     {"t":"heartbeat","clip":"c","rule":"RULE3"}
+//     {"t":"result","clip":...,<full BatchRow fields, see toJsonLine>}
+//     {"t":"nack","clip":"c","rule":"RULE3","error":"unavailable",
+//      "message":"..."}
+//   coordinator -> worker
+//     {"t":"lease","clip":"c","rule":"RULE3","leaseSec":5,"attempt":1}
+//     {"t":"shutdown"}
+//
+// Decoding is torn-line tolerant by construction (common/jsonl.h): any line
+// that fails to decode is reported as kGarbled, and the coordinator treats
+// garbled input as a failure-detection signal, never a fatal error — the
+// lease machinery recovers the task.
+#pragma once
+
+#include <string>
+
+#include "harness/batch_runner.h"
+
+namespace optr::harness {
+
+/// Protocol version spoken by this build; the coordinator refuses workers
+/// that hello with a different version (mixed-build fleets would corrupt
+/// the equivalence contract silently).
+inline constexpr int kSweepProtocolVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kLease,
+  kHeartbeat,
+  kResult,
+  kNack,
+  kShutdown,
+  /// Decode failure: not a message type on the wire, but what decode()
+  /// reports for a line that is truncated, corrupt, or unknown.
+  kGarbled,
+  kNumTypes,
+};
+
+const char* toString(MsgType t);
+
+/// One decoded protocol line. Only the fields of the given type are
+/// meaningful; the rest keep their defaults.
+struct SweepMessage {
+  MsgType type = MsgType::kGarbled;
+  // kHello
+  int protoVersion = 0;
+  std::string workerId;
+  int pid = 0;
+  // kLease / kHeartbeat / kNack (task identity)
+  std::string clipId;
+  std::string ruleName;
+  // kLease
+  double leaseSec = 0.0;
+  int attempt = 0;
+  // kNack
+  ErrorCode errorCode = ErrorCode::kOk;
+  std::string message;
+  // kResult
+  BatchRow row;
+
+  std::string taskKey() const { return clipId + "\x1f" + ruleName; }
+};
+
+std::string encodeHello(const std::string& workerId, int pid);
+std::string encodeLease(const std::string& clipId, const std::string& ruleName,
+                        double leaseSec, int attempt);
+std::string encodeHeartbeat(const std::string& clipId,
+                            const std::string& ruleName);
+std::string encodeResult(const BatchRow& row);
+std::string encodeNack(const std::string& clipId, const std::string& ruleName,
+                       ErrorCode code, const std::string& message);
+std::string encodeShutdown();
+
+/// Decodes one line (without the trailing '\n'). Never throws and never
+/// fails hard: anything undecodable comes back as type kGarbled.
+SweepMessage decodeMessage(const std::string& line);
+
+}  // namespace optr::harness

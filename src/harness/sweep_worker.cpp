@@ -1,0 +1,263 @@
+#include "harness/sweep_worker.h"
+
+#if !defined(_WIN32)
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "harness/batch_runner.h"
+#include "harness/sweep_protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tech/technology.h"
+
+namespace optr::harness {
+
+namespace {
+
+/// Writes one newline-terminated protocol line, handling short writes.
+/// Serialized by the caller's mutex (solve thread + heartbeat thread).
+bool writeLine(int fd, const std::string& line) {
+  std::string framed = line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking buffered line reader for one fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads until a full line (without '\n') is available. False on EOF or
+  /// a read error.
+  bool next(std::string& line) {
+    for (;;) {
+      std::size_t eol = buffer_.find('\n');
+      if (eol != std::string::npos) {
+        line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Periodic heartbeat sender, alive for the duration of one solve. The
+/// kDroppedHeartbeat site swallows individual beats (each owed beat is one
+/// probe), which is how tests starve the coordinator's failure detector
+/// without touching the solve.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(int fd, std::mutex& writeMu, const std::string& clipId,
+                const std::string& ruleName, double periodSec)
+      : fd_(fd), writeMu_(writeMu) {
+    std::string beat = encodeHeartbeat(clipId, ruleName);
+    thread_ = std::thread([this, beat, periodSec] {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (;;) {
+        if (cv_.wait_for(lk, std::chrono::duration<double>(periodSec),
+                         [this] { return stop_; })) {
+          return;
+        }
+        if (fault::fire(fault::Site::kDroppedHeartbeat)) continue;
+        std::lock_guard<std::mutex> wl(writeMu_);
+        (void)writeLine(fd_, beat);
+      }
+    });
+  }
+
+  ~HeartbeatPump() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  int fd_;
+  std::mutex& writeMu_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+SweepWorker::SweepWorker(SweepWorkerOptions options)
+    : options_(std::move(options)) {}
+
+Status SweepWorker::serve(int inFd, int outFd,
+                          const std::vector<clip::Clip>& clips,
+                          const std::vector<tech::RuleConfig>& rules) {
+  // A write after the coordinator dies must fail with EPIPE (handled as
+  // "coordinator gone"), not kill the process mid-checkpoint.
+  signal(SIGPIPE, SIG_IGN);
+
+  std::mutex writeMu;
+  LineReader reader(inFd);
+
+  {
+    std::lock_guard<std::mutex> lk(writeMu);
+    if (!writeLine(outFd, encodeHello(options_.workerId,
+                                      static_cast<int>(getpid())))) {
+      return Status::error(ErrorCode::kIo, "sweep worker: hello write failed");
+    }
+  }
+
+  std::FILE* checkpoint = nullptr;
+  if (!options_.checkpointPath.empty()) {
+    checkpoint = std::fopen(options_.checkpointPath.c_str(), "a");
+    if (!checkpoint) {
+      return Status::error(ErrorCode::kIo,
+                           "sweep worker: cannot open checkpoint " +
+                               options_.checkpointPath);
+    }
+  }
+
+  std::string line;
+  while (reader.next(line)) {
+    SweepMessage msg = decodeMessage(line);
+    if (msg.type == MsgType::kShutdown) break;
+    if (msg.type != MsgType::kLease) continue;  // tolerate chatter
+
+    // Chaos: a crashing worker dies the instant it is trusted with work --
+    // the worst moment for the coordinator. Flush the trace first so the
+    // fault.fired event survives to prove injection -> recovery causality.
+    if (fault::fire(fault::Site::kWorkerCrash)) {
+      obs::TraceSession::flushAll();
+      if (checkpoint) std::fclose(checkpoint);
+      _exit(17);
+    }
+
+    const clip::Clip* clip = nullptr;
+    for (const clip::Clip& c : clips) {
+      if (c.id == msg.clipId) {
+        clip = &c;
+        break;
+      }
+    }
+    const tech::RuleConfig* rule = nullptr;
+    for (const tech::RuleConfig& rc : rules) {
+      if (rc.name == msg.ruleName) {
+        rule = &rc;
+        break;
+      }
+    }
+    if (!clip || !rule) {
+      std::lock_guard<std::mutex> lk(writeMu);
+      writeLine(outFd,
+                encodeNack(msg.clipId, msg.ruleName, ErrorCode::kUnavailable,
+                           !clip ? "unknown clip id" : "unknown rule"));
+      continue;
+    }
+
+    BatchRow row;
+    row.clipId = clip->id;
+    row.ruleName = rule->name;
+    {
+      obs::Span span("fleet.task");
+      span.detail(clip->id + "|" + rule->name);
+      HeartbeatPump pump(outFd, writeMu, clip->id, rule->name,
+                         options_.heartbeatSec);
+
+      // Chaos: a hung worker keeps heartbeating but never answers; only the
+      // coordinator's hard task deadline can reclaim the lease. Sleep until
+      // killed (SIGKILL from the coordinator ends the process).
+      if (fault::fire(fault::Site::kWorkerHang)) {
+        obs::TraceSession::flushAll();
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+      }
+
+      auto techOr = tech::Technology::byName(clip->techName);
+      if (!techOr.isOk()) {
+        row.errorCode = techOr.status().code();
+        row.errorMessage = techOr.status().message();
+      } else {
+        auto start = std::chrono::steady_clock::now();
+        core::OptRouter router(techOr.value(), *rule, options_.router);
+        core::RouteResult res = router.route(*clip);
+        row.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        row.status = res.status;
+        row.provenance = res.provenance;
+        row.errorCode = res.error.code();
+        row.errorMessage = res.error.message();
+        row.cost = res.cost;
+        row.wirelength = res.wirelength;
+        row.vias = res.vias;
+        row.bestBound = res.bestBound;
+        row.nodes = res.nodes;
+        row.lpIterations = res.lpIterations;
+        row.warmStartUsed = res.warmStartUsed;
+      }
+    }  // heartbeat pump stops before the result goes out
+
+    // Durability order: own checkpoint first, wire second. A coordinator
+    // that dies after our fflush but before its merge recovers this row
+    // from the worker file instead of re-solving.
+    if (checkpoint) {
+      std::fprintf(checkpoint, "%s\n", toJsonLine(row).c_str());
+      std::fflush(checkpoint);
+    }
+
+    std::string result = encodeResult(row);
+    if (fault::fire(fault::Site::kGarbledMessage)) {
+      result = result.substr(0, result.size() / 2);  // torn on the wire
+    }
+    {
+      std::lock_guard<std::mutex> lk(writeMu);
+      if (!writeLine(outFd, result)) break;  // coordinator gone
+    }
+    obs::TraceSession::flushAll();  // task boundary: ship spans while alive
+  }
+
+  if (checkpoint) std::fclose(checkpoint);
+  return Status::ok();
+}
+
+}  // namespace optr::harness
+
+#else  // _WIN32: the fleet needs fork/poll; the worker compiles to a stub.
+
+namespace optr::harness {
+
+SweepWorker::SweepWorker(SweepWorkerOptions options)
+    : options_(std::move(options)) {}
+
+Status SweepWorker::serve(int, int, const std::vector<clip::Clip>&,
+                          const std::vector<tech::RuleConfig>&) {
+  return Status::error(ErrorCode::kUnavailable,
+                       "sweep worker requires POSIX (fork/poll)");
+}
+
+}  // namespace optr::harness
+
+#endif

@@ -1,0 +1,62 @@
+// Fleet worker: serves the sweep protocol on a pair of file descriptors.
+//
+// A worker is transport-agnostic: the coordinator's fork-spawned workers
+// hand it both ends of a socketpair, the `optrouter sweep-worker` subcommand
+// hands it stdin/stdout (which is how a worker runs across an SSH pipe).
+// The loop is lease-at-a-time:
+//
+//   hello -> [lease -> heartbeats || solve -> checkpoint -> result]* ->
+//   shutdown/EOF
+//
+// While a solve runs, a heartbeat thread ticks on the wire so the
+// coordinator can tell "slow" from "dead"; the solve itself stays
+// single-threaded. Every completed row is appended (and flushed) to the
+// worker's own JSONL checkpoint *before* the result goes on the wire: if
+// the coordinator dies between our write and its merge, the row is
+// recovered from this file on restart instead of re-solved.
+//
+// Fault-injection sites (deterministic chaos for the failure-detection
+// paths): kWorkerCrash (_exit on taking a lease), kWorkerHang (sleep
+// instead of solving, heartbeats still ticking), kGarbledMessage (the
+// result line is truncated on the wire), kDroppedHeartbeat (a heartbeat is
+// owed but never sent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clip/clip.h"
+#include "common/status.h"
+#include "core/opt_router.h"
+#include "tech/rules.h"
+
+namespace optr::harness {
+
+struct SweepWorkerOptions {
+  core::OptRouterOptions router;
+  std::string workerId = "w?";
+  /// Per-worker JSONL checkpoint; empty disables (results then live only on
+  /// the wire and in the coordinator's merged checkpoint).
+  std::string checkpointPath;
+  /// Heartbeat period while solving. Must be well under the coordinator's
+  /// lease window; the coordinator passes leaseSec/4 to its own spawns.
+  double heartbeatSec = 1.0;
+};
+
+class SweepWorker {
+ public:
+  explicit SweepWorker(SweepWorkerOptions options);
+
+  /// Serves until shutdown or EOF on `inFd`. `clips` and `rules` are the
+  /// worker's task universe; leases reference them by id/name, and a lease
+  /// naming an unknown clip or rule is nacked (kUnavailable), not fatal.
+  /// Returns non-OK only for transport-level failures (broken pipe on
+  /// hello, unreadable fds) -- task-level trouble is the protocol's job.
+  Status serve(int inFd, int outFd, const std::vector<clip::Clip>& clips,
+               const std::vector<tech::RuleConfig>& rules);
+
+ private:
+  SweepWorkerOptions options_;
+};
+
+}  // namespace optr::harness

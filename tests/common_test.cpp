@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/geometry.h"
+#include "common/retry_policy.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -163,6 +164,84 @@ TEST(Status, EveryFaultSiteHasADistinctName) {
     EXPECT_TRUE(seen.insert(name).second)
         << "duplicate fault::Site name: " << name;
   }
+}
+
+TEST(RetryPolicy, BacksOffExponentiallyWithoutJitter) {
+  common::RetryPolicyOptions opt;
+  opt.initialDelaySec = 0.1;
+  opt.multiplier = 2.0;
+  opt.maxDelaySec = 0.5;
+  opt.jitterFrac = 0.0;
+  opt.maxAttempts = 6;
+  common::RetryPolicy policy(opt);
+  // Delays: 0.1, 0.2, 0.4, capped at 0.5, then exhausted (6 tries total =
+  // the original + 5 retries).
+  EXPECT_DOUBLE_EQ(policy.nextDelaySec().value(), 0.1);
+  EXPECT_DOUBLE_EQ(policy.nextDelaySec().value(), 0.2);
+  EXPECT_DOUBLE_EQ(policy.nextDelaySec().value(), 0.4);
+  EXPECT_DOUBLE_EQ(policy.nextDelaySec().value(), 0.5);
+  EXPECT_DOUBLE_EQ(policy.nextDelaySec().value(), 0.5);
+  EXPECT_FALSE(policy.nextDelaySec().has_value());
+  EXPECT_EQ(policy.attempt(), 6);
+}
+
+TEST(RetryPolicy, JitterIsDeterministicForSeedAndBounded) {
+  common::RetryPolicyOptions opt;
+  opt.initialDelaySec = 1.0;
+  opt.multiplier = 1.0;
+  opt.maxDelaySec = 1.0;
+  opt.jitterFrac = 0.25;
+  opt.maxAttempts = 0;  // unbounded
+  common::RetryPolicy a(opt, /*jitterSeed=*/42);
+  common::RetryPolicy b(opt, /*jitterSeed=*/42);
+  common::RetryPolicy c(opt, /*jitterSeed=*/43);
+  bool anyDifferent = false;
+  for (int i = 0; i < 32; ++i) {
+    double da = a.nextDelaySec().value();
+    double db = b.nextDelaySec().value();
+    double dc = c.nextDelaySec().value();
+    EXPECT_DOUBLE_EQ(da, db) << "same seed must give the same schedule";
+    EXPECT_GE(da, 0.75);
+    EXPECT_LE(da, 1.25);
+    anyDifferent |= da != dc;
+  }
+  EXPECT_TRUE(anyDifferent) << "different seeds should de-synchronize";
+}
+
+TEST(RetryPolicy, DeadlineRefusesRetriesThatWouldLandPastIt) {
+  common::RetryPolicyOptions opt;
+  opt.initialDelaySec = 1.0;
+  opt.multiplier = 1.0;
+  opt.maxDelaySec = 1.0;
+  opt.jitterFrac = 0.0;
+  opt.maxAttempts = 0;
+  opt.deadlineSec = 10.0;
+  common::RetryPolicy policy(opt);
+  EXPECT_TRUE(policy.nextDelaySec(/*elapsedSec=*/0.0).has_value());
+  EXPECT_TRUE(policy.nextDelaySec(/*elapsedSec=*/8.9).has_value());
+  // 9.5 elapsed + 1.0 delay > 10.0: refused, and stays refused.
+  EXPECT_FALSE(policy.nextDelaySec(/*elapsedSec=*/9.5).has_value());
+}
+
+TEST(RetryPolicy, ResetRestoresTheAttemptBudgetButNotTheJitterStream) {
+  common::RetryPolicyOptions opt;
+  opt.multiplier = 1.0;  // constant base: only the jitter stream varies
+  opt.jitterFrac = 0.25;
+  opt.maxAttempts = 2;
+  common::RetryPolicy policy(opt, 7);
+  // Same seed, unbounded budget: a pure observer of the jitter stream.
+  common::RetryPolicyOptions freshOpt = opt;
+  freshOpt.maxAttempts = 0;
+  common::RetryPolicy fresh(freshOpt, 7);
+  double first = policy.nextDelaySec().value();
+  EXPECT_DOUBLE_EQ(first, fresh.nextDelaySec().value());
+  EXPECT_FALSE(policy.nextDelaySec().has_value());  // budget spent
+  policy.reset();
+  EXPECT_EQ(policy.attempt(), 1);
+  // The budget is back, but the jitter stream continues where it left off
+  // (a reused policy keeps its deterministic draw sequence).
+  double afterReset = policy.nextDelaySec().value();
+  EXPECT_DOUBLE_EQ(afterReset, fresh.nextDelaySec().value());
 }
 
 TEST(Status, ReturnIfErrorPropagates) {

@@ -7,6 +7,7 @@
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "core/opt_router.h"
+#include "harness/sweep_coordinator.h"
 #include "lp/simplex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -233,6 +234,54 @@ TEST_F(FaultInjectionTest, InjectedFaultsAreTracedWithRecoveryCausality) {
   EXPECT_EQ(fired->detail, "singular-basis");
   // Causality: the fault precedes the retry that recovers from it.
   EXPECT_LE(fired->ts, retry->ts);
+}
+
+TEST_F(FaultInjectionTest, FleetWorkerCrashIsTracedWithRecoveryCausality) {
+  // Cross-process causality: the fault fires inside a forked worker (which
+  // flushes its trace rings before _exit), the recovery -- death detection
+  // and lease re-assignment -- happens in the coordinator. Trace timestamps
+  // are absolute steady-clock ns rebased to the shared session t0, so the
+  // ordering injection -> death -> re-assignment is assertable from one
+  // merged trace file.
+  const std::string path = ::testing::TempDir() + "/fleet_fault_trace.jsonl";
+  ASSERT_TRUE(obs::TraceSession::start(path).isOk());
+
+  harness::SweepCoordinatorOptions opt;
+  opt.router.mip.timeLimitSec = 20.0;
+  opt.workers = 1;
+  opt.workerInitHook = [](int /*slot*/, int generation) {
+    if (generation == 0) {
+      fault::arm(fault::Site::kWorkerCrash, /*countdown=*/0, /*times=*/1);
+    }
+  };
+  std::vector<clip::Clip> clips = {testClip()};
+  std::vector<tech::RuleConfig> rules = {tech::ruleByName("RULE1").value()};
+  harness::FleetReport report = harness::SweepCoordinator(opt).run(clips, rules);
+  obs::TraceSession::stop();
+
+  ASSERT_TRUE(report.status.isOk()) << report.status.message();
+  EXPECT_GE(report.workerDeaths, 1);
+  EXPECT_GE(report.leasesReassigned, 1);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].status, core::RouteStatus::kOptimal);
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  const obs::TraceEntry* fired = nullptr;
+  const obs::TraceEntry* death = nullptr;
+  const obs::TraceEntry* reassigned = nullptr;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.name == "fault.fired" && e.detail == "worker-crash" && !fired) {
+      fired = &e;
+    }
+    if (e.name == "fleet.worker.death" && !death) death = &e;
+    if (e.name == "fleet.lease.reassigned" && !reassigned) reassigned = &e;
+  }
+  ASSERT_NE(fired, nullptr) << "worker-side fault left no trace event";
+  ASSERT_NE(death, nullptr) << "death detection left no trace event";
+  ASSERT_NE(reassigned, nullptr) << "re-assignment left no trace event";
+  EXPECT_LE(fired->ts, death->ts);
+  EXPECT_LE(death->ts, reassigned->ts);
 }
 
 TEST_F(FaultInjectionTest, CleanRunAfterFaultsMatchesBaseline) {

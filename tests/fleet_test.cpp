@@ -1,0 +1,649 @@
+// Fleet fabric: lease-table failure ordering, wire protocol, crash-tolerant
+// checkpoint merging, and end-to-end SweepCoordinator runs -- including ones
+// where workers crash, hang, drop heartbeats, or garble results -- that must
+// produce the same rows as the in-process BatchRunner.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "harness/batch_runner.h"
+#include "harness/checkpoint_io.h"
+#include "harness/lease_table.h"
+#include "harness/sweep_coordinator.h"
+#include "harness/sweep_protocol.h"
+#include "harness/sweep_worker.h"
+#include "test_clips.h"
+
+namespace optr::harness {
+namespace {
+
+using clip::TrackPoint;
+
+std::vector<clip::Clip> twoClips() {
+  clip::Clip a = testing::makeSimpleClip(
+      4, 4, 2, {{TrackPoint{0, 0, 0}, TrackPoint{3, 3, 0}}});
+  a.id = "clipA";
+  clip::Clip b = testing::makeSimpleClip(
+      4, 4, 2,
+      {{TrackPoint{0, 0, 0}, TrackPoint{3, 0, 0}},
+       {TrackPoint{0, 2, 0}, TrackPoint{3, 2, 0}}});
+  b.id = "clipB";
+  return {a, b};
+}
+
+std::vector<tech::RuleConfig> twoRules() {
+  return {tech::ruleByName("RULE1").value(), tech::ruleByName("RULE2").value()};
+}
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+void removeFleetFiles(const std::string& checkpoint) {
+  std::remove(checkpoint.c_str());
+  for (int slot = 0; slot < 8; ++slot) {
+    std::remove(workerCheckpointPath(checkpoint, slot).c_str());
+  }
+}
+
+/// The equivalence reference: the same matrix through the in-process
+/// BatchRunner on the rebuild path (exactly what each fleet worker runs).
+BatchReport reference(const std::vector<clip::Clip>& clips,
+                      const std::vector<tech::RuleConfig>& rules) {
+  BatchOptions opt;
+  opt.router.mip.timeLimitSec = 20.0;
+  opt.isolateTasks = false;
+  opt.sessionReuse = false;
+  opt.threads = 1;
+  return BatchRunner(opt).run(clips, rules);
+}
+
+void expectRowsMatch(const std::vector<BatchRow>& got,
+                     const std::vector<BatchRow>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].clipId, want[i].clipId) << "row " << i;
+    EXPECT_EQ(got[i].ruleName, want[i].ruleName) << "row " << i;
+    EXPECT_EQ(got[i].status, want[i].status) << "row " << i;
+    EXPECT_EQ(got[i].cost, want[i].cost) << "row " << i;
+    EXPECT_EQ(got[i].bestBound, want[i].bestBound) << "row " << i;
+    EXPECT_EQ(got[i].wirelength, want[i].wirelength) << "row " << i;
+    EXPECT_EQ(got[i].vias, want[i].vias) << "row " << i;
+  }
+}
+
+SweepCoordinatorOptions fleetOptions() {
+  SweepCoordinatorOptions opt;
+  opt.router.mip.timeLimitSec = 20.0;
+  opt.workers = 2;
+  return opt;
+}
+
+BatchRow rowFor(const std::string& clipId, const std::string& rule,
+                double cost) {
+  BatchRow row;
+  row.clipId = clipId;
+  row.ruleName = rule;
+  row.status = core::RouteStatus::kOptimal;
+  row.cost = cost;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// LeaseTable: failure-ordering edge cases, no IO, no clocks.
+
+LeaseOptions leaseOpts(double leaseSec, double timeoutSec, int maxAttempts) {
+  LeaseOptions o;
+  o.leaseSec = leaseSec;
+  o.taskTimeoutSec = timeoutSec;
+  o.maxAttempts = maxAttempts;
+  return o;
+}
+
+TEST(LeaseTable, GrantsInMatrixOrderAndSettles) {
+  LeaseTable table(leaseOpts(5, 60, 3));
+  table.addTask("a", "R1");
+  table.addTask("a", "R2");
+  LeaseGrant g1, g2;
+  ASSERT_TRUE(table.grant(0, 0.0, g1));
+  EXPECT_EQ(g1.clipId, "a");
+  EXPECT_EQ(g1.ruleName, "R1");
+  EXPECT_EQ(g1.attempt, 1);
+  ASSERT_TRUE(table.grant(1, 0.0, g2));
+  EXPECT_EQ(g2.ruleName, "R2");
+  LeaseGrant g3;
+  EXPECT_FALSE(table.grant(0, 0.0, g3));  // nothing left to lease
+
+  EXPECT_EQ(table.complete(g1.key(), 0, rowFor("a", "R1", 1.0)),
+            ResultOutcome::kAccepted);
+  EXPECT_EQ(table.complete(g2.key(), 1, rowFor("a", "R2", 2.0)),
+            ResultOutcome::kAccepted);
+  EXPECT_TRUE(table.allSettled());
+  auto rows = table.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].ruleName, "R1");  // matrix order regardless of finish
+  EXPECT_EQ(rows[1].ruleName, "R2");
+}
+
+TEST(LeaseTable, DuplicateResultAfterReassignmentIsDroppedNotApplied) {
+  LeaseTable table(leaseOpts(5, 60, 3));
+  table.addTask("a", "R1");
+  LeaseGrant g;
+  ASSERT_TRUE(table.grant(0, 0.0, g));
+
+  // Worker 0 goes silent; the lease expires and the task is re-assigned.
+  auto expired = table.expire(6.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].reason, LeaseFailure::kHeartbeatLost);
+  EXPECT_FALSE(expired[0].quarantined);
+  LeaseGrant g2;
+  ASSERT_TRUE(table.grant(1, 6.0, g2));
+  EXPECT_EQ(g2.attempt, 2);
+
+  // The replacement finishes first; worker 0's zombie result arrives late.
+  EXPECT_EQ(table.complete(g.key(), 1, rowFor("a", "R1", 2.0)),
+            ResultOutcome::kAccepted);
+  EXPECT_EQ(table.complete(g.key(), 0, rowFor("a", "R1", 99.0)),
+            ResultOutcome::kDuplicate);
+  ASSERT_NE(table.settledRow(g.key()), nullptr);
+  EXPECT_EQ(table.settledRow(g.key())->cost, 2.0);  // first writer won
+  EXPECT_TRUE(table.allSettled());
+}
+
+TEST(LeaseTable, InFlightResultFromRevokedLeaseIsAcceptedStale) {
+  LeaseTable table(leaseOpts(5, 60, 3));
+  table.addTask("a", "R1");
+  LeaseGrant g;
+  ASSERT_TRUE(table.grant(0, 0.0, g));
+  table.expire(6.0);  // revoke worker 0's lease...
+  LeaseGrant g2;
+  ASSERT_TRUE(table.grant(1, 6.0, g2));
+
+  // ...but its result was already in flight. Solves are deterministic, so
+  // the stale answer is the answer; the replacement becomes the duplicate.
+  EXPECT_EQ(table.complete(g.key(), 0, rowFor("a", "R1", 2.0)),
+            ResultOutcome::kAcceptedStale);
+  EXPECT_EQ(table.complete(g.key(), 1, rowFor("a", "R1", 2.0)),
+            ResultOutcome::kDuplicate);
+  EXPECT_EQ(table.state(g.key()), TaskState::kDone);
+  EXPECT_TRUE(table.allSettled());
+}
+
+TEST(LeaseTable, HeartbeatsExtendTheLeaseButNeverTheTaskDeadline) {
+  LeaseTable table(leaseOpts(5, 8, 3));
+  table.addTask("a", "R1");
+  LeaseGrant g;
+  ASSERT_TRUE(table.grant(0, 0.0, g));
+
+  // Dutiful heartbeats keep the lease alive past the bare lease window...
+  EXPECT_TRUE(table.heartbeat(g.key(), 0, 4.0));
+  EXPECT_TRUE(table.expire(6.0).empty());
+  EXPECT_TRUE(table.heartbeat(g.key(), 0, 7.0));
+
+  // ...but the hard task deadline is immune to them: a worker that
+  // heartbeats forever without answering is hung, not healthy.
+  auto expired = table.expire(8.5);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].reason, LeaseFailure::kTaskTimeout);
+
+  // Stale heartbeats from the revoked lease are ignored.
+  EXPECT_FALSE(table.heartbeat(g.key(), 0, 9.0));
+}
+
+TEST(LeaseTable, QuarantinesAfterMaxAttemptsWithHonestErrorRow) {
+  LeaseTable table(leaseOpts(5, 60, 2));
+  table.addTask("a", "R1");
+  LeaseGrant g;
+  ASSERT_TRUE(table.grant(0, 0.0, g));
+  auto first = table.expire(6.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_FALSE(first[0].quarantined);
+
+  ASSERT_TRUE(table.grant(1, 6.0, g));
+  auto second = table.expire(12.0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second[0].quarantined);
+  EXPECT_EQ(table.state(g.key()), TaskState::kQuarantined);
+  EXPECT_TRUE(table.allSettled());
+
+  const BatchRow* row = table.settledRow(g.key());
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->status, core::RouteStatus::kError);
+  EXPECT_EQ(row->errorCode, ErrorCode::kDeadline);
+  EXPECT_NE(row->errorMessage.find("quarantined after 2 attempts"),
+            std::string::npos)
+      << row->errorMessage;
+
+  // A result for a quarantined task stays dropped: given up means given up
+  // (its error row is already durable in the checkpoint).
+  EXPECT_EQ(table.complete(g.key(), 1, rowFor("a", "R1", 1.0)),
+            ResultOutcome::kDuplicate);
+}
+
+TEST(LeaseTable, WorkerDeathReleasesLeasesAndMarksCrashedOnQuarantine) {
+  LeaseTable table(leaseOpts(5, 60, 1));
+  table.addTask("a", "R1");
+  table.addTask("a", "R2");
+  LeaseGrant g1, g2;
+  ASSERT_TRUE(table.grant(0, 0.0, g1));
+  ASSERT_TRUE(table.grant(0, 0.0, g2));
+
+  auto released = table.releaseWorker(0);
+  ASSERT_EQ(released.size(), 2u);
+  for (const auto& r : released) {
+    EXPECT_EQ(r.reason, LeaseFailure::kWorkerDied);
+    EXPECT_TRUE(r.quarantined);  // maxAttempts 1: straight to quarantine
+  }
+  const BatchRow* row = table.settledRow(g1.key());
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->errorCode, ErrorCode::kCrash);
+  EXPECT_TRUE(row->crashed);
+}
+
+TEST(LeaseTable, NackRequeuesAndCarriesTheCodeIntoQuarantine) {
+  LeaseTable table(leaseOpts(5, 60, 2));
+  table.addTask("a", "R1");
+  LeaseGrant g;
+  ASSERT_TRUE(table.grant(0, 0.0, g));
+  auto first = table.nack(g.key(), 0, ErrorCode::kUnavailable, "unknown rule");
+  EXPECT_FALSE(first.quarantined);
+  EXPECT_EQ(table.state(g.key()), TaskState::kPending);
+
+  ASSERT_TRUE(table.grant(1, 1.0, g));
+  auto second = table.nack(g.key(), 1, ErrorCode::kUnavailable, "unknown rule");
+  EXPECT_TRUE(second.quarantined);
+  const BatchRow* row = table.settledRow(g.key());
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->errorCode, ErrorCode::kUnavailable);
+}
+
+TEST(LeaseTable, ResumedRowsAreFirstWriterWinsAndUnknownKeysIgnored) {
+  LeaseTable table(leaseOpts(5, 60, 3));
+  table.addTask("a", "R1");
+  EXPECT_TRUE(table.markResumed(rowFor("a", "R1", 1.0)));
+  EXPECT_FALSE(table.markResumed(rowFor("a", "R1", 2.0)));  // already done
+  EXPECT_FALSE(table.markResumed(rowFor("zzz", "R9", 3.0)));  // not in matrix
+  EXPECT_TRUE(table.allSettled());
+  EXPECT_EQ(table.settledRow(rowFor("a", "R1", 0).key())->cost, 1.0);
+}
+
+TEST(LeaseTable, QuarantineAllPendingDrainsTheBacklog) {
+  LeaseTable table(leaseOpts(5, 60, 3));
+  table.addTask("a", "R1");
+  table.addTask("a", "R2");
+  LeaseGrant g;
+  ASSERT_TRUE(table.grant(0, 0.0, g));
+  auto keys = table.quarantineAllPending(ErrorCode::kUnavailable,
+                                         "fleet exhausted");
+  ASSERT_EQ(keys.size(), 1u);  // the leased task is untouched
+  EXPECT_EQ(table.pending(), 0);
+  EXPECT_EQ(table.leased(), 1);
+  const BatchRow* row = table.settledRow(keys[0]);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->errorCode, ErrorCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(SweepProtocol, RoundTripsEveryMessageType) {
+  SweepMessage m = decodeMessage(encodeHello("w3", 4242));
+  EXPECT_EQ(m.type, MsgType::kHello);
+  EXPECT_EQ(m.protoVersion, kSweepProtocolVersion);
+  EXPECT_EQ(m.workerId, "w3");
+  EXPECT_EQ(m.pid, 4242);
+
+  m = decodeMessage(encodeLease("clip \"x\"", "RULE3", 5.5, 2));
+  EXPECT_EQ(m.type, MsgType::kLease);
+  EXPECT_EQ(m.clipId, "clip \"x\"");
+  EXPECT_EQ(m.ruleName, "RULE3");
+  EXPECT_DOUBLE_EQ(m.leaseSec, 5.5);
+  EXPECT_EQ(m.attempt, 2);
+
+  m = decodeMessage(encodeHeartbeat("c", "RULE1"));
+  EXPECT_EQ(m.type, MsgType::kHeartbeat);
+  EXPECT_EQ(m.taskKey(), "c\x1fRULE1");
+
+  BatchRow row = rowFor("c", "RULE1", 12.25);
+  row.provenance = core::Provenance::kIlpProven;
+  row.bestBound = 12.25;
+  row.nodes = 77;
+  m = decodeMessage(encodeResult(row));
+  EXPECT_EQ(m.type, MsgType::kResult);
+  EXPECT_EQ(m.row.clipId, "c");
+  EXPECT_EQ(m.row.cost, 12.25);
+  EXPECT_EQ(m.row.provenance, core::Provenance::kIlpProven);
+  EXPECT_EQ(m.row.nodes, 77);
+
+  m = decodeMessage(encodeNack("c", "RULE1", ErrorCode::kUnavailable, "why"));
+  EXPECT_EQ(m.type, MsgType::kNack);
+  EXPECT_EQ(m.errorCode, ErrorCode::kUnavailable);
+  EXPECT_EQ(m.message, "why");
+
+  EXPECT_EQ(decodeMessage(encodeShutdown()).type, MsgType::kShutdown);
+}
+
+TEST(SweepProtocol, TruncatedOrCorruptLinesDecodeAsGarbled) {
+  EXPECT_EQ(decodeMessage("").type, MsgType::kGarbled);
+  EXPECT_EQ(decodeMessage("not json").type, MsgType::kGarbled);
+  EXPECT_EQ(decodeMessage("{\"t\":\"no-such-type\"}").type, MsgType::kGarbled);
+  std::string result = encodeResult(rowFor("c", "RULE1", 1.0));
+  // Every strict prefix of a torn result line must decode as garbled, never
+  // as a half-filled result.
+  for (std::size_t cut = 0; cut < result.size(); ++cut) {
+    EXPECT_EQ(decodeMessage(result.substr(0, cut)).type, MsgType::kGarbled)
+        << "prefix length " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint IO: torn lines, merge listing.
+
+TEST(CheckpointIO, TornAndMalformedLinesAreSkippedAndCounted) {
+  std::string path = tempPath("ckpt_io");
+  std::string lineA = toJsonLine(rowFor("a", "R1", 1.0));
+  std::string lineADup = toJsonLine(rowFor("a", "R1", 9.0));
+  std::string lineB = toJsonLine(rowFor("b", "R1", 2.0));
+  std::string lineC = toJsonLine(rowFor("c", "R1", 3.0));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << lineA << "\n"
+        << "garbage not json\n"
+        << lineADup << "\n"
+        << lineB << "\n"
+        << lineC.substr(0, lineC.size() / 2);  // torn: no newline, no tail
+  }
+  std::unordered_map<std::string, BatchRow> rows;
+  CheckpointLoadStats stats = loadCheckpoint(path, rows);
+  EXPECT_TRUE(stats.fileExists);
+  EXPECT_EQ(stats.loaded, 2);
+  EXPECT_EQ(stats.duplicates, 1);
+  EXPECT_EQ(stats.malformed, 1);
+  EXPECT_EQ(stats.torn, 1);
+  EXPECT_EQ(stats.skipped(), 2);
+  EXPECT_EQ(rows.at(rowFor("a", "R1", 0).key()).cost, 1.0);  // first writer
+  EXPECT_EQ(rows.count(rowFor("c", "R1", 0).key()), 0u);     // torn: re-run
+  std::remove(path.c_str());
+
+  CheckpointLoadStats missing = loadCheckpoint(path + ".nope", rows);
+  EXPECT_FALSE(missing.fileExists);
+  EXPECT_EQ(missing.skipped(), 0);
+}
+
+TEST(CheckpointIO, ListsWorkerCheckpointsSortedBySlot) {
+  std::string base = tempPath("ckpt_list");
+  auto touch = [](const std::string& p) { std::ofstream(p) << ""; };
+  touch(base);
+  touch(workerCheckpointPath(base, 10));
+  touch(workerCheckpointPath(base, 2));
+  touch(workerCheckpointPath(base, 0));
+  touch(base + ".wx");        // non-numeric suffix: not a worker file
+  touch(base + ".unrelated");
+  auto files = listWorkerCheckpoints(base);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], workerCheckpointPath(base, 0));
+  EXPECT_EQ(files[1], workerCheckpointPath(base, 2));
+  EXPECT_EQ(files[2], workerCheckpointPath(base, 10));
+  std::remove(base.c_str());
+  std::remove((base + ".wx").c_str());
+  std::remove((base + ".unrelated").c_str());
+  for (int s : {0, 2, 10}) {
+    std::remove(workerCheckpointPath(base, s).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SweepWorker over raw pipes (no coordinator).
+
+TEST(SweepWorker, ServesLeasesAndNacksUnknownTasks) {
+  int toWorker[2], fromWorker[2];
+  ASSERT_EQ(pipe(toWorker), 0);
+  ASSERT_EQ(pipe(fromWorker), 0);
+
+  SweepWorkerOptions wo;
+  wo.router.mip.timeLimitSec = 20.0;
+  wo.workerId = "wtest";
+  wo.heartbeatSec = 0.05;
+  auto clips = twoClips();
+  auto rules = twoRules();
+  std::thread server([&] {
+    SweepWorker(wo).serve(toWorker[0], fromWorker[1], clips, rules);
+    close(fromWorker[1]);
+  });
+
+  FILE* in = fdopen(fromWorker[0], "r");
+  FILE* out = fdopen(toWorker[1], "w");
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  auto send = [&](const std::string& line) {
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fflush(out);
+  };
+  auto recv = [&]() -> SweepMessage {
+    char buf[65536];
+    // Skip heartbeats: this test is about the request/response pairs.
+    for (;;) {
+      if (!std::fgets(buf, sizeof buf, in)) return SweepMessage{};
+      std::string line(buf);
+      while (!line.empty() && line.back() == '\n') line.pop_back();
+      SweepMessage m = decodeMessage(line);
+      if (m.type != MsgType::kHeartbeat) return m;
+    }
+  };
+
+  EXPECT_EQ(recv().type, MsgType::kHello);
+
+  send(encodeLease("clipA", "RULE1", 5.0, 1));
+  SweepMessage res = recv();
+  ASSERT_EQ(res.type, MsgType::kResult);
+  EXPECT_EQ(res.row.clipId, "clipA");
+  EXPECT_EQ(res.row.ruleName, "RULE1");
+
+  send(encodeLease("no-such-clip", "RULE1", 5.0, 1));
+  SweepMessage nack = recv();
+  ASSERT_EQ(nack.type, MsgType::kNack);
+  EXPECT_EQ(nack.errorCode, ErrorCode::kUnavailable);
+
+  send(encodeShutdown());
+  server.join();
+  std::fclose(in);
+  std::fclose(out);
+  close(toWorker[0]);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fleet runs. Every test gates on row equivalence with the
+// in-process BatchRunner reference -- the fleet's correctness contract.
+
+TEST(SweepFleet, MatchesBatchRunnerRowByRow) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+  BatchReport want = reference(clips, rules);
+
+  FleetReport got = SweepCoordinator(fleetOptions()).run(clips, rules);
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_EQ(got.executed, 4);
+  EXPECT_EQ(got.workerDeaths, 0);
+  EXPECT_EQ(got.quarantined, 0);
+  expectRowsMatch(got.rows, want.rows);
+}
+
+TEST(SweepFleet, SurvivesWorkerCrashesViaRespawnAndReassignment) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+  BatchReport want = reference(clips, rules);
+
+  SweepCoordinatorOptions opt = fleetOptions();
+  // Generation 0 of both slots dies the instant it takes a lease; the
+  // respawned generation is clean and must finish the sweep.
+  opt.workerInitHook = [](int /*slot*/, int generation) {
+    if (generation == 0) {
+      fault::arm(fault::Site::kWorkerCrash, /*countdown=*/0, /*times=*/1);
+    }
+  };
+  FleetReport got = SweepCoordinator(opt).run(clips, rules);
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_GE(got.workerDeaths, 2);
+  EXPECT_GE(got.leasesReassigned, 2);
+  EXPECT_GE(got.workersSpawned, 4);  // 2 initial + at least 2 respawns
+  EXPECT_EQ(got.quarantined, 0);
+  expectRowsMatch(got.rows, want.rows);
+}
+
+TEST(SweepFleet, ReclaimsHungWorkerThatKeepsHeartbeating) {
+  auto clips = twoClips();
+  std::vector<tech::RuleConfig> rules = {tech::ruleByName("RULE1").value()};
+  BatchReport want = reference(clips, rules);
+
+  SweepCoordinatorOptions opt = fleetOptions();
+  opt.workers = 1;
+  opt.leaseSec = 0.5;         // heartbeats arrive every 0.125s and keep this
+  opt.taskTimeoutSec = 1.2;   // ...so only the hard deadline can fire
+  opt.workerInitHook = [](int /*slot*/, int generation) {
+    if (generation == 0) {
+      fault::arm(fault::Site::kWorkerHang, /*countdown=*/0, /*times=*/1);
+    }
+  };
+  FleetReport got = SweepCoordinator(opt).run(clips, rules);
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_GE(got.leasesExpired, 1);  // the task-timeout reclaim
+  EXPECT_GE(got.workerDeaths, 1);   // the SIGKILLed hung worker
+  EXPECT_EQ(got.quarantined, 0);
+  expectRowsMatch(got.rows, want.rows);
+}
+
+TEST(SweepFleet, DetectsLostHeartbeatsWithoutWaitingForTaskDeadline) {
+  auto clips = twoClips();
+  std::vector<tech::RuleConfig> rules = {tech::ruleByName("RULE1").value()};
+  BatchReport want = reference(clips, rules);
+
+  SweepCoordinatorOptions opt = fleetOptions();
+  opt.workers = 1;
+  opt.leaseSec = 0.6;
+  opt.taskTimeoutSec = 30.0;  // far away: completion proves the heartbeat
+                              // detector, not the task deadline, fired
+  opt.workerInitHook = [](int /*slot*/, int generation) {
+    if (generation == 0) {
+      fault::arm(fault::Site::kWorkerHang, 0, 1);
+      fault::arm(fault::Site::kDroppedHeartbeat, 0, fault::kAlways);
+    }
+  };
+  FleetReport got = SweepCoordinator(opt).run(clips, rules);
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_GE(got.leasesExpired, 1);
+  EXPECT_EQ(got.quarantined, 0);
+  expectRowsMatch(got.rows, want.rows);
+}
+
+TEST(SweepFleet, RecoversTaskWhoseResultWasGarbledOnTheWire) {
+  auto clips = twoClips();
+  std::vector<tech::RuleConfig> rules = {tech::ruleByName("RULE1").value()};
+  BatchReport want = reference(clips, rules);
+
+  SweepCoordinatorOptions opt = fleetOptions();
+  opt.workers = 1;
+  opt.leaseSec = 0.5;  // the garbling worker goes idle-and-silent; its lease
+                       // must expire on heartbeat loss, not wedge the run
+  opt.workerInitHook = [](int /*slot*/, int generation) {
+    if (generation == 0) {
+      fault::arm(fault::Site::kGarbledMessage, /*countdown=*/0, /*times=*/1);
+    }
+  };
+  FleetReport got = SweepCoordinator(opt).run(clips, rules);
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_GE(got.garbledMessages, 1);
+  EXPECT_GE(got.leasesExpired, 1);
+  EXPECT_EQ(got.quarantined, 0);
+  expectRowsMatch(got.rows, want.rows);
+}
+
+TEST(SweepFleet, CoordinatorRestartResumesFromMergedCheckpoints) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+  BatchReport want = reference(clips, rules);
+
+  std::string ckpt = tempPath("fleet_restart");
+  removeFleetFiles(ckpt);
+
+  SweepCoordinatorOptions opt = fleetOptions();
+  opt.checkpointPath = ckpt;
+  opt.stopAfterResults = 2;  // coordinator "crashes" mid-run: workers are
+                             // SIGKILLed, no shutdown handshake
+  FleetReport first = SweepCoordinator(opt).run(clips, rules);
+  EXPECT_TRUE(first.stoppedEarly);
+  EXPECT_GE(first.executed, 2);
+
+  opt.stopAfterResults = -1;
+  FleetReport second = SweepCoordinator(opt).run(clips, rules);
+  ASSERT_TRUE(second.status.isOk()) << second.status.message();
+  EXPECT_GE(second.resumed, 2);  // proven tasks are never re-solved
+  EXPECT_EQ(second.resumed + second.executed, 4);
+  EXPECT_FALSE(second.stoppedEarly);
+  expectRowsMatch(second.rows, want.rows);
+  removeFleetFiles(ckpt);
+}
+
+TEST(SweepFleet, MergesRowsOnlyAWorkerFileProved) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+  BatchReport want = reference(clips, rules);
+
+  // Simulate a predecessor that died after its worker checkpointed a row
+  // but before the coordinator merged it: the row exists only in .w0.
+  std::string ckpt = tempPath("fleet_merge");
+  removeFleetFiles(ckpt);
+  {
+    std::ofstream out(workerCheckpointPath(ckpt, 0));
+    out << toJsonLine(want.rows[0]) << "\n";
+  }
+
+  SweepCoordinatorOptions opt = fleetOptions();
+  opt.checkpointPath = ckpt;
+  FleetReport got = SweepCoordinator(opt).run(clips, rules);
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_EQ(got.resumed, 1);
+  EXPECT_EQ(got.recoveredFromWorkerFiles, 1);
+  EXPECT_EQ(got.executed, 3);
+  expectRowsMatch(got.rows, want.rows);
+
+  // The merge is durable: the main checkpoint now carries the recovered row
+  // and a fresh resume no longer needs the worker file.
+  std::unordered_map<std::string, BatchRow> merged;
+  loadCheckpoint(ckpt, merged);
+  EXPECT_EQ(merged.count(want.rows[0].key()), 1u);
+  removeFleetFiles(ckpt);
+}
+
+TEST(SweepFleet, TornCheckpointLinesAreSkippedAndReRun) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+  BatchReport want = reference(clips, rules);
+
+  std::string ckpt = tempPath("fleet_torn");
+  removeFleetFiles(ckpt);
+  {
+    std::ofstream out(ckpt);
+    std::string good = toJsonLine(want.rows[0]);
+    std::string torn = toJsonLine(want.rows[1]);
+    out << good << "\n" << torn.substr(0, torn.size() / 2);
+  }
+
+  SweepCoordinatorOptions opt = fleetOptions();
+  opt.checkpointPath = ckpt;
+  FleetReport got = SweepCoordinator(opt).run(clips, rules);
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_EQ(got.resumed, 1);
+  EXPECT_EQ(got.checkpointSkipped, 1);
+  EXPECT_EQ(got.executed, 3);  // the torn row re-ran
+  expectRowsMatch(got.rows, want.rows);
+  removeFleetFiles(ckpt);
+}
+
+}  // namespace
+}  // namespace optr::harness

@@ -323,6 +323,7 @@ TEST(BatchRunner, TruncatedCheckpointLineReRunsThatTask) {
   BatchReport resumed = BatchRunner(opt).run(clips, rules);
   EXPECT_EQ(resumed.resumed, 1);
   EXPECT_EQ(resumed.executed, 1);
+  EXPECT_EQ(resumed.checkpointSkipped, 1);  // the torn line, counted
   ASSERT_EQ(resumed.rows.size(), 2u);
   EXPECT_EQ(resumed.rows[1].status, full.rows[1].status);
   EXPECT_EQ(resumed.rows[1].cost, full.rows[1].cost);

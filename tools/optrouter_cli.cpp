@@ -16,11 +16,20 @@
 //                                           --mip-threads N parallelizes
 //                                           each solve's tree search
 //   improve <clips> <rule> [threads]        local improvement report
+//   sweep-coordinator <clips> <ckpt> <rule...>  fleet sweep: lease-based
+//                                           coordinator sharding the matrix
+//                                           across worker processes with
+//                                           failure detection, re-assignment
+//                                           and crash-consistent resume
+//   sweep-worker <clips> [rule...]          one fleet worker speaking the
+//                                           protocol on stdin/stdout (what
+//                                           --worker-cmd / SSH runs)
 //
 // Example session:
 //   optrouter gen N28-12T top.clips 10
 //   optrouter route top.clips RULE3 0
 //   optrouter sweep top.clips RULE1 RULE3 RULE6
+//   optrouter sweep-coordinator top.clips run.jsonl --workers 4 RULE1 RULE3
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +41,9 @@
 #include "core/improver.h"
 #include "core/opt_router.h"
 #include "harness/batch_runner.h"
+#include "harness/checkpoint_io.h"
+#include "harness/sweep_coordinator.h"
+#include "harness/sweep_worker.h"
 #include "layout/clip_extract.h"
 #include "layout/def_io.h"
 #include "layout/global_route.h"
@@ -47,7 +59,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: optrouter <info|gen|lefdef|route|sweep|improve> ...\n"
+               "usage: optrouter <info|gen|lefdef|route|sweep|batch|improve|\n"
+               "                  sweep-coordinator|sweep-worker> ...\n"
                "  info\n"
                "  gen <tech> <out.clips> [numClips=10] [seed=1]\n"
                "  lefdef <tech> <out.lef> <out.def>\n"
@@ -63,7 +76,24 @@ int usage() {
                "         instead of reusing the per-clip session;\n"
                "         --trace writes a span/event JSONL for trace_report,\n"
                "         --metrics prints the batch's counter deltas)\n"
-               "  improve <clips> <rule> [threads=1]\n");
+               "  improve <clips> <rule> [threads=1]\n"
+               "  sweep-coordinator <clips> <checkpoint.jsonl>\n"
+               "        [--workers N] [--lease-sec S] [--task-timeout S]\n"
+               "        [--max-attempts N] [--worker-cmd 'CMD']\n"
+               "        [--chaos-kills N] [--chaos-prob P] [--chaos-seed S]\n"
+               "        [--trace=out.jsonl] [--metrics] <rule...>\n"
+               "        (fleet sweep with lease-based failure detection;\n"
+               "         --worker-cmd spawns each worker as `sh -c CMD`\n"
+               "         speaking the protocol on stdin/stdout -- wrap it\n"
+               "         in ssh to spread across machines; default forks\n"
+               "         in-process workers; chaos flags SIGKILL random\n"
+               "         busy workers to drill the recovery machinery)\n"
+               "  sweep-worker <clips> [--checkpoint ckpt.jsonl]\n"
+               "        [--checkpoint-base merged.jsonl] [--heartbeat-sec S]\n"
+               "        [rule...]\n"
+               "        (serves the fleet protocol on stdin/stdout; rules\n"
+               "         default to the full Table-3 set; --checkpoint-base\n"
+               "         derives the per-worker file from $OPTR_SWEEP_SLOT)\n");
   return 2;
 }
 
@@ -364,6 +394,202 @@ int cmdBatch(int argc, char** argv) {
   return report.crashed > 0 ? 1 : 0;
 }
 
+int cmdSweepCoordinator(int argc, char** argv) {
+  if (argc < 5) return usage();
+  auto clips = loadOrFail(argv[2]);
+  if (!clips) return 1;
+
+  harness::SweepCoordinatorOptions opt;
+  opt.router.mip.timeLimitSec = 20;
+  opt.router.formulation.netBBoxMargin = 3;
+  opt.router.formulation.netLayerMargin = 1;
+  opt.checkpointPath = argv[3];
+
+  std::string tracePath;
+  bool wantMetrics = false;
+  std::vector<tech::RuleConfig> rules;
+  for (int a = 4; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto needValue = [&](const char* flag) -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++a];
+    };
+    if (arg == "--workers") {
+      const char* v = needValue("--workers");
+      if (!v) return 2;
+      opt.workers = std::atoi(v);
+      if (opt.workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--lease-sec") {
+      const char* v = needValue("--lease-sec");
+      if (!v) return 2;
+      opt.leaseSec = std::atof(v);
+      continue;
+    }
+    if (arg == "--task-timeout") {
+      const char* v = needValue("--task-timeout");
+      if (!v) return 2;
+      opt.taskTimeoutSec = std::atof(v);
+      continue;
+    }
+    if (arg == "--max-attempts") {
+      const char* v = needValue("--max-attempts");
+      if (!v) return 2;
+      opt.maxAttempts = std::atoi(v);
+      continue;
+    }
+    if (arg == "--worker-cmd") {
+      const char* v = needValue("--worker-cmd");
+      if (!v) return 2;
+      opt.workerCommand = v;
+      continue;
+    }
+    if (arg == "--chaos-kills") {
+      const char* v = needValue("--chaos-kills");
+      if (!v) return 2;
+      opt.chaosMaxKills = std::atoi(v);
+      if (opt.chaosKillProb <= 0.0) opt.chaosKillProb = 0.05;
+      continue;
+    }
+    if (arg == "--chaos-prob") {
+      const char* v = needValue("--chaos-prob");
+      if (!v) return 2;
+      opt.chaosKillProb = std::atof(v);
+      continue;
+    }
+    if (arg == "--chaos-seed") {
+      const char* v = needValue("--chaos-seed");
+      if (!v) return 2;
+      opt.chaosSeed = static_cast<std::uint64_t>(std::atoll(v));
+      continue;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      tracePath = arg.substr(std::strlen("--trace="));
+      continue;
+    }
+    if (arg == "--metrics") {
+      wantMetrics = true;
+      continue;
+    }
+    auto ruleOr = tech::ruleByName(argv[a]);
+    if (!ruleOr) {
+      std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
+      return 1;
+    }
+    rules.push_back(ruleOr.value());
+  }
+  if (rules.empty()) return usage();
+
+  if (!tracePath.empty()) {
+    Status ts = obs::TraceSession::start(tracePath);
+    if (!ts) {
+      std::fprintf(stderr, "--trace: %s\n", ts.message().c_str());
+      return 1;
+    }
+  }
+  obs::MetricsSnapshot before = obs::metrics().snapshot();
+
+  harness::FleetReport report =
+      harness::SweepCoordinator(opt).run(clips.value(), rules);
+
+  if (!tracePath.empty()) obs::TraceSession::stop();
+  if (!report.status.isOk()) {
+    std::fprintf(stderr, "fleet: %s\n", report.status.message().c_str());
+  }
+
+  report::Table table({"Clip", "Rule", "status", "provenance", "error",
+                       "cost", "nodes", "seconds"});
+  for (const harness::BatchRow& row : report.rows) {
+    bool solved = row.status == core::RouteStatus::kOptimal ||
+                  row.status == core::RouteStatus::kFeasible;
+    table.addRow({row.clipId, row.ruleName, core::toString(row.status),
+                  core::toString(row.provenance),
+                  row.errorCode == ErrorCode::kOk ? "-"
+                                                  : toString(row.errorCode),
+                  solved ? strFormat("%.0f", row.cost) : "-",
+                  std::to_string(row.nodes), strFormat("%.1f", row.seconds)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\ntasks: %d run, %d resumed (%d recovered from worker files), "
+      "%d quarantined\nfleet: %d leases (%d reassigned, %d expired), "
+      "%d workers spawned, %d deaths (%d chaos), %d duplicate / %d stale "
+      "results, %d nacks, %d garbled lines\n",
+      report.executed, report.resumed, report.recoveredFromWorkerFiles,
+      report.quarantined, report.leasesGranted, report.leasesReassigned,
+      report.leasesExpired, report.workersSpawned, report.workerDeaths,
+      report.chaosKills, report.duplicateResults, report.staleResults,
+      report.nacks, report.garbledMessages);
+  if (wantMetrics) {
+    obs::MetricsSnapshot after = obs::metrics().snapshot();
+    std::printf("\nmetrics (this run):\n%s\n",
+                obs::MetricsSnapshot::delta(after, before).toJson().c_str());
+  }
+  if (!tracePath.empty()) {
+    std::printf("trace written to %s\n", tracePath.c_str());
+  }
+  if (!report.status.isOk()) return 1;
+  return report.quarantined > 0 ? 1 : 0;
+}
+
+int cmdSweepWorker(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto clips = loadOrFail(argv[2]);
+  if (!clips) return 1;
+
+  harness::SweepWorkerOptions wo;
+  // Router defaults must match the coordinator's: the equivalence contract
+  // assumes every process solves with identical options.
+  wo.router.mip.timeLimitSec = 20;
+  wo.router.formulation.netBBoxMargin = 3;
+  wo.router.formulation.netLayerMargin = 1;
+  const char* slotEnv = std::getenv("OPTR_SWEEP_SLOT");
+  wo.workerId = slotEnv ? "w" + std::string(slotEnv)
+                        : "pid" + std::to_string(getpid());
+
+  std::vector<tech::RuleConfig> rules;
+  for (int a = 3; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--checkpoint" && a + 1 < argc) {
+      wo.checkpointPath = argv[++a];
+      continue;
+    }
+    if (arg == "--checkpoint-base" && a + 1 < argc) {
+      // Derive the per-worker file the coordinator merges on restart.
+      int slot = slotEnv ? std::atoi(slotEnv) : 0;
+      wo.checkpointPath = harness::workerCheckpointPath(argv[++a], slot);
+      continue;
+    }
+    if (arg == "--heartbeat-sec" && a + 1 < argc) {
+      wo.heartbeatSec = std::atof(argv[++a]);
+      continue;
+    }
+    auto ruleOr = tech::ruleByName(argv[a]);
+    if (!ruleOr) {
+      std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
+      return 1;
+    }
+    rules.push_back(ruleOr.value());
+  }
+  if (rules.empty()) rules = tech::table3Rules();
+
+  // stdout IS the protocol channel: nothing above may have printed to it.
+  Status st = harness::SweepWorker(wo).serve(/*inFd=*/0, /*outFd=*/1,
+                                             clips.value(), rules);
+  if (!st.isOk()) {
+    std::fprintf(stderr, "sweep-worker: %s\n", st.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmdImprove(int argc, char** argv) {
   if (argc < 4) return usage();
   auto clips = loadOrFail(argv[2]);
@@ -412,5 +638,9 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "sweep")) return cmdSweep(argc, argv);
   if (!std::strcmp(argv[1], "batch")) return cmdBatch(argc, argv);
   if (!std::strcmp(argv[1], "improve")) return cmdImprove(argc, argv);
+  if (!std::strcmp(argv[1], "sweep-coordinator")) {
+    return cmdSweepCoordinator(argc, argv);
+  }
+  if (!std::strcmp(argv[1], "sweep-worker")) return cmdSweepWorker(argc, argv);
   return usage();
 }

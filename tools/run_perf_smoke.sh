@@ -10,6 +10,13 @@
 #     optimal by both a serial and a parallel pass disagrees on the
 #     objective -- that is the gate this script enforces.
 #
+# It then runs bench_fleet, the distributed-sweep chaos gate: the
+# lease-based coordinator/worker fleet (with workers SIGKILLed mid-solve)
+# must produce byte-identical proven results to the in-process BatchRunner,
+# lose no tasks, duplicate no tasks, and resume entirely from its merged
+# checkpoint after a simulated coordinator restart. bench_fleet exits
+# nonzero on any violation.
+#
 # It then runs bench_sweep, the session-reuse correctness gate: over the
 # full example-clip x Table 3 rule sweep at mip.threads 1 and N, every task
 # that BOTH the ClipSession-reuse path and the per-(clip, rule) rebuild
@@ -37,7 +44,7 @@ fi
 
 echo "=== configuring Release into build-perf/ ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build build-perf -j --target bench_runtime bench_sweep > /dev/null
+cmake --build build-perf -j --target bench_runtime bench_sweep bench_fleet > /dev/null
 
 cores="$(nproc 2> /dev/null || echo 1)"
 if [[ "${cores}" -lt "${threads}" ]]; then
@@ -104,10 +111,13 @@ if ser["routeSolves"] == 0 and ser["lpPivots"] == 0:
 sys.exit(bad)
 EOF
 
+echo "=== bench_fleet (distributed-sweep chaos equivalence gate) ==="
+build-perf/bench/bench_fleet --out build-perf/BENCH_fleet.json
+
 echo "=== bench_sweep --threads ${threads} (session-reuse equivalence gate) ==="
 build-perf/bench/bench_sweep --threads "${threads}" \
   --out build-perf/BENCH_sweep.json
 
 echo "=== perf smoke OK: no objective divergence, work conserved, ==="
-echo "=== session reuse result-equivalent ==="
-echo "    trajectories: build-perf/BENCH_runtime.json build-perf/BENCH_sweep.json"
+echo "=== fleet chaos-equivalent, session reuse result-equivalent ==="
+echo "    trajectories: build-perf/BENCH_runtime.json build-perf/BENCH_fleet.json build-perf/BENCH_sweep.json"

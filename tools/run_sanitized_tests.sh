@@ -35,9 +35,11 @@ done
 
 # Tests that exercise the parallel solve paths (parallel B&B, thread-pool
 # batch evaluation, concurrent fault probes) plus the observability layer
-# (lock-free trace rings, relaxed-atomic metric counters) -- the TSan leg's
-# target set. ctest registers gtest suite names, so the filter matches those.
-tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession'
+# (lock-free trace rings, relaxed-atomic metric counters) and the fleet
+# machinery (worker heartbeat threads, multi-process lease traffic) -- the
+# TSan leg's target set. ctest registers gtest suite names, so the filter
+# matches those.
+tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession|SweepFleet|SweepWorker|SweepProtocol|LeaseTable|CheckpointIO|RetryPolicy'
 
 status=0
 for san in "${configs[@]}"; do
