@@ -1,0 +1,263 @@
+// LP-kernel microbenchmark with its own machine-readable trajectory.
+//
+// The simplex engine is the hot path of the whole stack (~100k pivots per
+// bench_runtime pass), but bench_runtime only sees it through the MIP, where
+// node counts and separation rounds blur what the kernel itself costs. This
+// bench isolates the kernel: it solves the LP relaxations of the same
+// synthetic example clips, then replays a branch-and-bound-shaped sequence
+// of bound-tightened re-solves, under every kernel configuration --
+//   pricing      dantzig | devex     (SimplexOptions::pricing)
+//   dual restart on | off            (SimplexOptions::dualRestart)
+// -- and emits BENCH_lp.json with pivots, dual pivots, refactorizations,
+// wall time, and pivots/sec per configuration.
+//
+// The run FAILS (exit 1) when any two configurations disagree on a solve's
+// status or optimal objective: pricing and restart strategy are performance
+// knobs and must never change what is proven.
+//
+// Usage: bench_lp [--repeats N] [--out path.json]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/formulation.h"
+#include "grid/routing_graph.h"
+#include "lp/simplex.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+#include "test_support.h"
+
+using namespace optr;
+
+namespace {
+
+struct KernelConfig {
+  const char* name;
+  lp::PricingRule pricing;
+  bool dualRestart;
+};
+
+constexpr KernelConfig kConfigs[] = {
+    {"dantzig-cold", lp::PricingRule::kDantzig, false},
+    {"dantzig-dual", lp::PricingRule::kDantzig, true},
+    {"devex-cold", lp::PricingRule::kDevex, false},
+    {"devex-dual", lp::PricingRule::kDevex, true},
+};
+
+struct ClipLp {
+  std::string name;
+  lp::LpModel model;           // base relaxation (root bounds)
+  std::vector<int> tightenCols;  // integer columns fixed to 0, one per step
+};
+
+struct SolveRecord {
+  lp::LpStatus status;
+  double objective;
+};
+
+struct ConfigStat {
+  std::string name;
+  std::string pricing;
+  bool dualRestart = false;
+  double wallMs = 0.0;
+  std::int64_t pivots = 0;
+  std::int64_t dualPivots = 0;
+  std::int64_t refactorizations = 0;
+  std::int64_t solves = 0;
+  std::int64_t dualRestartsUsed = 0;
+  double pivotsPerSec() const {
+    return wallMs > 0 ? static_cast<double>(pivots) / (wallMs / 1000.0) : 0.0;
+  }
+};
+
+/// The same switchbox shapes bench_runtime times end-to-end; here only their
+/// LP relaxations matter, so a handful of sizes covers the row-count range.
+std::vector<ClipLp> buildClipLps() {
+  struct Spec {
+    const char* name;
+    int tx, ty, layers, nets;
+    std::uint64_t seed;
+    const char* rule;
+  };
+  const Spec specs[] = {
+      {"sb5x6_s1", 5, 6, 3, 3, 1, "RULE1"},
+      {"sb6x6_s11", 6, 6, 3, 3, 11, "RULE1"},
+      {"sb6x8_s5", 6, 8, 3, 3, 5, "RULE1"},
+      {"sb6x8_s13", 6, 8, 3, 3, 13, "RULE8"},
+  };
+  auto techn = tech::Technology::n28_12t();
+  std::vector<ClipLp> out;
+  for (const Spec& s : specs) {
+    clip::Clip c =
+        bench::syntheticSwitchbox(s.tx, s.ty, s.layers, s.nets, s.seed);
+    auto rule = tech::ruleByName(s.rule).value();
+    grid::RoutingGraph graph(c, techn, rule);
+    core::FormulationOptions fo;
+    fo.netBBoxMargin = 3;
+    fo.netLayerMargin = 1;
+    core::Formulation formulation(c, graph, fo);
+    ClipLp cl;
+    cl.name = s.name;
+    cl.model = formulation.model();  // copy: the bench owns its bounds
+    // Branch-like tightening schedule: every 7th integer column that is
+    // actually free gets fixed to its lower bound, up to 12 steps. The
+    // schedule depends only on the model, so every configuration replays
+    // the identical sequence.
+    const std::vector<bool>& isInt = formulation.integrality();
+    for (int col = 0; col < cl.model.numCols() &&
+                      static_cast<int>(cl.tightenCols.size()) < 12;
+         ++col) {
+      if (!isInt[col] || cl.model.upper(col) <= cl.model.lower(col)) continue;
+      if (col % 7 == 0) cl.tightenCols.push_back(col);
+    }
+    out.push_back(std::move(cl));
+  }
+  return out;
+}
+
+/// Runs one configuration over every clip sequence, `repeats` times.
+/// Fills `records` on the first run (reference) or checks against it.
+bool runConfig(const KernelConfig& cfg, const std::vector<ClipLp>& clips,
+               int repeats, ConfigStat& stat,
+               std::vector<SolveRecord>& records, bool isReference) {
+  stat.name = cfg.name;
+  stat.pricing = lp::toString(cfg.pricing);
+  stat.dualRestart = cfg.dualRestart;
+  bool ok = true;
+  std::size_t rec = 0;
+  auto check = [&](const lp::LpResult& r, const std::string& where) {
+    SolveRecord sr{r.status, r.status == lp::LpStatus::kOptimal ? r.objective
+                                                                : 0.0};
+    if (isReference) {
+      records.push_back(sr);
+      return;
+    }
+    if (rec >= records.size()) {
+      std::fprintf(stderr, "FAIL: %s: more solves than reference at %s\n",
+                   cfg.name, where.c_str());
+      ok = false;
+      return;
+    }
+    const SolveRecord& ref = records[rec++];
+    if (ref.status != sr.status ||
+        std::abs(ref.objective - sr.objective) >
+            1e-6 * std::max(1.0, std::abs(ref.objective))) {
+      std::fprintf(stderr,
+                   "FAIL: %s vs reference at %s: status %s/%s obj %.9f/%.9f\n",
+                   cfg.name, where.c_str(), lp::toString(sr.status),
+                   lp::toString(ref.status), sr.objective, ref.objective);
+      ok = false;
+    }
+  };
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repeats; ++rep) {
+    // Only the first repeat feeds/checks the record stream; the rest are
+    // timing samples of the identical deterministic sequence.
+    bool observe = rep == 0;
+    for (const ClipLp& cl : clips) {
+      lp::LpModel model = cl.model;
+      lp::SimplexOptions o;
+      o.pricing = cfg.pricing;
+      o.dualRestart = cfg.dualRestart;
+      lp::SimplexSolver solver(o);
+      lp::LpResult r = solver.solve(model);
+      stat.pivots += r.iterations;
+      stat.dualPivots += r.dualPivots;
+      stat.refactorizations += r.refactorizations;
+      if (r.usedDualRestart) ++stat.dualRestartsUsed;
+      ++stat.solves;
+      if (observe) check(r, cl.name + "/cold");
+      for (std::size_t step = 0; step < cl.tightenCols.size(); ++step) {
+        int col = cl.tightenCols[step];
+        model.setBounds(col, model.lower(col), model.lower(col));
+        r = solver.canContinue(model) ? solver.solveContinue(model)
+                                      : solver.solve(model);
+        stat.pivots += r.iterations;
+        stat.dualPivots += r.dualPivots;
+        stat.refactorizations += r.refactorizations;
+        if (r.usedDualRestart) ++stat.dualRestartsUsed;
+        ++stat.solves;
+        if (observe)
+          check(r, cl.name + "/tighten" + std::to_string(step));
+      }
+    }
+  }
+  stat.wallMs = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  if (!isReference && ok && rec != records.size()) {
+    std::fprintf(stderr, "FAIL: %s: fewer solves than reference (%zu/%zu)\n",
+                 cfg.name, rec, records.size());
+    ok = false;
+  }
+  return ok;
+}
+
+void emitJson(const std::string& path, int repeats,
+              const std::vector<ConfigStat>& stats) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"lp_kernel\",\n";
+  out << "  \"repeats\": " << repeats << ",\n";
+  out << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const ConfigStat& s = stats[i];
+    out << "    {\"config\": \"" << s.name << "\", \"pricing\": \""
+        << s.pricing << "\", \"dualRestart\": "
+        << (s.dualRestart ? "true" : "false") << ", \"solves\": " << s.solves
+        << ", \"pivots\": " << s.pivots << ", \"dualPivots\": " << s.dualPivots
+        << ", \"refactorizations\": " << s.refactorizations
+        << ", \"dualRestartsUsed\": " << s.dualRestartsUsed
+        << ", \"wallMs\": " << s.wallMs
+        << ", \"pivotsPerSec\": " << s.pivotsPerSec() << "}"
+        << (i + 1 < stats.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 5;
+  std::string outPath = "BENCH_lp.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--repeats") == 0 && a + 1 < argc) {
+      repeats = std::atoi(argv[++a]);
+      if (repeats < 1) repeats = 1;
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      outPath = argv[++a];
+    } else {
+      std::fprintf(stderr, "usage: bench_lp [--repeats N] [--out path.json]\n");
+      return 2;
+    }
+  }
+
+  std::vector<ClipLp> clips = buildClipLps();
+  std::vector<SolveRecord> records;
+  std::vector<ConfigStat> stats(std::size(kConfigs));
+  bool ok = true;
+  for (std::size_t i = 0; i < std::size(kConfigs); ++i) {
+    ok &= runConfig(kConfigs[i], clips, repeats, stats[i], records, i == 0);
+    std::printf(
+        "%-13s solves=%lld pivots=%lld dual=%lld refactor=%lld wall=%.1fms "
+        "pivots/sec=%.0f\n",
+        stats[i].name.c_str(), static_cast<long long>(stats[i].solves),
+        static_cast<long long>(stats[i].pivots),
+        static_cast<long long>(stats[i].dualPivots),
+        static_cast<long long>(stats[i].refactorizations), stats[i].wallMs,
+        stats[i].pivotsPerSec());
+  }
+  emitJson(outPath, repeats, stats);
+  std::printf("wrote %s\n", outPath.c_str());
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: kernel configurations disagree on proven results\n");
+    return 1;
+  }
+  return 0;
+}

@@ -28,9 +28,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "clip/clip.h"
 #include "core/formulation.h"
 #include "grid/routing_graph.h"
+#include "lp/simplex.h"
 #include "obs/trace.h"
 #include "route/route_solution.h"
 #include "tech/rules.h"
@@ -75,6 +78,20 @@ class ClipSession {
   /// Name of the rule the reference solution was routed under.
   const std::string& referenceRuleName() const { return referenceRule_; }
 
+  /// Cross-rule LP warm start: the root-relaxation basis of the most recent
+  /// solve over this session's formulation. Successive rules share the base
+  /// model and differ only in the rule layer (bounds/objective/rule rows),
+  /// which is exactly the bound-change pattern the simplex dual restart
+  /// exploits -- OptRouter seeds the next rule's root LP with this basis.
+  /// Unlike the reference solution, the LATEST basis sticks: it reflects the
+  /// current column geometry after any lazy rows.
+  void setRootBasis(std::shared_ptr<const lp::BasisSnapshot> basis) {
+    if (basis != nullptr) rootBasis_ = std::move(basis);
+  }
+  const std::shared_ptr<const lp::BasisSnapshot>& rootBasis() const {
+    return rootBasis_;
+  }
+
  private:
   clip::Clip clip_;  // owned: the session outlives transient batch rows
   ClipSessionOptions options_;
@@ -86,6 +103,7 @@ class ClipSession {
   bool hasReference_ = false;
   std::string referenceRule_;
   route::RouteSolution reference_;
+  std::shared_ptr<const lp::BasisSnapshot> rootBasis_;
 };
 
 }  // namespace optr::core

@@ -207,7 +207,19 @@ RouteResult OptRouter::solveModel(const clip::Clip& clip,
     }
   }
 
+  // Cross-rule LP warm start: seed the root relaxation with the session's
+  // last root basis. Rule layers change bounds/objective and swap rule rows
+  // on the shared base model, so the basis usually restores and is dual
+  // feasible -- the simplex dual restart then skips phase 1. Restore
+  // failures silently fall back to the cold slack basis, so this never
+  // affects results, only pivot counts.
+  if (session && session->rootBasis() != nullptr) {
+    mip.setRootBasis(session->rootBasis());
+    obs::metrics().counter("session.warmstart.basis").add();
+  }
+
   ilp::MipResult mr = mip.solve();
+  if (session) session->setRootBasis(mr.rootBasis);
   result.seconds = mr.seconds;
   result.nodes = mr.nodes;
   result.lpIterations = mr.lpIterations;

@@ -222,7 +222,7 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
   // from the heap when the dive bottoms out.
   bool haveCurrent = true;
   bool currentFromHeap = true;
-  Node current{{}, -lp::kInfinity, nullptr};
+  Node current{{}, -lp::kInfinity, rootBasisSeed_};
 
   ErrorCode limitReason = ErrorCode::kOk;
   while (haveCurrent || !open.empty()) {
@@ -286,6 +286,11 @@ MipResult MipSolver::solveSerial(std::chrono::steady_clock::time_point t0) {
       if (lpRes.status == lp::LpStatus::kOptimal) {
         ownBasis = lpSolver_.snapshot();
         warm = &ownBasis;
+        if (node.fixes.empty()) {
+          // Root-node basis (latest cut round wins): exported for
+          // cross-solve warm starts via MipResult::rootBasis.
+          result.rootBasis = std::make_shared<lp::BasisSnapshot>(ownBasis);
+        }
       }
 
       if (lpRes.status == lp::LpStatus::kInfeasible) break;
@@ -513,6 +518,9 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
     std::mutex cutMu;  // lazy-row pool + all separator invocations
     std::vector<PoolRow> pool;
 
+    std::mutex rootMu;  // root-basis export (root re-solves are rare)
+    std::shared_ptr<const lp::BasisSnapshot> rootBasis;
+
     std::atomic<std::int64_t> nodes{0};
     std::atomic<std::int64_t> lpIterations{0};
     std::atomic<int> numericRetries{0};
@@ -531,7 +539,7 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
     S.incumbentObj = incumbentObj_;
     S.incumbentBound.store(incumbentObj_, std::memory_order_relaxed);
   }
-  S.open.push(Node{{}, -lp::kInfinity, nullptr});
+  S.open.push(Node{{}, -lp::kInfinity, rootBasisSeed_});
 
   auto requestLimitStop = [&](ErrorCode code) {
     std::lock_guard<std::mutex> lk(S.mu);
@@ -721,6 +729,11 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
         if (lpRes.status == lp::LpStatus::kOptimal) {
           ownBasis = lps.snapshot();
           warm = &ownBasis;
+          if (current.fixes.empty()) {
+            auto snap = std::make_shared<lp::BasisSnapshot>(ownBasis);
+            std::lock_guard<std::mutex> rk(S.rootMu);
+            S.rootBasis = std::move(snap);
+          }
         }
 
         if (lpRes.status == lp::LpStatus::kInfeasible) break;
@@ -889,6 +902,7 @@ MipResult MipSolver::solveParallel(std::chrono::steady_clock::time_point t0) {
   result.numericRetries = S.numericRetries.load();
   result.separatorMisreports = S.separatorMisreports.load();
   result.workers = std::move(S.workers);
+  result.rootBasis = S.rootBasis;  // post-join: no lock needed
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -96,6 +96,15 @@ struct MipResult {
   /// One entry per worker (a serial solve reports a single entry); the
   /// per-field sums equal the totals above. See MipWorkerStats.
   std::vector<MipWorkerStats> workers;
+  /// Final basis of the last root-node LP solve (no branching fixes
+  /// applied), when that LP reached optimality. Feeding it back through
+  /// setRootBasis() on the next solve over the same formulation -- the
+  /// ClipSession rule-sweep pattern, where successive rules differ only in
+  /// bound overlays and truncated rule rows -- lets the root relaxation
+  /// warm-start (usually via the dual-simplex restart) instead of running
+  /// composite phase 1 from the slack basis. Null when the root LP never
+  /// reached optimality.
+  std::shared_ptr<const lp::BasisSnapshot> rootBasis;
 
   bool hasSolution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasibleLimit;
@@ -133,6 +142,14 @@ class MipSolver {
   /// the same rule checker that backs the separator. Invalid seeds are
   /// rejected (returns false) rather than silently corrupting the search.
   bool setInitialIncumbent(const std::vector<double>& x);
+
+  /// Seeds the root node's LP with a basis from a previous solve of a
+  /// structurally compatible model (same columns; rows may differ -- an
+  /// unrestorable basis silently falls back to the cold slack basis). The
+  /// canonical source is MipResult::rootBasis of the prior solve.
+  void setRootBasis(std::shared_ptr<const lp::BasisSnapshot> basis) {
+    rootBasisSeed_ = std::move(basis);
+  }
 
   MipResult solve();
 
@@ -178,6 +195,7 @@ class MipSolver {
   std::vector<double> incumbent_;
   double incumbentObj_ = 0.0;
   bool hasIncumbent_ = false;
+  std::shared_ptr<const lp::BasisSnapshot> rootBasisSeed_;
 
   std::chrono::steady_clock::time_point deadline_;
   mutable int timeCheckCountdown_ = 0;  // calls until the next clock query

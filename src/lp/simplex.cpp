@@ -8,6 +8,18 @@
 #include "obs/metrics.h"
 
 namespace optr::lp {
+namespace {
+
+// Devex reference weights above this are no longer trustworthy estimates of
+// the steepest-edge norms; reset the reference framework.
+constexpr double kDevexWeightLimit = 1e7;
+
+// Dual-simplex restarts are expected to finish in a handful of pivots; a
+// restart that grinds past this cap (per m rows) is degenerate-cycling or
+// numerically lost, and the primal fallback is cheaper than finding out.
+constexpr std::int64_t kDualPivotCapFloor = 100;
+
+}  // namespace
 
 const char* toString(LpStatus s) {
   switch (s) {
@@ -20,7 +32,15 @@ const char* toString(LpStatus s) {
   return "?";
 }
 
-double SimplexSolver::columnDot(int j, const std::vector<double>& y) const {
+const char* toString(PricingRule p) {
+  switch (p) {
+    case PricingRule::kDantzig: return "dantzig";
+    case PricingRule::kDevex: return "devex";
+  }
+  return "?";
+}
+
+double SimplexSolver::columnDot(int j, const double* y) const {
   if (j < numStruct_) {
     auto rows = model_->colRows(j);
     auto coefs = model_->colCoefs(j);
@@ -165,10 +185,20 @@ void SimplexSolver::setup(const LpModel& model, const BasisSnapshot* warm) {
   y_.assign(numRows_, 0.0);
   w_.assign(numRows_, 0.0);
   rhsWork_.assign(numRows_, 0.0);
+  p1Sig_.assign(numRows_, 0);
+  p1Violations_ = 0;
+  devexWeight_.assign(total, 1.0);
+  candidates_.clear();
+  refreshCandidates_ = true;
+  devexResetPending_ = false;
   iterations_ = 0;
   refactorCount_ = 0;
   degeneratePivots_ = 0;
   blandActivations_ = 0;
+  devexResets_ = 0;
+  candidatesPriced_ = 0;
+  dualPivots_ = 0;
+  usedDualRestart_ = false;
   stallCount_ = 0;
   blandMode_ = options_.forceBland;
   stateValid_ = false;
@@ -176,6 +206,7 @@ void SimplexSolver::setup(const LpModel& model, const BasisSnapshot* warm) {
 
 bool SimplexSolver::refactorize() {
   ++refactorCount_;
+  refreshCandidates_ = true;
   if (fault::fire(fault::Site::kSingularBasis)) return false;
   // Rebuild Binv by Gauss-Jordan elimination of the basis matrix B, stored
   // row-major with rows = constraint rows and columns = basis slots. The
@@ -282,6 +313,314 @@ double SimplexSolver::totalInfeasibility() const {
   return inf;
 }
 
+// ---------------------------------------------------------------------------
+// Duals.
+// ---------------------------------------------------------------------------
+
+void SimplexSolver::rebuildPhase2Duals() {
+  const int m = numRows_;
+  std::fill(y_.begin(), y_.end(), 0.0);
+  for (int slot = 0; slot < m; ++slot) {
+    int bj = basis_[slot];
+    double cb = bj < numStruct_ ? model_->objective(bj) : 0.0;
+    if (cb == 0.0) continue;
+    const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+    for (int r = 0; r < m; ++r) y_[r] += cb * row[r];
+  }
+}
+
+void SimplexSolver::p1Rebuild() {
+  const int m = numRows_;
+  p1Sig_.assign(m, 0);
+  p1Violations_ = 0;
+  std::fill(y_.begin(), y_.end(), 0.0);
+  for (int slot = 0; slot < m; ++slot) {
+    int bj = basis_[slot];
+    signed char sig = 0;
+    if (xb_[slot] < lowerB_[bj] - options_.feasTol) {
+      sig = -1;  // too low: increasing it reduces infeasibility
+    } else if (xb_[slot] > upperB_[bj] + options_.feasTol) {
+      sig = 1;
+    } else {
+      continue;
+    }
+    p1Sig_[slot] = sig;
+    ++p1Violations_;
+    const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+    double cb = sig;
+    for (int r = 0; r < m; ++r) y_[r] += cb * row[r];
+  }
+}
+
+void SimplexSolver::p1SyncSignatures(int excludeSlot) {
+  const int m = numRows_;
+  int viol = 0;
+  for (int s = 0; s < m; ++s) {
+    signed char ns = 0;
+    if (s != excludeSlot) {
+      int bj = basis_[s];
+      if (xb_[s] < lowerB_[bj] - options_.feasTol) {
+        ns = -1;
+      } else if (xb_[s] > upperB_[bj] + options_.feasTol) {
+        ns = 1;
+      }
+    }
+    if (ns != p1Sig_[s]) {
+      double delta = static_cast<double>(ns) - static_cast<double>(p1Sig_[s]);
+      const double* row = binv_.data() + static_cast<std::size_t>(s) * m;
+      for (int r = 0; r < m; ++r) y_[r] += delta * row[r];
+      p1Sig_[s] = ns;
+    }
+    if (ns != 0) ++viol;
+  }
+  p1Violations_ = viol;
+}
+
+// ---------------------------------------------------------------------------
+// Pricing.
+// ---------------------------------------------------------------------------
+
+void SimplexSolver::resetDevexWeights() {
+  std::fill(devexWeight_.begin(), devexWeight_.end(), 1.0);
+  devexResetPending_ = false;
+  refreshCandidates_ = true;
+  ++devexResets_;
+}
+
+void SimplexSolver::buildCandidateList() {
+  int k = options_.pricingCandidates > 0
+              ? options_.pricingCandidates
+              : std::clamp((numStruct_ + numSlack_) / 8, 16, 256);
+  if (static_cast<int>(scratchCand_.size()) > k) {
+    // Top-k by score; ties broken by column index so the list is
+    // deterministic regardless of the partition algorithm's internals.
+    std::nth_element(scratchCand_.begin(), scratchCand_.begin() + k,
+                     scratchCand_.end(),
+                     [](const std::pair<double, int>& a,
+                        const std::pair<double, int>& b) {
+                       return a.first > b.first ||
+                              (a.first == b.first && a.second < b.second);
+                     });
+    scratchCand_.resize(static_cast<std::size_t>(k));
+  }
+  candidates_.clear();
+  candidates_.reserve(scratchCand_.size());
+  for (const auto& [score, j] : scratchCand_) candidates_.push_back(j);
+  std::sort(candidates_.begin(), candidates_.end());
+}
+
+int SimplexSolver::priceFullScan(bool phase1, double& dEnter, int& enterDir) {
+  const bool devex = !blandMode_ && options_.pricing == PricingRule::kDevex;
+  int entering = -1;
+  double bestDantzig = options_.optTol;  // |d| must beat optTol to improve
+  double bestDevex = 0.0;
+  scratchCand_.clear();
+  // Returns true to short-circuit the scan (Bland takes the first improver).
+  auto consider = [&](int j, double d) -> bool {
+    VarState st = state_[j];
+    int dir;
+    if (st == VarState::kAtLower && d < -options_.optTol) {
+      dir = +1;
+    } else if (st == VarState::kAtUpper && d > options_.optTol) {
+      dir = -1;
+    } else {
+      return false;
+    }
+    if (blandMode_) {
+      entering = j;
+      enterDir = dir;
+      dEnter = d;
+      return true;
+    }
+    if (devex) {
+      double score = d * d / devexWeight_[j];
+      scratchCand_.emplace_back(score, j);
+      if (score > bestDevex) {
+        bestDevex = score;
+        entering = j;
+        enterDir = dir;
+        dEnter = d;
+      }
+    } else if (std::abs(d) > bestDantzig) {
+      bestDantzig = std::abs(d);
+      entering = j;
+      enterDir = dir;
+      dEnter = d;
+    }
+    return false;
+  };
+  // Structural columns: inline the sparse dot instead of the generic
+  // columnDot dispatch. In phase 1 the nonbasic cost is zero, so the
+  // reduced cost is just -y . A_j.
+  const double* y = y_.data();
+  for (int j = 0; j < numStruct_; ++j) {
+    if (state_[j] == VarState::kBasic || lowerB_[j] == upperB_[j]) continue;
+    auto rows = model_->colRows(j);
+    auto coefs = model_->colCoefs(j);
+    double dot = 0;
+    for (std::size_t k = 0; k < rows.size(); ++k) dot += y[rows[k]] * coefs[k];
+    double cj = phase1 ? 0.0 : model_->objective(j);
+    if (consider(j, cj - dot)) return entering;
+  }
+  // Slack columns: cost 0, one +/-1 coefficient in their own row.
+  for (int s = 0; s < numSlack_; ++s) {
+    int j = numStruct_ + s;
+    if (state_[j] == VarState::kBasic) continue;
+    int r = slackRowOf_[s];
+    if (consider(j, -y[r] * slackSign_[r])) return entering;
+  }
+  // Artificial columns are pinned to [0,0] and can never re-enter; they are
+  // hoisted out of the scan entirely.
+  if (devex && entering >= 0) buildCandidateList();
+  return entering;
+}
+
+int SimplexSolver::priceCandidateList(bool phase1, double& dEnter,
+                                      int& enterDir) {
+  int entering = -1;
+  double bestDevex = 0.0;
+  std::size_t keep = 0;
+  candidatesPriced_ += static_cast<std::int64_t>(candidates_.size());
+  const double* y = y_.data();
+  for (int j : candidates_) {
+    VarState st = state_[j];
+    if (st == VarState::kBasic) continue;  // entered meanwhile: drop
+    double cj = phase1 ? 0.0 : (j < numStruct_ ? model_->objective(j) : 0.0);
+    double d = cj - columnDot(j, y);
+    int dir;
+    if (st == VarState::kAtLower && d < -options_.optTol) {
+      dir = +1;
+    } else if (st == VarState::kAtUpper && d > options_.optTol) {
+      dir = -1;
+    } else {
+      continue;  // no longer improving: drop from the list
+    }
+    candidates_[keep++] = j;
+    double score = d * d / devexWeight_[j];
+    if (score > bestDevex) {
+      bestDevex = score;
+      entering = j;
+      enterDir = dir;
+      dEnter = d;
+    }
+  }
+  candidates_.resize(keep);
+  return entering;
+}
+
+int SimplexSolver::selectEntering(bool phase1, double& dEnter, int& enterDir) {
+  if (blandMode_ || options_.pricing == PricingRule::kDantzig)
+    return priceFullScan(phase1, dEnter, enterDir);
+  if (devexResetPending_) resetDevexWeights();
+  if (!refreshCandidates_ && !candidates_.empty()) {
+    int entering = priceCandidateList(phase1, dEnter, enterDir);
+    if (entering >= 0) return entering;
+    // Exhausted list: optimality may NOT be concluded from a subset; fall
+    // through to the authoritative full scan (which also rebuilds the list).
+  }
+  refreshCandidates_ = false;
+  return priceFullScan(phase1, dEnter, enterDir);
+}
+
+void SimplexSolver::updateDevexWeights(int entering, int leaving,
+                                       int leavingSlot, double piv) {
+  // Reference-framework Devex (Forrest-Goldfarb): gamma_q approximates the
+  // steepest-edge norm of the entering column; the leaving variable inherits
+  // max(gamma_q / piv^2, 1), and any still-listed candidate j updates to
+  // max(gamma_j, (alpha_rj / piv)^2 * gamma_q) where alpha_rj / piv is its
+  // dot with the NEW pivot row. Only candidates are touched -- the point of
+  // partial pricing is to never walk all columns per pivot.
+  const double gq = devexWeight_[entering];
+  devexWeight_[leaving] = std::max(gq / (piv * piv), 1.0);
+  const double* pivotRow =
+      binv_.data() + static_cast<std::size_t>(leavingSlot) * numRows_;
+  double maxW = devexWeight_[leaving];
+  for (int j : candidates_) {
+    if (j == entering || state_[j] == VarState::kBasic) continue;
+    double alpha = columnDot(j, pivotRow);
+    double cand = alpha * alpha * gq;
+    if (cand > devexWeight_[j]) devexWeight_[j] = cand;
+    if (devexWeight_[j] > maxW) maxW = devexWeight_[j];
+  }
+  if (maxW > kDevexWeightLimit) devexResetPending_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Pivot application (shared by the primal and dual phases).
+// ---------------------------------------------------------------------------
+
+void SimplexSolver::computeW(int entering) {
+  const int m = numRows_;
+  if (entering < numStruct_) {
+    auto rows = model_->colRows(entering);
+    auto coefs = model_->colCoefs(entering);
+    const std::size_t nnz = rows.size();
+    // One ascending pass over the inverse: each slot row is gathered at the
+    // column's nonzero offsets. Compared with the historical per-nonzero
+    // stride-m accumulate, the same cache lines are touched in prefetchable
+    // address order, once.
+    for (int slot = 0; slot < m; ++slot) {
+      const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+      double acc = 0;
+      for (std::size_t k = 0; k < nnz; ++k) acc += row[rows[k]] * coefs[k];
+      w_[slot] = acc;
+    }
+  } else if (entering < numStruct_ + numSlack_) {
+    int r = slackRowOf_[entering - numStruct_];
+    const double sgn = slackSign_[r];
+    const double* col = binv_.data() + r;
+    for (int slot = 0; slot < m; ++slot)
+      w_[slot] = col[static_cast<std::size_t>(slot) * m] * sgn;
+  } else {
+    int r = artRowOf_[entering - numStruct_ - numSlack_];
+    const double* col = binv_.data() + r;
+    for (int slot = 0; slot < m; ++slot)
+      w_[slot] = col[static_cast<std::size_t>(slot) * m];
+  }
+}
+
+void SimplexSolver::applyStep(int entering, int leavingSlot,
+                              bool leavingToUpper, double step) {
+  const int m = numRows_;
+  for (int slot = 0; slot < m; ++slot) {
+    xb_[slot] -= step * w_[slot];
+    value_[basis_[slot]] = xb_[slot];
+  }
+  double enterValue = value_[entering] + step;
+
+  int leaving = basis_[leavingSlot];
+  state_[leaving] = leavingToUpper ? VarState::kAtUpper : VarState::kAtLower;
+  value_[leaving] = leavingToUpper ? upperB_[leaving] : lowerB_[leaving];
+  basisSlot_[leaving] = -1;
+
+  basis_[leavingSlot] = entering;
+  basisSlot_[entering] = leavingSlot;
+  state_[entering] = VarState::kBasic;
+  xb_[leavingSlot] = enterValue;
+  value_[entering] = enterValue;
+}
+
+bool SimplexSolver::updateBasisInverse(int leavingSlot) {
+  const int m = numRows_;
+  double piv = w_[leavingSlot];
+  if (std::abs(piv) < options_.pivotTol) return false;
+  double invPiv = 1.0 / piv;
+  double* pivotRow = binv_.data() + static_cast<std::size_t>(leavingSlot) * m;
+  for (int k = 0; k < m; ++k) pivotRow[k] *= invPiv;
+  for (int slot = 0; slot < m; ++slot) {
+    if (slot == leavingSlot) continue;
+    double f = w_[slot];
+    if (f == 0.0) continue;
+    double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
+    for (int k = 0; k < m; ++k) row[k] -= f * pivotRow[k];
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Primal phases.
+// ---------------------------------------------------------------------------
+
 LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
   const int m = numRows_;
   const bool hasDeadline = options_.deadlineSeconds > 0;
@@ -292,119 +631,68 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
               hasDeadline ? options_.deadlineSeconds : 0.0));
   constexpr double kTieTol = 1e-9;
   int sinceRefactor = 0;
-  // Periodic refactorization costs O(m^3); at large m let the product-form
-  // updates run longer between rebuilds (the post-solve feasibility check
-  // catches accumulated drift and retries from a fresh factorization).
-  // Tiny configured intervals are honored verbatim so tests can force the
-  // refactorization path on small models.
   const int refactorInterval =
-      options_.refactorInterval <= 16 ? std::max(options_.refactorInterval, 1)
-                                      : std::max(options_.refactorInterval, m);
+      SimplexOptions::effectiveRefactorInterval(options_.refactorInterval, m);
   yValid_ = false;
+  refreshCandidates_ = true;
+  // Phase-1 incremental dual validity: the signature duals are rebuilt on
+  // entry and after refactorization, and kept current per pivot otherwise.
+  bool p1Fresh = false;
   for (;;) {
     if (iterationBudget-- <= 0) {
       stopReason_ = ErrorCode::kIterationLimit;
       return LpStatus::kIterLimit;
     }
-    if (hasDeadline && (iterations_ & 63) == 0 &&
-        std::chrono::steady_clock::now() >= deadline) {
-      stopReason_ = ErrorCode::kDeadline;
-      return LpStatus::kIterLimit;
-    }
-    if (fault::fire(fault::Site::kLpDeadline)) {
-      stopReason_ = ErrorCode::kDeadline;
-      return LpStatus::kIterLimit;
+    // Deadline check and fault probe share one cadence: no clock query and
+    // no fault-site branch on 63 of every 64 pivots. Each solve resets
+    // iterations_ to 0, so every solve is probed at least once up front.
+    if ((iterations_ & 63) == 0) {
+      if (hasDeadline && std::chrono::steady_clock::now() >= deadline) {
+        stopReason_ = ErrorCode::kDeadline;
+        return LpStatus::kIterLimit;
+      }
+      if (fault::fire(fault::Site::kLpDeadline)) {
+        stopReason_ = ErrorCode::kDeadline;
+        return LpStatus::kIterLimit;
+      }
     }
     ++iterations_;
 
-    // Phase-1 costs are the violation signature of the current basis; they
-    // change every pivot, so y is rebuilt. Phase-2 costs are static, so y
-    // is rebuilt once and then updated incrementally per pivot (O(m)).
-    if (phase1 || !yValid_) {
-      std::fill(y_.begin(), y_.end(), 0.0);
-      bool anyViolation = false;
-      for (int slot = 0; slot < m; ++slot) {
-        int bj = basis_[slot];
-        double cb;
-        if (phase1) {
-          if (xb_[slot] < lowerB_[bj] - options_.feasTol) {
-            cb = -1.0;  // too low: increasing it reduces infeasibility
-            anyViolation = true;
-          } else if (xb_[slot] > upperB_[bj] + options_.feasTol) {
-            cb = 1.0;
-            anyViolation = true;
-          } else {
-            continue;
-          }
-        } else {
-          cb = bj < numStruct_ ? model_->objective(bj) : 0.0;
-          if (cb == 0.0) continue;
-        }
-        const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
-        for (int r = 0; r < m; ++r) y_[r] += cb * row[r];
+    // Phase-1 costs are the violation signature of the current basis. The
+    // signatures are recomputed exactly from xb_ every pivot (O(m)), but the
+    // dense dual rebuild they historically forced is now incremental: only
+    // signature *changes* touch y_, via contiguous row adds. Phase-2 costs
+    // are static; y is rebuilt once and updated incrementally per pivot.
+    if (phase1) {
+      if (!p1Fresh) {
+        p1Rebuild();
+        p1Fresh = true;
       }
-      if (phase1 && !anyViolation) return LpStatus::kOptimal;  // feasible
-      yValid_ = !phase1;
+      if (p1Violations_ == 0) return LpStatus::kOptimal;  // feasible
+    } else if (!yValid_) {
+      rebuildPhase2Duals();
+      yValid_ = true;
     }
 
-    // Pricing (Dantzig; Bland when stalled). In phase 1 the nonbasic costs
-    // are zero, so the reduced cost is just -y . A_j.
     int entering = -1;
-    double bestScore = options_.optTol;
     double dEnter = 0;
     int enterDir = 0;
-    for (int j = 0; j < totalCols(); ++j) {
-      VarState st = state_[j];
-      if (st == VarState::kBasic) continue;
-      if (lowerB_[j] == upperB_[j]) continue;  // fixed (incl. artificials)
-      double cj = phase1 ? 0.0 : (j < numStruct_ ? model_->objective(j) : 0.0);
-      double d = cj - columnDot(j, y_);
-      double score;
-      int dir;
-      if (st == VarState::kAtLower && d < -options_.optTol) {
-        score = -d;
-        dir = +1;
-      } else if (st == VarState::kAtUpper && d > options_.optTol) {
-        score = d;
-        dir = -1;
-      } else {
-        continue;
-      }
-      if (blandMode_) {
-        entering = j;
-        enterDir = dir;
-        dEnter = d;
-        break;
-      }
-      if (score > bestScore) {
-        bestScore = score;
-        entering = j;
-        enterDir = dir;
-        dEnter = d;
-      }
+    entering = selectEntering(phase1, dEnter, enterDir);
+    if (entering < 0 && phase1 && !blandMode_) {
+      // About to conclude minimal positive infeasibility. The incremental
+      // phase-1 duals may have drifted, so verify against a fresh rebuild
+      // and one more authoritative scan before giving up.
+      p1Rebuild();
+      p1Fresh = true;
+      if (p1Violations_ == 0) return LpStatus::kOptimal;
+      entering = selectEntering(phase1, dEnter, enterDir);
     }
     if (entering < 0) {
       // No improving column. Phase 1: infeasibility is minimal and positive.
       return phase1 ? LpStatus::kInfeasible : LpStatus::kOptimal;
     }
 
-    // w = Binv * A_entering.
-    std::fill(w_.begin(), w_.end(), 0.0);
-    auto accumulate = [&](int r, double coef) {
-      for (int slot = 0; slot < m; ++slot)
-        w_[slot] += binv_[static_cast<std::size_t>(slot) * m + r] * coef;
-    };
-    if (entering < numStruct_) {
-      auto rows = model_->colRows(entering);
-      auto coefs = model_->colCoefs(entering);
-      for (std::size_t k = 0; k < rows.size(); ++k)
-        accumulate(rows[k], coefs[k]);
-    } else if (entering < numStruct_ + numSlack_) {
-      int r = slackRowOf_[entering - numStruct_];
-      accumulate(r, slackSign_[r]);
-    } else {
-      accumulate(artRowOf_[entering - numStruct_ - numSlack_], 1.0);
-    }
+    computeW(entering);
 
     // Bounded ratio test; entering moves by t >= 0 in direction enterDir and
     // basics respond as xb -= t * enterDir * w. Infeasible basics block when
@@ -475,11 +763,15 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
       value_[entering] = (enterDir > 0) ? upperB_[entering] : lowerB_[entering];
       state_[entering] =
           (enterDir > 0) ? VarState::kAtUpper : VarState::kAtLower;
+      // A bound flip moves every basic value but no basis row: resync the
+      // phase-1 signatures (and their dual contributions) in place.
+      if (phase1 && p1Fresh) p1SyncSignatures(-1);
       continue;
     }
 
     if (tBest <= options_.feasTol) {
       ++degeneratePivots_;
+      if ((stallCount_ & 31) == 31) refreshCandidates_ = true;  // stalling
       if (++stallCount_ >= options_.blandAfterStalls && !blandMode_) {
         blandMode_ = true;
         ++blandActivations_;
@@ -489,42 +781,48 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
       blandMode_ = options_.forceBland;
     }
 
-    for (int slot = 0; slot < m; ++slot) {
-      xb_[slot] -= tBest * enterDir * w_[slot];
-      value_[basis_[slot]] = xb_[slot];
-    }
-    double enterValue = value_[entering] + tBest * enterDir;
+    const int leaving = basis_[leavingSlot];
+    const double piv = w_[leavingSlot];
+    applyStep(entering, leavingSlot, leavingToUpper, tBest * enterDir);
+    // Stage A of the phase-1 dual update: fold the post-step signature
+    // changes into y_ against the OLD basis-inverse rows, and remove the
+    // pivot slot's old contribution entirely (stage B re-adds it against
+    // the updated pivot row).
+    if (phase1 && p1Fresh) p1SyncSignatures(leavingSlot);
 
-    int leaving = basis_[leavingSlot];
-    state_[leaving] = leavingToUpper ? VarState::kAtUpper : VarState::kAtLower;
-    value_[leaving] = leavingToUpper ? upperB_[leaving] : lowerB_[leaving];
-    basisSlot_[leaving] = -1;
-
-    basis_[leavingSlot] = entering;
-    basisSlot_[entering] = leavingSlot;
-    state_[entering] = VarState::kBasic;
-    xb_[leavingSlot] = enterValue;
-    value_[entering] = enterValue;
-
-    double piv = w_[leavingSlot];
-    if (std::abs(piv) < options_.pivotTol) {
+    if (!updateBasisInverse(leavingSlot)) {
       if (!refactorize()) {
         stopReason_ = ErrorCode::kSingularBasis;
         return LpStatus::kNumericalError;
       }
+      p1Fresh = false;  // refactorize moved xb_ and replaced every row
       continue;
     }
-    double invPiv = 1.0 / piv;
-    double* pivotRow = binv_.data() + static_cast<std::size_t>(leavingSlot) * m;
-    for (int k = 0; k < m; ++k) pivotRow[k] *= invPiv;
-    for (int slot = 0; slot < m; ++slot) {
-      if (slot == leavingSlot) continue;
-      double f = w_[slot];
-      if (f == 0.0) continue;
-      double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
-      for (int k = 0; k < m; ++k) row[k] -= f * pivotRow[k];
-    }
-    if (!phase1 && yValid_) {
+    const double* pivotRow =
+        binv_.data() + static_cast<std::size_t>(leavingSlot) * m;
+    if (phase1 && p1Fresh) {
+      // Stage B: with row_s_new = row_s_old - w_s * row_l_new for s != l,
+      // the stage-A sum over old rows equals the same sum over new rows
+      // plus (sum_s c_s w_s) * row_l_new; subtract that surplus and add the
+      // entering variable's own signature term in one pass.
+      signed char cl = 0;
+      double ev = xb_[leavingSlot];
+      if (ev < lowerB_[entering] - options_.feasTol) {
+        cl = -1;
+      } else if (ev > upperB_[entering] + options_.feasTol) {
+        cl = 1;
+      }
+      double coef = static_cast<double>(cl);
+      for (int s = 0; s < m; ++s) {
+        if (s != leavingSlot && p1Sig_[s] != 0)
+          coef -= static_cast<double>(p1Sig_[s]) * w_[s];
+      }
+      if (coef != 0.0) {
+        for (int r = 0; r < m; ++r) y_[r] += coef * pivotRow[r];
+      }
+      p1Sig_[leavingSlot] = cl;
+      if (cl != 0) ++p1Violations_;
+    } else if (!phase1 && yValid_) {
       // Dual update: the entering column's reduced cost must drop to zero;
       // y' = y + d_e * (new pivot row of Binv).
       for (int k = 0; k < m; ++k) y_[k] += dEnter * pivotRow[k];
@@ -535,6 +833,162 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
         for (int k = 0; k < m; ++k) y_[k] += 0.125 * (1 + (k & 3));
       }
     }
+    if (!blandMode_ && options_.pricing == PricingRule::kDevex)
+      updateDevexWeights(entering, leaving, leavingSlot, piv);
+
+    if (++sinceRefactor >= refactorInterval) {
+      if (!refactorize()) {
+        stopReason_ = ErrorCode::kSingularBasis;
+        return LpStatus::kNumericalError;
+      }
+      sinceRefactor = 0;
+      p1Fresh = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dual simplex (warm-restart phase).
+// ---------------------------------------------------------------------------
+
+LpStatus SimplexSolver::dualIterate(std::int64_t& iterationBudget) {
+  const int m = numRows_;
+  const bool hasDeadline = options_.deadlineSeconds > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              hasDeadline ? options_.deadlineSeconds : 0.0));
+  int sinceRefactor = 0;
+  const int refactorInterval =
+      SimplexOptions::effectiveRefactorInterval(options_.refactorInterval, m);
+  const std::int64_t pivotCap =
+      std::max<std::int64_t>(kDualPivotCapFloor, 2 * m);
+  std::int64_t pivots = 0;
+  // The caller verified dual feasibility and left y_ fresh (yValid_).
+  for (;;) {
+    if (iterationBudget-- <= 0) {
+      stopReason_ = ErrorCode::kIterationLimit;
+      return LpStatus::kIterLimit;
+    }
+    if ((iterations_ & 63) == 0) {
+      if (hasDeadline && std::chrono::steady_clock::now() >= deadline) {
+        stopReason_ = ErrorCode::kDeadline;
+        return LpStatus::kIterLimit;
+      }
+      if (fault::fire(fault::Site::kLpDeadline)) {
+        stopReason_ = ErrorCode::kDeadline;
+        return LpStatus::kIterLimit;
+      }
+    }
+    if (!yValid_) {
+      rebuildPhase2Duals();
+      yValid_ = true;
+    }
+
+    // Leaving variable: the most out-of-bound basic. None left means the
+    // basis is primal feasible, and -- being dual feasible throughout --
+    // optimal (the caller's phase 2 + re-pricing net still verify).
+    int leavingSlot = -1;
+    double worst = options_.feasTol;
+    bool toUpper = false;
+    for (int s = 0; s < m; ++s) {
+      int bj = basis_[s];
+      double below = lowerB_[bj] - xb_[s];
+      double above = xb_[s] - upperB_[bj];
+      if (below > worst) {
+        worst = below;
+        leavingSlot = s;
+        toUpper = false;
+      }
+      if (above > worst) {
+        worst = above;
+        leavingSlot = s;
+        toUpper = true;
+      }
+    }
+    if (leavingSlot < 0) return LpStatus::kOptimal;
+    if (pivots >= pivotCap) {
+      // Degenerate grind: hand the basis (already mostly repaired) to the
+      // primal path, which has Bland's rule to guarantee termination.
+      return LpStatus::kInfeasible;
+    }
+    ++iterations_;
+    ++dualPivots_;
+    ++pivots;
+
+    // BTRAN row: rho = e_slot^T Binv is a contiguous row in this layout.
+    const double* rho =
+        binv_.data() + static_cast<std::size_t>(leavingSlot) * m;
+
+    // Dual ratio test: among the nonbasic columns that can move the leaving
+    // variable toward its violated bound, enter the one whose reduced cost
+    // hits zero first (min |d_j| / |alpha_j|), so every other reduced cost
+    // keeps its optimal sign. Ties prefer the larger pivot magnitude.
+    int entering = -1;
+    double dEnter = 0, bestRatio = kInfinity, bestMag = 0;
+    auto considerDual = [&](int j, double d, double alpha) {
+      bool ok = (state_[j] == VarState::kAtLower)
+                    ? (toUpper ? alpha > options_.pivotTol
+                               : alpha < -options_.pivotTol)
+                    : (toUpper ? alpha < -options_.pivotTol
+                               : alpha > options_.pivotTol);
+      if (!ok) return;
+      double mag = std::abs(alpha);
+      double ratio = std::abs(d) / mag;
+      if (ratio < bestRatio - 1e-12 ||
+          (ratio <= bestRatio + 1e-12 && mag > bestMag)) {
+        bestRatio = ratio;
+        entering = j;
+        dEnter = d;
+        bestMag = mag;
+      }
+    };
+    const double* y = y_.data();
+    for (int j = 0; j < numStruct_; ++j) {
+      if (state_[j] == VarState::kBasic || lowerB_[j] == upperB_[j]) continue;
+      double alpha = columnDot(j, rho);
+      if (std::abs(alpha) <= options_.pivotTol) continue;
+      considerDual(j, model_->objective(j) - columnDot(j, y), alpha);
+    }
+    for (int s = 0; s < numSlack_; ++s) {
+      int j = numStruct_ + s;
+      if (state_[j] == VarState::kBasic) continue;
+      int r = slackRowOf_[s];
+      double alpha = rho[r] * slackSign_[r];
+      if (std::abs(alpha) <= options_.pivotTol) continue;
+      considerDual(j, -y[r] * slackSign_[r], alpha);
+    }
+    if (entering < 0) {
+      // Dual unbounded: primal infeasible in exact arithmetic -- but the
+      // proof discipline routes that claim through phase 1 (the caller
+      // falls back), so numerics can never turn into a wrong "infeasible".
+      return LpStatus::kInfeasible;
+    }
+
+    computeW(entering);
+    double piv = w_[leavingSlot];
+    if (std::abs(piv) < options_.pivotTol) {
+      if (!refactorize()) {
+        stopReason_ = ErrorCode::kSingularBasis;
+        return LpStatus::kNumericalError;
+      }
+      continue;  // fresh xb_/duals; re-select
+    }
+    int leaving = basis_[leavingSlot];
+    double target = toUpper ? upperB_[leaving] : lowerB_[leaving];
+    double step = (xb_[leavingSlot] - target) / piv;
+    applyStep(entering, leavingSlot, toUpper, step);
+    if (!updateBasisInverse(leavingSlot)) {
+      if (!refactorize()) {
+        stopReason_ = ErrorCode::kSingularBasis;
+        return LpStatus::kNumericalError;
+      }
+      continue;
+    }
+    const double* pivotRow =
+        binv_.data() + static_cast<std::size_t>(leavingSlot) * m;
+    for (int k = 0; k < m; ++k) y_[k] += dEnter * pivotRow[k];
 
     if (++sinceRefactor >= refactorInterval) {
       if (!refactorize()) {
@@ -547,22 +1001,26 @@ LpStatus SimplexSolver::iterate(std::int64_t& iterationBudget, bool phase1) {
 }
 
 bool SimplexSolver::phase2ImprovingColumn() {
-  const int m = numRows_;
-  std::fill(y_.begin(), y_.end(), 0.0);
-  for (int slot = 0; slot < m; ++slot) {
-    int bj = basis_[slot];
-    double cb = bj < numStruct_ ? model_->objective(bj) : 0.0;
-    if (cb == 0.0) continue;
-    const double* row = binv_.data() + static_cast<std::size_t>(slot) * m;
-    for (int r = 0; r < m; ++r) y_[r] += cb * row[r];
-  }
+  rebuildPhase2Duals();
   yValid_ = true;
-  for (int j = 0; j < totalCols(); ++j) {
+  const double* y = y_.data();
+  for (int j = 0; j < numStruct_; ++j) {
+    VarState st = state_[j];
+    if (st == VarState::kBasic || lowerB_[j] == upperB_[j]) continue;
+    auto rows = model_->colRows(j);
+    auto coefs = model_->colCoefs(j);
+    double dot = 0;
+    for (std::size_t k = 0; k < rows.size(); ++k) dot += y[rows[k]] * coefs[k];
+    double d = model_->objective(j) - dot;
+    if (st == VarState::kAtLower && d < -options_.optTol) return true;
+    if (st == VarState::kAtUpper && d > options_.optTol) return true;
+  }
+  for (int s = 0; s < numSlack_; ++s) {
+    int j = numStruct_ + s;
     VarState st = state_[j];
     if (st == VarState::kBasic) continue;
-    if (lowerB_[j] == upperB_[j]) continue;
-    double cj = j < numStruct_ ? model_->objective(j) : 0.0;
-    double d = cj - columnDot(j, y_);
+    int r = slackRowOf_[s];
+    double d = -y[r] * slackSign_[r];
     if (st == VarState::kAtLower && d < -options_.optTol) return true;
     if (st == VarState::kAtUpper && d > options_.optTol) return true;
   }
@@ -595,7 +1053,12 @@ LpResult SimplexSolver::solve(const LpModel& model,
     }
     recomputeBasicValues();
   }
-  return runPhases(model);
+  // A successfully restored warm basis came from an optimal parent solve,
+  // so under bound-only changes it is typically still dual feasible: try
+  // the dual restart before composite phase 1.
+  const bool tryDual =
+      factorized && options_.dualRestart && !options_.forceBland;
+  return runPhases(model, tryDual);
 }
 
 bool SimplexSolver::canContinue(const LpModel& model) const {
@@ -758,6 +1221,9 @@ LpResult SimplexSolver::solveContinue(const LpModel& model) {
     y_.assign(m, 0.0);
     w_.assign(m, 0.0);
     rhsWork_.assign(m, 0.0);
+    p1Sig_.assign(m, 0);
+    devexWeight_.assign(total, 1.0);
+    candidates_.clear();
     model.buildColumnIndex();
   }
 
@@ -766,9 +1232,19 @@ LpResult SimplexSolver::solveContinue(const LpModel& model) {
   refactorCount_ = 0;
   degeneratePivots_ = 0;
   blandActivations_ = 0;
+  devexResets_ = 0;
+  candidatesPriced_ = 0;
+  dualPivots_ = 0;
+  usedDualRestart_ = false;
+  refreshCandidates_ = true;
   stallCount_ = 0;
   blandMode_ = options_.forceBland;
-  return runPhases(model);
+  // Bound-only changes (the branch-and-bound child pattern) and appended
+  // inequality rows (their slack is basic at dual value zero) both preserve
+  // dual feasibility of an optimal parent basis: prime candidates for the
+  // dual restart. runPhases still verifies before committing to it.
+  const bool tryDual = options_.dualRestart && !options_.forceBland;
+  return runPhases(model, tryDual);
 }
 
 void SimplexSolver::finalizeResult(LpResult& result) {
@@ -776,6 +1252,8 @@ void SimplexSolver::finalizeResult(LpResult& result) {
   result.refactorizations = refactorCount_;
   result.degeneratePivots = degeneratePivots_;
   result.blandActivations = blandActivations_;
+  result.dualPivots = dualPivots_;
+  result.usedDualRestart = usedDualRestart_;
   static obs::Counter& cSolves = obs::metrics().counter("lp.solves");
   static obs::Counter& cPivots = obs::metrics().counter("lp.pivots");
   static obs::Counter& cRefactor =
@@ -784,6 +1262,13 @@ void SimplexSolver::finalizeResult(LpResult& result) {
       obs::metrics().counter("lp.degenerate_pivots");
   static obs::Counter& cBland =
       obs::metrics().counter("lp.bland_activations");
+  static obs::Counter& cCandidates =
+      obs::metrics().counter("lp.pricing.candidates");
+  static obs::Counter& cDevexResets =
+      obs::metrics().counter("lp.devex.resets");
+  static obs::Counter& cDualPivots = obs::metrics().counter("lp.dual.pivots");
+  static obs::Counter& cDualWarm =
+      obs::metrics().counter("lp.warmstart.dual");
   static obs::Histogram& hPivots =
       obs::metrics().histogram("lp.pivots_per_solve");
   cSolves.add();
@@ -791,10 +1276,14 @@ void SimplexSolver::finalizeResult(LpResult& result) {
   cRefactor.add(refactorCount_);
   cDegen.add(degeneratePivots_);
   cBland.add(blandActivations_);
+  cCandidates.add(candidatesPriced_);
+  cDevexResets.add(devexResets_);
+  cDualPivots.add(dualPivots_);
+  if (usedDualRestart_) cDualWarm.add();
   hPivots.record(static_cast<double>(iterations_));
 }
 
-LpResult SimplexSolver::runPhases(const LpModel& model) {
+LpResult SimplexSolver::runPhases(const LpModel& model, bool tryDualRestart) {
   LpResult result;
   stateValid_ = false;
   stopReason_ = ErrorCode::kOk;
@@ -808,7 +1297,29 @@ LpResult SimplexSolver::runPhases(const LpModel& model) {
                                           optr::toString(stopReason_));
   };
 
-  LpStatus st = iterate(budget, /*phase1=*/true);
+  // Dual-simplex warm restart: when the seed basis is already dual feasible
+  // (bound-only changes against a previously optimal basis), drive the few
+  // out-of-bound basics home with dual pivots instead of the composite
+  // primal phase 1. Every non-optimal outcome except a hard stop falls back
+  // to the primal path, so this can change pivot counts but never results.
+  bool phase1Done = false;
+  if (tryDualRestart && !phase2ImprovingColumn()) {
+    usedDualRestart_ = true;
+    LpStatus dst = dualIterate(budget);
+    if (dst == LpStatus::kOptimal) {
+      phase1Done = true;
+    } else if (dst == LpStatus::kIterLimit ||
+               dst == LpStatus::kNumericalError) {
+      result.status = dst;
+      result.detail = stopDetail(dst);
+      finalizeResult(result);
+      return result;
+    }
+    // kInfeasible: the dual ratio test dried up or the pivot cap was hit;
+    // phase 1 below is the authority on infeasibility.
+  }
+
+  LpStatus st = phase1Done ? LpStatus::kOptimal : iterate(budget, true);
   if (st != LpStatus::kOptimal) {
     if (st == LpStatus::kInfeasible) {
       result.phase1Infeasibility = totalInfeasibility();

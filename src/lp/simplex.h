@@ -11,12 +11,28 @@
 //     re-solves differ from the parent node by one variable bound, so
 //     starting from the parent's final basis converges in a few pivots
 //     instead of hundreds.
+//   * Re-solves that only changed bounds (B&B children, session rule
+//     overlays) can skip phase 1 entirely: the parent's optimal basis stays
+//     dual feasible under bound changes, so a short dual-simplex phase
+//     drives the handful of out-of-bound basics home directly
+//     (SimplexOptions::dualRestart). Any non-optimal dual outcome falls
+//     back to the composite primal path; in particular, infeasibility is
+//     only ever *proven* by phase 1.
 //   * The basis inverse is kept dense and updated by elementary row
 //     operations, with periodic refactorization (Gauss-Jordan with partial
 //     pivoting). Problem sizes here are a few thousand rows at most, where
-//     a dense inverse is simple and fast enough.
-//   * Dantzig pricing with an automatic switch to Bland's rule after a run
-//     of degenerate pivots guarantees termination.
+//     a dense inverse is simple and fast enough. The inverse is stored
+//     row-major by basis slot, so the hot per-pivot operations -- the
+//     elementary row updates, the pivot-row dual update, the phase-1
+//     signature row adds, and the dual-simplex BTRAN row -- all stream
+//     contiguous memory; the FTRAN accumulate makes one ascending pass over
+//     the rows instead of a stride-m walk per column nonzero.
+//   * Pricing is Devex by default (reference weights + a partial-pricing
+//     candidate list refreshed on refactorization and stall), with Dantzig
+//     selectable and an automatic switch to Bland's rule after a run of
+//     degenerate pivots to guarantee termination. Optimality is never
+//     concluded from the candidate list alone: an empty or exhausted list
+//     always forces a full pricing scan first.
 //
 // Thread safety: a SimplexSolver is strictly single-owner. Its value is the
 // mutable state it carries between calls (factorized basis inverse, basis
@@ -26,6 +42,7 @@
 // independent models are safe to run concurrently.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -44,33 +61,78 @@ enum class LpStatus : std::uint8_t {
 
 const char* toString(LpStatus s);
 
+/// Entering-variable selection rule. Bland's anti-cycling rule is not a
+/// member: it is an automatic fallback layered on top of either rule.
+enum class PricingRule : std::uint8_t {
+  kDantzig,  // full scan, most-negative reduced cost
+  kDevex,    // reference weights + partial-pricing candidate list
+};
+
+const char* toString(PricingRule p);
+
 struct SimplexOptions {
   std::int64_t maxIterations = 200000;
   double feasTol = 1e-7;    // bound / row feasibility
   double optTol = 1e-7;     // reduced-cost optimality
   double pivotTol = 1e-9;   // minimum acceptable pivot magnitude
+  /// Pivots between full Gauss-Jordan refactorizations. NOTE the effective
+  /// cadence is size-dependent -- see effectiveRefactorInterval().
   int refactorInterval = 256;
   int blandAfterStalls = 512;  // degenerate pivots before Bland's rule
   /// Run Bland's rule from the first pivot. Slower but immune to cycling;
   /// the MIP's numerical-failure retry sets this for the repeated solve.
+  /// Also disables the dual-restart path (the retry wants the conservative
+  /// primal ladder).
   bool forceBland = false;
   /// Wall-clock budget per solve; <= 0 disables. Checked every few dozen
   /// pivots; an expired solve returns kIterLimit (callers treat it like an
   /// exhausted iteration budget).
   double deadlineSeconds = 0.0;
+  /// Entering-variable rule for non-Bland pivots.
+  PricingRule pricing = PricingRule::kDevex;
+  /// Attempt a dual-simplex warm restart on re-solves whose seed basis is
+  /// still dual feasible (bound-only changes, appended <= rows). Falls back
+  /// to the composite primal phase 1 whenever dual feasibility is absent or
+  /// lost, so results are unaffected -- only the pivot count is.
+  bool dualRestart = true;
+  /// Partial-pricing candidate list capacity; 0 picks a size from the
+  /// column count. Ignored under Dantzig/Bland (full scans).
+  int pricingCandidates = 0;
+
+  /// The refactorization cadence the engine actually uses for an m-row
+  /// basis. The configured value is NOT honored verbatim in general:
+  ///   * configured <= 16: honored (floored at 1), so tests can force the
+  ///     refactorization path on tiny models;
+  ///   * configured  > 16: raised to at least m, because an O(m^3) rebuild
+  ///     more often than every m O(m^2) product-form updates would dominate
+  ///     the solve; the post-solve feasibility net catches drift instead.
+  /// Kernel tuning must go through this helper rather than assuming the
+  /// configured interval is literal (pinned by SimplexRefactorInterval
+  /// tests in lp_test).
+  static int effectiveRefactorInterval(int configured, int numRows) {
+    return configured <= 16 ? std::max(configured, 1)
+                            : std::max(configured, numRows);
+  }
 };
 
 struct LpResult {
   LpStatus status = LpStatus::kNumericalError;
   double objective = 0.0;
   std::vector<double> x;  // structural variables only (model columns)
-  /// Every pivot this call performed, including the primal-drift recovery
-  /// retries after the main phases (historically those went uncounted,
-  /// which made MIP pivot totals depend on how often recovery ran).
+  /// Every pivot this call performed, including dual-simplex pivots and the
+  /// primal-drift recovery retries after the main phases (historically those
+  /// went uncounted, which made MIP pivot totals depend on how often
+  /// recovery ran).
   std::int64_t iterations = 0;
   std::int64_t refactorizations = 0;  // attempts, incl. failed/injected
   std::int64_t degeneratePivots = 0;  // zero-step-length pivots
-  std::int64_t blandActivations = 0;  // Dantzig -> Bland's rule switches
+  std::int64_t blandActivations = 0;  // Dantzig/Devex -> Bland's rule switches
+  /// Dual-simplex pivots (subset of `iterations`); nonzero only when the
+  /// dual-restart path engaged.
+  std::int64_t dualPivots = 0;
+  /// The dual-restart path engaged for this solve (its seed basis was dual
+  /// feasible). The solve may still have finished on the primal path.
+  bool usedDualRestart = false;
   double phase1Infeasibility = 0.0;
   /// Why a non-optimal solve stopped, machine-readable: kDeadline vs
   /// kIterationLimit for kIterLimit; kSingularBasis vs kNumerical for
@@ -111,7 +173,8 @@ class SimplexSolver {
   /// Re-solves in place: refreshes bounds, absorbs appended inequality rows
   /// into the factorized basis in O(rows x m) each, and re-runs the phases.
   /// Orders of magnitude cheaper than a cold refactorization for the
-  /// branch-and-bound dive pattern (child differs by one variable bound).
+  /// branch-and-bound dive pattern (child differs by one variable bound);
+  /// with dualRestart the re-solve usually skips phase 1 entirely.
   LpResult solveContinue(const LpModel& model);
 
   /// Basis of the most recent successful solve, for future warm starts.
@@ -129,10 +192,10 @@ class SimplexSolver {
 
   // Internal (structural + slack + artificial) column view.
   int totalCols() const { return numStruct_ + numSlack_ + numArt_; }
-  double columnDot(int j, const std::vector<double>& y) const;
+  double columnDot(int j, const double* y) const;
 
   void setup(const LpModel& model, const BasisSnapshot* warm);
-  LpResult runPhases(const LpModel& model);
+  LpResult runPhases(const LpModel& model, bool tryDualRestart);
   /// Copies the per-call work counters into `result` and publishes them to
   /// the obs metrics registry. Runs on every runPhases exit path, *after*
   /// the drift-recovery retries, so no pivot goes unreported.
@@ -140,13 +203,55 @@ class SimplexSolver {
   /// One simplex phase. In phase 1 the cost vector is the dynamic bound
   /// violation signature of the basis; in phase 2 it is the model objective.
   LpStatus iterate(std::int64_t& iterationBudget, bool phase1);
+  /// Dual-simplex phase: from a dual-feasible basis, pivots the most
+  /// out-of-bound basic variable to its violated bound each step while the
+  /// dual ratio test preserves dual feasibility. Returns kOptimal when the
+  /// basis becomes primal feasible (the caller's phase 2 then verifies
+  /// optimality); kInfeasible means "ratio test dried up or pivot cap hit
+  /// -- fall back to primal phase 1", never a proof.
+  LpStatus dualIterate(std::int64_t& iterationBudget);
   bool refactorize();
   void recomputeBasicValues();
   double totalInfeasibility() const;
   /// Rebuilds phase-2 duals from the current basis and prices every column;
   /// true when an improving column remains (i.e. "optimal" was premature --
   /// the incremental dual updates drifted). Leaves y_ fresh on return.
+  /// Doubles as the dual-feasibility test for the dual-restart path.
   bool phase2ImprovingColumn();
+
+  // --- pricing ---
+  /// Entering column for the current duals, or -1 when (after a full scan)
+  /// none improves. Dispatches Bland / Dantzig / Devex-partial internally.
+  int selectEntering(bool phase1, double& dEnter, int& enterDir);
+  int priceFullScan(bool phase1, double& dEnter, int& enterDir);
+  int priceCandidateList(bool phase1, double& dEnter, int& enterDir);
+  void buildCandidateList();
+  void resetDevexWeights();
+  void updateDevexWeights(int entering, int leaving, int leavingSlot,
+                          double piv);
+
+  // --- pivot application (shared by the primal and dual phases) ---
+  /// w_ = Binv * A_entering, one ascending pass over binv_ rows.
+  void computeW(int entering);
+  /// Moves basics by `step` along w_, parks the leaving variable on a bound
+  /// and swaps `entering` into the basis. Does NOT touch binv_.
+  void applyStep(int entering, int leavingSlot, bool leavingToUpper,
+                 double step);
+  /// Elementary row operations on binv_ for the slot swap; false when the
+  /// pivot element w_[leavingSlot] is below pivotTol (caller refactorizes).
+  bool updateBasisInverse(int leavingSlot);
+
+  // --- duals ---
+  void rebuildPhase2Duals();
+  /// Phase-1 incremental duals: rebuilds the violation signature and dense
+  /// y_ from scratch (entry / refactorization / verification) ...
+  void p1Rebuild();
+  /// ... and the per-pivot resync: recomputes each slot's signature from
+  /// xb_ and folds sign changes into y_ with contiguous row adds against
+  /// the CURRENT binv_ rows. `excludeSlot` (the pivot slot, or -1) has its
+  /// old contribution removed here; the caller re-adds the new one against
+  /// the updated pivot row. Maintains p1Violations_.
+  void p1SyncSignatures(int excludeSlot);
 
   SimplexOptions options_;
 
@@ -181,6 +286,24 @@ class SimplexSolver {
   ErrorCode stopReason_ = ErrorCode::kOk;  // set when iterate() bails out
   bool stateValid_ = false;  // internal state matches model_ for continue
   bool yValid_ = false;      // y_ matches the current basis (phase-2 only)
+
+  // Devex / partial pricing state.
+  std::vector<double> devexWeight_;  // reference weights, reset to 1
+  std::vector<int> candidates_;      // partial-pricing list (sorted, shrinks)
+  std::vector<std::pair<double, int>> scratchCand_;  // (score, col) scratch
+  bool refreshCandidates_ = true;    // force a full scan next pricing
+  bool devexResetPending_ = false;   // a weight overflowed; reset lazily
+  std::int64_t devexResets_ = 0;
+  std::int64_t candidatesPriced_ = 0;
+
+  // Phase-1 incremental dual state: per-slot violation signature of xb_
+  // (-1 below lower, +1 above upper, 0 feasible) and the violation count.
+  std::vector<signed char> p1Sig_;
+  int p1Violations_ = 0;
+
+  // Dual-restart accounting.
+  std::int64_t dualPivots_ = 0;
+  bool usedDualRestart_ = false;
 };
 
 }  // namespace optr::lp

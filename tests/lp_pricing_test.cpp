@@ -1,0 +1,257 @@
+// Pricing-rule and dual-restart equivalence tests for the simplex kernel.
+//
+// The perf work on the LP engine (Devex reference weights, partial-pricing
+// candidate lists, the dual-simplex warm restart) must never change WHAT the
+// solver proves, only how many pivots it takes. These tests pin that
+// contract: devex and dantzig agree on optimal objectives (random LPs and
+// the real routing relaxations from the bundled example clips), a
+// dual-restart re-solve after bound tightening matches a cold solve, and the
+// Bland fallback still terminates a classic cycling instance when layered on
+// top of devex.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "common/rng.h"
+#include "core/formulation.h"
+#include "grid/routing_graph.h"
+#include "lp/simplex.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+
+namespace optr::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+SimplexOptions withPricing(PricingRule rule, bool dualRestart = true) {
+  SimplexOptions o;
+  o.pricing = rule;
+  o.dualRestart = dualRestart;
+  return o;
+}
+
+/// Random bounded LP with mixed row senses whose origin is feasible for the
+/// <=/>= rows; equality rows are anchored through a dedicated column so the
+/// instance stays feasible by construction.
+LpModel randomMixedLp(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  LpModel m;
+  for (int c = 0; c < n; ++c) {
+    m.addColumn(static_cast<double>(rng.uniformInt(-5, 5)), 0.0, 3.0);
+  }
+  const int rows = static_cast<int>(rng.uniformInt(2, 6));
+  for (int r = 0; r < rows; ++r) {
+    RowBuilder rb;
+    for (int c = 0; c < n; ++c) {
+      if (rng.chance(0.6))
+        rb.add(c, static_cast<double>(rng.uniformInt(-3, 3)));
+    }
+    if (rng.chance(0.25)) {
+      // Equality row satisfied at the origin (x_a - x_b = 0), so the
+      // instance stays feasible; phase 1 still has to repair its artificial.
+      int a1 = static_cast<int>(rng.uniformInt(0, n - 1));
+      int a2 = static_cast<int>(rng.uniformInt(0, n - 1));
+      rb = RowBuilder();
+      rb.add(a1, 1.0);
+      rb.add(a2, -1.0);
+      rb.sense = RowSense::kEq;
+      rb.rhs = 0.0;
+    } else {
+      rb.sense = rng.chance(0.5) ? RowSense::kLe : RowSense::kGe;
+      rb.rhs = rb.sense == RowSense::kLe
+                   ? static_cast<double>(rng.uniformInt(0, 9))
+                   : -static_cast<double>(rng.uniformInt(0, 9));
+    }
+    m.addRow(rb);
+  }
+  return m;
+}
+
+TEST(LpPricing, DevexMatchesDantzigOnRandomLps) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    LpModel m = randomMixedLp(seed, 5);
+    SimplexSolver dantzig(withPricing(PricingRule::kDantzig));
+    SimplexSolver devex(withPricing(PricingRule::kDevex));
+    LpResult a = dantzig.solve(m);
+    LpResult b = devex.solve(m);
+    ASSERT_EQ(a.status, LpStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(b.status, LpStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(a.objective, b.objective, kTol) << "seed " << seed;
+    EXPECT_TRUE(m.isFeasible(b.x, 1e-6)) << "seed " << seed;
+  }
+}
+
+TEST(LpPricing, DevexMatchesDantzigOnSboxRelaxations) {
+  // The real thing: LP relaxations of the routing formulation over the
+  // bundled example clips (the same fixtures the session sweeps solve).
+  auto loaded = clip::loadClips(OPTR_EXAMPLES_CLIPS);
+  ASSERT_TRUE(loaded.isOk()) << loaded.status().message();
+  auto techn = tech::Technology::n28_12t();
+  auto ruleOr = tech::ruleByName("RULE1");
+  ASSERT_TRUE(ruleOr.isOk());
+  int covered = 0;
+  for (const clip::Clip& c : loaded.value()) {
+    if (c.id != "sbox3" && c.id != "sbox11") continue;
+    grid::RoutingGraph graph(c, techn, ruleOr.value());
+    core::FormulationOptions fo;
+    fo.netBBoxMargin = 3;
+    fo.netLayerMargin = 1;
+    core::Formulation formulation(c, graph, fo);
+    SimplexSolver dantzig(withPricing(PricingRule::kDantzig));
+    SimplexSolver devex(withPricing(PricingRule::kDevex));
+    LpResult a = dantzig.solve(formulation.model());
+    LpResult b = devex.solve(formulation.model());
+    ASSERT_EQ(a.status, LpStatus::kOptimal) << c.id;
+    ASSERT_EQ(b.status, LpStatus::kOptimal) << c.id;
+    // Relative tolerance: routing relaxations have objectives in the 1e3
+    // range, so compare to ~1e-7 relative.
+    EXPECT_NEAR(a.objective, b.objective,
+                kTol * std::max(1.0, std::abs(a.objective)))
+        << c.id;
+    ++covered;
+  }
+  EXPECT_EQ(covered, 2);
+}
+
+TEST(LpPricing, DualRestartAfterBoundTighteningMatchesColdSolve) {
+  int restartsEngaged = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    LpModel m = randomMixedLp(seed, 5);
+    SimplexSolver warm(withPricing(PricingRule::kDevex, /*dualRestart=*/true));
+    LpResult base = warm.solve(m);
+    ASSERT_EQ(base.status, LpStatus::kOptimal) << "seed " << seed;
+
+    // Tighten bounds the way a branch-and-bound child would: clamp the two
+    // most fractional-ish columns into a sub-box. The origin stays inside
+    // every sub-box here, so the child remains feasible.
+    Rng rng(seed * 977 + 11);
+    int c1 = static_cast<int>(rng.uniformInt(0, m.numCols() - 1));
+    int c2 = static_cast<int>(rng.uniformInt(0, m.numCols() - 1));
+    m.setBounds(c1, 0.0, 1.0);
+    m.setBounds(c2, 0.0, 0.0);
+
+    ASSERT_TRUE(warm.canContinue(m));
+    LpResult restarted = warm.solveContinue(m);
+    SimplexSolver cold(withPricing(PricingRule::kDevex, /*dualRestart=*/false));
+    LpResult reference = cold.solve(m);
+    ASSERT_EQ(restarted.status, reference.status) << "seed " << seed;
+    if (reference.status != LpStatus::kOptimal) continue;
+    EXPECT_NEAR(restarted.objective, reference.objective, kTol)
+        << "seed " << seed;
+    EXPECT_TRUE(m.isFeasible(restarted.x, 1e-6)) << "seed " << seed;
+    if (restarted.usedDualRestart) ++restartsEngaged;
+  }
+  // The restart is an optimization, not a mandate -- but if it never
+  // engages across 40 bound-tightened re-solves, the plumbing is dead.
+  EXPECT_GT(restartsEngaged, 0);
+}
+
+TEST(LpPricing, DualRestartPivotsAreCountedAndOptional) {
+  // Deterministic instance where tightening a bound cuts off the optimum:
+  // max x+y (min -x-y) in a triangle; the parent optimum sits at the
+  // tightened corner, so the child MUST re-pivot (dual steps if enabled).
+  LpModel m;
+  int x = m.addColumn(-1.0, 0.0, 10.0);
+  int y = m.addColumn(-1.0, 0.0, 10.0);
+  RowBuilder rb;
+  rb.add(x, 1.0);
+  rb.add(y, 1.0);
+  rb.sense = RowSense::kLe;
+  rb.rhs = 6.0;
+  m.addRow(rb);
+
+  SimplexSolver warm(withPricing(PricingRule::kDevex, /*dualRestart=*/true));
+  LpResult base = warm.solve(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  EXPECT_NEAR(base.objective, -6.0, kTol);
+
+  m.setBounds(x, 0.0, 1.0);  // parent basis becomes primal infeasible
+  ASSERT_TRUE(warm.canContinue(m));
+  LpResult restarted = warm.solveContinue(m);
+  ASSERT_EQ(restarted.status, LpStatus::kOptimal);
+  EXPECT_NEAR(restarted.objective, -6.0, kTol);  // x=1, y=5
+  EXPECT_TRUE(restarted.usedDualRestart);
+  EXPECT_GT(restarted.dualPivots, 0);
+  EXPECT_LE(restarted.dualPivots, restarted.iterations);
+
+  // Same re-solve with the restart disabled: identical verdict through the
+  // composite primal path, and no dual pivots reported.
+  SimplexSolver cold(withPricing(PricingRule::kDevex, /*dualRestart=*/false));
+  LpResult primal = cold.solve(m);
+  ASSERT_EQ(primal.status, LpStatus::kOptimal);
+  EXPECT_NEAR(primal.objective, restarted.objective, kTol);
+  EXPECT_EQ(primal.dualPivots, 0);
+  EXPECT_FALSE(primal.usedDualRestart);
+}
+
+TEST(LpPricing, BlandTerminatesCyclingInstanceUnderDevex) {
+  // Beale's classic cycling example: textbook Dantzig pricing with
+  // smallest-index tie-breaking cycles forever on this instance. The kernel
+  // must escape via the stall-triggered Bland fallback regardless of the
+  // configured pricing rule. Optimum: x = (0.04, 0, 1, 0), objective -0.05.
+  LpModel m;
+  int x1 = m.addColumn(-0.75, 0.0, kInfinity);
+  int x2 = m.addColumn(150.0, 0.0, kInfinity);
+  int x3 = m.addColumn(-0.02, 0.0, 1.0);
+  int x4 = m.addColumn(6.0, 0.0, kInfinity);
+  {
+    RowBuilder rb;
+    rb.add(x1, 0.25);
+    rb.add(x2, -60.0);
+    rb.add(x3, -0.04);
+    rb.add(x4, 9.0);
+    rb.sense = RowSense::kLe;
+    rb.rhs = 0.0;
+    m.addRow(rb);
+  }
+  {
+    RowBuilder rb;
+    rb.add(x1, 0.5);
+    rb.add(x2, -90.0);
+    rb.add(x3, -0.02);
+    rb.add(x4, 3.0);
+    rb.sense = RowSense::kLe;
+    rb.rhs = 0.0;
+    m.addRow(rb);
+  }
+  SimplexOptions o = withPricing(PricingRule::kDevex);
+  o.blandAfterStalls = 3;  // force the fallback to engage within a few pivots
+  o.maxIterations = 10000;
+  SimplexSolver solver(o);
+  LpResult r = solver.solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -0.05, kTol);
+  EXPECT_NEAR(r.x[x1], 0.04, kTol);
+  EXPECT_NEAR(r.x[x3], 1.0, kTol);
+}
+
+TEST(LpPricing, ForceBlandDisablesDualRestart) {
+  // The MIP's numerical-recovery retry re-solves with forceBland: the
+  // conservative ladder must not silently take the dual shortcut.
+  LpModel m;
+  int x = m.addColumn(-1.0, 0.0, 10.0);
+  RowBuilder rb;
+  rb.add(x, 1.0);
+  rb.sense = RowSense::kLe;
+  rb.rhs = 5.0;
+  m.addRow(rb);
+
+  SimplexOptions o = withPricing(PricingRule::kDevex, /*dualRestart=*/true);
+  o.forceBland = true;
+  SimplexSolver solver(o);
+  LpResult base = solver.solve(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  m.setBounds(x, 0.0, 2.0);
+  ASSERT_TRUE(solver.canContinue(m));
+  LpResult r = solver.solveContinue(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, kTol);
+  EXPECT_FALSE(r.usedDualRestart);
+  EXPECT_EQ(r.dualPivots, 0);
+}
+
+}  // namespace
+}  // namespace optr::lp

@@ -271,6 +271,37 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomized,
                          ::testing::Range<std::uint64_t>(1, 41));
 
 // ---------------------------------------------------------------------------
+// SimplexOptions::refactorInterval semantics. The configured value is NOT
+// honored verbatim: <= 16 is taken literally (floored at 1) so tests can
+// force the refactorization path, larger values are raised to at least the
+// row count so the O(m^3) rebuild cannot dominate the O(m^2) pivot updates.
+// Kernel tuning goes through effectiveRefactorInterval(); these tests pin
+// the rule so a tuning sweep can't silently misconfigure the cadence.
+// ---------------------------------------------------------------------------
+
+TEST(SimplexRefactorInterval, SmallValuesHonoredVerbatim) {
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(1, 1000), 1);
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(4, 1000), 4);
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(16, 1000), 16);
+}
+
+TEST(SimplexRefactorInterval, NonPositiveValuesFlooredAtOne) {
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(0, 50), 1);
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(-7, 50), 1);
+}
+
+TEST(SimplexRefactorInterval, LargeValuesRaisedToRowCount) {
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(17, 1000), 1000);
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(256, 1000), 1000);
+  // Already past m: honored as configured.
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(256, 100), 256);
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(5000, 1000), 5000);
+  // Tiny models: anything > 16 becomes "refactor every m pivots".
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(17, 4), 17);
+  EXPECT_EQ(SimplexOptions::effectiveRefactorInterval(20, 40), 40);
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint/rollback: the primitive behind Formulation::resetRuleLayer()
 // (rule sweeps roll the model back to the rule-independent base and push a
 // new rule layer instead of rebuilding everything).

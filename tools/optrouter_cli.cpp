@@ -69,6 +69,7 @@ int usage() {
                "  batch <clips> <checkpoint.jsonl> [--threads N]\n"
                "        [--isolation=fork|thread] [--mip-threads N]\n"
                "        [--no-session-reuse] [--trace=out.jsonl] [--metrics]\n"
+               "        [--lp-pricing=dantzig|devex] [--lp-dual-restart=on|off]\n"
                "        <rule...>\n"
                "        (--threads needs --isolation=thread: the in-process\n"
                "         pool; fork isolation stays serial but crash-proof;\n"
@@ -95,6 +96,39 @@ int usage() {
                "         default to the full Table-3 set; --checkpoint-base\n"
                "         derives the per-worker file from $OPTR_SWEEP_SLOT)\n");
   return 2;
+}
+
+/// Shared LP-kernel flags (batch, sweep-coordinator): --lp-pricing=
+/// dantzig|devex and --lp-dual-restart=on|off. Returns 1 when consumed,
+/// -1 on a malformed value (message printed), 0 when `arg` is not an LP flag.
+int parseLpFlag(const std::string& arg, lp::SimplexOptions& lpOpt) {
+  if (arg.rfind("--lp-pricing=", 0) == 0) {
+    std::string v = arg.substr(std::strlen("--lp-pricing="));
+    if (v == "dantzig") {
+      lpOpt.pricing = lp::PricingRule::kDantzig;
+      return 1;
+    }
+    if (v == "devex") {
+      lpOpt.pricing = lp::PricingRule::kDevex;
+      return 1;
+    }
+    std::fprintf(stderr, "--lp-pricing must be 'dantzig' or 'devex'\n");
+    return -1;
+  }
+  if (arg.rfind("--lp-dual-restart=", 0) == 0) {
+    std::string v = arg.substr(std::strlen("--lp-dual-restart="));
+    if (v == "on") {
+      lpOpt.dualRestart = true;
+      return 1;
+    }
+    if (v == "off") {
+      lpOpt.dualRestart = false;
+      return 1;
+    }
+    std::fprintf(stderr, "--lp-dual-restart must be 'on' or 'off'\n");
+    return -1;
+  }
+  return 0;
 }
 
 int cmdInfo() {
@@ -328,6 +362,10 @@ int cmdBatch(int argc, char** argv) {
       opt.sessionReuse = false;
       continue;
     }
+    if (int lpf = parseLpFlag(arg, opt.router.mip.lpOptions); lpf != 0) {
+      if (lpf < 0) return 2;
+      continue;
+    }
     auto ruleOr = tech::ruleByName(argv[a]);
     if (!ruleOr) {
       std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
@@ -476,6 +514,10 @@ int cmdSweepCoordinator(int argc, char** argv) {
     }
     if (arg == "--metrics") {
       wantMetrics = true;
+      continue;
+    }
+    if (int lpf = parseLpFlag(arg, opt.router.mip.lpOptions); lpf != 0) {
+      if (lpf < 0) return 2;
       continue;
     }
     auto ruleOr = tech::ruleByName(argv[a]);

@@ -61,9 +61,13 @@ build-perf/bench/bench_runtime --threads "${threads}" \
   --out build-perf/BENCH_runtime.json
 
 # Cross-run check: the serial pass must report identical objectives in both
-# runs (solves are deterministic; wall times of course differ).
-python3 - build-perf/BENCH_runtime_t1.json build-perf/BENCH_runtime.json <<'EOF'
-import json, sys
+# runs (solves are deterministic; wall times of course differ). The committed
+# BENCH_runtime.json (third arg) additionally gates LP pivot count: pricing
+# work may move pivots around, but a >10% total-pivot regression at equal
+# proven costs means the kernel got slower, not just different.
+python3 - build-perf/BENCH_runtime_t1.json build-perf/BENCH_runtime.json \
+  BENCH_runtime.json <<'EOF'
+import json, os, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
 sa = next(p for p in a["passes"] if p["mode"] == "serial")
@@ -108,6 +112,35 @@ if ser["routeSolves"] == 0 and ser["lpPivots"] == 0:
     # would pass vacuously, so say so instead of silently degrading.
     print("note: metrics registry empty (OPTR_OBS disabled build);"
           " work-conservation gate skipped")
+
+# Pivot-regression gate vs the committed baseline. Only comparable when the
+# serial pass proves the same clip set to the same costs (otherwise the work
+# being counted differs, not the kernel doing it).
+if os.path.exists(sys.argv[3]) and ser["lpPivots"] > 0:
+    base = json.load(open(sys.argv[3]))
+    bser = next((p for p in base["passes"] if p["mode"] == "serial"), None)
+    comparable = (bser is not None and bser["registry"]["lpPivots"] > 0 and
+                  [(c["name"], c["rule"], c["status"], c["cost"])
+                   for c in bser["clips"]] ==
+                  [(c["name"], c["rule"], c["status"], c["cost"])
+                   for c in sb["clips"]])
+    if not comparable:
+        print("note: committed BENCH_runtime.json serial pass not comparable"
+              " (different clip set / costs / obs-disabled);"
+              " pivot-regression gate skipped")
+    else:
+        limit = bser["registry"]["lpPivots"] * 1.10
+        if ser["lpPivots"] > limit:
+            print(f"FAIL: serial lp.pivots {ser['lpPivots']} exceeds committed"
+                  f" baseline {bser['registry']['lpPivots']} by >10% at equal"
+                  f" proven costs -- LP kernel pivot regression")
+            bad = 1
+        else:
+            print(f"pivot gate OK: serial lp.pivots {ser['lpPivots']}"
+                  f" <= 1.10 x committed {bser['registry']['lpPivots']}")
+else:
+    print("note: no committed BENCH_runtime.json baseline;"
+          " pivot-regression gate skipped")
 sys.exit(bad)
 EOF
 

@@ -39,7 +39,7 @@ done
 # machinery (worker heartbeat threads, multi-process lease traffic) -- the
 # TSan leg's target set. ctest registers gtest suite names, so the filter
 # matches those.
-tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession|SweepFleet|SweepWorker|SweepProtocol|LeaseTable|CheckpointIO|RetryPolicy'
+tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession|SweepFleet|SweepWorker|SweepProtocol|LeaseTable|CheckpointIO|RetryPolicy|LpPricing'
 
 status=0
 for san in "${configs[@]}"; do
@@ -64,12 +64,13 @@ for san in "${configs[@]}"; do
     # also the ClipSession race check: each pool worker owns a session cache
     # (base build + per-rule overlays + cross-rule warm starts) while sharing
     # the registry and trace rings. Unit tests cover the pieces; this covers
-    # their composition under TSan.
+    # their composition under TSan. --mip-threads 4 additionally drives the
+    # new pricing/dual-restart kernel code from parallel B&B workers.
     echo "=== ${san}: traced batch end-to-end (session reuse on) ==="
     rm -f "${dir}/tsan_batch.ckpt" "${dir}/tsan_trace.jsonl"
     if ! "${dir}/tools/optrouter" batch examples/example.clips \
          "${dir}/tsan_batch.ckpt" RULE1 RULE3 \
-         --isolation=thread --threads 2 \
+         --isolation=thread --threads 2 --mip-threads 4 \
          --trace="${dir}/tsan_trace.jsonl" --metrics; then
       status=1
     fi
