@@ -16,6 +16,8 @@ std::vector<ClipOutcome> RuleEvaluator::solveAll(
     std::vector<std::unique_ptr<ClipSession>>* sessions) const {
   obs::Span sweepSpan("eval.rule");
   sweepSpan.detail(rule.name);
+  sweepSpan.attr("rule", rule.name);
+  sweepSpan.attr("tech", tech_.name);
   sweepSpan.arg("clips", static_cast<double>(clips.size()));
   OptRouterOptions ro = options_.router;
   ro.mip.timeLimitSec *= timeFactor;

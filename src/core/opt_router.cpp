@@ -1,5 +1,6 @@
 #include "core/opt_router.h"
 
+#include <chrono>
 #include <utility>
 
 #include "core/clip_session.h"
@@ -51,14 +52,26 @@ OptRouter::OptRouter(const tech::Technology& techn,
 
 namespace {
 
-/// The observability tail every route() shares: span args, the ladder event,
-/// provenance counters, and the trace flush (a finished clip solve is the
-/// natural flush boundary -- rings drain while their content is one coherent
-/// solve, and a fork-isolated child gets its records out before _exit).
-void finishEnvelope(obs::Span& span, const RouteResult& result) {
+/// The observability tail every route() shares: span attrs + args (the
+/// structured join keys the Table 5 attribution engine reads), the ladder
+/// event, provenance counters, the solve-latency histogram, and the trace
+/// flush (a finished clip solve is the natural flush boundary -- rings
+/// drain while their content is one coherent solve, and a fork-isolated
+/// child gets its records out before _exit).
+void finishEnvelope(obs::Span& span, const RouteResult& result,
+                    const std::string& clipId, const std::string& ruleName,
+                    const std::string& techName, double solveMs) {
+  span.attr("clip", clipId);
+  span.attr("rule", ruleName);
+  span.attr("tech", techName);
+  span.attr("status", toString(result.status));
+  span.attr("provenance", toString(result.provenance));
   span.arg("nodes", static_cast<double>(result.nodes));
   span.arg("pivots", static_cast<double>(result.lpIterations));
   span.arg("cost", result.cost);
+  span.arg("wl", static_cast<double>(result.wirelength));
+  span.arg("vias", static_cast<double>(result.vias));
+  span.arg("bound", result.bestBound);
   obs::event("route.ladder", toString(result.provenance),
              {{"status", static_cast<double>(result.status)},
               {"error", static_cast<double>(result.error.code())}});
@@ -67,8 +80,17 @@ void finishEnvelope(obs::Span& span, const RouteResult& result) {
   m.counter(std::string("route.status.") + toString(result.status)).add();
   m.counter(std::string("route.provenance.") + toString(result.provenance))
       .add();
+  static obs::Histogram& hSolveMs =
+      obs::metrics().histogram("route.solve_ms");
+  hSolveMs.record(solveMs);
   span.end();
   obs::TraceSession::flushAll();
+}
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -88,8 +110,9 @@ void finishEnvelope(obs::Span& span, const RouteResult& result) {
 RouteResult OptRouter::route(const clip::Clip& clip) const {
   obs::Span span("route.solve");
   span.detail(clip.id + "|" + rule_.name);
+  const auto t0 = std::chrono::steady_clock::now();
   RouteResult result = routeImpl(clip);
-  finishEnvelope(span, result);
+  finishEnvelope(span, result, clip.id, rule_.name, tech_.name, msSince(t0));
   return result;
 }
 
@@ -97,8 +120,10 @@ RouteResult OptRouter::route(ClipSession& session,
                              const tech::RuleConfig& rule) const {
   obs::Span span("route.solve");
   span.detail(session.clip().id + "|" + rule.name);
+  const auto t0 = std::chrono::steady_clock::now();
   RouteResult result = routeImpl(session, rule);
-  finishEnvelope(span, result);
+  finishEnvelope(span, result, session.clip().id, rule.name, tech_.name,
+                 msSince(t0));
   return result;
 }
 

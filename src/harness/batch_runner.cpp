@@ -208,6 +208,7 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
     obs::TraceSession::onFork(static_cast<std::uint64_t>(getpid()) << 32);
     BatchRow result = runInline(clip, rule, nullptr);
     obs::TraceSession::flushAll();  // ship the child's records before _exit
+    obs::TraceSession::emitThreadDrops();  // child never runs stop()
     std::string line = toJsonLine(result) + "\n";
     std::size_t off = 0;
     while (off < line.size()) {

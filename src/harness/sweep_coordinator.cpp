@@ -186,6 +186,7 @@ struct Fleet {
       SweepWorker worker(std::move(wo));
       worker.serve(sv[1], sv[1], clips, rules);
       obs::TraceSession::flushAll();
+      obs::TraceSession::emitThreadDrops();  // child never runs stop()
       _exit(0);
     }
     close(sv[1]);

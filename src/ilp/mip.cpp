@@ -187,6 +187,10 @@ MipResult MipSolver::solve() {
   m.counter("ilp.numeric_retries").add(result.numericRetries);
   m.counter("ilp.separator_misreports").add(result.separatorMisreports);
   m.histogram("ilp.nodes_per_solve").record(static_cast<double>(result.nodes));
+  m.histogram("ilp.solve_ms")
+      .record(std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
   return result;
 }
 

@@ -1,0 +1,251 @@
+// Trace analytics over parsed optr-trace entries (obs/trace_read.h):
+//   * analyzeTrace -- per-phase totals/self-time/duration percentiles,
+//     per-rule rollup, wall-clock coverage, per-thread drop accounting, and
+//     pivot-outlier anomalies. Feeds tools/trace_report.
+//   * mergeTraces / loadTraces -- combine traces from independent processes
+//     (fleet workers, each with its own file and its own span-id space) into
+//     one entry stream. Span ids are compacted into a single dense id space,
+//     which both resolves cross-file collisions and undoes the precision
+//     hazard of pid<<32 offsets surviving a double round-trip.
+//
+// Like trace_read.h this header is NOT compiled out under OPTR_OBS_DISABLED:
+// analyzing a trace produced elsewhere is always legal.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_read.h"
+
+namespace optr::obs {
+
+/// Aggregated per-span-name row. Self time is total minus the time spent in
+/// child spans, so summing self across all rows approximates wall time once
+/// (no double counting down the span tree). Percentiles are exact (computed
+/// from the sorted per-span durations, not bucketed).
+struct PhaseRow {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t totalNs = 0;
+  std::int64_t selfNs = 0;
+  std::int64_t p50Ns = 0;
+  std::int64_t p95Ns = 0;
+  std::int64_t p99Ns = 0;
+  double meanArg = 0.0;  // mean of the row's primary arg (iters/pivots)
+};
+
+struct RuleRow {
+  std::string rule;
+  std::int64_t solves = 0;
+  std::int64_t totalNs = 0;
+  double pivots = 0.0;
+  double nodes = 0.0;
+};
+
+/// Records lost by one ring (thread) of one process, from the per-thread
+/// drop meta lines ({"t":"meta","droppedTid":..,"droppedCount":..,"pid":..}).
+struct ThreadDrops {
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  std::int64_t count = 0;
+};
+
+struct TraceReport {
+  std::vector<PhaseRow> phases;  // sorted by totalNs descending
+  std::vector<RuleRow> rules;    // from route.solve details ("clip|rule")
+  std::int64_t sessionNs = 0;    // closing meta durNs, or max(ts+dur)
+  std::int64_t rootNs = 0;       // summed duration of root spans
+  std::int64_t events = 0;
+  std::int64_t spans = 0;
+  std::int64_t dropped = 0;
+  std::vector<ThreadDrops> threadDrops;  // per (pid, tid); v2 traces only
+  std::vector<std::string> anomalies;
+};
+
+/// Aggregates a parsed trace: per-phase totals with self time and duration
+/// percentiles, per-rule breakdown, wall-clock coverage, per-thread drop
+/// attribution, and pivot-count outlier flags.
+inline TraceReport analyzeTrace(const std::vector<TraceEntry>& entries) {
+  TraceReport rep;
+  std::map<std::uint64_t, const TraceEntry*> byId;
+  std::map<std::uint64_t, std::int64_t> childNs;  // parent id -> child time
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> drops;
+  for (const TraceEntry& e : entries) {
+    if (e.type == "meta") {
+      if (e.end) rep.sessionNs = std::max(rep.sessionNs, e.durNs);
+      if (e.dropped >= 0) rep.dropped += e.dropped;
+      if (e.droppedTid >= 0) drops[{e.pid, e.droppedTid}] += e.droppedCount;
+      continue;
+    }
+    rep.sessionNs = std::max(rep.sessionNs, e.ts + e.dur);
+    if (e.type == "event") {
+      ++rep.events;
+      continue;
+    }
+    if (e.type != "span") continue;
+    ++rep.spans;
+    byId[e.id] = &e;
+    if (e.parent != 0) childNs[e.parent] += e.dur;
+  }
+  for (const auto& [key, n] : drops) {
+    rep.threadDrops.push_back(ThreadDrops{key.first, key.second, n});
+  }
+
+  std::map<std::string, PhaseRow> phases;
+  std::map<std::string, std::vector<std::int64_t>> phaseDurs;
+  std::map<std::string, RuleRow> rules;
+  // Pivot-outlier detection over mip.node spans.
+  double nodeSum = 0.0, nodeSq = 0.0;
+  std::int64_t nodeN = 0;
+  for (const auto& [id, e] : byId) {
+    PhaseRow& row = phases[e->name];
+    row.name = e->name;
+    ++row.count;
+    row.totalNs += e->dur;
+    phaseDurs[e->name].push_back(e->dur);
+    // Children running concurrently on other threads can sum past the
+    // parent's duration (e.g. batch.run over a thread pool); self time is
+    // "not attributed to children", so it floors at zero, never negative.
+    row.selfNs += std::max<std::int64_t>(0, e->dur - childNs[id]);
+    // A span is a root for coverage purposes when its parent was never
+    // written (dropped, or genuinely top-level).
+    if (e->parent == 0 || byId.find(e->parent) == byId.end()) {
+      rep.rootNs += e->dur;
+    }
+    if (e->name == "mip.node") {
+      const double iters = e->arg("iters");
+      row.meanArg += iters;
+      nodeSum += iters;
+      nodeSq += iters * iters;
+      ++nodeN;
+    }
+    if (e->name == "route.solve" && !e->detail.empty()) {
+      const std::size_t bar = e->detail.find('|');
+      const std::string rule = bar == std::string::npos
+                                   ? e->detail
+                                   : e->detail.substr(bar + 1);
+      RuleRow& rr = rules[rule];
+      rr.rule = rule;
+      ++rr.solves;
+      rr.totalNs += e->dur;
+      rr.pivots += e->arg("pivots");
+      rr.nodes += e->arg("nodes");
+    }
+  }
+  for (auto& [name, row] : phases) {
+    if (row.count > 0) row.meanArg /= static_cast<double>(row.count);
+    std::vector<std::int64_t>& durs = phaseDurs[name];
+    std::sort(durs.begin(), durs.end());
+    auto pct = [&durs](double p) {
+      std::size_t r = static_cast<std::size_t>(
+          std::ceil(p * static_cast<double>(durs.size())));
+      r = std::max<std::size_t>(1, std::min(r, durs.size()));
+      return durs[r - 1];
+    };
+    row.p50Ns = pct(0.50);
+    row.p95Ns = pct(0.95);
+    row.p99Ns = pct(0.99);
+    rep.phases.push_back(row);
+  }
+  std::sort(rep.phases.begin(), rep.phases.end(),
+            [](const PhaseRow& a, const PhaseRow& b) {
+              return a.totalNs != b.totalNs ? a.totalNs > b.totalNs
+                                           : a.name < b.name;
+            });
+  for (auto& [name, row] : rules) rep.rules.push_back(row);
+
+  if (nodeN >= 8) {
+    const double mean = nodeSum / static_cast<double>(nodeN);
+    const double var =
+        std::max(0.0, nodeSq / static_cast<double>(nodeN) - mean * mean);
+    const double limit = std::max(mean + 4.0 * std::sqrt(var), 4.0 * mean);
+    for (const auto& [id, e] : byId) {
+      if (e->name != "mip.node") continue;
+      const double iters = e->arg("iters");
+      if (iters > limit && iters > 64.0) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "pivot outlier: mip.node id=%llu did %.0f LP pivots "
+                      "(mean %.1f over %lld nodes)",
+                      static_cast<unsigned long long>(id), iters, mean,
+                      static_cast<long long>(nodeN));
+        rep.anomalies.push_back(buf);
+      }
+    }
+  }
+  for (const ThreadDrops& d : rep.threadDrops) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "thread tid=%lld (pid %lld) dropped %lld records "
+                  "(ring overflow)",
+                  static_cast<long long>(d.tid), static_cast<long long>(d.pid),
+                  static_cast<long long>(d.count));
+    rep.anomalies.push_back(buf);
+  }
+  if (rep.dropped > 0) {
+    rep.anomalies.push_back(
+        "trace dropped " + std::to_string(rep.dropped) +
+        " records (ring overflow); timings remain valid, counts are lower "
+        "bounds");
+  }
+  return rep;
+}
+
+/// Merges traces from independent sessions (fleet worker files) into one
+/// entry stream. Every span id is rewritten into a dense per-merge id space
+/// so ids from different files -- or fork children whose pid<<32 offsets
+/// exceed double precision -- cannot collide after the remap. Parent ids
+/// pointing at spans that were never written (dropped records) become 0,
+/// which analyzeTrace already treats as "root for coverage purposes".
+/// Non-span entries (events, metas) pass through with parents remapped.
+inline std::vector<TraceEntry> mergeTraces(
+    std::vector<std::vector<TraceEntry>> traces) {
+  std::vector<TraceEntry> out;
+  std::uint64_t nextId = 1;
+  for (std::vector<TraceEntry>& trace : traces) {
+    std::map<std::uint64_t, std::uint64_t> remap;
+    for (const TraceEntry& e : trace) {
+      if (e.type == "span" && e.id != 0 && remap.find(e.id) == remap.end()) {
+        remap[e.id] = nextId++;
+      }
+    }
+    for (TraceEntry& e : trace) {
+      if (e.type == "span" && e.id != 0) e.id = remap[e.id];
+      if (e.parent != 0) {
+        auto it = remap.find(e.parent);
+        e.parent = it == remap.end() ? 0 : it->second;
+      }
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+/// Loads and merges several trace files; see loadTrace / mergeTraces.
+/// `stats`, when given, accumulates across all files.
+inline StatusOr<std::vector<TraceEntry>> loadTraces(
+    const std::vector<std::string>& paths, TraceLoadStats* stats = nullptr) {
+  if (stats) *stats = TraceLoadStats{};
+  std::vector<std::vector<TraceEntry>> traces;
+  for (const std::string& path : paths) {
+    TraceLoadStats st;
+    auto entriesOr = loadTrace(path, &st);
+    if (!entriesOr.isOk()) return entriesOr.status();
+    if (stats) {
+      stats->lines += st.lines;
+      stats->malformed += st.malformed;
+      stats->sawFooter = stats->sawFooter || st.sawFooter;
+    }
+    traces.push_back(std::move(entriesOr).value());
+  }
+  return mergeTraces(std::move(traces));
+}
+
+}  // namespace optr::obs

@@ -36,6 +36,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <limits>
@@ -89,12 +90,17 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
-/// Distribution of non-negative samples in power-of-two buckets:
-/// bucket 0 holds v < 1, bucket k holds 2^(k-1) <= v < 2^k, the last bucket
+/// Distribution of non-negative samples in HDR-style log-linear buckets:
+/// bucket 0 holds v < 1; above that each power-of-two octave [2^e, 2^(e+1))
+/// is split into kSubBuckets equal-width linear sub-buckets, so the relative
+/// bucket width -- and therefore the worst-case percentile estimation error
+/// -- is bounded by 1/kSubBuckets regardless of magnitude. The last octave
 /// is open-ended. count/sum/min/max ride along for exact aggregates.
 class Histogram {
  public:
-  static constexpr int kNumBuckets = 40;
+  static constexpr int kSubBuckets = 16;  // per octave; ~3% midpoint error
+  static constexpr int kOctaves = 40;     // covers ns-scale up to ~2^40
+  static constexpr int kNumBuckets = 1 + kOctaves * kSubBuckets;
 
   void record(double v) {
     count_.fetch_add(1, std::memory_order_relaxed);
@@ -122,9 +128,34 @@ class Histogram {
 
   static int bucketOf(double v) {
     if (!(v >= 1.0)) return 0;  // negatives and NaN land in bucket 0
-    int k = 1;
-    while (k < kNumBuckets - 1 && v >= static_cast<double>(1ULL << k)) ++k;
-    return k;
+    // frexp gives v = m * 2^e with m in [0.5, 1), so the octave floor is
+    // e - 1 -- exact, with none of log2()'s rounding at octave boundaries.
+    int e = 0;
+    (void)std::frexp(v, &e);
+    const int octave = std::min(kOctaves - 1, e - 1);
+    const double lo = std::ldexp(1.0, octave);
+    int sub = static_cast<int>((v - lo) * kSubBuckets / lo);
+    sub = std::max(0, std::min(kSubBuckets - 1, sub));
+    return 1 + octave * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower edge of bucket `i` (0 for bucket 0).
+  static double bucketLow(int i) {
+    if (i <= 0) return 0.0;
+    const int octave = (i - 1) / kSubBuckets;
+    const int sub = (i - 1) % kSubBuckets;
+    return std::ldexp(1.0, octave) *
+           (1.0 + static_cast<double>(sub) / kSubBuckets);
+  }
+
+  /// Exclusive upper edge of bucket `i` (the last bucket reports its nominal
+  /// edge 2^kOctaves even though it is open-ended).
+  static double bucketHigh(int i) {
+    if (i <= 0) return 1.0;
+    const int octave = (i - 1) / kSubBuckets;
+    const int sub = (i - 1) % kSubBuckets;
+    return std::ldexp(1.0, octave) *
+           (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
   }
 
  private:
@@ -166,6 +197,28 @@ class MetricsSnapshot {
     double sum = 0.0;        // histogram
     double min = 0.0;        // histogram (level: delta keeps `after`)
     double max = 0.0;        // histogram (level: delta keeps `after`)
+    std::vector<std::int64_t> buckets;  // histogram; indexed like Histogram
+
+    /// Percentile estimate from the bucketed distribution, p in [0, 1].
+    /// Returns the midpoint of the bucket holding the rank-ceil(p*count)
+    /// sample, clamped to [min, max]; worst-case relative error is half a
+    /// sub-bucket width (~3% at kSubBuckets = 16). 0 when empty.
+    double percentile(double p) const {
+      if (count <= 0 || buckets.empty()) return 0.0;
+      std::int64_t target =
+          static_cast<std::int64_t>(std::ceil(p * static_cast<double>(count)));
+      target = std::max<std::int64_t>(1, std::min(target, count));
+      std::int64_t cum = 0;
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cum += buckets[i];
+        if (cum >= target) {
+          double est = 0.5 * (Histogram::bucketLow(static_cast<int>(i)) +
+                              Histogram::bucketHigh(static_cast<int>(i)));
+          return std::max(min, std::min(max, est));
+        }
+      }
+      return max;
+    }
   };
 
   const std::vector<Entry>& entries() const { return entries_; }
@@ -182,9 +235,9 @@ class MetricsSnapshot {
     return e ? e->value : 0;
   }
 
-  /// after - before. Counters and histogram count/sum subtract; gauges and
-  /// histogram min/max keep the `after` reading. Metrics absent from
-  /// `before` are treated as zero there.
+  /// after - before. Counters and histogram count/sum/buckets subtract;
+  /// gauges and histogram min/max keep the `after` reading. Metrics absent
+  /// from `before` are treated as zero there.
   static MetricsSnapshot delta(const MetricsSnapshot& after,
                                const MetricsSnapshot& before) {
     MetricsSnapshot out;
@@ -194,6 +247,10 @@ class MetricsSnapshot {
         if (e.kind != MetricKind::kGauge) e.value -= b->value;
         e.count -= b->count;
         e.sum -= b->sum;
+        for (std::size_t i = 0;
+             i < e.buckets.size() && i < b->buckets.size(); ++i) {
+          e.buckets[i] -= b->buckets[i];
+        }
       }
       out.entries_.push_back(std::move(e));
     }
@@ -217,6 +274,11 @@ class MetricsSnapshot {
         if (e.count > 0) {
           std::snprintf(buf, sizeof buf, ",\"min\":%.17g,\"max\":%.17g", e.min,
                         e.max);
+          out += buf;
+          std::snprintf(buf, sizeof buf,
+                        ",\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g",
+                        e.percentile(0.50), e.percentile(0.95),
+                        e.percentile(0.99));
           out += buf;
         }
         out += "}";
@@ -269,6 +331,9 @@ class MetricsRegistry {
           e.sum = m->histogram.sum();
           e.min = m->histogram.min();
           e.max = m->histogram.max();
+          e.buckets.resize(Histogram::kNumBuckets);
+          for (int i = 0; i < Histogram::kNumBuckets; ++i)
+            e.buckets[i] = m->histogram.bucket(i);
           break;
       }
       snap.add(std::move(e));
@@ -340,7 +405,9 @@ class Gauge {
 
 class Histogram {
  public:
-  static constexpr int kNumBuckets = 40;
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kOctaves = 40;
+  static constexpr int kNumBuckets = 1 + kOctaves * kSubBuckets;
   void record(double) {}
   std::int64_t count() const { return 0; }
   double sum() const { return 0.0; }
@@ -349,6 +416,8 @@ class Histogram {
   std::int64_t bucket(int) const { return 0; }
   void reset() {}
   static int bucketOf(double) { return 0; }
+  static double bucketLow(int) { return 0.0; }
+  static double bucketHigh(int) { return 0.0; }
 };
 
 class MetricsSnapshot {
@@ -361,6 +430,8 @@ class MetricsSnapshot {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    std::vector<std::int64_t> buckets;
+    double percentile(double) const { return 0.0; }
   };
   const std::vector<Entry>& entries() const {
     static const std::vector<Entry> kEmpty;

@@ -14,7 +14,9 @@
 //     dropped and the `trace.dropped` metric is incremented -- tracing must
 //     not be able to stall or deadlock the solver, ever.
 //   * Record fields are POD; `name` must be a string literal (static
-//     storage), `detail` is a short inline copy, plus up to 4 numeric args.
+//     storage), `detail` is a short inline copy, plus up to 8 numeric args
+//     and up to 6 string attrs (key literal, value copied inline) that carry
+//     join keys like clip/rule/tech/provenance for offline attribution.
 //
 // Concurrency. Each ring is single-producer (its thread) single-consumer
 // (whoever holds the flush mutex): head is released by the producer and
@@ -34,13 +36,15 @@
 // empty inline shell; start() reports kUnavailable so callers can tell the
 // user tracing was compiled out.
 //
-// Schema (docs/OBSERVABILITY.md documents it fully):
-//   {"t":"meta","schema":"optr-trace","version":1}
-//   {"t":"span","name":"mip.node","tid":1,"id":7,"par":6,"ts":12,"dur":34,
-//    "detail":"...","args":{"iters":42}}
+// Schema "optr-trace" v2 (docs/OBSERVABILITY.md documents it fully; v1
+// files -- no "attrs", no per-thread drop metas -- remain readable):
+//   {"t":"meta","schema":"optr-trace","version":2}
+//   {"t":"span","name":"route.solve","tid":1,"id":7,"par":6,"ts":12,
+//    "dur":34,"detail":"...","attrs":{"rule":"RULE3"},"args":{"cost":40}}
 //   {"t":"event","name":"mip.incumbent","tid":1,"par":6,"ts":13,
 //    "args":{"obj":17}}
-//   {"t":"meta","end":true,"durNs":99,"dropped":0}
+//   {"t":"meta","droppedTid":3,"droppedCount":5,"pid":1234}   (per thread)
+//   {"t":"meta","end":true,"durNs":99,"dropped":5}
 #pragma once
 
 #include "obs/metrics.h"  // defines OPTR_OBS_ENABLED
@@ -73,6 +77,14 @@ struct TraceArg {
   double value;
 };
 
+/// One string annotation on a span or event. `key` must have static storage
+/// duration (string literal); `value` is copied inline (truncated to the
+/// record's attr capacity).
+struct TraceAttr {
+  const char* key;
+  std::string_view value;
+};
+
 struct TraceOptions {
   /// Ring capacity in records per thread. Small values are useful in tests
   /// to exercise the overflow path; the default absorbs a full MIP solve's
@@ -87,10 +99,18 @@ namespace trace_detail {
 struct TraceRecord {
   enum class Kind : std::uint8_t { kSpan, kEvent };
   static constexpr int kDetailCap = 48;
-  static constexpr int kMaxArgs = 4;
+  static constexpr int kMaxArgs = 8;
+  static constexpr int kMaxAttrs = 6;
+  static constexpr int kAttrValCap = 24;
+
+  struct InlineAttr {
+    const char* key = nullptr;  // static storage only
+    char value[kAttrValCap] = {0};
+  };
 
   Kind kind = Kind::kEvent;
   std::uint8_t numArgs = 0;
+  std::uint8_t numAttrs = 0;
   std::uint64_t id = 0;      // span id; 0 for events
   std::uint64_t parent = 0;  // 0 = root
   std::int64_t tsNs = 0;     // absolute steady-clock ns; flush rebases
@@ -98,6 +118,17 @@ struct TraceRecord {
   const char* name = "";     // static storage only
   char detail[kDetailCap] = {0};
   TraceArg args[kMaxArgs] = {};
+  InlineAttr attrs[kMaxAttrs] = {};
+
+  void addAttr(const char* key, std::string_view value) {
+    if (numAttrs >= kMaxAttrs) return;
+    InlineAttr& a = attrs[numAttrs++];
+    a.key = key;
+    const std::size_t n =
+        std::min(value.size(), std::size_t{kAttrValCap - 1});
+    std::memcpy(a.value, value.data(), n);
+    a.value[n] = 0;
+  }
 };
 
 struct Ring {
@@ -224,6 +255,18 @@ inline void formatRecord(const TraceRecord& r, std::uint32_t tid,
     appendEscaped(out, r.detail);
     out += "\"";
   }
+  if (r.numAttrs > 0) {
+    out += ",\"attrs\":{";
+    for (int i = 0; i < r.numAttrs; ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      appendEscaped(out, r.attrs[i].key);
+      out += "\":\"";
+      appendEscaped(out, r.attrs[i].value);
+      out += "\"";
+    }
+    out += "}";
+  }
   if (r.numArgs > 0) {
     out += ",\"args\":{";
     for (int i = 0; i < r.numArgs; ++i) {
@@ -283,6 +326,28 @@ inline std::uint64_t sessionDroppedLocked(State& s) {
   return total;
 }
 
+/// One meta line per current-generation ring that dropped records, so the
+/// reader can tell *which* thread (and, across fork isolation, which
+/// process) lost spans rather than only a global sum. Caller holds mu.
+inline void writeDropMetasLocked(State& s) {
+  if (s.fd < 0) return;
+  const std::uint64_t gen = s.generation.load(std::memory_order_relaxed);
+  std::string buf;
+  char line[128];
+  for (const auto& ring : s.rings) {
+    if (ring->generation != gen) continue;
+    const std::uint64_t d = ring->dropped.load(std::memory_order_relaxed);
+    if (d == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "{\"t\":\"meta\",\"droppedTid\":%u,\"droppedCount\":%llu,"
+                  "\"pid\":%lld}\n",
+                  ring->tid, static_cast<unsigned long long>(d),
+                  static_cast<long long>(::getpid()));
+    buf += line;
+  }
+  if (!buf.empty()) writeAll(s.fd, buf);
+}
+
 inline void record(const TraceRecord& r) {
   State& s = state();
   if (!s.active.load(std::memory_order_acquire)) return;
@@ -321,7 +386,7 @@ class TraceSession {
     s.nextSpanId.store(1, std::memory_order_relaxed);
     s.t0Ns = trace_detail::nowNs();
     trace_detail::writeAll(
-        s.fd, "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":1}\n");
+        s.fd, "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":2}\n");
     s.active.store(true, std::memory_order_release);
     return Status::ok();
   }
@@ -334,6 +399,7 @@ class TraceSession {
     if (!s.active.load(std::memory_order_relaxed)) return;
     s.active.store(false, std::memory_order_release);
     trace_detail::drainLocked(s);
+    trace_detail::writeDropMetasLocked(s);
     char buf[128];
     std::snprintf(buf, sizeof buf,
                   "{\"t\":\"meta\",\"end\":true,\"durNs\":%lld,"
@@ -375,8 +441,22 @@ class TraceSession {
     for (const auto& ring : s.rings) {
       ring->tail.store(ring->head.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+      // Drop counts inherited from the parent are the parent's to report;
+      // the child's per-thread drop metas must cover only its own losses.
+      ring->dropped.store(0, std::memory_order_relaxed);
     }
     s.nextSpanId.fetch_add(idOffset, std::memory_order_relaxed);
+  }
+
+  /// Writes per-thread drop meta lines for this process's rings (tid +
+  /// count + pid). stop() does this automatically for the parent; fork
+  /// children -- which never run stop() -- call it after their final
+  /// flushAll(), before _exit, so their losses are visible in the file.
+  static void emitThreadDrops() {
+    trace_detail::State& s = trace_detail::state();
+    if (!s.active.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(s.mu);
+    trace_detail::writeDropMetasLocked(s);
   }
 };
 
@@ -418,11 +498,19 @@ class Span {
     rec_.detail[n] = 0;
   }
 
-  /// Numeric annotation; at most 4, extras are ignored. `key` must be a
+  /// Numeric annotation; at most 8, extras are ignored. `key` must be a
   /// string literal.
   void arg(const char* key, double value) {
     if (!live_ || rec_.numArgs >= trace_detail::TraceRecord::kMaxArgs) return;
     rec_.args[rec_.numArgs++] = TraceArg{key, value};
+  }
+
+  /// String annotation (truncated to 23 chars); at most 6, extras are
+  /// ignored. `key` must be a string literal. These are the structured join
+  /// keys the attribution engine reads (clip/rule/tech/provenance/status).
+  void attr(const char* key, std::string_view value) {
+    if (!live_) return;
+    rec_.addAttr(key, value);
   }
 
   /// Ends the span early (idempotent); the destructor is then a no-op.
@@ -445,7 +533,8 @@ class Span {
 
 /// Instantaneous event, parented under the thread's current span.
 inline void event(const char* name, std::string_view detail = {},
-                  std::initializer_list<TraceArg> args = {}) {
+                  std::initializer_list<TraceArg> args = {},
+                  std::initializer_list<TraceAttr> attrs = {}) {
   trace_detail::State& s = trace_detail::state();
   if (!s.active.load(std::memory_order_acquire)) return;
   trace_detail::TraceRecord r;
@@ -464,6 +553,7 @@ inline void event(const char* name, std::string_view detail = {},
     if (r.numArgs >= trace_detail::TraceRecord::kMaxArgs) break;
     r.args[r.numArgs++] = a;
   }
+  for (const TraceAttr& a : attrs) r.addAttr(a.key, a.value);
   trace_detail::record(r);
 }
 
@@ -480,6 +570,7 @@ class TraceSession {
   static void flushAll() {}
   static std::uint64_t currentSpanId() { return 0; }
   static void onFork(std::uint64_t) {}
+  static void emitThreadDrops() {}
 };
 
 class Span {
@@ -490,12 +581,14 @@ class Span {
   Span& operator=(const Span&) = delete;
   void detail(std::string_view) {}
   void arg(const char*, double) {}
+  void attr(const char*, std::string_view) {}
   void end() {}
   std::uint64_t id() const { return 0; }
 };
 
 inline void event(const char*, std::string_view = {},
-                  std::initializer_list<TraceArg> = {}) {}
+                  std::initializer_list<TraceArg> = {},
+                  std::initializer_list<TraceAttr> = {}) {}
 
 #endif  // OPTR_OBS_ENABLED
 

@@ -1,4 +1,6 @@
-// Reader + aggregator for the JSONL trace schema written by obs/trace.h.
+// Reader for the JSONL trace schema written by obs/trace.h. Aggregation and
+// multi-file merge live in obs/analyze.h; the Table 5 attribution join is
+// report/attribution.h.
 //
 // Shared by tools/trace_report.cpp and the golden schema tests, so the
 // parser *is* the schema contract: if the writer changes shape, the golden
@@ -26,8 +28,10 @@
 
 namespace optr::obs {
 
-/// Highest trace schema version this reader understands.
-inline constexpr int kTraceSchemaVersion = 1;
+/// Highest trace schema version this reader understands. v1 files (no
+/// "attrs" objects, no per-thread drop metas) remain readable; the extra
+/// fields simply stay empty.
+inline constexpr int kTraceSchemaVersion = 2;
 inline constexpr const char* kTraceSchemaName = "optr-trace";
 
 /// One parsed JSONL line. `type` is "meta", "span", or "event".
@@ -41,12 +45,16 @@ struct TraceEntry {
   std::int64_t ts = 0;   // ns since session start
   std::int64_t dur = 0;  // ns; 0 for events
   std::vector<std::pair<std::string, double>> args;
+  std::vector<std::pair<std::string, std::string>> attrs;  // v2 string attrs
   // Meta-only fields.
   std::string schema;
   int version = 0;
   bool end = false;
-  std::int64_t durNs = 0;     // session duration (closing meta)
-  std::int64_t dropped = -1;  // -1 = not present
+  std::int64_t durNs = 0;        // session duration (closing meta)
+  std::int64_t dropped = -1;     // -1 = not present
+  std::int64_t droppedTid = -1;  // per-thread drop meta: tid, -1 = absent
+  std::int64_t droppedCount = 0;
+  std::int64_t pid = 0;  // per-thread drop meta: emitting process
 
   double arg(std::string_view key, double fallback = 0.0) const {
     for (const auto& [k, v] : args)
@@ -60,6 +68,27 @@ struct TraceEntry {
     }
     return false;
   }
+  std::string_view attr(std::string_view key,
+                        std::string_view fallback = {}) const {
+    for (const auto& [k, v] : attrs)
+      if (k == key) return v;
+    return fallback;
+  }
+  bool hasAttr(std::string_view key) const {
+    for (const auto& [k, v] : attrs) {
+      (void)v;
+      if (k == key) return true;
+    }
+    return false;
+  }
+};
+
+/// Bookkeeping from loadTrace: how many payload lines were read and how
+/// many were skipped as malformed (torn tail writes from crashed workers).
+struct TraceLoadStats {
+  std::int64_t lines = 0;      // non-empty lines seen (including header)
+  std::int64_t malformed = 0;  // skipped: truncated or unparseable
+  bool sawFooter = false;      // closing {"end":true} meta present
 };
 
 namespace trace_read_detail {
@@ -173,12 +202,98 @@ inline void parseArgs(std::string_view line,
   }
 }
 
+/// Parses the flat string->string object at `"attrs":{...}` (v2).
+inline void parseAttrs(
+    std::string_view line,
+    std::vector<std::pair<std::string, std::string>>& out) {
+  std::size_t i = findKey(line, "attrs");
+  if (i == std::string_view::npos || i >= line.size() || line[i] != '{')
+    return;
+  ++i;
+  while (i < line.size() && line[i] != '}') {
+    if (line[i] != '"') {
+      ++i;
+      continue;
+    }
+    ++i;
+    std::string key;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) ++i;
+      key += line[i++];
+    }
+    ++i;  // closing quote
+    if (i < line.size() && line[i] == ':') ++i;
+    std::string val;
+    if (i < line.size() && line[i] == '"') {
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          const char e = line[++i];
+          switch (e) {
+            case 'n': val += '\n'; break;
+            case 'r': val += '\r'; break;
+            case 't': val += '\t'; break;
+            default: val += e;
+          }
+          ++i;
+          continue;
+        }
+        val += line[i++];
+      }
+      ++i;  // closing quote
+    }
+    out.emplace_back(std::move(key), std::move(val));
+    while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+}
+
+/// True when `line` is a structurally complete JSON object: starts with
+/// '{', braces balance to zero outside strings, and nothing but whitespace
+/// follows. A torn tail write (worker killed mid-append) fails this.
+inline bool completeObject(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         (line[i] == ' ' || line[i] == '\t' || line[i] == '\r'))
+    ++i;
+  if (i >= line.size() || line[i] != '{') return false;
+  int depth = 0;
+  bool inString = false;
+  for (; i < line.size(); ++i) {
+    const char c = line[i];
+    if (inString) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        for (++i; i < line.size(); ++i) {
+          if (line[i] != ' ' && line[i] != '\t' && line[i] != '\r')
+            return false;
+        }
+        return true;
+      }
+    } else if (c == '"') {
+      inString = true;
+    }
+  }
+  return false;  // unbalanced or unterminated string: truncated line
+}
+
 }  // namespace trace_read_detail
 
-/// Parses one JSONL line. False for blank lines or lines without a "t" tag.
+/// Parses one JSONL line. False for blank lines, lines without a "t" tag,
+/// or structurally truncated lines (torn tail writes).
 inline bool parseTraceLine(std::string_view line, TraceEntry& out) {
   namespace d = trace_read_detail;
   out = TraceEntry{};
+  if (!d::completeObject(line)) return false;
   if (!d::parseString(line, "t", out.type)) return false;
   d::parseString(line, "name", out.name);
   d::parseString(line, "detail", out.detail);
@@ -198,27 +313,46 @@ inline bool parseTraceLine(std::string_view line, TraceEntry& out) {
     out.durNs = static_cast<std::int64_t>(num);
   if (d::parseNumber(line, "dropped", num))
     out.dropped = static_cast<std::int64_t>(num);
+  if (d::parseNumber(line, "droppedTid", num))
+    out.droppedTid = static_cast<std::int64_t>(num);
+  if (d::parseNumber(line, "droppedCount", num))
+    out.droppedCount = static_cast<std::int64_t>(num);
+  if (d::parseNumber(line, "pid", num))
+    out.pid = static_cast<std::int64_t>(num);
   out.end = d::parseBool(line, "end");
   d::parseArgs(line, out.args);
+  d::parseAttrs(line, out.attrs);
   return true;
 }
 
 /// Loads a whole trace file. Fails on IO errors, a missing/alien schema
-/// header, or a schema version newer than this reader.
-inline StatusOr<std::vector<TraceEntry>> loadTrace(const std::string& path) {
+/// header, or a schema version newer than this reader. Malformed lines
+/// *after* a valid header (torn tail writes from crash-interrupted workers)
+/// are skipped and counted in `stats` rather than failing the load --
+/// a crashed fleet worker must not make the surviving trace unreadable.
+inline StatusOr<std::vector<TraceEntry>> loadTrace(
+    const std::string& path, TraceLoadStats* stats = nullptr) {
   std::ifstream in(path);
   if (!in) {
     return Status::error(ErrorCode::kIo, "cannot open trace file: " + path);
   }
+  TraceLoadStats local;
+  TraceLoadStats& st = stats ? *stats : local;
+  st = TraceLoadStats{};
   std::vector<TraceEntry> entries;
   std::string line;
   bool sawHeader = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    ++st.lines;
     TraceEntry e;
     if (!parseTraceLine(line, e)) {
-      return Status::error(ErrorCode::kParse,
-                           "unparseable trace line: " + line);
+      if (!sawHeader) {
+        return Status::error(ErrorCode::kParse,
+                             "unparseable trace header: " + path);
+      }
+      ++st.malformed;
+      continue;
     }
     if (!sawHeader) {
       if (e.type != "meta" || e.schema != kTraceSchemaName) {
@@ -234,143 +368,13 @@ inline StatusOr<std::vector<TraceEntry>> loadTrace(const std::string& path) {
       }
       sawHeader = true;
     }
+    if (e.type == "meta" && e.end) st.sawFooter = true;
     entries.push_back(std::move(e));
   }
   if (!sawHeader) {
     return Status::error(ErrorCode::kParse, "empty trace file: " + path);
   }
   return entries;
-}
-
-/// Aggregated per-span-name row. Self time is total minus the time spent in
-/// child spans, so summing self across all rows approximates wall time once
-/// (no double counting down the span tree).
-struct PhaseRow {
-  std::string name;
-  std::int64_t count = 0;
-  std::int64_t totalNs = 0;
-  std::int64_t selfNs = 0;
-  double meanArg = 0.0;  // mean of the row's primary arg (iters/pivots)
-};
-
-struct RuleRow {
-  std::string rule;
-  std::int64_t solves = 0;
-  std::int64_t totalNs = 0;
-  double pivots = 0.0;
-  double nodes = 0.0;
-};
-
-struct TraceReport {
-  std::vector<PhaseRow> phases;  // sorted by totalNs descending
-  std::vector<RuleRow> rules;    // from route.solve details ("clip|rule")
-  std::int64_t sessionNs = 0;    // closing meta durNs, or max(ts+dur)
-  std::int64_t rootNs = 0;       // summed duration of root spans
-  std::int64_t events = 0;
-  std::int64_t spans = 0;
-  std::int64_t dropped = 0;
-  std::vector<std::string> anomalies;
-};
-
-/// Aggregates a parsed trace: per-phase totals with self time, per-rule
-/// breakdown, wall-clock coverage, and pivot-count outlier flags.
-inline TraceReport analyzeTrace(const std::vector<TraceEntry>& entries) {
-  TraceReport rep;
-  std::map<std::uint64_t, const TraceEntry*> byId;
-  std::map<std::uint64_t, std::int64_t> childNs;  // parent id -> child time
-  for (const TraceEntry& e : entries) {
-    if (e.type == "meta") {
-      if (e.end) rep.sessionNs = e.durNs;
-      if (e.dropped >= 0) rep.dropped = e.dropped;
-      continue;
-    }
-    rep.sessionNs = std::max(rep.sessionNs, e.ts + e.dur);
-    if (e.type == "event") {
-      ++rep.events;
-      continue;
-    }
-    if (e.type != "span") continue;
-    ++rep.spans;
-    byId[e.id] = &e;
-    if (e.parent != 0) childNs[e.parent] += e.dur;
-  }
-
-  std::map<std::string, PhaseRow> phases;
-  std::map<std::string, RuleRow> rules;
-  // Pivot-outlier detection over mip.node spans.
-  double nodeSum = 0.0, nodeSq = 0.0;
-  std::int64_t nodeN = 0;
-  for (const auto& [id, e] : byId) {
-    PhaseRow& row = phases[e->name];
-    row.name = e->name;
-    ++row.count;
-    row.totalNs += e->dur;
-    // Children running concurrently on other threads can sum past the
-    // parent's duration (e.g. batch.run over a thread pool); self time is
-    // "not attributed to children", so it floors at zero, never negative.
-    row.selfNs += std::max<std::int64_t>(0, e->dur - childNs[id]);
-    // A span is a root for coverage purposes when its parent was never
-    // written (dropped, or genuinely top-level).
-    if (e->parent == 0 || byId.find(e->parent) == byId.end()) {
-      rep.rootNs += e->dur;
-    }
-    if (e->name == "mip.node") {
-      const double iters = e->arg("iters");
-      row.meanArg += iters;
-      nodeSum += iters;
-      nodeSq += iters * iters;
-      ++nodeN;
-    }
-    if (e->name == "route.solve" && !e->detail.empty()) {
-      const std::size_t bar = e->detail.find('|');
-      const std::string rule = bar == std::string::npos
-                                   ? e->detail
-                                   : e->detail.substr(bar + 1);
-      RuleRow& rr = rules[rule];
-      rr.rule = rule;
-      ++rr.solves;
-      rr.totalNs += e->dur;
-      rr.pivots += e->arg("pivots");
-      rr.nodes += e->arg("nodes");
-    }
-  }
-  for (auto& [name, row] : phases) {
-    if (row.count > 0) row.meanArg /= static_cast<double>(row.count);
-    rep.phases.push_back(row);
-  }
-  std::sort(rep.phases.begin(), rep.phases.end(),
-            [](const PhaseRow& a, const PhaseRow& b) {
-              return a.totalNs != b.totalNs ? a.totalNs > b.totalNs
-                                           : a.name < b.name;
-            });
-  for (auto& [name, row] : rules) rep.rules.push_back(row);
-
-  if (nodeN >= 8) {
-    const double mean = nodeSum / static_cast<double>(nodeN);
-    const double var =
-        std::max(0.0, nodeSq / static_cast<double>(nodeN) - mean * mean);
-    const double limit = std::max(mean + 4.0 * std::sqrt(var), 4.0 * mean);
-    for (const auto& [id, e] : byId) {
-      if (e->name != "mip.node") continue;
-      const double iters = e->arg("iters");
-      if (iters > limit && iters > 64.0) {
-        char buf[160];
-        std::snprintf(buf, sizeof buf,
-                      "pivot outlier: mip.node id=%llu did %.0f LP pivots "
-                      "(mean %.1f over %lld nodes)",
-                      static_cast<unsigned long long>(id), iters, mean,
-                      static_cast<long long>(nodeN));
-        rep.anomalies.push_back(buf);
-      }
-    }
-  }
-  if (rep.dropped > 0) {
-    rep.anomalies.push_back(
-        "trace dropped " + std::to_string(rep.dropped) +
-        " records (ring overflow); timings remain valid, counts are lower "
-        "bounds");
-  }
-  return rep;
 }
 
 }  // namespace optr::obs

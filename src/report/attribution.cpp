@@ -1,0 +1,302 @@
+#include "report/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/jsonl.h"
+#include "report/table.h"
+
+namespace optr::report {
+
+namespace {
+
+// Matches the batch checkpoint's number formatting (ostringstream default
+// precision), which is what makes the byte-equality join claim checkable.
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.2f", v);
+  return buf;
+}
+
+std::string taskKey(const std::string& clip, const std::string& rule,
+                    const std::string& tech) {
+  return clip + "\x1f" + rule + "\x1f" + tech;
+}
+
+}  // namespace
+
+AttributionReport attributeRules(const std::vector<obs::TraceEntry>& entries,
+                                 const AttributionOptions& options) {
+  AttributionReport rep;
+  rep.baselineRule = options.baselineRule;
+
+  std::map<std::string, std::size_t> taskIndex;  // key -> rep.tasks index
+  std::vector<std::string> ruleOrder;
+  std::int64_t duplicates = 0, divergentDuplicates = 0;
+  bool sawV1 = false;
+  for (const obs::TraceEntry& e : entries) {
+    if (e.type != "span" || e.name != "route.solve") continue;
+    AttributedTask t;
+    t.clip = std::string(e.attr("clip"));
+    t.rule = std::string(e.attr("rule"));
+    t.tech = std::string(e.attr("tech"));
+    if (t.clip.empty() && t.rule.empty()) {
+      // v1 fallback: the span's detail is "clip|rule" and there are no
+      // structured attrs. Wirelength/via attribution is unavailable there.
+      const std::size_t bar = e.detail.find('|');
+      if (e.detail.empty()) continue;  // nothing to join on
+      t.clip = bar == std::string::npos ? e.detail : e.detail.substr(0, bar);
+      t.rule = bar == std::string::npos ? "" : e.detail.substr(bar + 1);
+      sawV1 = true;
+    }
+    t.status = std::string(e.attr("status"));
+    t.provenance = std::string(e.attr("provenance"));
+    t.cost = e.arg("cost");
+    t.wirelength = e.arg("wl");
+    t.vias = e.arg("vias");
+    t.bestBound = e.arg("bound");
+    t.durNs = e.dur;
+    t.hasObjective = e.hasArg("cost") && t.hasSolution();
+
+    const std::string key = taskKey(t.clip, t.rule, t.tech);
+    auto it = taskIndex.find(key);
+    if (it != taskIndex.end()) {
+      ++duplicates;
+      const AttributedTask& first = rep.tasks[it->second];
+      if (first.status != t.status || first.cost != t.cost) {
+        ++divergentDuplicates;
+        rep.notes.push_back("divergent re-solve of " + t.clip + "|" + t.rule +
+                            ": kept " + first.status + "/" + num(first.cost) +
+                            ", ignored " + t.status + "/" + num(t.cost));
+      }
+      continue;  // first occurrence wins
+    }
+    taskIndex[key] = rep.tasks.size();
+    if (std::find(ruleOrder.begin(), ruleOrder.end(), t.rule) ==
+        ruleOrder.end()) {
+      ruleOrder.push_back(t.rule);
+    }
+    rep.tasks.push_back(std::move(t));
+  }
+  if (sawV1) {
+    rep.notes.push_back(
+        "v1 trace spans joined via detail split; wirelength/via/status "
+        "attribution unavailable for those tasks");
+  }
+  if (duplicates > 0) {
+    rep.notes.push_back(std::to_string(duplicates) +
+                        " duplicate route.solve span(s) ignored (" +
+                        std::to_string(divergentDuplicates) + " divergent)");
+  }
+
+  // Baseline lookup: (clip, tech) -> task under the baseline rule.
+  std::map<std::pair<std::string, std::string>, const AttributedTask*> base;
+  for (const AttributedTask& t : rep.tasks) {
+    if (t.rule == rep.baselineRule) base[{t.clip, t.tech}] = &t;
+  }
+  if (base.empty()) {
+    rep.notes.push_back("baseline rule " + rep.baselineRule +
+                        " has no tasks in this trace; deltas are undefined");
+  }
+
+  // One row per (rule, tech) cell, joined clip-wise against the baseline.
+  std::map<std::pair<std::string, std::string>, AttributionRow> cells;
+  for (const AttributedTask& t : rep.tasks) {
+    AttributionRow& row = cells[{t.tech, t.rule}];
+    row.rule = t.rule;
+    row.tech = t.tech;
+    auto bit = base.find({t.clip, t.tech});
+    if (bit == base.end() || !bit->second->hasSolution()) continue;
+    const AttributedTask& b = *bit->second;
+    ++row.clips;
+    row.durNs += t.durNs;
+    row.baseDurNs += b.durNs;
+    if (t.hasSolution()) {
+      ++row.solved;
+      row.wl += t.wirelength;
+      row.vias += t.vias;
+      row.cost += t.cost;
+      row.baseWl += b.wirelength;
+      row.baseVias += b.vias;
+      row.baseCost += b.cost;
+    } else if (t.status == "infeasible") {
+      ++row.infeasible;
+    } else {
+      ++row.unresolved;
+    }
+  }
+  for (auto& [key, row] : cells) {
+    if (row.baseWl > 0) row.dWlPct = 100.0 * (row.wl - row.baseWl) / row.baseWl;
+    row.dVias = row.vias - row.baseVias;
+    if (row.baseCost > 0)
+      row.dCostPct = 100.0 * (row.cost - row.baseCost) / row.baseCost;
+    if (row.baseDurNs > 0)
+      row.dRuntimePct = 100.0 *
+                        static_cast<double>(row.durNs - row.baseDurNs) /
+                        static_cast<double>(row.baseDurNs);
+  }
+  // Tech-major, rules in first-seen trace order (Table 5 lists the rule set
+  // in the paper's order, which is how the sweep enumerates them).
+  std::vector<std::string> techs;
+  for (const auto& [key, row] : cells) {
+    if (std::find(techs.begin(), techs.end(), key.first) == techs.end())
+      techs.push_back(key.first);
+  }
+  std::sort(techs.begin(), techs.end());
+  for (const std::string& tech : techs) {
+    for (const std::string& rule : ruleOrder) {
+      auto it = cells.find({tech, rule});
+      if (it != cells.end()) rep.rows.push_back(it->second);
+    }
+  }
+  return rep;
+}
+
+std::string renderAttributionText(const AttributionReport& report) {
+  std::ostringstream out;
+  out << "Rule attribution vs baseline " << report.baselineRule
+      << " (Table 5)\n";
+  Table table({"tech", "rule", "clips", "solved", "infeas", "unres", "dWL%",
+               "dVias", "dCost%", "dRun%"});
+  for (const AttributionRow& r : report.rows) {
+    const bool isBase = r.rule == report.baselineRule;
+    table.addRow({r.tech.empty() ? "-" : r.tech, r.rule,
+                  std::to_string(r.clips), std::to_string(r.solved),
+                  std::to_string(r.infeasible), std::to_string(r.unresolved),
+                  isBase ? "ref" : pct(r.dWlPct),
+                  isBase ? "ref" : pct(r.dVias),
+                  isBase ? "ref" : pct(r.dCostPct),
+                  isBase ? "ref" : pct(r.dRuntimePct)});
+  }
+  out << table.render();
+  for (const std::string& n : report.notes) out << "note: " << n << "\n";
+  return out.str();
+}
+
+std::string attributionToJson(const AttributionReport& report) {
+  std::ostringstream os;
+  os << "{\"report\":\"table5\",\"baseline\":\""
+     << jsonl::escape(report.baselineRule) << "\",\"rows\":[";
+  bool first = true;
+  for (const AttributionRow& r : report.rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"tech\":\"" << jsonl::escape(r.tech) << "\""
+       << ",\"rule\":\"" << jsonl::escape(r.rule) << "\""
+       << ",\"clips\":" << r.clips << ",\"solved\":" << r.solved
+       << ",\"infeasible\":" << r.infeasible
+       << ",\"unresolved\":" << r.unresolved << ",\"wl\":" << num(r.wl)
+       << ",\"vias\":" << num(r.vias) << ",\"cost\":" << num(r.cost)
+       << ",\"durNs\":" << r.durNs << ",\"dWlPct\":" << num(r.dWlPct)
+       << ",\"dVias\":" << num(r.dVias) << ",\"dCostPct\":" << num(r.dCostPct)
+       << ",\"dRuntimePct\":" << num(r.dRuntimePct) << "}";
+  }
+  os << "],\"tasks\":[";
+  first = true;
+  for (const AttributedTask& t : report.tasks) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"clip\":\"" << jsonl::escape(t.clip) << "\""
+       << ",\"rule\":\"" << jsonl::escape(t.rule) << "\""
+       << ",\"tech\":\"" << jsonl::escape(t.tech) << "\""
+       << ",\"status\":\"" << jsonl::escape(t.status) << "\""
+       << ",\"provenance\":\"" << jsonl::escape(t.provenance) << "\""
+       << ",\"cost\":" << num(t.cost) << ",\"wirelength\":" << num(t.wirelength)
+       << ",\"vias\":" << num(t.vias) << ",\"bestBound\":" << num(t.bestBound)
+       << ",\"durNs\":" << t.durNs << "}";
+  }
+  os << "],\"notes\":[";
+  first = true;
+  for (const std::string& n : report.notes) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonl::escape(n) << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+StatusOr<std::vector<std::string>> verifyJoin(
+    const AttributionReport& report, const std::string& checkpointPath) {
+  std::ifstream in(checkpointPath);
+  if (!in) {
+    return Status::error(ErrorCode::kIo,
+                         "cannot open checkpoint: " + checkpointPath);
+  }
+  // Later rows win: a resumed checkpoint may re-append a task's final row.
+  struct CkptRow {
+    std::string status;
+    double cost = 0, wirelength = 0, vias = 0;
+    bool hasNumbers = false;
+  };
+  std::map<std::pair<std::string, std::string>, CkptRow> truth;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string clip, rule;
+    if (!jsonl::getString(line, "clip", clip) ||
+        !jsonl::getString(line, "rule", rule)) {
+      continue;  // foreign or torn line; the batch loader skips these too
+    }
+    CkptRow row;
+    jsonl::getString(line, "status", row.status);
+    row.hasNumbers = jsonl::getNumber(line, "cost", row.cost);
+    jsonl::getNumber(line, "wirelength", row.wirelength);
+    jsonl::getNumber(line, "vias", row.vias);
+    truth[{clip, rule}] = row;
+  }
+
+  std::vector<std::string> mismatches;
+  std::map<std::pair<std::string, std::string>, const AttributedTask*> traced;
+  for (const AttributedTask& t : report.tasks) {
+    traced[{t.clip, t.rule}] = &t;
+  }
+  for (const auto& [key, row] : truth) {
+    auto it = traced.find(key);
+    const std::string label = key.first + "|" + key.second;
+    if (it == traced.end()) {
+      mismatches.push_back("checkpoint task " + label + " missing from trace");
+      continue;
+    }
+    const AttributedTask& t = *it->second;
+    if (!t.status.empty() && t.status != row.status) {
+      mismatches.push_back("status mismatch for " + label + ": trace " +
+                           t.status + " vs checkpoint " + row.status);
+      continue;
+    }
+    const bool solved = row.status == "optimal" || row.status == "feasible";
+    if (!solved || !row.hasNumbers) continue;  // no objective to compare
+    if (num(t.cost) != num(row.cost)) {
+      mismatches.push_back("cost mismatch for " + label + ": trace " +
+                           num(t.cost) + " vs checkpoint " + num(row.cost));
+    }
+    if (t.hasObjective && num(t.wirelength) != num(row.wirelength)) {
+      mismatches.push_back("wirelength mismatch for " + label + ": trace " +
+                           num(t.wirelength) + " vs checkpoint " +
+                           num(row.wirelength));
+    }
+    if (t.hasObjective && num(t.vias) != num(row.vias)) {
+      mismatches.push_back("vias mismatch for " + label + ": trace " +
+                           num(t.vias) + " vs checkpoint " + num(row.vias));
+    }
+  }
+  for (const auto& [key, t] : traced) {
+    (void)t;
+    if (truth.find(key) == truth.end()) {
+      mismatches.push_back("trace task " + key.first + "|" + key.second +
+                           " missing from checkpoint");
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace optr::report

@@ -1,0 +1,102 @@
+// Rule-impact attribution: the paper's Table 5, mined from traces.
+//
+// The paper's headline analysis attributes wirelength / via-count / runtime
+// cost to individual BEOL design rules per technology (Table 5). PR 3's
+// TraceSession records every route.solve span; with schema v2 those spans
+// carry structured attrs (clip, rule, tech, status, provenance) and args
+// (cost, wl, vias, bound), so the whole report can be joined offline from a
+// trace -- including a trace merged from independent fleet-worker files
+// (obs::mergeTraces) -- with no access to the original clip set.
+//
+// Join contract: one route.solve span per (clip, rule, tech) task. Repeats
+// (re-solves after lease reassignment, warm-start reference solves) keep the
+// first occurrence and are counted in `notes`. Deltas compare each rule's
+// task set against the baseline rule over the clips *both* solved, so a rule
+// that makes a clip infeasible shows up in `infeasible`, not as a skewed
+// average. v1 traces (detail "clip|rule", cost arg only) still join, minus
+// the wirelength/via split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_read.h"
+
+namespace optr::report {
+
+struct AttributionOptions {
+  /// Rule whose outcomes are the deltas' reference (paper: RULE1-only set).
+  std::string baselineRule = "RULE1";
+};
+
+/// One routed task mined from a route.solve span.
+struct AttributedTask {
+  std::string clip;
+  std::string rule;
+  std::string tech;
+  std::string status;      // optimal / feasible / infeasible / ...
+  std::string provenance;  // ilp-proven / ilp-incumbent / maze-fallback
+  double cost = 0.0;
+  double wirelength = 0.0;
+  double vias = 0.0;
+  double bestBound = 0.0;
+  std::int64_t durNs = 0;
+  bool hasObjective = false;  // status carries a routed solution
+
+  bool hasSolution() const {
+    return status == "optimal" || status == "feasible";
+  }
+};
+
+/// One Table 5 row: a rule x technology cell vs the baseline rule.
+struct AttributionRow {
+  std::string rule;
+  std::string tech;
+  int clips = 0;       // tasks joined with a baseline outcome
+  int solved = 0;      // of those, routed under this rule
+  int infeasible = 0;  // proven unroutable under this rule
+  int unresolved = 0;  // error / deadline / unknown
+  // Sums over the joined-and-solved clips (this rule / baseline).
+  double wl = 0.0, baseWl = 0.0;
+  double vias = 0.0, baseVias = 0.0;
+  double cost = 0.0, baseCost = 0.0;
+  std::int64_t durNs = 0, baseDurNs = 0;  // over all joined clips
+  // Deltas vs baseline: percentages where the paper reports percentages.
+  double dWlPct = 0.0;
+  double dVias = 0.0;
+  double dCostPct = 0.0;
+  double dRuntimePct = 0.0;
+};
+
+struct AttributionReport {
+  std::string baselineRule;
+  std::vector<AttributedTask> tasks;  // deduped, first-seen order
+  std::vector<AttributionRow> rows;   // tech-major, rule first-seen order
+  std::vector<std::string> notes;     // duplicates, missing baselines, v1
+};
+
+/// Builds the Table 5 join from parsed trace entries (one file or a merged
+/// fleet set).
+AttributionReport attributeRules(const std::vector<obs::TraceEntry>& entries,
+                                 const AttributionOptions& options = {});
+
+/// Plain-text rendering (report::Table) of rows + notes.
+std::string renderAttributionText(const AttributionReport& report);
+
+/// JSON document: {"report":"table5","baseline":...,"rows":[...],
+/// "tasks":[...]}. Numbers are formatted exactly like the batch checkpoint
+/// rows (operator<< default precision), so a task objective here is
+/// byte-identical to the same task's "cost" in the sweep's JSONL results.
+std::string attributionToJson(const AttributionReport& report);
+
+/// Verifies the trace join is lossless against the ground-truth sweep
+/// results: every checkpoint row (batch/sweep JSONL at `checkpointPath`)
+/// must appear in `report` with byte-identical cost/wirelength/vias and
+/// matching status, and vice versa every trace task must be in the
+/// checkpoint. Returns the list of mismatches (empty = lossless).
+StatusOr<std::vector<std::string>> verifyJoin(const AttributionReport& report,
+                                              const std::string& checkpointPath);
+
+}  // namespace optr::report

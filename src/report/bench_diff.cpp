@@ -1,0 +1,464 @@
+#include "report/bench_diff.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace optr::report {
+
+namespace {
+
+// ---- recursive-descent JSON parser ---------------------------------------
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool match(char c) {
+    skipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string& out) {
+    skipWs();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\' && pos < text.size()) {
+        char e = text[pos++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned code = static_cast<unsigned>(
+                std::strtoul(std::string(text.substr(pos, 4)).c_str(),
+                             nullptr, 16));
+            out += static_cast<char>(code);  // ASCII subset is all we emit
+            pos += 4;
+            break;
+          }
+          default: out += e;
+        }
+        continue;
+      }
+      out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue& out) {
+    skipWs();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out.kind = JsonValue::Kind::kObject;
+      skipWs();
+      if (match('}')) return true;
+      while (true) {
+        std::string key;
+        if (!parseString(key)) return false;
+        if (!match(':')) return fail("expected ':'");
+        JsonValue v;
+        if (!parseValue(v)) return false;
+        out.members.emplace_back(std::move(key), std::move(v));
+        if (match(',')) continue;
+        if (match('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.kind = JsonValue::Kind::kArray;
+      skipWs();
+      if (match(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!parseValue(v)) return false;
+        out.items.push_back(std::move(v));
+        if (match(',')) continue;
+        if (match(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parseString(out.str);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return true;  // kind stays kNull
+    }
+    // Number: take the maximal token, keep the raw bytes.
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E'))
+      ++pos;
+    if (pos == start) return fail("unexpected character");
+    out.kind = JsonValue::Kind::kNumber;
+    out.raw = std::string(text.substr(start, pos - start));
+    out.number = std::strtod(out.raw.c_str(), nullptr);
+    return true;
+  }
+};
+
+// ---- comparison helpers --------------------------------------------------
+
+struct Unit {
+  std::string key;          // "mode" or "config" value
+  const JsonValue* value = nullptr;
+};
+
+// BENCH docs carry units in "passes" (keyed "mode") or "configs" (keyed
+// "config"); returns them in file order.
+std::vector<Unit> unitsOf(const JsonValue& doc) {
+  std::vector<Unit> out;
+  for (const char* arrayKey : {"passes", "configs"}) {
+    const JsonValue* arr = doc.find(arrayKey);
+    if (!arr || arr->kind != JsonValue::Kind::kArray) continue;
+    for (const JsonValue& u : arr->items) {
+      Unit unit;
+      unit.key = u.text("mode", u.text("config"));
+      unit.value = &u;
+      out.push_back(std::move(unit));
+    }
+  }
+  return out;
+}
+
+struct Task {
+  std::string key;  // clip|rule
+  std::string status;
+  std::string costRaw;
+  std::string boundRaw;
+};
+
+std::vector<Task> tasksOf(const JsonValue& unit) {
+  std::vector<Task> out;
+  for (const char* arrayKey : {"clips", "tasks"}) {
+    const JsonValue* arr = unit.find(arrayKey);
+    if (!arr || arr->kind != JsonValue::Kind::kArray) continue;
+    for (const JsonValue& t : arr->items) {
+      Task task;
+      task.key = t.text("name", t.text("clip")) + "|" + t.text("rule");
+      task.status = t.text("status");
+      if (const JsonValue* c = t.find("cost")) task.costRaw = c->raw;
+      if (const JsonValue* b = t.find("bestBound")) task.boundRaw = b->raw;
+      out.push_back(std::move(task));
+    }
+  }
+  return out;
+}
+
+bool proven(const std::string& status) {
+  return status == "optimal" || status == "infeasible";
+}
+
+// A unit's pivot total: the obs registry's lpPivots when present
+// (bench_runtime/bench_sweep style), else a top-level "pivots" (bench_lp).
+double pivotsOf(const JsonValue& unit, bool& found) {
+  if (const JsonValue* reg = unit.find("registry")) {
+    if (reg->has("lpPivots")) {
+      found = true;
+      return reg->num("lpPivots");
+    }
+  }
+  if (unit.has("pivots")) {
+    found = true;
+    return unit.num("pivots");
+  }
+  found = false;
+  return 0.0;
+}
+
+bool deterministicUnit(const JsonValue& unit) {
+  return unit.num("mipThreads", 1.0) <= 1.0;
+}
+
+std::string rel(double base, double cand) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", 100.0 * (cand - base) / base);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<JsonValue> parseJson(std::string_view text) {
+  Parser p;
+  p.text = text;
+  JsonValue out;
+  if (!p.parseValue(out)) {
+    return Status::error(ErrorCode::kParse, "json: " + p.error);
+  }
+  p.skipWs();
+  if (p.pos != text.size()) {
+    return Status::error(ErrorCode::kParse,
+                         "json: trailing data at byte " +
+                             std::to_string(p.pos));
+  }
+  return out;
+}
+
+StatusOr<JsonValue> loadJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::error(ErrorCode::kIo, "cannot open: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = parseJson(buf.str());
+  if (!parsed.isOk()) {
+    return Status::error(parsed.status().code(),
+                         path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+BenchCompareResult compareBench(const JsonValue& baseline,
+                                const JsonValue& candidate,
+                                const BenchCompareOptions& options) {
+  BenchCompareResult res;
+  const std::string baseName = baseline.text("benchmark");
+  const std::string candName = candidate.text("benchmark");
+  if (baseName != candName) {
+    res.failures.push_back("benchmark mismatch: baseline '" + baseName +
+                           "' vs candidate '" + candName + "'");
+    return res;
+  }
+
+  std::map<std::string, const JsonValue*> candUnits;
+  for (const Unit& u : unitsOf(candidate)) candUnits[u.key] = u.value;
+  std::set<std::string> seen;
+  for (const Unit& bu : unitsOf(baseline)) {
+    auto it = candUnits.find(bu.key);
+    if (it == candUnits.end()) {
+      res.notes.push_back("unit '" + bu.key + "' only in baseline; skipped");
+      continue;
+    }
+    seen.insert(bu.key);
+    const JsonValue& bunit = *bu.value;
+    const JsonValue& cunit = *it->second;
+    ++res.unitsCompared;
+
+    // ---- task-level proven equality (always a hard gate) ----
+    std::map<std::string, Task> candTasks;
+    for (Task& t : tasksOf(cunit)) candTasks[t.key] = std::move(t);
+    bool comparable = true;  // proven sets matched, no one-sided tasks
+    for (const Task& bt : tasksOf(bunit)) {
+      auto ct = candTasks.find(bt.key);
+      if (ct == candTasks.end()) {
+        res.notes.push_back("unit '" + bu.key + "': task " + bt.key +
+                            " only in baseline");
+        comparable = false;
+        continue;
+      }
+      ++res.tasksCompared;
+      const Task& cand = ct->second;
+      if (proven(bt.status) && proven(cand.status)) {
+        if (bt.status != cand.status) {
+          res.failures.push_back("unit '" + bu.key + "': " + bt.key +
+                                 " proven status changed " + bt.status +
+                                 " -> " + cand.status);
+          comparable = false;
+        } else if (bt.status == "optimal" && bt.costRaw != cand.costRaw) {
+          res.failures.push_back("unit '" + bu.key + "': " + bt.key +
+                                 " proven cost changed " + bt.costRaw +
+                                 " -> " + cand.costRaw);
+          comparable = false;
+        } else if (bt.status == "optimal" && !bt.boundRaw.empty() &&
+                   !cand.boundRaw.empty() && bt.boundRaw != cand.boundRaw) {
+          res.failures.push_back("unit '" + bu.key + "': " + bt.key +
+                                 " proven bound changed " + bt.boundRaw +
+                                 " -> " + cand.boundRaw);
+          comparable = false;
+        }
+      } else if (proven(bt.status) != proven(cand.status)) {
+        res.notes.push_back("unit '" + bu.key + "': " + bt.key +
+                            " proven on one side only (" + bt.status +
+                            " vs " + cand.status + ")");
+        comparable = false;
+      }
+      candTasks.erase(ct);
+    }
+    for (const auto& [key, t] : candTasks) {
+      (void)t;
+      res.notes.push_back("unit '" + bu.key + "': task " + key +
+                          " only in candidate");
+      comparable = false;
+    }
+
+    // ---- pivot gate: deterministic units with fully-matched work ----
+    bool bFound = false, cFound = false;
+    const double bPivots = pivotsOf(bunit, bFound);
+    const double cPivots = pivotsOf(cunit, cFound);
+    if (options.maxPivotRegress >= 0 && bFound && cFound && bPivots > 0) {
+      if (!deterministicUnit(bunit) || !deterministicUnit(cunit)) {
+        res.notes.push_back("unit '" + bu.key +
+                            "': pivot gate skipped (mip-parallel pivots are "
+                            "scheduling-dependent)");
+      } else if (!comparable) {
+        res.notes.push_back("unit '" + bu.key +
+                            "': pivot gate skipped (task sets not "
+                            "comparable)");
+      } else if (cPivots > bPivots * (1.0 + options.maxPivotRegress)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.0f%%",
+                      100.0 * options.maxPivotRegress);
+        res.failures.push_back(
+            "unit '" + bu.key + "': pivot regression " + rel(bPivots, cPivots) +
+            " (" + std::to_string(static_cast<long long>(bPivots)) + " -> " +
+            std::to_string(static_cast<long long>(cPivots)) +
+            ", limit +" + buf + ") at equal proven costs");
+      } else {
+        res.notes.push_back("unit '" + bu.key + "': pivot gate OK (" +
+                            rel(bPivots, cPivots) + ")");
+      }
+    }
+
+    // ---- wall gate: opt-in ----
+    const double bWall = bunit.num("wallMs", -1.0);
+    const double cWall = cunit.num("wallMs", -1.0);
+    if (options.maxWallRegress >= 0 && bWall > 0 && cWall > 0 &&
+        cWall > bWall * (1.0 + options.maxWallRegress)) {
+      res.failures.push_back("unit '" + bu.key + "': wall regression " +
+                             rel(bWall, cWall));
+    }
+  }
+  for (const auto& [key, u] : candUnits) {
+    (void)u;
+    if (seen.find(key) == seen.end()) {
+      res.notes.push_back("unit '" + key + "' only in candidate; skipped");
+    }
+  }
+  if (res.unitsCompared == 0) {
+    res.failures.push_back("no comparable units between the two snapshots");
+  }
+  return res;
+}
+
+BenchCompareResult selfCheckBench(const JsonValue& doc) {
+  BenchCompareResult res;
+  if (doc.text("benchmark") != "bench_runtime") {
+    res.notes.push_back("no self-check defined for benchmark '" +
+                        doc.text("benchmark") + "'");
+    return res;
+  }
+  std::map<std::string, const JsonValue*> passes;
+  for (const Unit& u : unitsOf(doc)) passes[u.key] = u.value;
+  auto ser = passes.find("serial");
+  auto clip = passes.find("clip-parallel");
+  auto mip = passes.find("mip-parallel");
+  if (ser == passes.end() || clip == passes.end() || mip == passes.end()) {
+    res.notes.push_back(
+        "self-check skipped: serial/clip-parallel/mip-parallel passes not "
+        "all present");
+    return res;
+  }
+  const JsonValue* serReg = ser->second->find("registry");
+  const JsonValue* clipReg = clip->second->find("registry");
+  const JsonValue* mipReg = mip->second->find("registry");
+  if (!serReg || !clipReg || !mipReg) {
+    res.notes.push_back("self-check skipped: no registry fields");
+    return res;
+  }
+  if (serReg->num("routeSolves") == 0 && serReg->num("lpPivots") == 0) {
+    res.notes.push_back(
+        "metrics registry empty (OPTR_OBS disabled build); "
+        "work-conservation check skipped");
+    return res;
+  }
+  ++res.unitsCompared;
+  // Clip threading changes scheduling between tasks, never inside one, so
+  // the clip-parallel pass must do exactly the serial pass's work.
+  for (const char* key : {"lpPivots", "ilpPivots", "nodes", "routeSolves"}) {
+    const double s = serReg->num(key), c = clipReg->num(key);
+    if (s != c) {
+      res.failures.push_back(
+          std::string("clip-parallel ") + key + " " +
+          std::to_string(static_cast<long long>(c)) + " != serial " +
+          std::to_string(static_cast<long long>(s)) +
+          " (threading must not change per-task work)");
+    }
+  }
+  // Parallel B&B explores a scheduling-dependent tree: exact solve count,
+  // generous ratio bound on the work totals.
+  if (mipReg->num("routeSolves") != serReg->num("routeSolves")) {
+    res.failures.push_back(
+        "mip-parallel routeSolves " +
+        std::to_string(static_cast<long long>(mipReg->num("routeSolves"))) +
+        " != serial " +
+        std::to_string(static_cast<long long>(serReg->num("routeSolves"))));
+  }
+  for (const char* key : {"lpPivots", "nodes"}) {
+    const double s = serReg->num(key), m = mipReg->num(key);
+    if (s > 0 && !(s / 4 <= m && m <= s * 4)) {
+      res.failures.push_back(std::string("mip-parallel ") + key + " " +
+                             std::to_string(static_cast<long long>(m)) +
+                             " outside 4x of serial " +
+                             std::to_string(static_cast<long long>(s)) +
+                             " -- parallel B&B doing pathological work");
+    }
+  }
+  // Cross-pass objective agreement on doubly-proven tasks.
+  std::map<std::string, std::pair<std::string, std::string>> costs;
+  for (const auto& [mode, pass] : passes) {
+    for (const Task& t : tasksOf(*pass)) {
+      ++res.tasksCompared;
+      if (t.status != "optimal") continue;
+      auto it = costs.find(t.key);
+      if (it == costs.end()) {
+        costs[t.key] = {mode, t.costRaw};
+      } else if (it->second.second != t.costRaw) {
+        res.failures.push_back("task " + t.key + " proven cost diverges: " +
+                               it->second.first + "=" + it->second.second +
+                               " vs " + mode + "=" + t.costRaw);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace optr::report

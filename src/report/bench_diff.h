@@ -1,0 +1,102 @@
+// Bench-trajectory regression tracking: diff two BENCH_*.json snapshots
+// (bench_runtime / bench_lp / bench_sweep / bench_fleet) and fail on
+// configurable pivot/wall/cost regressions. This is the library behind
+// tools/bench_compare, which replaces the ad-hoc python gate that used to
+// live inline in run_perf_smoke.sh.
+//
+// The BENCH files are nested JSON, so unlike the flat JSONL helpers this
+// carries a real (but still dependency-free, hand-rolled) recursive parser.
+// Raw number tokens are preserved so "byte-equal proven cost" is checked on
+// the bytes, not on a double round-trip.
+//
+// Comparison model: a snapshot is a set of *units* -- entries of the
+// top-level "passes" (keyed by "mode") or "configs" (keyed by "config")
+// array -- each optionally carrying *tasks* ("clips" keyed name+rule, or
+// "tasks" keyed clip+rule) and aggregate counters (registry.lpPivots /
+// pivots / wallMs). Rules:
+//   * Units and tasks are matched by key; one-sided entries are notes, and
+//     make the unit ineligible for the pivot gate (the work differs).
+//   * A task proven by BOTH sides (optimal/infeasible) must agree on
+//     status, cost, and bestBound byte-for-byte: always a failure.
+//   * Pivot totals are gated (default >10% growth fails) only for
+//     deterministic units -- mipThreads absent or <= 1 on both sides --
+//     whose proven task sets fully matched. Parallel B&B pivot counts are
+//     scheduling noise, exactly as the old smoke gate treated them.
+//   * Wall time is opt-in (maxWallRegress < 0 disables), because CI boxes
+//     are noisy; pivots are the portable cost proxy.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optr::report {
+
+/// Parsed JSON value. Numbers keep their raw source token in `raw`.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;  // string payload
+  std::string raw;  // raw number token, for byte-equality
+  std::vector<std::pair<std::string, JsonValue>> members;  // object
+  std::vector<JsonValue> items;                            // array
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  double num(std::string_view key, double fallback = 0.0) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  std::string text(std::string_view key,
+                   const std::string& fallback = {}) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kString ? v->str : fallback;
+  }
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+};
+
+/// Full-document recursive-descent parse; kParse with a byte offset on
+/// malformed input.
+StatusOr<JsonValue> parseJson(std::string_view text);
+
+/// Convenience: read + parse a file.
+StatusOr<JsonValue> loadJsonFile(const std::string& path);
+
+struct BenchCompareOptions {
+  /// Max allowed relative pivot growth for deterministic units
+  /// ((cand - base) / base); negative disables the gate.
+  double maxPivotRegress = 0.10;
+  /// Max allowed relative wallMs growth; negative (default) disables.
+  double maxWallRegress = -1.0;
+};
+
+struct BenchCompareResult {
+  std::vector<std::string> failures;  // any entry = regression, exit 1
+  std::vector<std::string> notes;     // informational / skipped gates
+  int unitsCompared = 0;
+  int tasksCompared = 0;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Diffs candidate against baseline per the model above.
+BenchCompareResult compareBench(const JsonValue& baseline,
+                                const JsonValue& candidate,
+                                const BenchCompareOptions& options = {});
+
+/// Intra-file invariants for one snapshot. For bench_runtime this is the
+/// work-conservation gate the smoke script used to run in python: the
+/// clip-parallel pass must match the serial pass exactly on
+/// lpPivots/ilpPivots/nodes/routeSolves, mip-parallel must match on
+/// routeSolves and stay within 4x on lpPivots/nodes, and every task proven
+/// optimal by two passes must agree on cost. Other benchmarks currently
+/// have no self-check and return a note saying so.
+BenchCompareResult selfCheckBench(const JsonValue& doc);
+
+}  // namespace optr::report

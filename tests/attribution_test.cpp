@@ -1,0 +1,283 @@
+// Attribution engine: the paper's Table 5 joined from route.solve spans.
+//
+// The synthetic cases pin the join arithmetic exactly (known wirelength /
+// via / runtime inputs produce known deltas); the fleet case proves traces
+// from independent worker files -- with colliding span ids -- merge into the
+// same report; the end-to-end case runs a real traced batch and proves the
+// trace join is byte-for-byte lossless against the checkpoint JSONL.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/batch_runner.h"
+#include "obs/analyze.h"
+#include "obs/trace.h"
+#include "obs/trace_read.h"
+#include "report/attribution.h"
+#include "test_clips.h"
+
+namespace optr::report {
+namespace {
+
+using clip::TrackPoint;
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(::getpid());
+}
+
+/// A v2 route.solve span carrying the full join envelope.
+obs::TraceEntry solveSpan(const std::string& clip, const std::string& rule,
+                          const std::string& tech, const std::string& status,
+                          double cost, double wl, double vias,
+                          std::int64_t durNs) {
+  obs::TraceEntry e;
+  e.type = "span";
+  e.name = "route.solve";
+  e.dur = durNs;
+  e.attrs = {{"clip", clip}, {"rule", rule}, {"tech", tech},
+             {"status", status}, {"provenance", "ilp-proven"}};
+  if (status == "optimal" || status == "feasible") {
+    e.args = {{"cost", cost}, {"wl", wl}, {"vias", vias}};
+  }
+  return e;
+}
+
+TEST(Attribution, TwoRuleJoinComputesExactDeltas) {
+  // Baseline RULE1: wl 10+20, vias 2+2, 1000ns each.
+  // RULE3: wl 11+22 (+10%), vias 3+2 (+1), 1500+2500ns (+100%).
+  std::vector<obs::TraceEntry> es = {
+      solveSpan("clipA", "RULE1", "N7", "optimal", 12, 10, 2, 1000),
+      solveSpan("clipB", "RULE1", "N7", "optimal", 22, 20, 2, 1000),
+      solveSpan("clipA", "RULE3", "N7", "optimal", 14, 11, 3, 1500),
+      solveSpan("clipB", "RULE3", "N7", "optimal", 24, 22, 2, 2500),
+  };
+  AttributionReport rep = attributeRules(es);
+  EXPECT_EQ(rep.baselineRule, "RULE1");
+  EXPECT_EQ(rep.tasks.size(), 4u);
+  EXPECT_TRUE(rep.notes.empty());
+  ASSERT_EQ(rep.rows.size(), 2u);
+
+  // Rules keep first-seen trace order: RULE1 (the baseline row) first.
+  const AttributionRow& base = rep.rows[0];
+  EXPECT_EQ(base.rule, "RULE1");
+  EXPECT_EQ(base.tech, "N7");
+  EXPECT_EQ(base.clips, 2);
+  EXPECT_EQ(base.solved, 2);
+  EXPECT_DOUBLE_EQ(base.dWlPct, 0.0);
+  EXPECT_DOUBLE_EQ(base.dVias, 0.0);
+  EXPECT_DOUBLE_EQ(base.dRuntimePct, 0.0);
+
+  const AttributionRow& r3 = rep.rows[1];
+  EXPECT_EQ(r3.rule, "RULE3");
+  EXPECT_EQ(r3.clips, 2);
+  EXPECT_EQ(r3.solved, 2);
+  EXPECT_EQ(r3.infeasible, 0);
+  EXPECT_DOUBLE_EQ(r3.wl, 33.0);
+  EXPECT_DOUBLE_EQ(r3.baseWl, 30.0);
+  EXPECT_DOUBLE_EQ(r3.dWlPct, 10.0);       // (33-30)/30
+  EXPECT_DOUBLE_EQ(r3.dVias, 1.0);         // 5-4
+  EXPECT_DOUBLE_EQ(r3.dCostPct, 100.0 * (38.0 - 34.0) / 34.0);
+  EXPECT_DOUBLE_EQ(r3.dRuntimePct, 100.0); // 4000 vs 2000 ns
+}
+
+TEST(Attribution, InfeasibleAndUnresolvedJoinWithoutSkewingAverages) {
+  std::vector<obs::TraceEntry> es = {
+      solveSpan("clipA", "RULE1", "N7", "optimal", 10, 8, 1, 100),
+      solveSpan("clipB", "RULE1", "N7", "optimal", 10, 8, 1, 100),
+      solveSpan("clipC", "RULE1", "N7", "unknown", 0, 0, 0, 100),
+      solveSpan("clipA", "RULE6", "N7", "infeasible", 0, 0, 0, 300),
+      solveSpan("clipB", "RULE6", "N7", "optimal", 12, 9, 2, 200),
+      // clipC has no solved baseline: excluded from the RULE6 join entirely.
+      solveSpan("clipC", "RULE6", "N7", "optimal", 11, 9, 1, 100),
+  };
+  AttributionReport rep = attributeRules(es);
+  ASSERT_EQ(rep.rows.size(), 2u);
+  const AttributionRow& r6 = rep.rows[1];
+  EXPECT_EQ(r6.rule, "RULE6");
+  EXPECT_EQ(r6.clips, 2);       // clipA + clipB; clipC had no baseline
+  EXPECT_EQ(r6.solved, 1);
+  EXPECT_EQ(r6.infeasible, 1);
+  EXPECT_EQ(r6.unresolved, 0);
+  // Wirelength delta uses only the solved pair (clipB): 9 vs 8.
+  EXPECT_DOUBLE_EQ(r6.dWlPct, 100.0 * (9.0 - 8.0) / 8.0);
+  // Runtime covers all joined clips: 500 vs 200.
+  EXPECT_DOUBLE_EQ(r6.dRuntimePct, 100.0 * (500.0 - 200.0) / 200.0);
+}
+
+TEST(Attribution, DuplicateSpansKeepFirstAndNote) {
+  std::vector<obs::TraceEntry> es = {
+      solveSpan("clipA", "RULE1", "N7", "optimal", 10, 8, 1, 100),
+      // Re-solve after a lease reassignment: same outcome, ignored quietly.
+      solveSpan("clipA", "RULE1", "N7", "optimal", 10, 8, 1, 150),
+      // Divergent re-solve: ignored, but loudly.
+      solveSpan("clipA", "RULE1", "N7", "feasible", 11, 9, 1, 150),
+  };
+  AttributionReport rep = attributeRules(es);
+  ASSERT_EQ(rep.tasks.size(), 1u);
+  EXPECT_EQ(rep.tasks[0].status, "optimal");
+  EXPECT_DOUBLE_EQ(rep.tasks[0].cost, 10.0);
+  ASSERT_EQ(rep.notes.size(), 2u);
+  EXPECT_NE(rep.notes[0].find("divergent re-solve"), std::string::npos);
+  EXPECT_NE(rep.notes[1].find("2 duplicate"), std::string::npos);
+  EXPECT_NE(rep.notes[1].find("1 divergent"), std::string::npos);
+}
+
+TEST(Attribution, MissingBaselineRuleIsNoted) {
+  std::vector<obs::TraceEntry> es = {
+      solveSpan("clipA", "RULE6", "N7", "optimal", 10, 8, 1, 100),
+  };
+  AttributionOptions opt;
+  opt.baselineRule = "RULE1";
+  AttributionReport rep = attributeRules(es, opt);
+  ASSERT_EQ(rep.notes.size(), 1u);
+  EXPECT_NE(rep.notes[0].find("baseline rule RULE1 has no tasks"),
+            std::string::npos);
+  ASSERT_EQ(rep.rows.size(), 1u);
+  EXPECT_EQ(rep.rows[0].clips, 0);  // nothing joined
+}
+
+TEST(Attribution, V1TraceFallsBackToDetailSplit) {
+  obs::TraceEntry e;
+  e.type = "span";
+  e.name = "route.solve";
+  e.detail = "clipA|RULE1";
+  e.dur = 100;
+  e.args = {{"cost", 10.0}};
+  std::vector<obs::TraceEntry> es = {e};
+  AttributionReport rep = attributeRules(es);
+  ASSERT_EQ(rep.tasks.size(), 1u);
+  EXPECT_EQ(rep.tasks[0].clip, "clipA");
+  EXPECT_EQ(rep.tasks[0].rule, "RULE1");
+  EXPECT_TRUE(rep.tasks[0].status.empty());  // v1 spans carry no status
+  ASSERT_GE(rep.notes.size(), 1u);
+  EXPECT_NE(rep.notes[0].find("v1 trace spans"), std::string::npos);
+}
+
+TEST(Attribution, MergedFleetTracesJoinAcrossWorkerFiles) {
+  // Two workers, separate files, deliberately colliding span ids. Worker 0
+  // solved the RULE1 half of the matrix, worker 1 the RULE3 half.
+  const std::string f0 = tempPath("attr_w0.jsonl");
+  const std::string f1 = tempPath("attr_w1.jsonl");
+  std::ofstream(f0)
+      << "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":2}\n"
+      << "{\"t\":\"span\",\"name\":\"route.solve\",\"tid\":0,\"ts\":0,"
+         "\"id\":1,\"dur\":1000,\"attrs\":{\"clip\":\"clipA\",\"rule\":"
+         "\"RULE1\",\"tech\":\"N7\",\"status\":\"optimal\"},"
+         "\"args\":{\"cost\":12,\"wl\":10,\"vias\":2}}\n"
+      << "{\"t\":\"span\",\"name\":\"route.solve\",\"tid\":0,\"ts\":1000,"
+         "\"id\":2,\"dur\":1000,\"attrs\":{\"clip\":\"clipB\",\"rule\":"
+         "\"RULE1\",\"tech\":\"N7\",\"status\":\"optimal\"},"
+         "\"args\":{\"cost\":22,\"wl\":20,\"vias\":2}}\n"
+      << "{\"t\":\"meta\",\"end\":true,\"durNs\":2000,\"dropped\":0}\n";
+  std::ofstream(f1)
+      << "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":2}\n"
+      << "{\"t\":\"span\",\"name\":\"route.solve\",\"tid\":0,\"ts\":0,"
+         "\"id\":1,\"dur\":1500,\"attrs\":{\"clip\":\"clipA\",\"rule\":"
+         "\"RULE3\",\"tech\":\"N7\",\"status\":\"optimal\"},"
+         "\"args\":{\"cost\":14,\"wl\":11,\"vias\":3}}\n"
+      << "{\"t\":\"span\",\"name\":\"route.solve\",\"tid\":0,\"ts\":1500,"
+         "\"id\":2,\"dur\":2500,\"attrs\":{\"clip\":\"clipB\",\"rule\":"
+         "\"RULE3\",\"tech\":\"N7\",\"status\":\"optimal\"},"
+         "\"args\":{\"cost\":24,\"wl\":22,\"vias\":2}}\n"
+      << "{\"t\":\"meta\",\"end\":true,\"durNs\":4000,\"dropped\":0}\n";
+
+  auto mergedOr = obs::loadTraces({f0, f1});
+  ASSERT_TRUE(mergedOr.isOk()) << mergedOr.status().message();
+  AttributionReport rep = attributeRules(mergedOr.value());
+  EXPECT_EQ(rep.tasks.size(), 4u);
+  ASSERT_EQ(rep.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rep.rows[1].dWlPct, 10.0);
+  EXPECT_DOUBLE_EQ(rep.rows[1].dVias, 1.0);
+  EXPECT_DOUBLE_EQ(rep.rows[1].dRuntimePct, 100.0);
+
+  // The rendered table carries the rule x tech cells and the deltas.
+  std::string text = renderAttributionText(rep);
+  EXPECT_NE(text.find("RULE3"), std::string::npos);
+  EXPECT_NE(text.find("+10.00"), std::string::npos);
+  EXPECT_NE(text.find("ref"), std::string::npos);
+  std::string json = attributionToJson(rep);
+  EXPECT_NE(json.find("\"report\":\"table5\""), std::string::npos);
+  EXPECT_NE(json.find("\"dWlPct\":10"), std::string::npos);
+
+  std::remove(f0.c_str());
+  std::remove(f1.c_str());
+}
+
+// --- End to end: a real traced batch, verified against its checkpoint -------
+
+TEST(Attribution, TracedBatchJoinIsLosslessAgainstCheckpoint) {
+  const std::string trace = tempPath("attr_e2e_trace.jsonl");
+  const std::string ckpt = tempPath("attr_e2e_ckpt.jsonl");
+
+  clip::Clip a = testing::makeSimpleClip(
+      4, 4, 2, {{TrackPoint{0, 0, 0}, TrackPoint{3, 3, 0}}});
+  a.id = "clipA";
+  clip::Clip b = testing::makeSimpleClip(
+      4, 4, 2,
+      {{TrackPoint{0, 0, 0}, TrackPoint{3, 0, 0}},
+       {TrackPoint{0, 2, 0}, TrackPoint{3, 2, 0}}});
+  b.id = "clipB";
+  std::vector<tech::RuleConfig> rules = {tech::ruleByName("RULE1").value(),
+                                         tech::ruleByName("RULE3").value()};
+
+  harness::BatchOptions opt;
+  opt.router.mip.timeLimitSec = 20.0;
+  opt.isolateTasks = false;
+  opt.checkpointPath = ckpt;
+  ASSERT_TRUE(obs::TraceSession::start(trace).isOk());
+  harness::BatchReport report = harness::BatchRunner(opt).run({a, b}, rules);
+  obs::TraceSession::stop();
+  ASSERT_EQ(report.rows.size(), 4u);
+
+  auto entriesOr = obs::loadTrace(trace);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  AttributionReport rep = attributeRules(entriesOr.value());
+  EXPECT_EQ(rep.tasks.size(), 4u);
+
+  // Every checkpoint row appears in the trace with byte-identical
+  // cost/wirelength/vias and matching status -- and vice versa.
+  auto mismatchesOr = verifyJoin(rep, ckpt);
+  ASSERT_TRUE(mismatchesOr.isOk()) << mismatchesOr.status().message();
+  for (const std::string& m : mismatchesOr.value()) ADD_FAILURE() << m;
+
+  // Tamper check: perturbing one traced cost must surface as a mismatch.
+  AttributionReport broken = rep;
+  ASSERT_FALSE(broken.tasks.empty());
+  broken.tasks[0].cost += 1.0;
+  auto brokenOr = verifyJoin(broken, ckpt);
+  ASSERT_TRUE(brokenOr.isOk());
+  EXPECT_FALSE(brokenOr.value().empty());
+
+  std::remove(trace.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(Attribution, VerifyJoinFlagsMissingTasksBothWays) {
+  const std::string ckpt = tempPath("attr_vj.jsonl");
+  std::ofstream(ckpt)
+      << "{\"clip\":\"clipA\",\"rule\":\"RULE1\",\"status\":\"optimal\","
+         "\"cost\":10,\"wirelength\":8,\"vias\":1}\n"
+      << "{\"clip\":\"clipB\",\"rule\":\"RULE1\",\"status\":\"optimal\","
+         "\"cost\":20,\"wirelength\":16,\"vias\":2}\n";
+  std::vector<obs::TraceEntry> es = {
+      solveSpan("clipA", "RULE1", "N7", "optimal", 10, 8, 1, 100),
+      solveSpan("clipC", "RULE1", "N7", "optimal", 30, 24, 3, 100),
+  };
+  AttributionReport rep = attributeRules(es);
+  auto mismatchesOr = verifyJoin(rep, ckpt);
+  ASSERT_TRUE(mismatchesOr.isOk());
+  ASSERT_EQ(mismatchesOr.value().size(), 2u);
+  EXPECT_NE(mismatchesOr.value()[0].find("clipB|RULE1 missing from trace"),
+            std::string::npos);
+  EXPECT_NE(mismatchesOr.value()[1].find("clipC|RULE1 missing from checkpoint"),
+            std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace optr::report

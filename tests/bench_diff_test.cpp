@@ -1,0 +1,246 @@
+// Bench-trajectory regression tracking: the JSON parser, the two-snapshot
+// diff (tools/bench_compare), and the intra-file work-conservation
+// self-check that replaced run_perf_smoke.sh's inline python gate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "report/bench_diff.h"
+
+namespace optr::report {
+namespace {
+
+JsonValue parse(const std::string& text) {
+  auto v = parseJson(text);
+  EXPECT_TRUE(v.isOk()) << v.status().message();
+  return v.isOk() ? std::move(v).value() : JsonValue{};
+}
+
+TEST(BenchJson, ParsesNestedDocumentKeepingRawNumberTokens) {
+  JsonValue doc = parse(
+      "{\"benchmark\":\"bench_runtime\",\"wall\":12.50,"
+      "\"passes\":[{\"mode\":\"serial\",\"registry\":{\"lpPivots\":1200},"
+      "\"clips\":[{\"name\":\"c0\",\"rule\":\"RULE1\",\"cost\":31.0,"
+      "\"ok\":true,\"note\":null,\"tag\":\"a\\\"b\"}]}]}");
+  EXPECT_EQ(doc.text("benchmark"), "bench_runtime");
+  EXPECT_DOUBLE_EQ(doc.num("wall"), 12.5);
+  const JsonValue* passes = doc.find("passes");
+  ASSERT_NE(passes, nullptr);
+  ASSERT_EQ(passes->items.size(), 1u);
+  const JsonValue& serial = passes->items[0];
+  EXPECT_DOUBLE_EQ(serial.find("registry")->num("lpPivots"), 1200.0);
+  const JsonValue& c0 = serial.find("clips")->items[0];
+  // Raw token survives: "31.0", not a re-rendered "31".
+  EXPECT_EQ(c0.find("cost")->raw, "31.0");
+  EXPECT_TRUE(c0.find("ok")->boolean);
+  EXPECT_EQ(c0.find("note")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(c0.text("tag"), "a\"b");
+}
+
+TEST(BenchJson, RejectsMalformedInput) {
+  EXPECT_FALSE(parseJson("{\"a\":").isOk());
+  EXPECT_FALSE(parseJson("{\"a\":1} trailing").isOk());
+  EXPECT_FALSE(parseJson("{'a':1}").isOk());
+  EXPECT_EQ(parseJson("{\"a\":}").status().code(), ErrorCode::kParse);
+}
+
+// A minimal bench_runtime-shaped snapshot builder.
+std::string snapshot(long long serialPivots, const char* costA,
+                     long long mipPivots = -1) {
+  std::string mip = mipPivots < 0 ? std::to_string(serialPivots)
+                                  : std::to_string(mipPivots);
+  return std::string("{\"benchmark\":\"bench_runtime\",\"passes\":[") +
+         "{\"mode\":\"serial\",\"mipThreads\":1,\"wallMs\":100,"
+         "\"registry\":{\"lpPivots\":" + std::to_string(serialPivots) +
+         ",\"ilpPivots\":" + std::to_string(serialPivots) +
+         ",\"nodes\":10,\"routeSolves\":2},"
+         "\"clips\":[{\"name\":\"c0\",\"rule\":\"RULE1\",\"status\":"
+         "\"optimal\",\"cost\":" + costA + ",\"bestBound\":" + costA + "},"
+         "{\"name\":\"c1\",\"rule\":\"RULE1\",\"status\":\"feasible\","
+         "\"cost\":40}]},"
+         "{\"mode\":\"mip-parallel\",\"mipThreads\":4,\"wallMs\":60,"
+         "\"registry\":{\"lpPivots\":" + mip +
+         ",\"ilpPivots\":" + mip + ",\"nodes\":10,\"routeSolves\":2},"
+         "\"clips\":[{\"name\":\"c0\",\"rule\":\"RULE1\",\"status\":"
+         "\"optimal\",\"cost\":" + costA + "}]}]}";
+}
+
+TEST(BenchCompare, IdenticalSnapshotsPassAtParity) {
+  JsonValue base = parse(snapshot(1000, "31"));
+  JsonValue cand = parse(snapshot(1000, "31"));
+  BenchCompareResult res = compareBench(base, cand);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.unitsCompared, 2);
+  EXPECT_GE(res.tasksCompared, 3);
+  // The deterministic unit got its gate; the parallel one a skip note.
+  bool sawOk = false, sawSkip = false;
+  for (const std::string& n : res.notes) {
+    if (n.find("serial': pivot gate OK") != std::string::npos) sawOk = true;
+    if (n.find("mip-parallel") != std::string::npos &&
+        n.find("skipped") != std::string::npos)
+      sawSkip = true;
+  }
+  EXPECT_TRUE(sawOk);
+  EXPECT_TRUE(sawSkip);
+}
+
+TEST(BenchCompare, TwentyPercentPivotRegressionFailsSerialOnly) {
+  // +20% pivots on BOTH passes: only the deterministic serial unit gates.
+  JsonValue base = parse(snapshot(1000, "31"));
+  JsonValue cand = parse(snapshot(1200, "31"));
+  BenchCompareResult res = compareBench(base, cand);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_NE(res.failures[0].find("unit 'serial': pivot regression +20.0%"),
+            std::string::npos);
+  EXPECT_NE(res.failures[0].find("1000 -> 1200"), std::string::npos);
+
+  // Within the 10% default: passes. A tighter threshold: fails again.
+  JsonValue mild = parse(snapshot(1050, "31"));
+  EXPECT_TRUE(compareBench(base, mild).ok());
+  BenchCompareOptions strict;
+  strict.maxPivotRegress = 0.01;
+  EXPECT_FALSE(compareBench(base, mild, strict).ok());
+  // And the gate can be disabled outright.
+  BenchCompareOptions off;
+  off.maxPivotRegress = -1.0;
+  EXPECT_TRUE(compareBench(base, cand, off).ok());
+}
+
+TEST(BenchCompare, ProvenCostDivergenceIsAlwaysAFailure) {
+  JsonValue base = parse(snapshot(1000, "31"));
+  JsonValue cand = parse(snapshot(1000, "32"));
+  BenchCompareResult res = compareBench(base, cand);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.failures[0].find("proven cost changed 31 -> 32"),
+            std::string::npos);
+
+  // Same value, different bytes: "31" vs "31.0" must also fail -- the
+  // contract is byte equality, not numeric equality.
+  JsonValue bytes = parse(snapshot(1000, "31.0"));
+  BenchCompareResult res2 = compareBench(base, bytes);
+  EXPECT_FALSE(res2.ok());
+}
+
+TEST(BenchCompare, WallGateIsOptIn) {
+  JsonValue base = parse(snapshot(1000, "31"));
+  // Same work, double the wall time (edit wallMs in the candidate).
+  std::string slow = snapshot(1000, "31");
+  std::size_t at = slow.find("\"wallMs\":100");
+  ASSERT_NE(at, std::string::npos);
+  slow.replace(at, 12, "\"wallMs\":250");
+  JsonValue cand = parse(slow);
+  EXPECT_TRUE(compareBench(base, cand).ok());  // disabled by default
+  BenchCompareOptions opt;
+  opt.maxWallRegress = 0.5;
+  BenchCompareResult res = compareBench(base, cand, opt);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_NE(res.failures[0].find("wall regression +150.0%"),
+            std::string::npos);
+}
+
+TEST(BenchCompare, MismatchedShapesDegradeToNotesOrHardFailures) {
+  JsonValue base = parse(snapshot(1000, "31"));
+  // Different benchmark entirely: immediate failure.
+  JsonValue other = parse("{\"benchmark\":\"bench_lp\",\"configs\":[]}");
+  EXPECT_FALSE(compareBench(base, other).ok());
+  // No overlapping units: failure (nothing was actually compared).
+  JsonValue empty = parse("{\"benchmark\":\"bench_runtime\",\"passes\":[]}");
+  BenchCompareResult res = compareBench(base, empty);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.failures[0].find("no comparable units"), std::string::npos);
+  // One-sided task: a note, and the pivot gate steps aside.
+  std::string pruned = snapshot(1000, "31");
+  std::size_t cut = pruned.find(",{\"name\":\"c1\"");
+  ASSERT_NE(cut, std::string::npos);
+  pruned.erase(cut, pruned.find("]},", cut) - cut);
+  BenchCompareResult res2 = compareBench(base, parse(pruned));
+  EXPECT_TRUE(res2.ok());
+  bool sawOneSided = false, sawSkip = false;
+  for (const std::string& n : res2.notes) {
+    if (n.find("only in baseline") != std::string::npos) sawOneSided = true;
+    if (n.find("task sets not comparable") != std::string::npos)
+      sawSkip = true;
+  }
+  EXPECT_TRUE(sawOneSided);
+  EXPECT_TRUE(sawSkip);
+}
+
+// ---- the bench_runtime work-conservation self-check -----------------------
+
+std::string selfDoc(long long clipPivots, long long mipPivots,
+                    const char* mipCost) {
+  return std::string("{\"benchmark\":\"bench_runtime\",\"passes\":[") +
+         "{\"mode\":\"serial\",\"registry\":{\"lpPivots\":1000,"
+         "\"ilpPivots\":900,\"nodes\":10,\"routeSolves\":2},"
+         "\"clips\":[{\"name\":\"c0\",\"rule\":\"RULE1\",\"status\":"
+         "\"optimal\",\"cost\":31}]},"
+         "{\"mode\":\"clip-parallel\",\"registry\":{\"lpPivots\":" +
+         std::to_string(clipPivots) +
+         ",\"ilpPivots\":900,\"nodes\":10,\"routeSolves\":2},"
+         "\"clips\":[{\"name\":\"c0\",\"rule\":\"RULE1\",\"status\":"
+         "\"optimal\",\"cost\":31}]},"
+         "{\"mode\":\"mip-parallel\",\"mipThreads\":4,"
+         "\"registry\":{\"lpPivots\":" + std::to_string(mipPivots) +
+         ",\"ilpPivots\":800,\"nodes\":12,\"routeSolves\":2},"
+         "\"clips\":[{\"name\":\"c0\",\"rule\":\"RULE1\",\"status\":"
+         "\"optimal\",\"cost\":" + mipCost + "}]}]}";
+}
+
+TEST(BenchSelfCheck, WorkConservationHoldsOnAConsistentSnapshot) {
+  BenchCompareResult res = selfCheckBench(parse(selfDoc(1000, 2500, "31")));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.unitsCompared, 1);
+}
+
+TEST(BenchSelfCheck, ClipParallelMustMatchSerialExactly) {
+  BenchCompareResult res = selfCheckBench(parse(selfDoc(1001, 1000, "31")));
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.failures[0].find("clip-parallel lpPivots 1001 != serial 1000"),
+            std::string::npos);
+}
+
+TEST(BenchSelfCheck, MipParallelGetsARatioBandNotExactness) {
+  // 4x serial pivots: allowed. 5x: pathological.
+  EXPECT_TRUE(selfCheckBench(parse(selfDoc(1000, 4000, "31"))).ok());
+  BenchCompareResult res = selfCheckBench(parse(selfDoc(1000, 5000, "31")));
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.failures[0].find("outside 4x"), std::string::npos);
+}
+
+TEST(BenchSelfCheck, CrossPassOptimalCostMustAgree) {
+  BenchCompareResult res = selfCheckBench(parse(selfDoc(1000, 1000, "30")));
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.failures[0].find("proven cost diverges"), std::string::npos);
+}
+
+TEST(BenchSelfCheck, ObsDisabledSnapshotSkipsVacuously) {
+  std::string doc = selfDoc(0, 0, "31");
+  // Zero out the serial registry the way an OPTR_OBS_DISABLED build would.
+  for (const char* k : {"\"lpPivots\":1000", "\"ilpPivots\":900",
+                        "\"nodes\":10", "\"routeSolves\":2"}) {
+    std::size_t at = doc.find(k);
+    ASSERT_NE(at, std::string::npos);
+    std::string key(k, std::strchr(k, ':') - k);
+    doc.replace(at, std::strlen(k), key + ":0");
+  }
+  BenchCompareResult res = selfCheckBench(parse(doc));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.unitsCompared, 0);
+  bool sawSkip = false;
+  for (const std::string& n : res.notes) {
+    if (n.find("OPTR_OBS disabled") != std::string::npos) sawSkip = true;
+  }
+  EXPECT_TRUE(sawSkip);
+}
+
+TEST(BenchSelfCheck, OtherBenchmarksNoteNoSelfCheck) {
+  BenchCompareResult res =
+      selfCheckBench(parse("{\"benchmark\":\"bench_fleet\"}"));
+  EXPECT_TRUE(res.ok());
+  ASSERT_EQ(res.notes.size(), 1u);
+  EXPECT_NE(res.notes[0].find("no self-check defined"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optr::report

@@ -9,11 +9,13 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/opt_router.h"
+#include "obs/analyze.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_read.h"
@@ -337,11 +339,227 @@ TEST(TraceRead, RejectsAlienFilesAndNewerSchemaVersions) {
 
   const std::string future = tempPath("obs_future.jsonl");
   writeFile(future,
-            "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":2}\n");
+            "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":3}\n");
   EXPECT_EQ(obs::loadTrace(future).status().code(), ErrorCode::kUnavailable);
 
   EXPECT_EQ(obs::loadTrace(tempPath("obs_missing.jsonl")).status().code(),
             ErrorCode::kIo);
+}
+
+// --- v2 schema: attrs, torn lines, per-thread drops, merge ------------------
+
+TEST(Trace, SpanAndEventAttrsRoundTrip) {
+  const std::string path = tempPath("obs_attrs.jsonl");
+  SessionGuard guard;
+  ASSERT_TRUE(obs::TraceSession::start(path).isOk());
+  {
+    obs::Span s("test.attrs");
+    s.attr("clip", "clipA");
+    s.attr("rule", "RULE3");
+    s.attr("status", "optimal");
+    // Value longer than the inline cap: truncated, not dropped or corrupt.
+    s.attr("long", "0123456789012345678901234567890123456789");
+    obs::event("test.tagged", "d", {{"n", 1.0}}, {{"tech", "N7-9T"}});
+  }
+  obs::TraceSession::stop();
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  const obs::TraceEntry* span = nullptr;
+  const obs::TraceEntry* ev = nullptr;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.name == "test.attrs") span = &e;
+    if (e.name == "test.tagged") ev = &e;
+  }
+  ASSERT_NE(span, nullptr);
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(span->attr("clip"), "clipA");
+  EXPECT_EQ(span->attr("rule"), "RULE3");
+  EXPECT_EQ(span->attr("status"), "optimal");
+  EXPECT_TRUE(span->hasAttr("long"));
+  EXPECT_EQ(span->attr("long"), "01234567890123456789012");  // 23-char cap
+  EXPECT_EQ(span->attr("absent", "fb"), "fb");
+  EXPECT_FALSE(span->hasAttr("absent"));
+  EXPECT_EQ(ev->attr("tech"), "N7-9T");
+  EXPECT_DOUBLE_EQ(ev->arg("n"), 1.0);
+}
+
+TEST(TraceRead, SkipsTornLinesAndCountsThem) {
+  const std::string path = tempPath("obs_torn.jsonl");
+  // A crashed writer's torn tail: the last line stops mid-record. The
+  // reader must keep every complete line and count the torn one.
+  writeFile(path,
+            "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":2}\n"
+            "{\"t\":\"span\",\"name\":\"a\",\"tid\":0,\"ts\":0,\"id\":1,"
+            "\"dur\":10}\n"
+            "{\"t\":\"span\",\"name\":\"b\",\"tid\":0,\"ts\":5,\"id\":2,"
+            "\"dur\":7,\"args\":{\"x\"\n"
+            "{\"t\":\"span\",\"name\":\"c\",\"tid\":0,\"ts\":12,\"id\":3,"
+            "\"dur\":3}\n");
+  obs::TraceLoadStats stats;
+  auto entriesOr = obs::loadTrace(path, &stats);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  EXPECT_EQ(stats.malformed, 1);
+  EXPECT_FALSE(stats.sawFooter);  // crashed before the closing meta
+  std::int64_t spans = 0;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.type == "span") ++spans;
+    EXPECT_NE(e.name, "b");  // the torn record must not half-parse
+  }
+  EXPECT_EQ(spans, 2);
+
+  // An unparseable HEADER is still a hard error, not a skip: without it
+  // there is no version contract to read the rest under.
+  const std::string noHeader = tempPath("obs_torn_header.jsonl");
+  writeFile(noHeader, "{\"t\":\"meta\",\"schema\":\"opt\n");
+  EXPECT_EQ(obs::loadTrace(noHeader).status().code(), ErrorCode::kParse);
+}
+
+TEST(TraceRead, PerThreadDropMetasFeedThreadAttribution) {
+  const std::string path = tempPath("obs_tdrops.jsonl");
+  writeFile(path,
+            "{\"t\":\"meta\",\"schema\":\"optr-trace\",\"version\":2}\n"
+            "{\"t\":\"span\",\"name\":\"a\",\"tid\":0,\"ts\":0,\"id\":1,"
+            "\"dur\":10}\n"
+            "{\"t\":\"meta\",\"droppedTid\":3,\"droppedCount\":5,"
+            "\"pid\":41}\n"
+            "{\"t\":\"meta\",\"droppedTid\":7,\"droppedCount\":2,"
+            "\"pid\":41}\n"
+            "{\"t\":\"meta\",\"end\":true,\"durNs\":20,\"dropped\":7}\n");
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  obs::TraceReport rep = obs::analyzeTrace(entriesOr.value());
+  EXPECT_EQ(rep.dropped, 7);
+  ASSERT_EQ(rep.threadDrops.size(), 2u);
+  EXPECT_EQ(rep.threadDrops[0].tid, 3);
+  EXPECT_EQ(rep.threadDrops[0].count, 5);
+  EXPECT_EQ(rep.threadDrops[0].pid, 41);
+  EXPECT_EQ(rep.threadDrops[1].tid, 7);
+  EXPECT_EQ(rep.threadDrops[1].count, 2);
+  // One anomaly per thread plus the session-total warning.
+  ASSERT_EQ(rep.anomalies.size(), 3u);
+  EXPECT_NE(rep.anomalies[0].find("tid=3"), std::string::npos);
+  EXPECT_NE(rep.anomalies[1].find("tid=7"), std::string::npos);
+}
+
+TEST(Trace, RingOverflowWritesPerThreadDropMeta) {
+  const std::string path = tempPath("obs_overflow2.jsonl");
+  SessionGuard guard;
+  obs::TraceOptions opts;
+  opts.ringCapacity = 4;
+  ASSERT_TRUE(obs::TraceSession::start(path, opts).isOk());
+  for (int i = 0; i < 50; ++i) obs::event("test.flood2");
+  obs::TraceSession::stop();
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk());
+  const std::vector<obs::TraceEntry>& es = entriesOr.value();
+  // Footer stays the last record even with drop metas present.
+  EXPECT_TRUE(es.back().end);
+  std::int64_t perThread = 0;
+  for (const obs::TraceEntry& e : es) {
+    if (e.droppedTid >= 0) perThread += e.droppedCount;
+  }
+  EXPECT_EQ(perThread, 46);
+  EXPECT_EQ(es.back().dropped, 46);
+}
+
+TEST(TraceRead, MergeTracesRemapsCollidingSpanIds) {
+  // Two workers wrote independent traces reusing the same small ids (and, in
+  // real fleets, pid<<32 offsets that do not survive a double round-trip).
+  std::vector<obs::TraceEntry> a(2), b(2);
+  a[0].type = "span";
+  a[0].name = "w0.root";
+  a[0].id = 1;
+  a[0].dur = 100;
+  a[1].type = "span";
+  a[1].name = "w0.child";
+  a[1].id = 2;
+  a[1].parent = 1;
+  a[1].dur = 40;
+  b[0].type = "span";
+  b[0].name = "w1.root";
+  b[0].id = 1;  // collides with a[0] before the merge
+  b[0].dur = 200;
+  b[1].type = "span";
+  b[1].name = "w1.orphan";
+  b[1].id = 2;
+  b[1].parent = 77;  // parent record lost (dropped); must become a root
+  b[1].dur = 50;
+
+  std::vector<obs::TraceEntry> merged =
+      obs::mergeTraces({std::move(a), std::move(b)});
+  ASSERT_EQ(merged.size(), 4u);
+  std::set<std::uint64_t> ids;
+  for (const obs::TraceEntry& e : merged) ids.insert(e.id);
+  EXPECT_EQ(ids.size(), 4u);  // all distinct after the remap
+  const obs::TraceEntry* child = nullptr;
+  const obs::TraceEntry* orphan = nullptr;
+  const obs::TraceEntry* root0 = nullptr;
+  for (const obs::TraceEntry& e : merged) {
+    if (e.name == "w0.child") child = &e;
+    if (e.name == "w1.orphan") orphan = &e;
+    if (e.name == "w0.root") root0 = &e;
+  }
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(orphan, nullptr);
+  ASSERT_NE(root0, nullptr);
+  EXPECT_EQ(child->parent, root0->id);  // intra-file nesting preserved
+  EXPECT_EQ(orphan->parent, 0u);        // unknown parent -> root
+
+  // analyzeTrace sees one coherent stream: both roots plus the orphan count
+  // toward coverage; the still-parented child does not.
+  obs::TraceReport rep = obs::analyzeTrace(merged);
+  EXPECT_EQ(rep.spans, 4);
+  EXPECT_EQ(rep.rootNs, 350);
+}
+
+TEST(Metrics, HistogramPercentilesAreAccurateWithinBucketWidth) {
+  auto& m = obs::metrics();
+  obs::MetricsSnapshot before = m.snapshot();
+  obs::Histogram& h = m.histogram("test.pct.hist");
+  // Uniform 1..1000: exact p50=500, p95=950, p99=990. The log-linear
+  // buckets (16 per octave) bound relative error by half a sub-bucket,
+  // ~3.1%; assert a safe 5%.
+  for (int v = 1; v <= 1000; ++v) h.record(static_cast<double>(v));
+  obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(m.snapshot(), before);
+  const obs::MetricsSnapshot::Entry* e = d.find("test.pct.hist");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->count, 1000);
+  EXPECT_NEAR(e->percentile(0.50), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(e->percentile(0.95), 950.0, 950.0 * 0.05);
+  EXPECT_NEAR(e->percentile(0.99), 990.0, 990.0 * 0.05);
+  // Extremes clamp to the observed range instead of bucket edges.
+  EXPECT_GE(e->percentile(0.0), 1.0);
+  EXPECT_LE(e->percentile(1.0), 1000.0);
+
+  // Sub-unit and huge values land in the catch-all buckets (underflow /
+  // open-ended last octave): estimates stay ordered and inside [min, max]
+  // even though the bucket midpoints are coarse there.
+  obs::MetricsSnapshot b2 = m.snapshot();
+  obs::Histogram& h2 = m.histogram("test.pct.edge");
+  h2.record(0.25);
+  h2.record(1e15);
+  obs::MetricsSnapshot d2 = obs::MetricsSnapshot::delta(m.snapshot(), b2);
+  const obs::MetricsSnapshot::Entry* e2 = d2.find("test.pct.edge");
+  ASSERT_NE(e2, nullptr);
+  EXPECT_GE(e2->percentile(0.01), 0.25);
+  EXPECT_LE(e2->percentile(0.01), 1.0);  // underflow bucket is [0, 1)
+  EXPECT_GE(e2->percentile(1.0), 1e11);  // last octave starts at 2^39
+  EXPECT_LE(e2->percentile(1.0), 1e15);
+  EXPECT_LE(e2->percentile(0.01), e2->percentile(1.0));
+}
+
+TEST(Metrics, HistogramPercentilesAppearInJson) {
+  auto& m = obs::metrics();
+  obs::Histogram& h = m.histogram("test.pctjson.hist");
+  h.record(5.0);
+  std::string json = m.snapshot().toJson();
+  std::size_t at = json.find("\"test.pctjson.hist\":");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"p50\":", at), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":", at), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":", at), std::string::npos);
 }
 
 // --- End to end: a traced solve, checked against the registry ---------------

@@ -1,0 +1,101 @@
+// bench_compare — bench-trajectory regression tracker. Diffs two BENCH_*.json
+// snapshots (bench_runtime / bench_lp / bench_sweep / bench_fleet) and fails
+// on pivot/wall/cost regressions, replacing the python gate that used to live
+// inline in run_perf_smoke.sh.
+//
+//   bench_compare <baseline.json> <candidate.json>
+//                 [--max-pivot-regress=F] [--max-wall-regress=F]
+//   bench_compare --self <bench.json>
+//
+// --max-pivot-regress defaults to 0.10 (10% growth fails); negative disables.
+// --max-wall-regress is disabled by default (CI wall clocks are noisy).
+// --self runs the snapshot's intra-file invariants instead of a diff (for
+// bench_runtime: the serial / clip-parallel / mip-parallel work-conservation
+// contract).
+//
+// Exit status: 0 no regression, 1 regression or broken invariant, 2 usage /
+// I/O / parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "report/bench_diff.h"
+
+using namespace optr;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json> <candidate.json>\n"
+               "         [--max-pivot-regress=F] [--max-wall-regress=F]\n"
+               "       bench_compare --self <bench.json>\n");
+  return 2;
+}
+
+int printResult(const report::BenchCompareResult& res, const char* what) {
+  for (const std::string& n : res.notes) {
+    std::printf("note: %s\n", n.c_str());
+  }
+  for (const std::string& f : res.failures) {
+    std::printf("FAIL: %s\n", f.c_str());
+  }
+  std::printf("%s: %d unit(s), %d task(s) compared: %s\n", what,
+              res.unitsCompared, res.tasksCompared,
+              res.ok() ? "OK" : "REGRESSION");
+  return res.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self = false;
+  report::BenchCompareOptions opt;
+  std::vector<std::string> files;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--self") {
+      self = true;
+    } else if (arg.rfind("--max-pivot-regress=", 0) == 0) {
+      opt.maxPivotRegress =
+          std::atof(arg.c_str() + std::strlen("--max-pivot-regress="));
+    } else if (arg.rfind("--max-wall-regress=", 0) == 0) {
+      opt.maxWallRegress =
+          std::atof(arg.c_str() + std::strlen("--max-wall-regress="));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (self) {
+    if (files.size() != 1) return usage();
+    auto docOr = report::loadJsonFile(files[0]);
+    if (!docOr.isOk()) {
+      std::fprintf(stderr, "%s: %s\n", files[0].c_str(),
+                   docOr.status().message().c_str());
+      return 2;
+    }
+    return printResult(report::selfCheckBench(docOr.value()), "self-check");
+  }
+
+  if (files.size() != 2) return usage();
+  auto baseOr = report::loadJsonFile(files[0]);
+  if (!baseOr.isOk()) {
+    std::fprintf(stderr, "%s: %s\n", files[0].c_str(),
+                 baseOr.status().message().c_str());
+    return 2;
+  }
+  auto candOr = report::loadJsonFile(files[1]);
+  if (!candOr.isOk()) {
+    std::fprintf(stderr, "%s: %s\n", files[1].c_str(),
+                 candOr.status().message().c_str());
+    return 2;
+  }
+  return printResult(report::compareBench(baseOr.value(), candOr.value(), opt),
+                "compare");
+}

@@ -24,6 +24,10 @@
 //   sweep-worker <clips> [rule...]          one fleet worker speaking the
 //                                           protocol on stdin/stdout (what
 //                                           --worker-cmd / SSH runs)
+//   trace-report <trace.jsonl...>           trace analytics: phase/rule
+//                                           breakdown with latency
+//                                           percentiles; --table5 adds the
+//                                           paper's rule-impact attribution
 //
 // Example session:
 //   optrouter gen N28-12T top.clips 10
@@ -49,6 +53,7 @@
 #include "layout/global_route.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "trace_report_main.h"
 #include "report/table.h"
 #include "route/render.h"
 #include "route/sadp_decompose.h"
@@ -60,7 +65,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: optrouter <info|gen|lefdef|route|sweep|batch|improve|\n"
-               "                  sweep-coordinator|sweep-worker> ...\n"
+               "                  sweep-coordinator|sweep-worker|trace-report>"
+               " ...\n"
                "  info\n"
                "  gen <tech> <out.clips> [numClips=10] [seed=1]\n"
                "  lefdef <tech> <out.lef> <out.def>\n"
@@ -69,6 +75,7 @@ int usage() {
                "  batch <clips> <checkpoint.jsonl> [--threads N]\n"
                "        [--isolation=fork|thread] [--mip-threads N]\n"
                "        [--no-session-reuse] [--trace=out.jsonl] [--metrics]\n"
+               "        [--metrics-out=FILE]\n"
                "        [--lp-pricing=dantzig|devex] [--lp-dual-restart=on|off]\n"
                "        <rule...>\n"
                "        (--threads needs --isolation=thread: the in-process\n"
@@ -82,7 +89,8 @@ int usage() {
                "        [--workers N] [--lease-sec S] [--task-timeout S]\n"
                "        [--max-attempts N] [--worker-cmd 'CMD']\n"
                "        [--chaos-kills N] [--chaos-prob P] [--chaos-seed S]\n"
-               "        [--trace=out.jsonl] [--metrics] <rule...>\n"
+               "        [--trace=out.jsonl] [--metrics] [--metrics-out=FILE]\n"
+               "        <rule...>\n"
                "        (fleet sweep with lease-based failure detection;\n"
                "         --worker-cmd spawns each worker as `sh -c CMD`\n"
                "         speaking the protocol on stdin/stdout -- wrap it\n"
@@ -91,11 +99,42 @@ int usage() {
                "         busy workers to drill the recovery machinery)\n"
                "  sweep-worker <clips> [--checkpoint ckpt.jsonl]\n"
                "        [--checkpoint-base merged.jsonl] [--heartbeat-sec S]\n"
-               "        [rule...]\n"
+               "        [--trace=out.jsonl] [--metrics-out=FILE] [rule...]\n"
                "        (serves the fleet protocol on stdin/stdout; rules\n"
                "         default to the full Table-3 set; --checkpoint-base\n"
-               "         derives the per-worker file from $OPTR_SWEEP_SLOT)\n");
+               "         derives the per-worker file from $OPTR_SWEEP_SLOT;\n"
+               "         --trace/--metrics-out write to files, never stdout:\n"
+               "         stdout is the protocol channel)\n"
+               "  trace-report <trace.jsonl...> [--table5] [--baseline=RULE]\n"
+               "        [--json=FILE] [--verify-join=checkpoint.jsonl]\n"
+               "        (phase/rule analytics with p50/p95/p99 latencies;\n"
+               "         several files merge into one fleet-wide trace;\n"
+               "         --table5 joins route.solve spans into the paper's\n"
+               "         per-rule impact table, --verify-join proves the\n"
+               "         join lossless against the sweep's JSONL results)\n");
   return 2;
+}
+
+/// Writes the metrics delta since `before` as JSON to `path` ("-" = stdout).
+/// Used by --metrics-out so scripts can collect counters/histograms without
+/// scraping the human-readable report.
+int writeMetricsDelta(const std::string& path,
+                      const obs::MetricsSnapshot& before) {
+  obs::MetricsSnapshot after = obs::metrics().snapshot();
+  std::string doc = obs::MetricsSnapshot::delta(after, before).toJson();
+  if (path == "-") {
+    std::printf("%s\n", doc.c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "--metrics-out: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return 0;
 }
 
 /// Shared LP-kernel flags (batch, sweep-coordinator): --lp-pricing=
@@ -312,6 +351,7 @@ int cmdBatch(int argc, char** argv) {
   opt.checkpointPath = argv[3];
 
   std::string tracePath;
+  std::string metricsOutPath;
   bool wantMetrics = false;
   std::vector<tech::RuleConfig> rules;
   for (int a = 4; a < argc; ++a) {
@@ -326,6 +366,14 @@ int cmdBatch(int argc, char** argv) {
     }
     if (arg == "--metrics") {
       wantMetrics = true;
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metricsOutPath = arg.substr(std::strlen("--metrics-out="));
+      if (metricsOutPath.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a path or '-'\n");
+        return 2;
+      }
       continue;
     }
     if (arg == "--threads" && a + 1 < argc) {
@@ -426,6 +474,9 @@ int cmdBatch(int argc, char** argv) {
     std::printf("\nmetrics (this batch):\n%s\n",
                 obs::MetricsSnapshot::delta(after, before).toJson().c_str());
   }
+  if (!metricsOutPath.empty() && writeMetricsDelta(metricsOutPath, before)) {
+    return 1;
+  }
   if (!tracePath.empty()) {
     std::printf("trace written to %s\n", tracePath.c_str());
   }
@@ -444,6 +495,7 @@ int cmdSweepCoordinator(int argc, char** argv) {
   opt.checkpointPath = argv[3];
 
   std::string tracePath;
+  std::string metricsOutPath;
   bool wantMetrics = false;
   std::vector<tech::RuleConfig> rules;
   for (int a = 4; a < argc; ++a) {
@@ -516,6 +568,14 @@ int cmdSweepCoordinator(int argc, char** argv) {
       wantMetrics = true;
       continue;
     }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metricsOutPath = arg.substr(std::strlen("--metrics-out="));
+      if (metricsOutPath.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a path or '-'\n");
+        return 2;
+      }
+      continue;
+    }
     if (int lpf = parseLpFlag(arg, opt.router.mip.lpOptions); lpf != 0) {
       if (lpf < 0) return 2;
       continue;
@@ -574,6 +634,9 @@ int cmdSweepCoordinator(int argc, char** argv) {
     std::printf("\nmetrics (this run):\n%s\n",
                 obs::MetricsSnapshot::delta(after, before).toJson().c_str());
   }
+  if (!metricsOutPath.empty() && writeMetricsDelta(metricsOutPath, before)) {
+    return 1;
+  }
   if (!tracePath.empty()) {
     std::printf("trace written to %s\n", tracePath.c_str());
   }
@@ -596,11 +659,26 @@ int cmdSweepWorker(int argc, char** argv) {
   wo.workerId = slotEnv ? "w" + std::string(slotEnv)
                         : "pid" + std::to_string(getpid());
 
+  std::string tracePath;
+  std::string metricsOutPath;
   std::vector<tech::RuleConfig> rules;
   for (int a = 3; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--checkpoint" && a + 1 < argc) {
       wo.checkpointPath = argv[++a];
+      continue;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      tracePath = arg.substr(std::strlen("--trace="));
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metricsOutPath = arg.substr(std::strlen("--metrics-out="));
+      if (metricsOutPath.empty() || metricsOutPath == "-") {
+        // stdout is the protocol channel: a file is mandatory here.
+        std::fprintf(stderr, "sweep-worker --metrics-out needs a file path\n");
+        return 2;
+      }
       continue;
     }
     if (arg == "--checkpoint-base" && a + 1 < argc) {
@@ -622,9 +700,23 @@ int cmdSweepWorker(int argc, char** argv) {
   }
   if (rules.empty()) rules = tech::table3Rules();
 
+  if (!tracePath.empty()) {
+    Status ts = obs::TraceSession::start(tracePath);
+    if (!ts) {
+      std::fprintf(stderr, "--trace: %s\n", ts.message().c_str());
+      return 1;
+    }
+  }
+  obs::MetricsSnapshot before = obs::metrics().snapshot();
+
   // stdout IS the protocol channel: nothing above may have printed to it.
   Status st = harness::SweepWorker(wo).serve(/*inFd=*/0, /*outFd=*/1,
                                              clips.value(), rules);
+
+  if (!tracePath.empty()) obs::TraceSession::stop();
+  if (!metricsOutPath.empty() && writeMetricsDelta(metricsOutPath, before)) {
+    return 1;
+  }
   if (!st.isOk()) {
     std::fprintf(stderr, "sweep-worker: %s\n", st.message().c_str());
     return 1;
@@ -684,5 +776,9 @@ int main(int argc, char** argv) {
     return cmdSweepCoordinator(argc, argv);
   }
   if (!std::strcmp(argv[1], "sweep-worker")) return cmdSweepWorker(argc, argv);
+  if (!std::strcmp(argv[1], "trace-report")) {
+    // Shift past "optrouter": traceReportMain expects its own argv[0].
+    return tools::traceReportMain(argc - 1, argv + 1);
+  }
   return usage();
 }

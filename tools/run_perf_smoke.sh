@@ -1,31 +1,26 @@
 #!/usr/bin/env bash
-# Perf smoke test: a cheap CORRECTNESS gate for the parallel solve paths
-# and for ClipSession reuse, not a timing gate.
+# Perf smoke test: a cheap CORRECTNESS gate for the parallel solve paths,
+# ClipSession reuse, and the trace/attribution pipeline -- not a timing gate.
 #
-# Builds Release into build-perf/, then runs bench_runtime twice:
-#   * --threads 1 : every pass is effectively serial; sanity-checks that the
-#     thread plumbing at N=1 reproduces the plain serial pass exactly;
-#   * --threads N : serial vs mip-parallel vs clip-parallel on the same
-#     clip set. bench_runtime itself exits nonzero if any clip proven
-#     optimal by both a serial and a parallel pass disagrees on the
-#     objective -- that is the gate this script enforces.
-#
-# It then runs bench_fleet, the distributed-sweep chaos gate: the
-# lease-based coordinator/worker fleet (with workers SIGKILLed mid-solve)
-# must produce byte-identical proven results to the in-process BatchRunner,
-# lose no tasks, duplicate no tasks, and resume entirely from its merged
-# checkpoint after a simulated coordinator restart. bench_fleet exits
-# nonzero on any violation.
-#
-# It then runs bench_sweep, the session-reuse correctness gate: over the
-# full example-clip x Table 3 rule sweep at mip.threads 1 and N, every task
-# that BOTH the ClipSession-reuse path and the per-(clip, rule) rebuild
-# path prove (optimal or infeasible) must report byte-identical
-# status/cost/bestBound; deadline-truncated solves are undecided but a
-# proven infeasibility may never coexist with a validated solution, and at
-# least half the tasks must prove on both paths so the gate cannot pass
-# vacuously. Obs builds must show exactly one base model per clip.
-# bench_sweep exits nonzero on any divergence.
+# Builds Release into build-perf/, then:
+#   * bench_runtime --threads 1 and --threads N, diffed with bench_compare:
+#     the serial pass must reproduce byte-identical proven costs across the
+#     two runs, and the in-file work-conservation contract (clip-parallel ==
+#     serial exactly; mip-parallel within 4x) is checked with
+#     bench_compare --self;
+#   * bench_compare BENCH_runtime.json (the committed trajectory baseline)
+#     vs the fresh snapshot: proven-cost changes always fail; a >10% LP
+#     pivot regression at equal proven costs fails the deterministic units
+#     (parallel B&B pivots are scheduling noise and are skipped, exactly as
+#     the old inline python gate treated them);
+#   * a traced full example-clip x Table 3 batch: trace_report must parse
+#     its own trace, and `optrouter trace-report --table5 --verify-join`
+#     must reproduce the sweep's checkpoint JSONL from route.solve spans
+#     byte-for-byte (the lossless-join acceptance gate);
+#   * the same verify-join over a forked sweep-coordinator fleet, whose
+#     workers append to one trace file under distinct pid<<32 id spaces;
+#   * bench_fleet (distributed-sweep chaos gate) and bench_sweep
+#     (session-reuse equivalence gate), both self-failing on divergence.
 #
 # Speedups are printed for information only: they depend on available
 # hardware parallelism (on a single-core machine the expected clip-parallel
@@ -44,7 +39,8 @@ fi
 
 echo "=== configuring Release into build-perf/ ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build build-perf -j --target bench_runtime bench_sweep bench_fleet > /dev/null
+cmake --build build-perf -j --target bench_runtime bench_sweep bench_fleet \
+  bench_compare trace_report optrouter > /dev/null
 
 cores="$(nproc 2> /dev/null || echo 1)"
 if [[ "${cores}" -lt "${threads}" ]]; then
@@ -60,89 +56,48 @@ echo "=== bench_runtime --threads ${threads} (determinism gate) ==="
 build-perf/bench/bench_runtime --threads "${threads}" \
   --out build-perf/BENCH_runtime.json
 
-# Cross-run check: the serial pass must report identical objectives in both
-# runs (solves are deterministic; wall times of course differ). The committed
-# BENCH_runtime.json (third arg) additionally gates LP pivot count: pricing
-# work may move pivots around, but a >10% total-pivot regression at equal
-# proven costs means the kernel got slower, not just different.
-python3 - build-perf/BENCH_runtime_t1.json build-perf/BENCH_runtime.json \
-  BENCH_runtime.json <<'EOF'
-import json, os, sys
-a = json.load(open(sys.argv[1]))
-b = json.load(open(sys.argv[2]))
-sa = next(p for p in a["passes"] if p["mode"] == "serial")
-sb = next(p for p in b["passes"] if p["mode"] == "serial")
-bad = 0
-for ca, cb in zip(sa["clips"], sb["clips"]):
-    if (ca["name"], ca["rule"]) != (cb["name"], cb["rule"]):
-        print(f"FAIL: clip order differs: {ca['name']} vs {cb['name']}")
-        bad = 1
-        continue
-    if ca["status"] != cb["status"] or ca["cost"] != cb["cost"]:
-        print(f"FAIL: serial pass not reproducible for {ca['name']}/{ca['rule']}:"
-              f" {ca['status']}/{ca['cost']} vs {cb['status']}/{cb['cost']}")
-        bad = 1
+echo "=== bench_compare: t1 vs t${threads} (cross-run reproducibility) ==="
+# Proven costs must be byte-identical run to run; the pivot gate applies to
+# the deterministic (serial) units only.
+build-perf/tools/bench_compare build-perf/BENCH_runtime_t1.json \
+  build-perf/BENCH_runtime.json
 
-# Work-conservation gate over the metrics registry (bench_runtime already
-# checked registry == sum-of-result-stats within each pass; this checks
-# *across* passes). Per-task solves are deterministic and independent, so the
-# clip-parallel pass must do exactly the serial pass's work -- clip threading
-# changes scheduling between tasks, never inside one. The mip-parallel pass
-# explores a scheduling-dependent tree, so its totals only get a generous
-# ratio bound; its solve count is still exact.
-passes = {p["mode"]: p for p in b["passes"]}
-ser, clip, mip = (passes[m]["registry"]
-                  for m in ("serial", "clip-parallel", "mip-parallel"))
-for key in ("lpPivots", "ilpPivots", "nodes", "routeSolves"):
-    if clip[key] != ser[key]:
-        print(f"FAIL: clip-parallel {key} {clip[key]} != serial {ser[key]}"
-              f" (threading must not change per-task work)")
-        bad = 1
-if mip["routeSolves"] != ser["routeSolves"]:
-    print(f"FAIL: mip-parallel routeSolves {mip['routeSolves']}"
-          f" != serial {ser['routeSolves']}")
-    bad = 1
-for key in ("lpPivots", "nodes"):
-    if ser[key] > 0 and not (ser[key] / 4 <= mip[key] <= ser[key] * 4):
-        print(f"FAIL: mip-parallel {key} {mip[key]} outside 4x of"
-              f" serial {ser[key]} -- parallel B&B doing pathological work")
-        bad = 1
-if ser["routeSolves"] == 0 and ser["lpPivots"] == 0:
-    # Registry deltas all zero means the build compiled obs out; the gate
-    # would pass vacuously, so say so instead of silently degrading.
-    print("note: metrics registry empty (OPTR_OBS disabled build);"
-          " work-conservation gate skipped")
+echo "=== bench_compare --self (work-conservation gate) ==="
+build-perf/tools/bench_compare --self build-perf/BENCH_runtime.json
 
-# Pivot-regression gate vs the committed baseline. Only comparable when the
-# serial pass proves the same clip set to the same costs (otherwise the work
-# being counted differs, not the kernel doing it).
-if os.path.exists(sys.argv[3]) and ser["lpPivots"] > 0:
-    base = json.load(open(sys.argv[3]))
-    bser = next((p for p in base["passes"] if p["mode"] == "serial"), None)
-    comparable = (bser is not None and bser["registry"]["lpPivots"] > 0 and
-                  [(c["name"], c["rule"], c["status"], c["cost"])
-                   for c in bser["clips"]] ==
-                  [(c["name"], c["rule"], c["status"], c["cost"])
-                   for c in sb["clips"]])
-    if not comparable:
-        print("note: committed BENCH_runtime.json serial pass not comparable"
-              " (different clip set / costs / obs-disabled);"
-              " pivot-regression gate skipped")
-    else:
-        limit = bser["registry"]["lpPivots"] * 1.10
-        if ser["lpPivots"] > limit:
-            print(f"FAIL: serial lp.pivots {ser['lpPivots']} exceeds committed"
-                  f" baseline {bser['registry']['lpPivots']} by >10% at equal"
-                  f" proven costs -- LP kernel pivot regression")
-            bad = 1
-        else:
-            print(f"pivot gate OK: serial lp.pivots {ser['lpPivots']}"
-                  f" <= 1.10 x committed {bser['registry']['lpPivots']}")
-else:
-    print("note: no committed BENCH_runtime.json baseline;"
-          " pivot-regression gate skipped")
-sys.exit(bad)
-EOF
+if [[ -f BENCH_runtime.json ]]; then
+  echo "=== bench_compare: committed BENCH_runtime.json vs fresh (trajectory gate) ==="
+  build-perf/tools/bench_compare BENCH_runtime.json \
+    build-perf/BENCH_runtime.json
+else
+  echo "note: no committed BENCH_runtime.json baseline; trajectory gate skipped"
+fi
+
+all_rules="RULE1 RULE2 RULE3 RULE4 RULE5 RULE6 RULE7 RULE8 RULE9 RULE10 RULE11"
+
+echo "=== traced batch: example clips x Table 3, Table 5 lossless-join gate ==="
+rm -f build-perf/smoke_batch.ckpt build-perf/smoke_trace.jsonl \
+  build-perf/smoke_metrics.json build-perf/smoke_table5.json
+build-perf/tools/optrouter batch examples/example.clips \
+  build-perf/smoke_batch.ckpt --isolation=thread --threads "${threads}" \
+  --trace=build-perf/smoke_trace.jsonl \
+  --metrics-out=build-perf/smoke_metrics.json \
+  ${all_rules} > /dev/null
+# The analyzer half: phases/rules/coverage/drop accounting on the real trace.
+build-perf/tools/trace_report build-perf/smoke_trace.jsonl
+# The attribution half: the Table 5 join must reproduce the checkpoint's
+# results byte-for-byte from trace spans alone (exit 1 on any mismatch).
+build-perf/tools/optrouter trace-report build-perf/smoke_trace.jsonl \
+  --table5 --json=build-perf/smoke_table5.json \
+  --verify-join=build-perf/smoke_batch.ckpt
+
+echo "=== traced fleet: forked workers, one trace, same lossless-join gate ==="
+rm -f build-perf/smoke_fleet.ckpt* build-perf/smoke_fleet_trace.jsonl
+build-perf/tools/optrouter sweep-coordinator examples/example.clips \
+  build-perf/smoke_fleet.ckpt --workers 2 \
+  --trace=build-perf/smoke_fleet_trace.jsonl RULE1 RULE3 RULE6 > /dev/null
+build-perf/tools/optrouter trace-report build-perf/smoke_fleet_trace.jsonl \
+  --table5 --verify-join=build-perf/smoke_fleet.ckpt
 
 echo "=== bench_fleet (distributed-sweep chaos equivalence gate) ==="
 build-perf/bench/bench_fleet --out build-perf/BENCH_fleet.json
@@ -152,5 +107,7 @@ build-perf/bench/bench_sweep --threads "${threads}" \
   --out build-perf/BENCH_sweep.json
 
 echo "=== perf smoke OK: no objective divergence, work conserved, ==="
-echo "=== fleet chaos-equivalent, session reuse result-equivalent ==="
+echo "=== trace join lossless, fleet chaos-equivalent, session reuse ==="
+echo "=== result-equivalent ==="
 echo "    trajectories: build-perf/BENCH_runtime.json build-perf/BENCH_fleet.json build-perf/BENCH_sweep.json"
+echo "    attribution:  build-perf/smoke_table5.json"

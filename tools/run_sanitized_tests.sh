@@ -67,14 +67,23 @@ for san in "${configs[@]}"; do
     # their composition under TSan. --mip-threads 4 additionally drives the
     # new pricing/dual-restart kernel code from parallel B&B workers.
     echo "=== ${san}: traced batch end-to-end (session reuse on) ==="
-    rm -f "${dir}/tsan_batch.ckpt" "${dir}/tsan_trace.jsonl"
+    rm -f "${dir}/tsan_batch.ckpt" "${dir}/tsan_trace.jsonl" \
+      "${dir}/tsan_metrics.json"
     if ! "${dir}/tools/optrouter" batch examples/example.clips \
          "${dir}/tsan_batch.ckpt" RULE1 RULE3 \
          --isolation=thread --threads 2 --mip-threads 4 \
-         --trace="${dir}/tsan_trace.jsonl" --metrics; then
+         --trace="${dir}/tsan_trace.jsonl" --metrics \
+         --metrics-out="${dir}/tsan_metrics.json"; then
       status=1
     fi
     if ! "${dir}/tools/trace_report" "${dir}/tsan_trace.jsonl"; then
+      status=1
+    fi
+    # The v2 attrs written by those parallel workers must join losslessly:
+    # the Table 5 attribution reproduces the checkpoint byte-for-byte even
+    # when spans were emitted from racing pool + B&B threads.
+    if ! "${dir}/tools/optrouter" trace-report "${dir}/tsan_trace.jsonl" \
+         --table5 --verify-join="${dir}/tsan_batch.ckpt"; then
       status=1
     fi
   fi

@@ -1,99 +1,11 @@
-// trace_report — aggregates an optr-trace JSONL file (written by
-// `optrouter batch --trace=...` or any obs::TraceSession) into a per-phase
-// and per-rule time-and-work breakdown, with anomaly flags.
-//
-//   trace_report <trace.jsonl>
-//
-// Output sections:
-//   * phases   one row per span name: count, total time, self time (total
-//              minus child spans, so self sums to ~wall once), share of the
-//              session, and mean LP pivots for mip.node rows
-//   * rules    one row per design rule, keyed from route.solve span details
-//              ("clip|rule"): solves, time, summed B&B nodes and LP pivots
-//   * coverage root-span time vs. the session wall clock (the acceptance
-//              gate: instrumented spans must account for ~all of the wall)
-//   * anomalies pivot-count outliers and dropped-record warnings
-//
-// Exit status: 0 on success, 1 when the trace cannot be parsed.
-#include <cinttypes>
-#include <cstdio>
-#include <string>
-
-#include "obs/trace_read.h"
-#include "report/table.h"
-
-using namespace optr;
-
-namespace {
-
-std::string fmtMs(std::int64_t ns) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(ns) / 1e6);
-  return buf;
-}
-
-std::string fmtPct(std::int64_t part, std::int64_t whole) {
-  if (whole <= 0) return "-";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.1f%%",
-                100.0 * static_cast<double>(part) /
-                    static_cast<double>(whole));
-  return buf;
-}
-
-}  // namespace
+// trace_report — aggregates one or more optr-trace JSONL files (written by
+// `optrouter batch --trace=...`, fleet workers, or any obs::TraceSession)
+// into per-phase / per-rule breakdowns with latency percentiles, per-thread
+// drop accounting, and optional Table 5 rule-impact attribution.
+// See tools/trace_report_main.h for the full flag reference; the same
+// command is also reachable as `optrouter trace-report`.
+#include "trace_report_main.h"
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_report <trace.jsonl>\n");
-    return 2;
-  }
-
-  auto entriesOr = obs::loadTrace(argv[1]);
-  if (!entriesOr) {
-    std::fprintf(stderr, "%s\n", entriesOr.status().message().c_str());
-    return 1;
-  }
-  obs::TraceReport rep = obs::analyzeTrace(entriesOr.value());
-
-  std::printf("trace: %s  (%" PRId64 " spans, %" PRId64 " events, session %s ms)\n\n",
-              argv[1], rep.spans, rep.events, fmtMs(rep.sessionNs).c_str());
-
-  report::Table phases(
-      {"phase", "count", "total ms", "self ms", "self %", "mean arg"});
-  for (const obs::PhaseRow& p : rep.phases) {
-    char meanBuf[32] = "-";
-    if (p.meanArg > 0.0)
-      std::snprintf(meanBuf, sizeof meanBuf, "%.1f", p.meanArg);
-    phases.addRow({p.name, std::to_string(p.count), fmtMs(p.totalNs),
-                   fmtMs(p.selfNs), fmtPct(p.selfNs, rep.sessionNs), meanBuf});
-  }
-  std::printf("%s\n", phases.render().c_str());
-
-  if (!rep.rules.empty()) {
-    report::Table rules({"rule", "solves", "total ms", "nodes", "pivots"});
-    for (const obs::RuleRow& r : rep.rules) {
-      char nodesBuf[32], pivotsBuf[32];
-      std::snprintf(nodesBuf, sizeof nodesBuf, "%.0f", r.nodes);
-      std::snprintf(pivotsBuf, sizeof pivotsBuf, "%.0f", r.pivots);
-      rules.addRow({r.rule, std::to_string(r.solves), fmtMs(r.totalNs),
-                    nodesBuf, pivotsBuf});
-    }
-    std::printf("%s\n", rules.render().c_str());
-  }
-
-  std::printf("coverage: root spans %s ms of %s ms session wall (%s)\n",
-              fmtMs(rep.rootNs).c_str(), fmtMs(rep.sessionNs).c_str(),
-              fmtPct(rep.rootNs, rep.sessionNs).c_str());
-  if (rep.dropped > 0) {
-    std::printf("dropped records: %" PRId64 "\n", rep.dropped);
-  }
-
-  if (!rep.anomalies.empty()) {
-    std::printf("\nanomalies:\n");
-    for (const std::string& a : rep.anomalies) {
-      std::printf("  ! %s\n", a.c_str());
-    }
-  }
-  return 0;
+  return optr::tools::traceReportMain(argc, argv);
 }

@@ -1,0 +1,196 @@
+// Shared implementation of the trace-report command, used by both the
+// standalone tools/trace_report binary and `optrouter trace-report`.
+//
+//   trace-report <trace.jsonl...> [--table5] [--baseline=RULE]
+//                [--json=FILE] [--verify-join=ckpt.jsonl]
+//
+// Several trace files merge into one span stream (fleet workers each write
+// their own file; obs::loadTraces re-keys span ids so they cannot collide).
+// Output sections:
+//   * phases     one row per span name: count, total/self time, p50/p95/p99
+//                duration, share of the session, mean LP pivots for mip.node
+//   * rules      per design rule: solves, time, summed B&B nodes, LP pivots
+//   * coverage   root-span time vs the session wall clock
+//   * anomalies  pivot outliers, per-thread ring-overflow drops
+//   * table5     (--table5) rule-impact attribution vs --baseline;
+//                --json writes the JSON document, --verify-join checks the
+//                join is lossless against a batch/sweep checkpoint JSONL
+//
+// Exit status: 0 ok, 1 parse error or verify-join mismatch, 2 usage.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.h"
+#include "report/attribution.h"
+#include "report/table.h"
+
+namespace optr::tools {
+
+namespace trace_report_detail {
+
+inline std::string fmtMs(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+inline std::string fmtPct(std::int64_t part, std::int64_t whole) {
+  if (whole <= 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%",
+                100.0 * static_cast<double>(part) /
+                    static_cast<double>(whole));
+  return buf;
+}
+
+}  // namespace trace_report_detail
+
+/// argv[0] is the program/subcommand name; argv[1..argc-1] are operands.
+inline int traceReportMain(int argc, char** argv) {
+  using trace_report_detail::fmtMs;
+  using trace_report_detail::fmtPct;
+
+  std::vector<std::string> paths;
+  bool table5 = false;
+  report::AttributionOptions attrOpt;
+  std::string jsonPath;
+  std::string verifyPath;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--table5") {
+      table5 = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      attrOpt.baselineRule = arg.substr(std::strlen("--baseline="));
+      table5 = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      jsonPath = arg.substr(std::strlen("--json="));
+      table5 = true;
+    } else if (arg.rfind("--verify-join=", 0) == 0) {
+      verifyPath = arg.substr(std::strlen("--verify-join="));
+      table5 = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.jsonl...> [--table5] [--baseline=RULE]\n"
+                 "       [--json=FILE] [--verify-join=checkpoint.jsonl]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  obs::TraceLoadStats stats;
+  auto entriesOr = obs::loadTraces(paths, &stats);
+  if (!entriesOr.isOk()) {
+    std::fprintf(stderr, "%s\n", entriesOr.status().message().c_str());
+    return 1;
+  }
+  const std::vector<obs::TraceEntry>& entries = entriesOr.value();
+  obs::TraceReport rep = obs::analyzeTrace(entries);
+
+  std::string label = paths[0];
+  if (paths.size() > 1) {
+    label += " (+" + std::to_string(paths.size() - 1) + " merged)";
+  }
+  std::printf(
+      "trace: %s  (%" PRId64 " spans, %" PRId64 " events, session %s ms)\n\n",
+      label.c_str(), rep.spans, rep.events, fmtMs(rep.sessionNs).c_str());
+
+  report::Table phases({"phase", "count", "total ms", "self ms", "self %",
+                        "p50 ms", "p95 ms", "p99 ms", "mean arg"});
+  for (const obs::PhaseRow& p : rep.phases) {
+    char meanBuf[32] = "-";
+    if (p.meanArg > 0.0)
+      std::snprintf(meanBuf, sizeof meanBuf, "%.1f", p.meanArg);
+    phases.addRow({p.name, std::to_string(p.count), fmtMs(p.totalNs),
+                   fmtMs(p.selfNs), fmtPct(p.selfNs, rep.sessionNs),
+                   fmtMs(p.p50Ns), fmtMs(p.p95Ns), fmtMs(p.p99Ns), meanBuf});
+  }
+  std::printf("%s\n", phases.render().c_str());
+
+  if (!rep.rules.empty()) {
+    report::Table rules({"rule", "solves", "total ms", "nodes", "pivots"});
+    for (const obs::RuleRow& r : rep.rules) {
+      char nodesBuf[32], pivotsBuf[32];
+      std::snprintf(nodesBuf, sizeof nodesBuf, "%.0f", r.nodes);
+      std::snprintf(pivotsBuf, sizeof pivotsBuf, "%.0f", r.pivots);
+      rules.addRow({r.rule, std::to_string(r.solves), fmtMs(r.totalNs),
+                    nodesBuf, pivotsBuf});
+    }
+    std::printf("%s\n", rules.render().c_str());
+  }
+
+  std::printf("coverage: root spans %s ms of %s ms session wall (%s)\n",
+              fmtMs(rep.rootNs).c_str(), fmtMs(rep.sessionNs).c_str(),
+              fmtPct(rep.rootNs, rep.sessionNs).c_str());
+  if (rep.dropped > 0) {
+    std::printf("dropped records: %" PRId64 "\n", rep.dropped);
+  }
+  if (stats.malformed > 0) {
+    std::printf("skipped %" PRId64 " malformed line%s (torn writes?)\n",
+                stats.malformed, stats.malformed == 1 ? "" : "s");
+  }
+
+  if (!rep.anomalies.empty()) {
+    std::printf("\nanomalies:\n");
+    for (const std::string& a : rep.anomalies) {
+      std::printf("  ! %s\n", a.c_str());
+    }
+  }
+
+  if (!table5) return 0;
+
+  report::AttributionReport attr = report::attributeRules(entries, attrOpt);
+  std::printf("\n%s", renderAttributionText(attr).c_str());
+
+  if (!jsonPath.empty()) {
+    std::string doc = attributionToJson(attr);
+    if (jsonPath == "-") {
+      std::printf("%s\n", doc.c_str());
+    } else {
+      std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "--json: cannot write %s\n", jsonPath.c_str());
+        return 1;
+      }
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("attribution JSON written to %s\n", jsonPath.c_str());
+    }
+  }
+
+  if (!verifyPath.empty()) {
+    auto mismatchesOr = report::verifyJoin(attr, verifyPath);
+    if (!mismatchesOr.isOk()) {
+      std::fprintf(stderr, "--verify-join: %s\n",
+                   mismatchesOr.status().message().c_str());
+      return 1;
+    }
+    const std::vector<std::string>& mismatches = mismatchesOr.value();
+    if (mismatches.empty()) {
+      std::printf(
+          "verify-join: lossless (%zu tasks byte-equal to %s)\n",
+          attr.tasks.size(), verifyPath.c_str());
+    } else {
+      std::printf("verify-join: %zu mismatch%s vs %s\n", mismatches.size(),
+                  mismatches.size() == 1 ? "" : "es", verifyPath.c_str());
+      for (const std::string& m : mismatches) {
+        std::printf("  ! %s\n", m.c_str());
+      }
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace optr::tools
