@@ -1,0 +1,509 @@
+// Routing-service benchmark: the correctness + payoff gate for the
+// service::RequestBroker / ResultCache stack, run fully in-process (the
+// broker is transport-agnostic, so no sockets are involved -- the same code
+// the daemon serves is driven through a frame-collecting sink).
+//
+// Three phases, three gates:
+//
+//   * "cold" pass: the full example-clip x Table 3 rule matrix is submitted
+//     through the broker and every result collected. "cached" pass: the
+//     identical requests again. For every task the hot pass served from the
+//     cache, replyEquivalenceSignature (status, provenance, error, cost,
+//     bestBound, wirelength, vias, nodes, lpIterations, cache key, routed
+//     geometry) must be BYTE-IDENTICAL to the cold solve -- a replay that
+//     differs from the solve it claims to replay FAILS the run (exit 1).
+//     Tasks the deadline truncated are not cacheable and re-solve hot;
+//     for those the bench_sweep rule applies: proven-in-both must agree
+//     byte-for-byte on cost/bound, and a proven verdict must never be
+//     contradicted. Every task the cold pass proved must come back `cached`
+//     (proven outcomes are admitted to the cache by contract), and fewer
+//     than half the tasks proven cold fails too: the byte gate must not
+//     pass vacuously.
+//   * cache payoff: hit rate in the cached pass must be > 0 and the mean
+//     hit SERVICE time at least 10x under the mean cold solve time over
+//     the hit tasks (reply.seconds -- client latency would just measure
+//     queueing behind the non-cacheable re-solves).
+//   * saturation: a deliberately tiny broker (1 worker, queue depth 1,
+//     client depth 1) takes a burst of requests; the overflow must come
+//     back as typed kSaturated reject frames -- never silent drops -- and
+//     every accepted request must still complete under stop(drain).
+//
+// Emits BENCH_service.json: cold/cached passes in the bench_sweep task
+// schema (so bench_compare's proven cost/bound byte gates apply across
+// snapshots for free), plus req/s, p50/p95/p99 latency, cache hit rate, hot
+// speedup, and the saturation counts. `bench_compare --self` re-checks the
+// committed file's invariants (see report/bench_diff.cpp).
+//
+// Usage: bench_service [--workers N] [--clips path] [--out path.json]
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "service/request_broker.h"
+#include "service/service_protocol.h"
+#include "tech/rules.h"
+
+using namespace optr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Collects the broker's outbound frames and tracks per-request latency
+/// (submit -> final frame). The sink runs on broker worker threads (and
+/// inside submit() for rejects), so everything is under one mutex.
+struct FrameLog {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<std::string, service::RouteReply> results;
+  std::unordered_map<std::string, ErrorCode> rejects;
+  std::unordered_map<std::string, double> latencyMs;
+  std::unordered_map<std::string, Clock::time_point> submitted;
+  int finals = 0;
+
+  void expect(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mu);
+    submitted[id] = Clock::now();
+  }
+
+  void onLine(const std::string& line) {
+    service::ServiceFrame f = service::decodeFrame(line);
+    if (f.type != service::FrameType::kResult &&
+        f.type != service::FrameType::kReject) {
+      return;  // queued/running status frames
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    const std::string& id =
+        f.type == service::FrameType::kResult ? f.reply.id : f.id;
+    auto it = submitted.find(id);
+    if (it != submitted.end()) {
+      latencyMs[id] = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                                it->second)
+                          .count();
+    }
+    if (f.type == service::FrameType::kResult) {
+      results[id] = f.reply;
+    } else {
+      rejects[id] = f.errorCode;
+    }
+    ++finals;
+    cv.notify_all();
+  }
+
+  void waitFinals(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return finals >= n; });
+  }
+};
+
+struct TaskOut {
+  std::string clipId;
+  std::string rule;
+  service::RouteReply reply;
+  double latMs = 0.0;
+};
+
+struct PassOut {
+  std::string mode;  // "cold" | "cached"
+  double wallMs = 0.0;
+  double reqPerSec = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  int cacheHits = 0;
+  std::vector<TaskOut> tasks;  // clips outer, rules inner
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(p * (v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Submits the full clip x rule matrix and waits for every final frame.
+/// Every submission must be admitted (the matrix broker's queues are sized
+/// for it); a reject here is a broker bug, not saturation.
+PassOut runMatrix(service::RequestBroker& broker, FrameLog& log,
+                  const std::vector<clip::Clip>& clips,
+                  const std::vector<tech::RuleConfig>& rules,
+                  const std::string& mode, bool& ok) {
+  PassOut pass;
+  pass.mode = mode;
+  std::vector<std::string> ids;
+  std::vector<std::pair<std::string, std::string>> taskOf;
+  int baseFinals;  // the log is shared across passes; wait past this mark
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    baseFinals = log.finals;
+  }
+  auto t0 = Clock::now();
+  for (const clip::Clip& c : clips) {
+    std::string text = clip::toText(c);
+    for (const tech::RuleConfig& rule : rules) {
+      service::RouteRequest req;
+      req.id = mode + "-" + std::to_string(ids.size());
+      req.clipText = text;
+      req.ruleName = rule.name;
+      log.expect(req.id);
+      if (!broker.submit("bench", req)) {
+        std::fprintf(stderr, "FAIL: %s pass: submit %s/%s rejected (matrix "
+                             "broker queues are sized for the whole sweep)\n",
+                     mode.c_str(), c.id.c_str(), rule.name.c_str());
+        ok = false;
+      }
+      ids.push_back(req.id);
+      taskOf.emplace_back(c.id, rule.name);
+    }
+  }
+  log.waitFinals(baseFinals + static_cast<int>(ids.size()));
+  pass.wallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  pass.reqPerSec =
+      pass.wallMs > 0 ? 1000.0 * static_cast<double>(ids.size()) / pass.wallMs
+                      : 0.0;
+
+  std::vector<double> lats;
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      auto it = log.results.find(ids[i]);
+      if (it == log.results.end()) {
+        std::fprintf(stderr, "FAIL: %s pass: no result for %s/%s\n",
+                     mode.c_str(), taskOf[i].first.c_str(),
+                     taskOf[i].second.c_str());
+        ok = false;
+        continue;
+      }
+      TaskOut t;
+      t.clipId = taskOf[i].first;
+      t.rule = taskOf[i].second;
+      t.reply = it->second;
+      t.latMs = log.latencyMs.count(ids[i]) ? log.latencyMs[ids[i]] : 0.0;
+      if (t.reply.cached) ++pass.cacheHits;
+      lats.push_back(t.latMs);
+      pass.tasks.push_back(std::move(t));
+    }
+  }
+  pass.p50 = percentile(lats, 0.50);
+  pass.p95 = percentile(lats, 0.95);
+  pass.p99 = percentile(lats, 0.99);
+  return pass;
+}
+
+bool proven(core::RouteStatus s) {
+  return s == core::RouteStatus::kOptimal ||
+         s == core::RouteStatus::kInfeasible;
+}
+
+core::OptRouterOptions routerOptions() {
+  core::OptRouterOptions o;
+  o.mip.timeLimitSec = 30;
+  o.mip.threads = 1;  // deterministic solves; parallelism comes from workers
+  o.formulation.netBBoxMargin = 3;
+  o.formulation.netLayerMargin = 1;
+  return o;
+}
+
+struct SaturationOut {
+  int submitted = 0;
+  int acceptedCompleted = 0;
+  int saturatedRejects = 0;
+  bool typedOk = true;  // every reject frame carried error=saturated
+};
+
+/// Bursts requests at a minimal broker (1 worker, global queue 1, client
+/// queue 1): everything past the in-flight request and the one queued slot
+/// must bounce with a typed kSaturated reject, and stop(drain) must still
+/// finish whatever was admitted.
+SaturationOut runSaturation(const std::vector<clip::Clip>& clips,
+                            const std::vector<tech::RuleConfig>& rules) {
+  auto log = std::make_shared<FrameLog>();
+  service::BrokerOptions bo;
+  bo.workers = 1;
+  bo.queueDepth = 1;
+  bo.clientQueueDepth = 1;
+  bo.router = routerOptions();
+  bo.universe = rules;
+  service::RequestBroker broker(
+      bo, [log](const std::string&, const std::string& line) {
+        log->onLine(line);
+      });
+
+  SaturationOut out;
+  std::string text = clip::toText(clips.front());
+  int accepted = 0;
+  for (int i = 0; i < 8; ++i) {
+    service::RouteRequest req;
+    req.id = "sat-" + std::to_string(i);
+    req.clipText = text;
+    req.ruleName = rules.front().name;
+    log->expect(req.id);
+    if (broker.submit("burst", req)) ++accepted;
+    ++out.submitted;
+  }
+  log->waitFinals(out.submitted);  // rejects are finals too -- never dropped
+  broker.stop(/*drain=*/true);
+
+  std::lock_guard<std::mutex> lock(log->mu);
+  out.acceptedCompleted = static_cast<int>(log->results.size());
+  for (const auto& [id, code] : log->rejects) {
+    ++out.saturatedRejects;
+    if (code != ErrorCode::kSaturated) {
+      std::fprintf(stderr, "FAIL: saturation reject %s carried error '%s', "
+                           "want 'saturated'\n",
+                   id.c_str(), toString(code));
+      out.typedOk = false;
+    }
+  }
+  if (out.acceptedCompleted != accepted) out.typedOk = false;
+  return out;
+}
+
+void emitJson(const std::string& path, int workers, std::size_t numClips,
+              std::size_t numRules, const std::vector<PassOut>& passes,
+              double cacheHitRate, double hotSpeedup, int equivalenceChecked,
+              int equivalenceMismatches, const SaturationOut& sat) {
+  std::ofstream out(path);
+  out << std::setprecision(17);
+  out << "{\n  \"benchmark\": \"bench_service\",\n  \"workers\": " << workers
+      << ",\n  \"clips\": " << numClips << ",\n  \"rules\": " << numRules
+      << ",\n  \"cacheHitRate\": " << cacheHitRate
+      << ",\n  \"hotSpeedup\": " << hotSpeedup
+      << ",\n  \"equivalenceChecked\": " << equivalenceChecked
+      << ",\n  \"equivalenceMismatches\": " << equivalenceMismatches
+      << ",\n  \"saturation\": {\"submitted\": " << sat.submitted
+      << ", \"completed\": " << sat.acceptedCompleted
+      << ", \"saturatedRejects\": " << sat.saturatedRejects << "},\n"
+      << "  \"saturatedRejects\": " << sat.saturatedRejects << ",\n"
+      << "  \"passes\": [\n";
+  for (std::size_t p = 0; p < passes.size(); ++p) {
+    const PassOut& pass = passes[p];
+    out << "    {\"mode\": \"" << pass.mode << "\", \"mipThreads\": 1"
+        << ", \"wallMs\": " << pass.wallMs
+        << ", \"reqPerSec\": " << pass.reqPerSec
+        << ",\n     \"latencyMs\": {\"p50\": " << pass.p50
+        << ", \"p95\": " << pass.p95 << ", \"p99\": " << pass.p99 << "}"
+        << ", \"cacheHits\": " << pass.cacheHits << ",\n     \"tasks\": [\n";
+    for (std::size_t i = 0; i < pass.tasks.size(); ++i) {
+      const TaskOut& t = pass.tasks[i];
+      out << "       {\"clip\": \"" << t.clipId << "\", \"rule\": \""
+          << t.rule << "\", \"wallMs\": " << t.latMs
+          << ", \"cost\": " << t.reply.cost
+          << ", \"bestBound\": " << t.reply.bestBound << ", \"status\": \""
+          << core::toString(t.reply.status) << "\", \"provenance\": \""
+          << core::toString(t.reply.provenance) << "\", \"cached\": "
+          << (t.reply.cached ? 1 : 0) << ", \"cacheKey\": \""
+          << t.reply.cacheKey << "\"}"
+          << (i + 1 < pass.tasks.size() ? "," : "") << "\n";
+    }
+    out << "     ]}" << (p + 1 < passes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = 2;
+  std::string clipsPath = "examples/example.clips";
+  std::string outPath = "BENCH_service.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--workers") == 0 && a + 1 < argc) {
+      workers = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--clips") == 0 && a + 1 < argc) {
+      clipsPath = argv[++a];
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      outPath = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--workers N] [--clips path] "
+                   "[--out path.json]\n");
+      return 2;
+    }
+  }
+  if (workers < 1) workers = 1;
+
+  auto loaded = clip::loadClips(clipsPath);
+  if (!loaded.isOk()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", clipsPath.c_str(),
+                 loaded.status().message().c_str());
+    return 2;
+  }
+  std::vector<clip::Clip> clips = std::move(loaded).value();
+  if (clips.empty()) {
+    std::fprintf(stderr, "no clips in %s\n", clipsPath.c_str());
+    return 2;
+  }
+  std::vector<tech::RuleConfig> rules = tech::table3Rules();
+  const std::size_t matrix = clips.size() * rules.size();
+
+  bool ok = true;
+
+  // ---- cold + cached matrix through one broker (shared cache) ----
+  auto log = std::make_shared<FrameLog>();
+  service::BrokerOptions bo;
+  bo.workers = workers;
+  bo.queueDepth = matrix + 8;        // the whole sweep must be admissible --
+  bo.clientQueueDepth = matrix + 8;  // saturation is its own phase below
+  bo.router = routerOptions();
+  bo.universe = rules;
+  service::RequestBroker broker(
+      bo, [log](const std::string&, const std::string& line) {
+        log->onLine(line);
+      });
+
+  PassOut cold = runMatrix(broker, *log, clips, rules, "cold", ok);
+  PassOut cached = runMatrix(broker, *log, clips, rules, "cached", ok);
+  service::RequestBroker::Stats bstats = broker.stats();
+  broker.stop(/*drain=*/true);
+
+  // ---- gate 1: byte-identical cached replays ----
+  int equivalenceChecked = 0, equivalenceMismatches = 0, provenCold = 0;
+  std::map<std::string, const TaskOut*> coldByKey;
+  for (const TaskOut& t : cold.tasks) coldByKey[t.clipId + "|" + t.rule] = &t;
+  for (const TaskOut& t : cached.tasks) {
+    auto it = coldByKey.find(t.clipId + "|" + t.rule);
+    if (it == coldByKey.end()) continue;
+    const TaskOut& c = *it->second;
+    if (t.reply.cached) {
+      // Served from the cache: the replay must be indistinguishable from
+      // the solve that populated it.
+      ++equivalenceChecked;
+      std::string want = service::replyEquivalenceSignature(c.reply);
+      std::string got = service::replyEquivalenceSignature(t.reply);
+      if (want != got) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s cached replay differs from cold solve:\n"
+                     "  cold:   %s\n  cached: %s\n",
+                     t.clipId.c_str(), t.rule.c_str(), want.c_str(),
+                     got.c_str());
+        ++equivalenceMismatches;
+        ok = false;
+      }
+    } else if (proven(c.reply.status) && proven(t.reply.status)) {
+      // Not cacheable cold (or evicted) so the hot pass re-solved: proven
+      // answers are still unique and must agree exactly (bench_sweep rule).
+      ++equivalenceChecked;
+      if (c.reply.status != t.reply.status || c.reply.cost != t.reply.cost ||
+          c.reply.bestBound != t.reply.bestBound) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s re-solve diverged: cold %s cost %.17g "
+                     "bound %.17g vs hot %s cost %.17g bound %.17g\n",
+                     t.clipId.c_str(), t.rule.c_str(),
+                     core::toString(c.reply.status), c.reply.cost,
+                     c.reply.bestBound, core::toString(t.reply.status),
+                     t.reply.cost, t.reply.bestBound);
+        ++equivalenceMismatches;
+        ok = false;
+      }
+    } else if ((c.reply.status == core::RouteStatus::kInfeasible &&
+                !t.reply.solutionText.empty()) ||
+               (t.reply.status == core::RouteStatus::kInfeasible &&
+                !c.reply.solutionText.empty())) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s infeasibility proof contradicted by a "
+                   "validated solution across passes\n",
+                   t.clipId.c_str(), t.rule.c_str());
+      ++equivalenceMismatches;
+      ok = false;
+    }
+    if (proven(c.reply.status)) {
+      ++provenCold;
+      if (!t.reply.cached) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s proven cold (%s) but the hot pass re-solved "
+                     "it instead of hitting the cache\n",
+                     t.clipId.c_str(), t.rule.c_str(),
+                     core::toString(c.reply.status));
+        ok = false;
+      }
+    }
+  }
+  if (static_cast<std::size_t>(provenCold) * 2 < matrix) {
+    std::fprintf(stderr,
+                 "FAIL: only %d of %zu tasks proven in the cold pass -- the "
+                 "cache byte gate would be vacuous (raise the time limit or "
+                 "shrink the clips)\n",
+                 provenCold, matrix);
+    ok = false;
+  }
+
+  // ---- gate 2: cache payoff ----
+  double hitRate = cached.tasks.empty()
+                       ? 0.0
+                       : static_cast<double>(cached.cacheHits) /
+                             static_cast<double>(cached.tasks.size());
+  // Service time, not client latency: a hit queued behind a non-cacheable
+  // re-solve waits out that solve, which says nothing about the cache.
+  double coldSum = 0.0, hotSum = 0.0;
+  int hitTasks = 0;
+  for (const TaskOut& t : cached.tasks) {
+    if (!t.reply.cached) continue;
+    auto it = coldByKey.find(t.clipId + "|" + t.rule);
+    if (it == coldByKey.end()) continue;
+    coldSum += it->second->reply.seconds;
+    hotSum += t.reply.seconds;
+    ++hitTasks;
+  }
+  double hotSpeedup =
+      (hitTasks > 0 && hotSum > 0.0) ? coldSum / hotSum : 0.0;
+  if (cached.cacheHits == 0) {
+    std::fprintf(stderr, "FAIL: cached pass hit rate is 0\n");
+    ok = false;
+  }
+  if (hitTasks > 0 && hotSpeedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: cache hits only %.1fx faster than cold solves "
+                 "(mean over %d hit tasks); a hit must be a replay, not a "
+                 "re-solve (>= 10x)\n",
+                 hotSpeedup, hitTasks);
+    ok = false;
+  }
+  if (bstats.cacheHits != static_cast<std::uint64_t>(cached.cacheHits)) {
+    std::fprintf(stderr,
+                 "FAIL: broker counted %llu cache hits but %d replies said "
+                 "cached=1\n",
+                 static_cast<unsigned long long>(bstats.cacheHits),
+                 cached.cacheHits);
+    ok = false;
+  }
+
+  // ---- gate 3: saturation rejects are typed, admitted work completes ----
+  SaturationOut sat = runSaturation(clips, rules);
+  if (sat.saturatedRejects == 0) {
+    std::fprintf(stderr,
+                 "FAIL: burst of %d at a depth-1 broker produced no "
+                 "saturated rejects\n",
+                 sat.submitted);
+    ok = false;
+  }
+  if (!sat.typedOk) ok = false;
+
+  emitJson(outPath, workers, clips.size(), rules.size(), {cold, cached},
+           hitRate, hotSpeedup, equivalenceChecked, equivalenceMismatches,
+           sat);
+
+  std::printf(
+      "bench_service: %zu tasks x 2 passes, workers=%d\n"
+      "  cold:   %8.1f ms wall, %6.2f req/s, p50 %8.2f ms p95 %8.2f ms\n"
+      "  cached: %8.1f ms wall, %6.2f req/s, p50 %8.2f ms p95 %8.2f ms\n"
+      "  hit rate %.2f, hot speedup %.0fx, proven cold %d/%zu\n"
+      "  saturation: %d submitted, %d completed, %d typed rejects\n"
+      "  equivalence: %d checked, %d mismatches -> %s\n",
+      matrix, workers, cold.wallMs, cold.reqPerSec, cold.p50, cold.p95,
+      cached.wallMs, cached.reqPerSec, cached.p50, cached.p95, hitRate,
+      hotSpeedup, provenCold, matrix, sat.submitted, sat.acceptedCompleted,
+      sat.saturatedRejects, equivalenceChecked, equivalenceMismatches,
+      ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Newline-delimited framing over raw file descriptors.
+//
+// Every wire protocol in this repo -- the fleet's coordinator/worker link
+// (harness/sweep_protocol.h), the batch fork-isolation result pipe, and the
+// routing service (service/service_protocol.h) -- frames messages as one
+// flat JSON object per line over an arbitrary byte stream. This header is
+// the one place that framing lives:
+//
+//   * writeLine(): short-write-safe, EINTR-safe emission of one framed line;
+//   * LineReader: blocking buffered reader for lease-at-a-time loops (the
+//     fleet worker, the service client);
+//   * LineSplitter: non-blocking accumulator for poll-driven event loops
+//     (the fleet coordinator, the service server) that receive partial
+//     lines per readiness wakeup.
+//
+// Callers own concurrency: when several threads share one fd (a solve
+// thread and its heartbeat pump), they serialize writeLine under their own
+// mutex.
+#pragma once
+
+#include <string>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace optr::common {
+
+#if !defined(_WIN32)
+
+/// Writes `line` plus a terminating '\n', handling short writes and EINTR.
+/// False when the peer is gone (EPIPE with SIGPIPE ignored) or the fd is
+/// otherwise unwritable; callers treat that as "connection closed".
+inline bool writeLine(int fd, const std::string& line) {
+  std::string framed = line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking buffered line reader for one fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads until a full line (without '\n') is available. False on EOF or
+  /// a read error.
+  bool next(std::string& line) {
+    for (;;) {
+      std::size_t eol = buffer_.find('\n');
+      if (eol != std::string::npos) {
+        line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+#endif  // !_WIN32
+
+/// Byte-stream accumulator for event loops: feed whatever a readiness
+/// wakeup delivered, pop complete lines. A line torn across reads stays
+/// buffered until its '\n' arrives; a writer killed mid-line leaves the
+/// fragment here, where it is simply never popped (the JSONL decoders treat
+/// any incomplete line as garbled anyway).
+class LineSplitter {
+ public:
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Pops the next complete line (without '\n'); false when none is
+  /// buffered.
+  bool next(std::string& line) {
+    std::size_t eol = buffer_.find('\n');
+    if (eol == std::string::npos) return false;
+    line = buffer_.substr(0, eol);
+    buffer_.erase(0, eol + 1);
+    return true;
+  }
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace optr::common

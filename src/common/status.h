@@ -32,6 +32,7 @@ enum class ErrorCode : std::uint8_t {
   kSeparation,       // lazy-constraint separator misbehaved
   kCrash,            // isolated worker died (signal / abort)
   kInternal,         // invariant violated; default for untagged errors
+  kSaturated,        // admission control refused work (queue/backlog full)
   /// Count sentinel -- always last; insert new codes directly above it so
   /// serialized values stay stable. Exists so the string table can be
   /// checked exhaustively (common_test fails on a nameless new code).
@@ -80,6 +81,7 @@ inline const char* toString(ErrorCode c) {
     case ErrorCode::kSeparation: return "separation";
     case ErrorCode::kCrash: return "crash";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kSaturated: return "saturated";
     case ErrorCode::kNumCodes: break;
   }
   return "?";

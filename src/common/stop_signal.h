@@ -1,0 +1,122 @@
+// Cooperative SIGTERM/SIGINT handling for long-running drivers.
+//
+// The daemon (`optrouter serve`) and the batch harness both promise a clean
+// stop: finish or drain in-flight work, flush checkpoints and trace rings,
+// exit 0. Signal handlers cannot do any of that directly, so this header
+// implements the standard async-signal-safe relay:
+//
+//   * installStopSignals() points SIGTERM/SIGINT at a handler that records
+//     the signal number and writes one byte to a self-pipe;
+//   * workers poll stopRequested() at their drain points (between batch
+//     tasks, between broker dispatches);
+//   * event loops add stopWakeFd() to their poll set so a signal interrupts
+//     a blocking wait immediately instead of at the next timeout.
+//
+// requestStop() triggers the same path from normal code -- tests use it to
+// exercise drain logic without raising real signals, and the service server
+// uses it for programmatic shutdown. All state is process-global (signal
+// dispositions are too); resetStopSignals() rearms between test cases.
+#pragma once
+
+#include <atomic>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace optr::common {
+
+namespace internal {
+inline std::atomic<int> g_stopSignal{0};
+inline std::atomic<int> g_stopWakeWriteFd{-1};
+inline std::atomic<int> g_stopWakeReadFd{-1};
+
+#if !defined(_WIN32)
+inline void stopSignalHandler(int sig) {
+  g_stopSignal.store(sig, std::memory_order_relaxed);
+  int fd = g_stopWakeWriteFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char b = 1;
+    // write() is async-signal-safe; the pipe is non-blocking so a full
+    // pipe (signal storm) drops the redundant wakeup byte harmlessly.
+    (void)!write(fd, &b, 1);
+  }
+}
+#endif
+}  // namespace internal
+
+/// True once a stop signal (or requestStop) has been seen.
+inline bool stopRequested() {
+  return internal::g_stopSignal.load(std::memory_order_relaxed) != 0;
+}
+
+/// The signal number that triggered the stop (0 when none yet).
+inline int stopSignal() {
+  return internal::g_stopSignal.load(std::memory_order_relaxed);
+}
+
+/// Programmatic stop: same observable effect as receiving SIGTERM.
+inline void requestStop(int sig = 15) {
+  internal::g_stopSignal.store(sig, std::memory_order_relaxed);
+  int fd = internal::g_stopWakeWriteFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char b = 1;
+#if !defined(_WIN32)
+    (void)!write(fd, &b, 1);
+#endif
+  }
+}
+
+#if !defined(_WIN32)
+
+/// Readable end of the self-pipe; poll it with POLLIN to learn about a stop
+/// without waiting out a timeout. -1 before installStopSignals(). The byte
+/// is left in the pipe (level-triggered poll keeps reporting it), which is
+/// exactly right: every loop layer sees the wakeup.
+inline int stopWakeFd() {
+  return internal::g_stopWakeReadFd.load(std::memory_order_relaxed);
+}
+
+/// Installs SIGTERM/SIGINT handlers and the self-pipe. Idempotent.
+inline void installStopSignals() {
+  if (internal::g_stopWakeReadFd.load(std::memory_order_relaxed) < 0) {
+    int fds[2];
+    if (pipe(fds) == 0) {
+      fcntl(fds[0], F_SETFL, O_NONBLOCK);
+      fcntl(fds[1], F_SETFL, O_NONBLOCK);
+      internal::g_stopWakeReadFd.store(fds[0], std::memory_order_relaxed);
+      internal::g_stopWakeWriteFd.store(fds[1], std::memory_order_relaxed);
+    }
+  }
+  struct sigaction sa {};
+  sa.sa_handler = internal::stopSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Clears the stop flag and drains the wake pipe (tests; also lets a driver
+/// treat a second signal as "stop harder").
+inline void resetStopSignals() {
+  internal::g_stopSignal.store(0, std::memory_order_relaxed);
+  int fd = internal::g_stopWakeReadFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char buf[16];
+    while (read(fd, buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+#else  // _WIN32: no self-pipe; the flag alone still works.
+
+inline int stopWakeFd() { return -1; }
+inline void installStopSignals() {}
+inline void resetStopSignals() {
+  internal::g_stopSignal.store(0, std::memory_order_relaxed);
+}
+
+#endif
+
+}  // namespace optr::common

@@ -1,0 +1,110 @@
+#include "core/cache_key.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "clip/clip_io.h"
+
+namespace optr::core {
+
+std::string CacheKey::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+std::uint64_t fnv1a64(const std::string& text, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvBasisHi = 0xcbf29ce484222325ULL;
+// A second, independent basis: the first digest re-folded so the two passes
+// never agree by construction.
+constexpr std::uint64_t kFnvBasisLo = 0xaf63dc4c8601ec8cULL;
+
+CacheKey keyOf(const std::string& text) {
+  return CacheKey{fnv1a64(text, kFnvBasisHi), fnv1a64(text, kFnvBasisLo)};
+}
+
+}  // namespace
+
+std::string canonicalClipText(const clip::Clip& clip) {
+  // Reuse the (tested) clip serialization; mask the id so content, not
+  // naming, addresses the cache. TECH rides along inside the text.
+  clip::Clip masked = clip;
+  masked.id = "*";
+  return clip::toText(masked);
+}
+
+std::string canonicalRuleText(const tech::RuleConfig& rule) {
+  std::ostringstream os;
+  os << "RULE " << rule.name << " VIARESTRICT "
+     << tech::blockedNeighbors(rule.viaRestriction) << " SADPFROM "
+     << rule.sadpFromMetal << " UNIDIR " << (rule.unidirectional ? 1 : 0)
+     << " VIAWEIGHT " << rule.viaCostWeight << " SHAPES "
+     << rule.viaShapes.size();
+  for (const tech::ViaShape& vs : rule.viaShapes) {
+    os << " " << vs.name << " " << vs.spanX << " " << vs.spanY << " "
+       << vs.costFactor;
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string canonicalRouterOptionsText(const OptRouterOptions& options) {
+  const FormulationOptions& f = options.formulation;
+  const ilp::MipOptions& m = options.mip;
+  const lp::SimplexOptions& l = m.lpOptions;
+  std::ostringstream os;
+  os << "FORM eagerVia " << f.eagerViaRules << " eagerSadp " << f.eagerSadp
+     << " upperCoupling " << f.emitUpperCoupling << " merge2pin "
+     << f.mergeTwoPinNets << " bboxMargin " << f.netBBoxMargin
+     << " layerMargin " << f.netLayerMargin << "\n";
+  os << "MIP timeLimit " << m.timeLimitSec << " maxNodes " << m.maxNodes
+     << " intTol " << m.intTol << " retry " << m.retryOnNumericalFailure
+     << " gapTol " << m.objectiveGapTol << " threads " << m.threads << "\n";
+  os << "LP maxIter " << l.maxIterations << " feasTol " << l.feasTol
+     << " optTol " << l.optTol << " pivotTol " << l.pivotTol
+     << " refactor " << l.refactorInterval << " blandAfter "
+     << l.blandAfterStalls << " forceBland " << l.forceBland << " deadline "
+     << l.deadlineSeconds << " pricing " << static_cast<int>(l.pricing)
+     << " dualRestart " << l.dualRestart << " candidates "
+     << l.pricingCandidates << "\n";
+  const route::MazeOptions& z = options.mazeOptions;
+  os << "MAZE ripup " << z.maxRipupIterations << " presentInit "
+     << z.presentPenaltyInit << " presentGrowth " << z.presentPenaltyGrowth
+     << " history " << z.historyIncrement << "\n";
+  os << "WARM " << options.warmStart << "\n";
+  return os.str();
+}
+
+CacheKey resultCacheKey(const clip::Clip& clip, const tech::RuleConfig& rule,
+                        const OptRouterOptions& options) {
+  return keyOf(canonicalClipText(clip) + canonicalRuleText(rule) +
+               canonicalRouterOptionsText(options));
+}
+
+CacheKey sessionCacheKey(const clip::Clip& clip,
+                         const FormulationOptions& formulation) {
+  OptRouterOptions probe;
+  probe.formulation = formulation;
+  std::string formText = canonicalRouterOptionsText(probe);
+  return keyOf("SESSION\n" + canonicalClipText(clip) +
+               formText.substr(0, formText.find('\n') + 1));
+}
+
+bool cacheableOutcome(RouteStatus status, const Status& error) {
+  if (!error.isOk()) return false;
+  return status == RouteStatus::kOptimal || status == RouteStatus::kInfeasible;
+}
+
+}  // namespace optr::core

@@ -1,0 +1,81 @@
+// Content-addressed cache keys for solve results and clip sessions.
+//
+// The routing service re-serves repeated traffic from a result cache, so the
+// cache key must capture EVERYTHING that can change a solve's answer:
+//
+//   clip geometry  -- tracks/layers/nets/pins/obstacles, via the clip text
+//                     serialization with the id masked out (two identically
+//                     shaped clips with different names are the same work);
+//   technology     -- the TECH field inside that same serialization;
+//   rule           -- every RuleConfig field, via shapes included;
+//   solver options -- every OptRouterOptions field that steers the solve,
+//                     including limits and thread counts: a deadline change
+//                     can flip kOptimal into kFeasible, and reported node /
+//                     pivot counts are thread-count-dependent, so differing
+//                     options must never alias to one cache slot.
+//
+// Keys are 128-bit (two independent FNV-1a-64 passes over the canonical
+// text) -- collisions are not checked at lookup time, so the key space has
+// to make them negligible. The canonical texts are also the spec of what
+// "same request" means; they are exercised directly by service_test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "clip/clip.h"
+#include "core/opt_router.h"
+#include "tech/rules.h"
+
+namespace optr::core {
+
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+
+  /// 32 lowercase hex chars; the wire / JSON / log form of the key.
+  std::string hex() const;
+
+  struct Hash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+};
+
+/// FNV-1a over `text`, parameterized by offset basis so two passes give two
+/// independent 64-bit digests.
+std::uint64_t fnv1a64(const std::string& text, std::uint64_t basis);
+
+/// Canonical clip content: the clip text serialization with the id replaced
+/// by "*" (content addressing ignores names). Includes the technology.
+std::string canonicalClipText(const clip::Clip& clip);
+
+/// Canonical rule content: every RuleConfig field, via shapes included.
+std::string canonicalRuleText(const tech::RuleConfig& rule);
+
+/// Canonical solver-options content: formulation, MIP, LP, and warm-start
+/// settings. Appended to deliberately -- adding an option that can change a
+/// result MUST show up here or cached answers go stale silently.
+std::string canonicalRouterOptionsText(const OptRouterOptions& options);
+
+/// Key for a (clip, rule, options) solve result.
+CacheKey resultCacheKey(const clip::Clip& clip, const tech::RuleConfig& rule,
+                        const OptRouterOptions& options);
+
+/// Key for a clip session: clip content + formulation options only (the
+/// session's base model is rule-independent by construction; the rule
+/// universe is part of the pool's contract, not the key -- see SessionPool).
+CacheKey sessionCacheKey(const clip::Clip& clip,
+                         const FormulationOptions& formulation);
+
+/// A solve outcome may be served from cache only when it is a deterministic
+/// function of the request: proven verdicts (optimal / infeasible) with a
+/// clean error status. Deadline- or limit-truncated outcomes depend on
+/// wall-clock and scheduling, so caching them would freeze one machine's
+/// timing into every later answer.
+bool cacheableOutcome(RouteStatus status, const Status& error);
+
+}  // namespace optr::core

@@ -1,0 +1,67 @@
+#include "core/session_pool.h"
+
+#include "obs/metrics.h"
+
+namespace optr::core {
+
+SessionPool::SessionPool(SessionPoolOptions options) : options_(options) {}
+
+SessionPool::~SessionPool() = default;
+
+SessionPool::Lease SessionPool::acquire(
+    const std::string& key,
+    const std::function<std::unique_ptr<ClipSession>()>& build) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = byKey_.find(key);
+    if (it != byKey_.end()) {
+      std::unique_ptr<ClipSession> session = std::move(it->second->session);
+      lru_.erase(it->second);
+      byKey_.erase(it);
+      ++stats_.hits;
+      obs::metrics().counter("session.pool.hit").add(1);
+      return Lease(this, key, std::move(session));
+    }
+    ++stats_.misses;
+  }
+  obs::metrics().counter("session.pool.miss").add(1);
+  // Build outside the lock: base builds dominate and must not serialize
+  // unrelated acquires.
+  return Lease(this, key, build());
+}
+
+void SessionPool::release(const std::string& key,
+                          std::unique_ptr<ClipSession> session) {
+  std::unique_ptr<ClipSession> dropped;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.capacity == 0 || byKey_.count(key) != 0) {
+      // No pooling, or a duplicate of an already-idle session (two workers
+      // built the same clip concurrently): keep the pool bounded.
+      ++stats_.discards;
+      dropped = std::move(session);
+    } else {
+      lru_.push_front(Entry{key, std::move(session)});
+      byKey_[key] = lru_.begin();
+      if (lru_.size() > options_.capacity) {
+        ++stats_.evictions;
+        obs::metrics().counter("session.pool.evict").add(1);
+        byKey_.erase(lru_.back().key);
+        dropped = std::move(lru_.back().session);
+        lru_.pop_back();
+      }
+    }
+  }
+}
+
+std::size_t SessionPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+SessionPool::Stats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace optr::core

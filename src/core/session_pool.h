@@ -1,0 +1,134 @@
+// SessionPool: shared, capacity-bounded LRU of idle ClipSessions.
+//
+// The batch harness used to keep one session per worker (an LRU of size 1):
+// good enough when each worker owns a contiguous slice of one clip's rule
+// sweep, wasted work the moment requests interleave -- which is exactly what
+// the routing service sees (clients hit the same clips in arbitrary order).
+// This pool generalizes that cache: sessions are keyed by content
+// (sessionCacheKey = clip text + formulation options), shared across
+// workers, and handed out as exclusive leases.
+//
+// Concurrency contract: ClipSession itself is single-threaded, so a pooled
+// session is owned by at most one lease at a time. acquire() pops a matching
+// idle session (hit) or builds a fresh one OUTSIDE the pool lock (miss --
+// base builds are the expensive part and must not serialize the pool). When
+// two workers want the same clip at once, the second builds its own session;
+// on release the pool keeps one and discards the duplicate rather than
+// letting the pool exceed its bound.
+//
+// The rule universe is part of the pool's contract, not the key: every
+// session in one pool is built over the same universe (the service pins it
+// at startup), so any pooled session can activate any rule a request names.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/clip_session.h"
+
+namespace optr::core {
+
+struct SessionPoolOptions {
+  /// Max idle sessions retained. 0 disables pooling entirely: every acquire
+  /// builds, every release discards (the degenerate mode tests pin down).
+  std::size_t capacity = 8;
+};
+
+class SessionPool {
+ public:
+  explicit SessionPool(SessionPoolOptions options = {});
+  ~SessionPool();
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Exclusive handle to a session. Returns the session to the pool on
+  /// destruction (unless discard() was called first, e.g. after a solver
+  /// error left the formulation in doubt). Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        releaseNow();
+        pool_ = other.pool_;
+        key_ = std::move(other.key_);
+        session_ = std::move(other.session_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { releaseNow(); }
+
+    ClipSession* get() const { return session_.get(); }
+    ClipSession* operator->() const { return session_.get(); }
+    ClipSession& operator*() const { return *session_; }
+    explicit operator bool() const { return session_ != nullptr; }
+
+    /// Drops the session instead of returning it to the pool.
+    void discard() {
+      pool_ = nullptr;
+      session_.reset();
+    }
+
+   private:
+    friend class SessionPool;
+    Lease(SessionPool* pool, std::string key,
+          std::unique_ptr<ClipSession> session)
+        : pool_(pool), key_(std::move(key)), session_(std::move(session)) {}
+
+    void releaseNow() {
+      if (pool_ != nullptr && session_ != nullptr)
+        pool_->release(key_, std::move(session_));
+      pool_ = nullptr;
+      session_.reset();
+    }
+
+    SessionPool* pool_ = nullptr;
+    std::string key_;
+    std::unique_ptr<ClipSession> session_;
+  };
+
+  /// Pops an idle session for `key` or builds one via `build`. The factory
+  /// runs outside the pool lock. `key` is typically
+  /// sessionCacheKey(clip, formulation).hex().
+  Lease acquire(const std::string& key,
+                const std::function<std::unique_ptr<ClipSession>()>& build);
+
+  /// Idle sessions currently retained.
+  std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;       // acquire served from the pool
+    std::uint64_t misses = 0;     // acquire had to build
+    std::uint64_t evictions = 0;  // LRU pushed out by a newer release
+    std::uint64_t discards = 0;   // release dropped (capacity 0 / duplicate)
+  };
+  Stats stats() const;
+
+ private:
+  void release(const std::string& key, std::unique_ptr<ClipSession> session);
+
+  struct Entry {
+    std::string key;
+    std::unique_ptr<ClipSession> session;
+  };
+
+  SessionPoolOptions options_;
+  mutable std::mutex mutex_;
+  // MRU at front. The multimap tolerates transient duplicates (two releases
+  // of the same key race); release() collapses them by discarding.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> byKey_;
+  Stats stats_;
+};
+
+}  // namespace optr::core

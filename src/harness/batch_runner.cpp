@@ -19,6 +19,8 @@
 #endif
 
 #include "common/jsonl.h"
+#include "common/stop_signal.h"
+#include "core/cache_key.h"
 #include "harness/checkpoint_io.h"
 #include "obs/trace.h"
 #include "tech/technology.h"
@@ -115,9 +117,10 @@ std::array<int, 4> BatchReport::provenanceCounts() const {
 BatchRunner::BatchRunner(BatchOptions options)
     : options_(std::move(options)) {}
 
-BatchRow BatchRunner::runInline(const clip::Clip& clip,
-                                const tech::RuleConfig& rule,
-                                SessionCache* cache) const {
+BatchRow BatchRunner::runInline(
+    const clip::Clip& clip, const tech::RuleConfig& rule,
+    core::SessionPool* pool,
+    const std::vector<tech::RuleConfig>* universe) const {
   obs::Span span("batch.task", runSpanId_);
   span.detail(clip.id + "|" + rule.name);
   BatchRow row;
@@ -135,18 +138,22 @@ BatchRow BatchRunner::runInline(const clip::Clip& clip,
   auto start = std::chrono::steady_clock::now();
   core::OptRouter router(techOr.value(), rule, options_.router);
   core::RouteResult res;
-  if (cache) {
-    // Tasks run clips-outer / rules-inner, so this worker usually already
-    // holds the clip's session and the solve is overlay + warm start only.
-    if (!cache->session || cache->clipId != clip.id) {
+  if (pool) {
+    // Tasks run clips-outer / rules-inner, so the clip's session is usually
+    // resident and the solve is overlay + warm start only. The pool is
+    // shared across workers: a clip another worker just finished is a hit
+    // here too, which the old worker-local LRU-of-1 could never give.
+    std::string key =
+        core::sessionCacheKey(clip, options_.router.formulation).hex();
+    core::SessionPool::Lease lease = pool->acquire(key, [&] {
       core::ClipSessionOptions so;
       so.formulation = options_.router.formulation;
-      so.universe = *cache->universe;
-      cache->session = std::make_unique<core::ClipSession>(
-          clip, techOr.value(), std::move(so));
-      cache->clipId = clip.id;
-    }
-    res = router.route(*cache->session, rule);
+      so.universe = *universe;
+      return std::make_unique<core::ClipSession>(clip, techOr.value(),
+                                                 std::move(so));
+    });
+    res = router.route(*lease, rule);
+    if (res.status == core::RouteStatus::kError) lease.discard();
   } else {
     res = router.route(clip);
   }
@@ -206,7 +213,7 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
     // (both processes append to the same trace fd; O_APPEND keeps the
     // line-level interleaving atomic).
     obs::TraceSession::onFork(static_cast<std::uint64_t>(getpid()) << 32);
-    BatchRow result = runInline(clip, rule, nullptr);
+    BatchRow result = runInline(clip, rule, nullptr, nullptr);
     obs::TraceSession::flushAll();  // ship the child's records before _exit
     obs::TraceSession::emitThreadDrops();  // child never runs stop()
     std::string line = toJsonLine(result) + "\n";
@@ -293,7 +300,7 @@ BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
 BatchRow BatchRunner::runIsolated(const clip::Clip& clip,
                                   const tech::RuleConfig& rule,
                                   double /*timeoutSec*/) const {
-  return runInline(clip, rule, nullptr);
+  return runInline(clip, rule, nullptr, nullptr);
 }
 
 #endif
@@ -314,9 +321,14 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
     m.counter("batch.timeouts").add(r.timedOut);
     runSpan.arg("tasks", static_cast<double>(r.executed));
     runSpan.arg("resumed", static_cast<double>(r.resumed));
+    if (r.interrupted) runSpan.arg("interrupted", 1);
     runSpan.end();
     runSpanId_ = 0;
     obs::TraceSession::flushAll();
+    // On a signal-driven stop the process is about to exit without the
+    // usual trace teardown; account for any records the rings dropped so
+    // the trace file stays honest.
+    if (r.interrupted) obs::TraceSession::emitThreadDrops();
     return r;
   };
   BatchReport report;
@@ -344,12 +356,18 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
   // thread's locked allocator state), so the pool applies only in-process.
   const int threads = options_.isolateTasks ? 1 : std::max(1, options_.threads);
 
+  // Shared session pool: one idle slot per worker plus one of slack keeps
+  // the clips-outer sweep fully resident without hoarding base models.
+  std::size_t poolCapacity =
+      options_.sessionPoolCapacity != 0
+          ? options_.sessionPoolCapacity
+          : static_cast<std::size_t>(threads) + 1;
+  core::SessionPool sessionPool(core::SessionPoolOptions{poolCapacity});
+  core::SessionPool* pool =
+      (options_.sessionReuse && !options_.isolateTasks) ? &sessionPool
+                                                        : nullptr;
+
   if (threads == 1) {
-    SessionCache serialCache;
-    serialCache.universe = &rules;
-    SessionCache* cache =
-        (options_.sessionReuse && !options_.isolateTasks) ? &serialCache
-                                                          : nullptr;
     for (const clip::Clip& clip : clips) {
       for (const tech::RuleConfig& rule : rules) {
         std::string key = clip.id + "\x1f" + rule.name;
@@ -363,10 +381,17 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
           if (checkpoint) std::fclose(checkpoint);
           return finish(report);
         }
+        if (common::stopRequested()) {
+          // Graceful drain: everything finished so far is already
+          // checkpointed; stop before starting new work.
+          report.interrupted = true;
+          if (checkpoint) std::fclose(checkpoint);
+          return finish(report);
+        }
 
         BatchRow row = options_.isolateTasks
                            ? runIsolated(clip, rule, timeoutSec)
-                           : runInline(clip, rule, cache);
+                           : runInline(clip, rule, pool, &rules);
         ++report.executed;
         if (row.crashed) ++report.crashed;
         if (row.errorCode == ErrorCode::kDeadline &&
@@ -418,19 +443,24 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
       pending.push_back(Task{&clip, &rule, rows.size() - 1});
     }
   }
+  // filled[slot]: resumed rows land complete; placeholders flip to true as
+  // workers deliver. After an interrupted run the unfilled placeholders are
+  // compacted away so the report only carries real rows.
+  std::vector<char> filled(rows.size(), 1);
+  for (const Task& t : pending) filled[t.slot] = 0;
   std::mutex mu;  // checkpoint file + report counters
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
-    // Worker-local: sessions are single-threaded objects, and each worker
-    // sweeping its own cache keeps the pool free of shared solver state.
-    SessionCache workerCache;
-    workerCache.universe = &rules;
-    SessionCache* cache = options_.sessionReuse ? &workerCache : nullptr;
+    // Sessions come from the SHARED pool: a clip whose sweep another worker
+    // finished is an overlay-only hit here too. ClipSession stays a
+    // single-threaded object -- the pool's exclusive leases guarantee one
+    // worker per session at a time.
     for (;;) {
+      if (common::stopRequested()) return;  // drain: no new tasks
       std::size_t i = next.fetch_add(1);
       if (i >= pending.size()) return;
       const Task& t = pending[i];
-      BatchRow row = runInline(*t.clip, *t.rule, cache);
+      BatchRow row = runInline(*t.clip, *t.rule, pool, &rules);
       std::lock_guard<std::mutex> lk(mu);
       ++report.executed;
       if (row.crashed) ++report.crashed;
@@ -447,15 +477,26 @@ BatchReport BatchRunner::run(const std::vector<clip::Clip>& clips,
         obs::event("batch.checkpoint", row.clipId + "|" + row.ruleName);
       }
       rows[t.slot] = std::move(row);
+      filled[t.slot] = 1;
     }
   };
   if (!pending.empty()) {
     const int poolSize =
         std::min(threads, static_cast<int>(pending.size()));
-    std::vector<std::thread> pool;
-    pool.reserve(poolSize);
-    for (int t = 0; t < poolSize; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    std::vector<std::thread> workerPool;
+    workerPool.reserve(poolSize);
+    for (int t = 0; t < poolSize; ++t) workerPool.emplace_back(worker);
+    for (std::thread& t : workerPool) t.join();
+  }
+  if (common::stopRequested() && next.load() < pending.size()) {
+    // In-flight tasks finished and checkpointed; unstarted slots compact
+    // away so the report carries only real rows.
+    report.interrupted = true;
+    std::vector<BatchRow> kept;
+    kept.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      if (filled[i]) kept.push_back(std::move(rows[i]));
+    rows = std::move(kept);
   }
   report.rows = std::move(rows);
 

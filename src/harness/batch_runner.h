@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "core/clip_session.h"
 #include "core/opt_router.h"
+#include "core/session_pool.h"
 #include "tech/rules.h"
 
 namespace optr::harness {
@@ -44,13 +45,19 @@ struct BatchOptions {
   /// state), so isolated sweeps stay serial -- crash containment and speed
   /// are an explicit trade-off, not a free combination.
   int threads = 1;
-  /// Reuse one core::ClipSession per clip per worker on the in-process
-  /// paths: the routing graph and base ILP are built once per clip and each
-  /// rule becomes a cheap overlay plus a cross-rule warm start. Results are
-  /// equivalent to the rebuild path (gated by bench_sweep). Fork isolation
-  /// ignores this: each forked worker is a fresh process, so there is no
-  /// base model to carry over (crash containment keeps the rebuild path).
+  /// Reuse core::ClipSessions on the in-process paths: the routing graph
+  /// and base ILP are built once per clip and each rule becomes a cheap
+  /// overlay plus a cross-rule warm start. Sessions live in a shared
+  /// core::SessionPool keyed by clip content, so pool workers interleaving
+  /// clips still hit (the old scheme was one worker-local session each).
+  /// Results are equivalent to the rebuild path (gated by bench_sweep).
+  /// Fork isolation ignores this: each forked worker is a fresh process, so
+  /// there is no base model to carry over (crash containment keeps the
+  /// rebuild path).
   bool sessionReuse = true;
+  /// Idle sessions the shared pool retains. 0 = auto (threads + 1, so every
+  /// worker's current clip stays resident plus one for handoff overlap).
+  std::size_t sessionPoolCapacity = 0;
   /// JSON-lines checkpoint path; empty disables checkpoint/resume.
   std::string checkpointPath;
   /// Stop (gracefully) after this many *newly executed* tasks; < 0 runs all.
@@ -101,6 +108,10 @@ struct BatchReport {
   /// kill, or otherwise malformed); the affected tasks simply re-ran.
   int checkpointSkipped = 0;
   bool stoppedEarly = false;   // stopAfter kicked in
+  /// A stop signal (SIGTERM/SIGINT via common/stop_signal.h) arrived
+  /// mid-batch: in-flight tasks finished and were checkpointed, the rest
+  /// were not started. Rerunning with the same checkpoint resumes cleanly.
+  bool interrupted = false;
 
   /// Rows per provenance rung, for regression-visible degradation counts.
   std::array<int, 4> provenanceCounts() const;
@@ -116,18 +127,11 @@ class BatchRunner {
                   const std::vector<tech::RuleConfig>& rules);
 
  private:
-  /// Worker-local session reuse: the most recent clip's session (tasks run
-  /// clips-outer, so an LRU of one covers the sweep) plus the rule universe
-  /// the run was launched with. Each worker owns exactly one cache.
-  struct SessionCache {
-    std::string clipId;
-    std::unique_ptr<core::ClipSession> session;
-    const std::vector<tech::RuleConfig>* universe = nullptr;
-  };
-
-  /// `cache` is null on the rebuild paths (fork workers, sessionReuse off).
+  /// `pool` is null on the rebuild paths (fork workers, sessionReuse off);
+  /// `universe` is the rule set pooled sessions are built over.
   BatchRow runInline(const clip::Clip& clip, const tech::RuleConfig& rule,
-                     SessionCache* cache) const;
+                     core::SessionPool* pool,
+                     const std::vector<tech::RuleConfig>* universe) const;
   BatchRow runIsolated(const clip::Clip& clip, const tech::RuleConfig& rule,
                        double timeoutSec) const;
 

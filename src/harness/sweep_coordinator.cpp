@@ -17,6 +17,7 @@
 #include <unordered_set>
 
 #include "common/rng.h"
+#include "common/line_io.h"
 #include "harness/checkpoint_io.h"
 #include "harness/lease_table.h"
 #include "harness/sweep_protocol.h"
@@ -28,17 +29,7 @@ namespace optr::harness {
 
 namespace {
 
-bool writeLine(int fd, const std::string& line) {
-  std::string framed = line + "\n";
-  std::size_t off = 0;
-  while (off < framed.size()) {
-    ssize_t n = write(fd, framed.data() + off, framed.size() - off);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+using common::writeLine;  // shared framing, common/line_io.h
 
 struct WorkerSlot {
   int rfd = -1, wfd = -1;  // equal for socketpair spawns
@@ -48,7 +39,7 @@ struct WorkerSlot {
   bool busy = false;   // holds a lease
   std::string taskKey;
   int generation = 0;  // spawn count for this slot
-  std::string buffer;  // partial protocol line
+  common::LineSplitter splitter;  // partial protocol lines
   common::RetryPolicy respawn;
   double respawnAt = 0.0;
   bool retired = false;  // respawn budget spent (or protocol refusal)
@@ -245,7 +236,7 @@ struct Fleet {
     s.ready = false;
     s.busy = false;
     s.taskKey.clear();
-    s.buffer.clear();
+    s.splitter = common::LineSplitter();
     ++s.generation;
     ++report.workersSpawned;
     obs::metrics().counter("fleet.worker.spawned").add();
@@ -419,11 +410,9 @@ struct Fleet {
       onWorkerDeath(slotIdx, tnow);
       return;
     }
-    s.buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t eol;
-    while ((eol = s.buffer.find('\n')) != std::string::npos) {
-      std::string line = s.buffer.substr(0, eol);
-      s.buffer.erase(0, eol + 1);
+    s.splitter.feed(chunk, static_cast<std::size_t>(n));
+    std::string line;
+    while (s.splitter.next(line)) {
       if (!line.empty()) onLine(slotIdx, line, tnow);
       if (!slots[static_cast<std::size_t>(slotIdx)].alive) return;
     }

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/fault_injection.h"
+#include "common/line_io.h"
 #include "harness/batch_runner.h"
 #include "harness/sweep_protocol.h"
 #include "obs/metrics.h"
@@ -24,47 +25,11 @@ namespace optr::harness {
 
 namespace {
 
-/// Writes one newline-terminated protocol line, handling short writes.
-/// Serialized by the caller's mutex (solve thread + heartbeat thread).
-bool writeLine(int fd, const std::string& line) {
-  std::string framed = line + "\n";
-  std::size_t off = 0;
-  while (off < framed.size()) {
-    ssize_t n = write(fd, framed.data() + off, framed.size() - off);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Blocking buffered line reader for one fd.
-class LineReader {
- public:
-  explicit LineReader(int fd) : fd_(fd) {}
-
-  /// Reads until a full line (without '\n') is available. False on EOF or
-  /// a read error.
-  bool next(std::string& line) {
-    for (;;) {
-      std::size_t eol = buffer_.find('\n');
-      if (eol != std::string::npos) {
-        line = buffer_.substr(0, eol);
-        buffer_.erase(0, eol + 1);
-        return true;
-      }
-      char chunk[4096];
-      ssize_t n = read(fd_, chunk, sizeof chunk);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
- private:
-  int fd_;
-  std::string buffer_;
-};
+// Framing (writeLine / LineReader) lives in common/line_io.h, shared with
+// the routing service. writeLine calls are serialized by the caller's mutex
+// (solve thread + heartbeat thread).
+using common::writeLine;
+using common::LineReader;
 
 /// Periodic heartbeat sender, alive for the duration of one solve. The
 /// kDroppedHeartbeat site swallows individual beats (each owed beat is one

@@ -379,8 +379,96 @@ BenchCompareResult compareBench(const JsonValue& baseline,
   return res;
 }
 
-BenchCompareResult selfCheckBench(const JsonValue& doc) {
+namespace {
+
+// bench_service invariants: the committed snapshot must prove the cache
+// contract on its own -- cold/cached passes byte-agree on every doubly
+// proven task, the run itself saw zero equivalence mismatches, the cached
+// pass actually hit, and the saturation phase produced typed rejects. The
+// hot-speedup latency gate is opt-in (options.minHotSpeedup >= 0): wall
+// clocks are machine noise, bytes are not.
+BenchCompareResult selfCheckService(const JsonValue& doc,
+                                    const BenchCompareOptions& options) {
   BenchCompareResult res;
+  std::map<std::string, const JsonValue*> passes;
+  for (const Unit& u : unitsOf(doc)) passes[u.key] = u.value;
+  auto cold = passes.find("cold");
+  auto cached = passes.find("cached");
+  if (cold == passes.end() || cached == passes.end()) {
+    res.failures.push_back(
+        "bench_service snapshot must carry both a 'cold' and a 'cached' "
+        "pass");
+    return res;
+  }
+  ++res.unitsCompared;
+
+  std::map<std::string, Task> hotTasks;
+  for (Task& t : tasksOf(*cached->second)) hotTasks[t.key] = std::move(t);
+  int provenBoth = 0;
+  for (const Task& bt : tasksOf(*cold->second)) {
+    auto it = hotTasks.find(bt.key);
+    if (it == hotTasks.end()) {
+      res.failures.push_back("task " + bt.key +
+                             " solved cold but absent from the cached pass");
+      continue;
+    }
+    ++res.tasksCompared;
+    const Task& ht = it->second;
+    if (!proven(bt.status) || !proven(ht.status)) continue;
+    ++provenBoth;
+    if (bt.status != ht.status) {
+      res.failures.push_back("task " + bt.key + " proven status changed " +
+                             bt.status + " -> " + ht.status +
+                             " between cold solve and cached replay");
+    } else if (bt.costRaw != ht.costRaw) {
+      res.failures.push_back("task " + bt.key + " cached cost " + ht.costRaw +
+                             " != cold " + bt.costRaw +
+                             " (replay must be byte-identical)");
+    } else if (!bt.boundRaw.empty() && bt.boundRaw != ht.boundRaw) {
+      res.failures.push_back("task " + bt.key + " cached bound " +
+                             ht.boundRaw + " != cold " + bt.boundRaw);
+    }
+  }
+  if (provenBoth == 0) {
+    res.failures.push_back(
+        "no task proven in both passes -- the replay byte gate is vacuous");
+  }
+  if (doc.num("equivalenceMismatches", -1.0) != 0.0) {
+    res.failures.push_back(
+        "snapshot recorded equivalenceMismatches != 0 (full reply "
+        "signatures diverged between solve and replay)");
+  }
+  if (doc.num("cacheHitRate") <= 0.0) {
+    res.failures.push_back("cacheHitRate is 0: the cached pass never hit");
+  }
+  if (doc.num("saturatedRejects") <= 0.0) {
+    res.failures.push_back(
+        "saturatedRejects is 0: the saturation phase produced no typed "
+        "rejects");
+  }
+  const double speedup = doc.num("hotSpeedup");
+  if (options.minHotSpeedup >= 0 && speedup < options.minHotSpeedup) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "hotSpeedup %.1fx below required %.1fx", speedup,
+                  options.minHotSpeedup);
+    res.failures.push_back(buf);
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "cache hot speedup %.0fx", speedup);
+    res.notes.push_back(buf);
+  }
+  return res;
+}
+
+}  // namespace
+
+BenchCompareResult selfCheckBench(const JsonValue& doc,
+                                  const BenchCompareOptions& options) {
+  BenchCompareResult res;
+  if (doc.text("benchmark") == "bench_service") {
+    return selfCheckService(doc, options);
+  }
   if (doc.text("benchmark") != "bench_runtime") {
     res.notes.push_back("no self-check defined for benchmark '" +
                         doc.text("benchmark") + "'");

@@ -75,6 +75,11 @@ struct BenchCompareOptions {
   double maxPivotRegress = 0.10;
   /// Max allowed relative wallMs growth; negative (default) disables.
   double maxWallRegress = -1.0;
+  /// bench_service self-check: minimum required cache hot-speedup
+  /// (mean cold latency / mean hit latency). Negative (default) makes the
+  /// speedup informational only -- latency gates are opt-in because CI wall
+  /// clocks are noisy; the byte-equality and hit-rate gates always run.
+  double minHotSpeedup = -1.0;
 };
 
 struct BenchCompareResult {
@@ -95,8 +100,14 @@ BenchCompareResult compareBench(const JsonValue& baseline,
 /// clip-parallel pass must match the serial pass exactly on
 /// lpPivots/ilpPivots/nodes/routeSolves, mip-parallel must match on
 /// routeSolves and stay within 4x on lpPivots/nodes, and every task proven
-/// optimal by two passes must agree on cost. Other benchmarks currently
-/// have no self-check and return a note saying so.
-BenchCompareResult selfCheckBench(const JsonValue& doc);
+/// optimal by two passes must agree on cost. For bench_service it is the
+/// cache-correctness contract: every task proven in both the cold and the
+/// cached pass must agree byte-for-byte on status/cost/bestBound, the
+/// recorded equivalenceMismatches must be zero, the cached pass must have
+/// hit (cacheHitRate > 0), and saturation must have produced typed rejects
+/// (saturatedRejects > 0); options.minHotSpeedup adds the opt-in latency
+/// gate. Other benchmarks have no self-check and return a note saying so.
+BenchCompareResult selfCheckBench(const JsonValue& doc,
+                                  const BenchCompareOptions& options = {});
 
 }  // namespace optr::report

@@ -5,6 +5,9 @@
 #pragma once
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "clip/clip.h"
@@ -59,5 +62,45 @@ struct RouteSolution {
     return n;
   }
 };
+
+/// Canonical text form of a (normalized) solution: "SOL <nets>" then one
+/// "NET <n> <arc...>" line per net, arcs sorted ascending. Because arc ids
+/// are deterministic for a given clip + rule universe, equal routings always
+/// serialize to equal bytes -- which is what lets the service's result cache
+/// store solutions content-addressably and the benches compare cached
+/// against freshly solved geometry byte-for-byte.
+inline std::string solutionToText(const RouteSolution& sol) {
+  std::ostringstream os;
+  os << "SOL " << sol.usedArcs.size() << "\n";
+  for (std::size_t n = 0; n < sol.usedArcs.size(); ++n) {
+    os << "NET " << n;
+    for (int a : sol.usedArcs[n]) os << " " << a;
+    os << "\n";
+  }
+  return os.str();
+}
+
+/// Parses the exact output of solutionToText; nullopt on malformed input
+/// (a truncated cache entry must read as "absent", never as a wrong route).
+inline std::optional<RouteSolution> solutionFromText(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  std::size_t nets = 0;
+  if (!(is >> tag >> nets) || tag != "SOL") return std::nullopt;
+  RouteSolution sol;
+  sol.usedArcs.resize(nets);
+  std::string line;
+  std::getline(is, line);  // rest of the SOL line
+  for (std::size_t n = 0; n < nets; ++n) {
+    if (!std::getline(is, line)) return std::nullopt;
+    std::istringstream ls(line);
+    std::size_t idx = 0;
+    if (!(ls >> tag >> idx) || tag != "NET" || idx != n) return std::nullopt;
+    int arc = 0;
+    while (ls >> arc) sol.usedArcs[n].push_back(arc);
+    if (!ls.eof()) return std::nullopt;
+  }
+  return sol;
+}
 
 }  // namespace optr::route

@@ -1,0 +1,288 @@
+#include "service/request_broker.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "clip/clip_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "route/route_solution.h"
+#include "tech/technology.h"
+
+namespace optr::service {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+RequestBroker::RequestBroker(BrokerOptions options, Sink sink)
+    : options_(std::move(options)),
+      sink_(std::move(sink)),
+      cache_(options_.cache),
+      sessionPool_(options_.sessionPool) {
+  int n = std::max(1, options_.workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+RequestBroker::~RequestBroker() { stop(/*drain=*/false); }
+
+bool RequestBroker::submit(const std::string& clientId, RouteRequest request) {
+  std::string frame;
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ++stats_.rejectedShutdown;
+      frame = encodeReject(request.id, ErrorCode::kUnavailable,
+                           "service is shutting down");
+    } else if (queue_.size() >= options_.queueDepth) {
+      ++stats_.rejectedSaturated;
+      frame = encodeReject(request.id, ErrorCode::kSaturated,
+                           "global queue full (" +
+                               std::to_string(options_.queueDepth) +
+                               " pending)");
+    } else if (pendingByClient_[clientId] >= options_.clientQueueDepth) {
+      ++stats_.rejectedSaturated;
+      frame = encodeReject(request.id, ErrorCode::kSaturated,
+                           "client queue full (" +
+                               std::to_string(options_.clientQueueDepth) +
+                               " outstanding)");
+    } else {
+      ++stats_.accepted;
+      ++pendingByClient_[clientId];
+      queue_.push_back(Task{clientId, std::move(request)});
+      frame = encodeStatus(queue_.back().request.id, "queued",
+                           static_cast<int>(queue_.size()));
+      accepted = true;
+    }
+  }
+  obs::metrics()
+      .counter(accepted ? "service.request.accepted"
+                        : "service.request.rejected")
+      .add(1);
+  std::string clientCopy = clientId;  // sink may outlive the caller's ref
+  sink_(clientCopy, frame);
+  if (accepted) workReady_.notify_one();
+  return accepted;
+}
+
+void RequestBroker::forgetClient(const std::string& clientId) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const Task& t) {
+                                return t.clientId == clientId;
+                              }),
+               queue_.end());
+  std::size_t removed = before - queue_.size();
+  stats_.dropped += removed;
+  auto it = pendingByClient_.find(clientId);
+  if (it != pendingByClient_.end()) {
+    it->second -= std::min(it->second, removed);
+    if (it->second == 0) pendingByClient_.erase(it);
+  }
+}
+
+void RequestBroker::stop(bool drain) {
+  std::vector<Task> abandoned;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+    if (!drain) {
+      abandoned.assign(std::make_move_iterator(queue_.begin()),
+                       std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      for (const Task& t : abandoned) {
+        ++stats_.rejectedShutdown;
+        auto it = pendingByClient_.find(t.clientId);
+        if (it != pendingByClient_.end() && it->second > 0) --it->second;
+      }
+    }
+  }
+  workReady_.notify_all();
+  for (const Task& t : abandoned)
+    sink_(t.clientId, encodeReject(t.request.id, ErrorCode::kUnavailable,
+                                   "service is shutting down"));
+  bool expectJoin = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!joined_) {
+      joined_ = true;
+      expectJoin = true;
+    }
+  }
+  if (expectJoin) {
+    // Workers drain the remaining queue (empty unless drain=true) and exit.
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+std::size_t RequestBroker::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + inFlight_;
+}
+
+RequestBroker::Stats RequestBroker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void RequestBroker::workerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++inFlight_;
+    }
+    serve(task);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inFlight_;
+      ++stats_.completed;
+      auto it = pendingByClient_.find(task.clientId);
+      if (it != pendingByClient_.end()) {
+        if (it->second > 0) --it->second;
+        if (it->second == 0) pendingByClient_.erase(it);
+      }
+    }
+  }
+}
+
+void RequestBroker::serve(const Task& task) {
+  auto start = std::chrono::steady_clock::now();
+  obs::Span span("service.request");
+  span.detail(task.request.ruleName + "|" + task.request.id);
+
+  auto clipOr = clip::fromText(task.request.clipText);
+  if (!clipOr.isOk()) {
+    span.arg("reject", 1);
+    sink_(task.clientId, encodeReject(task.request.id, clipOr.status().code(),
+                                      clipOr.status().message()));
+    return;
+  }
+  const clip::Clip& clip = clipOr.value();
+
+  const tech::RuleConfig* rule = nullptr;
+  for (const tech::RuleConfig& r : options_.universe)
+    if (r.name == task.request.ruleName) rule = &r;
+  if (rule == nullptr) {
+    span.arg("reject", 1);
+    sink_(task.clientId,
+          encodeReject(task.request.id, ErrorCode::kUnavailable,
+                       "rule not in service universe: " +
+                           task.request.ruleName));
+    return;
+  }
+
+  core::OptRouterOptions effective = options_.router;
+  if (task.request.timeLimitSec > 0)
+    effective.mip.timeLimitSec = task.request.timeLimitSec;
+  core::CacheKey key = core::resultCacheKey(clip, *rule, effective);
+
+  if (auto hit = cache_.find(key)) {
+    RouteReply reply;
+    reply.id = task.request.id;
+    reply.status = hit->status;
+    reply.provenance = hit->provenance;
+    reply.cost = hit->cost;
+    reply.bestBound = hit->bestBound;
+    reply.wirelength = hit->wirelength;
+    reply.vias = hit->vias;
+    reply.nodes = hit->nodes;
+    reply.lpIterations = hit->lpIterations;
+    reply.solutionText = hit->solutionText;
+    reply.cached = true;
+    reply.cacheKey = key.hex();
+    reply.seconds = secondsSince(start);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cacheHits;
+    }
+    span.arg("cached", 1);
+    sink_(task.clientId, encodeResult(reply));
+    return;
+  }
+
+  sink_(task.clientId, encodeStatus(task.request.id, "running", 0));
+  RouteReply reply = solveFresh(task, clip, *rule, effective, key);
+  reply.seconds = secondsSince(start);
+  span.arg("cached", 0);
+  sink_(task.clientId, encodeResult(reply));
+}
+
+RouteReply RequestBroker::solveFresh(const Task& task, const clip::Clip& clip,
+                                     const tech::RuleConfig& rule,
+                                     const core::OptRouterOptions& effective,
+                                     const core::CacheKey& key) {
+  RouteReply reply;
+  reply.id = task.request.id;
+  reply.cacheKey = key.hex();
+
+  auto techOr = tech::Technology::byName(clip.techName);
+  if (!techOr.isOk()) {
+    reply.errorCode = techOr.status().code();
+    reply.errorMessage = techOr.status().message();
+    return reply;  // status stays kError
+  }
+
+  std::string sessionKey =
+      core::sessionCacheKey(clip, effective.formulation).hex();
+  core::SessionPool::Lease lease = sessionPool_.acquire(sessionKey, [&] {
+    core::ClipSessionOptions so;
+    so.formulation = effective.formulation;
+    so.universe = options_.universe;
+    return std::make_unique<core::ClipSession>(clip, techOr.value(),
+                                               std::move(so));
+  });
+
+  core::OptRouter router(techOr.value(), rule, effective);
+  core::RouteResult res = router.route(*lease, rule);
+  if (res.status == core::RouteStatus::kError) {
+    // The solver stack failed mid-solve; the session's formulation state is
+    // not worth trusting for the next request.
+    lease.discard();
+  }
+
+  reply.status = res.status;
+  reply.provenance = res.provenance;
+  reply.errorCode = res.error.code();
+  reply.errorMessage = res.error.message();
+  reply.cost = res.cost;
+  reply.bestBound = res.bestBound;
+  reply.wirelength = res.wirelength;
+  reply.vias = res.vias;
+  reply.nodes = res.nodes;
+  reply.lpIterations = res.lpIterations;
+  if (res.hasSolution()) reply.solutionText = route::solutionToText(res.solution);
+
+  if (core::cacheableOutcome(res.status, res.error)) {
+    CachedResult entry;
+    entry.status = res.status;
+    entry.provenance = res.provenance;
+    entry.cost = res.cost;
+    entry.bestBound = res.bestBound;
+    entry.wirelength = res.wirelength;
+    entry.vias = res.vias;
+    entry.nodes = res.nodes;
+    entry.lpIterations = res.lpIterations;
+    entry.solutionText = reply.solutionText;
+    entry.sourceRequestId = task.request.id;
+    entry.coldSeconds = res.seconds;
+    cache_.insert(key, std::move(entry));
+  }
+  return reply;
+}
+
+}  // namespace optr::service

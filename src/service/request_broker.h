@@ -1,0 +1,131 @@
+// RequestBroker: the transport-agnostic core of the routing service.
+//
+// The broker owns admission control, the bounded work queues, the solver
+// worker pool, the content-addressed ResultCache, and the shared
+// SessionPool. It knows nothing about sockets: frames leave through a sink
+// callback `(clientId, line)`, so the same broker serves the poll-driven
+// daemon (service_server), the in-process bench harness (bench_service), and
+// unit tests -- which is what makes saturation and drain behavior testable
+// without a network.
+//
+// Admission (submit) is synchronous and cheap:
+//   * daemon stopping              -> reject kUnavailable
+//   * global backlog at queueDepth -> reject kSaturated
+//   * client backlog at clientQueueDepth -> reject kSaturated
+//   * otherwise enqueue FIFO and emit {"t":"status","state":"queued"}.
+// Rejects are typed frames, never dropped requests: a saturated service
+// must tell the client to back off, not time out on it.
+//
+// Workers pop FIFO, emit "running", then serve: cache hit -> replay the
+// stored result (cached=1, near-zero latency); miss -> lease a session from
+// the pool (sessionCacheKey), solve, store when cacheableOutcome, reply.
+// stop(drain=true) -- the SIGTERM path -- stops admission, finishes every
+// queued request, and joins; stop(drain=false) rejects the backlog instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session_pool.h"
+#include "service/result_cache.h"
+#include "service/service_protocol.h"
+#include "tech/rules.h"
+
+namespace optr::service {
+
+struct BrokerOptions {
+  int workers = 2;
+  /// Global pending-request cap (queued, not yet picked up).
+  std::size_t queueDepth = 64;
+  /// Per-client pending cap; keeps one chatty client from starving the rest.
+  std::size_t clientQueueDepth = 16;
+  ResultCacheOptions cache;
+  core::SessionPoolOptions sessionPool;
+  /// Solver configuration; requests may override mip.timeLimitSec only.
+  core::OptRouterOptions router;
+  /// Rule universe every pooled session is built over. Requests naming a
+  /// rule outside it are rejected kUnavailable.
+  std::vector<tech::RuleConfig> universe = tech::table3Rules();
+};
+
+class RequestBroker {
+ public:
+  /// Delivers one encoded frame to one client. Called from broker worker
+  /// threads and from inside submit(); must be thread-safe and must not
+  /// block on the client (buffer, don't wait).
+  using Sink = std::function<void(const std::string& clientId,
+                                  const std::string& line)>;
+
+  RequestBroker(BrokerOptions options, Sink sink);
+  ~RequestBroker();  // stop(drain=false) if still running
+
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+
+  /// Admission control; emits queued-status or reject through the sink.
+  /// Returns true when the request was accepted.
+  bool submit(const std::string& clientId, RouteRequest request);
+
+  /// Drops queued (not yet running) requests from `clientId` -- the client
+  /// disconnected; solving for it would be wasted work. In-flight solves
+  /// finish normally (their results still warm the cache).
+  void forgetClient(const std::string& clientId);
+
+  /// Stops admission, then either finishes the backlog (drain) or rejects
+  /// it (kUnavailable), and joins the workers. Idempotent.
+  void stop(bool drain = true);
+
+  /// Queued + in-flight request count.
+  std::size_t pending() const;
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejectedSaturated = 0;
+    std::uint64_t rejectedShutdown = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cacheHits = 0;   // requests served from the result cache
+    std::uint64_t dropped = 0;     // forgotten with their client
+  };
+  Stats stats() const;
+
+  ResultCache& cache() { return cache_; }
+  core::SessionPool& sessionPool() { return sessionPool_; }
+  const BrokerOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    std::string clientId;
+    RouteRequest request;
+  };
+
+  void workerLoop();
+  void serve(const Task& task);
+  RouteReply solveFresh(const Task& task, const clip::Clip& clip,
+                        const tech::RuleConfig& rule,
+                        const core::OptRouterOptions& effective,
+                        const core::CacheKey& key);
+
+  BrokerOptions options_;
+  Sink sink_;
+  ResultCache cache_;
+  core::SessionPool sessionPool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable workReady_;
+  std::deque<Task> queue_;
+  std::unordered_map<std::string, std::size_t> pendingByClient_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+  bool joined_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace optr::service

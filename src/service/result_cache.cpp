@@ -1,0 +1,55 @@
+#include "service/result_cache.h"
+
+#include "obs/metrics.h"
+
+namespace optr::service {
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
+
+std::optional<CachedResult> ResultCache::find(const core::CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = byKey_.find(key);
+  if (it == byKey_.end()) {
+    ++stats_.misses;
+    obs::metrics().counter("service.cache.miss").add(1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
+  ++stats_.hits;
+  obs::metrics().counter("service.cache.hit").add(1);
+  return it->second->result;
+}
+
+bool ResultCache::insert(const core::CacheKey& key, CachedResult result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.capacity == 0) return false;
+  auto it = byKey_.find(key);
+  if (it != byKey_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;  // first writer wins; the answers are identical anyway
+  }
+  result.sequence = nextSequence_++;
+  lru_.push_front(Entry{key, std::move(result)});
+  byKey_[key] = lru_.begin();
+  ++stats_.insertions;
+  obs::metrics().counter("service.cache.insert").add(1);
+  if (lru_.size() > options_.capacity) {
+    ++stats_.evictions;
+    obs::metrics().counter("service.cache.evict").add(1);
+    byKey_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return true;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace optr::service

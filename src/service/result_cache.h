@@ -1,0 +1,96 @@
+// ResultCache: content-addressed store of proven solve results.
+//
+// Keyed by core::resultCacheKey (canonical clip + rule + solver options), so
+// two clients asking for the same work -- under any clip naming -- share one
+// solve. Only deterministic outcomes are admitted (core::cacheableOutcome:
+// proven optimal / infeasible with a clean error status); deadline-truncated
+// results are a function of wall-clock and never enter the cache.
+//
+// Entries carry provenance: the request that paid for the solve, when it was
+// inserted (entry sequence number), and the cold solve time -- enough for a
+// client to audit where a cached answer came from. Bounded LRU, mutex
+// protected; hit/miss/insert/evict counters feed obs metrics and the
+// BENCH_service.json hit-rate gate.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/cache_key.h"
+
+namespace optr::service {
+
+struct ResultCacheOptions {
+  /// Max entries retained. 0 disables caching (every lookup misses, every
+  /// insert is dropped).
+  std::size_t capacity = 256;
+};
+
+/// One cached solve outcome: everything a result frame needs, minus the
+/// fields that must reflect the serving request (id, seconds, cached flag).
+struct CachedResult {
+  core::RouteStatus status = core::RouteStatus::kError;
+  core::Provenance provenance = core::Provenance::kNone;
+  double cost = 0.0;
+  double bestBound = 0.0;
+  int wirelength = 0;
+  int vias = 0;
+  std::int64_t nodes = 0;
+  std::int64_t lpIterations = 0;
+  std::string solutionText;  // route::solutionToText form
+  // Provenance of the entry itself:
+  std::string sourceRequestId;  // the request whose solve populated it
+  double coldSeconds = 0.0;     // what the original solve cost
+  std::uint64_t sequence = 0;   // insertion order within this daemon
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns a copy of the entry (and refreshes its LRU position), or
+  /// nullopt.
+  std::optional<CachedResult> find(const core::CacheKey& key);
+
+  /// Inserts (or refreshes) `result` under `key`, stamping its sequence
+  /// number. First-writer-wins on a racing double insert: the existing
+  /// entry's provenance is kept, since both writers computed the same
+  /// deterministic answer.
+  /// Returns true when the entry was admitted (false: capacity 0,
+  /// or an entry for `key` already exists -- first writer wins).
+  bool insert(const core::CacheKey& key, CachedResult result);
+
+  std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    core::CacheKey key;
+    CachedResult result;
+  };
+
+  ResultCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // MRU at front
+  std::unordered_map<core::CacheKey, std::list<Entry>::iterator,
+                     core::CacheKey::Hash>
+      byKey_;
+  Stats stats_;
+  std::uint64_t nextSequence_ = 1;
+};
+
+}  // namespace optr::service

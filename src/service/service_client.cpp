@@ -1,0 +1,134 @@
+#include "service/service_client.h"
+
+#if !defined(_WIN32)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/service_server.h"  // parseListenAddress
+
+namespace optr::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  reader_.reset();
+}
+
+Status ServiceClient::connect(const std::string& address) {
+  close();
+  auto parsed = parseListenAddress(address);
+  if (!parsed) {
+    return Status::error(ErrorCode::kInvalidInput,
+                         "bad service address: " + address);
+  }
+  if (parsed->isUnix) {
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      return Status::error(ErrorCode::kIo,
+                           std::string("socket: ") + std::strerror(errno));
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (parsed->path.size() >= sizeof sun.sun_path)
+      return Status::error(ErrorCode::kInvalidInput,
+                           "unix socket path too long: " + parsed->path);
+    std::strncpy(sun.sun_path, parsed->path.c_str(), sizeof sun.sun_path - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sun), sizeof sun) != 0) {
+      Status s = Status::error(ErrorCode::kUnavailable,
+                               "connect " + parsed->path + ": " +
+                                   std::strerror(errno));
+      close();
+      return s;
+    }
+  } else {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      return Status::error(ErrorCode::kIo,
+                           std::string("socket: ") + std::strerror(errno));
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<uint16_t>(parsed->port));
+    if (inet_pton(AF_INET, parsed->host.c_str(), &sin.sin_addr) != 1) {
+      close();
+      return Status::error(ErrorCode::kInvalidInput,
+                           "bad service host: " + parsed->host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sin), sizeof sin) != 0) {
+      Status s = Status::error(ErrorCode::kUnavailable,
+                               "connect " + address + ": " +
+                                   std::strerror(errno));
+      close();
+      return s;
+    }
+  }
+  reader_ = std::make_unique<common::LineReader>(fd_);
+
+  ServiceFrame hello;
+  if (!next(hello) || hello.type != FrameType::kHello) {
+    close();
+    return Status::error(ErrorCode::kUnavailable,
+                         "no hello from service at " + address);
+  }
+  if (hello.protoVersion != kServiceProtocolVersion) {
+    close();
+    return Status::error(
+        ErrorCode::kUnavailable,
+        "service protocol mismatch: daemon speaks v" +
+            std::to_string(hello.protoVersion) + ", this build v" +
+            std::to_string(kServiceProtocolVersion));
+  }
+  return Status::ok();
+}
+
+Status ServiceClient::send(const RouteRequest& request) {
+  if (fd_ < 0) return Status::error(ErrorCode::kUnavailable, "not connected");
+  if (!common::writeLine(fd_, encodeRoute(request)))
+    return Status::error(ErrorCode::kIo, "service connection lost");
+  return Status::ok();
+}
+
+Status ServiceClient::sendShutdown() {
+  if (fd_ < 0) return Status::error(ErrorCode::kUnavailable, "not connected");
+  if (!common::writeLine(fd_, encodeShutdown()))
+    return Status::error(ErrorCode::kIo, "service connection lost");
+  return Status::ok();
+}
+
+bool ServiceClient::next(ServiceFrame& frame) {
+  if (fd_ < 0 || !reader_) return false;
+  std::string line;
+  for (;;) {
+    if (!reader_->next(line)) return false;
+    frame = decodeFrame(line);
+    if (frame.type != FrameType::kGarbled) return true;
+    // Garbled lines are skipped, matching the server's tolerance.
+  }
+}
+
+StatusOr<RouteReply> ServiceClient::call(const RouteRequest& request) {
+  Status sent = send(request);
+  if (!sent.isOk()) return sent;
+  ServiceFrame frame;
+  while (next(frame)) {
+    if (frame.type == FrameType::kResult && frame.reply.id == request.id)
+      return frame.reply;
+    if (frame.type == FrameType::kReject && frame.id == request.id)
+      return Status::error(frame.errorCode, frame.message.empty()
+                                                ? "request rejected"
+                                                : frame.message);
+  }
+  return Status::error(ErrorCode::kUnavailable,
+                       "connection lost awaiting result for " + request.id);
+}
+
+}  // namespace optr::service
+
+#endif  // !_WIN32

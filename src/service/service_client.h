@@ -1,0 +1,57 @@
+// ServiceClient: blocking client for the routing daemon.
+//
+// Connects to the address `optrouter serve` is listening on, speaks the
+// service protocol (service_protocol.h), and hands decoded frames back one
+// at a time. Used by the `service_client` CLI driver, bench_service, and the
+// end-to-end service tests. Single-threaded: one request/response
+// conversation per instance (open several clients for concurrency -- they
+// are cheap).
+#pragma once
+
+#if !defined(_WIN32)
+
+#include <memory>
+#include <string>
+
+#include "common/line_io.h"
+#include "common/status.h"
+#include "service/service_protocol.h"
+
+namespace optr::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects and consumes the hello frame (verifying the protocol
+  /// version). `address` accepts the same specs as the server's --listen.
+  Status connect(const std::string& address);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one route request.
+  Status send(const RouteRequest& request);
+  /// Asks the daemon to drain and exit.
+  Status sendShutdown();
+
+  /// Blocks for the next frame. False on EOF / connection loss.
+  bool next(ServiceFrame& frame);
+
+  /// Convenience: sends `request` and blocks until its result or reject
+  /// frame (status frames are skipped). kUnavailable on connection loss; a
+  /// reject comes back as an error Status carrying the typed code.
+  StatusOr<RouteReply> call(const RouteRequest& request);
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<common::LineReader> reader_;
+};
+
+}  // namespace optr::service
+
+#endif  // !_WIN32

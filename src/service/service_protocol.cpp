@@ -1,0 +1,199 @@
+#include "service/service_protocol.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/jsonl.h"
+
+namespace optr::service {
+
+namespace {
+
+using jsonl::escape;
+using jsonl::getNumber;
+using jsonl::getString;
+
+/// Shortest round-trippable decimal form: bit-identical doubles always print
+/// to identical bytes, which is what the cache-equivalence gate compares.
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+core::RouteStatus routeStatusFromString(const std::string& s, bool& ok) {
+  for (auto st : {core::RouteStatus::kOptimal, core::RouteStatus::kFeasible,
+                  core::RouteStatus::kInfeasible, core::RouteStatus::kUnknown,
+                  core::RouteStatus::kError}) {
+    if (s == core::toString(st)) {
+      ok = true;
+      return st;
+    }
+  }
+  ok = false;
+  return core::RouteStatus::kError;
+}
+
+}  // namespace
+
+const char* toString(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kRoute: return "route";
+    case FrameType::kStatus: return "status";
+    case FrameType::kResult: return "result";
+    case FrameType::kReject: return "reject";
+    case FrameType::kShutdown: return "shutdown";
+    case FrameType::kGarbled: return "garbled";
+    case FrameType::kNumTypes: break;
+  }
+  return "?";
+}
+
+std::string encodeHello(const std::string& serverId) {
+  std::ostringstream os;
+  os << "{\"t\":\"hello\",\"proto\":" << kServiceProtocolVersion
+     << ",\"server\":\"" << escape(serverId) << "\"}";
+  return os.str();
+}
+
+std::string encodeRoute(const RouteRequest& request) {
+  std::ostringstream os;
+  os << "{\"t\":\"route\",\"id\":\"" << escape(request.id) << "\",\"clip\":\""
+     << escape(request.clipText) << "\",\"rule\":\""
+     << escape(request.ruleName) << "\"";
+  if (request.timeLimitSec > 0)
+    os << ",\"timeLimitSec\":" << num(request.timeLimitSec);
+  os << "}";
+  return os.str();
+}
+
+std::string encodeStatus(const std::string& id, const std::string& state,
+                         int queueDepth) {
+  std::ostringstream os;
+  os << "{\"t\":\"status\",\"id\":\"" << escape(id) << "\",\"state\":\""
+     << escape(state) << "\",\"queueDepth\":" << queueDepth << "}";
+  return os.str();
+}
+
+std::string encodeResult(const RouteReply& reply) {
+  std::ostringstream os;
+  os << "{\"t\":\"result\",\"id\":\"" << escape(reply.id) << "\",\"status\":\""
+     << core::toString(reply.status) << "\",\"provenance\":\""
+     << core::toString(reply.provenance) << "\",\"error\":\""
+     << toString(reply.errorCode) << "\",\"message\":\""
+     << escape(reply.errorMessage) << "\",\"cost\":" << num(reply.cost)
+     << ",\"bestBound\":" << num(reply.bestBound)
+     << ",\"wirelength\":" << reply.wirelength << ",\"vias\":" << reply.vias
+     << ",\"seconds\":" << num(reply.seconds) << ",\"nodes\":" << reply.nodes
+     << ",\"lpIterations\":" << reply.lpIterations
+     << ",\"cached\":" << (reply.cached ? 1 : 0) << ",\"cacheKey\":\""
+     << escape(reply.cacheKey) << "\",\"solution\":\""
+     << escape(reply.solutionText) << "\"}";
+  return os.str();
+}
+
+std::string encodeReject(const std::string& id, ErrorCode code,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << "{\"t\":\"reject\",\"id\":\"" << escape(id) << "\",\"error\":\""
+     << toString(code) << "\",\"message\":\"" << escape(message) << "\"}";
+  return os.str();
+}
+
+std::string encodeShutdown() { return "{\"t\":\"shutdown\"}"; }
+
+ServiceFrame decodeFrame(const std::string& line) {
+  ServiceFrame frame;
+  std::string t;
+  if (!getString(line, "t", t)) return frame;
+  double v = 0;
+
+  if (t == "hello") {
+    if (!getNumber(line, "proto", v)) return frame;
+    frame.protoVersion = static_cast<int>(v);
+    getString(line, "server", frame.serverId);
+    frame.type = FrameType::kHello;
+    return frame;
+  }
+
+  if (t == "route") {
+    if (!getString(line, "id", frame.request.id)) return frame;
+    if (!getString(line, "clip", frame.request.clipText)) return frame;
+    if (!getString(line, "rule", frame.request.ruleName)) return frame;
+    if (getNumber(line, "timeLimitSec", v)) frame.request.timeLimitSec = v;
+    frame.type = FrameType::kRoute;
+    return frame;
+  }
+
+  if (t == "status") {
+    if (!getString(line, "id", frame.id)) return frame;
+    if (!getString(line, "state", frame.state)) return frame;
+    if (getNumber(line, "queueDepth", v))
+      frame.queueDepth = static_cast<int>(v);
+    frame.type = FrameType::kStatus;
+    return frame;
+  }
+
+  if (t == "result") {
+    RouteReply& r = frame.reply;
+    std::string statusStr, provStr, errStr;
+    if (!getString(line, "id", r.id)) return frame;
+    if (!getString(line, "status", statusStr)) return frame;
+    bool ok = false;
+    r.status = routeStatusFromString(statusStr, ok);
+    if (!ok) return frame;
+    if (getString(line, "provenance", provStr)) {
+      auto prov = core::provenanceFromString(provStr);
+      if (!prov) return frame;
+      r.provenance = *prov;
+    }
+    if (getString(line, "error", errStr)) r.errorCode = errorCodeFromString(errStr);
+    getString(line, "message", r.errorMessage);
+    if (getNumber(line, "cost", v)) r.cost = v;
+    if (getNumber(line, "bestBound", v)) r.bestBound = v;
+    if (getNumber(line, "wirelength", v)) r.wirelength = static_cast<int>(v);
+    if (getNumber(line, "vias", v)) r.vias = static_cast<int>(v);
+    if (getNumber(line, "seconds", v)) r.seconds = v;
+    if (getNumber(line, "nodes", v)) r.nodes = static_cast<std::int64_t>(v);
+    if (getNumber(line, "lpIterations", v))
+      r.lpIterations = static_cast<std::int64_t>(v);
+    if (getNumber(line, "cached", v)) r.cached = v != 0;
+    // The solution field must decode completely or the frame is garbled: a
+    // truncated line must never read as "empty routing".
+    if (!getString(line, "cacheKey", r.cacheKey)) return frame;
+    if (!getString(line, "solution", r.solutionText)) return frame;
+    frame.id = r.id;
+    frame.type = FrameType::kResult;
+    return frame;
+  }
+
+  if (t == "reject") {
+    if (!getString(line, "id", frame.id)) return frame;
+    std::string errStr;
+    if (!getString(line, "error", errStr)) return frame;
+    frame.errorCode = errorCodeFromString(errStr);
+    getString(line, "message", frame.message);
+    frame.type = FrameType::kReject;
+    return frame;
+  }
+
+  if (t == "shutdown") {
+    frame.type = FrameType::kShutdown;
+    return frame;
+  }
+
+  return frame;  // unknown type: kGarbled
+}
+
+std::string replyEquivalenceSignature(const RouteReply& reply) {
+  std::ostringstream os;
+  os << core::toString(reply.status) << "|" << core::toString(reply.provenance)
+     << "|" << toString(reply.errorCode) << "|" << num(reply.cost) << "|"
+     << num(reply.bestBound) << "|" << reply.wirelength << "|" << reply.vias
+     << "|" << reply.nodes << "|" << reply.lpIterations << "|"
+     << reply.cacheKey << "|" << reply.solutionText;
+  return os.str();
+}
+
+}  // namespace optr::service

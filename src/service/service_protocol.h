@@ -1,0 +1,129 @@
+// Routing-service wire protocol: line-delimited JSON between service_client
+// and the daemon (`optrouter serve`).
+//
+// Same framing discipline as the fleet protocol (harness/sweep_protocol.h):
+// one flat JSON object per line over any byte stream, decode failures
+// reported as kGarbled rather than thrown, versioned by the hello frame.
+// The schema:
+//
+//   client -> server
+//     {"t":"route","id":"r17","clip":"<clip text>","rule":"RULE3",
+//      "timeLimitSec":120}                           (timeLimitSec optional)
+//     {"t":"shutdown"}           drain in-flight work, then stop the daemon
+//   server -> client
+//     {"t":"hello","proto":1,"server":"optrouter"}
+//     {"t":"status","id":"r17","state":"queued","queueDepth":3}
+//     {"t":"status","id":"r17","state":"running"}
+//     {"t":"result","id":"r17","status":"optimal","provenance":"ilp_proven",
+//      "error":"ok","message":"","cost":...,"bestBound":...,
+//      "wirelength":...,"vias":...,"seconds":...,"nodes":...,
+//      "lpIterations":...,"cached":0,"cacheKey":"<32 hex>",
+//      "solution":"<SOL text>"}
+//     {"t":"reject","id":"r17","error":"saturated","message":"..."}
+//
+// Clients stream frames: zero or more status updates, then exactly one
+// result or reject per request id. Numeric result fields are printed with
+// %.17g so a cached replay of a solve is byte-identical to the original
+// result frame (minus the fields that legitimately differ: "cached" and
+// "seconds"). That byte-equality is the cache-correctness gate bench_service
+// enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/opt_router.h"
+
+namespace optr::service {
+
+/// Protocol version spoken by this build; clients refuse a daemon that
+/// hellos with a different version.
+inline constexpr int kServiceProtocolVersion = 1;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0,
+  kRoute,
+  kStatus,
+  kResult,
+  kReject,
+  kShutdown,
+  /// Decode failure: not a frame type on the wire, but what decodeFrame()
+  /// reports for a truncated, corrupt, or unknown line.
+  kGarbled,
+  kNumTypes,
+};
+
+const char* toString(FrameType t);
+
+/// One route request. `clipText` is the clip text serialization
+/// (clip/clip_io.h), which carries geometry and technology; `ruleName` names
+/// a rule in the daemon's configured universe.
+struct RouteRequest {
+  std::string id;
+  std::string clipText;
+  std::string ruleName;
+  /// Overrides the daemon's MIP time limit when > 0. A request that sets
+  /// this gets its own cache slot (the limit is part of the cache key).
+  double timeLimitSec = 0.0;
+};
+
+/// One route answer. Mirrors core::RouteResult plus service metadata.
+struct RouteReply {
+  std::string id;
+  core::RouteStatus status = core::RouteStatus::kError;
+  core::Provenance provenance = core::Provenance::kNone;
+  ErrorCode errorCode = ErrorCode::kOk;
+  std::string errorMessage;
+  double cost = 0.0;
+  double bestBound = 0.0;
+  int wirelength = 0;
+  int vias = 0;
+  double seconds = 0.0;  // wall time of THIS response (near-zero on a hit)
+  std::int64_t nodes = 0;
+  std::int64_t lpIterations = 0;
+  bool cached = false;
+  std::string cacheKey;      // 32 hex chars; same key => same request content
+  std::string solutionText;  // route::solutionToText, empty when no solution
+};
+
+/// One decoded protocol line. Only the fields of the given type are
+/// meaningful.
+struct ServiceFrame {
+  FrameType type = FrameType::kGarbled;
+  // kHello
+  int protoVersion = 0;
+  std::string serverId;
+  // kRoute
+  RouteRequest request;
+  // kStatus / kReject (and the reply carries kResult's id)
+  std::string id;
+  std::string state;   // kStatus: "queued" | "running"
+  int queueDepth = 0;  // kStatus(queued): global backlog at admission
+  ErrorCode errorCode = ErrorCode::kOk;  // kReject
+  std::string message;                   // kReject
+  // kResult
+  RouteReply reply;
+};
+
+std::string encodeHello(const std::string& serverId);
+std::string encodeRoute(const RouteRequest& request);
+std::string encodeStatus(const std::string& id, const std::string& state,
+                         int queueDepth);
+std::string encodeResult(const RouteReply& reply);
+std::string encodeReject(const std::string& id, ErrorCode code,
+                         const std::string& message);
+std::string encodeShutdown();
+
+/// Decodes one line (without the trailing '\n'). Never throws; anything
+/// undecodable comes back as kGarbled.
+ServiceFrame decodeFrame(const std::string& line);
+
+/// The reply fields that must be identical between a cached replay and a
+/// fresh solve of the same request: status, provenance, error code, cost,
+/// bestBound, wirelength, vias, nodes, lpIterations, cache key, and the
+/// routed geometry. Excludes `cached`, `seconds`, and `id` (which
+/// legitimately differ). bench_service byte-compares these signatures.
+std::string replyEquivalenceSignature(const RouteReply& reply);
+
+}  // namespace optr::service

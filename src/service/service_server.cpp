@@ -1,0 +1,312 @@
+#include "service/service_server.h"
+
+#if !defined(_WIN32)
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/stop_signal.h"
+#include "obs/metrics.h"
+
+namespace optr::service {
+
+namespace {
+
+void setNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+std::optional<ListenAddress> parseListenAddress(const std::string& spec) {
+  ListenAddress addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.isUnix = true;
+    addr.path = spec.substr(5);
+    if (addr.path.empty()) return std::nullopt;
+    return addr;
+  }
+  std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  addr.host = spec.substr(0, colon);
+  if (addr.host.empty()) addr.host = "127.0.0.1";
+  char* end = nullptr;
+  long port = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (end == spec.c_str() + colon + 1 || *end != '\0' || port < 0 ||
+      port > 65535) {
+    return std::nullopt;
+  }
+  addr.port = static_cast<int>(port);
+  return addr;
+}
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(std::move(options)) {}
+
+ServiceServer::~ServiceServer() {
+  if (broker_) broker_->stop(/*drain=*/false);
+  for (auto& [id, client] : clients_)
+    if (client.fd >= 0) close(client.fd);
+  if (listenFd_ >= 0) close(listenFd_);
+  if (wakeRead_ >= 0) close(wakeRead_);
+  if (wakeWrite_ >= 0) close(wakeWrite_);
+  if (address_.isUnix && !boundAddress_.empty()) unlink(address_.path.c_str());
+}
+
+Status ServiceServer::start() {
+  auto parsed = parseListenAddress(options_.listen);
+  if (!parsed) {
+    return Status::error(ErrorCode::kInvalidInput,
+                         "bad listen address: " + options_.listen +
+                             " (want unix:PATH or HOST:PORT)");
+  }
+  address_ = *parsed;
+  signal(SIGPIPE, SIG_IGN);  // peer death shows up as EPIPE, not a kill
+
+  if (address_.isUnix) {
+    listenFd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+      return Status::error(ErrorCode::kIo,
+                           std::string("socket: ") + std::strerror(errno));
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (address_.path.size() >= sizeof sun.sun_path)
+      return Status::error(ErrorCode::kInvalidInput,
+                           "unix socket path too long: " + address_.path);
+    std::strncpy(sun.sun_path, address_.path.c_str(),
+                 sizeof sun.sun_path - 1);
+    unlink(address_.path.c_str());  // stale socket from a previous daemon
+    if (bind(listenFd_, reinterpret_cast<sockaddr*>(&sun), sizeof sun) != 0)
+      return Status::error(ErrorCode::kIo, "bind " + address_.path + ": " +
+                                               std::strerror(errno));
+    boundAddress_ = address_.path;
+  } else {
+    listenFd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+      return Status::error(ErrorCode::kIo,
+                           std::string("socket: ") + std::strerror(errno));
+    int one = 1;
+    setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<uint16_t>(address_.port));
+    if (inet_pton(AF_INET, address_.host.c_str(), &sin.sin_addr) != 1)
+      return Status::error(ErrorCode::kInvalidInput,
+                           "bad listen host: " + address_.host);
+    if (bind(listenFd_, reinterpret_cast<sockaddr*>(&sin), sizeof sin) != 0)
+      return Status::error(ErrorCode::kIo, "bind " + options_.listen + ": " +
+                                               std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    boundAddress_ =
+        address_.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (listen(listenFd_, 64) != 0)
+    return Status::error(ErrorCode::kIo,
+                         std::string("listen: ") + std::strerror(errno));
+  setNonBlocking(listenFd_);
+
+  int fds[2];
+  if (pipe(fds) != 0)
+    return Status::error(ErrorCode::kIo,
+                         std::string("pipe: ") + std::strerror(errno));
+  wakeRead_ = fds[0];
+  wakeWrite_ = fds[1];
+  setNonBlocking(wakeRead_);
+  setNonBlocking(wakeWrite_);
+
+  broker_ = std::make_unique<RequestBroker>(
+      options_.broker, [this](const std::string& clientId,
+                              const std::string& line) {
+        enqueueFrame(clientId, line);
+      });
+  return Status::ok();
+}
+
+void ServiceServer::enqueueFrame(const std::string& clientId,
+                                 const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    auto it = clients_.find(clientId);
+    if (it == clients_.end()) return;  // client left; frame has no reader
+    Client& client = it->second;
+    if (client.outbuf.size() + line.size() + 1 >
+        options_.maxClientBacklogBytes) {
+      client.dead = true;  // reader too far behind; poll loop reaps it
+    } else {
+      client.outbuf += line;
+      client.outbuf += '\n';
+    }
+  }
+  char b = 1;
+  (void)!write(wakeWrite_, &b, 1);  // rouse the poll loop to flush
+}
+
+void ServiceServer::acceptClients() {
+  for (;;) {
+    int fd = accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or EINTR; next loop pass retries)
+    setNonBlocking(fd);
+    std::string id = "c" + std::to_string(nextClientId_++);
+    obs::metrics().counter("service.connects").add(1);
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    Client& client = clients_[id];
+    client.fd = fd;
+    client.id = id;
+    client.outbuf = encodeHello("optrouter") + "\n";
+  }
+}
+
+void ServiceServer::handleReadable(Client& client) {
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = read(client.fd, chunk, sizeof chunk);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      client.dead = true;
+      return;
+    }
+    client.splitter.feed(chunk, static_cast<std::size_t>(n));
+  }
+  std::string line;
+  while (client.splitter.next(line)) {
+    ServiceFrame frame = decodeFrame(line);
+    if (frame.type == FrameType::kRoute) {
+      broker_->submit(client.id, std::move(frame.request));
+    } else if (frame.type == FrameType::kShutdown) {
+      shutdownRequested_ = true;
+    }
+    // Anything else (including garbled lines) is ignored: torn input is a
+    // client bug, not a server failure.
+  }
+}
+
+void ServiceServer::flushWritable(Client& client) {
+  std::lock_guard<std::mutex> lock(clientsMutex_);
+  while (!client.outbuf.empty()) {
+    ssize_t n = write(client.fd, client.outbuf.data(), client.outbuf.size());
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      client.dead = true;
+      return;
+    }
+    client.outbuf.erase(0, static_cast<std::size_t>(n));
+  }
+}
+
+void ServiceServer::dropClient(const std::string& id) {
+  broker_->forgetClient(id);
+  std::lock_guard<std::mutex> lock(clientsMutex_);
+  auto it = clients_.find(id);
+  if (it == clients_.end()) return;
+  if (it->second.fd >= 0) close(it->second.fd);
+  clients_.erase(it);
+}
+
+int ServiceServer::run() {
+  common::installStopSignals();
+  obs::event("service.start", boundAddress_);
+
+  while (!common::stopRequested() && !shutdownRequested_) {
+    std::vector<pollfd> fds;
+    std::vector<std::string> ids;  // parallel to fds from index 3 on
+    fds.push_back({listenFd_, POLLIN, 0});
+    fds.push_back({wakeRead_, POLLIN, 0});
+    int stopFd = common::stopWakeFd();
+    fds.push_back({stopFd >= 0 ? stopFd : -1, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(clientsMutex_);
+      for (auto& [id, client] : clients_) {
+        short events = POLLIN;
+        if (!client.outbuf.empty()) events |= POLLOUT;
+        fds.push_back({client.fd, events, 0});
+        ids.push_back(id);
+      }
+    }
+    int n = poll(fds.data(), fds.size(), 200);
+    if (n < 0 && errno != EINTR) break;
+    if (common::stopRequested() || shutdownRequested_) break;
+    if (n <= 0) continue;
+
+    if (fds[1].revents & POLLIN) {
+      char buf[256];
+      while (read(wakeRead_, buf, sizeof buf) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) acceptClients();
+
+    std::vector<std::string> dead;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const pollfd& pfd = fds[i + 3];
+      Client* client = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(clientsMutex_);
+        auto it = clients_.find(ids[i]);
+        if (it == clients_.end()) continue;
+        client = &it->second;
+      }
+      // Single-threaded fd IO: only this loop reads/writes client sockets,
+      // so touching `client` outside the map lock is safe (the sink only
+      // appends to outbuf under the lock, taken inside flushWritable).
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) client->dead = true;
+      if (!client->dead && (pfd.revents & POLLIN)) handleReadable(*client);
+      if (!client->dead && (pfd.revents & POLLOUT)) flushWritable(*client);
+      if (client->dead) dead.push_back(ids[i]);
+    }
+    for (const std::string& id : dead) dropClient(id);
+    obs::metrics().gauge("service.clients").set(
+        static_cast<std::int64_t>(clients_.size()));
+  }
+
+  // Graceful stop: no new connections, finish the backlog, flush, leave.
+  obs::event("service.drain", common::stopRequested() ? "signal" : "frame");
+  close(listenFd_);
+  listenFd_ = -1;
+  broker_->stop(/*drain=*/true);
+
+  // Flush every outbound buffer (bounded: a stuck reader cannot wedge
+  // shutdown for more than ~2s).
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    bool anyPending = false;
+    std::vector<std::string> ids;
+    {
+      std::lock_guard<std::mutex> lock(clientsMutex_);
+      for (auto& [id, client] : clients_)
+        if (!client.outbuf.empty() && !client.dead) ids.push_back(id);
+    }
+    for (const std::string& id : ids) {
+      auto it = clients_.find(id);
+      if (it == clients_.end()) continue;
+      flushWritable(it->second);
+      std::lock_guard<std::mutex> lock(clientsMutex_);
+      if (!it->second.outbuf.empty() && !it->second.dead) anyPending = true;
+    }
+    if (!anyPending) break;
+    poll(nullptr, 0, 10);
+  }
+  std::vector<std::string> all;
+  for (auto& [id, client] : clients_) all.push_back(id);
+  for (const std::string& id : all) dropClient(id);
+  if (address_.isUnix) unlink(address_.path.c_str());
+  obs::event("service.stop", "");
+  return 0;
+}
+
+}  // namespace optr::service
+
+#endif  // !_WIN32

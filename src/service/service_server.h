@@ -1,0 +1,105 @@
+// ServiceServer: the daemon transport for `optrouter serve`.
+//
+// A single-threaded poll() event loop in front of a RequestBroker: accepts
+// clients on a unix-domain or TCP listening socket, splits their byte
+// streams into frames (common/line_io.h LineSplitter), feeds route requests
+// to the broker, and flushes the broker's outbound frames. Worker threads
+// never touch sockets: the broker's sink appends to a per-client outbound
+// buffer under the server's mutex and pokes a wake pipe, and the poll loop
+// does all fd IO -- the same single-writer discipline the fleet coordinator
+// uses.
+//
+// Shutdown is graceful on all three triggers (SIGTERM, SIGINT -- via
+// common/stop_signal.h -- and a client "shutdown" frame): stop accepting,
+// drain the broker (every queued request gets its result), flush every
+// outbound buffer, exit cleanly. A client that disconnects mid-queue has its
+// pending requests dropped (forgetClient) instead of solved into the void.
+#pragma once
+
+#if !defined(_WIN32)
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/line_io.h"
+#include "common/status.h"
+#include "service/request_broker.h"
+
+namespace optr::service {
+
+/// "unix:/path/to.sock" or "host:port" (port 0 = kernel-assigned, for
+/// tests).
+struct ListenAddress {
+  bool isUnix = false;
+  std::string path;  // unix socket path
+  std::string host;  // TCP
+  int port = 0;
+};
+
+std::optional<ListenAddress> parseListenAddress(const std::string& spec);
+
+struct ServerOptions {
+  std::string listen;  // parseListenAddress spec
+  BrokerOptions broker;
+  /// Outbound-buffer cap per client; a reader this far behind is dropped
+  /// (the buffer would otherwise grow without bound).
+  std::size_t maxClientBacklogBytes = 8u << 20;
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerOptions options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds and listens. Must succeed before run().
+  Status start();
+
+  /// The address actually bound ("host:port" with the real port, or the
+  /// unix path). Valid after start().
+  std::string boundAddress() const { return boundAddress_; }
+
+  /// Event loop; returns the process exit code (0 on a clean drain).
+  /// Installs stop-signal handlers; returns on SIGTERM/SIGINT or a client
+  /// shutdown frame.
+  int run();
+
+  RequestBroker& broker() { return *broker_; }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string id;
+    common::LineSplitter splitter;
+    std::string outbuf;
+    bool dead = false;
+  };
+
+  void acceptClients();
+  void handleReadable(Client& client);
+  void flushWritable(Client& client);
+  void dropClient(const std::string& id);
+  void enqueueFrame(const std::string& clientId, const std::string& line);
+
+  ServerOptions options_;
+  ListenAddress address_;
+  std::string boundAddress_;
+  int listenFd_ = -1;
+  int wakeRead_ = -1;
+  int wakeWrite_ = -1;
+  bool shutdownRequested_ = false;
+  std::unique_ptr<RequestBroker> broker_;
+  std::mutex clientsMutex_;  // guards outbufs (sink writes from workers)
+  std::unordered_map<std::string, Client> clients_;
+  int nextClientId_ = 0;
+};
+
+}  // namespace optr::service
+
+#endif  // !_WIN32

@@ -1,0 +1,519 @@
+// Service-layer unit tests: content-addressed cache keys, the ResultCache
+// and SessionPool LRUs (including the capacity-0/1 degenerate modes and a
+// concurrency leg the TSan build exercises), the wire protocol roundtrip,
+// and RequestBroker admission control -- saturation and shutdown rejects are
+// driven deterministically by stalling the single worker inside the test's
+// own sink (the broker never holds its lock across a sink call, so a
+// blocking sink freezes the pipeline without deadlocking submit()).
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clip/clip_io.h"
+#include "core/cache_key.h"
+#include "core/session_pool.h"
+#include "service/request_broker.h"
+#include "service/result_cache.h"
+#include "service/service_protocol.h"
+#include "tech/rules.h"
+#include "tech/technology.h"
+#include "test_clips.h"
+
+namespace optr {
+namespace {
+
+using testing::makeSimpleClip;
+
+clip::Clip tinyClip() {
+  // One two-pin net on a 4x4x3 clip: solves in milliseconds.
+  return makeSimpleClip(4, 4, 3, {{{0, 0, 0}, {3, 3, 0}}});
+}
+
+tech::RuleConfig ruleByName(const std::string& name) {
+  for (const tech::RuleConfig& r : tech::table3Rules())
+    if (r.name == name) return r;
+  ADD_FAILURE() << "no such rule: " << name;
+  return {};
+}
+
+// ---- cache keys ----------------------------------------------------------
+
+TEST(CacheKey, ClipIdDoesNotChangeTheKeyButGeometryDoes) {
+  core::OptRouterOptions opt;
+  tech::RuleConfig rule = ruleByName("RULE1");
+  clip::Clip a = tinyClip();
+  clip::Clip b = tinyClip();
+  b.id = "completely-different-name";
+  EXPECT_EQ(core::resultCacheKey(a, rule, opt).hex(),
+            core::resultCacheKey(b, rule, opt).hex())
+      << "content addressing must ignore the clip's display name";
+
+  clip::Clip c = makeSimpleClip(4, 4, 3, {{{0, 0, 0}, {3, 2, 0}}});
+  EXPECT_NE(core::resultCacheKey(a, rule, opt).hex(),
+            core::resultCacheKey(c, rule, opt).hex());
+}
+
+TEST(CacheKey, RuleAndSolverOptionsArePartOfTheKey) {
+  core::OptRouterOptions opt;
+  clip::Clip a = tinyClip();
+  EXPECT_NE(core::resultCacheKey(a, ruleByName("RULE1"), opt).hex(),
+            core::resultCacheKey(a, ruleByName("RULE3"), opt).hex());
+
+  core::OptRouterOptions limited = opt;
+  limited.mip.timeLimitSec = opt.mip.timeLimitSec + 1;
+  EXPECT_NE(core::resultCacheKey(a, ruleByName("RULE1"), opt).hex(),
+            core::resultCacheKey(a, ruleByName("RULE1"), limited).hex())
+      << "a truncated-budget solve must not alias an unlimited one";
+}
+
+TEST(CacheKey, SessionKeyIgnoresRuleAndMipOptions) {
+  // Sessions are rule-agnostic (rules are overlays), so the session key
+  // hashes only the clip and the formulation shape.
+  clip::Clip a = tinyClip();
+  core::OptRouterOptions x;
+  core::OptRouterOptions y;
+  y.mip.timeLimitSec = 999;
+  y.mip.threads = 7;
+  EXPECT_EQ(core::sessionCacheKey(a, x.formulation).hex(),
+            core::sessionCacheKey(a, y.formulation).hex());
+  core::FormulationOptions wider = x.formulation;
+  wider.netBBoxMargin = x.formulation.netBBoxMargin + 2;
+  EXPECT_NE(core::sessionCacheKey(a, x.formulation).hex(),
+            core::sessionCacheKey(a, wider).hex());
+}
+
+TEST(CacheKey, CacheableOutcomeAdmitsOnlyCleanProvenResults) {
+  Status ok;
+  EXPECT_TRUE(core::cacheableOutcome(core::RouteStatus::kOptimal, ok));
+  EXPECT_TRUE(core::cacheableOutcome(core::RouteStatus::kInfeasible, ok));
+  EXPECT_FALSE(core::cacheableOutcome(core::RouteStatus::kFeasible, ok))
+      << "deadline-truncated incumbents are wall-clock functions";
+  EXPECT_FALSE(core::cacheableOutcome(core::RouteStatus::kUnknown, ok));
+  EXPECT_FALSE(core::cacheableOutcome(
+      core::RouteStatus::kOptimal,
+      Status::error(ErrorCode::kInternal, "solver stack misbehaved")));
+}
+
+// ---- ResultCache ---------------------------------------------------------
+
+service::CachedResult entryWithCost(double cost) {
+  service::CachedResult e;
+  e.status = core::RouteStatus::kOptimal;
+  e.provenance = core::Provenance::kIlpProven;
+  e.cost = cost;
+  return e;
+}
+
+core::CacheKey keyOf(int i) {
+  core::CacheKey k;
+  k.hi = 0x1000 + static_cast<std::uint64_t>(i);
+  k.lo = 0x2000 + static_cast<std::uint64_t>(i);
+  return k;
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAndRefreshesOnFind) {
+  service::ResultCache cache({/*capacity=*/2});
+  EXPECT_TRUE(cache.insert(keyOf(1), entryWithCost(1)));
+  EXPECT_TRUE(cache.insert(keyOf(2), entryWithCost(2)));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.find(keyOf(1)).has_value());
+  EXPECT_TRUE(cache.insert(keyOf(3), entryWithCost(3)));
+  EXPECT_TRUE(cache.find(keyOf(1)).has_value());
+  EXPECT_FALSE(cache.find(keyOf(2)).has_value()) << "2 was LRU, must evict";
+  EXPECT_TRUE(cache.find(keyOf(3)).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, FirstWriterWinsAndCapacityZeroDisables) {
+  service::ResultCache cache({/*capacity=*/4});
+  EXPECT_TRUE(cache.insert(keyOf(1), entryWithCost(10)));
+  EXPECT_FALSE(cache.insert(keyOf(1), entryWithCost(20)))
+      << "a duplicate insert must not clobber the original entry";
+  EXPECT_EQ(cache.find(keyOf(1))->cost, 10.0);
+
+  service::ResultCache off({/*capacity=*/0});
+  EXPECT_FALSE(off.insert(keyOf(1), entryWithCost(1)));
+  EXPECT_FALSE(off.find(keyOf(1)).has_value());
+  EXPECT_EQ(off.size(), 0u);
+}
+
+// ---- SessionPool ---------------------------------------------------------
+
+std::unique_ptr<core::ClipSession> buildTinySession(const clip::Clip& c) {
+  core::ClipSessionOptions so;
+  so.universe = tech::table3Rules();
+  return std::make_unique<core::ClipSession>(
+      c, tech::Technology::n28_12t(), std::move(so));
+}
+
+TEST(SessionPool, CapacityZeroBuildsAndDiscardsEveryTime) {
+  core::SessionPool pool({/*capacity=*/0});
+  clip::Clip c = tinyClip();
+  int builds = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto lease = pool.acquire("k", [&] {
+      ++builds;
+      return buildTinySession(c);
+    });
+    EXPECT_TRUE(static_cast<bool>(lease));
+  }
+  EXPECT_EQ(builds, 3);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().discards, 3u);
+}
+
+TEST(SessionPool, CapacityOneHitsOnReuseAndEvictsTheOtherKey) {
+  core::SessionPool pool({/*capacity=*/1});
+  clip::Clip c = tinyClip();
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return buildTinySession(c);
+  };
+  { auto lease = pool.acquire("a", build); }  // miss, released -> pooled
+  { auto lease = pool.acquire("a", build); }  // hit
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  { auto lease = pool.acquire("b", build); }  // miss; release evicts "a"
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  { auto lease = pool.acquire("a", build); }  // "a" was evicted: rebuild
+  EXPECT_EQ(builds, 3);
+}
+
+TEST(SessionPool, DuplicateReleaseKeepsOneAndDiscardIsHonored) {
+  core::SessionPool pool({/*capacity=*/4});
+  clip::Clip c = tinyClip();
+  auto build = [&] { return buildTinySession(c); };
+  {
+    // Two concurrent leases of the same key: second acquire must build its
+    // own (sessions are exclusive), and only one survives the releases.
+    auto first = pool.acquire("k", build);
+    auto second = pool.acquire("k", build);
+    EXPECT_NE(first.get(), second.get());
+  }
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.stats().discards, 1u);
+
+  {
+    auto lease = pool.acquire("k", build);
+    lease.discard();  // solver error path: do not repool
+  }
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(SessionPool, ConcurrentAcquireReleaseIsRaceFree) {
+  // Hammered by the TSan leg of run_sanitized_tests.sh: 4 threads churning
+  // 2 keys through a capacity-1 pool exercises hit/build/evict/duplicate
+  // paths under contention.
+  core::SessionPool pool({/*capacity=*/1});
+  clip::Clip c = tinyClip();
+  std::atomic<int> built{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        std::string key = (i + t) % 2 == 0 ? "even" : "odd";
+        auto lease = pool.acquire(key, [&] {
+          built.fetch_add(1);
+          return buildTinySession(c);
+        });
+        ASSERT_TRUE(static_cast<bool>(lease));
+        if (i % 4 == 3) lease.discard();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  core::SessionPool::Stats s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses, 32u);
+  EXPECT_EQ(static_cast<int>(s.misses), built.load());
+  EXPECT_LE(pool.size(), 1u);
+}
+
+// ---- wire protocol -------------------------------------------------------
+
+TEST(ServiceProtocol, ResultFrameRoundTripsBitExactDoubles) {
+  service::RouteReply r;
+  r.id = "req-7";
+  r.status = core::RouteStatus::kOptimal;
+  r.provenance = core::Provenance::kIlpProven;
+  r.cost = 0.1 + 0.2;  // not representable: %.17g must preserve the bits
+  r.bestBound = 0.30000000000000004;
+  r.wirelength = 12;
+  r.vias = 3;
+  r.seconds = 0.125;
+  r.nodes = 42;
+  r.lpIterations = 1234;
+  r.cached = true;
+  r.cacheKey = "0123456789abcdef0123456789abcdef";
+  r.solutionText = "SOL v1\nnet n0\n";
+  service::ServiceFrame f = service::decodeFrame(service::encodeResult(r));
+  ASSERT_EQ(f.type, service::FrameType::kResult);
+  EXPECT_EQ(f.reply.id, r.id);
+  EXPECT_EQ(f.reply.status, r.status);
+  EXPECT_EQ(f.reply.provenance, r.provenance);
+  EXPECT_EQ(f.reply.cost, r.cost);
+  EXPECT_EQ(f.reply.bestBound, r.bestBound);
+  EXPECT_EQ(f.reply.solutionText, r.solutionText);
+  EXPECT_TRUE(f.reply.cached);
+  EXPECT_EQ(service::replyEquivalenceSignature(f.reply),
+            service::replyEquivalenceSignature(r));
+}
+
+TEST(ServiceProtocol, EquivalenceSignatureIgnoresServingMetadata) {
+  service::RouteReply a;
+  a.id = "a";
+  a.cost = 7;
+  a.seconds = 3.5;
+  a.cached = false;
+  service::RouteReply b = a;
+  b.id = "b";
+  b.seconds = 0.001;
+  b.cached = true;
+  EXPECT_EQ(service::replyEquivalenceSignature(a),
+            service::replyEquivalenceSignature(b));
+  b.cost = 8;
+  EXPECT_NE(service::replyEquivalenceSignature(a),
+            service::replyEquivalenceSignature(b));
+}
+
+TEST(ServiceProtocol, GarbledAndTruncatedLinesNeverDecodeAsFrames) {
+  EXPECT_EQ(service::decodeFrame("").type, service::FrameType::kGarbled);
+  EXPECT_EQ(service::decodeFrame("not json").type,
+            service::FrameType::kGarbled);
+  EXPECT_EQ(service::decodeFrame("{\"t\":\"nonsense\"}").type,
+            service::FrameType::kGarbled);
+  // A result line cut mid-write must not decode as an empty routing.
+  service::RouteReply r;
+  r.id = "x";
+  r.cacheKey = "00000000000000000000000000000000";
+  std::string full = service::encodeResult(r);
+  EXPECT_EQ(service::decodeFrame(full.substr(0, full.size() / 2)).type,
+            service::FrameType::kGarbled);
+}
+
+TEST(ServiceProtocol, RouteAndRejectRoundTrip) {
+  service::RouteRequest req;
+  req.id = "r1";
+  req.clipText = clip::toText(tinyClip());
+  req.ruleName = "RULE4";
+  req.timeLimitSec = 2.5;
+  service::ServiceFrame f = service::decodeFrame(service::encodeRoute(req));
+  ASSERT_EQ(f.type, service::FrameType::kRoute);
+  EXPECT_EQ(f.request.clipText, req.clipText);
+  EXPECT_EQ(f.request.ruleName, "RULE4");
+  EXPECT_EQ(f.request.timeLimitSec, 2.5);
+
+  service::ServiceFrame rej = service::decodeFrame(
+      service::encodeReject("r1", ErrorCode::kSaturated, "queue full"));
+  ASSERT_EQ(rej.type, service::FrameType::kReject);
+  EXPECT_EQ(rej.id, "r1");
+  EXPECT_EQ(rej.errorCode, ErrorCode::kSaturated);
+}
+
+// ---- RequestBroker -------------------------------------------------------
+
+/// Sink that records every frame and can hold the worker hostage: when
+/// `stallOnRunning` is set, the worker thread blocks inside its "running"
+/// status emission until release() -- queue states become deterministic.
+struct TestSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<service::ServiceFrame> frames;
+  bool stallOnRunning = false;
+  bool stalled = false;
+  bool released = false;
+
+  void operator()(const std::string&, const std::string& line) {
+    service::ServiceFrame f = service::decodeFrame(line);
+    std::unique_lock<std::mutex> lock(mu);
+    frames.push_back(f);
+    cv.notify_all();
+    if (stallOnRunning && f.type == service::FrameType::kStatus &&
+        f.state == "running") {
+      stalled = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return released; });
+    }
+  }
+
+  void waitStalled() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return stalled; });
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+
+  int count(service::FrameType t, ErrorCode code = ErrorCode::kOk) {
+    std::lock_guard<std::mutex> lock(mu);
+    int n = 0;
+    for (const service::ServiceFrame& f : frames)
+      if (f.type == t &&
+          (t != service::FrameType::kReject || f.errorCode == code))
+        ++n;
+    return n;
+  }
+
+  void waitResults(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      int got = 0;
+      for (const service::ServiceFrame& f : frames)
+        if (f.type == service::FrameType::kResult) ++got;
+      return got >= n;
+    });
+  }
+};
+
+service::RouteRequest tinyRequest(const std::string& id) {
+  service::RouteRequest req;
+  req.id = id;
+  req.clipText = clip::toText(tinyClip());
+  req.ruleName = "RULE1";
+  return req;
+}
+
+service::BrokerOptions tinyBroker() {
+  service::BrokerOptions bo;
+  bo.workers = 1;
+  bo.router.mip.timeLimitSec = 10;
+  bo.router.mip.threads = 1;
+  return bo;
+}
+
+TEST(RequestBroker, SaturationRejectsAreTypedAndDeterministic) {
+  auto sink = std::make_shared<TestSink>();
+  sink->stallOnRunning = true;
+  service::BrokerOptions bo = tinyBroker();
+  bo.queueDepth = 1;
+  bo.clientQueueDepth = 8;
+  service::RequestBroker broker(
+      bo, [sink](const std::string& c, const std::string& l) {
+        (*sink)(c, l);
+      });
+  EXPECT_TRUE(broker.submit("a", tinyRequest("r0")));
+  sink->waitStalled();  // r0 in flight, queue empty
+  EXPECT_TRUE(broker.submit("a", tinyRequest("r1")));   // fills queue 1/1
+  EXPECT_FALSE(broker.submit("a", tinyRequest("r2")));  // global cap
+  EXPECT_FALSE(broker.submit("b", tinyRequest("r3")))
+      << "global saturation must reject other clients too";
+  EXPECT_EQ(
+      sink->count(service::FrameType::kReject, ErrorCode::kSaturated), 2);
+  sink->release();
+  sink->waitResults(2);
+  broker.stop(/*drain=*/true);
+  service::RequestBroker::Stats s = broker.stats();
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(s.rejectedSaturated, 2u);
+  EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(RequestBroker, PerClientQueueCapProtectsOtherClients) {
+  auto sink = std::make_shared<TestSink>();
+  sink->stallOnRunning = true;
+  service::BrokerOptions bo = tinyBroker();
+  bo.queueDepth = 64;
+  bo.clientQueueDepth = 1;
+  service::RequestBroker broker(
+      bo, [sink](const std::string& c, const std::string& l) {
+        (*sink)(c, l);
+      });
+  EXPECT_TRUE(broker.submit("chatty", tinyRequest("r0")));
+  sink->waitStalled();
+  // r0 still counts against "chatty" until it finishes serving.
+  EXPECT_FALSE(broker.submit("chatty", tinyRequest("r1")));
+  EXPECT_TRUE(broker.submit("polite", tinyRequest("r2")))
+      << "one saturated client must not starve the rest";
+  sink->release();
+  sink->waitResults(2);
+  broker.stop(/*drain=*/true);
+  EXPECT_EQ(broker.stats().rejectedSaturated, 1u);
+}
+
+TEST(RequestBroker, CachedReplayIsByteEquivalentToTheSolve) {
+  auto sink = std::make_shared<TestSink>();
+  service::RequestBroker broker(
+      tinyBroker(), [sink](const std::string& c, const std::string& l) {
+        (*sink)(c, l);
+      });
+  EXPECT_TRUE(broker.submit("a", tinyRequest("cold")));
+  sink->waitResults(1);
+  EXPECT_TRUE(broker.submit("a", tinyRequest("hot")));
+  sink->waitResults(2);
+  broker.stop(/*drain=*/true);
+
+  service::RouteReply cold, hot;
+  {
+    std::lock_guard<std::mutex> lock(sink->mu);
+    for (const service::ServiceFrame& f : sink->frames) {
+      if (f.type != service::FrameType::kResult) continue;
+      (f.reply.id == "cold" ? cold : hot) = f.reply;
+    }
+  }
+  ASSERT_EQ(cold.status, core::RouteStatus::kOptimal);
+  EXPECT_FALSE(cold.cached);
+  EXPECT_TRUE(hot.cached);
+  EXPECT_EQ(service::replyEquivalenceSignature(cold),
+            service::replyEquivalenceSignature(hot));
+  EXPECT_EQ(broker.stats().cacheHits, 1u);
+}
+
+TEST(RequestBroker, UnknownRuleRejectsAndShutdownRefusesNewWork) {
+  auto sink = std::make_shared<TestSink>();
+  service::RequestBroker broker(
+      tinyBroker(), [sink](const std::string& c, const std::string& l) {
+        (*sink)(c, l);
+      });
+  service::RouteRequest bad = tinyRequest("bad");
+  bad.ruleName = "RULE99";
+  EXPECT_TRUE(broker.submit("a", bad));  // admitted, rejected when served
+  {
+    std::unique_lock<std::mutex> lock(sink->mu);
+    sink->cv.wait(lock, [&] {
+      for (const service::ServiceFrame& f : sink->frames)
+        if (f.type == service::FrameType::kReject) return true;
+      return false;
+    });
+  }
+  EXPECT_EQ(
+      sink->count(service::FrameType::kReject, ErrorCode::kUnavailable), 1);
+
+  broker.stop(/*drain=*/true);
+  EXPECT_FALSE(broker.submit("a", tinyRequest("late")));
+  EXPECT_EQ(broker.stats().rejectedShutdown, 1u);
+}
+
+TEST(RequestBroker, ForgetClientDropsItsQueuedWork) {
+  auto sink = std::make_shared<TestSink>();
+  sink->stallOnRunning = true;
+  service::BrokerOptions bo = tinyBroker();
+  service::RequestBroker broker(
+      bo, [sink](const std::string& c, const std::string& l) {
+        (*sink)(c, l);
+      });
+  EXPECT_TRUE(broker.submit("gone", tinyRequest("r0")));
+  sink->waitStalled();
+  EXPECT_TRUE(broker.submit("gone", tinyRequest("r1")));
+  EXPECT_TRUE(broker.submit("gone", tinyRequest("r2")));
+  broker.forgetClient("gone");  // drops r1+r2; r0 is in flight and finishes
+  sink->release();
+  sink->waitResults(1);
+  broker.stop(/*drain=*/true);
+  service::RequestBroker::Stats s = broker.stats();
+  EXPECT_EQ(s.dropped, 2u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+}  // namespace
+}  // namespace optr

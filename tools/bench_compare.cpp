@@ -5,13 +5,16 @@
 //
 //   bench_compare <baseline.json> <candidate.json>
 //                 [--max-pivot-regress=F] [--max-wall-regress=F]
-//   bench_compare --self <bench.json>
+//   bench_compare --self <bench.json> [--min-hot-speedup=F]
 //
 // --max-pivot-regress defaults to 0.10 (10% growth fails); negative disables.
 // --max-wall-regress is disabled by default (CI wall clocks are noisy).
 // --self runs the snapshot's intra-file invariants instead of a diff (for
 // bench_runtime: the serial / clip-parallel / mip-parallel work-conservation
-// contract).
+// contract; for bench_service: the cold-vs-cached replay byte gate, hit
+// rate, and typed saturation rejects). --min-hot-speedup opts in to the
+// bench_service latency gate (cache hits at least F x faster than solves);
+// it is off by default because wall clocks are machine noise.
 //
 // Exit status: 0 no regression, 1 regression or broken invariant, 2 usage /
 // I/O / parse error.
@@ -31,7 +34,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_compare <baseline.json> <candidate.json>\n"
                "         [--max-pivot-regress=F] [--max-wall-regress=F]\n"
-               "       bench_compare --self <bench.json>\n");
+               "       bench_compare --self <bench.json> "
+               "[--min-hot-speedup=F]\n");
   return 2;
 }
 
@@ -64,6 +68,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-wall-regress=", 0) == 0) {
       opt.maxWallRegress =
           std::atof(arg.c_str() + std::strlen("--max-wall-regress="));
+    } else if (arg.rfind("--min-hot-speedup=", 0) == 0) {
+      opt.minHotSpeedup =
+          std::atof(arg.c_str() + std::strlen("--min-hot-speedup="));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage();
@@ -80,7 +87,8 @@ int main(int argc, char** argv) {
                    docOr.status().message().c_str());
       return 2;
     }
-    return printResult(report::selfCheckBench(docOr.value()), "self-check");
+    return printResult(report::selfCheckBench(docOr.value(), opt),
+                       "self-check");
   }
 
   if (files.size() != 2) return usage();

@@ -16,6 +16,11 @@
 //                                           --mip-threads N parallelizes
 //                                           each solve's tree search
 //   improve <clips> <rule> [threads]        local improvement report
+//   serve --listen unix:PATH|HOST:PORT      routing-as-a-service daemon:
+//                                           content-addressed result cache,
+//                                           shared session pool, bounded
+//                                           admission queues; SIGTERM drains
+//                                           and exits cleanly
 //   sweep-coordinator <clips> <ckpt> <rule...>  fleet sweep: lease-based
 //                                           coordinator sharding the matrix
 //                                           across worker processes with
@@ -41,6 +46,7 @@
 #include <vector>
 
 #include "clip/clip_io.h"
+#include "common/stop_signal.h"
 #include "common/strings.h"
 #include "core/improver.h"
 #include "core/opt_router.h"
@@ -53,6 +59,7 @@
 #include "layout/global_route.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/service_server.h"
 #include "trace_report_main.h"
 #include "report/table.h"
 #include "route/render.h"
@@ -65,8 +72,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: optrouter <info|gen|lefdef|route|sweep|batch|improve|\n"
-               "                  sweep-coordinator|sweep-worker|trace-report>"
-               " ...\n"
+               "                  serve|sweep-coordinator|sweep-worker|\n"
+               "                  trace-report> ...\n"
                "  info\n"
                "  gen <tech> <out.clips> [numClips=10] [seed=1]\n"
                "  lefdef <tech> <out.lef> <out.def>\n"
@@ -85,6 +92,17 @@ int usage() {
                "         --trace writes a span/event JSONL for trace_report,\n"
                "         --metrics prints the batch's counter deltas)\n"
                "  improve <clips> <rule> [threads=1]\n"
+               "  serve --listen unix:PATH|HOST:PORT [--workers N]\n"
+               "        [--queue-depth N] [--client-queue N] [--cache-cap N]\n"
+               "        [--session-pool N] [--time-limit S] [--mip-threads N]\n"
+               "        [--lp-pricing=...] [--lp-dual-restart=on|off]\n"
+               "        [--trace=out.jsonl] [--metrics-out=FILE] [rule...]\n"
+               "        (routing-as-a-service daemon: line-delimited JSON\n"
+               "         requests over a unix or TCP socket, content-\n"
+               "         addressed result cache + shared session pool;\n"
+               "         rules default to the full Table-3 universe;\n"
+               "         SIGTERM drains in-flight work and exits 0;\n"
+               "         use tools' service_client to talk to it)\n"
                "  sweep-coordinator <clips> <checkpoint.jsonl>\n"
                "        [--workers N] [--lease-sec S] [--task-timeout S]\n"
                "        [--max-attempts N] [--worker-cmd 'CMD']\n"
@@ -437,6 +455,11 @@ int cmdBatch(int argc, char** argv) {
   }
   obs::MetricsSnapshot before = obs::metrics().snapshot();
 
+  // SIGTERM/SIGINT stop the batch at the next task boundary: everything
+  // finished is checkpointed, the trace is flushed, and we exit 0 so a
+  // supervisor restart resumes instead of treating the stop as a failure.
+  common::installStopSignals();
+
   harness::BatchReport report =
       harness::BatchRunner(opt).run(clips.value(), rules);
 
@@ -465,6 +488,12 @@ int cmdBatch(int argc, char** argv) {
       prov[static_cast<int>(core::Provenance::kIlpProven)],
       prov[static_cast<int>(core::Provenance::kIlpIncumbent)],
       prov[static_cast<int>(core::Provenance::kMazeFallback)]);
+  if (report.interrupted) {
+    std::printf(
+        "interrupted by signal %d after draining in-flight work; rerun the "
+        "same command to resume from the checkpoint\n",
+        common::stopSignal());
+  }
   if (wantMetrics) {
     // Delta over this batch only, so a long-lived process (or resumed
     // checkpoint) doesn't leak earlier solves into the numbers. Note that
@@ -763,6 +792,151 @@ int cmdImprove(int argc, char** argv) {
 
 }  // namespace
 
+#if !defined(_WIN32)
+
+int cmdServe(int argc, char** argv) {
+  service::ServerOptions opt;
+  // Same solver defaults the batch harness uses, so a served answer matches
+  // the corresponding batch row.
+  opt.broker.router.mip.timeLimitSec = 20;
+  opt.broker.router.formulation.netBBoxMargin = 3;
+  opt.broker.router.formulation.netLayerMargin = 1;
+
+  std::string tracePath;
+  std::string metricsOutPath;
+  std::vector<tech::RuleConfig> rules;
+  for (int a = 2; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--listen" && a + 1 < argc) {
+      opt.listen = argv[++a];
+      continue;
+    }
+    if (arg == "--workers" && a + 1 < argc) {
+      opt.broker.workers = std::atoi(argv[++a]);
+      if (opt.broker.workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--queue-depth" && a + 1 < argc) {
+      opt.broker.queueDepth =
+          static_cast<std::size_t>(std::atoi(argv[++a]));
+      continue;
+    }
+    if (arg == "--client-queue" && a + 1 < argc) {
+      opt.broker.clientQueueDepth =
+          static_cast<std::size_t>(std::atoi(argv[++a]));
+      continue;
+    }
+    if (arg == "--cache-cap" && a + 1 < argc) {
+      opt.broker.cache.capacity =
+          static_cast<std::size_t>(std::atoi(argv[++a]));
+      continue;
+    }
+    if (arg == "--session-pool" && a + 1 < argc) {
+      opt.broker.sessionPool.capacity =
+          static_cast<std::size_t>(std::atoi(argv[++a]));
+      continue;
+    }
+    if (arg == "--time-limit" && a + 1 < argc) {
+      opt.broker.router.mip.timeLimitSec = std::atof(argv[++a]);
+      continue;
+    }
+    if (arg == "--mip-threads" && a + 1 < argc) {
+      opt.broker.router.mip.threads = std::atoi(argv[++a]);
+      if (opt.broker.router.mip.threads < 1) {
+        std::fprintf(stderr, "--mip-threads must be >= 1\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      tracePath = arg.substr(std::strlen("--trace="));
+      if (tracePath.empty()) {
+        std::fprintf(stderr, "--trace needs a path: --trace=out.jsonl\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metricsOutPath = arg.substr(std::strlen("--metrics-out="));
+      if (metricsOutPath.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a path or '-'\n");
+        return 2;
+      }
+      continue;
+    }
+    if (int lpf = parseLpFlag(arg, opt.broker.router.mip.lpOptions);
+        lpf != 0) {
+      if (lpf < 0) return 2;
+      continue;
+    }
+    auto ruleOr = tech::ruleByName(argv[a]);
+    if (!ruleOr) {
+      std::fprintf(stderr, "%s\n", ruleOr.status().message().c_str());
+      return 1;
+    }
+    rules.push_back(ruleOr.value());
+  }
+  if (opt.listen.empty()) {
+    std::fprintf(stderr, "serve needs --listen unix:PATH or HOST:PORT\n");
+    return 2;
+  }
+  if (!rules.empty()) opt.broker.universe = rules;
+
+  if (!tracePath.empty()) {
+    Status ts = obs::TraceSession::start(tracePath);
+    if (!ts) {
+      std::fprintf(stderr, "--trace: %s\n", ts.message().c_str());
+      return 1;
+    }
+  }
+  obs::MetricsSnapshot before = obs::metrics().snapshot();
+
+  service::ServiceServer server(std::move(opt));
+  Status st = server.start();
+  if (!st) {
+    std::fprintf(stderr, "serve: %s\n", st.message().c_str());
+    return 1;
+  }
+  std::printf("optrouter serve: listening on %s (workers=%d, rules=%zu)\n",
+              server.boundAddress().c_str(), server.broker().options().workers,
+              server.broker().options().universe.size());
+  std::fflush(stdout);
+
+  int rc = server.run();
+
+  service::RequestBroker::Stats bs = server.broker().stats();
+  service::ResultCache::Stats cs = server.broker().cache().stats();
+  core::SessionPool::Stats ps = server.broker().sessionPool().stats();
+  std::printf(
+      "served: %llu accepted, %llu completed (%llu from cache), "
+      "%llu saturated-rejects, %llu shutdown-rejects\n"
+      "result cache: %llu hits / %llu misses, %llu evictions; "
+      "session pool: %llu hits / %llu misses\n",
+      static_cast<unsigned long long>(bs.accepted),
+      static_cast<unsigned long long>(bs.completed),
+      static_cast<unsigned long long>(bs.cacheHits),
+      static_cast<unsigned long long>(bs.rejectedSaturated),
+      static_cast<unsigned long long>(bs.rejectedShutdown),
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses),
+      static_cast<unsigned long long>(cs.evictions),
+      static_cast<unsigned long long>(ps.hits),
+      static_cast<unsigned long long>(ps.misses));
+
+  // The drain already happened inside run(); flush observability last so
+  // the trace captures the full daemon lifetime.
+  if (!tracePath.empty()) obs::TraceSession::stop();
+  if (!metricsOutPath.empty() && writeMetricsDelta(metricsOutPath, before)) {
+    return 1;
+  }
+  return rc;
+}
+
+#endif  // !_WIN32
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   if (!std::strcmp(argv[1], "info")) return cmdInfo();
@@ -772,6 +946,9 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "sweep")) return cmdSweep(argc, argv);
   if (!std::strcmp(argv[1], "batch")) return cmdBatch(argc, argv);
   if (!std::strcmp(argv[1], "improve")) return cmdImprove(argc, argv);
+#if !defined(_WIN32)
+  if (!std::strcmp(argv[1], "serve")) return cmdServe(argc, argv);
+#endif
   if (!std::strcmp(argv[1], "sweep-coordinator")) {
     return cmdSweepCoordinator(argc, argv);
   }

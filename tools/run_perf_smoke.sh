@@ -40,7 +40,7 @@ fi
 echo "=== configuring Release into build-perf/ ==="
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-perf -j --target bench_runtime bench_sweep bench_fleet \
-  bench_compare trace_report optrouter > /dev/null
+  bench_service bench_compare trace_report optrouter service_client > /dev/null
 
 cores="$(nproc 2> /dev/null || echo 1)"
 if [[ "${cores}" -lt "${threads}" ]]; then
@@ -106,8 +106,40 @@ echo "=== bench_sweep --threads ${threads} (session-reuse equivalence gate) ==="
 build-perf/bench/bench_sweep --threads "${threads}" \
   --out build-perf/BENCH_sweep.json
 
+echo "=== bench_service (cache replay byte gate + saturation rejects) ==="
+build-perf/bench/bench_service --out build-perf/BENCH_service.json
+# Re-check the snapshot's own invariants, opting in to the latency gate the
+# bench already enforced (cache hits >= 10x faster than cold solves).
+build-perf/tools/bench_compare --self build-perf/BENCH_service.json \
+  --min-hot-speedup=10
+if [[ -f BENCH_service.json ]]; then
+  echo "=== bench_compare: committed BENCH_service.json vs fresh ==="
+  build-perf/tools/bench_compare BENCH_service.json \
+    build-perf/BENCH_service.json
+else
+  echo "note: no committed BENCH_service.json baseline; trajectory gate skipped"
+fi
+
+echo "=== routing service: daemon round-trip (cold -> cached -> shutdown) ==="
+service_sock="build-perf/smoke_service.sock"
+rm -f "${service_sock}"
+build-perf/tools/optrouter serve --listen "unix:${service_sock}" \
+  --workers 2 > build-perf/smoke_service.log &
+service_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "${service_sock}" ]] && break
+  sleep 0.1
+done
+build-perf/tools/service_client "unix:${service_sock}" \
+  route examples/example.clips RULE1
+# The same request again must come back from the result cache.
+build-perf/tools/service_client "unix:${service_sock}" \
+  route examples/example.clips RULE1 | tee /dev/stderr | grep -q cached
+build-perf/tools/service_client "unix:${service_sock}" shutdown
+wait "${service_pid}"
+
 echo "=== perf smoke OK: no objective divergence, work conserved, ==="
 echo "=== trace join lossless, fleet chaos-equivalent, session reuse ==="
 echo "=== result-equivalent ==="
-echo "    trajectories: build-perf/BENCH_runtime.json build-perf/BENCH_fleet.json build-perf/BENCH_sweep.json"
+echo "    trajectories: build-perf/BENCH_runtime.json build-perf/BENCH_fleet.json build-perf/BENCH_sweep.json build-perf/BENCH_service.json"
 echo "    attribution:  build-perf/smoke_table5.json"

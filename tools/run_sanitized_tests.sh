@@ -39,7 +39,7 @@ done
 # machinery (worker heartbeat threads, multi-process lease traffic) -- the
 # TSan leg's target set. ctest registers gtest suite names, so the filter
 # matches those.
-tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession|SweepFleet|SweepWorker|SweepProtocol|LeaseTable|CheckpointIO|RetryPolicy|LpPricing'
+tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession|SweepFleet|SweepWorker|SweepProtocol|LeaseTable|CheckpointIO|RetryPolicy|LpPricing|SessionPool|RequestBroker|ResultCache|ServiceProtocol|CacheKey'
 
 status=0
 for san in "${configs[@]}"; do

@@ -1,0 +1,142 @@
+// service_client — command-line driver for the optrouter routing daemon.
+//
+// Talks the service protocol (src/service/service_protocol.h) to a daemon
+// started with `optrouter serve --listen ...`:
+//
+//   service_client <address> route <clips> <rule> [index] [--time-limit S]
+//       route one clip from a clips file through the daemon; prints the
+//       result row (status, cost, cached flag, latency) and exits 0 on a
+//       result, 3 on a typed reject (e.g. saturated), 1 on transport errors
+//   service_client <address> sweep <clips> <rule...>
+//       route every clip under every rule (the Figure 6 matrix) through the
+//       daemon, one request per task, printing one row per result
+//   service_client <address> shutdown
+//       ask the daemon to drain and exit
+//
+// <address> is the daemon's --listen spec: unix:/path.sock or host:port.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "service/service_client.h"
+#include "tech/rules.h"
+
+using namespace optr;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: service_client <address> <route|sweep|shutdown> ...\n"
+      "  <address>: unix:/path.sock or host:port (the daemon's --listen)\n"
+      "  route <clips> <rule> [index=0] [--time-limit S]   one clip\n"
+      "  sweep <clips> <rule...>                           clip x rule matrix\n"
+      "  shutdown                                          drain and stop\n");
+  return 2;
+}
+
+void printReply(const service::RouteReply& r) {
+  std::printf("%-10s %-12s cost=%-8.0f bound=%-8.0f %s %.3fs key=%s\n",
+              core::toString(r.status), core::toString(r.provenance), r.cost,
+              r.bestBound, r.cached ? "cached" : "solved", r.seconds,
+              r.cacheKey.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string address = argv[1];
+  std::string cmd = argv[2];
+
+  service::ServiceClient client;
+  Status st = client.connect(address);
+  if (!st.isOk()) {
+    std::fprintf(stderr, "service_client: %s\n", st.message().c_str());
+    return 1;
+  }
+
+  if (cmd == "shutdown") {
+    Status sent = client.sendShutdown();
+    if (!sent.isOk()) {
+      std::fprintf(stderr, "service_client: %s\n", sent.message().c_str());
+      return 1;
+    }
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+
+  if (cmd == "route") {
+    if (argc < 5) return usage();
+    auto clipsOr = clip::loadClips(argv[3]);
+    if (!clipsOr.isOk()) {
+      std::fprintf(stderr, "%s\n", clipsOr.status().message().c_str());
+      return 1;
+    }
+    std::size_t index = 0;
+    double timeLimit = 0.0;
+    for (int a = 5; a < argc; ++a) {
+      std::string arg = argv[a];
+      if (arg == "--time-limit" && a + 1 < argc) {
+        timeLimit = std::atof(argv[++a]);
+      } else {
+        index = static_cast<std::size_t>(std::atoi(argv[a]));
+      }
+    }
+    if (index >= clipsOr.value().size()) {
+      std::fprintf(stderr, "clip index %zu out of range (%zu clips)\n", index,
+                   clipsOr.value().size());
+      return 1;
+    }
+    service::RouteRequest req;
+    req.id = "cli-0";
+    req.clipText = clip::toText(clipsOr.value()[index]);
+    req.ruleName = argv[4];
+    req.timeLimitSec = timeLimit;
+    auto replyOr = client.call(req);
+    if (!replyOr.isOk()) {
+      std::fprintf(stderr, "%s: %s\n", toString(replyOr.status().code()),
+                   replyOr.status().message().c_str());
+      return replyOr.status().code() == ErrorCode::kSaturated ? 3 : 1;
+    }
+    printReply(replyOr.value());
+    return 0;
+  }
+
+  if (cmd == "sweep") {
+    if (argc < 5) return usage();
+    auto clipsOr = clip::loadClips(argv[3]);
+    if (!clipsOr.isOk()) {
+      std::fprintf(stderr, "%s\n", clipsOr.status().message().c_str());
+      return 1;
+    }
+    std::vector<std::string> rules;
+    for (int a = 4; a < argc; ++a) rules.push_back(argv[a]);
+    int n = 0, rejects = 0;
+    for (const clip::Clip& c : clipsOr.value()) {
+      for (const std::string& rule : rules) {
+        service::RouteRequest req;
+        req.id = "cli-" + std::to_string(n++);
+        req.clipText = clip::toText(c);
+        req.ruleName = rule;
+        auto replyOr = client.call(req);
+        std::printf("%-12s %-8s ", c.id.c_str(), rule.c_str());
+        if (!replyOr.isOk()) {
+          ++rejects;
+          std::printf("REJECT %s: %s\n", toString(replyOr.status().code()),
+                      replyOr.status().message().c_str());
+          if (replyOr.status().code() != ErrorCode::kSaturated) return 1;
+          continue;
+        }
+        printReply(replyOr.value());
+      }
+    }
+    return rejects > 0 ? 3 : 0;
+  }
+
+  return usage();
+}
