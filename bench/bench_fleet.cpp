@@ -25,7 +25,14 @@
 //     quarantined) -- otherwise the "survives SIGKILL" claim is untested;
 //   * a fresh coordinator pointed at the chaos pass's checkpoint must
 //     resume every task from disk and execute zero new solves -- the
-//     crash-consistent merge is part of the contract.
+//     crash-consistent merge is part of the contract;
+//   * (POSIX + obs builds) the fleet-clean pass runs traced: the
+//     coordinator writes its own trace file, each forked worker abandons
+//     the inherited session and opens a per-worker file, and lease grants
+//     carry the coordinator's span context. The merged files must stitch
+//     every worker fleet.task span under the coordinator's bench.fleet
+//     root -- one causal tree across all processes -- with no task span
+//     outlasting the root (work conservation).
 //
 // Emits BENCH_fleet.json: per-task rows per pass plus the fleet counters
 // (leases granted/reassigned/expired, spawns, deaths, chaos kills,
@@ -33,10 +40,12 @@
 //
 // Usage: bench_fleet [--clips path] [--out path.json] [--workers N]
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,6 +54,8 @@
 #include "harness/batch_runner.h"
 #include "harness/checkpoint_io.h"
 #include "harness/sweep_coordinator.h"
+#include "obs/analyze.h"
+#include "obs/trace.h"
 #include "tech/rules.h"
 #include "tech/technology.h"
 
@@ -164,9 +175,99 @@ void removeFleetFiles(const std::string& base) {
   }
 }
 
-void emitJson(const std::string& path, const std::vector<PassStat>& passes) {
+struct TracedFleetOut {
+  bool ran = false;
+  int taskSpans = 0;       // fleet.task spans found across worker files
+  int stitchedTasks = 0;   // ... whose remote parent resolved on merge
+  bool singleTree = false; // every task chains up to the bench.fleet root
+  bool workConserved = false;
+};
+
+#if !defined(_WIN32) && OPTR_OBS_ENABLED
+
+std::string workerTracePath(const std::string& base, int slot, int gen) {
+  return base + ".trace.w" + std::to_string(slot) + "g" + std::to_string(gen) +
+         ".jsonl";
+}
+
+/// Merges the coordinator + per-worker trace files and checks the stitched
+/// causal tree: every fleet.task span must resolve (via its lease-frame
+/// remote parent) through a fleet.grant span up to the bench.fleet root,
+/// and no task may outlast that root.
+TracedFleetOut checkStitchedFleet(const std::vector<std::string>& files,
+                                  std::size_t matrix, bool& failed) {
+  TracedFleetOut out;
+  out.ran = true;
+  auto entriesOr = obs::loadTraces(files, nullptr);
+  if (!entriesOr.isOk()) {
+    std::fprintf(stderr, "FAIL: traced fleet merge: %s\n",
+                 entriesOr.status().message().c_str());
+    failed = true;
+    return out;
+  }
+  const std::vector<obs::TraceEntry>& entries = entriesOr.value();
+  std::map<std::uint64_t, const obs::TraceEntry*> byId;
+  std::uint64_t rootId = 0;
+  std::int64_t rootDur = 0;
+  for (const obs::TraceEntry& e : entries) {
+    if (e.type != "span" || e.id == 0) continue;
+    byId[e.id] = &e;
+    if (e.name == "bench.fleet") {
+      rootId = e.id;
+      rootDur = e.dur;
+    }
+  }
+  out.singleTree = rootId != 0;
+  out.workConserved = true;
+  for (const obs::TraceEntry& e : entries) {
+    if (e.type != "span" || e.name != "fleet.task") continue;
+    ++out.taskSpans;
+    if (e.stitched) ++out.stitchedTasks;
+    // Walk the parent chain (task -> grant -> ... -> root) span by span.
+    bool reachedRoot = false;
+    std::uint64_t cur = e.parent;
+    for (int hop = 0; hop < 64 && cur != 0; ++hop) {
+      if (cur == rootId) {
+        reachedRoot = true;
+        break;
+      }
+      auto it = byId.find(cur);
+      if (it == byId.end()) break;
+      cur = it->second->parent;
+    }
+    if (!reachedRoot) out.singleTree = false;
+    if (e.dur > rootDur) out.workConserved = false;
+  }
+  bool ok = out.taskSpans == static_cast<int>(matrix) &&
+            out.stitchedTasks == out.taskSpans && out.singleTree &&
+            out.workConserved;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: traced fleet: %d task spans (want %zu), %d stitched, "
+                 "singleTree=%d, workConserved=%d\n",
+                 out.taskSpans, matrix, out.stitchedTasks,
+                 out.singleTree ? 1 : 0, out.workConserved ? 1 : 0);
+    failed = true;
+  } else {
+    std::printf(
+        "traced fleet: %d fleet.task spans from %zu files all stitched "
+        "under one bench.fleet root (work-conserving)\n",
+        out.taskSpans, files.size());
+  }
+  return out;
+}
+
+#endif  // !_WIN32 && OPTR_OBS_ENABLED
+
+void emitJson(const std::string& path, const std::vector<PassStat>& passes,
+              const TracedFleetOut& traced) {
   std::ofstream out(path);
-  out << "{\n  \"benchmark\": \"bench_fleet\",\n  \"passes\": [\n";
+  out << "{\n  \"benchmark\": \"bench_fleet\",\n  \"tracedFleet\": {\"ran\": "
+      << (traced.ran ? 1 : 0) << ", \"taskSpans\": " << traced.taskSpans
+      << ", \"stitchedTasks\": " << traced.stitchedTasks
+      << ", \"singleTree\": " << (traced.singleTree ? 1 : 0)
+      << ", \"workConserved\": " << (traced.workConserved ? 1 : 0)
+      << "},\n  \"passes\": [\n";
   for (std::size_t p = 0; p < passes.size(); ++p) {
     const PassStat& pass = passes[p];
     const harness::FleetReport& f = pass.fleet;
@@ -275,6 +376,36 @@ int main(int argc, char** argv) {
 
   const std::string ckpt = outPath + ".ckpt.jsonl";
   removeFleetFiles(ckpt);
+  TracedFleetOut traced;
+#if !defined(_WIN32) && OPTR_OBS_ENABLED
+  // The clean pass doubles as the cross-process trace gate: coordinator and
+  // workers each write their own file, merged and stitched below.
+  const std::string coordTrace = outPath + ".trace.coord.jsonl";
+  std::remove(coordTrace.c_str());
+  for (int slot = 0; slot < workers; ++slot) {
+    for (int gen = 0; gen < 4; ++gen) {
+      std::remove(workerTracePath(outPath, slot, gen).c_str());
+    }
+  }
+  bool tracing = obs::TraceSession::start(coordTrace).isOk();
+  timed("fleet-clean", [&](PassStat& pass) {
+    harness::SweepCoordinatorOptions so;
+    so.router = routerOptions();
+    so.workers = workers;
+    so.checkpointPath = ckpt;
+    // Child side, post-fork: drop the inherited coordinator session (its fd
+    // must not receive this process's spans) and open a per-worker file.
+    so.workerInitHook = [&outPath](int slot, int generation) {
+      obs::TraceSession::abandon();
+      (void)obs::TraceSession::start(
+          workerTracePath(outPath, slot, generation));
+    };
+    obs::Span root("bench.fleet");
+    pass.fleet = harness::SweepCoordinator(so).run(clips, rules);
+    pass.rows = pass.fleet.rows;
+  });
+  if (tracing) obs::TraceSession::stop();
+#else
   timed("fleet-clean", [&](PassStat& pass) {
     harness::SweepCoordinatorOptions so;
     so.router = routerOptions();
@@ -283,6 +414,7 @@ int main(int argc, char** argv) {
     pass.fleet = harness::SweepCoordinator(so).run(clips, rules);
     pass.rows = pass.fleet.rows;
   });
+#endif
 
   removeFleetFiles(ckpt);
   timed("fleet-chaos", [&](PassStat& pass) {
@@ -356,7 +488,30 @@ int main(int argc, char** argv) {
   }
   removeFleetFiles(ckpt);
 
-  emitJson(outPath, passes);
+#if !defined(_WIN32) && OPTR_OBS_ENABLED
+  // Stitch gate: merge the clean pass's coordinator + worker trace files
+  // and require one work-conserving causal tree across processes.
+  if (tracing) {
+    std::vector<std::string> traceFiles = {coordTrace};
+    for (int slot = 0; slot < workers; ++slot) {
+      for (int gen = 0; gen < 4; ++gen) {
+        std::string p = workerTracePath(outPath, slot, gen);
+        if (std::ifstream(p).good()) traceFiles.push_back(p);
+      }
+    }
+    traced = checkStitchedFleet(traceFiles, clips.size() * rules.size(),
+                                failed);
+  } else {
+    std::fprintf(stderr, "FAIL: traced fleet: coordinator trace session "
+                         "did not start\n");
+    failed = true;
+  }
+#else
+  std::printf("traced fleet gate skipped (needs POSIX + observability)\n");
+#endif
+  (void)traced;
+
+  emitJson(outPath, passes, traced);
   std::printf("wrote %s\n", outPath.c_str());
   for (const PassStat& pass : passes) {
     std::printf("  %-12s %7.0f ms\n", pass.mode.c_str(), pass.wallMs);

@@ -27,6 +27,15 @@
 //     client depth 1) takes a burst of requests; the overflow must come
 //     back as typed kSaturated reject frames -- never silent drops -- and
 //     every accepted request must still complete under stop(drain).
+//   * traced daemon (POSIX + obs builds): a forked child runs a real
+//     ServiceServer on a unix socket with its own trace file and live
+//     metrics export; the parent sends one route request carrying its root
+//     span's trace context, pings for live stats, and shuts the daemon
+//     down. Gates: the merged parent+child trace stitches the daemon's
+//     service.request span under the bench root (single causal tree), the
+//     stitched child span does not outlast the root (work conservation),
+//     ping returns non-zero queue-wait and solve percentiles, and the
+//     daemon's --metrics-out file ends with a final row.
 //
 // Emits BENCH_service.json: cold/cached passes in the bench_sweep task
 // schema (so bench_compare's proven cost/bound byte gates apply across
@@ -50,9 +59,19 @@
 #include <vector>
 
 #include "clip/clip_io.h"
+#include "obs/analyze.h"
+#include "obs/trace.h"
 #include "service/request_broker.h"
 #include "service/service_protocol.h"
 #include "tech/rules.h"
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/service_client.h"
+#include "service/service_server.h"
+#endif
 
 using namespace optr;
 
@@ -269,10 +288,198 @@ SaturationOut runSaturation(const std::vector<clip::Clip>& clips,
   return out;
 }
 
+struct TracedDaemonOut {
+  bool ran = false;          // leg is skipped on non-POSIX / obs-off builds
+  bool stitched = false;     // service.request resolved under the bench root
+  bool workConserved = false;
+  bool pingPercentilesOk = false;
+  bool metricsFinalRow = false;
+  double queueWaitP50Ms = 0.0;
+  double solveP50Ms = 0.0;
+};
+
+#if !defined(_WIN32) && OPTR_OBS_ENABLED
+
+/// Forks a real ServiceServer (own trace file, live metrics export), routes
+/// one request through it carrying the parent's trace context, and checks
+/// that the merged two-process trace is one causal tree.
+TracedDaemonOut runTracedDaemon(const std::vector<clip::Clip>& clips,
+                                const std::vector<tech::RuleConfig>& rules,
+                                const std::string& outPath, bool& ok) {
+  TracedDaemonOut out;
+  out.ran = true;
+  const std::string parentTrace = outPath + ".trace.parent.jsonl";
+  const std::string childTrace = outPath + ".trace.child.jsonl";
+  const std::string metricsPath = outPath + ".live-metrics.jsonl";
+  const std::string sock =
+      outPath + ".daemon." + std::to_string(getpid()) + ".sock";
+  std::remove(parentTrace.c_str());
+  std::remove(childTrace.c_str());
+  std::remove(metricsPath.c_str());
+  std::remove(sock.c_str());
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "FAIL: traced daemon: fork failed\n");
+    ok = false;
+    return out;
+  }
+  if (pid == 0) {
+    // Daemon child: its own trace session (started post-fork, so nothing is
+    // shared with the parent's file) and a fast live-export cadence.
+    (void)obs::TraceSession::start(childTrace);
+    service::ServerOptions so;
+    so.listen = "unix:" + sock;
+    so.broker.workers = 1;
+    so.broker.router = routerOptions();
+    so.broker.universe = rules;
+    so.metricsOutPath = metricsPath;
+    so.telemetryIntervalSec = 0.05;
+    service::ServiceServer server(std::move(so));
+    int rc = 1;
+    if (server.start().isOk()) rc = server.run();
+    obs::TraceSession::stop();
+    _exit(rc == 0 ? 0 : 1);
+  }
+
+  // Parent: wait for the socket, then trace our side of the conversation.
+  Status ts = obs::TraceSession::start(parentTrace);
+  if (!ts.isOk()) {
+    std::fprintf(stderr, "FAIL: traced daemon: %s\n", ts.message().c_str());
+    ok = false;
+  }
+  bool legOk = true;
+  {
+    service::ServiceClient client;
+    Status st = Status::error(ErrorCode::kUnavailable, "never connected");
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      st = client.connect("unix:" + sock);
+      if (st.isOk()) break;
+      usleep(50 * 1000);
+    }
+    if (!st.isOk()) {
+      std::fprintf(stderr, "FAIL: traced daemon: %s\n", st.message().c_str());
+      legOk = false;
+    }
+
+    obs::Span root("bench.service");
+    if (legOk) {
+      obs::TraceContext ctx = root.mintContext();
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(ctx.traceId));
+      service::RouteRequest req;
+      req.id = "traced-0";
+      req.clipText = clip::toText(clips.front());
+      req.ruleName = rules.front().name;
+      req.traceId = hex;
+      req.parentSpan = ctx.spanId;
+      auto replyOr = client.call(req);
+      if (!replyOr.isOk()) {
+        std::fprintf(stderr, "FAIL: traced daemon route: %s\n",
+                     replyOr.status().message().c_str());
+        legOk = false;
+      }
+
+      // Live-stats gate: the daemon's own histograms, over the wire.
+      auto statsOr = client.ping();
+      if (!statsOr.isOk()) {
+        std::fprintf(stderr, "FAIL: traced daemon ping: %s\n",
+                     statsOr.status().message().c_str());
+        legOk = false;
+      } else {
+        const service::ServiceStats& s = statsOr.value();
+        out.queueWaitP50Ms = s.queueWait.p50Ms;
+        out.solveP50Ms = s.solveCold.p50Ms;
+        out.pingPercentilesOk = s.queueWait.count > 0 &&
+                                s.queueWait.p50Ms > 0.0 &&
+                                s.solveCold.count > 0 && s.solveCold.p50Ms > 0.0;
+        if (!out.pingPercentilesOk) {
+          std::fprintf(stderr,
+                       "FAIL: ping percentiles not live: queueWait count=%lld "
+                       "p50=%.6fms, solveCold count=%lld p50=%.6fms\n",
+                       static_cast<long long>(s.queueWait.count),
+                       s.queueWait.p50Ms,
+                       static_cast<long long>(s.solveCold.count),
+                       s.solveCold.p50Ms);
+          legOk = false;
+        }
+      }
+      (void)client.sendShutdown();
+    }
+  }  // root span + client close before the trace stops
+
+  int wstatus = 0;
+  if (waitpid(pid, &wstatus, 0) != pid || !WIFEXITED(wstatus) ||
+      WEXITSTATUS(wstatus) != 0) {
+    std::fprintf(stderr, "FAIL: traced daemon exited abnormally\n");
+    legOk = false;
+  }
+  obs::TraceSession::stop();
+
+  // The daemon's live metrics file must have survived with a final row.
+  {
+    std::ifstream metrics(metricsPath);
+    std::string line, last;
+    while (std::getline(metrics, line))
+      if (!line.empty()) last = line;
+    out.metricsFinalRow = last.find("\"final\":true") != std::string::npos;
+    if (!out.metricsFinalRow) {
+      std::fprintf(stderr,
+                   "FAIL: %s missing the exporter's final row\n",
+                   metricsPath.c_str());
+      legOk = false;
+    }
+  }
+
+  // Merge both processes' traces: the daemon's service.request span must be
+  // a stitched child of the bench root, and must not outlast it.
+  auto entriesOr = obs::loadTraces({parentTrace, childTrace}, nullptr);
+  if (!entriesOr.isOk()) {
+    std::fprintf(stderr, "FAIL: traced daemon merge: %s\n",
+                 entriesOr.status().message().c_str());
+    legOk = false;
+  } else {
+    std::uint64_t rootId = 0;
+    std::int64_t rootDur = 0;
+    for (const obs::TraceEntry& e : entriesOr.value()) {
+      if (e.type == "span" && e.name == "bench.service") {
+        rootId = e.id;
+        rootDur = e.dur;
+      }
+    }
+    for (const obs::TraceEntry& e : entriesOr.value()) {
+      if (e.type != "span" || e.name != "service.request") continue;
+      if (e.stitched && e.parent == rootId && rootId != 0) {
+        out.stitched = true;
+        out.workConserved = e.dur <= rootDur;
+      }
+    }
+    if (!out.stitched) {
+      std::fprintf(stderr,
+                   "FAIL: merged trace did not stitch service.request under "
+                   "the bench root (cross-process parent unresolved)\n");
+      legOk = false;
+    } else if (!out.workConserved) {
+      std::fprintf(stderr,
+                   "FAIL: stitched service.request outlasts the bench root "
+                   "span (work conservation violated)\n");
+      legOk = false;
+    }
+  }
+
+  std::remove(sock.c_str());
+  if (!legOk) ok = false;
+  return out;
+}
+
+#endif  // !_WIN32 && OPTR_OBS_ENABLED
+
 void emitJson(const std::string& path, int workers, std::size_t numClips,
               std::size_t numRules, const std::vector<PassOut>& passes,
               double cacheHitRate, double hotSpeedup, int equivalenceChecked,
-              int equivalenceMismatches, const SaturationOut& sat) {
+              int equivalenceMismatches, const SaturationOut& sat,
+              const TracedDaemonOut& traced) {
   std::ofstream out(path);
   out << std::setprecision(17);
   out << "{\n  \"benchmark\": \"bench_service\",\n  \"workers\": " << workers
@@ -285,6 +492,13 @@ void emitJson(const std::string& path, int workers, std::size_t numClips,
       << ", \"completed\": " << sat.acceptedCompleted
       << ", \"saturatedRejects\": " << sat.saturatedRejects << "},\n"
       << "  \"saturatedRejects\": " << sat.saturatedRejects << ",\n"
+      << "  \"tracedDaemon\": {\"ran\": " << (traced.ran ? 1 : 0)
+      << ", \"stitched\": " << (traced.stitched ? 1 : 0)
+      << ", \"workConserved\": " << (traced.workConserved ? 1 : 0)
+      << ", \"pingPercentilesOk\": " << (traced.pingPercentilesOk ? 1 : 0)
+      << ", \"metricsFinalRow\": " << (traced.metricsFinalRow ? 1 : 0)
+      << ", \"queueWaitP50Ms\": " << traced.queueWaitP50Ms
+      << ", \"solveP50Ms\": " << traced.solveP50Ms << "},\n"
       << "  \"passes\": [\n";
   for (std::size_t p = 0; p < passes.size(); ++p) {
     const PassOut& pass = passes[p];
@@ -489,9 +703,17 @@ int main(int argc, char** argv) {
   }
   if (!sat.typedOk) ok = false;
 
+  // ---- gate 4: cross-process trace + live telemetry via a real daemon ----
+  TracedDaemonOut traced;
+#if !defined(_WIN32) && OPTR_OBS_ENABLED
+  traced = runTracedDaemon(clips, rules, outPath, ok);
+#else
+  std::printf("traced daemon leg skipped (needs POSIX + observability)\n");
+#endif
+
   emitJson(outPath, workers, clips.size(), rules.size(), {cold, cached},
            hitRate, hotSpeedup, equivalenceChecked, equivalenceMismatches,
-           sat);
+           sat, traced);
 
   std::printf(
       "bench_service: %zu tasks x 2 passes, workers=%d\n"
@@ -505,5 +727,13 @@ int main(int argc, char** argv) {
       hotSpeedup, provenCold, matrix, sat.submitted, sat.acceptedCompleted,
       sat.saturatedRejects, equivalenceChecked, equivalenceMismatches,
       ok ? "OK" : "FAIL");
+  if (traced.ran) {
+    std::printf(
+        "  traced daemon: stitched=%d workConserved=%d pingLive=%d "
+        "finalMetricsRow=%d (queueWait p50 %.4f ms, solve p50 %.2f ms)\n",
+        traced.stitched ? 1 : 0, traced.workConserved ? 1 : 0,
+        traced.pingPercentilesOk ? 1 : 0, traced.metricsFinalRow ? 1 : 0,
+        traced.queueWaitP50Ms, traced.solveP50Ms);
+  }
   return ok ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #include "harness/lease_table.h"
 #include "harness/sweep_protocol.h"
 #include "harness/sweep_worker.h"
+#include "obs/live_export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -61,6 +62,8 @@ struct Fleet {
   double heartbeatSec;
   bool draining = false;  // shutdown phase: deaths are expected exits
   optr::Rng chaosRng;
+  obs::LiveMetricsExporter exporter;
+  double lastPulse = 0.0;
   std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
 
@@ -74,7 +77,8 @@ struct Fleet {
         heartbeatSec(opts.heartbeatSec > 0.0
                          ? opts.heartbeatSec
                          : std::max(0.05, opts.leaseSec / 4.0)),
-        chaosRng(opts.chaosSeed) {}
+        chaosRng(opts.chaosSeed),
+        exporter({opts.metricsOutPath, opts.telemetryIntervalSec}) {}
 
   double now() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -312,11 +316,30 @@ struct Fleet {
     }
     s.busy = true;
     s.taskKey = g.key();
+    // Cross-process trace context: a short fleet.grant span marks the
+    // grant in the coordinator's tree; its minted context rides the lease
+    // frame so the worker's fleet.task span stitches under it. snprintf
+    // formats the id exactly like the span's own "trace" wire field.
+    std::string traceId;
+    std::uint64_t parentSpan = 0;
+    if (options.propagateTrace) {
+      obs::Span grant("fleet.grant");
+      grant.detail(g.clipId + "|" + g.ruleName);
+      grant.arg("attempt", static_cast<double>(g.attempt));
+      obs::TraceContext ctx = grant.mintContext();
+      if (ctx.valid()) {
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(ctx.traceId));
+        traceId = hex;
+        parentSpan = ctx.spanId;
+      }
+    }
     // A write to a just-died worker fails (SIGPIPE ignored); the EOF path
     // will release the lease and the task re-queues -- nothing to do here.
     (void)writeLine(s.wfd,
                     encodeLease(g.clipId, g.ruleName, options.leaseSec,
-                                g.attempt));
+                                g.attempt, traceId, parentSpan));
   }
 
   void onLine(int slotIdx, const std::string& line, double tnow) {
@@ -422,6 +445,16 @@ struct Fleet {
 
   void tick() {
     double tnow = now();
+
+    // Telemetry cadence, busy or idle: periodic metrics rows (atomic
+    // rename; a SIGKILL'd coordinator still leaves the file) plus a
+    // trace-ring pulse so spans and drop accounting reach the trace file
+    // while the fleet is still running, not only at task boundaries.
+    exporter.tick();
+    if (tnow - lastPulse >= options.telemetryIntervalSec) {
+      obs::TraceSession::pulse();
+      lastPulse = tnow;
+    }
 
     for (std::size_t i = 0; i < slots.size(); ++i) {
       WorkerSlot& s = slots[i];
@@ -610,6 +643,8 @@ FleetReport SweepCoordinator::run(const std::vector<clip::Clip>& clips,
     while (fleet.live()) fleet.tick();
   }
   fleet.teardown();
+  fleet.exporter.finalRow();
+  obs::TraceSession::pulse();
 
   sigaction(SIGPIPE, &old, nullptr);
 

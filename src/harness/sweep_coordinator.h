@@ -93,6 +93,20 @@ struct SweepCoordinatorOptions {
   std::uint64_t chaosSeed = 1;
   double chaosKillProb = 0.0;
   int chaosMaxKills = 0;
+
+  /// Live telemetry (obs/live_export.h): when non-empty, the coordinator
+  /// tick appends a timestamped metrics snapshot-delta row to this file
+  /// every telemetryIntervalSec via atomic rename (a SIGKILL'd coordinator
+  /// still leaves telemetry). The same cadence drives
+  /// obs::TraceSession::pulse(), which runs even when the path is empty.
+  std::string metricsOutPath;
+  double telemetryIntervalSec = 2.0;
+
+  /// Propagate cross-process trace context on lease grants (a short
+  /// fleet.grant span per grant, its context on the lease frame) so worker
+  /// fleet.task spans stitch under the coordinator's tree in a merged
+  /// trace. On by default; costs nothing when tracing is inactive.
+  bool propagateTrace = true;
 };
 
 struct FleetReport {

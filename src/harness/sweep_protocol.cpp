@@ -29,11 +29,17 @@ std::string encodeHello(const std::string& workerId, int pid) {
 }
 
 std::string encodeLease(const std::string& clipId, const std::string& ruleName,
-                        double leaseSec, int attempt) {
+                        double leaseSec, int attempt,
+                        const std::string& traceId, std::uint64_t parentSpan) {
   std::ostringstream os;
   os << "{\"t\":\"lease\",\"clip\":\"" << jsonl::escape(clipId)
      << "\",\"rule\":\"" << jsonl::escape(ruleName)
-     << "\",\"leaseSec\":" << leaseSec << ",\"attempt\":" << attempt << "}";
+     << "\",\"leaseSec\":" << leaseSec << ",\"attempt\":" << attempt;
+  if (!traceId.empty() && parentSpan != 0) {
+    os << ",\"traceId\":\"" << jsonl::escape(traceId)
+       << "\",\"parentSpan\":" << parentSpan;
+  }
+  os << "}";
   return os.str();
 }
 
@@ -87,6 +93,10 @@ SweepMessage decodeMessage(const std::string& line) {
     if (jsonl::getNumber(line, "leaseSec", num)) msg.leaseSec = num;
     if (jsonl::getNumber(line, "attempt", num)) {
       msg.attempt = static_cast<int>(num);
+    }
+    jsonl::getString(line, "traceId", msg.traceId);
+    if (jsonl::getNumber(line, "parentSpan", num)) {
+      msg.parentSpan = static_cast<std::uint64_t>(num);
     }
     msg.type = MsgType::kLease;
     return msg;

@@ -13,7 +13,10 @@
 //     {"t":"nack","clip":"c","rule":"RULE3","error":"unavailable",
 //      "message":"..."}
 //   coordinator -> worker
-//     {"t":"lease","clip":"c","rule":"RULE3","leaseSec":5,"attempt":1}
+//     {"t":"lease","clip":"c","rule":"RULE3","leaseSec":5,"attempt":1,
+//      "traceId":"9f3a6c01d2e4b875","parentSpan":42}  (optional, together:
+//            cross-process trace context -- obs/trace.h -- so the worker's
+//            fleet.task span stitches under the coordinator's grant span)
 //     {"t":"shutdown"}
 //
 // Decoding is torn-line tolerant by construction (common/jsonl.h): any line
@@ -62,6 +65,9 @@ struct SweepMessage {
   // kLease
   double leaseSec = 0.0;
   int attempt = 0;
+  /// Optional cross-process trace context (obs/trace.h); empty/0 = none.
+  std::string traceId;
+  std::uint64_t parentSpan = 0;
   // kNack
   ErrorCode errorCode = ErrorCode::kOk;
   std::string message;
@@ -73,7 +79,9 @@ struct SweepMessage {
 
 std::string encodeHello(const std::string& workerId, int pid);
 std::string encodeLease(const std::string& clipId, const std::string& ruleName,
-                        double leaseSec, int attempt);
+                        double leaseSec, int attempt,
+                        const std::string& traceId = {},
+                        std::uint64_t parentSpan = 0);
 std::string encodeHeartbeat(const std::string& clipId,
                             const std::string& ruleName);
 std::string encodeResult(const BatchRow& row);

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -147,7 +148,17 @@ Status SweepWorker::serve(int inFd, int outFd,
     row.clipId = clip->id;
     row.ruleName = rule->name;
     {
-      obs::Span span("fleet.task");
+      // Remote parent from the lease frame (coordinator's fleet.grant
+      // span), so merged traces stitch this task under the coordinator's
+      // tree. Malformed context degrades to a plain span.
+      obs::TraceContext ctx;
+      if (!msg.traceId.empty() && msg.parentSpan != 0) {
+        char* end = nullptr;
+        ctx.traceId = std::strtoull(msg.traceId.c_str(), &end, 16);
+        if (end == nullptr || *end != '\0') ctx.traceId = 0;
+        ctx.spanId = msg.parentSpan;
+      }
+      obs::Span span("fleet.task", ctx);
       span.detail(clip->id + "|" + rule->name);
       HeartbeatPump pump(outFd, writeMu, clip->id, rule->name,
                          options_.heartbeatSec);

@@ -198,16 +198,31 @@ inline TraceReport analyzeTrace(const std::vector<TraceEntry>& entries) {
   return rep;
 }
 
-/// Merges traces from independent sessions (fleet worker files) into one
-/// entry stream. Every span id is rewritten into a dense per-merge id space
-/// so ids from different files -- or fork children whose pid<<32 offsets
-/// exceed double precision -- cannot collide after the remap. Parent ids
-/// pointing at spans that were never written (dropped records) become 0,
-/// which analyzeTrace already treats as "root for coverage purposes".
-/// Non-span entries (events, metas) pass through with parents remapped.
+/// Merges traces from independent sessions (fleet worker / daemon files)
+/// into one entry stream, stitching causally where trace context allows.
+///
+/// Base layer (unchanged from the dense remap this grew out of): every span
+/// id is rewritten into a dense per-merge id space so ids from different
+/// files -- or fork children whose pid<<32 offsets exceed double precision
+/// -- cannot collide after the remap. Parent ids pointing at spans that
+/// were never written (dropped records) become 0, which analyzeTrace
+/// already treats as "root for coverage purposes". Non-span entries
+/// (events, metas) pass through with parents remapped.
+///
+/// Causal layer: a span carrying cross-process context ("trace" 16-hex id +
+/// "rpar" origin span id, written by Span(name, TraceContext)) gets its
+/// parent resolved ACROSS files to the remapped id of the span that minted
+/// the context (same "trace", original id == rpar, written by
+/// Span::mintContext). One distributed request then renders as a single
+/// tree spanning pids instead of N positional fragments. Unresolvable
+/// context (origin file absent from the merge) falls back to the base
+/// behavior. Stitched entries are flagged (`TraceEntry::stitched`).
 inline std::vector<TraceEntry> mergeTraces(
     std::vector<std::vector<TraceEntry>> traces) {
+  // Pass 1: per-file dense remap, while indexing origin spans by
+  // (trace id, pre-remap span id) -> post-remap id for the causal pass.
   std::vector<TraceEntry> out;
+  std::map<std::pair<std::string, std::uint64_t>, std::uint64_t> byContext;
   std::uint64_t nextId = 1;
   for (std::vector<TraceEntry>& trace : traces) {
     std::map<std::uint64_t, std::uint64_t> remap;
@@ -217,13 +232,26 @@ inline std::vector<TraceEntry> mergeTraces(
       }
     }
     for (TraceEntry& e : trace) {
-      if (e.type == "span" && e.id != 0) e.id = remap[e.id];
+      if (e.type == "span" && e.id != 0) {
+        if (!e.trace.empty())
+          byContext.emplace(std::make_pair(e.trace, e.id), remap[e.id]);
+        e.id = remap[e.id];
+      }
       if (e.parent != 0) {
         auto it = remap.find(e.parent);
         e.parent = it == remap.end() ? 0 : it->second;
       }
       out.push_back(std::move(e));
     }
+  }
+  // Pass 2: resolve remote parents. The origin span indexes itself under
+  // its own id, so only look up spans pointing at a DIFFERENT span.
+  for (TraceEntry& e : out) {
+    if (e.type != "span" || e.trace.empty() || e.remoteParent == 0) continue;
+    auto it = byContext.find(std::make_pair(e.trace, e.remoteParent));
+    if (it == byContext.end() || it->second == e.id) continue;
+    e.parent = it->second;
+    e.stitched = true;
   }
   return out;
 }

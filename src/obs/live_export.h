@@ -1,0 +1,122 @@
+// LiveMetricsExporter: periodic, crash-survivable metrics export for
+// long-lived processes (the `optrouter serve` daemon, the sweep
+// coordinator).
+//
+// The single-shot delta the CLI writes at process exit is useless for a
+// daemon: a SIGKILL (or OOM kill) loses every number. This exporter is
+// driven from the host's existing idle tick (the daemon's poll loop, the
+// coordinator's tick()) and, every `intervalSec`, appends one timestamped
+// JSONL row holding the MetricsRegistry snapshot-delta SINCE THE PREVIOUS
+// ROW -- each row is a rate sample over its interval, and summing a column
+// over all rows reconstructs the process-lifetime delta.
+//
+// Crash safety is atomic-rename, not append: every flush rewrites the full
+// accumulated row set to `<path>.tmp`, fsyncs, and rename()s over `path`.
+// At any instant -- including mid-SIGKILL -- `path` is either absent or a
+// complete, parseable JSONL file; there is never a torn tail line. The
+// row count of these files is bounded by process lifetime / interval, so
+// the rewrite stays cheap at any realistic cadence.
+//
+// Row schema (one flat-topped object per line; "metrics" nests the
+// MetricsSnapshot::toJson object, histograms included):
+//   {"t":"metrics","seq":0,"ts":1754640000.123,"uptimeSec":2.0,
+//    "intervalSec":2.0,"metrics":{"service.request.accepted":5,...}}
+// A final row written by finalRow() (graceful shutdown) additionally
+// carries "final":true.
+//
+// Works identically in OPTR_OBS_DISABLED builds: rows are still written on
+// cadence, with an empty "metrics":{} payload -- liveness telemetry (seq,
+// ts, uptime) does not depend on the metrics registry being compiled in.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace optr::obs {
+
+struct LiveExportOptions {
+  /// Destination file; empty disables the exporter entirely.
+  std::string path;
+  /// Cadence between rows. tick() calls more frequent than this are no-ops.
+  double intervalSec = 2.0;
+};
+
+class LiveMetricsExporter {
+ public:
+  explicit LiveMetricsExporter(LiveExportOptions options)
+      : options_(std::move(options)),
+        start_(std::chrono::steady_clock::now()),
+        lastRow_(start_),
+        previous_(metrics().snapshot()) {}
+
+  bool enabled() const { return !options_.path.empty(); }
+
+  /// Writes a row when the interval has elapsed since the last one. Call
+  /// from the host's idle loop at any frequency >= the interval. Returns
+  /// true when a row was written.
+  bool tick() {
+    if (!enabled()) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - lastRow_).count() <
+        options_.intervalSec) {
+      return false;
+    }
+    writeRow(/*final=*/false);
+    return true;
+  }
+
+  /// Unconditionally writes a closing row (graceful shutdown), so the file
+  /// always accounts for the tail interval. No-op when disabled.
+  void finalRow() {
+    if (!enabled()) return;
+    writeRow(/*final=*/true);
+  }
+
+  int rowsWritten() const { return seq_; }
+
+ private:
+  void writeRow(bool final) {
+    const auto now = std::chrono::steady_clock::now();
+    MetricsSnapshot current = metrics().snapshot();
+    MetricsSnapshot delta = MetricsSnapshot::delta(current, previous_);
+    const double ts =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    char head[192];
+    std::snprintf(head, sizeof head,
+                  "{\"t\":\"metrics\",\"seq\":%d,\"ts\":%.3f,"
+                  "\"uptimeSec\":%.3f,\"intervalSec\":%.3f,%s\"metrics\":",
+                  seq_, ts,
+                  std::chrono::duration<double>(now - start_).count(),
+                  std::chrono::duration<double>(now - lastRow_).count(),
+                  final ? "\"final\":true," : "");
+    rows_ += head;
+    rows_ += delta.toJson();
+    rows_ += "}\n";
+    ++seq_;
+    previous_ = std::move(current);
+    lastRow_ = now;
+
+    // Atomic replace: the published file is always complete.
+    const std::string tmp = options_.path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) return;  // telemetry must never take the host down
+    bool ok = std::fwrite(rows_.data(), 1, rows_.size(), f) == rows_.size();
+    ok = std::fflush(f) == 0 && ok;
+    std::fclose(f);
+    if (ok) std::rename(tmp.c_str(), options_.path.c_str());
+  }
+
+  LiveExportOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lastRow_;
+  MetricsSnapshot previous_;
+  std::string rows_;
+  int seq_ = 0;
+};
+
+}  // namespace optr::obs

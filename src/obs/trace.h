@@ -45,6 +45,17 @@
 //    "args":{"obj":17}}
 //   {"t":"meta","droppedTid":3,"droppedCount":5,"pid":1234}   (per thread)
 //   {"t":"meta","end":true,"durNs":99,"dropped":5}
+//
+// Cross-process propagation (additive v2 fields, version unchanged --
+// readers ignore unknown keys): a span that participates in a distributed
+// request additionally carries
+//   "trace":"9f3a6c01d2e4b875"    16-hex trace id shared by every process
+//   "rpar":42                     span id of the parent IN ANOTHER process
+// The origin side mints the context (Span::mintContext) and ships it over
+// the wire (service/sweep protocol traceId+parentSpan fields); the remote
+// side opens its span with Span(name, TraceContext). analyze.h's
+// mergeTraces resolves "rpar" across files into real parent edges so one
+// request renders as a single causal tree spanning pids.
 #pragma once
 
 #include "obs/metrics.h"  // defines OPTR_OBS_ENABLED
@@ -92,6 +103,17 @@ struct TraceOptions {
   std::size_t ringCapacity = std::size_t{1} << 14;
 };
 
+/// Cross-process trace context: a process-agnostic trace id plus the span
+/// id of the parent in the originating process. Minted on the origin side
+/// (Span::mintContext), shipped over a wire protocol, and handed to the
+/// Span(name, TraceContext) constructor on the remote side. A
+/// default-constructed context is inert everywhere.
+struct TraceContext {
+  std::uint64_t traceId = 0;  // 0 = no context
+  std::uint64_t spanId = 0;   // origin-process span id (the remote parent)
+  bool valid() const { return traceId != 0 && spanId != 0; }
+};
+
 #if OPTR_OBS_ENABLED
 
 namespace trace_detail {
@@ -113,6 +135,8 @@ struct TraceRecord {
   std::uint8_t numAttrs = 0;
   std::uint64_t id = 0;      // span id; 0 for events
   std::uint64_t parent = 0;  // 0 = root
+  std::uint64_t traceId = 0;       // cross-process trace id; 0 = none
+  std::uint64_t remoteParent = 0;  // parent span id in another process
   std::int64_t tsNs = 0;     // absolute steady-clock ns; flush rebases
   std::int64_t durNs = 0;    // 0 for events
   const char* name = "";     // static storage only
@@ -138,6 +162,9 @@ struct Ring {
   std::atomic<std::uint64_t> head{0};  // next write; producer-owned
   std::atomic<std::uint64_t> tail{0};  // next read; consumer-owned
   std::atomic<std::uint64_t> dropped{0};
+  /// Portion of `dropped` already covered by an emitted drop-meta line, so
+  /// cadence flushes (pulse) report deltas, never double-count.
+  std::atomic<std::uint64_t> droppedReported{0};
   std::uint64_t generation = 0;  // session this ring belongs to
   std::uint32_t tid = 0;
 
@@ -250,6 +277,16 @@ inline void formatRecord(const TraceRecord& r, std::uint32_t tid,
                   static_cast<unsigned long long>(r.parent));
     out += buf;
   }
+  if (r.traceId != 0) {
+    std::snprintf(buf, sizeof buf, ",\"trace\":\"%016llx\"",
+                  static_cast<unsigned long long>(r.traceId));
+    out += buf;
+  }
+  if (r.remoteParent != 0) {
+    std::snprintf(buf, sizeof buf, ",\"rpar\":%llu",
+                  static_cast<unsigned long long>(r.remoteParent));
+    out += buf;
+  }
   if (r.detail[0] != 0) {
     out += ",\"detail\":\"";
     appendEscaped(out, r.detail);
@@ -326,9 +363,12 @@ inline std::uint64_t sessionDroppedLocked(State& s) {
   return total;
 }
 
-/// One meta line per current-generation ring that dropped records, so the
-/// reader can tell *which* thread (and, across fork isolation, which
-/// process) lost spans rather than only a global sum. Caller holds mu.
+/// One meta line per current-generation ring that dropped records SINCE THE
+/// LAST drop meta, so the reader can tell *which* thread (and, across fork
+/// isolation, which process) lost spans rather than only a global sum.
+/// Counts are deltas: cadence flushes (pulse) call this repeatedly and a
+/// ring whose losses were already reported stays silent; summing every
+/// droppedCount for a tid reconstructs its session total. Caller holds mu.
 inline void writeDropMetasLocked(State& s) {
   if (s.fd < 0) return;
   const std::uint64_t gen = s.generation.load(std::memory_order_relaxed);
@@ -337,13 +377,16 @@ inline void writeDropMetasLocked(State& s) {
   for (const auto& ring : s.rings) {
     if (ring->generation != gen) continue;
     const std::uint64_t d = ring->dropped.load(std::memory_order_relaxed);
-    if (d == 0) continue;
+    const std::uint64_t seen =
+        ring->droppedReported.load(std::memory_order_relaxed);
+    if (d <= seen) continue;
     std::snprintf(line, sizeof line,
                   "{\"t\":\"meta\",\"droppedTid\":%u,\"droppedCount\":%llu,"
                   "\"pid\":%lld}\n",
-                  ring->tid, static_cast<unsigned long long>(d),
+                  ring->tid, static_cast<unsigned long long>(d - seen),
                   static_cast<long long>(::getpid()));
     buf += line;
+    ring->droppedReported.store(d, std::memory_order_relaxed);
   }
   if (!buf.empty()) writeAll(s.fd, buf);
 }
@@ -425,6 +468,50 @@ class TraceSession {
     trace_detail::drainLocked(s);
   }
 
+  /// Cadence/idle flush: drains the rings AND emits per-thread drop-meta
+  /// deltas for records lost since the previous pulse (or session start).
+  /// Long-lived daemons call this on their poll tick so an idle process
+  /// never strands spans in memory and ring overflow is visible in the
+  /// file while the process is still alive -- not only at stop()/fork.
+  /// Cheap (one acquire load) when no session is active.
+  static void pulse() {
+    trace_detail::State& s = trace_detail::state();
+    if (!s.active.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(s.mu);
+    trace_detail::drainLocked(s);
+    trace_detail::writeDropMetasLocked(s);
+  }
+
+  /// Mints a process-unique, nonzero 64-bit trace id for cross-process
+  /// propagation (pid- and time-salted so ids from independently started
+  /// processes do not collide). Usable whether or not a session is active.
+  static std::uint64_t mintTraceId() {
+    static std::atomic<std::uint64_t> counter{0};
+    std::uint64_t x = (static_cast<std::uint64_t>(::getpid()) << 40) ^
+                      static_cast<std::uint64_t>(trace_detail::nowNs()) ^
+                      (counter.fetch_add(1, std::memory_order_relaxed) << 56);
+    // splitmix64 finalizer: spreads pid/time structure over all 64 bits.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x == 0 ? 1 : x;
+  }
+
+  /// Fork-child hook for children that want their OWN trace file instead of
+  /// appending to the inherited one: closes the inherited descriptor
+  /// without writing anything (no footer -- that is the parent's to write)
+  /// and deactivates the session so the child can start() a fresh file.
+  /// No-op when no session is active.
+  static void abandon() {
+    trace_detail::State& s = trace_detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.active.load(std::memory_order_relaxed)) return;
+    s.active.store(false, std::memory_order_release);
+    ::close(s.fd);
+    s.fd = -1;
+  }
+
   /// Id of the calling thread's innermost live span (0 = none). Hand it to
   /// the parent-override Span constructor to nest work done on *another*
   /// thread (e.g. MIP workers under the mip.solve span).
@@ -444,6 +531,7 @@ class TraceSession {
       // Drop counts inherited from the parent are the parent's to report;
       // the child's per-thread drop metas must cover only its own losses.
       ring->dropped.store(0, std::memory_order_relaxed);
+      ring->droppedReported.store(0, std::memory_order_relaxed);
     }
     s.nextSpanId.fetch_add(idOffset, std::memory_order_relaxed);
   }
@@ -483,6 +571,16 @@ class Span {
   /// calling thread's current span.
   Span(const char* name, std::uint64_t parentOverride) : Span(name) {
     if (live_) rec_.parent = parentOverride;
+  }
+  /// Same, but additionally tagged with a REMOTE parent: the span keeps its
+  /// local parent (so the in-process tree stays intact) and records the
+  /// trace id + origin span id from `ctx`; mergeTraces resolves the edge
+  /// across files. An invalid context degrades to the plain constructor.
+  Span(const char* name, const TraceContext& ctx) : Span(name) {
+    if (live_ && ctx.valid()) {
+      rec_.traceId = ctx.traceId;
+      rec_.remoteParent = ctx.spanId;
+    }
   }
   ~Span() { end(); }
   Span(const Span&) = delete;
@@ -524,6 +622,17 @@ class Span {
 
   /// Span id for tests; 0 when tracing was inactive at construction.
   std::uint64_t id() const { return live_ ? rec_.id : 0; }
+
+  /// Marks this span as a cross-process origin and returns the context to
+  /// ship over the wire: mints a trace id on first call (reused on repeat
+  /// calls) and pairs it with this span's id. The span's own record then
+  /// carries the "trace" field so mergeTraces can find it as the remote
+  /// parent. Returns an invalid (inert) context when tracing is inactive.
+  TraceContext mintContext() {
+    if (!live_) return TraceContext{};
+    if (rec_.traceId == 0) rec_.traceId = TraceSession::mintTraceId();
+    return TraceContext{rec_.traceId, rec_.id};
+  }
 
  private:
   trace_detail::TraceRecord rec_;
@@ -568,6 +677,9 @@ class TraceSession {
   static void stop() {}
   static bool active() { return false; }
   static void flushAll() {}
+  static void pulse() {}
+  static std::uint64_t mintTraceId() { return 0; }
+  static void abandon() {}
   static std::uint64_t currentSpanId() { return 0; }
   static void onFork(std::uint64_t) {}
   static void emitThreadDrops() {}
@@ -577,6 +689,7 @@ class Span {
  public:
   explicit Span(const char*) {}
   Span(const char*, std::uint64_t) {}
+  Span(const char*, const TraceContext&) {}
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   void detail(std::string_view) {}
@@ -584,6 +697,7 @@ class Span {
   void attr(const char*, std::string_view) {}
   void end() {}
   std::uint64_t id() const { return 0; }
+  TraceContext mintContext() { return TraceContext{}; }
 };
 
 inline void event(const char*, std::string_view = {},

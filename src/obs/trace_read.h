@@ -42,6 +42,11 @@ struct TraceEntry {
   std::uint32_t tid = 0;
   std::uint64_t id = 0;
   std::uint64_t parent = 0;
+  std::string trace;  // 16-hex cross-process trace id; empty = none
+  std::uint64_t remoteParent = 0;  // origin-process parent span id ("rpar")
+  /// Set by mergeTraces when `remoteParent` was resolved to a span in
+  /// another file and `parent` now points at it (never set by loadTrace).
+  bool stitched = false;
   std::int64_t ts = 0;   // ns since session start
   std::int64_t dur = 0;  // ns; 0 for events
   std::vector<std::pair<std::string, double>> args;
@@ -305,6 +310,9 @@ inline bool parseTraceLine(std::string_view line, TraceEntry& out) {
     out.id = static_cast<std::uint64_t>(num);
   if (d::parseNumber(line, "par", num))
     out.parent = static_cast<std::uint64_t>(num);
+  d::parseString(line, "trace", out.trace);
+  if (d::parseNumber(line, "rpar", num))
+    out.remoteParent = static_cast<std::uint64_t>(num);
   if (d::parseNumber(line, "ts", num)) out.ts = static_cast<std::int64_t>(num);
   if (d::parseNumber(line, "dur", num))
     out.dur = static_cast<std::int64_t>(num);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "clip/clip_io.h"
 #include "obs/metrics.h"
@@ -17,6 +18,36 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+double nsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Wire trace context -> obs context. The 16-hex trace id parses leniently:
+/// malformed input degrades to "no context", never to an error.
+obs::TraceContext contextOf(const RouteRequest& request) {
+  obs::TraceContext ctx;
+  if (request.traceId.empty() || request.parentSpan == 0) return ctx;
+  char* end = nullptr;
+  ctx.traceId = std::strtoull(request.traceId.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0') return obs::TraceContext{};
+  ctx.spanId = request.parentSpan;
+  return ctx;
+}
+
+/// ns-valued lifecycle histogram -> protocol quad (ms).
+StatsQuad quadOf(const obs::MetricsSnapshot& snap, std::string_view name) {
+  StatsQuad q;
+  const obs::MetricsSnapshot::Entry* e = snap.find(name);
+  if (e == nullptr) return q;
+  q.count = e->count;
+  q.p50Ms = e->percentile(0.50) / 1e6;
+  q.p95Ms = e->percentile(0.95) / 1e6;
+  q.p99Ms = e->percentile(0.99) / 1e6;
+  return q;
 }
 
 }  // namespace
@@ -58,7 +89,8 @@ bool RequestBroker::submit(const std::string& clientId, RouteRequest request) {
     } else {
       ++stats_.accepted;
       ++pendingByClient_[clientId];
-      queue_.push_back(Task{clientId, std::move(request)});
+      queue_.push_back(Task{clientId, std::move(request),
+                            std::chrono::steady_clock::now()});
       frame = encodeStatus(queue_.back().request.id, "queued",
                            static_cast<int>(queue_.size()));
       accepted = true;
@@ -135,6 +167,27 @@ RequestBroker::Stats RequestBroker::stats() const {
   return stats_;
 }
 
+ServiceStats RequestBroker::liveStats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.pending = static_cast<std::int64_t>(queue_.size() + inFlight_);
+    out.accepted = static_cast<std::int64_t>(stats_.accepted);
+    out.completed = static_cast<std::int64_t>(stats_.completed);
+    out.cacheHits = static_cast<std::int64_t>(stats_.cacheHits);
+    out.rejectedSaturated =
+        static_cast<std::int64_t>(stats_.rejectedSaturated);
+  }
+  out.uptimeSec = secondsSince(started_);
+  obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  out.queueWait = quadOf(snap, "service.queue_wait_ns");
+  out.lease = quadOf(snap, "service.lease_ns");
+  out.solveCold = quadOf(snap, "service.solve_ns.cold");
+  out.solveHit = quadOf(snap, "service.solve_ns.hit");
+  out.replyWrite = quadOf(snap, "service.reply_write_ns");
+  return out;
+}
+
 void RequestBroker::workerLoop() {
   for (;;) {
     Task task;
@@ -162,7 +215,10 @@ void RequestBroker::workerLoop() {
 
 void RequestBroker::serve(const Task& task) {
   auto start = std::chrono::steady_clock::now();
-  obs::Span span("service.request");
+  obs::metrics()
+      .histogram("service.queue_wait_ns")
+      .record(nsSince(task.enqueuedAt));
+  obs::Span span("service.request", contextOf(task.request));
   span.detail(task.request.ruleName + "|" + task.request.id);
 
   auto clipOr = clip::fromText(task.request.clipText);
@@ -211,7 +267,12 @@ void RequestBroker::serve(const Task& task) {
       ++stats_.cacheHits;
     }
     span.arg("cached", 1);
+    obs::metrics().histogram("service.solve_ns.hit").record(nsSince(start));
+    const auto replyStart = std::chrono::steady_clock::now();
     sink_(task.clientId, encodeResult(reply));
+    obs::metrics()
+        .histogram("service.reply_write_ns")
+        .record(nsSince(replyStart));
     return;
   }
 
@@ -219,7 +280,12 @@ void RequestBroker::serve(const Task& task) {
   RouteReply reply = solveFresh(task, clip, *rule, effective, key);
   reply.seconds = secondsSince(start);
   span.arg("cached", 0);
+  obs::metrics().histogram("service.solve_ns.cold").record(nsSince(start));
+  const auto replyStart = std::chrono::steady_clock::now();
   sink_(task.clientId, encodeResult(reply));
+  obs::metrics()
+      .histogram("service.reply_write_ns")
+      .record(nsSince(replyStart));
 }
 
 RouteReply RequestBroker::solveFresh(const Task& task, const clip::Clip& clip,
@@ -239,6 +305,7 @@ RouteReply RequestBroker::solveFresh(const Task& task, const clip::Clip& clip,
 
   std::string sessionKey =
       core::sessionCacheKey(clip, effective.formulation).hex();
+  const auto leaseStart = std::chrono::steady_clock::now();
   core::SessionPool::Lease lease = sessionPool_.acquire(sessionKey, [&] {
     core::ClipSessionOptions so;
     so.formulation = effective.formulation;
@@ -246,6 +313,7 @@ RouteReply RequestBroker::solveFresh(const Task& task, const clip::Clip& clip,
     return std::make_unique<core::ClipSession>(clip, techOr.value(),
                                                std::move(so));
   });
+  obs::metrics().histogram("service.lease_ns").record(nsSince(leaseStart));
 
   core::OptRouter router(techOr.value(), rule, effective);
   core::RouteResult res = router.route(*lease, rule);

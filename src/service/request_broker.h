@@ -21,8 +21,22 @@
 // the pool (sessionCacheKey), solve, store when cacheableOutcome, reply.
 // stop(drain=true) -- the SIGTERM path -- stops admission, finishes every
 // queued request, and joins; stop(drain=false) rejects the backlog instead.
+//
+// Telemetry. Every request feeds the global request-lifecycle histograms
+// (obs/metrics.h, nanosecond-valued):
+//   service.queue_wait_ns    admission -> worker pickup
+//   service.lease_ns         SessionPool::acquire (cold requests only)
+//   service.solve_ns.cold    serve() wall on a cache miss
+//   service.solve_ns.hit     serve() wall on a cache hit
+//   service.reply_write_ns   encode + sink of the result frame
+// liveStats() folds their live percentiles (plus the counters) into a
+// protocol ServiceStats, which is what a kPing frame gets back. A request
+// carrying trace context (RouteRequest::traceId/parentSpan) gets its
+// service.request span tagged with that remote parent so merged traces
+// stitch it under the client's span.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -95,6 +109,12 @@ class RequestBroker {
   };
   Stats stats() const;
 
+  /// Live telemetry for a kPing frame: the counters above plus current
+  /// percentiles of the request-lifecycle histograms (converted ns -> ms).
+  /// Percentiles are zero in OPTR_OBS_DISABLED builds; counters are exact
+  /// either way.
+  ServiceStats liveStats() const;
+
   ResultCache& cache() { return cache_; }
   core::SessionPool& sessionPool() { return sessionPool_; }
   const BrokerOptions& options() const { return options_; }
@@ -103,6 +123,7 @@ class RequestBroker {
   struct Task {
     std::string clientId;
     RouteRequest request;
+    std::chrono::steady_clock::time_point enqueuedAt;
   };
 
   void workerLoop();
@@ -116,6 +137,8 @@ class RequestBroker {
   Sink sink_;
   ResultCache cache_;
   core::SessionPool sessionPool_;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 
   mutable std::mutex mutex_;
   std::condition_variable workReady_;

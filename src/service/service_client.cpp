@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -127,6 +128,21 @@ StatusOr<RouteReply> ServiceClient::call(const RouteRequest& request) {
   }
   return Status::error(ErrorCode::kUnavailable,
                        "connection lost awaiting result for " + request.id);
+}
+
+StatusOr<ServiceStats> ServiceClient::ping() {
+  if (fd_ < 0) return Status::error(ErrorCode::kUnavailable, "not connected");
+  static std::atomic<std::uint64_t> pingSeq{0};
+  const std::string id =
+      "ping" + std::to_string(pingSeq.fetch_add(1, std::memory_order_relaxed));
+  if (!common::writeLine(fd_, encodePing(id)))
+    return Status::error(ErrorCode::kIo, "service connection lost");
+  ServiceFrame frame;
+  while (next(frame)) {
+    if (frame.type == FrameType::kStats && frame.id == id) return frame.stats;
+  }
+  return Status::error(ErrorCode::kUnavailable,
+                       "connection lost awaiting stats for " + id);
 }
 
 }  // namespace optr::service

@@ -47,6 +47,11 @@ class ServiceClient {
   /// reject comes back as an error Status carrying the typed code.
   StatusOr<RouteReply> call(const RouteRequest& request);
 
+  /// Pings the daemon and blocks for its live-stats frame: broker counters
+  /// plus request-lifecycle percentiles (queue-wait / lease / solve /
+  /// reply-write). kUnavailable on connection loss.
+  StatusOr<ServiceStats> ping();
+
  private:
   int fd_ = -1;
   std::unique_ptr<common::LineReader> reader_;

@@ -44,6 +44,8 @@ const char* toString(FrameType t) {
     case FrameType::kResult: return "result";
     case FrameType::kReject: return "reject";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kPing: return "ping";
+    case FrameType::kStats: return "stats";
     case FrameType::kGarbled: return "garbled";
     case FrameType::kNumTypes: break;
   }
@@ -64,6 +66,10 @@ std::string encodeRoute(const RouteRequest& request) {
      << escape(request.ruleName) << "\"";
   if (request.timeLimitSec > 0)
     os << ",\"timeLimitSec\":" << num(request.timeLimitSec);
+  if (!request.traceId.empty() && request.parentSpan != 0) {
+    os << ",\"traceId\":\"" << escape(request.traceId)
+       << "\",\"parentSpan\":" << request.parentSpan;
+  }
   os << "}";
   return os.str();
 }
@@ -103,6 +109,50 @@ std::string encodeReject(const std::string& id, ErrorCode code,
 
 std::string encodeShutdown() { return "{\"t\":\"shutdown\"}"; }
 
+std::string encodePing(const std::string& id) {
+  return "{\"t\":\"ping\",\"id\":\"" + escape(id) + "\"}";
+}
+
+namespace {
+
+void encodeQuad(std::ostringstream& os, const char* key,
+                const StatsQuad& q) {
+  os << ",\"" << key << "Count\":" << q.count << ",\"" << key
+     << "P50Ms\":" << num(q.p50Ms) << ",\"" << key
+     << "P95Ms\":" << num(q.p95Ms) << ",\"" << key
+     << "P99Ms\":" << num(q.p99Ms);
+}
+
+void decodeQuad(const std::string& line, const char* key, StatsQuad& q) {
+  const std::string k = key;
+  double v = 0;
+  if (getNumber(line, (k + "Count").c_str(), v))
+    q.count = static_cast<std::int64_t>(v);
+  if (getNumber(line, (k + "P50Ms").c_str(), v)) q.p50Ms = v;
+  if (getNumber(line, (k + "P95Ms").c_str(), v)) q.p95Ms = v;
+  if (getNumber(line, (k + "P99Ms").c_str(), v)) q.p99Ms = v;
+}
+
+}  // namespace
+
+std::string encodeStats(const std::string& id, const ServiceStats& stats) {
+  std::ostringstream os;
+  os << "{\"t\":\"stats\",\"id\":\"" << escape(id)
+     << "\",\"uptimeSec\":" << num(stats.uptimeSec)
+     << ",\"pending\":" << stats.pending
+     << ",\"accepted\":" << stats.accepted
+     << ",\"completed\":" << stats.completed
+     << ",\"cacheHits\":" << stats.cacheHits
+     << ",\"rejectedSaturated\":" << stats.rejectedSaturated;
+  encodeQuad(os, "queueWait", stats.queueWait);
+  encodeQuad(os, "lease", stats.lease);
+  encodeQuad(os, "solveCold", stats.solveCold);
+  encodeQuad(os, "solveHit", stats.solveHit);
+  encodeQuad(os, "replyWrite", stats.replyWrite);
+  os << "}";
+  return os.str();
+}
+
 ServiceFrame decodeFrame(const std::string& line) {
   ServiceFrame frame;
   std::string t;
@@ -122,7 +172,39 @@ ServiceFrame decodeFrame(const std::string& line) {
     if (!getString(line, "clip", frame.request.clipText)) return frame;
     if (!getString(line, "rule", frame.request.ruleName)) return frame;
     if (getNumber(line, "timeLimitSec", v)) frame.request.timeLimitSec = v;
+    getString(line, "traceId", frame.request.traceId);
+    if (getNumber(line, "parentSpan", v))
+      frame.request.parentSpan = static_cast<std::uint64_t>(v);
     frame.type = FrameType::kRoute;
+    return frame;
+  }
+
+  if (t == "ping") {
+    if (!getString(line, "id", frame.id)) return frame;
+    frame.type = FrameType::kPing;
+    return frame;
+  }
+
+  if (t == "stats") {
+    if (!getString(line, "id", frame.id)) return frame;
+    ServiceStats& st = frame.stats;
+    if (getNumber(line, "uptimeSec", v)) st.uptimeSec = v;
+    if (getNumber(line, "pending", v))
+      st.pending = static_cast<std::int64_t>(v);
+    if (getNumber(line, "accepted", v))
+      st.accepted = static_cast<std::int64_t>(v);
+    if (getNumber(line, "completed", v))
+      st.completed = static_cast<std::int64_t>(v);
+    if (getNumber(line, "cacheHits", v))
+      st.cacheHits = static_cast<std::int64_t>(v);
+    if (getNumber(line, "rejectedSaturated", v))
+      st.rejectedSaturated = static_cast<std::int64_t>(v);
+    decodeQuad(line, "queueWait", st.queueWait);
+    decodeQuad(line, "lease", st.lease);
+    decodeQuad(line, "solveCold", st.solveCold);
+    decodeQuad(line, "solveHit", st.solveHit);
+    decodeQuad(line, "replyWrite", st.replyWrite);
+    frame.type = FrameType::kStats;
     return frame;
   }
 

@@ -8,10 +8,20 @@
 //
 //   client -> server
 //     {"t":"route","id":"r17","clip":"<clip text>","rule":"RULE3",
-//      "timeLimitSec":120}                           (timeLimitSec optional)
+//      "timeLimitSec":120,                           (timeLimitSec optional)
+//      "traceId":"9f3a6c01d2e4b875","parentSpan":42}    (optional, together:
+//                        cross-process trace context -- obs/trace.h -- so the
+//                        daemon's service.request span stitches under the
+//                        client's span in a merged trace)
+//     {"t":"ping","id":"p1"}     request a live stats frame (no solve work)
 //     {"t":"shutdown"}           drain in-flight work, then stop the daemon
 //   server -> client
 //     {"t":"hello","proto":1,"server":"optrouter"}
+//     {"t":"stats","id":"p1","uptimeSec":12.5,"pending":3,"accepted":100,
+//      "completed":96,"cacheHits":40,"rejectedSaturated":1,
+//      "queueWaitCount":96,"queueWaitP50Ms":0.21,"queueWaitP95Ms":1.7,
+//      "queueWaitP99Ms":4.0, ... same Count/P50/P95/P99 quads for
+//      "lease","solveCold","solveHit","replyWrite"}   (broker histograms)
 //     {"t":"status","id":"r17","state":"queued","queueDepth":3}
 //     {"t":"status","id":"r17","state":"running"}
 //     {"t":"result","id":"r17","status":"optimal","provenance":"ilp_proven",
@@ -48,6 +58,8 @@ enum class FrameType : std::uint8_t {
   kResult,
   kReject,
   kShutdown,
+  kPing,   // client -> server: request a kStats frame
+  kStats,  // server -> client: live broker lifecycle percentiles
   /// Decode failure: not a frame type on the wire, but what decodeFrame()
   /// reports for a truncated, corrupt, or unknown line.
   kGarbled,
@@ -66,6 +78,11 @@ struct RouteRequest {
   /// Overrides the daemon's MIP time limit when > 0. A request that sets
   /// this gets its own cache slot (the limit is part of the cache key).
   double timeLimitSec = 0.0;
+  /// Cross-process trace context (obs/trace.h): 16-hex trace id plus the
+  /// client-side parent span id. Both empty/0 (the default) means no
+  /// context; neither participates in the cache key.
+  std::string traceId;
+  std::uint64_t parentSpan = 0;
 };
 
 /// One route answer. Mirrors core::RouteResult plus service metadata.
@@ -87,6 +104,34 @@ struct RouteReply {
   std::string solutionText;  // route::solutionToText, empty when no solution
 };
 
+/// One request-lifecycle histogram summary inside a kStats frame: count of
+/// recorded samples plus live percentiles in milliseconds. Percentiles are
+/// HDR-bucket midpoints (obs/metrics.h), 0 when count is 0 or the build
+/// compiled observability out.
+struct StatsQuad {
+  std::int64_t count = 0;
+  double p50Ms = 0.0;
+  double p95Ms = 0.0;
+  double p99Ms = 0.0;
+};
+
+/// Live service telemetry returned for a ping: broker counters plus the
+/// request-lifecycle histograms (request_broker.h records them in
+/// nanoseconds; this frame reports milliseconds).
+struct ServiceStats {
+  double uptimeSec = 0.0;
+  std::int64_t pending = 0;  // queued + in-flight
+  std::int64_t accepted = 0;
+  std::int64_t completed = 0;
+  std::int64_t cacheHits = 0;
+  std::int64_t rejectedSaturated = 0;
+  StatsQuad queueWait;   // admission -> worker pickup
+  StatsQuad lease;       // session-pool acquire (cold requests)
+  StatsQuad solveCold;   // full solve wall (cache miss)
+  StatsQuad solveHit;    // replay wall (cache hit)
+  StatsQuad replyWrite;  // encode + sink of the result frame
+};
+
 /// One decoded protocol line. Only the fields of the given type are
 /// meaningful.
 struct ServiceFrame {
@@ -104,6 +149,8 @@ struct ServiceFrame {
   std::string message;                   // kReject
   // kResult
   RouteReply reply;
+  // kStats (and kPing carries its id above)
+  ServiceStats stats;
 };
 
 std::string encodeHello(const std::string& serverId);
@@ -114,6 +161,8 @@ std::string encodeResult(const RouteReply& reply);
 std::string encodeReject(const std::string& id, ErrorCode code,
                          const std::string& message);
 std::string encodeShutdown();
+std::string encodePing(const std::string& id);
+std::string encodeStats(const std::string& id, const ServiceStats& stats);
 
 /// Decodes one line (without the trailing '\n'). Never throws; anything
 /// undecodable comes back as kGarbled.

@@ -12,12 +12,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "common/stop_signal.h"
+#include "obs/live_export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace optr::service {
 
@@ -187,6 +190,8 @@ void ServiceServer::handleReadable(Client& client) {
     ServiceFrame frame = decodeFrame(line);
     if (frame.type == FrameType::kRoute) {
       broker_->submit(client.id, std::move(frame.request));
+    } else if (frame.type == FrameType::kPing) {
+      enqueueFrame(client.id, encodeStats(frame.id, broker_->liveStats()));
     } else if (frame.type == FrameType::kShutdown) {
       shutdownRequested_ = true;
     }
@@ -221,6 +226,9 @@ void ServiceServer::dropClient(const std::string& id) {
 int ServiceServer::run() {
   common::installStopSignals();
   obs::event("service.start", boundAddress_);
+  obs::LiveMetricsExporter exporter(
+      {options_.metricsOutPath, options_.telemetryIntervalSec});
+  auto lastPulse = std::chrono::steady_clock::now();
 
   while (!common::stopRequested() && !shutdownRequested_) {
     std::vector<pollfd> fds;
@@ -241,6 +249,19 @@ int ServiceServer::run() {
     int n = poll(fds.data(), fds.size(), 200);
     if (n < 0 && errno != EINTR) break;
     if (common::stopRequested() || shutdownRequested_) break;
+
+    // Telemetry cadence, busy or idle: periodic metrics rows (atomic
+    // rename; a later SIGKILL still leaves the file) and a trace-ring
+    // pulse so an idle daemon never strands spans (or drop accounting)
+    // in memory until shutdown.
+    exporter.tick();
+    const auto tnow = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(tnow - lastPulse).count() >=
+        options_.telemetryIntervalSec) {
+      obs::TraceSession::pulse();
+      lastPulse = tnow;
+    }
+
     if (n <= 0) continue;
 
     if (fds[1].revents & POLLIN) {
@@ -304,6 +325,10 @@ int ServiceServer::run() {
   for (const std::string& id : all) dropClient(id);
   if (address_.isUnix) unlink(address_.path.c_str());
   obs::event("service.stop", "");
+  // Account the tail interval (and the drain itself) before exiting, so a
+  // graceful shutdown always ends the telemetry file with a final row.
+  exporter.finalRow();
+  obs::TraceSession::pulse();
   return 0;
 }
 

@@ -48,6 +48,14 @@ struct ServerOptions {
   /// Outbound-buffer cap per client; a reader this far behind is dropped
   /// (the buffer would otherwise grow without bound).
   std::size_t maxClientBacklogBytes = 8u << 20;
+  /// Live telemetry (obs/live_export.h): when non-empty, the poll loop
+  /// appends a timestamped metrics snapshot-delta row to this file every
+  /// telemetryIntervalSec via atomic rename, so a SIGKILL'd daemon still
+  /// leaves telemetry on disk. The same cadence drives
+  /// obs::TraceSession::pulse() so an idle daemon never strands trace
+  /// spans in its rings (pulse runs even when metricsOutPath is empty).
+  std::string metricsOutPath;
+  double telemetryIntervalSec = 2.0;
 };
 
 class ServiceServer {

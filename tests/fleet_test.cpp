@@ -6,9 +6,13 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "harness/batch_runner.h"
@@ -17,6 +21,8 @@
 #include "harness/sweep_coordinator.h"
 #include "harness/sweep_protocol.h"
 #include "harness/sweep_worker.h"
+#include "obs/analyze.h"
+#include "obs/trace.h"
 #include "test_clips.h"
 
 namespace optr::harness {
@@ -329,6 +335,25 @@ TEST(SweepProtocol, RoundTripsEveryMessageType) {
   EXPECT_EQ(decodeMessage(encodeShutdown()).type, MsgType::kShutdown);
 }
 
+TEST(SweepProtocol, LeaseTraceContextRoundTripsAndDefaultsToAbsent) {
+  SweepMessage m = decodeMessage(
+      encodeLease("c", "RULE2", 5.5, 1, "9f3a6c01d2e4b875", 42));
+  ASSERT_EQ(m.type, MsgType::kLease);
+  EXPECT_EQ(m.clipId, "c");
+  EXPECT_EQ(m.traceId, "9f3a6c01d2e4b875");
+  EXPECT_EQ(m.parentSpan, 42u);
+
+  // Context-free leases (the default) must not grow new keys: the frame
+  // stays byte-compatible with pre-propagation workers.
+  std::string line = encodeLease("c", "RULE2", 5.5, 1);
+  EXPECT_EQ(line.find("traceId"), std::string::npos);
+  EXPECT_EQ(line.find("parentSpan"), std::string::npos);
+  m = decodeMessage(line);
+  ASSERT_EQ(m.type, MsgType::kLease);
+  EXPECT_TRUE(m.traceId.empty());
+  EXPECT_EQ(m.parentSpan, 0u);
+}
+
 TEST(SweepProtocol, TruncatedOrCorruptLinesDecodeAsGarbled) {
   EXPECT_EQ(decodeMessage("").type, MsgType::kGarbled);
   EXPECT_EQ(decodeMessage("not json").type, MsgType::kGarbled);
@@ -473,6 +498,81 @@ TEST(SweepFleet, MatchesBatchRunnerRowByRow) {
   EXPECT_EQ(got.quarantined, 0);
   expectRowsMatch(got.rows, want.rows);
 }
+
+#if OPTR_OBS_ENABLED
+TEST(SweepFleet, ForkedWorkerTracesStitchIntoOneCausalTree) {
+  auto clips = twoClips();
+  auto rules = twoRules();
+  const std::string coordTrace = tempPath("fleet_stitch_coord");
+  // Worker trace paths must be minted in the PARENT: tempPath embeds
+  // getpid(), which changes across the fork, and the parent needs to find
+  // the files afterwards. The hook (running in the child) only indexes.
+  std::vector<std::string> workerTraces;
+  for (int slot = 0; slot < 4; ++slot)
+    for (int gen = 0; gen < 4; ++gen)
+      workerTraces.push_back(
+          tempPath(("fleet_stitch_w" + std::to_string(slot) + "g" +
+                    std::to_string(gen))
+                       .c_str()));
+  auto workerTrace = [&workerTraces](int slot, int generation) {
+    return workerTraces[static_cast<std::size_t>(slot) * 4 +
+                        static_cast<std::size_t>(generation)];
+  };
+  std::remove(coordTrace.c_str());
+  for (const std::string& p : workerTraces) std::remove(p.c_str());
+
+  ASSERT_TRUE(obs::TraceSession::start(coordTrace).isOk());
+  SweepCoordinatorOptions opt = fleetOptions();  // 2 forked workers
+  opt.workerInitHook = [workerTraces](int slot, int generation) {
+    // Fork child: abandon the inherited coordinator file (no footer --
+    // that is the parent's to write) and trace into a file of its own.
+    obs::TraceSession::abandon();
+    if (slot < 4 && generation < 4) {
+      (void)obs::TraceSession::start(
+          workerTraces[static_cast<std::size_t>(slot) * 4 +
+                       static_cast<std::size_t>(generation)]);
+    }
+  };
+  FleetReport got = SweepCoordinator(opt).run(clips, rules);
+  obs::TraceSession::stop();
+  ASSERT_TRUE(got.status.isOk()) << got.status.message();
+  EXPECT_EQ(got.executed, 4);
+
+  std::vector<std::string> files = {coordTrace};
+  for (int slot = 0; slot < 4; ++slot)
+    for (int gen = 0; gen < 4; ++gen)
+      if (std::ifstream(workerTrace(slot, gen)).good())
+        files.push_back(workerTrace(slot, gen));
+  ASSERT_GE(files.size(), 3u) << "both workers must have written trace files";
+
+  auto mergedOr = obs::loadTraces(files);
+  ASSERT_TRUE(mergedOr.isOk()) << mergedOr.status().message();
+  std::map<std::uint64_t, const obs::TraceEntry*> byId;
+  const obs::TraceEntry* run = nullptr;
+  for (const obs::TraceEntry& e : mergedOr.value()) {
+    if (e.type != "span") continue;
+    byId[e.id] = &e;
+    if (e.name == "fleet.run") run = &e;
+  }
+  ASSERT_NE(run, nullptr);
+  // Every worker-side task span must stitch under a coordinator grant span
+  // via the lease-frame context, and through it chain to the single
+  // fleet.run root -- cross-process parentage asserted span by span.
+  int tasks = 0;
+  for (const obs::TraceEntry& e : mergedOr.value()) {
+    if (e.name != "fleet.task") continue;
+    ++tasks;
+    EXPECT_TRUE(e.stitched) << "unstitched task: " << e.detail;
+    auto grant = byId.find(e.parent);
+    ASSERT_NE(grant, byId.end()) << "task parent missing: " << e.detail;
+    EXPECT_EQ(grant->second->name, "fleet.grant");
+    EXPECT_EQ(grant->second->parent, run->id);
+    // Work conservation: no task outlasts the run that awaited it.
+    EXPECT_LE(e.dur, run->dur) << "task outlives fleet.run: " << e.detail;
+  }
+  EXPECT_EQ(tasks, 4);
+}
+#endif  // OPTR_OBS_ENABLED
 
 TEST(SweepFleet, SurvivesWorkerCrashesViaRespawnAndReassignment) {
   auto clips = twoClips();

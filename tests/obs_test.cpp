@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <string>
@@ -464,6 +465,39 @@ TEST(Trace, RingOverflowWritesPerThreadDropMeta) {
   EXPECT_EQ(es.back().dropped, 46);
 }
 
+TEST(Trace, PulseDrainsRingsAndEmitsDropDeltasMidSession) {
+  const std::string path = tempPath("obs_pulse.jsonl");
+  SessionGuard guard;
+  obs::TraceOptions opts;
+  opts.ringCapacity = 4;
+  ASSERT_TRUE(obs::TraceSession::start(path, opts).isOk());
+  // Two overflow bursts separated by pulses: each pulse must drain what the
+  // ring held AND report only the records lost SINCE the previous pulse --
+  // a daemon's telemetry tick calls this repeatedly, so cumulative counts
+  // here would double-report every earlier loss.
+  for (int i = 0; i < 20; ++i) obs::event("test.pulse");  // keeps 4, drops 16
+  obs::TraceSession::pulse();
+  for (int i = 0; i < 10; ++i) obs::event("test.pulse");  // keeps 4, drops 6
+  obs::TraceSession::pulse();
+  obs::TraceSession::stop();
+
+  auto entriesOr = obs::loadTrace(path);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  std::int64_t events = 0;
+  std::vector<std::int64_t> deltas;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.type == "event") ++events;
+    if (e.droppedTid >= 0) deltas.push_back(e.droppedCount);
+  }
+  EXPECT_EQ(events, 8);  // both ring-fulls survived to the file
+  ASSERT_EQ(deltas.size(), 2u) << "stop() must not re-report pulsed drops";
+  EXPECT_EQ(deltas[0], 16);
+  EXPECT_EQ(deltas[1], 6);
+  // The footer keeps the cumulative session total.
+  EXPECT_TRUE(entriesOr.value().back().end);
+  EXPECT_EQ(entriesOr.value().back().dropped, 22);
+}
+
 TEST(TraceRead, MergeTracesRemapsCollidingSpanIds) {
   // Two workers wrote independent traces reusing the same small ids (and, in
   // real fleets, pid<<32 offsets that do not survive a double round-trip).
@@ -512,6 +546,132 @@ TEST(TraceRead, MergeTracesRemapsCollidingSpanIds) {
   obs::TraceReport rep = obs::analyzeTrace(merged);
   EXPECT_EQ(rep.spans, 4);
   EXPECT_EQ(rep.rootNs, 350);
+}
+
+TEST(TraceRead, MergeTracesStitchesRemoteParentsAcrossFiles) {
+  // Hand-built coordinator + worker pair, with the worker file reusing the
+  // coordinator's span ids -- the worst case for the remap, since stitching
+  // must resolve against PRE-remap ids.
+  std::vector<obs::TraceEntry> coord(2), worker(2);
+  coord[0].type = "span";
+  coord[0].name = "fleet.run";
+  coord[0].id = 1;
+  coord[0].dur = 1000;
+  coord[1].type = "span";
+  coord[1].name = "fleet.grant";
+  coord[1].id = 2;
+  coord[1].parent = 1;
+  coord[1].trace = "00000000deadbeef";  // the minted origin context
+  coord[1].dur = 10;
+  worker[0].type = "span";
+  worker[0].name = "fleet.task";
+  worker[0].id = 1;  // collides with fleet.run before the merge
+  worker[0].trace = "00000000deadbeef";
+  worker[0].remoteParent = 2;
+  worker[0].dur = 500;
+  worker[1].type = "span";
+  worker[1].name = "fleet.stray";
+  worker[1].id = 2;
+  worker[1].trace = "ffffffffffffffff";  // context nobody in the merge minted
+  worker[1].remoteParent = 9;
+  worker[1].dur = 5;
+
+  std::vector<obs::TraceEntry> merged =
+      obs::mergeTraces({std::move(coord), std::move(worker)});
+  const obs::TraceEntry* run = nullptr;
+  const obs::TraceEntry* grant = nullptr;
+  const obs::TraceEntry* task = nullptr;
+  const obs::TraceEntry* stray = nullptr;
+  for (const obs::TraceEntry& e : merged) {
+    if (e.name == "fleet.run") run = &e;
+    if (e.name == "fleet.grant") grant = &e;
+    if (e.name == "fleet.task") task = &e;
+    if (e.name == "fleet.stray") stray = &e;
+  }
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(grant, nullptr);
+  ASSERT_NE(task, nullptr);
+  ASSERT_NE(stray, nullptr);
+  // The causal edge: the worker's task resolved its remote parent to the
+  // coordinator's grant span in the OTHER file, which still nests under the
+  // run root -- one tree across both processes.
+  EXPECT_TRUE(task->stitched);
+  EXPECT_EQ(task->parent, grant->id);
+  EXPECT_EQ(grant->parent, run->id);
+  EXPECT_FALSE(grant->stitched);  // the origin span itself is not stitched
+  // Unresolvable context degrades to the dense-remap behavior: a root, never
+  // a fabricated edge.
+  EXPECT_FALSE(stray->stitched);
+  EXPECT_EQ(stray->parent, 0u);
+}
+
+TEST(Trace, MintContextAndRemoteParentRoundTripThroughFiles) {
+  const std::string clientPath = tempPath("obs_ctx_client.jsonl");
+  const std::string serverPath = tempPath("obs_ctx_server.jsonl");
+  SessionGuard guard;
+
+  // "Client" process: a root span mints the context it would put on the
+  // wire (service/sweep protocol traceId + parentSpan fields).
+  ASSERT_TRUE(obs::TraceSession::start(clientPath).isOk());
+  obs::TraceContext ctx;
+  {
+    obs::Span root("client.root");
+    ctx = root.mintContext();
+    ASSERT_TRUE(ctx.valid());
+    EXPECT_EQ(ctx.spanId, root.id());
+    // Repeat mints reuse the span's trace id: one trace per origin span.
+    EXPECT_EQ(root.mintContext().traceId, ctx.traceId);
+  }
+  obs::TraceSession::stop();
+
+  // "Server" process, modeled as a second session (fresh span-id space, so
+  // its ids collide with the client's): opens its span under the shipped
+  // context; in-process children keep nesting normally beneath it.
+  ASSERT_TRUE(obs::TraceSession::start(serverPath).isOk());
+  {
+    obs::Span remote("server.work", ctx);
+    obs::Span inner("server.inner");
+  }
+  obs::TraceSession::stop();
+
+  // Wire shape: the remote span carries the 16-hex "trace" id and the
+  // origin span id as "rpar"; a single-file load never stitches.
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(ctx.traceId));
+  auto serverOr = obs::loadTrace(serverPath);
+  ASSERT_TRUE(serverOr.isOk()) << serverOr.status().message();
+  const obs::TraceEntry* raw = nullptr;
+  for (const obs::TraceEntry& e : serverOr.value())
+    if (e.name == "server.work") raw = &e;
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->trace, hex);
+  EXPECT_EQ(raw->remoteParent, ctx.spanId);
+  EXPECT_FALSE(raw->stitched);
+
+  // The merged view is one causal tree spanning both "processes".
+  auto mergedOr = obs::loadTraces({clientPath, serverPath});
+  ASSERT_TRUE(mergedOr.isOk()) << mergedOr.status().message();
+  const obs::TraceEntry* root = nullptr;
+  const obs::TraceEntry* work = nullptr;
+  const obs::TraceEntry* inner = nullptr;
+  for (const obs::TraceEntry& e : mergedOr.value()) {
+    if (e.name == "client.root") root = &e;
+    if (e.name == "server.work") work = &e;
+    if (e.name == "server.inner") inner = &e;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(work, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(work->stitched);
+  EXPECT_EQ(work->parent, root->id);
+  EXPECT_EQ(inner->parent, work->id);
+
+  // Inert contexts stay inert: with no session active, minting yields an
+  // invalid context, and opening a span with one records nothing.
+  obs::Span dead("after.stop");
+  EXPECT_FALSE(dead.mintContext().valid());
+  EXPECT_NE(obs::TraceSession::mintTraceId(), 0u);
 }
 
 TEST(Metrics, HistogramPercentilesAreAccurateWithinBucketWidth) {

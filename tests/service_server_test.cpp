@@ -1,0 +1,170 @@
+// ServiceServer end-to-end: a real daemon (unix socket, poll loop, broker
+// workers) driven by a real ServiceClient in the same process. The headline
+// case is the SIGTERM graceful drain -- an in-flight request must complete
+// and its reply reach the client, the trace session must close with its
+// footer, and the live metrics export must end with its final row. A second
+// case covers the ping/stats frame over the socket.
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clip/clip_io.h"
+#include "common/stop_signal.h"
+#include "obs/analyze.h"
+#include "obs/trace.h"
+#include "service/service_client.h"
+#include "service/service_server.h"
+#include "test_clips.h"
+
+namespace optr {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "." + std::to_string(::getpid());
+}
+
+service::RouteRequest tinyRequest(const std::string& id) {
+  service::RouteRequest req;
+  req.id = id;
+  req.clipText =
+      clip::toText(testing::makeSimpleClip(4, 4, 3, {{{0, 0, 0}, {3, 3, 0}}}));
+  req.ruleName = "RULE1";
+  return req;
+}
+
+service::ServerOptions tinyServer(const std::string& sock) {
+  service::ServerOptions so;
+  so.listen = "unix:" + sock;
+  so.broker.workers = 1;
+  so.broker.router.mip.timeLimitSec = 10;
+  so.broker.router.mip.threads = 1;
+  return so;
+}
+
+/// Signal dispositions and the stop flag are process-global; every case must
+/// leave them rearmed for the next one.
+struct StopSignalGuard {
+  ~StopSignalGuard() { common::resetStopSignals(); }
+};
+
+TEST(ServiceServer, SigtermDrainsInFlightWorkAndFlushesTelemetry) {
+  StopSignalGuard signals;
+  const std::string sock = tempPath("srv_drain.sock");
+  const std::string tracePath = tempPath("srv_drain_trace.jsonl");
+  const std::string metricsPath = tempPath("srv_drain_metrics.jsonl");
+  std::remove(sock.c_str());
+  std::remove(metricsPath.c_str());
+
+#if OPTR_OBS_ENABLED
+  ASSERT_TRUE(obs::TraceSession::start(tracePath).isOk());
+#endif
+  service::ServerOptions so = tinyServer(sock);
+  so.metricsOutPath = metricsPath;
+  so.telemetryIntervalSec = 0.01;
+  service::ServiceServer server(so);
+  ASSERT_TRUE(server.start().isOk());
+  // Install the handlers before SIGTERM can possibly fire: run() does this
+  // too, but the runner thread may not have reached it yet.
+  common::installStopSignals();
+  int rc = -1;
+  std::thread runner([&] { rc = server.run(); });
+
+  service::ServiceClient client;
+  ASSERT_TRUE(client.connect("unix:" + sock).isOk());
+  StatusOr<service::RouteReply> reply =
+      Status::error(ErrorCode::kUnavailable, "not called");
+  std::thread caller(
+      [&] { reply = client.call(tinyRequest("draining")); });
+
+  // Wait until the daemon has admitted the request, then pull the plug the
+  // way an init system does.
+  for (int i = 0; i < 500 && server.broker().stats().accepted == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(server.broker().stats().accepted, 1u);
+  ::kill(::getpid(), SIGTERM);
+
+  runner.join();
+  caller.join();
+  EXPECT_EQ(rc, 0) << "graceful drain must exit cleanly";
+  // The in-flight request completed and its reply crossed the socket.
+  ASSERT_TRUE(reply.isOk()) << reply.status().message();
+  EXPECT_EQ(reply.value().id, "draining");
+  EXPECT_EQ(reply.value().status, core::RouteStatus::kOptimal);
+  EXPECT_EQ(server.broker().stats().completed, 1u);
+
+  // The live export closed with its final row despite the signal.
+  std::ifstream metrics(metricsPath);
+  ASSERT_TRUE(metrics.good()) << "metrics export file missing";
+  std::string line, last;
+  while (std::getline(metrics, line))
+    if (!line.empty()) last = line;
+  EXPECT_NE(last.find("\"final\":true"), std::string::npos) << last;
+
+#if OPTR_OBS_ENABLED
+  // The trace closed with its footer and recorded the daemon-side request
+  // span (the drain ran the broker to completion, not past it).
+  obs::TraceSession::stop();
+  obs::TraceLoadStats stats;
+  auto entriesOr = obs::loadTraces({tracePath}, &stats);
+  ASSERT_TRUE(entriesOr.isOk()) << entriesOr.status().message();
+  EXPECT_TRUE(stats.sawFooter);
+  bool sawRequestSpan = false;
+  for (const obs::TraceEntry& e : entriesOr.value()) {
+    if (e.name == "service.request") sawRequestSpan = true;
+  }
+  EXPECT_TRUE(sawRequestSpan);
+#endif
+}
+
+TEST(ServiceServer, PingOverTheSocketReturnsLiveHistograms) {
+  StopSignalGuard signals;
+  const std::string sock = tempPath("srv_ping.sock");
+  std::remove(sock.c_str());
+
+  service::ServiceServer server(tinyServer(sock));
+  ASSERT_TRUE(server.start().isOk());
+  int rc = -1;
+  std::thread runner([&] { rc = server.run(); });
+
+  service::ServiceClient client;
+  ASSERT_TRUE(client.connect("unix:" + sock).isOk());
+  StatusOr<service::RouteReply> reply = client.call(tinyRequest("warm"));
+  ASSERT_TRUE(reply.isOk()) << reply.status().message();
+
+  StatusOr<service::ServiceStats> statsOr = client.ping();
+  ASSERT_TRUE(statsOr.isOk()) << statsOr.status().message();
+  const service::ServiceStats& s = statsOr.value();
+  EXPECT_GE(s.uptimeSec, 0.0);
+  EXPECT_EQ(s.accepted, 1);
+  EXPECT_EQ(s.completed, 1);
+#if OPTR_OBS_ENABLED
+  // Live percentiles over the wire: the solved request must show up with
+  // non-zero queue-wait and cold-solve latencies (counts are lower bounds --
+  // the histograms are registry-global within this test binary).
+  EXPECT_GE(s.queueWait.count, 1);
+  EXPECT_GT(s.queueWait.p50Ms, 0.0);
+  EXPECT_GE(s.solveCold.count, 1);
+  EXPECT_GT(s.solveCold.p50Ms, 0.0);
+#endif
+
+  ASSERT_TRUE(client.sendShutdown().isOk());
+  runner.join();
+  EXPECT_EQ(rc, 0);
+}
+
+}  // namespace
+}  // namespace optr
+
+#endif  // !_WIN32

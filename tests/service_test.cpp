@@ -17,6 +17,7 @@
 #include "clip/clip_io.h"
 #include "core/cache_key.h"
 #include "core/session_pool.h"
+#include "obs/metrics.h"  // OPTR_OBS_ENABLED gates the percentile asserts
 #include "service/request_broker.h"
 #include "service/result_cache.h"
 #include "service/service_protocol.h"
@@ -513,6 +514,102 @@ TEST(RequestBroker, ForgetClientDropsItsQueuedWork) {
   service::RequestBroker::Stats s = broker.stats();
   EXPECT_EQ(s.dropped, 2u);
   EXPECT_EQ(s.completed, 1u);
+}
+
+// ---- live telemetry ------------------------------------------------------
+
+TEST(ServiceProtocol, PingAndStatsFramesRoundTrip) {
+  service::ServiceFrame ping = service::decodeFrame(service::encodePing("p7"));
+  ASSERT_EQ(ping.type, service::FrameType::kPing);
+  EXPECT_EQ(ping.id, "p7");
+
+  service::ServiceStats s;
+  s.uptimeSec = 12.5;
+  s.pending = 3;
+  s.accepted = 100;
+  s.completed = 96;
+  s.cacheHits = 40;
+  s.rejectedSaturated = 1;
+  s.queueWait = {96, 0.21, 1.75, 4.5};
+  s.solveCold = {56, 150.5, 900.25, 1200.0};
+  s.replyWrite = {96, 0.01, 0.02, 0.05};
+  service::ServiceFrame f = service::decodeFrame(service::encodeStats("p7", s));
+  ASSERT_EQ(f.type, service::FrameType::kStats);
+  EXPECT_EQ(f.id, "p7");
+  EXPECT_DOUBLE_EQ(f.stats.uptimeSec, 12.5);
+  EXPECT_EQ(f.stats.pending, 3);
+  EXPECT_EQ(f.stats.accepted, 100);
+  EXPECT_EQ(f.stats.completed, 96);
+  EXPECT_EQ(f.stats.cacheHits, 40);
+  EXPECT_EQ(f.stats.rejectedSaturated, 1);
+  EXPECT_EQ(f.stats.queueWait.count, 96);
+  EXPECT_DOUBLE_EQ(f.stats.queueWait.p50Ms, 0.21);
+  EXPECT_DOUBLE_EQ(f.stats.queueWait.p95Ms, 1.75);
+  EXPECT_DOUBLE_EQ(f.stats.queueWait.p99Ms, 4.5);
+  EXPECT_EQ(f.stats.solveCold.count, 56);
+  EXPECT_DOUBLE_EQ(f.stats.solveCold.p50Ms, 150.5);
+  EXPECT_DOUBLE_EQ(f.stats.solveCold.p99Ms, 1200.0);
+  EXPECT_EQ(f.stats.replyWrite.count, 96);
+  EXPECT_EQ(f.stats.lease.count, 0);  // untouched quads stay zero
+  EXPECT_EQ(f.stats.solveHit.count, 0);
+}
+
+TEST(ServiceProtocol, RouteTraceContextRoundTripsAndDefaultsToAbsent) {
+  service::RouteRequest req = tinyRequest("r9");
+  req.traceId = "9f3a6c01d2e4b875";
+  req.parentSpan = 42;
+  service::ServiceFrame f = service::decodeFrame(service::encodeRoute(req));
+  ASSERT_EQ(f.type, service::FrameType::kRoute);
+  EXPECT_EQ(f.request.traceId, "9f3a6c01d2e4b875");
+  EXPECT_EQ(f.request.parentSpan, 42u);
+
+  // Context-free requests (the default) must not grow new keys: frames stay
+  // byte-compatible with pre-propagation decoders.
+  std::string line = service::encodeRoute(tinyRequest("r9"));
+  EXPECT_EQ(line.find("traceId"), std::string::npos);
+  EXPECT_EQ(line.find("parentSpan"), std::string::npos);
+  service::ServiceFrame plain = service::decodeFrame(line);
+  ASSERT_EQ(plain.type, service::FrameType::kRoute);
+  EXPECT_TRUE(plain.request.traceId.empty());
+  EXPECT_EQ(plain.request.parentSpan, 0u);
+}
+
+TEST(RequestBroker, LiveStatsFoldsLifecycleHistogramsIntoTheStatsFrame) {
+  auto sink = std::make_shared<TestSink>();
+  service::RequestBroker broker(
+      tinyBroker(), [sink](const std::string& c, const std::string& l) {
+        (*sink)(c, l);
+      });
+  EXPECT_TRUE(broker.submit("a", tinyRequest("cold")));
+  sink->waitResults(1);
+  EXPECT_TRUE(broker.submit("a", tinyRequest("hot")));
+  sink->waitResults(2);
+  // The sink sees the result frame while the worker is still inside its
+  // bookkeeping tail; draining joins the workers so the counters and the
+  // reply-write histogram are final before we read them.
+  broker.stop(/*drain=*/true);
+
+  service::ServiceStats s = broker.liveStats();
+  EXPECT_GE(s.uptimeSec, 0.0);
+  EXPECT_EQ(s.pending, 0);
+  EXPECT_EQ(s.accepted, 2);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.cacheHits, 1);
+#if OPTR_OBS_ENABLED
+  // The histograms are registry-global (other tests in this binary may have
+  // fed them), so the counts are lower bounds -- but this broker alone
+  // guarantees two queue waits, one cold solve, one replay, two replies,
+  // and every percentile it reports must be live and ordered.
+  EXPECT_GE(s.queueWait.count, 2);
+  EXPECT_GT(s.queueWait.p50Ms, 0.0);
+  EXPECT_LE(s.queueWait.p50Ms, s.queueWait.p95Ms);
+  EXPECT_LE(s.queueWait.p95Ms, s.queueWait.p99Ms);
+  EXPECT_GE(s.lease.count, 1);
+  EXPECT_GE(s.solveCold.count, 1);
+  EXPECT_GT(s.solveCold.p50Ms, 0.0);
+  EXPECT_GE(s.solveHit.count, 1);
+  EXPECT_GE(s.replyWrite.count, 2);
+#endif
 }
 
 }  // namespace

@@ -6,6 +6,13 @@
 //   bench_compare <baseline.json> <candidate.json>
 //                 [--max-pivot-regress=F] [--max-wall-regress=F]
 //   bench_compare --self <bench.json> [--min-hot-speedup=F]
+//   bench_compare --append-trajectory=FILE [--label=STR] <bench.json...>
+//
+// --append-trajectory consolidates one run's BENCH_*.json snapshots into a
+// single JSONL row (timestamp, optional label, per-benchmark unit summaries
+// and headline metrics) appended to FILE -- the long-term bench trajectory
+// that snapshot diffs are anchored to. Appending never rewrites history:
+// one row per smoke run.
 //
 // --max-pivot-regress defaults to 0.10 (10% growth fails); negative disables.
 // --max-wall-regress is disabled by default (CI wall clocks are noisy).
@@ -21,9 +28,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
+#include "common/jsonl.h"
 #include "report/bench_diff.h"
 
 using namespace optr;
@@ -35,8 +44,105 @@ int usage() {
                "usage: bench_compare <baseline.json> <candidate.json>\n"
                "         [--max-pivot-regress=F] [--max-wall-regress=F]\n"
                "       bench_compare --self <bench.json> "
-               "[--min-hot-speedup=F]\n");
+               "[--min-hot-speedup=F]\n"
+               "       bench_compare --append-trajectory=FILE [--label=STR]\n"
+               "         <bench.json...>\n");
   return 2;
+}
+
+/// One unit's (pass/config) summary for the trajectory row: key, wall time,
+/// and the deterministic pivot total when the snapshot carries one.
+void appendUnitSummary(std::string& out, const report::JsonValue& unit) {
+  std::string key = unit.text("mode", unit.text("config", "?"));
+  double pivots = unit.num("pivots", -1.0);
+  if (pivots < 0 && unit.find("registry")) {
+    pivots = unit.find("registry")->num("lpPivots", -1.0);
+  }
+  char buf[160];
+  if (pivots >= 0) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"key\":\"%s\",\"wallMs\":%.3f,\"pivots\":%.0f}",
+                  jsonl::escape(key).c_str(), unit.num("wallMs"), pivots);
+  } else {
+    std::snprintf(buf, sizeof buf, "{\"key\":\"%s\",\"wallMs\":%.3f}",
+                  jsonl::escape(key).c_str(), unit.num("wallMs"));
+  }
+  out += buf;
+}
+
+/// Consolidates one run's snapshots into a single trajectory JSONL row.
+/// Headline metrics (cache hit rate, hot speedup, traced-daemon/fleet gate
+/// bits) ride along so the trajectory answers "did the run hold the line"
+/// without re-opening the per-run snapshots.
+int appendTrajectory(const std::string& trajPath, const std::string& label,
+                     const std::vector<std::string>& files) {
+  std::string row = "{\"t\":\"bench\",\"ts\":" +
+                    std::to_string(static_cast<long long>(time(nullptr)));
+  if (!label.empty()) {
+    row += ",\"label\":\"" + jsonl::escape(label) + "\"";
+  }
+  row += ",\"benches\":[";
+  bool firstBench = true;
+  for (const std::string& path : files) {
+    auto docOr = report::loadJsonFile(path);
+    if (!docOr.isOk()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   docOr.status().message().c_str());
+      return 2;
+    }
+    const report::JsonValue& doc = docOr.value();
+    if (!firstBench) row += ",";
+    firstBench = false;
+    row += "{\"name\":\"" +
+           jsonl::escape(doc.text("benchmark", path)) + "\"";
+    for (const char* key : {"cacheHitRate", "hotSpeedup"}) {
+      if (doc.has(key)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, ",\"%s\":%.6g", key, doc.num(key));
+        row += buf;
+      }
+    }
+    // Gate bits from the cross-process trace legs, when present.
+    for (const char* key : {"tracedDaemon", "tracedFleet"}) {
+      const report::JsonValue* t = doc.find(key);
+      if (!t) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, ",\"%s\":{\"ran\":%d,\"ok\":%d}", key,
+                    t->num("ran") != 0 ? 1 : 0,
+                    (t->num("ran") != 0 &&
+                     (key[6] == 'D' ? t->num("stitched") != 0 &&
+                                          t->num("workConserved") != 0 &&
+                                          t->num("pingPercentilesOk") != 0
+                                    : t->num("singleTree") != 0 &&
+                                          t->num("workConserved") != 0))
+                        ? 1
+                        : 0);
+      row += buf;
+    }
+    const report::JsonValue* units = doc.find("passes");
+    if (!units) units = doc.find("configs");
+    row += ",\"units\":[";
+    if (units) {
+      for (std::size_t i = 0; i < units->items.size(); ++i) {
+        if (i) row += ",";
+        appendUnitSummary(row, units->items[i]);
+      }
+    }
+    row += "]}";
+  }
+  row += "]}";
+
+  std::FILE* f = std::fopen(trajPath.c_str(), "a");
+  if (!f) {
+    std::fprintf(stderr, "--append-trajectory: cannot open %s\n",
+                 trajPath.c_str());
+    return 2;
+  }
+  std::fprintf(f, "%s\n", row.c_str());
+  std::fclose(f);
+  std::printf("appended %zu bench summar%s to %s\n", files.size(),
+              files.size() == 1 ? "y" : "ies", trajPath.c_str());
+  return 0;
 }
 
 int printResult(const report::BenchCompareResult& res, const char* what) {
@@ -57,11 +163,17 @@ int printResult(const report::BenchCompareResult& res, const char* what) {
 int main(int argc, char** argv) {
   bool self = false;
   report::BenchCompareOptions opt;
+  std::string trajPath;
+  std::string label;
   std::vector<std::string> files;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--self") {
       self = true;
+    } else if (arg.rfind("--append-trajectory=", 0) == 0) {
+      trajPath = arg.substr(std::strlen("--append-trajectory="));
+    } else if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(std::strlen("--label="));
     } else if (arg.rfind("--max-pivot-regress=", 0) == 0) {
       opt.maxPivotRegress =
           std::atof(arg.c_str() + std::strlen("--max-pivot-regress="));
@@ -77,6 +189,11 @@ int main(int argc, char** argv) {
     } else {
       files.push_back(arg);
     }
+  }
+
+  if (!trajPath.empty()) {
+    if (files.empty() || self) return usage();
+    return appendTrajectory(trajPath, label, files);
   }
 
   if (self) {

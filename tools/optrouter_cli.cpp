@@ -20,7 +20,11 @@
 //                                           content-addressed result cache,
 //                                           shared session pool, bounded
 //                                           admission queues; SIGTERM drains
-//                                           and exits cleanly
+//                                           and exits cleanly; --metrics-out
+//                                           streams snapshot-delta rows live
+//   top <address>                           live daemon monitor: polls ping
+//                                           stats and renders queue/solve
+//                                           latency percentiles
 //   sweep-coordinator <clips> <ckpt> <rule...>  fleet sweep: lease-based
 //                                           coordinator sharding the matrix
 //                                           across worker processes with
@@ -45,6 +49,10 @@
 #include <string>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <time.h>  // nanosleep, for the `top` refresh cadence
+#endif
+
 #include "clip/clip_io.h"
 #include "common/stop_signal.h"
 #include "common/strings.h"
@@ -59,6 +67,7 @@
 #include "layout/global_route.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/service_client.h"
 #include "service/service_server.h"
 #include "trace_report_main.h"
 #include "report/table.h"
@@ -96,20 +105,31 @@ int usage() {
                "        [--queue-depth N] [--client-queue N] [--cache-cap N]\n"
                "        [--session-pool N] [--time-limit S] [--mip-threads N]\n"
                "        [--lp-pricing=...] [--lp-dual-restart=on|off]\n"
-               "        [--trace=out.jsonl] [--metrics-out=FILE] [rule...]\n"
+               "        [--trace=out.jsonl] [--metrics-out=FILE]\n"
+               "        [--telemetry-interval S] [rule...]\n"
                "        (routing-as-a-service daemon: line-delimited JSON\n"
                "         requests over a unix or TCP socket, content-\n"
                "         addressed result cache + shared session pool;\n"
                "         rules default to the full Table-3 universe;\n"
                "         SIGTERM drains in-flight work and exits 0;\n"
+               "         --metrics-out appends timestamped snapshot-delta\n"
+               "         rows on a cadence via atomic rename, so the file\n"
+               "         is complete even after SIGKILL;\n"
                "         use tools' service_client to talk to it)\n"
+               "  top <address> [--interval=S] [--count=N]\n"
+               "        (polls the daemon's ping/stats frame and renders\n"
+               "         live queue-wait / lease / solve / reply-write\n"
+               "         percentiles; --count=0 polls until interrupted)\n"
                "  sweep-coordinator <clips> <checkpoint.jsonl>\n"
                "        [--workers N] [--lease-sec S] [--task-timeout S]\n"
                "        [--max-attempts N] [--worker-cmd 'CMD']\n"
                "        [--chaos-kills N] [--chaos-prob P] [--chaos-seed S]\n"
                "        [--trace=out.jsonl] [--metrics] [--metrics-out=FILE]\n"
-               "        <rule...>\n"
+               "        [--telemetry-interval S] <rule...>\n"
                "        (fleet sweep with lease-based failure detection;\n"
+               "         --metrics-out=FILE streams snapshot-delta rows on\n"
+               "         the telemetry cadence like `serve`; '-' prints one\n"
+               "         end-of-run delta to stdout instead;\n"
                "         --worker-cmd spawns each worker as `sh -c CMD`\n"
                "         speaking the protocol on stdin/stdout -- wrap it\n"
                "         in ssh to spread across machines; default forks\n"
@@ -125,6 +145,7 @@ int usage() {
                "         stdout is the protocol channel)\n"
                "  trace-report <trace.jsonl...> [--table5] [--baseline=RULE]\n"
                "        [--json=FILE] [--verify-join=checkpoint.jsonl]\n"
+               "        [--stitch]\n"
                "        (phase/rule analytics with p50/p95/p99 latencies;\n"
                "         several files merge into one fleet-wide trace;\n"
                "         --table5 joins route.solve spans into the paper's\n"
@@ -589,6 +610,16 @@ int cmdSweepCoordinator(int argc, char** argv) {
       opt.chaosSeed = static_cast<std::uint64_t>(std::atoll(v));
       continue;
     }
+    if (arg == "--telemetry-interval") {
+      const char* v = needValue("--telemetry-interval");
+      if (!v) return 2;
+      opt.telemetryIntervalSec = std::atof(v);
+      if (opt.telemetryIntervalSec <= 0) {
+        std::fprintf(stderr, "--telemetry-interval must be > 0\n");
+        return 2;
+      }
+      continue;
+    }
     if (arg.rfind("--trace=", 0) == 0) {
       tracePath = arg.substr(std::strlen("--trace="));
       continue;
@@ -617,6 +648,13 @@ int cmdSweepCoordinator(int argc, char** argv) {
     rules.push_back(ruleOr.value());
   }
   if (rules.empty()) return usage();
+
+  // A file path streams live snapshot-delta rows from the coordinator's
+  // poll loop (same exporter as `serve`); "-" keeps the single-shot delta
+  // on stdout, which cannot be atomically renamed.
+  if (!metricsOutPath.empty() && metricsOutPath != "-") {
+    opt.metricsOutPath = metricsOutPath;
+  }
 
   if (!tracePath.empty()) {
     Status ts = obs::TraceSession::start(tracePath);
@@ -663,7 +701,7 @@ int cmdSweepCoordinator(int argc, char** argv) {
     std::printf("\nmetrics (this run):\n%s\n",
                 obs::MetricsSnapshot::delta(after, before).toJson().c_str());
   }
-  if (!metricsOutPath.empty() && writeMetricsDelta(metricsOutPath, before)) {
+  if (metricsOutPath == "-" && writeMetricsDelta(metricsOutPath, before)) {
     return 1;
   }
   if (!tracePath.empty()) {
@@ -803,12 +841,19 @@ int cmdServe(int argc, char** argv) {
   opt.broker.router.formulation.netLayerMargin = 1;
 
   std::string tracePath;
-  std::string metricsOutPath;
   std::vector<tech::RuleConfig> rules;
   for (int a = 2; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--listen" && a + 1 < argc) {
       opt.listen = argv[++a];
+      continue;
+    }
+    if (arg == "--telemetry-interval" && a + 1 < argc) {
+      opt.telemetryIntervalSec = std::atof(argv[++a]);
+      if (opt.telemetryIntervalSec <= 0) {
+        std::fprintf(stderr, "--telemetry-interval must be > 0\n");
+        return 2;
+      }
       continue;
     }
     if (arg == "--workers" && a + 1 < argc) {
@@ -860,9 +905,11 @@ int cmdServe(int argc, char** argv) {
       continue;
     }
     if (arg.rfind("--metrics-out=", 0) == 0) {
-      metricsOutPath = arg.substr(std::strlen("--metrics-out="));
-      if (metricsOutPath.empty()) {
-        std::fprintf(stderr, "--metrics-out needs a path or '-'\n");
+      // Unlike batch's single-shot delta, serve streams periodic rows to
+      // this file for the daemon's whole lifetime (live_export.h).
+      opt.metricsOutPath = arg.substr(std::strlen("--metrics-out="));
+      if (opt.metricsOutPath.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a path\n");
         return 2;
       }
       continue;
@@ -892,8 +939,6 @@ int cmdServe(int argc, char** argv) {
       return 1;
     }
   }
-  obs::MetricsSnapshot before = obs::metrics().snapshot();
-
   service::ServiceServer server(std::move(opt));
   Status st = server.start();
   if (!st) {
@@ -926,13 +971,89 @@ int cmdServe(int argc, char** argv) {
       static_cast<unsigned long long>(ps.hits),
       static_cast<unsigned long long>(ps.misses));
 
-  // The drain already happened inside run(); flush observability last so
-  // the trace captures the full daemon lifetime.
+  // The drain already happened inside run(), and run() wrote the final
+  // metrics row; flush the trace last so it captures the full lifetime.
   if (!tracePath.empty()) obs::TraceSession::stop();
-  if (!metricsOutPath.empty() && writeMetricsDelta(metricsOutPath, before)) {
+  return rc;
+}
+
+/// `optrouter top <address>`: polls the daemon's ping/stats frame and
+/// renders the broker counters plus request-lifecycle percentiles as a
+/// refreshing table. A lightweight `watch`-style monitor for a live daemon.
+int cmdTop(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: optrouter top <address> [--interval=S] [--count=N]\n");
+    return 2;
+  }
+  std::string address = argv[2];
+  double intervalSec = 2.0;
+  int count = 0;  // 0 = until interrupted
+  for (int a = 3; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg.rfind("--interval=", 0) == 0) {
+      intervalSec = std::atof(arg.c_str() + std::strlen("--interval="));
+      if (intervalSec <= 0) {
+        std::fprintf(stderr, "--interval must be > 0\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--count=", 0) == 0) {
+      count = std::atoi(arg.c_str() + std::strlen("--count="));
+      continue;
+    }
+    std::fprintf(stderr, "top: unknown flag %s\n", arg.c_str());
+    return 2;
+  }
+
+  common::installStopSignals();
+  service::ServiceClient client;
+  Status st = client.connect(address);
+  if (!st) {
+    std::fprintf(stderr, "top: %s\n", st.message().c_str());
     return 1;
   }
-  return rc;
+
+  auto row = [](const char* name, const service::StatsQuad& q) {
+    std::printf("  %-11s %8lld  %9.3f  %9.3f  %9.3f\n", name,
+                static_cast<long long>(q.count), q.p50Ms, q.p95Ms, q.p99Ms);
+  };
+  for (int iter = 0; count == 0 || iter < count; ++iter) {
+    if (common::stopRequested()) break;
+    auto statsOr = client.ping();
+    if (!statsOr) {
+      std::fprintf(stderr, "top: %s\n", statsOr.status().message().c_str());
+      return 1;
+    }
+    const service::ServiceStats& s = statsOr.value();
+    std::printf(
+        "optrouter top %s  up %.1fs\n"
+        "  pending %lld  accepted %lld  completed %lld  cacheHits %lld  "
+        "saturated %lld\n"
+        "  %-11s %8s  %9s  %9s  %9s\n",
+        address.c_str(), s.uptimeSec, static_cast<long long>(s.pending),
+        static_cast<long long>(s.accepted),
+        static_cast<long long>(s.completed),
+        static_cast<long long>(s.cacheHits),
+        static_cast<long long>(s.rejectedSaturated), "stage", "count",
+        "p50 ms", "p95 ms", "p99 ms");
+    row("queueWait", s.queueWait);
+    row("lease", s.lease);
+    row("solveCold", s.solveCold);
+    row("solveHit", s.solveHit);
+    row("replyWrite", s.replyWrite);
+    std::fflush(stdout);
+    if (count != 0 && iter + 1 >= count) break;
+    // Sleep in small slices so Ctrl-C / SIGTERM exits promptly.
+    for (double slept = 0; slept < intervalSec && !common::stopRequested();
+         slept += 0.1) {
+      struct timespec ts = {0, 100000000};
+      nanosleep(&ts, nullptr);
+    }
+    if (common::stopRequested()) break;
+  }
+  return 0;
 }
 
 #endif  // !_WIN32
@@ -948,6 +1069,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "improve")) return cmdImprove(argc, argv);
 #if !defined(_WIN32)
   if (!std::strcmp(argv[1], "serve")) return cmdServe(argc, argv);
+  if (!std::strcmp(argv[1], "top")) return cmdTop(argc, argv);
 #endif
   if (!std::strcmp(argv[1], "sweep-coordinator")) {
     return cmdSweepCoordinator(argc, argv);

@@ -19,8 +19,14 @@
 #     byte-for-byte (the lossless-join acceptance gate);
 #   * the same verify-join over a forked sweep-coordinator fleet, whose
 #     workers append to one trace file under distinct pid<<32 id spaces;
-#   * bench_fleet (distributed-sweep chaos gate) and bench_sweep
-#     (session-reuse equivalence gate), both self-failing on divergence.
+#   * bench_fleet (distributed-sweep chaos gate + stitched cross-process
+#     trace gate) and bench_sweep (session-reuse equivalence gate), both
+#     self-failing on divergence;
+#   * a live daemon round-trip: cold route, cached route, `ping` live
+#     percentiles, `optrouter top`, graceful shutdown, and the --metrics-out
+#     stream's final row;
+#   * one consolidated row per run appended to BENCH_trajectory.jsonl via
+#     bench_compare --append-trajectory.
 #
 # Speedups are printed for information only: they depend on available
 # hardware parallelism (on a single-core machine the expected clip-parallel
@@ -96,8 +102,11 @@ rm -f build-perf/smoke_fleet.ckpt* build-perf/smoke_fleet_trace.jsonl
 build-perf/tools/optrouter sweep-coordinator examples/example.clips \
   build-perf/smoke_fleet.ckpt --workers 2 \
   --trace=build-perf/smoke_fleet_trace.jsonl RULE1 RULE3 RULE6 > /dev/null
+# --stitch additionally gates the cross-process causal tree: every worker
+# fleet.task span must resolve under the coordinator's fleet.run root via
+# the lease-frame trace context, with no descendant outlasting its root.
 build-perf/tools/optrouter trace-report build-perf/smoke_fleet_trace.jsonl \
-  --table5 --verify-join=build-perf/smoke_fleet.ckpt
+  --table5 --verify-join=build-perf/smoke_fleet.ckpt --stitch
 
 echo "=== bench_fleet (distributed-sweep chaos equivalence gate) ==="
 build-perf/bench/bench_fleet --out build-perf/BENCH_fleet.json
@@ -120,11 +129,12 @@ else
   echo "note: no committed BENCH_service.json baseline; trajectory gate skipped"
 fi
 
-echo "=== routing service: daemon round-trip (cold -> cached -> shutdown) ==="
+echo "=== routing service: daemon round-trip (cold -> cached -> ping -> shutdown) ==="
 service_sock="build-perf/smoke_service.sock"
-rm -f "${service_sock}"
+rm -f "${service_sock}" build-perf/smoke_service_metrics.jsonl
 build-perf/tools/optrouter serve --listen "unix:${service_sock}" \
-  --workers 2 > build-perf/smoke_service.log &
+  --workers 2 --metrics-out=build-perf/smoke_service_metrics.jsonl \
+  --telemetry-interval 0.2 > build-perf/smoke_service.log &
 service_pid=$!
 for _ in $(seq 1 100); do
   [[ -S "${service_sock}" ]] && break
@@ -135,11 +145,27 @@ build-perf/tools/service_client "unix:${service_sock}" \
 # The same request again must come back from the result cache.
 build-perf/tools/service_client "unix:${service_sock}" \
   route examples/example.clips RULE1 | tee /dev/stderr | grep -q cached
+# Live stats over the wire: the daemon's own histograms must show the two
+# requests with non-zero queue-wait and solve percentiles.
+build-perf/tools/service_client "unix:${service_sock}" ping \
+  | tee /dev/stderr | grep -q 'solveCold count=1'
+# The `top` monitor renders the same frame.
+build-perf/tools/optrouter top "unix:${service_sock}" --count=1 > /dev/null
 build-perf/tools/service_client "unix:${service_sock}" shutdown
 wait "${service_pid}"
+# The live metrics export must end with the exporter's final row.
+tail -n 1 build-perf/smoke_service_metrics.jsonl | grep -q '"final":true'
+
+echo "=== bench trajectory: appending one consolidated row per run ==="
+build-perf/tools/bench_compare \
+  --append-trajectory=BENCH_trajectory.jsonl \
+  --label="$(git rev-parse --short HEAD 2> /dev/null || echo unversioned)" \
+  build-perf/BENCH_runtime.json build-perf/BENCH_fleet.json \
+  build-perf/BENCH_sweep.json build-perf/BENCH_service.json
 
 echo "=== perf smoke OK: no objective divergence, work conserved, ==="
 echo "=== trace join lossless, fleet chaos-equivalent, session reuse ==="
 echo "=== result-equivalent ==="
 echo "    trajectories: build-perf/BENCH_runtime.json build-perf/BENCH_fleet.json build-perf/BENCH_sweep.json build-perf/BENCH_service.json"
+echo "    trajectory log: BENCH_trajectory.jsonl (one row per run)"
 echo "    attribution:  build-perf/smoke_table5.json"

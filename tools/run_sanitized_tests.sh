@@ -39,7 +39,7 @@ done
 # machinery (worker heartbeat threads, multi-process lease traffic) -- the
 # TSan leg's target set. ctest registers gtest suite names, so the filter
 # matches those.
-tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession|SweepFleet|SweepWorker|SweepProtocol|LeaseTable|CheckpointIO|RetryPolicy|LpPricing|SessionPool|RequestBroker|ResultCache|ServiceProtocol|CacheKey'
+tsan_filter='MipParallel|BatchR|FaultInjection|LocalImprover|RuleEvaluator|Obs|Metrics|Trace|ClipSession|SweepFleet|SweepWorker|SweepProtocol|LeaseTable|CheckpointIO|RetryPolicy|LpPricing|SessionPool|RequestBroker|ResultCache|ServiceProtocol|ServiceServer|LiveExport|CacheKey'
 
 status=0
 for san in "${configs[@]}"; do
@@ -84,6 +84,42 @@ for san in "${configs[@]}"; do
     # when spans were emitted from racing pool + B&B threads.
     if ! "${dir}/tools/optrouter" trace-report "${dir}/tsan_trace.jsonl" \
          --table5 --verify-join="${dir}/tsan_batch.ckpt"; then
+      status=1
+    fi
+    # Traced daemon round-trip under TSan: the live metrics exporter and
+    # TraceSession::pulse run on the poll loop while broker worker threads
+    # record histograms and spans -- the cross-thread composition the unit
+    # tests cannot cover. Ping + shutdown drive the stats and drain paths.
+    echo "=== ${san}: traced daemon round-trip (live exporter + ping) ==="
+    tsan_sock="${dir}/tsan_service.sock"
+    rm -f "${tsan_sock}" "${dir}/tsan_service_metrics.jsonl" \
+      "${dir}/tsan_service_trace.jsonl"
+    "${dir}/tools/optrouter" serve --listen "unix:${tsan_sock}" --workers 2 \
+      --trace="${dir}/tsan_service_trace.jsonl" \
+      --metrics-out="${dir}/tsan_service_metrics.jsonl" \
+      --telemetry-interval 0.1 > "${dir}/tsan_service.log" &
+    tsan_service_pid=$!
+    for _ in $(seq 1 100); do
+      [[ -S "${tsan_sock}" ]] && break
+      sleep 0.1
+    done
+    if ! "${dir}/tools/service_client" "unix:${tsan_sock}" \
+         route examples/example.clips RULE1 > /dev/null; then
+      status=1
+    fi
+    if ! "${dir}/tools/service_client" "unix:${tsan_sock}" ping > /dev/null
+    then
+      status=1
+    fi
+    if ! "${dir}/tools/service_client" "unix:${tsan_sock}" shutdown; then
+      status=1
+    fi
+    if ! wait "${tsan_service_pid}"; then
+      status=1
+    fi
+    if ! tail -n 1 "${dir}/tsan_service_metrics.jsonl" \
+         | grep -q '"final":true'; then
+      echo "FAIL: live metrics export missing its final row" >&2
       status=1
     fi
   fi

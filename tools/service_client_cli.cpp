@@ -10,6 +10,11 @@
 //   service_client <address> sweep <clips> <rule...>
 //       route every clip under every rule (the Figure 6 matrix) through the
 //       daemon, one request per task, printing one row per result
+//   service_client <address> ping
+//       fetch the daemon's live stats frame: broker counters plus
+//       request-lifecycle latency percentiles (queue-wait / session-lease /
+//       solve cold-vs-hit / reply-write), computed from its in-process
+//       histograms -- no log scraping
 //   service_client <address> shutdown
 //       ask the daemon to drain and exit
 //
@@ -31,10 +36,11 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: service_client <address> <route|sweep|shutdown> ...\n"
+      "usage: service_client <address> <route|sweep|ping|shutdown> ...\n"
       "  <address>: unix:/path.sock or host:port (the daemon's --listen)\n"
       "  route <clips> <rule> [index=0] [--time-limit S]   one clip\n"
       "  sweep <clips> <rule...>                           clip x rule matrix\n"
+      "  ping                                              live stats frame\n"
       "  shutdown                                          drain and stop\n");
   return 2;
 }
@@ -58,6 +64,34 @@ int main(int argc, char** argv) {
   if (!st.isOk()) {
     std::fprintf(stderr, "service_client: %s\n", st.message().c_str());
     return 1;
+  }
+
+  if (cmd == "ping") {
+    auto statsOr = client.ping();
+    if (!statsOr.isOk()) {
+      std::fprintf(stderr, "service_client: %s\n",
+                   statsOr.status().message().c_str());
+      return 1;
+    }
+    const service::ServiceStats& s = statsOr.value();
+    std::printf("uptime %.1fs  pending %lld  accepted %lld  completed %lld  "
+                "cacheHits %lld  saturated %lld\n",
+                s.uptimeSec, static_cast<long long>(s.pending),
+                static_cast<long long>(s.accepted),
+                static_cast<long long>(s.completed),
+                static_cast<long long>(s.cacheHits),
+                static_cast<long long>(s.rejectedSaturated));
+    auto row = [](const char* name, const service::StatsQuad& q) {
+      std::printf("%-11s count=%-6lld p50=%.3fms p95=%.3fms p99=%.3fms\n",
+                  name, static_cast<long long>(q.count), q.p50Ms, q.p95Ms,
+                  q.p99Ms);
+    };
+    row("queueWait", s.queueWait);
+    row("lease", s.lease);
+    row("solveCold", s.solveCold);
+    row("solveHit", s.solveHit);
+    row("replyWrite", s.replyWrite);
+    return 0;
   }
 
   if (cmd == "shutdown") {

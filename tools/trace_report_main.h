@@ -2,7 +2,7 @@
 // standalone tools/trace_report binary and `optrouter trace-report`.
 //
 //   trace-report <trace.jsonl...> [--table5] [--baseline=RULE]
-//                [--json=FILE] [--verify-join=ckpt.jsonl]
+//                [--json=FILE] [--verify-join=ckpt.jsonl] [--stitch]
 //
 // Several trace files merge into one span stream (fleet workers each write
 // their own file; obs::loadTraces re-keys span ids so they cannot collide).
@@ -15,13 +15,20 @@
 //   * table5     (--table5) rule-impact attribution vs --baseline;
 //                --json writes the JSON document, --verify-join checks the
 //                join is lossless against a batch/sweep checkpoint JSONL
+//   * stitch     (--stitch) cross-process causality: per-root descendant
+//                counts/durations after mergeTraces resolves remote-parent
+//                references, plus a work-conservation check (no stitched
+//                descendant outlasts its root)
 //
 // Exit status: 0 ok, 1 parse error or verify-join mismatch, 2 usage.
 #pragma once
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,6 +64,7 @@ inline int traceReportMain(int argc, char** argv) {
 
   std::vector<std::string> paths;
   bool table5 = false;
+  bool stitch = false;
   report::AttributionOptions attrOpt;
   std::string jsonPath;
   std::string verifyPath;
@@ -64,6 +72,8 @@ inline int traceReportMain(int argc, char** argv) {
     std::string arg = argv[a];
     if (arg == "--table5") {
       table5 = true;
+    } else if (arg == "--stitch") {
+      stitch = true;
     } else if (arg.rfind("--baseline=", 0) == 0) {
       attrOpt.baselineRule = arg.substr(std::strlen("--baseline="));
       table5 = true;
@@ -83,7 +93,8 @@ inline int traceReportMain(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: %s <trace.jsonl...> [--table5] [--baseline=RULE]\n"
-                 "       [--json=FILE] [--verify-join=checkpoint.jsonl]\n",
+                 "       [--json=FILE] [--verify-join=checkpoint.jsonl]\n"
+                 "       [--stitch]\n",
                  argv[0]);
     return 2;
   }
@@ -145,6 +156,66 @@ inline int traceReportMain(int argc, char** argv) {
     for (const std::string& a : rep.anomalies) {
       std::printf("  ! %s\n", a.c_str());
     }
+  }
+
+  if (stitch) {
+    // Cross-process causality after mergeTraces resolved remote-parent
+    // references: walk the span forest and report each root's stitched
+    // subtree, then check work conservation (a remote child recorded by
+    // another process must not outlast the root that requested it).
+    std::map<std::uint64_t, std::size_t> byId;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].type == "span" && entries[i].id != 0)
+        byId.emplace(entries[i].id, i);
+    }
+    std::map<std::uint64_t, std::vector<std::uint64_t>> children;
+    std::int64_t stitchedEdges = 0;
+    std::vector<std::uint64_t> roots;
+    for (const auto& [id, idx] : byId) {
+      const obs::TraceEntry& e = entries[idx];
+      if (e.stitched) ++stitchedEdges;
+      if (e.parent != 0 && byId.count(e.parent)) {
+        children[e.parent].push_back(id);
+      } else {
+        roots.push_back(id);
+      }
+    }
+    std::printf("\nstitch: %zu root span%s, %" PRId64
+                " stitched cross-process edge%s\n",
+                roots.size(), roots.size() == 1 ? "" : "s", stitchedEdges,
+                stitchedEdges == 1 ? "" : "s");
+    report::Table tree({"root", "descendants", "stitched", "root ms",
+                        "max child ms", "conserved"});
+    bool allConserved = true;
+    for (std::uint64_t rootId : roots) {
+      const obs::TraceEntry& root = entries[byId[rootId]];
+      std::int64_t descendants = 0, stitchedBelow = 0, maxChildNs = 0;
+      std::vector<std::uint64_t> work = {rootId};
+      while (!work.empty()) {
+        std::uint64_t cur = work.back();
+        work.pop_back();
+        auto kids = children.find(cur);
+        if (kids == children.end()) continue;
+        for (std::uint64_t kid : kids->second) {
+          const obs::TraceEntry& child = entries[byId[kid]];
+          ++descendants;
+          if (child.stitched) ++stitchedBelow;
+          maxChildNs = std::max(maxChildNs, child.dur);
+          work.push_back(kid);
+        }
+      }
+      bool conserved = maxChildNs <= root.dur;
+      if (descendants > 0 && !conserved) allConserved = false;
+      tree.addRow({root.name, std::to_string(descendants),
+                   std::to_string(stitchedBelow), fmtMs(root.dur),
+                   descendants > 0 ? fmtMs(maxChildNs) : "-",
+                   descendants > 0 ? (conserved ? "yes" : "NO") : "-"});
+    }
+    std::printf("%s", tree.render().c_str());
+    std::printf("work conservation: %s\n",
+                allConserved ? "ok (no descendant outlasts its root)"
+                             : "VIOLATED (descendant outlasts its root)");
+    if (!allConserved) return 1;
   }
 
   if (!table5) return 0;
